@@ -1,0 +1,35 @@
+"""Disk cache for expensive overlay builds (full scale: minutes each).
+
+Keyed by every parameter that affects the build; delete
+``benchmarks/.cache`` to force rebuilds.
+"""
+
+from __future__ import annotations
+
+import os
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+
+def cached_graph(key: str, build):
+    """Load the overlay for ``key`` from disk, or build and persist it."""
+    from repro.topology.io import load_graph, save_graph
+
+    path = os.path.join(CACHE_DIR, f"{key}.npz")
+    if os.path.exists(path):
+        return load_graph(path)
+    graph = build()
+    save_graph(path, graph)
+    return graph
+
+
+def cached_two_tier(key: str, build):
+    """Two-tier variant of :func:`cached_graph` (keeps ultrapeer roles)."""
+    from repro.topology.io import load_two_tier, save_two_tier
+
+    path = os.path.join(CACHE_DIR, f"{key}.npz")
+    if os.path.exists(path):
+        return load_two_tier(path)
+    topo = build()
+    save_two_tier(path, topo)
+    return topo

@@ -1,0 +1,58 @@
+"""Reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+a paper-vs-measured comparison.  pytest captures stdout at the file-
+descriptor level, so tables are buffered here and flushed by the
+``pytest_terminal_summary`` hook in ``conftest.py`` — they appear at the
+end of every ``pytest benchmarks/ --benchmark-only`` run and are also
+persisted to ``benchmarks/results/latest.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+#: Rendered report blocks, flushed by the terminal-summary hook.
+REPORTS: List[str] = []
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> None:
+    """Render one experiment's comparison table and queue it for output."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    bar = "=" * (sum(widths) + 3 * len(widths) + 1)
+    lines.append(bar)
+    lines.append(f" {title}")
+    lines.append(bar)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"  note: {note}")
+    block = "\n".join(lines)
+    REPORTS.append(block)
+    # Best effort immediate echo (visible under `pytest -s`).
+    print("\n" + block + "\n")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

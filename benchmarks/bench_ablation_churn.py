@@ -1,0 +1,65 @@
+"""Ablation — search availability under continuous churn.
+
+The paper's fault-tolerance analysis (Figure 1) freezes the overlay after
+failures; this ablation runs the *live* protocol: exponential node
+sessions, instant edge loss on departure, survivor re-acquisition, and
+stale-host-cache rejoins.  At every snapshot the harness probes the online
+overlay with flooding queries, measuring end-to-end search availability —
+the operational version of "fault-tolerant".
+"""
+
+import numpy as np
+
+from _report import print_table
+from repro.core import MakaluConfig
+from repro.netmodel import EuclideanModel
+from repro.sim import ChurnConfig, ChurnSimulation
+
+N = 600
+
+
+def bench_ablation_churn(benchmark, scale):
+    def run():
+        out = {}
+        for label, use_caches in [("global bootstrap", False),
+                                  ("stale host caches", True)]:
+            sim = ChurnSimulation(
+                model=EuclideanModel(N, seed=2501),
+                makalu_config=MakaluConfig(refinement_rounds=1),
+                churn_config=ChurnConfig(
+                    mean_session=100.0, mean_offline=25.0,
+                    snapshot_interval=30.0, probe_queries=15,
+                    probe_ttl=4, probe_replicas=5,
+                ),
+                use_host_caches=use_caches,
+                seed=2502,
+            )
+            snaps = sim.run(240.0)
+            out[label] = snaps
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, snaps in measured.items():
+        online = np.mean([s.n_online for s in snaps]) / N
+        giant = np.mean([s.giant_fraction for s in snaps])
+        success = np.mean([s.search_success for s in snaps])
+        degree = np.mean([s.mean_degree for s in snaps])
+        rows.append(
+            [label, f"{100 * online:.0f}%", f"{100 * giant:.1f}%",
+             f"{100 * success:.0f}%", degree]
+        )
+    print_table(
+        f"Ablation — live churn with search probes ({N} nodes, "
+        f"sessions ~Exp(100), offline ~Exp(25), 240 time units)",
+        ["bootstrap mode", "mean online", "giant component",
+         "search success", "mean degree"],
+        rows,
+        note="the live protocol keeps search working while ~20% of peers "
+             "are down at any instant; stale host caches barely hurt",
+    )
+
+    for label, snaps in measured.items():
+        assert all(s.giant_fraction > 0.9 for s in snaps), label
+        assert np.mean([s.search_success for s in snaps]) > 0.85, label

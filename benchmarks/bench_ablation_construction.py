@@ -1,0 +1,72 @@
+"""Ablation — Makalu construction knobs.
+
+Sweeps the candidate-gathering walk length and the refinement-round count
+(Section 2.2's join/management machinery) and measures what each buys:
+longer walks sample the overlay more uniformly (better expansion), and
+refinement rounds let the rating function re-optimize neighbor sets after
+the join order's accidents.
+"""
+
+import time
+
+import numpy as np
+
+from _report import print_table
+from repro.analysis import algebraic_connectivity, expansion_profile
+from repro.core import MakaluConfig, makalu_graph
+from repro.netmodel import EuclideanModel
+
+N = 1500
+
+CONFIGS = [
+    ("walk 5, no refine", MakaluConfig(walk_length=5, refinement_rounds=0)),
+    ("walk 30, no refine", MakaluConfig(walk_length=30, refinement_rounds=0)),
+    ("walk 5, 2 refines", MakaluConfig(walk_length=5, refinement_rounds=2)),
+    ("walk 30, 2 refines (paper-ish)", MakaluConfig(walk_length=30, refinement_rounds=2)),
+]
+
+
+def bench_ablation_construction(benchmark, scale):
+    model = EuclideanModel(N, seed=2101)
+
+    def run():
+        out = []
+        for label, cfg in CONFIGS:
+            t0 = time.perf_counter()
+            graph = makalu_graph(model=model, config=cfg, seed=2102)
+            build_s = time.perf_counter() - t0
+            giant, _ = graph.giant_component()
+            lam = algebraic_connectivity(giant)
+            prof = expansion_profile(giant, n_sources=10, max_hops=3, seed=2103)
+            out.append(
+                (label, lam, prof.min_early_expansion(max_hop=2),
+                 float(graph.latency.mean()), giant.n_nodes / graph.n_nodes,
+                 build_s)
+            )
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"Ablation — construction knobs ({N} nodes)",
+        ["configuration", "lambda_1", "early expansion", "mean link latency",
+         "giant fraction", "build seconds"],
+        rows,
+        note="measured trade-off: the join phase alone yields a near-random "
+             "(maximally expanding) overlay; refinement rounds spend some of "
+             "that expansion to buy markedly lower link latency — the "
+             "connectivity/proximity frontier of Section 2.1",
+    )
+
+    by = {r[0]: r for r in rows}
+    refined = by["walk 30, 2 refines (paper-ish)"]
+    unrefined = by["walk 30, no refine"]
+    # Refinement buys lower link latency...
+    assert refined[3] < 0.9 * unrefined[3]
+    # ...at a bounded connectivity cost: still an expander, far above the
+    # Gnutella topologies' lambda_1 (v0.6 ~ 0.9, v0.4 ~ 0.03).
+    assert refined[1] > 1.0
+    assert refined[1] > 0.5 * unrefined[1]
+    # Everything stays essentially one component.
+    for r in rows:
+        assert r[4] > 0.99

@@ -1,0 +1,81 @@
+"""Ablation — per-node vs per-link attenuated Bloom filters.
+
+The paper's protocol exchanges one filter hierarchy per peer (what our
+default per-node variant models).  The original attenuated-Bloom-filter
+design [Rhea & Kubiatowicz] keeps a hierarchy per directed link, which
+removes the symmetric-exchange *echo* (a node's own content re-appearing
+in its deeper levels) and gives exact i-hops-through-this-link semantics —
+at ``mean_degree``-times the filter memory.
+
+This ablation measures what the extra state buys on identifier search:
+routing precision (fraction of hops taken with a real filter signal) and
+end-to-end messages.
+"""
+
+import numpy as np
+
+from _report import print_table
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    build_per_link_filters,
+    identifier_queries,
+    place_objects,
+)
+
+REPLICATION = 0.002
+TTL = 30
+
+
+def bench_ablation_perlink_abf(benchmark, makalu_search, scale):
+    placement = place_objects(makalu_search.n_nodes, 20, REPLICATION, seed=2201)
+
+    def run():
+        out = {}
+        node_abf = build_attenuated_filters(
+            makalu_search, placement=placement, depth=3
+        )
+        link_abf = build_per_link_filters(
+            makalu_search, placement=placement, depth=3
+        )
+        for name, filters in [("per-node (paper)", node_abf),
+                              ("per-link (Rhea-Kubiatowicz)", link_abf)]:
+            router = AbfRouter(makalu_search, filters)
+            results = identifier_queries(
+                router, placement, min(scale.n_queries, 200), ttl=TTL, seed=2202
+            )
+            success = float(np.mean([r.success for r in results]))
+            msgs = np.asarray([r.messages for r in results if r.success])
+            mem_mb = sum(lvl.nbytes for lvl in filters.levels) / 2**20
+            out[name] = (
+                success,
+                float(np.median(msgs)) if msgs.size else float("nan"),
+                float(msgs.mean()) if msgs.size else float("nan"),
+                mem_mb,
+            )
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{100 * s:.0f}%", med, mean, f"{mem:.1f} MB"]
+        for name, (s, med, mean, mem) in measured.items()
+    ]
+    print_table(
+        f"Ablation — per-node vs per-link attenuated filters "
+        f"({makalu_search.n_nodes} nodes, {100 * REPLICATION:.1f}% "
+        f"replication, depth 3)",
+        ["variant", "success", "median msgs", "mean msgs", "filter memory"],
+        rows,
+        note="per-link removes the exchange echo for ~mean-degree x memory; "
+             "on expander overlays the echo rarely misroutes, so the gain "
+             "is modest — evidence for the paper's cheaper per-node exchange",
+    )
+
+    node = measured["per-node (paper)"]
+    link = measured["per-link (Rhea-Kubiatowicz)"]
+    # Per-link must not be worse (no-echo semantics strictly sharpen routing).
+    assert link[0] >= node[0] - 0.05
+    assert link[2] <= node[2] * 1.25
+    # And it really does cost ~mean-degree times the memory.
+    assert link[3] > 4 * node[3]

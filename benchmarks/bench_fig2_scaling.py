@@ -1,0 +1,72 @@
+"""Figure 2 — messages per query vs network size (log-log).
+
+Paper: fixed 1% replication, fixed TTL 4, sizes 100 -> 100,000.  "The
+number of messages sent grew slower than linearly"; "Increasing the
+network size by two orders of magnitude only increased the number of
+messages per query by about 2.6 times."
+"""
+
+import numpy as np
+
+from _report import print_table
+from repro.search import flood_queries, place_objects
+
+REPLICATION = 0.01
+TTL = 4
+
+
+def bench_fig2_messages_vs_size(benchmark, makalu_by_size, scale):
+    def run():
+        series = {}
+        for i, (n, graph) in enumerate(sorted(makalu_by_size.items())):
+            placement = place_objects(n, 10, REPLICATION, seed=500 + i)
+            results = flood_queries(
+                graph, placement, min(scale.n_queries, 100), ttl=TTL, seed=600 + i
+            )
+            series[n] = (
+                float(np.mean([r.total_messages for r in results])),
+                float(np.mean([r.success for r in results])),
+            )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sizes = sorted(series)
+    rows = []
+    for n in sizes:
+        msgs, success = series[n]
+        rows.append([n, msgs, msgs / n, f"{100 * success:.0f}%"])
+
+    import os
+
+    from repro.util.export import save_series_csv
+
+    save_series_csv(
+        os.path.join(os.path.dirname(__file__), "results", "series",
+                     f"{scale.name}_fig2_messages_vs_size.csv"),
+        {
+            "network_size": sizes,
+            "messages_per_query": [series[n][0] for n in sizes],
+            "success_rate": [series[n][1] for n in sizes],
+        },
+    )
+    print_table(
+        f"Figure 2 — Makalu messages/query vs network size (1% replication, "
+        f"TTL {TTL}, scale={scale.name}) [plot on log-log axes]",
+        ["network size", "messages/query", "messages per node", "success"],
+        rows,
+        note="shape: sublinear growth — messages-per-node falls as n grows",
+    )
+
+    # Sublinear growth: two decades of size raise messages far less than
+    # 100x (paper: ~2.6x across 1,000 -> 100,000).
+    msgs = np.asarray([series[n][0] for n in sizes], dtype=np.float64)
+    narr = np.asarray(sizes, dtype=np.float64)
+    # messages-per-node strictly falls across the sweep.
+    per_node = msgs / narr
+    assert per_node[-1] < per_node[0]
+    # Log-log slope below 1 (sublinear).
+    slope = np.polyfit(np.log(narr), np.log(np.maximum(msgs, 1)), 1)[0]
+    assert slope < 0.95
+    # Success stays high at every size (TTL 4, 1% replication).
+    assert all(series[n][1] >= 0.95 for n in sizes)

@@ -1,0 +1,68 @@
+"""Section 3.2 — graph diameter and characteristic paths.
+
+Paper (10,000 nodes, Euclidean substrate):
+
+    characteristic path cost:  Makalu 1205.9 | k-regular 1629.6 |
+                               v0.4 2915.1   | v0.6 1370.8
+    average diameter:          Makalu 5 | k-regular 6 | v0.4 16 | v0.6 6
+
+Expected shape: Makalu has the lowest latency cost (its proximity term
+buys shorter links than the latency-blind expander), the power-law overlay
+has by far the largest diameter, and Makalu's diameter matches or beats
+the k-regular / two-tier overlays.
+"""
+
+import pytest
+
+from _report import print_table
+from repro.analysis import path_stats
+
+PAPER = {
+    "makalu": (1205.9, 5),
+    "kregular": (1629.6, 6),
+    "powerlaw": (2915.1, 16),
+    "twotier": (1370.8, 6),
+}
+LABELS = {
+    "makalu": "Makalu",
+    "kregular": "k-regular random",
+    "powerlaw": "Gnutella v0.4 (power law)",
+    "twotier": "Gnutella v0.6 (two-tier)",
+}
+
+
+def _measure(paths_world, n_sources=200):
+    out = {}
+    for key in ("makalu", "kregular", "powerlaw", "twotier"):
+        graph = paths_world[key]
+        if key == "twotier":
+            graph = graph.graph
+        graph = graph.giant_component()[0]
+        out[key] = path_stats(graph, n_sources=min(n_sources, graph.n_nodes), seed=7)
+    return out
+
+
+def bench_sec32_path_costs(benchmark, paths_world, scale):
+    stats = benchmark.pedantic(_measure, args=(paths_world,), rounds=1, iterations=1)
+
+    rows = []
+    for key, st in stats.items():
+        paper_cost, paper_diam = PAPER[key]
+        rows.append(
+            [LABELS[key], paper_cost, st.characteristic_cost, paper_diam,
+             st.diameter_hops, st.characteristic_hops]
+        )
+    print_table(
+        f"Section 3.2 — characteristic paths ({scale.n_paths} nodes, "
+        f"scale={scale.name}; paper used 10,000)",
+        ["topology", "paper cost", "measured cost", "paper diam",
+         "measured diam", "measured hops"],
+        rows,
+        note="shape check: Makalu cheapest cost; power-law diameter largest",
+    )
+
+    # Shape assertions (the paper's qualitative claims).
+    assert stats["makalu"].characteristic_cost < stats["kregular"].characteristic_cost
+    assert stats["makalu"].characteristic_cost < stats["powerlaw"].characteristic_cost
+    assert stats["powerlaw"].diameter_hops > 2 * stats["makalu"].diameter_hops
+    assert stats["makalu"].diameter_hops <= stats["kregular"].diameter_hops + 1

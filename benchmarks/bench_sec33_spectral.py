@@ -1,0 +1,55 @@
+"""Section 3.3 — algebraic connectivity (Laplacian lambda_1).
+
+Paper (10,000 nodes): k-regular 2.7315 | Makalu 2.7189 | v0.6 0.936 |
+v0.4 0.035.
+
+Expected shape: k-regular and Makalu sit far above the Gnutella
+topologies; v0.6 sits well above v0.4's near-zero value.  (Our k-regular
+uses k = 10, whose theoretical lambda_1 ~ k - 2 sqrt(k-1) ~ 4 exceeds the
+paper's comparator, so Makalu lands below it by a larger factor than in
+the paper — the ordering is the reproducible claim.)
+"""
+
+from _report import print_table
+from repro.analysis import algebraic_connectivity
+
+PAPER = {
+    "kregular": 2.7315,
+    "makalu": 2.7189,
+    "twotier": 0.936,
+    "powerlaw": 0.035,
+}
+LABELS = {
+    "kregular": "k-regular random",
+    "makalu": "Makalu",
+    "twotier": "Gnutella v0.6 (two-tier)",
+    "powerlaw": "Gnutella v0.4 (power law)",
+}
+
+
+def _measure(paths_world):
+    out = {}
+    for key in PAPER:
+        graph = paths_world[key]
+        if key == "twotier":
+            graph = graph.graph
+        out[key] = algebraic_connectivity(graph.giant_component()[0])
+    return out
+
+
+def bench_sec33_algebraic_connectivity(benchmark, paths_world, scale):
+    lam = benchmark.pedantic(_measure, args=(paths_world,), rounds=1, iterations=1)
+
+    rows = [[LABELS[k], PAPER[k], lam[k]] for k in PAPER]
+    print_table(
+        f"Section 3.3 — algebraic connectivity ({scale.n_paths} nodes, "
+        f"scale={scale.name})",
+        ["topology", "paper lambda_1", "measured lambda_1"],
+        rows,
+        note="shape check: kreg ~ Makalu >> v0.6 > v0.4 ~ 0",
+    )
+
+    assert lam["kregular"] > lam["twotier"] > lam["powerlaw"]
+    assert lam["makalu"] > lam["twotier"]
+    assert lam["powerlaw"] < 0.15  # power law: near-zero connectivity
+    assert lam["makalu"] > 0.25 * lam["kregular"]

@@ -1,0 +1,152 @@
+"""Table 1 — messages/query and minimum TTL for flooding search.
+
+Paper (100,000 nodes):
+
+    replication | v0.4 msgs (TTL) | v0.6 msgs (TTL) | Makalu msgs (TTL)
+    0.05%       | 30,558 (7)      | 51,184 (4)      | 6,783 (4)
+    0.1%        | 24,156 (7)      | 51,127 (4)      | 6,668 (4)
+    0.5%        | 11,959 (6)      |  6,444 (3)      |   770 (3)
+    1%          | 11,942 (6)      |  6,427 (3)      |   758 (3)
+
+Expected shape (any scale): per topology, messages fall as replication
+rises; Makalu's min TTL is about half the power-law's; v0.6's dynamic
+querying makes it competitive at high replication but explosive at low
+replication; Makalu needs the fewest messages at its min TTL at paper
+scale (at small scales Makalu's flood saturates the network, so the
+message ordering against the sparse v0.4 overlay only emerges at size).
+"""
+
+import numpy as np
+
+from _report import print_table
+from repro.search import (
+    TwoTierSearch,
+    flood_queries,
+    min_ttl_for_success,
+    place_objects,
+    two_tier_queries,
+)
+
+REPLICATIONS = (0.0005, 0.001, 0.005, 0.01)
+#: Dynamic querying stops once this many results have been located.  Real
+#: Gnutella clients target ~150 results (the LimeWire default); with fewer
+#: replicas than that in the whole network, dynamic querying degenerates to
+#: a full ultrapeer-mesh flood — which is precisely the paper's expensive
+#: low-replication v0.6 regime.
+DQ_RESULTS_TARGET = 150
+PAPER = {
+    0.0005: {"powerlaw": (30557.96, 7), "twotier": (51184.12, 4), "makalu": (6783.32, 4)},
+    0.001: {"powerlaw": (24155.84, 7), "twotier": (51127.22, 4), "makalu": (6668.36, 4)},
+    0.005: {"powerlaw": (11959.16, 6), "twotier": (6444.22, 3), "makalu": (769.84, 3)},
+    0.01: {"powerlaw": (11942.28, 6), "twotier": (6426.56, 3), "makalu": (758.48, 3)},
+}
+SUCCESS_TARGET = 0.95
+
+
+def _measure_flood(graph, replication, n_queries, probe_ttl, seed):
+    """Min TTL (95% success) and mean messages at that TTL for plain floods."""
+    placement = place_objects(graph.n_nodes, 10, replication, seed=seed)
+    results = flood_queries(graph, placement, n_queries, ttl=probe_ttl, seed=seed + 1)
+    hits = np.asarray([r.first_hit_hop for r in results])
+    ttl = min_ttl_for_success(hits, SUCCESS_TARGET, max_ttl=probe_ttl)
+    if ttl < 0:
+        ttl = probe_ttl
+    msgs = float(np.mean([r.messages_within_ttl(ttl) for r in results]))
+    return msgs, ttl
+
+
+def _measure_twotier(topo, replication, n_queries, probe_ttl, seed):
+    """Min TTL and mean messages for v0.6 dynamic-query routing."""
+    searcher = TwoTierSearch(topo)
+    placement = place_objects(topo.graph.n_nodes, 10, replication, seed=seed)
+    best = None
+    for ttl in range(1, probe_ttl + 1):
+        results = two_tier_queries(
+            searcher, placement, n_queries, ttl=ttl, seed=seed + ttl,
+            results_target=DQ_RESULTS_TARGET,
+        )
+        success = float(np.mean([r.success for r in results]))
+        msgs = float(np.mean([r.total_messages for r in results]))
+        best = (msgs, ttl)
+        if success >= SUCCESS_TARGET:
+            break
+    return best
+
+
+def bench_table1_flooding(
+    benchmark, makalu_search, powerlaw_search, twotier_search, scale
+):
+    def run():
+        out = {}
+        for i, repl in enumerate(REPLICATIONS):
+            seed = 9000 + 10 * i
+            out[repl] = {
+                "powerlaw": _measure_flood(
+                    powerlaw_search, repl, scale.n_queries, probe_ttl=20, seed=seed
+                ),
+                "twotier": _measure_twotier(
+                    twotier_search, repl, scale.n_queries, probe_ttl=8, seed=seed + 3
+                ),
+                "makalu": _measure_flood(
+                    makalu_search, repl, scale.n_queries, probe_ttl=10, seed=seed + 6
+                ),
+            }
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for repl in REPLICATIONS:
+        row = [f"{100 * repl:.2f}%"]
+        for topo in ("powerlaw", "twotier", "makalu"):
+            p_msgs, p_ttl = PAPER[repl][topo]
+            m_msgs, m_ttl = measured[repl][topo]
+            row += [p_msgs, m_msgs, p_ttl, m_ttl]
+        rows.append(row)
+    print_table(
+        f"Table 1 — flooding messages/query and min TTL "
+        f"({scale.n_search} nodes, scale={scale.name}; paper used 100,000)",
+        ["replication",
+         "v0.4 paper", "v0.4 meas", "pTTL", "mTTL",
+         "v0.6 paper", "v0.6 meas", "pTTL", "mTTL",
+         "Mklu paper", "Mklu meas", "pTTL", "mTTL"],
+        rows,
+        note="shape: Makalu min TTL ~ half of v0.4's; v0.6 explodes at low "
+             "replication (dynamic-query crossover)",
+    )
+
+    # --- Shape assertions (scale-invariant) --------------------------------
+    for topo in ("powerlaw", "twotier", "makalu"):
+        low = measured[REPLICATIONS[0]][topo][0]
+        high = measured[REPLICATIONS[-1]][topo][0]
+        assert low >= high, f"{topo}: messages must not rise with replication"
+    # Makalu halves the power-law TTL.
+    assert measured[0.01]["makalu"][1] <= measured[0.01]["powerlaw"][1] / 2 + 0.5
+    # v0.6 crossover: low replication costs many times more than high.
+    assert (
+        measured[REPLICATIONS[0]]["twotier"][0]
+        > 3 * measured[REPLICATIONS[-1]]["twotier"][0]
+    )
+    # --- Shape assertions that only emerge at paper scale ------------------
+    # Below ~50k nodes a TTL-4 flood saturates the entire overlay, so the
+    # Makalu-vs-v0.4 message ordering inverts; at 100k it matches the paper
+    # (Makalu ~8x cheaper than the power-law overlay at every replication).
+    #
+    # Documented deviation (see EXPERIMENTS.md): our v0.6 model resolves
+    # rare objects more cheaply than the paper's — a 2006-parameter
+    # ultrapeer mesh (15% UPs, degree ~30) covers ~17k of 100k nodes within
+    # two mesh hops, so dynamic querying terminates long before the paper's
+    # 51k-message regime.  The paper's Makalu-vs-v0.6 advantage is a
+    # *per-ultrapeer fan-out* story (38.4 vs 8.5 outgoing messages/query,
+    # Table 2), which reproduces; the network-total ordering at low
+    # replication does not under our more faithful QRP + dynamic-query
+    # model, so it is intentionally not asserted.
+    if scale.n_search >= 50_000:
+        assert (
+            measured[REPLICATIONS[0]]["makalu"][0]
+            < 0.5 * measured[REPLICATIONS[0]]["powerlaw"][0]
+        )
+        assert (
+            measured[REPLICATIONS[-1]]["makalu"][0]
+            < 0.5 * measured[REPLICATIONS[-1]]["powerlaw"][0]
+        )

@@ -1,0 +1,77 @@
+"""Table 2 — Makalu vs Gnutella traffic comparison (Section 5).
+
+Paper (2006 trace statistics applied to a 100,000-node Makalu overlay with
+mean degree 9.5, worst-case single-copy objects, TTL 5):
+
+                            Gnutella     Makalu
+    outgoing msgs/query     38.439       8.5
+    outgoing msgs/second    124.16       27.45
+    outgoing bandwidth      103.4 kbps   23.04 kbps
+    query success rate      6.9%         36%
+
+Headlines: ~5x the success at ~75% less bandwidth with ~75% fewer
+neighbors per node.  The bandwidth columns are scale-free (they follow
+from mean degree and the trace's query rate); the 36% success figure is
+the TTL-5 flood coverage of a 100k overlay — at smaller scales the same
+flood covers proportionally more, so success is higher.
+"""
+
+from _report import print_table
+from repro.core import MakaluConfig, makalu_graph
+from repro.netmodel import EuclideanModel
+from repro.trace import GNUTELLA_2006, traffic_comparison
+
+
+def bench_table2_traffic_comparison(benchmark, scale):
+    def run():
+        # The paper pins this experiment's overlay at "mean node degree of
+        # 9.5"; sample capacities uniformly over [7, 12] to match (the main
+        # search fixture uses the Section 3 mean of ~11, which inflates
+        # TTL-5 coverage and hence the worst-case success rate).
+        from _cache import cached_graph
+
+        overlay = cached_graph(
+            f"makalu_n{scale.n_search}_deg7-12_m4201_s4202",
+            lambda: makalu_graph(
+                model=EuclideanModel(scale.n_search, seed=4201),
+                config=MakaluConfig(degree_min=7, degree_max=12),
+                seed=4202,
+            ),
+        )
+        return traffic_comparison(
+            overlay, stats=GNUTELLA_2006, ttl=5,
+            n_queries=min(scale.n_queries, 200), seed=42,
+        )
+
+    cmp = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    g, m = cmp.gnutella, cmp.makalu
+    rows = [
+        ["outgoing msgs/query", 38.439, g.outgoing_msgs_per_query, 8.5,
+         m.outgoing_msgs_per_query],
+        ["outgoing msgs/second", 124.16, g.outgoing_msgs_per_second, 27.45,
+         m.outgoing_msgs_per_second],
+        ["outgoing bandwidth (kbps)", 103.4, g.outgoing_bandwidth_kbps, 23.04,
+         m.outgoing_bandwidth_kbps],
+        ["query success rate", "6.9%", f"{100 * g.query_success_rate:.1f}%",
+         "36%", f"{100 * m.query_success_rate:.1f}%"],
+    ]
+    print_table(
+        f"Table 2 — traffic comparison ({scale.n_search} nodes, "
+        f"scale={scale.name}; paper used 100,000)",
+        ["metric", "Gnutella paper", "Gnutella meas", "Makalu paper",
+         "Makalu meas"],
+        rows,
+        note=f"bandwidth savings {100 * cmp.bandwidth_savings:.0f}% "
+             f"(paper ~75%); success ratio {cmp.success_ratio:.1f}x (paper ~5x; "
+             f"higher below 100k nodes because a TTL-5 flood covers more of a "
+             f"small overlay)",
+    )
+
+    # Scale-free shape checks.
+    assert cmp.bandwidth_savings > 0.6  # ~75% in the paper
+    assert cmp.success_ratio > 2.0  # >= 5x at paper scale
+    assert m.outgoing_msgs_per_query < 0.4 * g.outgoing_msgs_per_query
+    # Gnutella columns reproduce the published trace arithmetic exactly.
+    assert abs(g.outgoing_bandwidth_kbps - 103.4) / 103.4 < 0.03
+    assert abs(g.outgoing_msgs_per_second - 124.16) / 124.16 < 0.01

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""File-sharing scenario: Makalu vs Gnutella v0.6 under a realistic workload.
+
+The paper's motivating application.  This example builds both overlays on
+one physical substrate, publishes a Zipf-popular file catalog, replays a
+2006-rate query workload against each, and prints the head-to-head the
+paper's Section 5 makes: success rate, messages per query, and per-node
+outgoing bandwidth.
+
+Run:
+    python examples/filesharing_network.py [n_nodes] [minutes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    EuclideanModel,
+    GNUTELLA_2006,
+    TwoTierSearch,
+    flood,
+    generate_workload,
+    makalu_graph,
+    two_tier_graph,
+)
+from repro.search import place_objects
+from repro.util.rng import as_generator
+
+
+def replay_makalu(overlay, placement, workload, ttl, rng):
+    records = []
+    for obj in workload.objects:
+        source = int(rng.integers(0, overlay.n_nodes))
+        r = flood(overlay, source, ttl, replica_mask=placement.holder_mask(int(obj)))
+        records.append((r.success, r.total_messages))
+    return records
+
+
+def replay_twotier(searcher, placement, workload, ttl, rng):
+    records = []
+    n = searcher.topo.graph.n_nodes
+    for obj in workload.objects:
+        source = int(rng.integers(0, n))
+        r = searcher.query(source, ttl, placement.holder_mask(int(obj)))
+        records.append((r.success, r.total_messages))
+    return records
+
+
+def report(name, records, mean_degree, stats):
+    success = float(np.mean([s for s, _ in records]))
+    msgs = float(np.mean([m for _, m in records]))
+    fanout = mean_degree - 1.0
+    kbps = stats.queries_per_second * fanout * stats.mean_query_bytes * 8 / 1000
+    print(f"\n{name}")
+    print(f"  query success rate        : {100 * success:.1f}%")
+    print(f"  network messages per query: {msgs:,.0f}")
+    print(f"  per-node forwarding fanout: {fanout:.1f}")
+    print(f"  per-node outgoing traffic : {kbps:.1f} kbps "
+          f"(at {stats.queries_per_second} incoming queries/s)")
+    return success, msgs, kbps
+
+
+def main(n_nodes: int = 3000, minutes: float = 0.5) -> None:
+    rng = as_generator(99)
+    stats = GNUTELLA_2006
+    print(f"Physical substrate: {n_nodes} nodes (Euclidean latency plane)")
+    model = EuclideanModel(n_nodes, seed=10)
+
+    print("Building Makalu overlay...")
+    makalu = makalu_graph(model=model, seed=11)
+    print("Building Gnutella v0.6 two-tier overlay...")
+    twotier = two_tier_graph(n_nodes, model=model, seed=12)
+    searcher = TwoTierSearch(twotier)
+
+    # A catalog of files; each replicated on ~0.5% of peers.
+    catalog_size = 50
+    placement = place_objects(n_nodes, catalog_size, 0.005, seed=13)
+
+    # Query stream at the 2006 measured rate with Zipf popularity.
+    workload = generate_workload(
+        stats, duration=60.0 * minutes, n_objects=catalog_size, seed=14
+    )
+    print(f"\nReplaying {workload.n_queries} queries "
+          f"({minutes:.1f} min at {stats.queries_per_second} q/s, "
+          f"Zipf-popular catalog of {catalog_size} files)")
+
+    mk = report("Makalu (flooding, TTL 4)",
+                replay_makalu(makalu, placement, workload, 4, rng),
+                makalu.mean_degree, stats)
+    up_degree = float(
+        twotier.graph.degrees[twotier.is_ultrapeer].mean()
+    )
+    tt = report("Gnutella v0.6 (dynamic querying)",
+                replay_twotier(searcher, placement, workload, 4, rng),
+                up_degree, stats)
+
+    print("\nHead to head (paper Section 5):")
+    print(f"  success ratio    : {mk[0] / max(tt[0], 1e-9):.1f}x "
+          f"(paper: ~5x vs the live network)")
+    print(f"  bandwidth savings: {100 * (1 - mk[2] / tt[2]):.0f}% "
+          f"(paper: ~75%) — Makalu needs "
+          f"{makalu.mean_degree:.1f} neighbors vs an ultrapeer's "
+          f"{up_degree:.1f}")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    m = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    main(n, m)

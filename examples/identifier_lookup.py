@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Exact-identifier lookup with attenuated Bloom filters.
+
+The paper's Section 4.6 claim: on a Makalu overlay, probabilistic routing
+over depth-3 attenuated Bloom filters resolves known-identifier queries in
+a handful of messages — "comparable to that of structured P2P systems" —
+without any DHT-style global coordination.
+
+This example publishes named files (hashed to 63-bit keys), runs lookups
+from random peers, prints routes, and compares the message cost against
+both flooding and the O(log n) hop count a Kademlia-style DHT would need.
+
+Run:
+    python examples/identifier_lookup.py [n_nodes]
+"""
+
+import math
+import sys
+
+import numpy as np
+
+from repro import (
+    AbfRouter,
+    EuclideanModel,
+    build_attenuated_filters,
+    flood,
+    makalu_graph,
+)
+from repro.search import place_objects
+from repro.util.hashing import string_to_key
+
+FILE_NAMES = [
+    "ubuntu-6.06-desktop-i386.iso",
+    "big_buck_bunny_1080p.avi",
+    "dataset-gnutella-crawl-2006.tar.gz",
+    "readme.txt",
+    "the-art-of-computer-programming-vol1.pdf",
+]
+
+
+def main(n_nodes: int = 3000) -> None:
+    print(f"Building a {n_nodes}-node Makalu overlay...")
+    model = EuclideanModel(n_nodes, seed=41)
+    overlay = makalu_graph(model=model, seed=42)
+
+    keys = np.asarray([string_to_key(name) for name in FILE_NAMES])
+    placement = place_objects(
+        n_nodes, len(FILE_NAMES), replication_ratio=0.005, seed=43, keys=keys
+    )
+    print(f"Published {len(FILE_NAMES)} files, each on "
+          f"{placement.replicas_per_object[0]} random peers "
+          f"(0.5% replication)")
+
+    print("Exchanging depth-3 attenuated Bloom filters between neighbors...")
+    abf = build_attenuated_filters(overlay, placement=placement, depth=3)
+    print(f"  filter: {abf.params.n_bits} bits, {abf.params.n_hashes} hashes "
+          f"per key")
+
+    router = AbfRouter(overlay, abf)
+    rng = np.random.default_rng(44)
+
+    print("\nLookups:")
+    costs = []
+    for i, name in enumerate(FILE_NAMES):
+        source = int(rng.integers(0, n_nodes))
+        result = router.query(
+            source, placement.key_of(i), placement.holder_mask(i), ttl=25,
+            seed=rng,
+        )
+        costs.append(result.messages)
+        route = " -> ".join(map(str, result.path.tolist()[:8]))
+        more = "..." if result.path.size > 8 else ""
+        status = f"found at node {result.resolved_at}" if result.success else "NOT FOUND"
+        print(f"  {name}")
+        print(f"    from node {source}: {status} in {result.messages} messages")
+        print(f"    route: {route}{more}")
+
+    # Cost comparison.
+    mask = placement.holder_mask(0)
+    fl = flood(overlay, 0, 4, replica_mask=mask)
+    dht_hops = math.log2(n_nodes)
+    print("\nMessage cost comparison for one lookup:")
+    print(f"  ABF identifier routing : {np.mean(costs):.1f} messages (mean)")
+    print(f"  flooding (TTL 4)       : {fl.total_messages} messages")
+    print(f"  Kademlia-style DHT     : ~{dht_hops:.1f} hops (log2 n, for scale)")
+    print("\nThe paper's point: identifier search on an unstructured Makalu "
+          "overlay costs DHT-like message counts while keeping flooding "
+          "available for wildcard queries.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

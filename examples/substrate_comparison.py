@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Makalu across physical substrates.
+
+The paper validates overlay construction on three network models: a
+Euclidean plane, a GT-ITM transit-stub hierarchy, and PlanetLab-style
+all-pairs pings.  This example builds a Makalu overlay on each and shows
+that the algorithm's behaviour is substrate-robust: comparable expansion
+and search performance, with link latencies adapted to each substrate's
+geometry.
+
+Run:
+    python examples/substrate_comparison.py [n_nodes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    EuclideanModel,
+    SyntheticPlanetLabModel,
+    TransitStubModel,
+    algebraic_connectivity,
+    expansion_profile,
+    flood_queries,
+    makalu_graph,
+)
+from repro.search import min_ttl_for_success, place_objects
+
+
+def main(n_nodes: int = 1500) -> None:
+    substrates = {
+        "Euclidean plane": EuclideanModel(n_nodes, seed=61),
+        "Transit-stub (GT-ITM style)": TransitStubModel(n_nodes, seed=62),
+        "PlanetLab-like (synthetic RTTs)": SyntheticPlanetLabModel(
+            n_nodes, n_sites=max(10, n_nodes // 20), seed=63
+        ),
+    }
+
+    print(f"Building Makalu overlays on {n_nodes} nodes per substrate...\n")
+    header = (f"{'substrate':<32} {'lam1':>6} {'expansion':>10} "
+              f"{'link lat':>9} {'rand lat':>9} {'minTTL':>7} {'success':>8}")
+    print(header)
+    print("-" * len(header))
+
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, n_nodes, size=(4000, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+
+    for name, model in substrates.items():
+        overlay = makalu_graph(model=model, seed=64)
+        lam = algebraic_connectivity(overlay.giant_component()[0])
+        prof = expansion_profile(overlay, n_sources=8, max_hops=3, seed=65)
+        random_lat = float(model.pair_latency(pairs[:, 0], pairs[:, 1]).mean())
+
+        placement = place_objects(n_nodes, 10, 0.01, seed=66)
+        results = flood_queries(overlay, placement, 60, ttl=6, seed=67)
+        hits = np.asarray([r.first_hit_hop for r in results])
+        ttl = min_ttl_for_success(hits, 0.95, max_ttl=6)
+        success = float(np.mean([r.success for r in results]))
+
+        print(f"{name:<32} {lam:>6.2f} "
+              f"{prof.min_early_expansion(max_hop=2):>10.2f} "
+              f"{overlay.latency.mean():>9.1f} {random_lat:>9.1f} "
+              f"{ttl:>7} {100 * success:>7.0f}%")
+
+    print("\nReading the table:")
+    print("  * lam1 / expansion — comparable on every substrate: the overlay")
+    print("    quality comes from the algorithm, not the latency geometry.")
+    print("  * link lat vs rand lat — Makalu's links are consistently")
+    print("    cheaper than random pairs: the proximity term adapts to each")
+    print("    substrate (picking intra-stub / intra-site peers where the")
+    print("    hierarchy makes them much closer).")
+    print("  * minTTL / success — search behaviour is substrate-independent.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Instrumented-peer traffic capture — the paper's measurement methodology.
+
+The traffic statistics the paper validates against (Section 5) came from
+an instrumented Gnutella client logging every query passing through it.
+This example reruns that methodology inside the simulator: it places a
+monitored peer on a Makalu overlay and on a Gnutella v0.4 overlay, replays
+an identical Poisson/Zipf query workload over each, and prints what the
+instrumented peer saw — queries/second, forwarding fan-out, and outgoing
+bandwidth computed from real v0.4 Query wire sizes.
+
+Run:
+    python examples/trace_capture.py [n_nodes] [seconds]
+"""
+
+import sys
+
+from repro import EuclideanModel, GNUTELLA_2006, makalu_graph, powerlaw_graph
+from repro.trace import generate_workload
+from repro.trace.replay import replay_at_monitored_peer
+
+
+def show(name, report, mean_degree):
+    print(f"\n{name} (monitored peer {report.node}, degree view of overlay "
+          f"mean {mean_degree:.1f})")
+    print(f"  queries in network          : {report.queries_in_network}")
+    print(f"  query messages received     : {report.queries_received} "
+          f"({report.received_per_second:.1f}/s)")
+    print(f"  messages forwarded          : {report.queries_forwarded}")
+    print(f"  forwarded per received query: {report.forwarded_per_query:.2f}")
+    print(f"  outgoing query bandwidth    : {report.outgoing_bandwidth_kbps:.1f} kbps")
+
+
+def main(n_nodes: int = 2000, seconds: float = 15.0) -> None:
+    stats = GNUTELLA_2006
+    print(f"Replaying {seconds:.0f}s of query traffic at the 2006 measured "
+          f"rate ({stats.queries_per_second} q/s, 106-byte queries) over "
+          f"{n_nodes}-node overlays...")
+    workload = generate_workload(stats, duration=seconds, n_objects=50, seed=91)
+    model = EuclideanModel(n_nodes, seed=92)
+
+    makalu = makalu_graph(model=model, seed=93)
+    show(
+        "Makalu overlay",
+        replay_at_monitored_peer(makalu, workload, ttl=4, seed=94),
+        makalu.mean_degree,
+    )
+
+    plaw = powerlaw_graph(n_nodes, model=model, seed=95)
+    show(
+        "Gnutella v0.4 overlay (instrumenting its biggest hub)",
+        replay_at_monitored_peer(plaw, workload, ttl=7, seed=96),
+        plaw.mean_degree,
+    )
+
+    print("\nThe contrast the paper's trace study found, reproduced in vitro:")
+    print("  the power-law hub carries traffic proportional to its enormous")
+    print("  degree, while a Makalu peer's fan-out is bounded by its chosen")
+    print("  capacity — the load-shedding that Table 2's bandwidth column")
+    print("  quantifies.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    s = float(sys.argv[2]) if len(sys.argv) > 2 else 15.0
+    main(n, s)

@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs (offline env lacks the wheel package)."""
+from setuptools import setup
+
+setup()

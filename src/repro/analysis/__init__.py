@@ -1,0 +1,67 @@
+"""Topology analysis toolkit (paper Section 3).
+
+* :mod:`repro.analysis.paths` — graph diameter, characteristic path length
+  and cost (Section 3.2);
+* :mod:`repro.analysis.spectral` — Laplacian spectra and algebraic
+  connectivity (Section 3.3, Figure 1);
+* :mod:`repro.analysis.expansion` — neighborhood growth, vertex-expansion
+  estimates and the Convergence Boundary (Sections 2, 4.4);
+* :mod:`repro.analysis.faults` — targeted and random failure injection
+  (Section 3.4).
+"""
+
+from repro.analysis.bfs import bfs_frontier_sizes, bfs_hops
+from repro.analysis.degree import (
+    PowerlawFit,
+    degree_ccdf,
+    degree_histogram,
+    fit_powerlaw_exponent,
+    powerlaw_fit_quality,
+)
+from repro.analysis.expansion import (
+    ball_sizes,
+    convergence_boundary,
+    expansion_profile,
+    node_boundary_size,
+)
+from repro.analysis.faults import (
+    FailureReport,
+    fail_nodes,
+    failure_sweep,
+    random_nodes,
+    top_degree_nodes,
+)
+from repro.analysis.paths import PathStats, path_stats
+from repro.analysis.spectral import (
+    algebraic_connectivity,
+    eigenvalue_multiplicity,
+    laplacian,
+    normalized_laplacian_spectrum,
+    spectrum_points,
+)
+
+__all__ = [
+    "bfs_hops",
+    "bfs_frontier_sizes",
+    "degree_histogram",
+    "degree_ccdf",
+    "fit_powerlaw_exponent",
+    "powerlaw_fit_quality",
+    "PowerlawFit",
+    "PathStats",
+    "path_stats",
+    "laplacian",
+    "algebraic_connectivity",
+    "normalized_laplacian_spectrum",
+    "spectrum_points",
+    "eigenvalue_multiplicity",
+    "ball_sizes",
+    "node_boundary_size",
+    "expansion_profile",
+    "convergence_boundary",
+    "FailureReport",
+    "top_degree_nodes",
+    "random_nodes",
+    "fail_nodes",
+    "failure_sweep",
+]

@@ -1,0 +1,44 @@
+"""Frontier-vectorized breadth-first search over CSR overlays."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.csr import gather_neighbors
+from repro.topology.graph import OverlayGraph
+from repro.util.validation import check_node_id
+
+
+def bfs_hops(
+    graph: OverlayGraph, source: int, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Hop distance from ``source`` to every node (-1 if unreached).
+
+    ``max_hops`` truncates the search; nodes farther than that stay -1.
+    """
+    check_node_id("source", source, graph.n_nodes)
+    hops = np.full(graph.n_nodes, -1, dtype=np.int64)
+    hops[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    limit = max_hops if max_hops is not None else graph.n_nodes
+    while frontier.size and depth < limit:
+        depth += 1
+        nbrs, _ = gather_neighbors(graph, frontier)
+        fresh = nbrs[hops[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        hops[frontier] = depth
+    return hops
+
+
+def bfs_frontier_sizes(
+    graph: OverlayGraph, source: int, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Number of nodes first reached at each hop (index 0 = the source)."""
+    hops = bfs_hops(graph, source, max_hops=max_hops)
+    reached = hops[hops >= 0]
+    return np.bincount(reached)

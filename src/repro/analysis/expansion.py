@@ -1,0 +1,122 @@
+"""Neighborhood expansion and the Convergence Boundary (Sections 2.1, 4.4).
+
+Makalu maximizes the *node boundary* of each node's neighborhood; these
+helpers measure the resulting global behaviour:
+
+* :func:`ball_sizes` — how many nodes a BFS ball reaches per hop;
+* :func:`expansion_profile` — the vertex-expansion ratio |∂S|/|S| of growing
+  balls, the quantity expander graphs keep bounded below;
+* :func:`convergence_boundary` — the hop at which a flood's disjoint paths
+  start converging on already-visited nodes ("occurs when roughly half the
+  nodes have been visited; it coincides with approximately half the
+  diameter").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bfs import bfs_frontier_sizes, bfs_hops
+from repro.topology.csr import gather_neighbors
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+
+
+def node_boundary_size(graph: OverlayGraph, nodes: Iterable[int]) -> int:
+    """|∂S|: nodes adjacent to the set ``S`` but not in it."""
+    nodes = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    if nodes.size == 0:
+        return 0
+    in_set = np.zeros(graph.n_nodes, dtype=bool)
+    in_set[nodes] = True
+    nbrs, _ = gather_neighbors(graph, nodes)
+    outside = np.unique(nbrs[~in_set[nbrs]])
+    return int(outside.size)
+
+
+def ball_sizes(
+    graph: OverlayGraph, source: int, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Cumulative nodes reached within h hops of ``source`` (h = 0, 1, ...)."""
+    return np.cumsum(bfs_frontier_sizes(graph, source, max_hops=max_hops))
+
+
+@dataclass(frozen=True)
+class ExpansionProfile:
+    """Per-hop vertex expansion around sampled sources.
+
+    ``ratio[h]`` is the mean of |∂B_h| / |B_h| over the sources, where
+    ``B_h`` is the h-hop ball; the ratio at small h is the "expansion from
+    each node's neighborhood" that Makalu maximizes.
+    """
+
+    hops: np.ndarray
+    ratio: np.ndarray
+    ball_fraction: np.ndarray  # mean |B_h| / n
+
+    def min_early_expansion(self, max_hop: int = 2) -> float:
+        """Worst mean expansion over hops 1..max_hop (an expander stays high)."""
+        mask = (self.hops >= 1) & (self.hops <= max_hop)
+        if not mask.any():
+            raise ValueError("profile does not cover the requested hops")
+        return float(self.ratio[mask].min())
+
+
+def expansion_profile(
+    graph: OverlayGraph,
+    n_sources: int = 16,
+    max_hops: int = 6,
+    seed: SeedLike = None,
+) -> ExpansionProfile:
+    """Measure |∂B_h|/|B_h| for BFS balls around random sources."""
+    if n_sources < 1:
+        raise ValueError("need at least one source")
+    rng = as_generator(seed)
+    sources = rng.choice(graph.n_nodes, size=min(n_sources, graph.n_nodes), replace=False)
+
+    hops = np.arange(max_hops + 1)
+    ratios = np.zeros((sources.size, max_hops + 1))
+    fracs = np.zeros((sources.size, max_hops + 1))
+    for i, s in enumerate(sources):
+        dist = bfs_hops(graph, int(s), max_hops=max_hops + 1)
+        for h in range(max_hops + 1):
+            ball_size = int(np.count_nonzero((dist >= 0) & (dist <= h)))
+            boundary = int(np.count_nonzero(dist == h + 1))
+            ratios[i, h] = boundary / ball_size if ball_size else 0.0
+            fracs[i, h] = ball_size / graph.n_nodes
+    return ExpansionProfile(
+        hops=hops, ratio=ratios.mean(axis=0), ball_fraction=fracs.mean(axis=0)
+    )
+
+
+def convergence_boundary(
+    graph: OverlayGraph,
+    n_sources: int = 16,
+    seed: SeedLike = None,
+    threshold: float = 0.5,
+) -> float:
+    """Mean hop count at which BFS balls first cover ``threshold`` of nodes.
+
+    This is the paper's Convergence Boundary: beyond it, flood paths start
+    colliding and duplicate messages surge.  Returned as a float (mean over
+    sources); compare against half the graph diameter.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    rng = as_generator(seed)
+    sources = rng.choice(graph.n_nodes, size=min(n_sources, graph.n_nodes), replace=False)
+    boundary_hops = []
+    target = threshold * graph.n_nodes
+    for s in sources:
+        cum = ball_sizes(graph, int(s))
+        reached = np.flatnonzero(cum >= target)
+        if reached.size == 0:
+            # Ball never covers the threshold (disconnected graph): treat the
+            # full depth as the boundary.
+            boundary_hops.append(cum.size - 1)
+        else:
+            boundary_hops.append(int(reached[0]))
+    return float(np.mean(boundary_hops))

@@ -1,0 +1,120 @@
+"""Failure injection (paper Section 3.4).
+
+The paper's worst-case failure model: "a non-recoverable and instantaneous
+failure of the most highly connected nodes ... The analysis is performed on
+a snapshot of the overlay immediately after the failure occurs so that the
+remaining nodes are not given the opportunity to recover."  Random failures
+are included for comparison.  The recovery path (survivors re-acquiring
+neighbors) lives in :func:`repro.core.maintenance.repair_after_failure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.analysis.spectral import (
+    eigenvalue_multiplicity,
+    normalized_laplacian_spectrum,
+)
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_probability
+
+FailureMode = Literal["top-degree", "random"]
+
+
+def top_degree_nodes(graph: OverlayGraph, fraction: float) -> np.ndarray:
+    """Ids of the ``fraction`` most highly connected nodes (ties by id)."""
+    check_probability("fraction", fraction)
+    k = int(round(fraction * graph.n_nodes))
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    # argsort on (-degree, id): stable sort on ids then stable sort by -degree.
+    order = np.argsort(-graph.degrees, kind="stable")
+    return np.sort(order[:k])
+
+
+def random_nodes(graph: OverlayGraph, fraction: float, seed: SeedLike = None) -> np.ndarray:
+    """Ids of a uniform random ``fraction`` of nodes."""
+    check_probability("fraction", fraction)
+    k = int(round(fraction * graph.n_nodes))
+    rng = as_generator(seed)
+    return np.sort(rng.choice(graph.n_nodes, size=k, replace=False))
+
+
+def fail_nodes(graph: OverlayGraph, nodes: Sequence[int]) -> OverlayGraph:
+    """Snapshot of the overlay immediately after the given nodes vanish."""
+    return graph.remove_nodes(nodes)[0]
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Connectivity snapshot after one failure level.
+
+    ``multiplicity_zero`` is the number of connected components (including
+    isolated survivors); ``multiplicity_one`` tracks the weakly connected
+    "edge" nodes the paper watches in Figure 1.  ``spectrum`` is the full
+    normalized-Laplacian spectrum when requested, else None.
+    """
+
+    fraction_failed: float
+    n_survivors: int
+    n_components: int
+    giant_fraction: float
+    multiplicity_zero: int
+    multiplicity_one: int
+    spectrum: np.ndarray | None
+
+
+def failure_sweep(
+    graph: OverlayGraph,
+    fractions: Sequence[float],
+    mode: FailureMode = "top-degree",
+    seed: SeedLike = None,
+    with_spectrum: bool = True,
+    multiplicity_tol: float = 1e-6,
+) -> list[FailureReport]:
+    """Fail increasing fractions of nodes and report connectivity structure.
+
+    Each level fails nodes of the *original* overlay (snapshot semantics);
+    failures across levels are nested for ``top-degree`` mode and
+    independent draws for ``random``.
+    """
+    rng = as_generator(seed)
+    reports: list[FailureReport] = []
+    for fraction in fractions:
+        if mode == "top-degree":
+            doomed = top_degree_nodes(graph, fraction)
+        elif mode == "random":
+            doomed = random_nodes(graph, fraction, seed=rng)
+        else:
+            raise ValueError(f"unknown failure mode {mode!r}")
+        survivor_graph = fail_nodes(graph, doomed)
+        n_comp, labels = survivor_graph.connected_components()
+        giant = (
+            float(np.bincount(labels).max() / survivor_graph.n_nodes)
+            if survivor_graph.n_nodes
+            else 0.0
+        )
+        spectrum = None
+        m0 = n_comp
+        m1 = -1
+        if with_spectrum:
+            spectrum = normalized_laplacian_spectrum(survivor_graph)
+            m0 = eigenvalue_multiplicity(spectrum, 0.0, tol=multiplicity_tol)
+            m1 = eigenvalue_multiplicity(spectrum, 1.0, tol=multiplicity_tol)
+        reports.append(
+            FailureReport(
+                fraction_failed=float(fraction),
+                n_survivors=survivor_graph.n_nodes,
+                n_components=n_comp,
+                giant_fraction=giant,
+                multiplicity_zero=m0,
+                multiplicity_one=m1,
+                spectrum=spectrum,
+            )
+        )
+    return reports

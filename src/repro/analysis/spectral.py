@@ -1,0 +1,132 @@
+"""Spectral graph analysis (paper Section 3.3 and Figure 1).
+
+Determining expansion exactly is co-NP-complete, so the paper follows
+spectral graph theory: the second-smallest Laplacian eigenvalue λ₁ (the
+*algebraic connectivity*, Fiedler value) bounds vertex connectivity from
+below, and the *normalized* Laplacian spectrum — whose eigenvalues live in
+[0, 2] regardless of graph size — lets overlays of different sizes be
+compared as nodes fail.  Two multiplicities carry the paper's Figure 1
+story: eigenvalue 0 counts connected components, and a growing multiplicity
+of eigenvalue 1 signals weakly connected "edge" nodes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.topology.graph import OverlayGraph
+
+#: Default cap on dense full-spectrum computation (n^2 memory, n^3 time).
+DENSE_SPECTRUM_LIMIT = 4000
+
+
+def laplacian(graph: OverlayGraph, normalized: bool = False) -> sp.csr_matrix:
+    """(Normalized) Laplacian matrix of the overlay.
+
+    The combinatorial Laplacian is ``L = D - A``.  The normalized form is
+    ``I - D^{-1/2} A D^{-1/2}`` with the Chung convention that isolated
+    nodes contribute a zero row (hence an eigenvalue 0, counting them as
+    their own connected component).
+    """
+    adj = graph.to_scipy(weighted=False)
+    deg = graph.degrees.astype(np.float64)
+    if not normalized:
+        return (sp.diags(deg) - adj).tocsr()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(deg)
+    inv_sqrt[deg == 0] = 0.0
+    d_half = sp.diags(inv_sqrt)
+    ident = sp.diags((deg > 0).astype(np.float64))
+    return (ident - d_half @ adj @ d_half).tocsr()
+
+
+def algebraic_connectivity(graph: OverlayGraph) -> float:
+    """λ₁, the second-smallest eigenvalue of the combinatorial Laplacian.
+
+    Bounds the paper uses: ``λ₁(G) <= v(G) <= d_min(G)`` — high algebraic
+    connectivity certifies high vertex connectivity and hence expansion.
+    Computed with LOBPCG with the known null vector (all-ones, for a
+    connected graph) deflated as a constraint, which converges in a handful
+    of iterations on expander-like graphs; dense solve for tiny graphs.
+    """
+    n = graph.n_nodes
+    if n < 2:
+        raise ValueError("algebraic connectivity needs at least two nodes")
+    lap = laplacian(graph)
+    if n <= 512:
+        eigs = np.linalg.eigvalsh(lap.toarray())
+        return float(np.sort(eigs)[1])
+    rng = np.random.default_rng(0xF1ED1E4)  # fixed: determinism of the estimate
+    x0 = rng.standard_normal((n, 1))
+    ones = np.ones((n, 1)) / np.sqrt(n)
+    with warnings.catch_warnings():
+        # Near-zero Fiedler values (barely connected graphs) converge in
+        # absolute terms long before LOBPCG's relative tolerance is met.
+        warnings.filterwarnings("ignore", message="Exited at iteration")
+        warnings.filterwarnings("ignore", message="Exited postprocessing")
+        vals, _ = spla.lobpcg(
+            lap.tocsr(), x0, Y=ones, largest=False, tol=1e-7, maxiter=2000
+        )
+    return float(vals[0])
+
+
+def normalized_laplacian_spectrum(
+    graph: OverlayGraph, limit: int = DENSE_SPECTRUM_LIMIT
+) -> np.ndarray:
+    """Full eigenvalue spectrum of the normalized Laplacian, ascending.
+
+    Dense O(n^3): refuse beyond ``limit`` nodes (Figure 1 runs at
+    figure-scale overlays; raise ``limit`` explicitly to override).
+    """
+    if graph.n_nodes > limit:
+        raise ValueError(
+            f"full spectrum of a {graph.n_nodes}-node graph is O(n^3) dense "
+            f"work; pass limit= explicitly to force it"
+        )
+    lap = laplacian(graph, normalized=True).toarray()
+    # Symmetrize against floating-point asymmetry from the sparse products.
+    lap = 0.5 * (lap + lap.T)
+    return np.linalg.eigvalsh(lap)
+
+
+def spectrum_points(eigenvalues: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Figure-1 plotting transform: (normalized rank, eigenvalue) pairs.
+
+    ``x_i = rank_i / (n - 1)`` maps any graph size onto [0, 1] so spectra of
+    differently sized (post-failure) overlays overlay on one plot.
+    """
+    eigs = np.sort(np.asarray(eigenvalues, dtype=np.float64))
+    n = eigs.size
+    if n == 0:
+        raise ValueError("empty spectrum")
+    x = np.arange(n, dtype=np.float64) / max(n - 1, 1)
+    return x, eigs
+
+
+def eigenvalue_multiplicity(
+    eigenvalues: np.ndarray, value: float, tol: float = 1e-8
+) -> int:
+    """Number of eigenvalues within ``tol`` of ``value``.
+
+    ``value=0`` counts connected components of the normalized Laplacian;
+    ``value=1`` tracks the paper's weakly connected "edge" nodes.
+    """
+    eigs = np.asarray(eigenvalues, dtype=np.float64)
+    return int(np.count_nonzero(np.abs(eigs - value) <= tol))
+
+
+def spectral_gap(graph: OverlayGraph) -> float:
+    """Normalized-Laplacian spectral gap λ₁ (dense; small graphs only).
+
+    For expanders this gap is bounded away from zero; it complements
+    :func:`algebraic_connectivity` when comparing different-size graphs.
+    """
+    spectrum = normalized_laplacian_spectrum(graph)
+    if spectrum.size < 2:
+        raise ValueError("spectral gap needs at least two nodes")
+    return float(spectrum[1])

@@ -1,0 +1,293 @@
+"""Command-line interface for quick experiments.
+
+Usage examples::
+
+    python -m repro build --nodes 5000 --seed 7
+    python -m repro flood --nodes 2000 --ttl 4 --replication 0.005
+    python -m repro identifier --nodes 2000 --replication 0.005 --queries 50
+    python -m repro analyze --nodes 2000 --topology makalu
+    python -m repro traffic --nodes 5000 --queries 100
+    python -m repro churn --nodes 500 --duration 150
+
+Every subcommand prints a short human-readable report; all accept
+``--seed`` for reproducibility.  The CLI is a thin veneer over the public
+API — anything here can be done in a few lines of Python (see
+``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import (
+    algebraic_connectivity,
+    convergence_boundary,
+    failure_sweep,
+    path_stats,
+)
+from repro.core import makalu_graph
+from repro.netmodel import EuclideanModel, SyntheticPlanetLabModel, TransitStubModel
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    flood_queries,
+    identifier_queries,
+    min_ttl_for_success,
+    place_objects,
+    summarize,
+)
+from repro.sim import ChurnConfig, ChurnSimulation
+from repro.topology import k_regular_graph, powerlaw_graph, two_tier_graph
+from repro.trace import traffic_comparison
+
+MODELS = {
+    "euclidean": lambda n, seed: EuclideanModel(n, seed=seed),
+    "transit-stub": lambda n, seed: TransitStubModel(n, seed=seed),
+    "planetlab": lambda n, seed: SyntheticPlanetLabModel(n, seed=seed),
+}
+
+
+def _make_model(args):
+    return MODELS[args.model](args.nodes, args.seed)
+
+
+def _make_overlay(args):
+    model = _make_model(args)
+    topology = getattr(args, "topology", "makalu")
+    if topology == "makalu":
+        return makalu_graph(model=model, seed=args.seed + 1)
+    if topology == "kregular":
+        return k_regular_graph(args.nodes, 10, model=model, seed=args.seed + 1)
+    if topology == "powerlaw":
+        return powerlaw_graph(args.nodes, model=model, seed=args.seed + 1)
+    if topology == "twotier":
+        return two_tier_graph(args.nodes, model=model, seed=args.seed + 1).graph
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def cmd_build(args) -> int:
+    """Build an overlay and print structural statistics."""
+    t0 = time.perf_counter()
+    graph = _make_overlay(args)
+    elapsed = time.perf_counter() - t0
+    degs = graph.degrees
+    print(f"built {args.topology} overlay: {graph.n_nodes} nodes, "
+          f"{graph.n_edges} edges in {elapsed:.1f}s")
+    print(f"  degrees: min {degs.min()}, mean {degs.mean():.2f}, max {degs.max()}")
+    print(f"  connected: {graph.is_connected()}")
+    print(f"  mean link latency: {graph.latency.mean():.2f}")
+    return 0
+
+
+def cmd_flood(args) -> int:
+    """Run a batch of flooding queries and summarize them."""
+    graph = _make_overlay(args)
+    placement = place_objects(
+        graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
+    )
+    results = flood_queries(
+        graph, placement, args.queries, ttl=args.ttl, seed=args.seed + 3
+    )
+    records = [r.record() for r in results]
+    summary = summarize(records)
+    hits = np.asarray([r.first_hit_hop for r in results])
+    dup = float(np.mean([r.duplicate_fraction for r in results]))
+    print(f"flooding on {args.topology} ({graph.n_nodes} nodes, TTL {args.ttl}, "
+          f"{100 * args.replication:.2f}% replication):")
+    print(f"  {summary}")
+    print(f"  duplicate messages: {100 * dup:.1f}%")
+    print(f"  min TTL for 95% success: "
+          f"{min_ttl_for_success(hits, 0.95, max_ttl=args.ttl)}")
+    return 0
+
+
+def cmd_identifier(args) -> int:
+    """Run a batch of ABF identifier queries and summarize them."""
+    graph = _make_overlay(args)
+    placement = place_objects(
+        graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
+    )
+    if args.per_link:
+        from repro.search import build_per_link_filters
+
+        filters = build_per_link_filters(
+            graph, placement=placement, depth=args.depth
+        )
+        variant = "per-link"
+    else:
+        filters = build_attenuated_filters(
+            graph, placement=placement, depth=args.depth
+        )
+        variant = "per-node"
+    router = AbfRouter(graph, filters)
+    results = identifier_queries(
+        router, placement, args.queries, ttl=args.ttl, seed=args.seed + 3
+    )
+    summary = summarize([r.record() for r in results])
+    print(f"ABF identifier search on {args.topology} ({graph.n_nodes} nodes, "
+          f"{variant} depth {args.depth}, TTL {args.ttl}):")
+    print(f"  {summary}")
+    return 0
+
+
+def cmd_response(args) -> int:
+    """Measure the response-time distribution of flooded queries."""
+    import numpy as np
+
+    from repro.search import response_time_distribution
+
+    graph = _make_overlay(args)
+    placement = place_objects(
+        graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
+    )
+    times = response_time_distribution(
+        graph, placement, args.queries, ttl=args.ttl, seed=args.seed + 3
+    )
+    finite = times[np.isfinite(times)]
+    print(f"query response times on {args.topology} ({graph.n_nodes} nodes, "
+          f"TTL {args.ttl}, round trip):")
+    print(f"  resolved: {100 * np.isfinite(times).mean():.1f}% of "
+          f"{args.queries} queries")
+    if finite.size:
+        print(f"  median {np.median(finite):.1f}  p90 "
+              f"{np.percentile(finite, 90):.1f}  p99 "
+              f"{np.percentile(finite, 99):.1f}  (latency units)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Print path, spectral and fault-tolerance analysis of an overlay."""
+    graph = _make_overlay(args)
+    giant, _ = graph.giant_component()
+    print(f"{args.topology} overlay on {graph.n_nodes} nodes "
+          f"({giant.n_nodes} in giant component):")
+    stats = path_stats(giant, n_sources=min(200, giant.n_nodes), seed=args.seed)
+    print(f"  {stats}")
+    print(f"  algebraic connectivity: {algebraic_connectivity(giant):.4f}")
+    print(f"  convergence boundary: "
+          f"{convergence_boundary(giant, n_sources=10, seed=args.seed):.1f} hops")
+    for report in failure_sweep(graph, [0.1, 0.3], mode="top-degree",
+                                with_spectrum=False):
+        print(f"  after {100 * report.fraction_failed:.0f}% targeted failures: "
+              f"{report.n_components} components, giant "
+              f"{100 * report.giant_fraction:.1f}%")
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    """Regenerate the Table 2 traffic comparison."""
+    graph = _make_overlay(args)
+    cmp = traffic_comparison(graph, ttl=args.ttl, n_queries=args.queries,
+                             seed=args.seed + 2)
+    print("Table 2 traffic comparison (2006 trace statistics):")
+    print(f"  {cmp.gnutella}")
+    print(f"  {cmp.makalu}")
+    print(f"  bandwidth savings: {100 * cmp.bandwidth_savings:.0f}%  "
+          f"success ratio: {cmp.success_ratio:.1f}x")
+    return 0
+
+
+def cmd_churn(args) -> int:
+    """Run the churn simulation and print per-snapshot health."""
+    sim = ChurnSimulation(
+        model=_make_model(args),
+        churn_config=ChurnConfig(
+            mean_session=args.session, mean_offline=args.offline,
+            snapshot_interval=args.duration / 6,
+        ),
+        seed=args.seed,
+    )
+    snapshots = sim.run(args.duration)
+    print(f"churn on {args.nodes} Makalu nodes "
+          f"(sessions ~Exp({args.session}), offline ~Exp({args.offline})):")
+    for s in snapshots:
+        print(f"  t={s.time:6.0f}  online={s.n_online:5d}  "
+              f"components={s.n_components:3d}  giant={100 * s.giant_fraction:5.1f}%  "
+              f"mean degree={s.mean_degree:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Makalu overlay reproduction — quick experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, topology=True):
+        p.add_argument("--nodes", type=int, default=2000)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--model", choices=sorted(MODELS), default="euclidean")
+        if topology:
+            p.add_argument(
+                "--topology",
+                choices=["makalu", "kregular", "powerlaw", "twotier"],
+                default="makalu",
+            )
+
+    p = sub.add_parser("build", help="build an overlay and print its stats")
+    common(p)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("flood", help="run flooding queries")
+    common(p)
+    p.add_argument("--ttl", type=int, default=4)
+    p.add_argument("--replication", type=float, default=0.005)
+    p.add_argument("--objects", type=int, default=10)
+    p.add_argument("--queries", type=int, default=100)
+    p.set_defaults(func=cmd_flood)
+
+    p = sub.add_parser("identifier", help="run ABF identifier queries")
+    common(p)
+    p.add_argument("--ttl", type=int, default=25)
+    p.add_argument("--depth", type=int, default=3)
+    p.add_argument("--per-link", action="store_true",
+                   help="use exact per-link (Rhea-Kubiatowicz) filters")
+    p.add_argument("--replication", type=float, default=0.005)
+    p.add_argument("--objects", type=int, default=10)
+    p.add_argument("--queries", type=int, default=100)
+    p.set_defaults(func=cmd_identifier)
+
+    p = sub.add_parser("response", help="query response-time distribution")
+    common(p)
+    p.add_argument("--ttl", type=int, default=4)
+    p.add_argument("--replication", type=float, default=0.005)
+    p.add_argument("--objects", type=int, default=10)
+    p.add_argument("--queries", type=int, default=100)
+    p.set_defaults(func=cmd_response)
+
+    p = sub.add_parser("analyze", help="structural + fault-tolerance analysis")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("traffic", help="Table 2 traffic comparison")
+    common(p, topology=False)
+    p.set_defaults(topology="makalu")
+    p.add_argument("--ttl", type=int, default=5)
+    p.add_argument("--queries", type=int, default=100)
+    p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser("churn", help="run the churn simulation")
+    common(p, topology=False)
+    p.add_argument("--duration", type=float, default=150.0)
+    p.add_argument("--session", type=float, default=100.0)
+    p.add_argument("--offline", type=float, default=25.0)
+    p.set_defaults(func=cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Overlay maintenance operations (paper Sections 2.1-2.2).
+
+These helpers implement the standing-state behaviours of a Makalu node that
+are not part of the initial join:
+
+* :func:`prune_to_capacity` — the ``Manage()`` loop body: "while neighbors >
+  max connections: compute rating for each neighbor; remove neighbor with
+  lowest rating".
+* :func:`handle_capacity_change` — "when the degree of a node changes in
+  response to a change in the available bandwidth, the node initiates a
+  pruning mechanism that evaluates its current neighbors using the utility
+  function F and prunes its neighbors with the lowest utility cost until the
+  requisite number of neighbors is reached".
+* :func:`repair_after_failure` — recovery after node failures: survivors
+  drop edges to dead peers and, if left under their floor, re-acquire
+  neighbors via the normal walk-based candidate gathering.  (The paper's
+  fault-tolerance *analysis* deliberately disables recovery to study the
+  worst case; the churn simulator and the recovery extension use this.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
+from repro.topology.graph import AdjacencyBuilder
+
+
+def prune_to_capacity(
+    adj: AdjacencyBuilder,
+    node: int,
+    capacity: int,
+    weights: RatingWeights = RatingWeights(),
+) -> list[int]:
+    """Prune ``node``'s lowest-rated neighbors until within ``capacity``.
+
+    Returns the pruned neighbor ids, in pruning order.  Ratings are
+    recomputed after every removal, as in the protocol — dropping a neighbor
+    changes both the node boundary and d_max.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    pruned: list[int] = []
+    while adj.degree(node) > capacity:
+        ratings = rate_neighbors(
+            node, adj.neighbors(node), lambda v: adj.neighbors(v).keys(), weights
+        )
+        victim = worst_neighbor(ratings)
+        adj.remove_edge(node, victim)
+        pruned.append(victim)
+    return pruned
+
+
+def handle_capacity_change(
+    builder,
+    node: int,
+    new_capacity: int,
+) -> list[int]:
+    """Apply a bandwidth-driven capacity change on a live builder.
+
+    Shrinking triggers the pruning mechanism; growing leaves existing
+    neighbors untouched and runs an acquisition pass to fill the new spare
+    capacity.  ``builder`` is a :class:`repro.core.makalu.MakaluBuilder`.
+
+    Returns the list of pruned neighbors (empty when growing).
+    """
+    if new_capacity < 1:
+        raise ValueError(f"new_capacity must be >= 1, got {new_capacity}")
+    old = int(builder.capacities[node])
+    builder.capacities[node] = new_capacity
+    if new_capacity < old:
+        pruned = prune_to_capacity(
+            builder.adj, node, new_capacity, builder.config.weights
+        )
+        for victim in pruned:
+            if builder.adj.degree(victim) < builder.config.min_degree_floor:
+                builder._repair_queue.append(victim)
+        builder._drain_repairs(budget=2 * len(pruned) + 4)
+        return pruned
+    builder._acquire(node, allow_swap=False)
+    return []
+
+
+def repair_after_failure(
+    builder,
+    failed: Iterable[int],
+    rejoin: bool = True,
+    max_passes: int = 3,
+) -> np.ndarray:
+    """Fail the given nodes on a live builder and let survivors recover.
+
+    All edges incident to failed nodes disappear instantly (the paper's
+    "non-recoverable and instantaneous failure" model).  With ``rejoin``
+    True, surviving nodes that lost neighbors run acquisition passes until
+    they are back at capacity or ``max_passes`` is exhausted.
+
+    Returns the array of surviving node ids that lost at least one neighbor.
+    """
+    failed = np.unique(np.asarray(list(failed), dtype=np.int64))
+    failed_set = set(failed.tolist())
+    adj = builder.adj
+
+    bereaved: set[int] = set()
+    for f in failed:
+        for v in list(adj.neighbors(int(f))):
+            adj.remove_edge(int(f), v)
+            if v not in failed_set:
+                bereaved.add(v)
+    # Failed nodes leave the candidate pool so walks cannot resurrect them.
+    builder._joined = [x for x in builder._joined if x not in failed_set]
+    builder._repair_queue = type(builder._repair_queue)(
+        x for x in builder._repair_queue if x not in failed_set
+    )
+
+    survivors = np.asarray(sorted(bereaved), dtype=np.int64)
+    if rejoin:
+        for _ in range(max_passes):
+            needy = [
+                int(x) for x in survivors if adj.degree(int(x)) < builder.capacities[x]
+            ]
+            if not needy:
+                break
+            for x in needy:
+                builder._acquire(x, allow_swap=False)
+    return survivors

@@ -1,0 +1,159 @@
+"""Membership management: per-node host caches.
+
+The static :class:`~repro.core.makalu.MakaluBuilder` bootstraps joiners
+from a global list of joined nodes — a stand-in for "the address of at
+least one seed peer" (paper Section 2.2).  Real servents maintain a *host
+cache*: a bounded list of peer addresses learned from walks, pongs and
+neighbor exchanges, from which they bootstrap after restarts.  This module
+implements that cache and a membership service gluing caches to a builder,
+used by the churn simulation for stale-cache-rejoin realism.
+
+Properties modeled:
+
+* bounded capacity with oldest-first eviction (LRU on insertion);
+* staleness — cached addresses may point at peers that have since left;
+  a bootstrap attempt skips dead entries (costing one probe each);
+* gossip — nodes seed their cache from the candidate walks they run, so
+  cache contents follow the overlay's own sampling bias.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+class HostCache:
+    """A bounded, recency-ordered cache of peer addresses."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entries retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, peer: int) -> bool:
+        return peer in self._entries
+
+    def add(self, peer: int) -> None:
+        """Insert (or refresh) a peer address."""
+        if peer in self._entries:
+            self._entries.move_to_end(peer)
+            return
+        self._entries[peer] = None
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def add_many(self, peers: Iterable[int]) -> None:
+        """Insert several addresses, newest last."""
+        for peer in peers:
+            self.add(peer)
+
+    def remove(self, peer: int) -> None:
+        """Drop an address (e.g. after a failed connection attempt)."""
+        self._entries.pop(peer, None)
+
+    def peers(self) -> List[int]:
+        """Cached addresses, oldest first."""
+        return list(self._entries)
+
+    def sample(self, rng: np.random.Generator, k: int = 1) -> List[int]:
+        """Up to ``k`` distinct cached addresses, uniformly at random."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        entries = list(self._entries)
+        if not entries:
+            return []
+        k = min(k, len(entries))
+        picks = rng.choice(len(entries), size=k, replace=False)
+        return [entries[int(i)] for i in picks]
+
+
+class MembershipService:
+    """Per-node host caches wired to a live Makalu builder.
+
+    The service observes the overlay: every acquire pass feeds the walker's
+    discoveries into the walking node's cache, and bootstrap requests are
+    served from the node's own (possibly stale) cache with a fallback to a
+    well-known seed set — the behaviour of a servent restarting with an old
+    ``gnutella.net`` file.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        capacity: int = 32,
+        n_seeds: int = 4,
+        seed: SeedLike = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        self.rng = as_generator(seed)
+        self.caches = [HostCache(capacity) for _ in range(n_nodes)]
+        #: Well-known bootstrap peers (the GWebCache / default-seed role).
+        self.seeds = self.rng.choice(
+            n_nodes, size=min(n_seeds, n_nodes), replace=False
+        ).tolist()
+
+    def observe(self, node: int, discovered: Iterable[int]) -> None:
+        """Record peers ``node`` learned about (walks, pongs, exchanges)."""
+        cache = self.caches[node]
+        for peer in discovered:
+            if peer != node:
+                cache.add(peer)
+
+    def note_dead(self, node: int, peer: int) -> None:
+        """``node`` found ``peer`` unreachable; drop it from the cache."""
+        self.caches[node].remove(peer)
+
+    def bootstrap_candidates(
+        self,
+        node: int,
+        alive: Optional[np.ndarray] = None,
+        k: int = 4,
+    ) -> tuple[List[int], int]:
+        """Addresses ``node`` would try when (re)joining, plus probe cost.
+
+        Draws from the node's cache first, skipping entries that ``alive``
+        marks dead (each skipped entry costs one wasted probe and is
+        evicted), topping up from the well-known seeds.
+
+        Returns ``(candidates, wasted_probes)``.
+        """
+        cache = self.caches[node]
+        candidates: List[int] = []
+        wasted = 0
+        for peer in cache.sample(self.rng, k=min(k * 3, len(cache))):
+            if alive is not None and not alive[peer]:
+                cache.remove(peer)
+                wasted += 1
+                continue
+            if peer not in candidates:
+                candidates.append(peer)
+            if len(candidates) >= k:
+                break
+        if len(candidates) < k:
+            for peer in self.seeds:
+                if peer == node or peer in candidates:
+                    continue
+                if alive is not None and not alive[peer]:
+                    wasted += 1
+                    continue
+                candidates.append(peer)
+                if len(candidates) >= k:
+                    break
+        return candidates, wasted

@@ -1,0 +1,181 @@
+"""The Makalu peer rating function (paper Section 2.1).
+
+Node ``u`` rates each neighbor ``v`` with the utility function
+
+    F(u, v) = alpha * |R(u,v)| / |dGamma(u)|  +  beta * d_max / d(u,v)
+
+where
+
+* ``R(u,v)`` — the *unique reachable set*: nodes reachable from ``u``
+  through ``v`` and through no other neighbor of ``u`` (i.e. members of
+  ``Gamma(v)`` that appear in no other neighbor's neighborhood and are not
+  themselves ``u`` or neighbors of ``u``);
+* ``dGamma(u)`` — the *node boundary* of ``u``'s neighborhood: the union of
+  all neighbors' neighborhoods minus ``Gamma(u)`` and ``u`` itself;
+* ``d(u,v)`` — measured link latency, ``d_max`` the largest latency among
+  ``u``'s current neighbors.
+
+High connectivity share and low latency both raise a neighbor's rating; the
+lowest-rated neighbor is the one pruned when a node is over capacity.
+
+Everything here is *local*: the only inputs are ``u``'s neighbor list with
+latencies and each neighbor's own neighbor list — exactly the state peers
+exchange on connection establishment in the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Mapping
+
+#: Latency floor used when a measured latency is exactly zero, so that the
+#: proximity ratio stays finite (physical models never produce zero for
+#: distinct nodes, but unit tests and degenerate substrates might).
+_LATENCY_FLOOR = 1e-12
+
+#: Type of the "ask neighbor v for its neighbor list" callback.
+NeighborhoodFn = Callable[[int], Iterable[int]]
+
+
+@dataclass(frozen=True)
+class RatingWeights:
+    """Weighting factors for the two utility terms.
+
+    ``alpha`` weights connectivity, ``beta`` weights proximity.  The paper
+    sets both to 1 ("we give equal weight to both connectivity and
+    proximity"); the ablation benches sweep them.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError(
+                f"rating weights must be non-negative, got alpha={self.alpha}, "
+                f"beta={self.beta}"
+            )
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("at least one rating weight must be positive")
+
+
+def _occurrence_counts(
+    neighbors: Iterable[int], neighborhood_of: NeighborhoodFn
+) -> Counter:
+    """How many of ``u``'s neighbors list each node in their neighborhood."""
+    counts: Counter = Counter()
+    for v in neighbors:
+        counts.update(neighborhood_of(v))
+    return counts
+
+
+def node_boundary(
+    u: int,
+    neighbors: Iterable[int],
+    neighborhood_of: NeighborhoodFn,
+) -> set:
+    """The node boundary dGamma(u): union of neighbor neighborhoods minus
+    ``Gamma(u)`` and ``u`` itself."""
+    inner = set(neighbors)
+    inner.add(u)
+    boundary: set = set()
+    for v in inner - {u}:
+        boundary.update(neighborhood_of(v))
+    return boundary - inner
+
+
+def unique_reachable(
+    u: int,
+    v: int,
+    neighbors: Iterable[int],
+    neighborhood_of: NeighborhoodFn,
+) -> set:
+    """The unique reachable set R(u, v).
+
+    Members of ``Gamma(v)`` not reachable through any *other* neighbor of
+    ``u`` (and outside ``Gamma(u) + {u}``).  Exposed mainly for tests and
+    for the expansion analysis; :func:`rate_neighbors` computes all sets in
+    one shared pass instead of calling this per neighbor.
+    """
+    nbrs = set(neighbors)
+    if v not in nbrs:
+        raise ValueError(f"{v} is not a neighbor of {u}")
+    others: set = set()
+    for w in nbrs - {v}:
+        others.update(neighborhood_of(w))
+    inner = nbrs | {u}
+    return set(neighborhood_of(v)) - others - inner
+
+
+def rate_neighbors(
+    u: int,
+    neighbor_latency: Mapping[int, float],
+    neighborhood_of: NeighborhoodFn,
+    weights: RatingWeights = RatingWeights(),
+) -> Dict[int, float]:
+    """Rate every neighbor of ``u`` with the Makalu utility function.
+
+    Parameters
+    ----------
+    u:
+        The rating node.
+    neighbor_latency:
+        ``{v: d(u, v)}`` for u's current (possibly provisional) neighbors.
+    neighborhood_of:
+        Callback returning ``Gamma(v)`` for a neighbor ``v`` — in the
+        protocol this is the neighbor list ``v`` shared with ``u``.
+    weights:
+        alpha/beta weighting; defaults to the paper's equal weighting.
+
+    Returns
+    -------
+    dict mapping each neighbor to its rating ``F(u, v)``.  Higher is better;
+    the caller prunes the argmin.
+    """
+    nbrs = list(neighbor_latency)
+    if not nbrs:
+        return {}
+
+    # Single shared pass: count how many of u's neighbors reach each node,
+    # remembering the first contributor so unique nodes can be credited to
+    # exactly one neighbor without re-walking every neighborhood.
+    counts: Dict[int, int] = {}
+    owner: Dict[int, int] = {}
+    for v in nbrs:
+        for x in neighborhood_of(v):
+            if x in counts:
+                counts[x] += 1
+            else:
+                counts[x] = 1
+                owner[x] = v
+
+    inner = set(nbrs)
+    inner.add(u)
+    boundary_size = 0
+    unique: Dict[int, int] = dict.fromkeys(nbrs, 0)
+    for x, c in counts.items():
+        if x in inner:
+            continue
+        boundary_size += 1
+        if c == 1:
+            unique[owner[x]] += 1
+
+    d_max = max(max(neighbor_latency.values()), _LATENCY_FLOOR)
+    ratings: Dict[int, float] = {}
+    for v in nbrs:
+        connectivity = (unique[v] / boundary_size) if boundary_size else 0.0
+        proximity = d_max / max(neighbor_latency[v], _LATENCY_FLOOR)
+        ratings[v] = weights.alpha * connectivity + weights.beta * proximity
+    return ratings
+
+
+def worst_neighbor(ratings: Mapping[int, float]) -> int:
+    """The neighbor to prune: lowest rating, ties broken by highest id.
+
+    Deterministic tie-breaking keeps simulations reproducible when many
+    neighbors share a rating (e.g. unit-latency substrates).
+    """
+    if not ratings:
+        raise ValueError("cannot pick the worst of zero neighbors")
+    return min(ratings.items(), key=lambda kv: (kv[1], -kv[0]))[0]

@@ -1,0 +1,28 @@
+"""Physical-network latency substrates.
+
+Makalu's peer rating function consumes link latencies measured on the
+underlying physical network.  The paper evaluates on three substrates, all
+reproduced here:
+
+* :class:`EuclideanModel` — nodes on a plane, latency = Euclidean distance;
+* :class:`TransitStubModel` — a GT-ITM-style transit/stub hierarchy;
+* :class:`SyntheticPlanetLabModel` — a clustered all-pairs RTT model standing
+  in for Stribling's PlanetLab ping dataset (offline-unavailable; see
+  DESIGN.md for the substitution rationale).
+
+:class:`MatrixLatencyModel` wraps any explicit all-pairs matrix, e.g. a real
+ping dataset if one is available.
+"""
+
+from repro.netmodel.base import MatrixLatencyModel, NetworkModel
+from repro.netmodel.euclidean import EuclideanModel
+from repro.netmodel.planetlab import SyntheticPlanetLabModel
+from repro.netmodel.transit_stub import TransitStubModel
+
+__all__ = [
+    "NetworkModel",
+    "MatrixLatencyModel",
+    "EuclideanModel",
+    "TransitStubModel",
+    "SyntheticPlanetLabModel",
+]

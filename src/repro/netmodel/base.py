@@ -1,0 +1,109 @@
+"""Abstract interface for physical-latency substrates."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.util.validation import check_square_matrix
+
+#: Largest node count for which ``latency_matrix`` will materialize a dense
+#: all-pairs array by default (n^2 float64 = ~800 MB at 10k nodes already).
+DENSE_MATRIX_LIMIT = 20_000
+
+
+class NetworkModel(abc.ABC):
+    """A physical network assigning a symmetric latency to every node pair.
+
+    Latencies are in abstract milliseconds.  Implementations must be
+    deterministic given their construction seed: calling ``pair_latency``
+    twice on the same pair returns the same value, because Makalu nodes
+    measure their neighbor latencies repeatedly during maintenance.
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self._n_nodes = int(n_nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the physical network."""
+        return self._n_nodes
+
+    @abc.abstractmethod
+    def pair_latency(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Latency between corresponding entries of ``u`` and ``v``.
+
+        Vectorized: ``u`` and ``v`` are broadcastable integer arrays of node
+        ids; the result is float64 of the broadcast shape.  Self-pairs have
+        latency 0; all other pairs are strictly positive and symmetric.
+        """
+
+    def latency(self, u: int, v: int) -> float:
+        """Scalar convenience wrapper around :meth:`pair_latency`."""
+        return float(self.pair_latency(np.asarray([u]), np.asarray([v]))[0])
+
+    def latency_matrix(self, limit: int = DENSE_MATRIX_LIMIT) -> np.ndarray:
+        """Dense all-pairs latency matrix (for analysis at moderate scale)."""
+        if self._n_nodes > limit:
+            raise ValueError(
+                f"refusing to materialize a {self._n_nodes}^2 dense matrix; "
+                f"raise limit= explicitly if you really want this"
+            )
+        ids = np.arange(self._n_nodes)
+        return self.pair_latency(ids[:, None], ids[None, :])
+
+    def _check_ids(self, *arrays: np.ndarray) -> list[np.ndarray]:
+        out = []
+        for a in arrays:
+            a = np.asarray(a, dtype=np.int64)
+            if a.size and (a.min() < 0 or a.max() >= self._n_nodes):
+                raise ValueError(
+                    f"node ids out of range [0, {self._n_nodes}): "
+                    f"[{a.min()}, {a.max()}]"
+                )
+            out.append(a)
+        return out
+
+
+class MatrixLatencyModel(NetworkModel):
+    """A substrate defined by an explicit symmetric all-pairs latency matrix.
+
+    Useful for plugging in measured datasets (e.g. real PlanetLab pings) and
+    for exact-value tests of the other models.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = check_square_matrix("matrix", matrix)
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("latency matrix must be symmetric")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("latency matrix must have a zero diagonal")
+        if np.any(matrix < 0):
+            raise ValueError("latencies must be non-negative")
+        super().__init__(matrix.shape[0])
+        self._matrix = matrix
+
+    def pair_latency(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Latency read straight from the stored matrix."""
+        u, v = self._check_ids(u, v)
+        return self._matrix[u, v]
+
+    def latency_matrix(self, limit: int = DENSE_MATRIX_LIMIT) -> np.ndarray:
+        """A defensive copy of the stored matrix (always available)."""
+        return self._matrix.copy()
+
+
+def pair_key(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Order-independent 64-bit key for a node pair.
+
+    Models that add per-pair jitter hash this key so that jitter is symmetric
+    and reproducible without storing an n^2 matrix.
+    """
+    u = np.asarray(u, dtype=np.uint64)
+    v = np.asarray(v, dtype=np.uint64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return (lo << np.uint64(32)) | (hi & np.uint64(0xFFFFFFFF))

@@ -1,0 +1,66 @@
+"""Euclidean-plane latency model.
+
+The paper's first synthetic substrate: "nodes are assigned coordinates on a
+plane. The network latency for this model is the Euclidean distance between
+the nodes."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netmodel.base import NetworkModel
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+class EuclideanModel(NetworkModel):
+    """Nodes placed uniformly at random on an ``extent`` x ``extent`` plane.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.
+    extent:
+        Side length of the square, in latency units.  The paper's reported
+        path costs (e.g. characteristic path cost ~1200 for Makalu at 10k
+        nodes) are in these abstract units; the default extent of 1000 puts
+        pairwise latencies in a [0, ~1414] range comparable to the paper's.
+    seed:
+        RNG seed for coordinate placement.
+    """
+
+    def __init__(self, n_nodes: int, extent: float = 1000.0, seed: SeedLike = None):
+        super().__init__(n_nodes)
+        check_positive("extent", extent)
+        rng = as_generator(seed)
+        self._extent = float(extent)
+        self._coords = rng.uniform(0.0, extent, size=(n_nodes, 2))
+
+    @property
+    def extent(self) -> float:
+        """Side length of the coordinate square."""
+        return self._extent
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """``(n_nodes, 2)`` array of node coordinates (read-only view)."""
+        view = self._coords.view()
+        view.flags.writeable = False
+        return view
+
+    def pair_latency(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Euclidean distance between the nodes' plane coordinates."""
+        u, v = self._check_ids(u, v)
+        delta = self._coords[u] - self._coords[v]
+        return np.sqrt(np.einsum("...i,...i->...", delta, delta))
+
+    def latency(self, u: int, v: int) -> float:
+        """Scalar Euclidean distance (hot-path override)."""
+        # Scalar fast path: the Makalu builder measures one link at a time,
+        # millions of times, so skip the array plumbing.
+        cu = self._coords[u]
+        cv = self._coords[v]
+        dx = cu[0] - cv[0]
+        dy = cu[1] - cv[1]
+        return float((dx * dx + dy * dy) ** 0.5)

@@ -1,0 +1,140 @@
+"""GT-ITM-style transit-stub latency model.
+
+The paper's second substrate is a GT-ITM Transit-Stub network [Zegura et
+al.].  GT-ITM itself is a C package that is not redistributable here, so this
+module reimplements the *structure the paper consumes*: a two-level hierarchy
+of transit domains with attached stub domains, where the latency between two
+nodes is the sum of the hierarchy segments separating them —
+
+* intra-stub hops are cheap,
+* stub-to-transit uplinks cost more,
+* hops inside a transit domain more still,
+* and transit-to-transit crossings dominate.
+
+Each node belongs to exactly one stub domain, each stub domain hangs off one
+transit node, and transit nodes group into transit domains.  Per-node and
+per-pair jitter (hashed from ids, so symmetric and reproducible) breaks ties
+so latencies are not quantized to a handful of values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netmodel.base import NetworkModel, pair_key
+from repro.util.hashing import splitmix64
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Latency coefficients for the hierarchy segments (milliseconds)."""
+
+    intra_stub: float = 4.0  # mean hop cost between nodes in one stub domain
+    stub_uplink: float = 15.0  # stub domain <-> its transit node
+    intra_transit: float = 20.0  # between transit nodes of one domain
+    inter_transit: float = 60.0  # between different transit domains
+    jitter: float = 0.25  # relative per-pair jitter amplitude in [0, 1)
+
+    def __post_init__(self):
+        for field in ("intra_stub", "stub_uplink", "intra_transit", "inter_transit"):
+            check_positive(field, getattr(self, field))
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+class TransitStubModel(NetworkModel):
+    """Hierarchical transit/stub latency substrate.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of overlay-capable (stub) nodes.  Transit nodes are routing
+        infrastructure only and are not assigned overlay ids.
+    n_transit_domains:
+        Number of top-level transit domains.
+    transit_per_domain:
+        Transit nodes per transit domain.
+    stubs_per_transit:
+        Stub domains attached to each transit node.
+    params:
+        Latency coefficients; see :class:`TransitStubParams`.
+    seed:
+        RNG seed; affects the assignment of nodes to stub domains.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_transit_domains: int = 4,
+        transit_per_domain: int = 8,
+        stubs_per_transit: int = 4,
+        params: TransitStubParams | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(n_nodes)
+        if min(n_transit_domains, transit_per_domain, stubs_per_transit) <= 0:
+            raise ValueError("hierarchy dimensions must all be positive")
+        self._params = params or TransitStubParams()
+        rng = as_generator(seed)
+
+        n_transit = n_transit_domains * transit_per_domain
+        n_stubs = n_transit * stubs_per_transit
+        # Uniform assignment of overlay nodes to stub domains.
+        self._stub_of_node = rng.integers(0, n_stubs, size=n_nodes, dtype=np.int64)
+        stub_ids = np.arange(n_stubs, dtype=np.int64)
+        self._transit_of_stub = stub_ids // stubs_per_transit
+        self._domain_of_transit = (
+            np.arange(n_transit, dtype=np.int64) // transit_per_domain
+        )
+        self._n_transit_domains = n_transit_domains
+        self._transit_per_domain = transit_per_domain
+        self._stubs_per_transit = stubs_per_transit
+
+    @property
+    def params(self) -> TransitStubParams:
+        """Latency coefficients in use."""
+        return self._params
+
+    @property
+    def stub_of_node(self) -> np.ndarray:
+        """Stub-domain id of each overlay node (read-only view)."""
+        view = self._stub_of_node.view()
+        view.flags.writeable = False
+        return view
+
+    def pair_latency(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Sum of hierarchy-segment costs separating the two nodes."""
+        u, v = self._check_ids(u, v)
+        u, v = np.broadcast_arrays(u, v)
+        p = self._params
+
+        stub_u = self._stub_of_node[u]
+        stub_v = self._stub_of_node[v]
+        transit_u = self._transit_of_stub[stub_u]
+        transit_v = self._transit_of_stub[stub_v]
+        domain_u = self._domain_of_transit[transit_u]
+        domain_v = self._domain_of_transit[transit_v]
+
+        base = np.zeros(u.shape, dtype=np.float64)
+        same_stub = stub_u == stub_v
+        base[same_stub] = p.intra_stub
+
+        diff_stub = ~same_stub
+        # Any cross-stub path climbs both uplinks.
+        base[diff_stub] = 2 * p.stub_uplink
+        same_transit = diff_stub & (transit_u == transit_v)
+        cross_transit = diff_stub & ~same_transit & (domain_u == domain_v)
+        cross_domain = diff_stub & (domain_u != domain_v)
+        base[cross_transit] += p.intra_transit
+        base[cross_domain] += p.inter_transit
+
+        # Symmetric deterministic jitter in [1 - jitter, 1 + jitter).
+        keys = splitmix64(pair_key(u, v), salt=0x75)
+        unit = keys.astype(np.float64) / float(2**64)
+        lat = base * (1.0 + p.jitter * (2.0 * unit - 1.0))
+        lat[u == v] = 0.0
+        return lat

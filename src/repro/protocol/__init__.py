@@ -1,0 +1,33 @@
+"""Gnutella wire-format messages.
+
+The paper's bandwidth arithmetic uses a measured mean query size (106
+bytes in 2006).  This package implements the actual Gnutella v0.4 message
+formats — descriptor header, Ping/Pong, Query and QueryHit — so traffic
+can be accounted byte-exactly from message contents instead of a constant,
+and so the simulator's TTL/hops semantics match the real protocol's
+decrement rules.
+"""
+
+from repro.protocol.messages import (
+    DESCRIPTOR_HEADER_SIZE,
+    GnutellaHeader,
+    MessageType,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    QueryHitResult,
+    decode_message,
+)
+
+__all__ = [
+    "MessageType",
+    "GnutellaHeader",
+    "DESCRIPTOR_HEADER_SIZE",
+    "Ping",
+    "Pong",
+    "Query",
+    "QueryHit",
+    "QueryHitResult",
+    "decode_message",
+]

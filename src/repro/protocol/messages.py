@@ -1,0 +1,287 @@
+"""Gnutella v0.4 message encoding/decoding.
+
+Implements the descriptor formats of the protocol specification the paper
+cites [Gnutella protocol v0.4]:
+
+* every message starts with a 23-byte descriptor header:
+  16-byte descriptor ID, 1-byte payload descriptor (type), 1-byte TTL,
+  1-byte hops, 4-byte little-endian payload length;
+* **Ping** (0x00) — empty payload;
+* **Pong** (0x01) — port (2) + IPv4 (4) + files shared (4) + KB shared (4);
+* **Query** (0x80) — minimum speed (2) + NUL-terminated search criteria;
+* **QueryHit** (0x81) — hit count (1) + port (2) + IPv4 (4) + speed (4) +
+  result records (index 4 + size 4 + NUL-terminated name + extra NUL) +
+  16-byte servent ID.
+
+TTL/hops semantics follow the spec: a forwarding servent decrements TTL
+and increments hops; a message whose TTL reaches 0 is dropped.  These are
+the rules the flooding kernels model, and the encoded sizes let
+:mod:`repro.trace` account bandwidth byte-exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+DESCRIPTOR_HEADER_SIZE = 23
+_HEADER_STRUCT = struct.Struct("<16sBBBI")
+
+
+class MessageType(enum.IntEnum):
+    """Payload descriptor values of the v0.4 protocol."""
+
+    PING = 0x00
+    PONG = 0x01
+    QUERY = 0x80
+    QUERY_HIT = 0x81
+
+
+@dataclass(frozen=True)
+class GnutellaHeader:
+    """The 23-byte descriptor header prefixed to every message."""
+
+    descriptor_id: bytes
+    message_type: MessageType
+    ttl: int
+    hops: int
+    payload_length: int
+
+    def __post_init__(self):
+        if len(self.descriptor_id) != 16:
+            raise ValueError("descriptor_id must be exactly 16 bytes")
+        if not 0 <= self.ttl <= 255 or not 0 <= self.hops <= 255:
+            raise ValueError("ttl and hops must fit in one byte")
+        if self.payload_length < 0:
+            raise ValueError("payload_length must be non-negative")
+
+    def encode(self) -> bytes:
+        """Serialize to the 23-byte wire form."""
+        return _HEADER_STRUCT.pack(
+            self.descriptor_id, int(self.message_type), self.ttl, self.hops,
+            self.payload_length,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "GnutellaHeader":
+        """Parse a 23-byte header."""
+        if len(data) < DESCRIPTOR_HEADER_SIZE:
+            raise ValueError(
+                f"need {DESCRIPTOR_HEADER_SIZE} header bytes, got {len(data)}"
+            )
+        did, mtype, ttl, hops, length = _HEADER_STRUCT.unpack(
+            data[:DESCRIPTOR_HEADER_SIZE]
+        )
+        return cls(
+            descriptor_id=did, message_type=MessageType(mtype), ttl=ttl,
+            hops=hops, payload_length=length,
+        )
+
+    def forwarded(self) -> "GnutellaHeader":
+        """Header after one forwarding step (TTL--, hops++).
+
+        Raises if the message is no longer forwardable — the caller should
+        have dropped it.
+        """
+        if self.ttl <= 1:
+            raise ValueError("message TTL expired; must be dropped, not forwarded")
+        return GnutellaHeader(
+            descriptor_id=self.descriptor_id,
+            message_type=self.message_type,
+            ttl=self.ttl - 1,
+            hops=self.hops + 1,
+            payload_length=self.payload_length,
+        )
+
+
+def _make_header(
+    descriptor_id: bytes, message_type: MessageType, ttl: int, hops: int,
+    payload: bytes,
+) -> bytes:
+    return GnutellaHeader(
+        descriptor_id=descriptor_id, message_type=message_type, ttl=ttl,
+        hops=hops, payload_length=len(payload),
+    ).encode() + payload
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Ping (0x00): peer discovery probe; empty payload."""
+
+    descriptor_id: bytes
+    ttl: int = 7
+    hops: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize header + (empty) payload."""
+        return _make_header(self.descriptor_id, MessageType.PING, self.ttl,
+                            self.hops, b"")
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return DESCRIPTOR_HEADER_SIZE
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Pong (0x01): response advertising an address and shared content."""
+
+    descriptor_id: bytes
+    port: int
+    ip: Tuple[int, int, int, int]
+    files_shared: int
+    kb_shared: int
+    ttl: int = 7
+    hops: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize header + 14-byte payload."""
+        payload = struct.pack(
+            "<H4BII", self.port, *self.ip, self.files_shared, self.kb_shared
+        )
+        return _make_header(self.descriptor_id, MessageType.PONG, self.ttl,
+                            self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "Pong":
+        port, a, b, c, d, files, kb = struct.unpack("<H4BII", payload)
+        return cls(descriptor_id=descriptor_id, port=port, ip=(a, b, c, d),
+                   files_shared=files, kb_shared=kb, ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return DESCRIPTOR_HEADER_SIZE + 14
+
+
+@dataclass(frozen=True)
+class Query:
+    """Query (0x80): minimum speed + NUL-terminated search criteria."""
+
+    descriptor_id: bytes
+    search_criteria: str
+    min_speed: int = 0
+    ttl: int = 7
+    hops: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize header + payload."""
+        payload = struct.pack("<H", self.min_speed) + (
+            self.search_criteria.encode("utf-8") + b"\x00"
+        )
+        return _make_header(self.descriptor_id, MessageType.QUERY, self.ttl,
+                            self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "Query":
+        (min_speed,) = struct.unpack("<H", payload[:2])
+        criteria = payload[2:].split(b"\x00", 1)[0].decode("utf-8")
+        return cls(descriptor_id=descriptor_id, search_criteria=criteria,
+                   min_speed=min_speed, ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return (
+            DESCRIPTOR_HEADER_SIZE + 2
+            + len(self.search_criteria.encode("utf-8")) + 1
+        )
+
+
+@dataclass(frozen=True)
+class QueryHitResult:
+    """One result record inside a QueryHit."""
+
+    file_index: int
+    file_size: int
+    file_name: str
+
+    def encode(self) -> bytes:
+        """index (4) + size (4) + name + double NUL terminator."""
+        return (
+            struct.pack("<II", self.file_index, self.file_size)
+            + self.file_name.encode("utf-8") + b"\x00\x00"
+        )
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """QueryHit (0x81): results traveling back along the query path."""
+
+    descriptor_id: bytes
+    port: int
+    ip: Tuple[int, int, int, int]
+    speed: int
+    results: Tuple[QueryHitResult, ...]
+    servent_id: bytes = field(default=b"\x00" * 16)
+    ttl: int = 7
+    hops: int = 0
+
+    def __post_init__(self):
+        if len(self.servent_id) != 16:
+            raise ValueError("servent_id must be exactly 16 bytes")
+        if len(self.results) > 255:
+            raise ValueError("a QueryHit carries at most 255 results")
+
+    def encode(self) -> bytes:
+        """Serialize header + payload."""
+        payload = struct.pack("<BH4BI", len(self.results), self.port, *self.ip,
+                              self.speed)
+        for record in self.results:
+            payload += record.encode()
+        payload += self.servent_id
+        return _make_header(self.descriptor_id, MessageType.QUERY_HIT,
+                            self.ttl, self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "QueryHit":
+        count, port, a, b, c, d, speed = struct.unpack("<BH4BI", payload[:11])
+        pos = 11
+        results: List[QueryHitResult] = []
+        for _ in range(count):
+            index, size = struct.unpack("<II", payload[pos : pos + 8])
+            pos += 8
+            end = payload.index(b"\x00", pos)
+            name = payload[pos:end].decode("utf-8")
+            pos = end + 2  # skip name NUL + extensions NUL
+            results.append(QueryHitResult(index, size, name))
+        servent_id = payload[pos : pos + 16]
+        return cls(descriptor_id=descriptor_id, port=port, ip=(a, b, c, d),
+                   speed=speed, results=tuple(results), servent_id=servent_id,
+                   ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return len(self.encode())
+
+
+def decode_message(data: bytes):
+    """Decode one complete message (header + payload) from bytes.
+
+    Returns the typed message object.  Unknown payload descriptors raise
+    ``ValueError`` (real servents drop such descriptors silently; a
+    simulator should notice them).
+    """
+    header = GnutellaHeader.decode(data)
+    payload = data[
+        DESCRIPTOR_HEADER_SIZE : DESCRIPTOR_HEADER_SIZE + header.payload_length
+    ]
+    if len(payload) != header.payload_length:
+        raise ValueError(
+            f"truncated payload: header promises {header.payload_length} "
+            f"bytes, got {len(payload)}"
+        )
+    common = (header.descriptor_id, header.ttl, header.hops)
+    if header.message_type == MessageType.PING:
+        return Ping(descriptor_id=common[0], ttl=header.ttl, hops=header.hops)
+    if header.message_type == MessageType.PONG:
+        return Pong.decode_payload(*common, payload)
+    if header.message_type == MessageType.QUERY:
+        return Query.decode_payload(*common, payload)
+    if header.message_type == MessageType.QUERY_HIT:
+        return QueryHit.decode_payload(*common, payload)
+    raise ValueError(f"unknown payload descriptor {header.message_type!r}")

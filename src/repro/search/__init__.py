@@ -1,0 +1,117 @@
+"""Search mechanisms over overlay graphs (paper Section 4).
+
+* :mod:`repro.search.flooding` — TTL-limited duplicate-suppressed flooding;
+* :mod:`repro.search.twotier_flood` — Gnutella v0.6 query routing (dynamic
+  querying + QRP leaf shielding);
+* :mod:`repro.search.randomwalk` — k-walker and degree-biased baselines;
+* :mod:`repro.search.attenuated` / :mod:`repro.search.identifier` —
+  attenuated-Bloom-filter indexed identifier search;
+* :mod:`repro.search.ttl_policy` — Chang-Liu TTL selection (extension);
+* :mod:`repro.search.gossip` — flood + epidemic two-phase search (extension);
+* :mod:`repro.search.replication` — uniform-random object placement;
+* :mod:`repro.search.metrics` — per-query records and aggregation.
+"""
+
+from repro.search.attenuated import (
+    AttenuatedFilters,
+    aggregate_neighbors,
+    build_attenuated_filters,
+)
+from repro.search.attenuated_perlink import (
+    PerLinkAttenuatedFilters,
+    build_per_link_filters,
+)
+from repro.search.bloom import (
+    BloomParams,
+    contains_key,
+    fill_ratio,
+    insert_keys,
+    make_filters,
+)
+from repro.search.flooding import FloodResult, flood, flood_queries
+from repro.search.gia import GiaSearchResult, gia_search
+from repro.search.gossip import GossipSearchResult, flood_then_gossip
+from repro.search.identifier import (
+    AbfRouter,
+    IdentifierSearchResult,
+    identifier_queries,
+)
+from repro.search.latency_flood import (
+    ResponseTimeResult,
+    flood_arrival_times,
+    response_time_distribution,
+    time_to_first_result,
+)
+from repro.search.metrics import (
+    QueryRecord,
+    SearchSummary,
+    min_ttl_for_success,
+    success_vs_ttl,
+    summarize,
+)
+from repro.search.qrp import QrpTables, build_qrp_tables
+from repro.search.randomwalk import WalkResult, random_walk_search
+from repro.search.replication import (
+    Placement,
+    place_objects,
+    place_single_object,
+    replica_count,
+)
+from repro.search.ttl_policy import (
+    TtlPolicyResult,
+    optimal_ttl_sequence,
+    randomized_ttl,
+    run_ttl_sequence,
+)
+from repro.search.twotier_flood import (
+    TwoTierFloodResult,
+    TwoTierSearch,
+    two_tier_queries,
+)
+
+__all__ = [
+    "flood",
+    "flood_queries",
+    "FloodResult",
+    "TwoTierSearch",
+    "TwoTierFloodResult",
+    "two_tier_queries",
+    "QrpTables",
+    "build_qrp_tables",
+    "random_walk_search",
+    "WalkResult",
+    "BloomParams",
+    "make_filters",
+    "insert_keys",
+    "contains_key",
+    "fill_ratio",
+    "AttenuatedFilters",
+    "build_attenuated_filters",
+    "aggregate_neighbors",
+    "PerLinkAttenuatedFilters",
+    "build_per_link_filters",
+    "AbfRouter",
+    "IdentifierSearchResult",
+    "identifier_queries",
+    "TtlPolicyResult",
+    "optimal_ttl_sequence",
+    "randomized_ttl",
+    "run_ttl_sequence",
+    "GossipSearchResult",
+    "flood_then_gossip",
+    "GiaSearchResult",
+    "gia_search",
+    "flood_arrival_times",
+    "time_to_first_result",
+    "response_time_distribution",
+    "ResponseTimeResult",
+    "Placement",
+    "place_objects",
+    "place_single_object",
+    "replica_count",
+    "QueryRecord",
+    "SearchSummary",
+    "summarize",
+    "success_vs_ttl",
+    "min_ttl_for_success",
+]

@@ -1,0 +1,230 @@
+"""TTL-limited flooding search with duplicate-query suppression (Section 4.2).
+
+Gnutella-style controlled flooding: the source sends the query to all of its
+neighbors; every node seeing the query ID for the first time checks its
+local store and, while TTL remains, forwards to all neighbors except the one
+it received from.  Nodes cache query IDs, so duplicates are *dropped* (not
+re-forwarded) but still *count as messages* — the paper's duplicate-message
+percentages measure exactly this waste.
+
+The kernel is frontier-vectorized: one BFS level per iteration, all message
+arithmetic on whole frontier arrays.  A single deep flood records the hop at
+which the first replica was found and per-hop message counts, from which
+success-vs-TTL and messages-vs-TTL curves for *every* smaller TTL follow
+without re-running (see :func:`repro.search.metrics.success_vs_ttl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.search.metrics import QueryRecord
+from repro.search.replication import Placement
+from repro.topology.csr import gather_neighbors
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_node_id
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Full accounting of one flood.
+
+    Per-hop arrays are indexed by hop ``h`` in ``1..ttl`` at position
+    ``h-1``.  ``first_hit_hop`` is 0 when the source itself holds the
+    object, -1 when no replica was reached within the TTL.
+    """
+
+    source: int
+    ttl: int
+    messages_per_hop: np.ndarray
+    new_nodes_per_hop: np.ndarray
+    duplicates_per_hop: np.ndarray
+    first_hit_hop: int
+    replicas_found: int
+
+    @property
+    def total_messages(self) -> int:
+        """Messages generated over the whole flood."""
+        return int(self.messages_per_hop.sum())
+
+    @property
+    def nodes_visited(self) -> int:
+        """Unique nodes that saw the query (including the source)."""
+        return int(self.new_nodes_per_hop.sum()) + 1
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of messages that were duplicates."""
+        total = self.total_messages
+        return float(self.duplicates_per_hop.sum() / total) if total else 0.0
+
+    @property
+    def success(self) -> bool:
+        """Whether at least one replica was located."""
+        return self.first_hit_hop >= 0
+
+    def messages_within_ttl(self, ttl: int) -> int:
+        """Messages a flood truncated at ``ttl`` would have generated."""
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        return int(self.messages_per_hop[: min(ttl, self.ttl)].sum())
+
+    def record(self) -> QueryRecord:
+        """Collapse into the mechanism-independent per-query record."""
+        return QueryRecord(
+            source=self.source,
+            messages=self.total_messages,
+            first_hit_hop=self.first_hit_hop,
+        )
+
+
+def flood_node_load(
+    graph: OverlayGraph, source: int, ttl: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node received-message counts and arrival hops of one flood.
+
+    Returns ``(load, hops)``: ``load[v]`` is the number of messages node
+    ``v`` *receives* — the per-peer traffic a capturing client observes,
+    duplicates included (dropped, but the bandwidth is paid) — and
+    ``hops[v]`` is the hop of first arrival (-1 if never reached; 0 at the
+    source).  ``load.sum()`` equals the flood's total messages; nodes with
+    ``0 < hops < ttl`` forwarded the query onward.
+    """
+    check_node_id("source", source, graph.n_nodes)
+    if ttl < 0:
+        raise ValueError(f"ttl must be >= 0, got {ttl}")
+    visited = np.zeros(graph.n_nodes, dtype=bool)
+    visited[source] = True
+    hops = np.full(graph.n_nodes, -1, dtype=np.int64)
+    hops[source] = 0
+    load = np.zeros(graph.n_nodes, dtype=np.int64)
+    frontier = np.asarray([source], dtype=np.int64)
+    parents = np.asarray([-1], dtype=np.int64)
+    for h in range(1, ttl + 1):
+        nbrs, owner_pos = gather_neighbors(graph, frontier)
+        if nbrs.size == 0:
+            break
+        # Exclude the one message each forwarder would have sent back to
+        # its parent (the source has no parent).
+        keep = nbrs != parents[owner_pos]
+        receivers = nbrs[keep]
+        senders = frontier[owner_pos[keep]]
+        np.add.at(load, receivers, 1)
+        fresh_mask = ~visited[receivers]
+        fresh, first_idx = np.unique(receivers[fresh_mask], return_index=True)
+        visited[fresh] = True
+        hops[fresh] = h
+        parents = senders[fresh_mask][first_idx]
+        frontier = fresh
+    return load, hops
+
+
+def flood(
+    graph: OverlayGraph,
+    source: int,
+    ttl: int,
+    replica_mask: Optional[np.ndarray] = None,
+) -> FloodResult:
+    """Run one duplicate-suppressed flood from ``source``.
+
+    Parameters
+    ----------
+    ttl:
+        Maximum hop distance the query travels (Gnutella TTL semantics).
+    replica_mask:
+        Optional boolean per-node holder mask; when given, the result
+        reports the first hop at which a holder was reached and how many
+        holders the flood visited in total.
+    """
+    check_node_id("source", source, graph.n_nodes)
+    if ttl < 0:
+        raise ValueError(f"ttl must be >= 0, got {ttl}")
+    if replica_mask is not None and replica_mask.shape != (graph.n_nodes,):
+        raise ValueError("replica_mask must have one entry per node")
+
+    indptr = graph.indptr
+    visited = np.zeros(graph.n_nodes, dtype=bool)
+    visited[source] = True
+
+    messages = np.zeros(ttl, dtype=np.int64)
+    new_nodes = np.zeros(ttl, dtype=np.int64)
+    duplicates = np.zeros(ttl, dtype=np.int64)
+
+    first_hit = -1
+    replicas_found = 0
+    if replica_mask is not None and replica_mask[source]:
+        first_hit = 0
+        replicas_found = 1
+
+    frontier = np.asarray([source], dtype=np.int64)
+    for h in range(1, ttl + 1):
+        degs = indptr[frontier + 1] - indptr[frontier]
+        # Every frontier node forwards to all neighbors except its parent;
+        # the source (hop 1) has no parent and sends to everyone.
+        sent = int(degs.sum()) - (frontier.size if h > 1 else 0)
+        if sent <= 0:
+            break
+        nbrs, _ = gather_neighbors(graph, frontier)
+        fresh = nbrs[~visited[nbrs]]
+        frontier = np.unique(fresh)
+        visited[frontier] = True
+
+        messages[h - 1] = sent
+        new_nodes[h - 1] = frontier.size
+        duplicates[h - 1] = sent - frontier.size
+
+        if replica_mask is not None and frontier.size:
+            hits = int(np.count_nonzero(replica_mask[frontier]))
+            if hits and first_hit < 0:
+                first_hit = h
+            replicas_found += hits
+        if frontier.size == 0:
+            break
+
+    return FloodResult(
+        source=source,
+        ttl=ttl,
+        messages_per_hop=messages,
+        new_nodes_per_hop=new_nodes,
+        duplicates_per_hop=duplicates,
+        first_hit_hop=first_hit,
+        replicas_found=replicas_found,
+    )
+
+
+def flood_queries(
+    graph: OverlayGraph,
+    placement: Placement,
+    n_queries: int,
+    ttl: int,
+    seed: SeedLike = None,
+    sources: Optional[Sequence[int]] = None,
+) -> list[FloodResult]:
+    """Issue ``n_queries`` flooding queries for random objects of a placement.
+
+    Sources are uniform random nodes unless given explicitly; each query
+    targets a uniformly chosen object of the placement (the paper floods
+    "for each unique object in the system from random nodes").
+    """
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if placement.n_nodes != graph.n_nodes:
+        raise ValueError("placement and graph node counts disagree")
+    rng = as_generator(seed)
+    if sources is None:
+        sources = rng.integers(0, graph.n_nodes, size=n_queries)
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.size != n_queries:
+            raise ValueError("sources must have one entry per query")
+    objects = rng.integers(0, placement.n_objects, size=n_queries)
+
+    results = []
+    for src, obj in zip(sources, objects):
+        mask = placement.holder_mask(int(obj))
+        results.append(flood(graph, int(src), ttl, replica_mask=mask))
+    return results

@@ -1,0 +1,148 @@
+"""Two-phase flood + epidemic search (paper Section 4.4 extension).
+
+"Epidemic algorithms might be deployed beyond the Convergence Boundary to
+reduce the number of such duplicates."  This module implements that
+suggestion: a query floods normally while paths are still disjoint (the
+expanding phase), then switches to epidemic push with a bounded fanout once
+it crosses the Convergence Boundary, trading exhaustive coverage for far
+fewer duplicate messages in the converging phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.search.metrics import QueryRecord
+from repro.topology.csr import gather_neighbors
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_node_id
+
+
+@dataclass(frozen=True)
+class GossipSearchResult:
+    """Accounting of one flood+gossip query."""
+
+    source: int
+    flood_ttl: int
+    gossip_rounds: int
+    fanout: int
+    flood_messages: int
+    gossip_messages: int
+    first_hit_hop: int  # flood hop or flood_ttl + gossip round
+    nodes_visited: int
+
+    @property
+    def total_messages(self) -> int:
+        """Messages across both phases."""
+        return self.flood_messages + self.gossip_messages
+
+    @property
+    def success(self) -> bool:
+        """Whether at least one replica was located."""
+        return self.first_hit_hop >= 0
+
+    def record(self) -> QueryRecord:
+        """Collapse into the mechanism-independent per-query record."""
+        return QueryRecord(
+            source=self.source,
+            messages=self.total_messages,
+            first_hit_hop=self.first_hit_hop,
+        )
+
+
+def flood_then_gossip(
+    graph: OverlayGraph,
+    source: int,
+    replica_mask: Optional[np.ndarray],
+    flood_ttl: int,
+    gossip_rounds: int,
+    fanout: int = 2,
+    seed: SeedLike = None,
+) -> GossipSearchResult:
+    """Flood to ``flood_ttl`` hops, then push epidemically for extra rounds.
+
+    During gossip, every node informed in the previous round forwards the
+    query to ``fanout`` uniformly random neighbors (duplicates possible —
+    that is the epidemic trade-off: O(fanout) messages per informed node
+    instead of O(degree)).
+    """
+    check_node_id("source", source, graph.n_nodes)
+    if flood_ttl < 0 or gossip_rounds < 0:
+        raise ValueError("flood_ttl and gossip_rounds must be >= 0")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if replica_mask is not None and replica_mask.shape != (graph.n_nodes,):
+        raise ValueError("replica_mask must have one entry per node")
+    rng = as_generator(seed)
+
+    indptr = graph.indptr
+    indices = graph.indices
+    visited = np.zeros(graph.n_nodes, dtype=bool)
+    visited[source] = True
+    first_hit = -1
+    if replica_mask is not None and replica_mask[source]:
+        first_hit = 0
+
+    # --- Phase 1: expanding flood (same accounting as search.flooding).
+    flood_msgs = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    for h in range(1, flood_ttl + 1):
+        degs = indptr[frontier + 1] - indptr[frontier]
+        sent = int(degs.sum()) - (frontier.size if h > 1 else 0)
+        if sent <= 0:
+            break
+        flood_msgs += sent
+        nbrs, _ = gather_neighbors(graph, frontier)
+        frontier = np.unique(nbrs[~visited[nbrs]])
+        visited[frontier] = True
+        if (
+            replica_mask is not None
+            and first_hit < 0
+            and frontier.size
+            and replica_mask[frontier].any()
+        ):
+            first_hit = h
+        if frontier.size == 0:
+            break
+
+    # --- Phase 2: epidemic push beyond the Convergence Boundary.
+    gossip_msgs = 0
+    active = frontier
+    for r in range(1, gossip_rounds + 1):
+        if active.size == 0:
+            break
+        degs = indptr[active + 1] - indptr[active]
+        pushers = active[degs > 0]
+        if pushers.size == 0:
+            break
+        k = min(fanout, int(degs.max()))
+        # Each pusher picks `fanout` random neighbors with replacement.
+        picks = (
+            rng.random((pushers.size, k)) * (indptr[pushers + 1] - indptr[pushers])[:, None]
+        ).astype(np.int64)
+        targets = indices[indptr[pushers][:, None] + picks].reshape(-1)
+        gossip_msgs += targets.size
+        active = np.unique(targets[~visited[targets]])
+        visited[active] = True
+        if (
+            replica_mask is not None
+            and first_hit < 0
+            and active.size
+            and replica_mask[active].any()
+        ):
+            first_hit = flood_ttl + r
+
+    return GossipSearchResult(
+        source=source,
+        flood_ttl=flood_ttl,
+        gossip_rounds=gossip_rounds,
+        fanout=fanout,
+        flood_messages=flood_msgs,
+        gossip_messages=gossip_msgs,
+        first_hit_hop=first_hit,
+        nodes_visited=int(visited.sum()),
+    )

@@ -1,0 +1,97 @@
+"""Search-result aggregation shared by every search mechanism.
+
+Each mechanism produces per-query records (messages sent, hop at which the
+first replica was located, success); these helpers turn batches of those
+records into the statistics the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Outcome of one query.
+
+    ``first_hit_hop`` is the hop (or message count, for hop-per-message
+    mechanisms) at which the first replica was located, -1 on failure.
+    ``messages`` is the total messages the query generated.
+    """
+
+    source: int
+    messages: int
+    first_hit_hop: int
+
+    @property
+    def success(self) -> bool:
+        """Whether at least one replica was located."""
+        return self.first_hit_hop >= 0
+
+
+@dataclass(frozen=True)
+class SearchSummary:
+    """Aggregate statistics over a batch of queries."""
+
+    n_queries: int
+    success_rate: float
+    mean_messages: float
+    mean_hops_to_hit: float  # over successful queries only; nan if none
+    p95_messages: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_queries} queries: success {100 * self.success_rate:.1f}%, "
+            f"mean msgs {self.mean_messages:.1f}, mean hit hop "
+            f"{self.mean_hops_to_hit:.2f}, p95 msgs {self.p95_messages:.0f}"
+        )
+
+
+def summarize(records: Sequence[QueryRecord]) -> SearchSummary:
+    """Aggregate a batch of per-query records."""
+    if not records:
+        raise ValueError("cannot summarize zero queries")
+    messages = np.asarray([r.messages for r in records], dtype=np.float64)
+    hits = np.asarray([r.first_hit_hop for r in records], dtype=np.float64)
+    success = hits >= 0
+    return SearchSummary(
+        n_queries=len(records),
+        success_rate=float(success.mean()),
+        mean_messages=float(messages.mean()),
+        mean_hops_to_hit=float(hits[success].mean()) if success.any() else float("nan"),
+        p95_messages=float(np.percentile(messages, 95)),
+    )
+
+
+def success_vs_ttl(first_hit_hops: np.ndarray, max_ttl: int) -> np.ndarray:
+    """Success-rate curve: entry ``t`` = fraction of queries resolved with
+    first hit at hop <= t, for t = 0..max_ttl.
+
+    One deep search per query yields the whole TTL sweep — the curves of
+    Figures 3 and 4 come from this transform.
+    """
+    hops = np.asarray(first_hit_hops, dtype=np.int64)
+    if max_ttl < 0:
+        raise ValueError(f"max_ttl must be >= 0, got {max_ttl}")
+    ttls = np.arange(max_ttl + 1)
+    resolved = (hops[None, :] >= 0) & (hops[None, :] <= ttls[:, None])
+    return resolved.mean(axis=1)
+
+
+def min_ttl_for_success(
+    first_hit_hops: np.ndarray, target: float = 0.95, max_ttl: int = 64
+) -> int:
+    """Smallest TTL resolving at least ``target`` of the queries, or -1.
+
+    This is the "Min TTL" column of Table 1: the paper "used a TTL for
+    floods that ... allow for floods to resolve most (> 95%) of the
+    queries".
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target must be in (0, 1], got {target}")
+    curve = success_vs_ttl(first_hit_hops, max_ttl)
+    qualifying = np.flatnonzero(curve >= target)
+    return int(qualifying[0]) if qualifying.size else -1

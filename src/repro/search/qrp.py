@@ -1,0 +1,105 @@
+"""Query Routing Protocol (QRP) tables for the two-tier overlay.
+
+In Gnutella v0.6, each leaf summarizes its shared content into a *query
+routing table* — a hashed digest — and uploads it to its ultrapeers; an
+ultrapeer forwards a query to a leaf only if the query's keywords hash
+into the leaf's table.  This shields leaves from almost all query traffic
+(the architectural goal of the two-tier design) at the cost of occasional
+false-positive deliveries.
+
+Real QRP uses a hash-table of keyword hashes; content here is identified
+by integer keys, so the digest is a Bloom filter over the leaf's keys —
+the same accuracy/size trade-off, built from :mod:`repro.search.bloom`.
+Ultrapeers also keep the OR of their leaves' tables (the "last-hop"
+aggregate) to decide whether forwarding to *any* leaf is worthwhile.
+
+Using :class:`QrpTables` with
+:class:`~repro.search.twotier_flood.TwoTierSearch` makes leaf-delivery
+false positives *emergent* (from digest saturation) instead of the
+parameterized ``qrp_false_positive`` rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.search.bloom import BloomParams, contains_key, insert_keys, make_filters
+from repro.search.replication import Placement
+from repro.topology.twotier import TwoTierTopology
+
+
+@dataclass(frozen=True)
+class QrpTables:
+    """Per-node QRP digests over a two-tier overlay.
+
+    ``tables`` has one Bloom-filter row per overlay node: a leaf's row
+    digests its own keys; an ultrapeer's row is the OR of its leaves' rows
+    *plus its own content* (ultrapeers share files too).
+    """
+
+    params: BloomParams
+    tables: np.ndarray  # (n_nodes, n_words) uint64
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered."""
+        return self.tables.shape[0]
+
+    def matches(self, nodes: np.ndarray, key: int) -> np.ndarray:
+        """Digest test: may each of ``nodes`` hold ``key``?"""
+        return contains_key(self.tables, np.asarray(nodes, dtype=np.int64),
+                            key, self.params)
+
+    def false_positive_estimate(self, node: int) -> float:
+        """Expected FP rate of one node's digest given its fill."""
+        from repro.search.bloom import fill_ratio
+
+        fill = float(fill_ratio(self.tables[[node]], self.params)[0])
+        # Invert fill ~ 1 - exp(-k n / m) to an item-count estimate, then
+        # reuse the standard formula.
+        if fill >= 1.0:
+            return 1.0
+        k, m = self.params.n_hashes, self.params.n_bits
+        n_items = -m / k * np.log(1.0 - fill)
+        return self.params.false_positive_rate(int(round(n_items)))
+
+
+def build_qrp_tables(
+    topo: TwoTierTopology,
+    placement: Placement,
+    params: Optional[BloomParams] = None,
+) -> QrpTables:
+    """Build QRP digests for every node of a two-tier overlay.
+
+    Leaves digest their own content; each ultrapeer's table is the OR of
+    its attached leaves' tables and its own content digest (the aggregate
+    it advertises to other ultrapeers as a last-hop filter).
+    """
+    graph = topo.graph
+    if placement.n_nodes != graph.n_nodes:
+        raise ValueError("placement and topology node counts disagree")
+    params = params or BloomParams(n_bits=1024, n_hashes=2)
+
+    tables = make_filters(graph.n_nodes, params)
+    store_indptr, store_keys = placement.node_store()
+    owners = np.repeat(
+        np.arange(graph.n_nodes, dtype=np.int64), np.diff(store_indptr)
+    )
+    insert_keys(tables, owners, store_keys, params)
+
+    # Aggregate leaves into their ultrapeers (one vectorized pass over the
+    # leaf->ultrapeer directed entries).
+    src = np.repeat(
+        np.arange(graph.n_nodes, dtype=np.int64), np.diff(graph.indptr)
+    )
+    attach = (~topo.is_ultrapeer[src]) & topo.is_ultrapeer[graph.indices]
+    leaf_rows = src[attach]
+    up_rows = graph.indices[attach]
+    # In-place OR of each leaf's table into its parents' tables.  Fancy
+    # indexing materializes the leaf rows first, and leaves are never
+    # ultrapeers, so there is no read/write aliasing.
+    np.bitwise_or.at(tables, up_rows, tables[leaf_rows])
+    return QrpTables(params=params, tables=tables)

@@ -1,0 +1,159 @@
+"""Object placement under a replication ratio (paper Section 4.1).
+
+"Replication ratio represents the percentage of nodes that contain a
+replica for a given object.  Additionally, the nodes that contain a replica
+for a given object were chosen uniformly at random."  A query succeeds when
+at least one replica is located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Uniform-random replica placement of a set of objects.
+
+    Attributes
+    ----------
+    n_nodes:
+        Size of the overlay the objects live on.
+    object_keys:
+        ``(n_objects,)`` distinct int64 keys identifying the objects (these
+        are the keys hashed into Bloom filters for identifier search).
+    replica_nodes:
+        Flat array of holder node ids, grouped per object.
+    replica_indptr:
+        ``(n_objects + 1,)`` offsets into ``replica_nodes``.
+    """
+
+    n_nodes: int
+    object_keys: np.ndarray
+    replica_nodes: np.ndarray
+    replica_indptr: np.ndarray
+
+    @property
+    def n_objects(self) -> int:
+        """Number of distinct objects."""
+        return self.object_keys.size
+
+    @property
+    def replicas_per_object(self) -> np.ndarray:
+        """Replica count of each object."""
+        return np.diff(self.replica_indptr)
+
+    def replicas(self, obj: int) -> np.ndarray:
+        """Sorted holder node ids of object index ``obj``."""
+        if not 0 <= obj < self.n_objects:
+            raise IndexError(f"object index {obj} out of range")
+        return self.replica_nodes[self.replica_indptr[obj] : self.replica_indptr[obj + 1]]
+
+    def holder_mask(self, obj: int) -> np.ndarray:
+        """Boolean per-node mask of holders of object index ``obj``."""
+        mask = np.zeros(self.n_nodes, dtype=bool)
+        mask[self.replicas(obj)] = True
+        return mask
+
+    def key_of(self, obj: int) -> int:
+        """Bloom key of object index ``obj``."""
+        return int(self.object_keys[obj])
+
+    def node_store(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node content as CSR ``(indptr, keys)``.
+
+        ``keys[indptr[u]:indptr[u+1]]`` are the object keys stored at node
+        ``u`` — the input to attenuated-Bloom-filter construction.
+        """
+        owners = self.replica_nodes
+        keys = np.repeat(self.object_keys, self.replicas_per_object)
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        sorted_keys = keys[order]
+        indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, sorted_owners + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, sorted_keys
+
+
+def replica_count(n_nodes: int, replication_ratio: float, minimum: int = 1) -> int:
+    """Replicas implied by a ratio, floored at ``minimum`` (>= 1 holder)."""
+    check_fraction("replication_ratio", replication_ratio)
+    return max(minimum, int(round(replication_ratio * n_nodes)))
+
+
+def place_objects(
+    n_nodes: int,
+    n_objects: int,
+    replication_ratio: float,
+    seed: SeedLike = None,
+    keys: Optional[np.ndarray] = None,
+) -> Placement:
+    """Place ``n_objects`` objects uniformly at random at the given ratio.
+
+    Every object receives ``max(1, round(ratio * n_nodes))`` replicas on
+    distinct nodes chosen independently per object.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+    rng = as_generator(seed)
+    r = replica_count(n_nodes, replication_ratio)
+
+    if keys is None:
+        keys = _distinct_keys(rng, n_objects)
+    else:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.shape != (n_objects,):
+            raise ValueError("keys must have one entry per object")
+        if np.unique(keys).size != n_objects:
+            raise ValueError("object keys must be distinct")
+
+    holders = np.empty((n_objects, r), dtype=np.int64)
+    for i in range(n_objects):
+        holders[i] = np.sort(rng.choice(n_nodes, size=r, replace=False))
+    indptr = np.arange(0, (n_objects + 1) * r, r, dtype=np.int64)
+    return Placement(
+        n_nodes=n_nodes,
+        object_keys=keys,
+        replica_nodes=holders.reshape(-1),
+        replica_indptr=indptr,
+    )
+
+
+def place_single_object(
+    n_nodes: int,
+    n_replicas: int,
+    seed: SeedLike = None,
+    key: int = 1,
+) -> Placement:
+    """Place exactly one object on ``n_replicas`` random distinct nodes.
+
+    Used by the Table 2 validation ("a worst case scenario where each
+    object existed on only 1 node").
+    """
+    if not 1 <= n_replicas <= n_nodes:
+        raise ValueError(f"n_replicas must be in [1, {n_nodes}], got {n_replicas}")
+    rng = as_generator(seed)
+    holders = np.sort(rng.choice(n_nodes, size=n_replicas, replace=False))
+    return Placement(
+        n_nodes=n_nodes,
+        object_keys=np.asarray([key], dtype=np.int64),
+        replica_nodes=holders,
+        replica_indptr=np.asarray([0, n_replicas], dtype=np.int64),
+    )
+
+
+def _distinct_keys(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` distinct positive int64 keys."""
+    keys = rng.integers(1, 2**62, size=n, dtype=np.int64)
+    while np.unique(keys).size != n:  # pragma: no cover - astronomically rare
+        keys = rng.integers(1, 2**62, size=n, dtype=np.int64)
+    return keys

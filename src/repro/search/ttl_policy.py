@@ -1,0 +1,156 @@
+"""TTL selection policies for controlled flooding (paper Section 6).
+
+"Chang and Liu [6] described a dynamic programming mechanism that selected
+an appropriate TTL when the probability distribution of the object
+locations was known in advance.  When the distribution was not known in
+advance, they used a randomized mechanism ... This approach can be
+integrated into a Makalu search that relies on TTL to control the spread of
+queries."
+
+This module implements that integration:
+
+* :func:`optimal_ttl_sequence` — the known-distribution DP: given the
+  distribution of first-hit hops and the per-TTL flood cost, compute the
+  expected-cost-minimizing increasing sequence of retry TTLs;
+* :func:`randomized_ttl` — the distribution-free randomized strategy
+  (geometric TTL doubling with a random start), which is O(1)-competitive;
+* :func:`run_ttl_sequence` — execute a retry sequence with flooding,
+  accumulating messages across attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.search.flooding import flood
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class TtlPolicyResult:
+    """Outcome of a retried controlled flood."""
+
+    source: int
+    attempts: tuple[int, ...]  # TTLs actually tried, in order
+    messages: int
+    success: bool
+
+
+def optimal_ttl_sequence(
+    hit_hop_pmf: np.ndarray,
+    cost_per_ttl: np.ndarray,
+) -> list[int]:
+    """Expected-cost-optimal increasing TTL retry sequence (Chang-Liu DP).
+
+    Parameters
+    ----------
+    hit_hop_pmf:
+        ``pmf[h]`` = probability the nearest replica is exactly ``h`` hops
+        from the source, for h = 0..H.  Mass may be sub-normalized; the
+        remainder is "object not present within H hops" and every strategy
+        pays the full ladder for it.
+    cost_per_ttl:
+        ``cost[t]`` = messages of one flood with TTL ``t`` (index 0..H,
+        cost[0] = 0).
+
+    Returns
+    -------
+    The optimal sequence of TTLs, strictly increasing and ending at H, that
+    minimizes the expected total messages: each attempt with TTL ``t`` is
+    paid whenever the object was not within the previous attempt's TTL.
+    """
+    pmf = np.asarray(hit_hop_pmf, dtype=np.float64)
+    cost = np.asarray(cost_per_ttl, dtype=np.float64)
+    if pmf.ndim != 1 or cost.shape != pmf.shape:
+        raise ValueError("hit_hop_pmf and cost_per_ttl must be 1-D and aligned")
+    if np.any(pmf < 0) or pmf.sum() > 1 + 1e-9:
+        raise ValueError("hit_hop_pmf must be a (sub-)probability vector")
+    if np.any(np.diff(cost) < 0):
+        raise ValueError("cost_per_ttl must be non-decreasing in TTL")
+    horizon = pmf.size - 1
+    if horizon < 1:
+        raise ValueError("need at least TTL 1 in the horizon")
+
+    # tail[s] = P(first hit hop > s) = probability an attempt with TTL s fails.
+    cdf = np.cumsum(pmf)
+    tail = 1.0 - cdf
+
+    # best[t] = min expected cost of a strategy whose attempts end exactly
+    # at TTL t; attempt t is paid whenever the previous attempt s failed,
+    # i.e. with probability tail[s].  s = 0 is the implicit free local
+    # check at the source (cost[0] = 0, succeeds iff the hit hop is 0).
+    best = np.full(horizon + 1, np.inf)
+    choice = np.full(horizon + 1, -1, dtype=np.int64)
+    best[0] = 0.0
+    for t in range(1, horizon + 1):
+        for s in range(t):
+            expected = best[s] + cost[t] * tail[s]
+            if expected < best[t] - 1e-12:
+                best[t] = expected
+                choice[t] = s
+    sequence = []
+    t = horizon
+    while t > 0:
+        sequence.append(t)
+        t = int(choice[t])
+    sequence.reverse()
+    return sequence
+
+
+def randomized_ttl(
+    horizon: int, seed: SeedLike = None, base: int = 1
+) -> list[int]:
+    """Distribution-free randomized retry ladder (randomized doubling).
+
+    Starts at a uniformly random rung of the doubling ladder and doubles up
+    to the horizon — the classic competitive strategy Chang & Liu recommend
+    when the object-location distribution is unknown.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if base < 1:
+        raise ValueError(f"base must be >= 1, got {base}")
+    rng = as_generator(seed)
+    rungs = []
+    t = base
+    while t < horizon:
+        rungs.append(t)
+        t *= 2
+    rungs.append(horizon)
+    start = int(rng.integers(0, len(rungs)))
+    return rungs[start:]
+
+
+def run_ttl_sequence(
+    graph: OverlayGraph,
+    source: int,
+    replica_mask: np.ndarray,
+    sequence: Sequence[int],
+) -> TtlPolicyResult:
+    """Flood with each TTL of ``sequence`` until a replica is found.
+
+    Messages accumulate across attempts (each retry re-floods from
+    scratch, as in the expanding-ring model).
+    """
+    if not sequence:
+        raise ValueError("sequence must contain at least one TTL")
+    if list(sequence) != sorted(set(int(t) for t in sequence)):
+        raise ValueError("sequence must be strictly increasing")
+    attempts = []
+    messages = 0
+    for ttl in sequence:
+        result = flood(graph, source, int(ttl), replica_mask=replica_mask)
+        attempts.append(int(ttl))
+        messages += result.total_messages
+        if result.success:
+            return TtlPolicyResult(
+                source=source, attempts=tuple(attempts), messages=messages,
+                success=True,
+            )
+    return TtlPolicyResult(
+        source=source, attempts=tuple(attempts), messages=messages, success=False
+    )

@@ -1,0 +1,22 @@
+"""Discrete-event protocol simulation.
+
+:mod:`repro.sim.engine` is a minimal heap-based event loop;
+:mod:`repro.sim.churn` drives a live Makalu overlay through node
+sessions — joins, departures with instant edge loss, survivor repair and
+rejoins — to exercise the maintenance protocol the static builder only
+approximates.
+"""
+
+from repro.sim.churn import ChurnConfig, ChurnSimulation, ChurnSnapshot
+from repro.sim.engine import Event, Simulator
+from repro.sim.queueing import QueuedFloodResult, queued_flood
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "ChurnConfig",
+    "ChurnSimulation",
+    "ChurnSnapshot",
+    "queued_flood",
+    "QueuedFloodResult",
+]

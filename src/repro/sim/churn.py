@@ -1,0 +1,191 @@
+"""Makalu under node churn.
+
+The paper's fault-tolerance analysis freezes the overlay immediately after
+failures; real P2P populations churn continuously.  This simulation drives
+a live :class:`~repro.core.makalu.MakaluBuilder` through exponential node
+sessions: an online node departs after an exponential session length (its
+edges vanish instantly; bereaved survivors re-acquire neighbors through the
+normal protocol) and rejoins after an exponential offline period.  Periodic
+snapshots record connectivity so the overlay's self-healing is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.makalu import MakaluBuilder, MakaluConfig
+from repro.core.maintenance import repair_after_failure
+from repro.netmodel.base import NetworkModel
+from repro.sim.engine import Simulator
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Session dynamics.
+
+    Times are abstract; only the ratio of session to offline duration
+    matters (it sets the steady-state online fraction
+    ``session / (session + offline)``).
+    """
+
+    mean_session: float = 100.0
+    mean_offline: float = 25.0
+    snapshot_interval: float = 20.0
+    #: Flooding probes run at each snapshot (0 disables search probing).
+    probe_queries: int = 0
+    probe_ttl: int = 4
+    #: Replicas per probe object, placed on random online nodes.
+    probe_replicas: int = 5
+
+    def __post_init__(self):
+        check_positive("mean_session", self.mean_session)
+        check_positive("mean_offline", self.mean_offline)
+        check_positive("snapshot_interval", self.snapshot_interval)
+        if self.probe_queries < 0:
+            raise ValueError("probe_queries must be >= 0")
+        if self.probe_ttl < 0:
+            raise ValueError("probe_ttl must be >= 0")
+        if self.probe_replicas < 1:
+            raise ValueError("probe_replicas must be >= 1")
+
+    @property
+    def online_fraction(self) -> float:
+        """Expected steady-state fraction of nodes online."""
+        return self.mean_session / (self.mean_session + self.mean_offline)
+
+
+@dataclass(frozen=True)
+class ChurnSnapshot:
+    """Connectivity (and optionally search health) of the online overlay.
+
+    ``search_success`` is NaN unless the simulation was configured with
+    ``probe_queries > 0``; probes flood for freshly placed objects among
+    the online nodes, so the figure is end-to-end search availability
+    under churn, not just graph connectivity.
+    """
+
+    time: float
+    n_online: int
+    n_components: int
+    giant_fraction: float
+    mean_degree: float
+    search_success: float = float("nan")
+
+
+@dataclass
+class ChurnSimulation:
+    """Drive a Makalu overlay through join/leave churn.
+
+    Parameters mirror :class:`MakaluBuilder`; the initial overlay is built
+    with every node online, then churn begins.
+    """
+
+    model: Optional[NetworkModel] = None
+    n_nodes: Optional[int] = None
+    makalu_config: Optional[MakaluConfig] = None
+    churn_config: ChurnConfig = field(default_factory=ChurnConfig)
+    use_host_caches: bool = False
+    seed: SeedLike = None
+
+    def __post_init__(self):
+        self.rng = as_generator(self.seed)
+        membership = None
+        if self.use_host_caches:
+            from repro.core.membership import MembershipService
+
+            n = self.model.n_nodes if self.model is not None else self.n_nodes
+            membership = MembershipService(n, seed=self.rng)
+        self.builder = MakaluBuilder(
+            model=self.model,
+            n_nodes=self.n_nodes,
+            config=self.makalu_config,
+            membership=membership,
+            seed=self.rng,
+        )
+        self.online = np.ones(self.builder.n_nodes, dtype=bool)
+        # Rejoining nodes bootstrap from their own (possibly stale) caches;
+        # the builder consults this live-node mask when probing entries.
+        self.builder.alive_mask = self.online
+        self.snapshots: list[ChurnSnapshot] = []
+        self._sim = Simulator()
+
+    def run(self, duration: float) -> list[ChurnSnapshot]:
+        """Build the initial overlay, churn for ``duration``, return snapshots."""
+        check_positive("duration", duration)
+        self.builder.build()
+        cfg = self.churn_config
+        for node in range(self.builder.n_nodes):
+            self._schedule_departure(node)
+        self._sim.schedule(cfg.snapshot_interval, self._snapshot, label="snapshot")
+        self._sim.run(until=duration)
+        return self.snapshots
+
+    # ------------------------------------------------------------------
+
+    def _schedule_departure(self, node: int) -> None:
+        delay = float(self.rng.exponential(self.churn_config.mean_session))
+        self._sim.schedule(delay, lambda sim, n=node: self._depart(n), label="depart")
+
+    def _schedule_rejoin(self, node: int) -> None:
+        delay = float(self.rng.exponential(self.churn_config.mean_offline))
+        self._sim.schedule(delay, lambda sim, n=node: self._rejoin(n), label="rejoin")
+
+    def _depart(self, node: int) -> None:
+        if not self.online[node]:  # pragma: no cover - defensive
+            return
+        self.online[node] = False
+        repair_after_failure(self.builder, [node], rejoin=True, max_passes=1)
+        self._schedule_rejoin(node)
+
+    def _rejoin(self, node: int) -> None:
+        if self.online[node]:  # pragma: no cover - defensive
+            return
+        self.online[node] = True
+        self.builder.join(node)
+        self._schedule_departure(node)
+
+    def _snapshot(self, sim: Simulator) -> None:
+        online_ids = np.flatnonzero(self.online)
+        graph = self.builder.adj.freeze()
+        sub, _ = graph.subgraph(online_ids)
+        if sub.n_nodes:
+            n_comp, labels = sub.connected_components()
+            giant = float(np.bincount(labels).max() / sub.n_nodes)
+            mean_deg = sub.mean_degree
+        else:  # pragma: no cover - everyone offline simultaneously
+            n_comp, giant, mean_deg = 0, 0.0, 0.0
+        self.snapshots.append(
+            ChurnSnapshot(
+                time=sim.now,
+                n_online=int(online_ids.size),
+                n_components=n_comp,
+                giant_fraction=giant,
+                mean_degree=mean_deg,
+                search_success=self._probe_search(sub),
+            )
+        )
+        sim.schedule(self.churn_config.snapshot_interval, self._snapshot, label="snapshot")
+
+    def _probe_search(self, online_graph) -> float:
+        """End-to-end search availability: flooding probes on the live overlay."""
+        cfg = self.churn_config
+        if cfg.probe_queries == 0 or online_graph.n_nodes < 2:
+            return float("nan")
+        from repro.search.flooding import flood
+
+        n = online_graph.n_nodes
+        replicas = min(cfg.probe_replicas, n)
+        hits = 0
+        for _ in range(cfg.probe_queries):
+            holders = self.rng.choice(n, size=replicas, replace=False)
+            mask = np.zeros(n, dtype=bool)
+            mask[holders] = True
+            source = int(self.rng.integers(0, n))
+            hits += flood(online_graph, source, cfg.probe_ttl,
+                          replica_mask=mask).success
+        return hits / cfg.probe_queries

@@ -1,0 +1,95 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary-heap event queue with a strict (time, sequence) order: events at
+equal times fire in scheduling order, so simulations are reproducible
+run-to-run.  Callbacks receive the simulator, letting them schedule
+follow-up events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+EventCallback = Callable[["Simulator"], Any]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class Simulator:
+    """Heap-based event loop with virtual time."""
+
+    def __init__(self):
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay, seq=next(self._seq), callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback, label=label)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``until`` stops the clock at that virtual time (events beyond it
+        stay queued); ``max_events`` bounds work for safety.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback(self)
+            processed += 1
+            self._processed += 1
+        else:
+            if until is not None:
+                self._now = until
+        return processed

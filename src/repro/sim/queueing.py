@@ -1,0 +1,154 @@
+"""Message-level flooding with per-node queueing delays.
+
+The synchronous flood kernels count messages; this simulator models
+*time*: messages travel with their link's latency, nodes process arrivals
+FIFO at ``service_time`` seconds per message — duplicates included, which
+is the congestion mechanism — and the first *processed* copy is forwarded
+onward.  Note the semantic difference from the hop-synchronous kernels: a
+node forwards its first copy by arrival time, which on heterogeneous-
+latency substrates is not always the fewest-hop copy (exactly as in the
+real protocol); on unit-latency overlays the two models coincide.
+
+What a *single-query* run shows is duplicate-burst queueing: every reached
+node receives ~degree copies in a short window, so per-query queueing
+delay grows with the overlay's own density.  The Gnutella hub pathology
+the paper's Section 6 cites ("Gnutella's queuing time was significantly
+slower" [Qiao & Bustamante]) is instead a *cross-query load-concentration*
+effect: under a stream of queries, a power-law hub carries a far larger
+share of total traffic than any capacity-bounded Makalu node — measure it
+with :func:`repro.search.flooding.flood_node_load` averaged over sources
+(see the queueing tests), or by scaling ``service_time`` by the per-node
+background utilization it implies.
+
+Events are plain heapq entries, so a 10k-node flood simulates in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.topology.graph import OverlayGraph
+from repro.util.validation import check_node_id
+
+
+@dataclass(frozen=True)
+class QueuedFloodResult:
+    """Timing of one queued flood.
+
+    ``discovery_time[v]`` is when node ``v`` finished *processing* its
+    first copy of the query (inf if never reached); queueing delay is
+    accounted inside it.  ``first_result_time`` is the earliest discovery
+    time over replica holders.
+    """
+
+    source: int
+    ttl: int
+    messages: int
+    discovery_time: np.ndarray
+    first_result_time: float
+    max_queue_delay: float
+    busiest_node: int
+
+    @property
+    def success(self) -> bool:
+        """Whether a replica holder processed the query."""
+        return np.isfinite(self.first_result_time)
+
+    @property
+    def nodes_reached(self) -> int:
+        """Nodes that processed the query."""
+        return int(np.isfinite(self.discovery_time).sum())
+
+
+def queued_flood(
+    graph: OverlayGraph,
+    source: int,
+    ttl: int,
+    replica_mask: Optional[np.ndarray] = None,
+    service_time: Union[float, np.ndarray] = 1.0,
+) -> QueuedFloodResult:
+    """Simulate one flood with link latencies and per-node service times.
+
+    Parameters
+    ----------
+    service_time:
+        Seconds a node spends handling one incoming message (scalar, or a
+        per-node array — e.g. lower for high-capacity peers).  Duplicates
+        consume service time too; that is the congestion mechanism.
+    """
+    check_node_id("source", source, graph.n_nodes)
+    if ttl < 0:
+        raise ValueError(f"ttl must be >= 0, got {ttl}")
+    if replica_mask is not None and replica_mask.shape != (graph.n_nodes,):
+        raise ValueError("replica_mask must have one entry per node")
+    service = np.broadcast_to(
+        np.asarray(service_time, dtype=np.float64), (graph.n_nodes,)
+    )
+    if np.any(service < 0):
+        raise ValueError("service times must be non-negative")
+
+    indptr, indices, latency = graph.indptr, graph.indices, graph.latency
+    seen = np.zeros(graph.n_nodes, dtype=bool)
+    busy_until = np.zeros(graph.n_nodes)
+    discovery = np.full(graph.n_nodes, np.inf)
+    discovery[source] = 0.0
+    seen[source] = True
+    max_queue_delay = 0.0
+    busiest = source
+    messages = 0
+
+    # Event: (arrival_time, seq, node, sender, remaining_ttl).
+    queue: list = []
+    seq = 0
+    if ttl >= 1:
+        for i in range(indptr[source], indptr[source + 1]):
+            heapq.heappush(
+                queue, (float(latency[i]), seq, int(indices[i]), source, ttl - 1)
+            )
+            seq += 1
+            messages += 1
+
+    while queue:
+        arrival, _, node, sender, remaining = heapq.heappop(queue)
+        start = max(arrival, busy_until[node])
+        delay = start - arrival
+        if delay > max_queue_delay:
+            max_queue_delay = delay
+            busiest = node
+        done = start + service[node]
+        busy_until[node] = done
+        if seen[node]:
+            continue  # duplicate: queue time consumed, then dropped
+        seen[node] = True
+        discovery[node] = done
+        if remaining > 0:
+            for i in range(indptr[node], indptr[node + 1]):
+                nbr = int(indices[i])
+                if nbr == sender:
+                    continue
+                heapq.heappush(
+                    queue, (done + float(latency[i]), seq, nbr, node, remaining - 1)
+                )
+                seq += 1
+                messages += 1
+
+    if replica_mask is not None:
+        holder_times = discovery[replica_mask]
+        finite = holder_times[np.isfinite(holder_times)]
+        first = float(finite.min()) if finite.size else float("inf")
+    else:
+        first = float("inf")
+    return QueuedFloodResult(
+        source=source,
+        ttl=ttl,
+        messages=messages,
+        discovery_time=discovery,
+        first_result_time=first,
+        max_queue_delay=float(max_queue_delay),
+        busiest_node=int(busiest),
+    )

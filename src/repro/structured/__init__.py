@@ -1,0 +1,22 @@
+"""Structured-overlay baseline (Chord-style DHT).
+
+The paper invokes structured P2P systems twice without measuring them:
+"a DHT-based flooding mechanism such as Structella may give better
+performance" for very low replication (Section 4.4), and identifier-search
+performance "comparable to that of structured P2P systems" (abstract /
+Section 4.6).  This package implements the baseline those claims point at:
+a Chord-style ring with finger tables, O(log n) exact-key lookup, and
+Structella-style duplicate-free broadcast over the structure.
+"""
+
+from repro.structured.chord import (
+    ChordLookupResult,
+    ChordRing,
+    chord_broadcast_cost,
+)
+
+__all__ = [
+    "ChordRing",
+    "ChordLookupResult",
+    "chord_broadcast_cost",
+]

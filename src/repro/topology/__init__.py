@@ -1,0 +1,34 @@
+"""Overlay graph structures and comparison topology generators.
+
+:class:`OverlayGraph` (frozen CSR) and :class:`AdjacencyBuilder` (mutable)
+are the graph substrate every kernel in the library operates on.  The
+generators reproduce the paper's comparison overlays:
+
+* :func:`k_regular_graph` — the "theoretical optimal" expander comparator;
+* :func:`powerlaw_graph` — classic Gnutella v0.4 power-law topology;
+* :func:`two_tier_graph` — modern Gnutella v0.6 ultrapeer/leaf topology.
+"""
+
+from repro.topology.gia import GiaTopology, gia_graph, sample_gia_capacities
+from repro.topology.graph import AdjacencyBuilder, OverlayGraph
+from repro.topology.io import load_graph, load_two_tier, save_graph, save_two_tier
+from repro.topology.kregular import k_regular_graph
+from repro.topology.powerlaw import powerlaw_degree_sequence, powerlaw_graph
+from repro.topology.twotier import TwoTierTopology, two_tier_graph
+
+__all__ = [
+    "OverlayGraph",
+    "AdjacencyBuilder",
+    "k_regular_graph",
+    "powerlaw_graph",
+    "powerlaw_degree_sequence",
+    "TwoTierTopology",
+    "two_tier_graph",
+    "GiaTopology",
+    "gia_graph",
+    "sample_gia_capacities",
+    "save_graph",
+    "load_graph",
+    "save_two_tier",
+    "load_two_tier",
+]

@@ -1,0 +1,19 @@
+"""Shared helper: assign physical latencies to generated overlay edges."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netmodel.base import NetworkModel
+
+
+def edge_latencies(
+    model: Optional[NetworkModel], u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Latency of each edge under ``model``; unit latencies if model is None."""
+    u = np.asarray(u, dtype=np.int64)
+    if model is None:
+        return np.ones(u.size, dtype=np.float64)
+    return model.pair_latency(u, np.asarray(v, dtype=np.int64))

@@ -1,0 +1,54 @@
+"""Vectorized ragged gathers over CSR adjacency.
+
+The BFS, flooding and Bloom-filter kernels all need "the concatenated
+neighbor lists of this set of nodes" without a Python loop; this module
+implements that gather once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.topology.graph import OverlayGraph
+
+
+def ragged_slices(
+    indptr: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat positions of ``indices`` entries for all ``nodes``, plus owners.
+
+    Returns
+    -------
+    (positions, owner_pos):
+        ``positions`` indexes the CSR ``indices``/``data`` arrays covering
+        each node's slice, concatenated in input order.  ``owner_pos[j]`` is
+        the position *within ``nodes``* whose slice produced ``positions[j]``
+        (so ``nodes[owner_pos]`` recovers the owning node ids).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    owner_pos = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
+    # positions = starts[owner] + (arange - cumulative offset of owner)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+    return positions, owner_pos
+
+
+def gather_neighbors(
+    graph: OverlayGraph, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated neighbor ids of ``nodes`` and the owning positions.
+
+    ``(neighbors, owner_pos)`` — neighbor ``j`` belongs to node
+    ``nodes[owner_pos[j]]``.  Multiplicity is preserved: a node adjacent to
+    three of ``nodes`` appears three times, which is exactly what message
+    counting needs.
+    """
+    positions, owner_pos = ragged_slices(graph.indptr, nodes)
+    return graph.indices[positions], owner_pos

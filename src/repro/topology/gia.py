@@ -1,0 +1,113 @@
+"""Gia-style capacity-adapted topology (Chawathe et al., SIGCOMM 2003).
+
+The paper's related work positions Makalu against Gia, which "attempted to
+improve the scalability of power law systems by choosing high capacity
+nodes for immediate peers and replaced the flooding search with a
+random-walk search".  This module builds the *steady state* Gia's topology
+adaptation converges to: node degrees proportional to node capacity, with
+high-capacity nodes forming the well-connected core that searches are
+steered toward.
+
+Capacities follow the distribution the Gia paper used (derived from
+Gnutella bandwidth measurements): four capacity levels spanning three
+orders of magnitude, most nodes at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.netmodel.base import NetworkModel
+from repro.topology._latency import edge_latencies
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+
+#: The Gia paper's capacity distribution: (capacity level, probability).
+GIA_CAPACITY_LEVELS = ((1.0, 0.2), (10.0, 0.45), (100.0, 0.3), (1000.0, 0.05))
+
+
+@dataclass(frozen=True)
+class GiaTopology:
+    """A Gia overlay: the graph plus per-node capacities.
+
+    Searches consult capacities to steer walks toward the high-capacity
+    core, and the one-hop replication index is implied by the graph
+    (every node indexes its neighbors' content).
+    """
+
+    graph: OverlayGraph
+    capacities: np.ndarray
+
+    def __post_init__(self):
+        if self.capacities.shape != (self.graph.n_nodes,):
+            raise ValueError("capacities must have one entry per node")
+
+
+def sample_gia_capacities(
+    n_nodes: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw per-node capacities from the Gia paper's distribution."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    rng = as_generator(seed)
+    levels = np.asarray([lvl for lvl, _ in GIA_CAPACITY_LEVELS])
+    probs = np.asarray([p for _, p in GIA_CAPACITY_LEVELS])
+    return levels[rng.choice(levels.size, size=n_nodes, p=probs)]
+
+
+def gia_graph(
+    n_nodes: int,
+    model: Optional[NetworkModel] = None,
+    min_degree: int = 3,
+    max_degree: int = 128,
+    seed: SeedLike = None,
+    capacities: Optional[np.ndarray] = None,
+) -> GiaTopology:
+    """Build the degree-proportional-to-capacity overlay Gia converges to.
+
+    Target degrees scale with sqrt(capacity) (the Gia adaptation's
+    satisfaction function concentrates connections on, but does not fully
+    linearize to, capacity), clipped to ``[min_degree, max_degree]``.
+    Edges come from capacity-weighted stub matching with bad-edge deletion
+    and component stitching, mirroring the other generators.
+    """
+    if not 1 <= min_degree <= max_degree:
+        raise ValueError("need 1 <= min_degree <= max_degree")
+    rng = as_generator(seed)
+    if capacities is None:
+        capacities = sample_gia_capacities(n_nodes, seed=rng)
+    else:
+        capacities = np.asarray(capacities, dtype=np.float64)
+        if capacities.shape != (n_nodes,):
+            raise ValueError("capacities must have one entry per node")
+        if np.any(capacities <= 0):
+            raise ValueError("capacities must be positive")
+
+    degrees = np.clip(
+        np.round(min_degree * np.sqrt(capacities / capacities.min())),
+        min_degree, min(max_degree, n_nodes - 1),
+    ).astype(np.int64)
+    if degrees.sum() % 2:
+        degrees[int(rng.integers(0, n_nodes))] += 1
+
+    stubs = np.repeat(np.arange(n_nodes, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    u, v = stubs[0::2], stubs[1::2]
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    key = lo * np.int64(n_nodes) + hi
+    _, first = np.unique(key, return_index=True)
+    u, v = lo[first], hi[first]
+
+    if n_nodes > 1:
+        from repro.topology.powerlaw import _stitch_components
+
+        u, v = _stitch_components(n_nodes, u, v, rng)
+
+    lat = edge_latencies(model, u, v)
+    graph = OverlayGraph.from_edges(n_nodes, u, v, lat)
+    return GiaTopology(graph=graph, capacities=capacities)

@@ -1,0 +1,35 @@
+"""Gnutella traffic-trace models and the Section 5 validation.
+
+The raw 2003/2006 packet traces behind [Acosta & Chandra, PAM'07] are not
+redistributable; the paper's Table 2 is computed from the scalar traffic
+statistics it quotes, which are encoded here verbatim
+(:data:`GNUTELLA_2003`, :data:`GNUTELLA_2006`) together with a synthetic
+query-workload generator and the Makalu-vs-Gnutella comparison.
+"""
+
+from repro.trace.gnutella import (
+    GNUTELLA_2003,
+    GNUTELLA_2006,
+    TrafficTraceStats,
+)
+from repro.trace.validation import (
+    TrafficComparison,
+    TrafficRow,
+    gnutella_row,
+    makalu_row,
+    traffic_comparison,
+)
+from repro.trace.workload import QueryWorkload, generate_workload
+
+__all__ = [
+    "TrafficTraceStats",
+    "GNUTELLA_2003",
+    "GNUTELLA_2006",
+    "QueryWorkload",
+    "generate_workload",
+    "TrafficRow",
+    "TrafficComparison",
+    "gnutella_row",
+    "makalu_row",
+    "traffic_comparison",
+]

@@ -1,0 +1,71 @@
+"""Synthetic query workloads matching trace-level statistics.
+
+Since the raw traces are unavailable, workloads are regenerated from their
+published rates: Poisson query arrivals at the measured queries/second, and
+Zipf-distributed object popularity (file-sharing query streams are heavily
+skewed; exponent ~0.8 is the classic fit for Gnutella keyword frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.gnutella import TrafficTraceStats
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A stream of timestamped queries over a fixed object universe."""
+
+    times: np.ndarray  # arrival times, seconds, ascending
+    objects: np.ndarray  # queried object index per arrival
+    n_objects: int
+
+    @property
+    def n_queries(self) -> int:
+        """Total queries in the stream."""
+        return self.times.size
+
+    @property
+    def duration(self) -> float:
+        """Timestamp of the last arrival (0 for an empty stream)."""
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    @property
+    def rate(self) -> float:
+        """Empirical queries per second."""
+        return self.n_queries / self.duration if self.duration else 0.0
+
+    def popularity(self) -> np.ndarray:
+        """Query count per object index."""
+        return np.bincount(self.objects, minlength=self.n_objects)
+
+
+def zipf_popularity(n_objects: int, exponent: float = 0.8) -> np.ndarray:
+    """Normalized Zipf pmf over object ranks."""
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+    check_positive("exponent", exponent)
+    weights = np.arange(1, n_objects + 1, dtype=np.float64) ** -exponent
+    return weights / weights.sum()
+
+
+def generate_workload(
+    stats: TrafficTraceStats,
+    duration: float,
+    n_objects: int = 1000,
+    zipf_exponent: float = 0.8,
+    seed: SeedLike = None,
+) -> QueryWorkload:
+    """Poisson arrivals at the trace's rate with Zipf object popularity."""
+    check_positive("duration", duration)
+    rng = as_generator(seed)
+    n = int(rng.poisson(stats.queries_per_second * duration))
+    times = np.sort(rng.uniform(0.0, duration, size=n))
+    pmf = zipf_popularity(n_objects, zipf_exponent)
+    objects = rng.choice(n_objects, size=n, p=pmf)
+    return QueryWorkload(times=times, objects=objects, n_objects=n_objects)

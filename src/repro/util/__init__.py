@@ -1,0 +1,35 @@
+"""Shared low-level utilities: RNG plumbing, hashing, CSR segment kernels.
+
+Nothing in this package knows about overlays or searches; it is the
+foundation layer every other ``repro`` subpackage builds on.
+"""
+
+from repro.util.hashing import hash_pair_u64, splitmix64
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.segments import (
+    segment_bitwise_or,
+    segment_counts,
+    segment_max,
+    segment_sum,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "splitmix64",
+    "hash_pair_u64",
+    "segment_bitwise_or",
+    "segment_counts",
+    "segment_max",
+    "segment_sum",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+]

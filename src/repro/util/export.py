@@ -1,0 +1,50 @@
+"""Plain-CSV export of experiment series.
+
+The benchmark harness prints human-readable tables; downstream users who
+want to re-plot the paper's figures need machine-readable series.  These
+helpers write simple headered CSV without any dependency beyond the
+standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+
+def save_series_csv(path: str, columns: Mapping[str, Sequence]) -> str:
+    """Write named, equal-length columns as a CSV file.
+
+    Parent directories are created as needed; the written path is
+    returned.  Column order follows the mapping's insertion order.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    lengths = {name: len(values) for name, values in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"columns must be equal length, got {lengths}")
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    names = list(columns)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in zip(*(columns[name] for name in names)):
+            writer.writerow(row)
+    return path
+
+
+def load_series_csv(path: str) -> dict[str, list[str]]:
+    """Read a CSV written by :func:`save_series_csv` (values as strings)."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        columns: dict[str, list[str]] = {name: [] for name in header}
+        for row in reader:
+            if len(row) != len(header):
+                raise ValueError(f"malformed row {row!r} in {path}")
+            for name, value in zip(header, row):
+                columns[name].append(value)
+    return columns

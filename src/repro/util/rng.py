@@ -1,0 +1,101 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic entry point in the library accepts either an integer seed,
+``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
+``as_generator`` normalizes all three so call sites never branch, and
+``spawn_generators`` derives independent child streams for sub-experiments
+(e.g. the paper's "100 separate runs with each run issuing 1,000 queries").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Passing an existing generator returns it unchanged, so a caller can
+    thread one stream through a whole experiment; passing an ``int`` gives a
+    reproducible fresh stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, int, SeedSequence or numpy Generator, got {type(seed)!r}"
+    )
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Children are independent of each other *and* of the parent stream, so
+    per-run workloads do not perturb one another when a run count changes.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    parent = as_generator(seed)
+    seq = parent.bit_generator.seed_seq
+    if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover - exotic BGs
+        seq = np.random.SeedSequence(int(parent.integers(0, 2**63)))
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, salt: int) -> int:
+    """Mix ``salt`` into ``seed`` to label a sub-experiment deterministically.
+
+    Unlike :func:`spawn_generators` this never consumes state from a shared
+    generator, so two sub-experiments with different salts are reproducible
+    regardless of call order.
+    """
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**63))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1, dtype=np.uint64)[0])
+    elif seed is None:
+        base = int(np.random.SeedSequence().generate_state(1, dtype=np.uint64)[0])
+    else:
+        base = int(seed)
+    with np.errstate(over="ignore"):
+        mixed = np.uint64(base) ^ (np.uint64(salt) * np.uint64(0x9E3779B97F4A7C15))
+    return int(mixed & np.uint64(2**63 - 1))
+
+
+def sample_without_replacement(
+    rng: np.random.Generator,
+    population: int,
+    k: int,
+    exclude: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Sample ``k`` distinct ints from ``range(population)``, skipping ``exclude``.
+
+    Used for uniform-random replica placement and query-source selection.
+    Raises if the request cannot be satisfied.
+    """
+    if k < 0:
+        raise ValueError(f"cannot sample a negative count: {k}")
+    if exclude is None or len(exclude) == 0:
+        if k > population:
+            raise ValueError(f"cannot sample {k} from population of {population}")
+        return rng.choice(population, size=k, replace=False)
+    excl = np.unique(np.asarray(exclude, dtype=np.int64))
+    if excl.size and (excl[0] < 0 or excl[-1] >= population):
+        raise ValueError("exclude contains ids outside the population")
+    available = population - excl.size
+    if k > available:
+        raise ValueError(
+            f"cannot sample {k}: only {available} ids remain after exclusions"
+        )
+    # Sample positions in the compacted id space, then shift past exclusions.
+    picks = rng.choice(available, size=k, replace=False)
+    picks.sort()
+    shifted = picks + np.searchsorted(excl - np.arange(excl.size), picks, side="right")
+    return shifted

@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise early with precise messages so simulator misconfiguration fails
+at the API boundary instead of deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Require ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 < value <= 1`` — e.g. a replication ratio."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be a fraction in (0, 1], got {value!r}")
+    return float(value)
+
+
+def check_square_matrix(name: str, matrix: np.ndarray) -> np.ndarray:
+    """Require a square 2-D array and return it as float64."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def check_node_id(name: str, node: int, n_nodes: int) -> int:
+    """Require ``0 <= node < n_nodes``."""
+    node = int(node)
+    if not 0 <= node < n_nodes:
+        raise ValueError(f"{name} must be a node id in [0, {n_nodes}), got {node}")
+    return node

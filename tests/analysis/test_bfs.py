@@ -1,0 +1,63 @@
+"""Tests for repro.analysis.bfs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bfs_frontier_sizes, bfs_hops
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestBfsHops:
+    def test_path_graph_distances(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(bfs_hops(g, 0), [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(bfs_hops(g, 2), [2, 1, 0, 1, 2])
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        np.testing.assert_array_equal(bfs_hops(g, 0), [0, 1, 2, 3, 2, 1])
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        hops = bfs_hops(g, 3)
+        assert hops[3] == 0
+        assert np.all(np.delete(hops, 3) == 1)
+
+    def test_unreachable_is_minus_one(self):
+        g = build_graph(4, [(0, 1)])
+        hops = bfs_hops(g, 0)
+        np.testing.assert_array_equal(hops, [0, 1, -1, -1])
+
+    def test_max_hops_truncates(self):
+        g = path_graph(6)
+        hops = bfs_hops(g, 0, max_hops=2)
+        np.testing.assert_array_equal(hops, [0, 1, 2, -1, -1, -1])
+
+    def test_matches_scipy(self, small_makalu):
+        import scipy.sparse.csgraph as csgraph
+
+        dist = csgraph.shortest_path(
+            small_makalu.to_scipy(), unweighted=True, indices=[17]
+        )[0]
+        hops = bfs_hops(small_makalu, 17)
+        np.testing.assert_array_equal(hops, dist.astype(np.int64))
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            bfs_hops(path_graph(3), 3)
+
+
+class TestFrontierSizes:
+    def test_star(self):
+        g = star_graph(4)
+        np.testing.assert_array_equal(bfs_frontier_sizes(g, 0), [1, 4])
+        np.testing.assert_array_equal(bfs_frontier_sizes(g, 1), [1, 1, 3])
+
+    def test_sums_to_reachable(self, small_makalu):
+        sizes = bfs_frontier_sizes(small_makalu, 0)
+        assert sizes.sum() == small_makalu.n_nodes  # connected overlay
+
+    def test_growth_is_expansive_early(self, small_makalu):
+        sizes = bfs_frontier_sizes(small_makalu, 5)
+        # Makalu should multiply the frontier several-fold in early hops.
+        assert sizes[2] > 3 * sizes[1]

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.degree."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degree import (
+    degree_ccdf,
+    degree_histogram,
+    fit_powerlaw_exponent,
+    powerlaw_fit_quality,
+)
+from repro.topology import k_regular_graph, powerlaw_degree_sequence, powerlaw_graph
+from tests.conftest import build_graph, star_graph
+
+
+class TestHistogramAndCcdf:
+    def test_histogram_counts(self):
+        g = star_graph(4)  # center degree 4, leaves degree 1
+        hist = degree_histogram(g)
+        assert hist[1] == 4
+        assert hist[4] == 1
+
+    def test_ccdf_monotone_and_normalized(self):
+        g = powerlaw_graph(2000, seed=1)
+        degrees, tail = degree_ccdf(g)
+        assert tail[0] == pytest.approx(1.0)
+        assert np.all(np.diff(tail) <= 0)
+        assert np.all(np.diff(degrees) > 0)
+
+    def test_ccdf_matches_manual(self):
+        g = build_graph(4, [(0, 1), (1, 2), (1, 3)])
+        degrees, tail = degree_ccdf(g)
+        np.testing.assert_array_equal(degrees, [1, 3])
+        np.testing.assert_allclose(tail, [1.0, 0.25])
+
+
+class TestExponentFit:
+    def test_recovers_known_exponent(self):
+        degs = powerlaw_degree_sequence(
+            60_000, exponent=2.3, min_degree=1, max_degree=2000, seed=2
+        )
+        alpha = fit_powerlaw_exponent(degs, d_min=1)
+        assert alpha == pytest.approx(2.3, abs=0.15)
+
+    def test_steeper_sequences_fit_steeper(self):
+        shallow = powerlaw_degree_sequence(30_000, exponent=2.0, seed=3)
+        steep = powerlaw_degree_sequence(30_000, exponent=3.0, seed=3)
+        assert fit_powerlaw_exponent(steep) > fit_powerlaw_exponent(shallow)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_powerlaw_exponent(np.asarray([1, 2, 3]), d_min=10)
+        with pytest.raises(ValueError):
+            fit_powerlaw_exponent(np.asarray([1, 2]), d_min=0)
+
+
+class TestFitQuality:
+    def test_accepts_powerlaw_overlay(self):
+        g = powerlaw_graph(20_000, connect=False, seed=4)
+        fit = powerlaw_fit_quality(g.degrees, d_min=2)
+        assert fit.plausibly_powerlaw
+        assert 1.8 < fit.alpha < 3.2
+
+    def test_rejects_regular_overlay(self):
+        g = k_regular_graph(5000, 10, seed=5)
+        fit = powerlaw_fit_quality(g.degrees, d_min=2)
+        assert not fit.plausibly_powerlaw
+
+    def test_rejects_makalu(self, small_makalu):
+        """Makalu concentrates around node capacities — not a power law
+        (mirrors Stutzbach's finding for the v0.6 ultrapeer mesh)."""
+        fit = powerlaw_fit_quality(small_makalu.degrees, d_min=2)
+        assert not fit.plausibly_powerlaw
+
+    def test_fit_fields(self):
+        g = powerlaw_graph(5000, seed=6)
+        fit = powerlaw_fit_quality(g.degrees, d_min=2)
+        assert fit.d_min == 2
+        assert 0 < fit.n_tail <= 5000
+        assert 0.0 <= fit.ks_distance <= 1.0

@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.expansion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ball_sizes,
+    convergence_boundary,
+    expansion_profile,
+    node_boundary_size,
+)
+from repro.topology import k_regular_graph
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestNodeBoundarySize:
+    def test_single_node(self):
+        g = star_graph(4)
+        assert node_boundary_size(g, [0]) == 4
+        assert node_boundary_size(g, [1]) == 1
+
+    def test_set_boundary(self):
+        g = path_graph(5)
+        assert node_boundary_size(g, [1, 2]) == 2  # nodes 0 and 3
+
+    def test_whole_graph_has_empty_boundary(self):
+        g = complete_graph(4)
+        assert node_boundary_size(g, range(4)) == 0
+
+    def test_empty_set(self):
+        assert node_boundary_size(path_graph(3), []) == 0
+
+    def test_duplicates_ignored(self):
+        g = path_graph(4)
+        assert node_boundary_size(g, [1, 1, 2]) == node_boundary_size(g, [1, 2])
+
+
+class TestBallSizes:
+    def test_path(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(ball_sizes(g, 0), [1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(ball_sizes(g, 2), [1, 3, 5])
+
+    def test_cumulative_monotone(self, small_makalu):
+        sizes = ball_sizes(small_makalu, 9)
+        assert np.all(np.diff(sizes) >= 0)
+        assert sizes[-1] == small_makalu.n_nodes
+
+
+class TestExpansionProfile:
+    def test_expander_has_high_early_expansion(self):
+        g = k_regular_graph(2000, 8, seed=1)
+        profile = expansion_profile(g, n_sources=8, max_hops=5, seed=2)
+        # First-hop expansion of a k-regular expander is near k - 1.
+        assert profile.min_early_expansion(max_hop=2) > 3.0
+
+    def test_cycle_has_constant_boundary(self):
+        g = cycle_graph(100)
+        profile = expansion_profile(g, n_sources=4, max_hops=5, seed=3)
+        # A ring's h-ball has exactly 2 boundary nodes: ratio = 2/(2h+1).
+        np.testing.assert_allclose(
+            profile.ratio[1:4], [2 / 3, 2 / 5, 2 / 7], rtol=1e-9
+        )
+
+    def test_ball_fraction_reaches_one(self, small_makalu):
+        profile = expansion_profile(small_makalu, n_sources=4, max_hops=10, seed=4)
+        assert profile.ball_fraction[-1] == pytest.approx(1.0)
+
+    def test_requested_hops_out_of_profile(self):
+        profile = expansion_profile(cycle_graph(10), n_sources=2, max_hops=3, seed=5)
+        with pytest.raises(ValueError):
+            profile.min_early_expansion(max_hop=0)
+
+    def test_invalid_sources(self):
+        with pytest.raises(ValueError):
+            expansion_profile(cycle_graph(10), n_sources=0)
+
+
+class TestConvergenceBoundary:
+    def test_half_coverage_hop_on_path(self):
+        # On a 10-path, covering half takes 2 hops from the middle (ball of
+        # radius h holds 2h+1 nodes) up to 4 hops from an end.
+        g = path_graph(10)
+        boundary = convergence_boundary(g, n_sources=10, seed=1)
+        assert 2.0 <= boundary <= 4.0
+
+    def test_expander_boundary_near_half_diameter(self):
+        from repro.analysis import path_stats
+
+        g = k_regular_graph(2000, 10, seed=7)
+        diameter = path_stats(g, n_sources=50, seed=8).diameter_hops
+        boundary = convergence_boundary(g, n_sources=10, seed=9)
+        # Paper: the Convergence Boundary coincides with ~half the diameter.
+        assert boundary <= diameter
+        assert boundary >= diameter / 2 - 1.5
+
+    def test_threshold_monotone(self, small_makalu):
+        early = convergence_boundary(small_makalu, n_sources=6, seed=2, threshold=0.25)
+        late = convergence_boundary(small_makalu, n_sources=6, seed=2, threshold=0.9)
+        assert early <= late
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            convergence_boundary(cycle_graph(10), threshold=0.0)

@@ -1,0 +1,106 @@
+"""Tests for repro.analysis.faults."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fail_nodes,
+    failure_sweep,
+    random_nodes,
+    top_degree_nodes,
+)
+from repro.topology import k_regular_graph, powerlaw_graph
+from tests.conftest import build_graph, star_graph
+
+
+class TestTopDegreeNodes:
+    def test_star_center_first(self):
+        g = star_graph(9)  # center 0 has degree 9
+        doomed = top_degree_nodes(g, 0.1)
+        np.testing.assert_array_equal(doomed, [0])
+
+    def test_count_rounds(self):
+        g = star_graph(9)
+        assert top_degree_nodes(g, 0.3).size == 3
+
+    def test_zero_fraction(self):
+        assert top_degree_nodes(star_graph(3), 0.0).size == 0
+
+    def test_deterministic_tie_break(self):
+        g = build_graph(4, [(0, 1), (2, 3)])  # all degree 1
+        a = top_degree_nodes(g, 0.5)
+        b = top_degree_nodes(g, 0.5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_degree_nodes(star_graph(3), 1.5)
+
+
+class TestRandomNodes:
+    def test_count(self):
+        g = k_regular_graph(100, 4, seed=1)
+        assert random_nodes(g, 0.25, seed=2).size == 25
+
+    def test_reproducible(self):
+        g = k_regular_graph(100, 4, seed=1)
+        np.testing.assert_array_equal(
+            random_nodes(g, 0.2, seed=5), random_nodes(g, 0.2, seed=5)
+        )
+
+
+class TestFailNodes:
+    def test_star_center_failure_isolates(self):
+        g = star_graph(4)
+        survivor = fail_nodes(g, [0])
+        assert survivor.n_nodes == 4
+        assert survivor.n_edges == 0
+
+    def test_noop_failure(self):
+        g = star_graph(4)
+        survivor = fail_nodes(g, [])
+        assert survivor.n_nodes == 5
+        assert survivor.n_edges == 4
+
+
+class TestFailureSweep:
+    def test_powerlaw_fragments_under_targeted_attack(self):
+        g = powerlaw_graph(1500, seed=3)
+        reports = failure_sweep(
+            g, [0.0, 0.1, 0.3], mode="top-degree", with_spectrum=False
+        )
+        assert reports[0].n_components == 1
+        # Removing the hubs of a power-law graph shatters it.
+        assert reports[2].n_components > 10
+        assert reports[2].giant_fraction < reports[0].giant_fraction
+
+    def test_expander_survives_targeted_attack(self):
+        g = k_regular_graph(1000, 10, seed=4)
+        reports = failure_sweep(
+            g, [0.3], mode="top-degree", with_spectrum=False
+        )
+        assert reports[0].giant_fraction > 0.95
+
+    def test_spectrum_multiplicities(self):
+        g = k_regular_graph(300, 6, seed=5)
+        reports = failure_sweep(g, [0.0, 0.2], mode="top-degree", with_spectrum=True)
+        for r in reports:
+            assert r.spectrum is not None
+            assert r.multiplicity_zero == r.n_components
+
+    def test_random_mode(self):
+        g = k_regular_graph(500, 8, seed=6)
+        reports = failure_sweep(g, [0.1, 0.2], mode="random", seed=7,
+                                with_spectrum=False)
+        assert reports[0].n_survivors == 450
+        assert reports[1].n_survivors == 400
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown failure mode"):
+            failure_sweep(star_graph(3), [0.1], mode="bogus")
+
+    def test_fraction_metadata(self):
+        g = k_regular_graph(200, 4, seed=8)
+        reports = failure_sweep(g, [0.05], with_spectrum=False)
+        assert reports[0].fraction_failed == 0.05
+        assert reports[0].n_survivors == 190

@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.paths."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PathStats, path_stats
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph
+
+
+class TestPathStats:
+    def test_complete_graph(self):
+        stats = path_stats(complete_graph(6))
+        assert stats.characteristic_hops == pytest.approx(1.0)
+        assert stats.diameter_hops == 1
+        assert stats.exact
+
+    def test_path_graph_diameter(self):
+        stats = path_stats(path_graph(5))
+        assert stats.diameter_hops == 4
+
+    def test_cycle_char_path(self):
+        # C4: distances from any node are 1,1,2 -> mean 4/3.
+        stats = path_stats(cycle_graph(4))
+        assert stats.characteristic_hops == pytest.approx(4 / 3)
+
+    def test_weighted_cost(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[2.0, 3.0])
+        stats = path_stats(g)
+        # pairs (0,1)=2, (1,2)=3, (0,2)=5 each counted twice; mean = 20/6.
+        assert stats.characteristic_cost == pytest.approx(20 / 6)
+        assert stats.diameter_cost == pytest.approx(5.0)
+
+    def test_weighted_shortcut_usage(self):
+        # Direct edge is costlier than the two-hop path.
+        g = build_graph(3, [(0, 1), (1, 2), (0, 2)], latencies=[1.0, 1.0, 10.0])
+        stats = path_stats(g)
+        assert stats.diameter_cost == pytest.approx(2.0)
+
+    def test_sampled_estimates_close(self, small_makalu):
+        exact = path_stats(small_makalu)
+        sampled = path_stats(small_makalu, n_sources=100, seed=1)
+        assert not sampled.exact
+        assert sampled.characteristic_hops == pytest.approx(
+            exact.characteristic_hops, rel=0.05
+        )
+        assert sampled.diameter_hops <= exact.diameter_hops
+
+    def test_disconnected_raises(self):
+        g = build_graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="disconnected"):
+            path_stats(g)
+
+    def test_single_node_raises(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            path_stats(build_graph(1, []))
+
+    def test_bad_n_sources(self):
+        with pytest.raises(ValueError, match="n_sources"):
+            path_stats(path_graph(5), n_sources=0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = build_graph(
+            7,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)],
+            latencies=[1, 2, 3, 4, 5, 6, 7, 8],
+        )
+        nxg = nx.Graph()
+        for u, v, w in g.iter_edges():
+            nxg.add_edge(u, v, weight=w)
+        stats = path_stats(g)
+        assert stats.characteristic_hops == pytest.approx(
+            nx.average_shortest_path_length(nxg)
+        )
+        assert stats.characteristic_cost == pytest.approx(
+            nx.average_shortest_path_length(nxg, weight="weight")
+        )
+        assert stats.diameter_hops == nx.diameter(nxg)

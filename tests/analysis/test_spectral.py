@@ -1,0 +1,126 @@
+"""Tests for repro.analysis.spectral."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    algebraic_connectivity,
+    eigenvalue_multiplicity,
+    normalized_laplacian_spectrum,
+    spectrum_points,
+)
+from repro.analysis.spectral import laplacian, spectral_gap
+from repro.topology import k_regular_graph, powerlaw_graph
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph
+
+
+class TestLaplacian:
+    def test_combinatorial_row_sums_zero(self):
+        lap = laplacian(complete_graph(5)).toarray()
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0)
+
+    def test_combinatorial_diagonal_is_degree(self):
+        g = path_graph(4)
+        lap = laplacian(g).toarray()
+        np.testing.assert_allclose(np.diag(lap), g.degrees)
+
+    def test_normalized_eigenvalues_in_0_2(self):
+        g = cycle_graph(8)
+        eigs = normalized_laplacian_spectrum(g)
+        assert eigs.min() >= -1e-9
+        assert eigs.max() <= 2 + 1e-9
+
+    def test_normalized_isolated_node_zero_row(self):
+        g = build_graph(3, [(0, 1)])
+        lap = laplacian(g, normalized=True).toarray()
+        np.testing.assert_allclose(lap[2], 0.0)
+
+    def test_matches_networkx_normalized(self):
+        import networkx as nx
+
+        g = complete_graph(6)
+        ours = normalized_laplacian_spectrum(g)
+        nxg = nx.complete_graph(6)
+        theirs = np.sort(np.linalg.eigvalsh(
+            nx.normalized_laplacian_matrix(nxg).toarray()
+        ))
+        np.testing.assert_allclose(ours, theirs, atol=1e-9)
+
+
+class TestAlgebraicConnectivity:
+    def test_complete_graph_is_n(self):
+        # lambda_1(K_n) = n.
+        assert algebraic_connectivity(complete_graph(6)) == pytest.approx(6.0)
+
+    def test_path_graph_known_value(self):
+        # lambda_1(P_n) = 2(1 - cos(pi / n)).
+        n = 10
+        expected = 2 * (1 - np.cos(np.pi / n))
+        assert algebraic_connectivity(path_graph(n)) == pytest.approx(expected, rel=1e-6)
+
+    def test_disconnected_is_zero(self):
+        g = build_graph(4, [(0, 1), (2, 3)])
+        assert algebraic_connectivity(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_lobpcg_matches_dense(self):
+        g = k_regular_graph(600, 6, seed=1)
+        sparse_val = algebraic_connectivity(g)
+        dense = np.sort(np.linalg.eigvalsh(laplacian(g).toarray()))[1]
+        assert sparse_val == pytest.approx(dense, rel=1e-4)
+
+    def test_expander_beats_powerlaw(self):
+        kreg = k_regular_graph(1000, 8, seed=2)
+        plaw = powerlaw_graph(1000, seed=3)
+        assert algebraic_connectivity(kreg) > 10 * max(
+            algebraic_connectivity(plaw), 1e-3
+        )
+
+    def test_single_node_raises(self):
+        with pytest.raises(ValueError):
+            algebraic_connectivity(build_graph(1, []))
+
+
+class TestSpectrumPoints:
+    def test_x_range(self):
+        eigs = np.asarray([0.0, 0.5, 1.0, 2.0])
+        x, y = spectrum_points(eigs)
+        assert x[0] == 0.0 and x[-1] == 1.0
+        np.testing.assert_array_equal(y, np.sort(eigs))
+
+    def test_sorts_input(self):
+        x, y = spectrum_points(np.asarray([2.0, 0.0, 1.0]))
+        np.testing.assert_array_equal(y, [0.0, 1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            spectrum_points(np.asarray([]))
+
+
+class TestMultiplicity:
+    def test_zero_counts_components(self):
+        g = build_graph(6, [(0, 1), (2, 3), (4, 5)])
+        eigs = normalized_laplacian_spectrum(g)
+        assert eigenvalue_multiplicity(eigs, 0.0, tol=1e-8) == 3
+
+    def test_star_multiplicity_one(self):
+        # Normalized Laplacian of a star K_{1,n} has eigenvalue 1 with
+        # multiplicity n - 1.
+        from tests.conftest import star_graph
+
+        eigs = normalized_laplacian_spectrum(star_graph(5))
+        assert eigenvalue_multiplicity(eigs, 1.0, tol=1e-8) == 4
+
+    def test_tolerance_widens_count(self):
+        eigs = np.asarray([0.0, 0.05, 1.0])
+        assert eigenvalue_multiplicity(eigs, 0.0, tol=1e-3) == 1
+        assert eigenvalue_multiplicity(eigs, 0.0, tol=0.1) == 2
+
+
+class TestSpectralGap:
+    def test_positive_for_connected(self):
+        assert spectral_gap(cycle_graph(10)) > 0
+
+    def test_dense_limit_enforced(self):
+        g = k_regular_graph(100, 4, seed=1)
+        with pytest.raises(ValueError, match="dense"):
+            normalized_laplacian_spectrum(g, limit=50)

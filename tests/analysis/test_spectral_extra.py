@@ -1,0 +1,57 @@
+"""Additional spectral checks: known closed-form spectra.
+
+Pinning the Laplacian machinery to textbook eigenvalues catches subtle
+matrix-construction errors that graph-level tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import normalized_laplacian_spectrum
+from repro.analysis.spectral import algebraic_connectivity, laplacian
+from tests.conftest import build_graph, complete_graph, cycle_graph, star_graph
+
+
+class TestClosedFormSpectra:
+    def test_cycle_laplacian_eigenvalues(self):
+        # L(C_n) eigenvalues: 2 - 2 cos(2 pi k / n).
+        n = 12
+        g = cycle_graph(n)
+        eigs = np.sort(np.linalg.eigvalsh(laplacian(g).toarray()))
+        expected = np.sort(2 - 2 * np.cos(2 * np.pi * np.arange(n) / n))
+        np.testing.assert_allclose(eigs, expected, atol=1e-9)
+
+    def test_complete_graph_normalized_spectrum(self):
+        # Normalized Laplacian of K_n: 0 once, n/(n-1) with multiplicity n-1.
+        n = 8
+        eigs = normalized_laplacian_spectrum(complete_graph(n))
+        np.testing.assert_allclose(eigs[0], 0.0, atol=1e-9)
+        np.testing.assert_allclose(eigs[1:], n / (n - 1), atol=1e-9)
+
+    def test_star_normalized_spectrum(self):
+        # K_{1,m}: eigenvalues {0, 1 (multiplicity m-1), 2}.
+        m = 6
+        eigs = normalized_laplacian_spectrum(star_graph(m))
+        np.testing.assert_allclose(eigs[0], 0.0, atol=1e-9)
+        np.testing.assert_allclose(eigs[-1], 2.0, atol=1e-9)
+        np.testing.assert_allclose(eigs[1:-1], 1.0, atol=1e-9)
+
+    def test_bipartite_spectrum_symmetric_about_one(self):
+        # Normalized Laplacian of a bipartite graph is symmetric about 1.
+        g = build_graph(6, [(0, 3), (0, 4), (1, 4), (1, 5), (2, 3), (2, 5)])
+        eigs = normalized_laplacian_spectrum(g)
+        np.testing.assert_allclose(np.sort(eigs), np.sort(2 - eigs), atol=1e-9)
+
+    def test_complete_bipartite_fiedler(self):
+        # lambda_1(K_{a,b}) = min(a, b) for the combinatorial Laplacian.
+        a, b = 3, 5
+        edges = [(i, a + j) for i in range(a) for j in range(b)]
+        g = build_graph(a + b, edges)
+        assert algebraic_connectivity(g) == pytest.approx(min(a, b), rel=1e-6)
+
+    def test_disjoint_union_spectrum_is_union(self):
+        g = build_graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        eigs = normalized_laplacian_spectrum(g)
+        single = normalized_laplacian_spectrum(complete_graph(3))
+        np.testing.assert_allclose(eigs, np.sort(np.concatenate([single, single])),
+                                   atol=1e-9)

@@ -1,0 +1,66 @@
+"""Shared fixtures and small-graph constructors for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel import EuclideanModel
+from repro.core import MakaluConfig, makalu_graph
+from repro.topology import OverlayGraph
+
+
+def build_graph(n_nodes: int, edges, latencies=None) -> OverlayGraph:
+    """Edge-list helper: ``edges`` is a list of (u, v) pairs."""
+    if edges:
+        u, v = map(np.asarray, zip(*edges))
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    return OverlayGraph.from_edges(n_nodes, u, v, latencies)
+
+
+def path_graph(n: int) -> OverlayGraph:
+    """0 - 1 - 2 - ... - (n-1)."""
+    return build_graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> OverlayGraph:
+    """A ring of n nodes."""
+    return build_graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> OverlayGraph:
+    """K_n."""
+    return build_graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n_leaves: int) -> OverlayGraph:
+    """Node 0 connected to 1..n_leaves."""
+    return build_graph(n_leaves + 1, [(0, i) for i in range(1, n_leaves + 1)])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_makalu() -> OverlayGraph:
+    """A 400-node Makalu overlay on a Euclidean substrate (session-cached)."""
+    model = EuclideanModel(400, seed=11)
+    return makalu_graph(model=model, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_makalu_model() -> EuclideanModel:
+    """The substrate matching :func:`small_makalu` (same seed)."""
+    return EuclideanModel(400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fast_makalu_config() -> MakaluConfig:
+    """A cheap configuration for construction-heavy tests."""
+    return MakaluConfig(
+        degree_min=5, degree_max=8, walk_length=15, min_candidates=10,
+        max_walks=3, refinement_rounds=1, fill_rounds=2,
+    )

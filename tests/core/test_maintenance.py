@@ -1,0 +1,112 @@
+"""Tests for repro.core.maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core import MakaluBuilder
+from repro.core.maintenance import (
+    handle_capacity_change,
+    prune_to_capacity,
+    repair_after_failure,
+)
+from repro.core.rating import RatingWeights
+from repro.netmodel import EuclideanModel
+from repro.topology import AdjacencyBuilder
+
+
+def star_builder(n_leaves=5):
+    adj = AdjacencyBuilder(n_leaves + 1)
+    for i in range(1, n_leaves + 1):
+        adj.add_edge(0, i, float(i))  # latencies 1..n
+    return adj
+
+
+class TestPruneToCapacity:
+    def test_prunes_to_exact_capacity(self):
+        adj = star_builder(5)
+        pruned = prune_to_capacity(adj, 0, 2)
+        assert adj.degree(0) == 2
+        assert len(pruned) == 3
+
+    def test_noop_when_under_capacity(self):
+        adj = star_builder(3)
+        assert prune_to_capacity(adj, 0, 10) == []
+
+    def test_prunes_farthest_first_on_star(self):
+        # On a star every leaf has zero unique reachability beyond the
+        # boundary, so proximity decides: highest-latency leaves go first.
+        adj = star_builder(5)
+        pruned = prune_to_capacity(adj, 0, 3, RatingWeights(alpha=0.0, beta=1.0))
+        assert pruned == [5, 4]
+
+    def test_capacity_zero_empties(self):
+        adj = star_builder(3)
+        prune_to_capacity(adj, 0, 0)
+        assert adj.degree(0) == 0
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            prune_to_capacity(star_builder(2), 0, -1)
+
+
+@pytest.fixture
+def live_builder(fast_makalu_config):
+    model = EuclideanModel(200, seed=31)
+    b = MakaluBuilder(model=model, config=fast_makalu_config, seed=32)
+    b.build()
+    return b
+
+
+class TestHandleCapacityChange:
+    def test_shrink_prunes(self, live_builder):
+        node = int(np.argmax(live_builder.adj.freeze().degrees))
+        old_degree = live_builder.adj.degree(node)
+        pruned = handle_capacity_change(live_builder, node, 2)
+        assert live_builder.adj.degree(node) <= 2
+        assert len(pruned) == old_degree - live_builder.adj.degree(node)
+
+    def test_grow_acquires(self, live_builder):
+        node = 7
+        live_builder.capacities[node] = live_builder.adj.degree(node)
+        grown = live_builder.capacities[node] + 3
+        pruned = handle_capacity_change(live_builder, node, int(grown))
+        assert pruned == []
+        assert live_builder.adj.degree(node) > 0
+
+    def test_invalid_capacity(self, live_builder):
+        with pytest.raises(ValueError):
+            handle_capacity_change(live_builder, 0, 0)
+
+
+class TestRepairAfterFailure:
+    def test_edges_to_failed_nodes_removed(self, live_builder):
+        doomed = [0, 1, 2]
+        repair_after_failure(live_builder, doomed, rejoin=False)
+        for f in doomed:
+            assert live_builder.adj.degree(f) == 0
+
+    def test_survivors_reacquire(self, live_builder):
+        graph = live_builder.adj.freeze()
+        doomed = np.argsort(-graph.degrees)[:20].tolist()
+        bereaved = repair_after_failure(live_builder, doomed, rejoin=True)
+        assert bereaved.size > 0
+        after = live_builder.adj.freeze()
+        survivors = np.setdiff1d(np.arange(200), doomed)
+        # Survivors should be healed near their capacity again.
+        deficit = live_builder.capacities[survivors] - after.degrees[survivors]
+        assert np.mean(deficit <= 1) > 0.9
+
+    def test_no_rejoin_leaves_holes(self, live_builder):
+        graph = live_builder.adj.freeze()
+        doomed = np.argsort(-graph.degrees)[:20].tolist()
+        repair_after_failure(live_builder, doomed, rejoin=False)
+        after = live_builder.adj.freeze()
+        assert after.degrees.sum() < graph.degrees.sum()
+
+    def test_failed_nodes_leave_candidate_pool(self, live_builder):
+        repair_after_failure(live_builder, [5], rejoin=False)
+        assert 5 not in live_builder._joined
+
+    def test_returns_only_survivors(self, live_builder):
+        bereaved = repair_after_failure(live_builder, [0, 1], rejoin=False)
+        assert 0 not in bereaved and 1 not in bereaved

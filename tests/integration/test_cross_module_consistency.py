@@ -1,0 +1,59 @@
+"""Cross-module consistency: independent implementations must agree.
+
+Several quantities are computed by more than one code path (a local
+protocol-level definition in ``core`` and a vectorized whole-graph kernel
+in ``analysis``/``search``); these tests pin them to each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bfs_hops, node_boundary_size
+from repro.core.rating import node_boundary
+from repro.search import flood
+from repro.search.flooding import flood_node_load
+from repro.search.latency_flood import flood_arrival_times
+
+
+class TestBoundaryDefinitionsAgree:
+    def test_rating_boundary_equals_analysis_boundary(self, small_makalu):
+        """core.rating.node_boundary (protocol view) == analysis
+        node_boundary_size on {u} + Gamma(u)."""
+        g = small_makalu
+        for u in (0, 7, 42, 311):
+            nbrs = g.neighbors(u)
+            protocol_view = node_boundary(
+                u, nbrs.tolist(), lambda v: g.neighbors(int(v)).tolist()
+            )
+            graph_view = node_boundary_size(g, [u] + nbrs.tolist())
+            assert len(protocol_view) == graph_view
+
+
+class TestFloodViewsAgree:
+    def test_load_sum_equals_messages(self, small_makalu):
+        for source in (1, 50, 399):
+            for ttl in (1, 3, 5):
+                load, hops = flood_node_load(small_makalu, source, ttl)
+                result = flood(small_makalu, source, ttl)
+                assert load.sum() == result.total_messages
+                reached = int(np.count_nonzero(hops >= 0))
+                assert reached == result.nodes_visited
+
+    def test_arrival_reach_equals_flood_reach(self, small_makalu):
+        for ttl in (2, 4):
+            arrival = flood_arrival_times(small_makalu, 9, ttl)
+            result = flood(small_makalu, 9, ttl)
+            assert int(np.isfinite(arrival).sum()) == result.nodes_visited
+
+    def test_first_hit_consistency(self, small_makalu):
+        """flood() hit hop == BFS distance == finite arrival time."""
+        mask = np.zeros(small_makalu.n_nodes, dtype=bool)
+        mask[123] = True
+        result = flood(small_makalu, 4, ttl=8, replica_mask=mask)
+        dist = int(bfs_hops(small_makalu, 4)[123])
+        assert result.first_hit_hop == dist
+        arrival = flood_arrival_times(small_makalu, 4, dist)
+        assert np.isfinite(arrival[123])
+        if dist > 0:
+            too_short = flood_arrival_times(small_makalu, 4, dist - 1)
+            assert np.isinf(too_short[123])

@@ -1,0 +1,86 @@
+"""Determinism guarantees: same seeds, same results, everywhere."""
+
+import numpy as np
+
+from repro.analysis import algebraic_connectivity, failure_sweep
+from repro.core import makalu_graph
+from repro.netmodel import EuclideanModel, SyntheticPlanetLabModel, TransitStubModel
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    flood,
+    identifier_queries,
+    place_objects,
+)
+from repro.topology import k_regular_graph, powerlaw_graph, two_tier_graph
+
+
+def graphs_equal(a, b):
+    return (
+        np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.allclose(a.latency, b.latency)
+    )
+
+
+class TestTopologyDeterminism:
+    def test_all_generators(self, fast_makalu_config):
+        model = EuclideanModel(200, seed=1)
+        assert graphs_equal(
+            makalu_graph(model=model, config=fast_makalu_config, seed=2),
+            makalu_graph(model=model, config=fast_makalu_config, seed=2),
+        )
+        assert graphs_equal(
+            k_regular_graph(200, 6, seed=3), k_regular_graph(200, 6, seed=3)
+        )
+        assert graphs_equal(powerlaw_graph(200, seed=4), powerlaw_graph(200, seed=4))
+        a = two_tier_graph(200, seed=5)
+        b = two_tier_graph(200, seed=5)
+        assert graphs_equal(a.graph, b.graph)
+
+
+class TestModelDeterminism:
+    def test_all_models(self):
+        ids = np.arange(100)
+        for cls, kwargs in [
+            (EuclideanModel, {}),
+            (TransitStubModel, {}),
+            (SyntheticPlanetLabModel, {"n_sites": 20}),
+        ]:
+            m1 = cls(100, seed=7, **kwargs)
+            m2 = cls(100, seed=7, **kwargs)
+            np.testing.assert_allclose(
+                m1.pair_latency(ids, ids[::-1]), m2.pair_latency(ids, ids[::-1])
+            )
+
+
+class TestAnalysisDeterminism:
+    def test_algebraic_connectivity_stable(self):
+        g = k_regular_graph(800, 8, seed=8)
+        assert algebraic_connectivity(g) == algebraic_connectivity(g)
+
+    def test_failure_sweep_random_mode_seeded(self):
+        g = k_regular_graph(300, 6, seed=9)
+        a = failure_sweep(g, [0.1, 0.2], mode="random", seed=10, with_spectrum=False)
+        b = failure_sweep(g, [0.1, 0.2], mode="random", seed=10, with_spectrum=False)
+        assert [r.n_components for r in a] == [r.n_components for r in b]
+
+
+class TestSearchDeterminism:
+    def test_flood_is_pure(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 1, 0.02, seed=11)
+        mask = p.holder_mask(0)
+        a = flood(small_makalu, 5, ttl=4, replica_mask=mask)
+        b = flood(small_makalu, 5, ttl=4, replica_mask=mask)
+        np.testing.assert_array_equal(a.messages_per_hop, b.messages_per_hop)
+        assert a.first_hit_hop == b.first_hit_hop
+
+    def test_identifier_pipeline_seeded(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 5, 0.02, seed=12)
+        abf = build_attenuated_filters(small_makalu, placement=p, depth=3)
+        router = AbfRouter(small_makalu, abf)
+        a = identifier_queries(router, p, 15, ttl=20, seed=13)
+        b = identifier_queries(router, p, 15, ttl=20, seed=13)
+        assert [(r.messages, r.resolved_at) for r in a] == [
+            (r.messages, r.resolved_at) for r in b
+        ]

@@ -1,0 +1,89 @@
+"""Attenuated-filter staleness under overlay change.
+
+Filters are exchanged state: when nodes fail, survivors keep routing on
+digests that still advertise content through dead peers until the next
+exchange round.  These tests measure that the degradation is graceful —
+the paper's identifier search depends on it in any real deployment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MakaluBuilder, MakaluConfig
+from repro.core.maintenance import repair_after_failure
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    identifier_queries,
+    place_objects,
+)
+
+
+@pytest.fixture(scope="module")
+def churned_world():
+    """An overlay before and after failing 10% of nodes (ids preserved)."""
+    from repro.netmodel import EuclideanModel
+
+    n = 600
+    builder = MakaluBuilder(
+        model=EuclideanModel(n, seed=91),
+        config=MakaluConfig(refinement_rounds=1),
+        seed=92,
+    )
+    before = builder.build()
+    rng = np.random.default_rng(93)
+    failed = rng.choice(n, size=n // 10, replace=False)
+    repair_after_failure(builder, failed.tolist(), rejoin=True)
+    after = builder.adj.freeze()
+    placement = place_objects(n, 12, 0.01, seed=94)
+    alive = np.ones(n, dtype=bool)
+    alive[failed] = False
+    return before, after, placement, alive
+
+
+def run_queries(graph, filters, placement, alive, n_queries=80, seed=95):
+    router = AbfRouter(graph, filters)
+    rng = np.random.default_rng(seed)
+    successes = 0
+    messages = []
+    for _ in range(n_queries):
+        src = int(rng.choice(np.flatnonzero(alive)))
+        obj = int(rng.integers(0, placement.n_objects))
+        mask = placement.holder_mask(obj) & alive  # dead replicas don't count
+        if not mask.any():
+            continue
+        res = router.query(src, placement.key_of(obj), mask, ttl=25, seed=rng)
+        successes += res.success
+        if res.success:
+            messages.append(res.messages)
+    return successes / n_queries, float(np.mean(messages))
+
+
+class TestStaleFilters:
+    def test_fresh_filters_baseline(self, churned_world):
+        before, after, placement, alive = churned_world
+        fresh = build_attenuated_filters(after, placement=placement, depth=3)
+        success, msgs = run_queries(after, fresh, placement, alive)
+        assert success > 0.9
+        assert msgs < 12
+
+    def test_stale_filters_degrade_gracefully(self, churned_world):
+        """Routing on pre-failure digests over the post-failure overlay:
+        success stays high (stale positives cost wasted hops, not wrong
+        answers) at a moderate message overhead."""
+        before, after, placement, alive = churned_world
+        stale = build_attenuated_filters(before, placement=placement, depth=3)
+        fresh = build_attenuated_filters(after, placement=placement, depth=3)
+        stale_success, stale_msgs = run_queries(after, stale, placement, alive)
+        fresh_success, fresh_msgs = run_queries(after, fresh, placement, alive)
+        assert stale_success > 0.85
+        assert stale_success >= fresh_success - 0.1
+        # Staleness costs messages, bounded.
+        assert stale_msgs < 4 * fresh_msgs + 5
+
+    def test_refresh_restores_performance(self, churned_world):
+        """One exchange round (a rebuild) recovers the fresh baseline."""
+        before, after, placement, alive = churned_world
+        rebuilt = build_attenuated_filters(after, placement=placement, depth=3)
+        success, msgs = run_queries(after, rebuilt, placement, alive, seed=96)
+        assert success > 0.9

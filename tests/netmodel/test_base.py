@@ -1,0 +1,89 @@
+"""Tests for repro.netmodel.base."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel.base import MatrixLatencyModel, NetworkModel, pair_key
+
+
+def sample_matrix(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(1, 100, size=(n, n))
+    m = 0.5 * (m + m.T)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestMatrixLatencyModel:
+    def test_round_trip(self):
+        m = sample_matrix()
+        model = MatrixLatencyModel(m)
+        np.testing.assert_allclose(model.latency_matrix(), m)
+
+    def test_scalar_latency(self):
+        m = sample_matrix()
+        model = MatrixLatencyModel(m)
+        assert model.latency(1, 3) == pytest.approx(m[1, 3])
+
+    def test_vectorized_matches_scalar(self):
+        m = sample_matrix()
+        model = MatrixLatencyModel(m)
+        us = np.asarray([0, 1, 2])
+        vs = np.asarray([4, 3, 2])
+        out = model.pair_latency(us, vs)
+        for i in range(3):
+            assert out[i] == pytest.approx(m[us[i], vs[i]])
+
+    def test_rejects_asymmetric(self):
+        m = sample_matrix()
+        m[0, 1] += 1
+        with pytest.raises(ValueError, match="symmetric"):
+            MatrixLatencyModel(m)
+
+    def test_rejects_nonzero_diagonal(self):
+        m = sample_matrix()
+        m[2, 2] = 1.0
+        with pytest.raises(ValueError, match="diagonal"):
+            MatrixLatencyModel(m)
+
+    def test_rejects_negative(self):
+        m = sample_matrix()
+        m[0, 1] = m[1, 0] = -5.0
+        with pytest.raises(ValueError, match="non-negative"):
+            MatrixLatencyModel(m)
+
+    def test_rejects_out_of_range_ids(self):
+        model = MatrixLatencyModel(sample_matrix())
+        with pytest.raises(ValueError, match="out of range"):
+            model.pair_latency(np.asarray([0]), np.asarray([5]))
+
+    def test_n_nodes(self):
+        assert MatrixLatencyModel(sample_matrix(7)).n_nodes == 7
+
+
+class TestDenseLimit:
+    def test_refuses_over_limit(self):
+        model = MatrixLatencyModel(sample_matrix(5))
+
+        class Big(NetworkModel):
+            def pair_latency(self, u, v):  # pragma: no cover
+                return np.zeros(np.broadcast(u, v).shape)
+
+        big = Big.__new__(Big)
+        NetworkModel.__init__(big, 50_000)
+        with pytest.raises(ValueError, match="refusing"):
+            big.latency_matrix()
+
+
+class TestPairKey:
+    def test_symmetric(self):
+        u = np.asarray([1, 2, 3])
+        v = np.asarray([3, 2, 1])
+        np.testing.assert_array_equal(pair_key(u, v), pair_key(v, u))
+
+    def test_distinct_pairs_distinct_keys(self):
+        keys = set()
+        for u in range(50):
+            for v in range(u + 1, 50):
+                keys.add(int(pair_key(np.asarray(u), np.asarray(v))))
+        assert len(keys) == 50 * 49 // 2

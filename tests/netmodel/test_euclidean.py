@@ -1,0 +1,66 @@
+"""Tests for repro.netmodel.euclidean."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import EuclideanModel
+
+
+class TestEuclideanModel:
+    def test_latency_is_distance(self):
+        model = EuclideanModel(50, extent=100.0, seed=1)
+        coords = model.coordinates
+        expected = np.linalg.norm(coords[3] - coords[17])
+        assert model.latency(3, 17) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        model = EuclideanModel(20, seed=2)
+        for u, v in [(0, 1), (5, 19), (7, 7)]:
+            assert model.latency(u, v) == pytest.approx(model.latency(v, u))
+
+    def test_zero_self_latency(self):
+        model = EuclideanModel(10, seed=3)
+        assert model.latency(4, 4) == 0.0
+
+    def test_triangle_inequality(self):
+        model = EuclideanModel(30, seed=4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = rng.integers(0, 30, size=3)
+            assert model.latency(a, c) <= model.latency(a, b) + model.latency(b, c) + 1e-9
+
+    def test_coordinates_in_extent(self):
+        model = EuclideanModel(100, extent=250.0, seed=5)
+        assert model.coordinates.min() >= 0
+        assert model.coordinates.max() <= 250.0
+
+    def test_coordinates_read_only(self):
+        model = EuclideanModel(10, seed=6)
+        with pytest.raises(ValueError):
+            model.coordinates[0, 0] = 99.0
+
+    def test_matrix_latency_consistency(self):
+        model = EuclideanModel(15, seed=7)
+        mat = model.latency_matrix()
+        assert mat.shape == (15, 15)
+        assert np.allclose(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+        assert mat[2, 9] == pytest.approx(model.latency(2, 9))
+
+    def test_scalar_fast_path_matches_vectorized(self):
+        model = EuclideanModel(40, seed=8)
+        vec = model.pair_latency(np.asarray([11]), np.asarray([29]))[0]
+        assert model.latency(11, 29) == pytest.approx(float(vec))
+
+    def test_seeded_reproducibility(self):
+        a = EuclideanModel(25, seed=9).latency_matrix()
+        b = EuclideanModel(25, seed=9).latency_matrix()
+        np.testing.assert_allclose(a, b)
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            EuclideanModel(10, extent=0.0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            EuclideanModel(0)

@@ -1,0 +1,77 @@
+"""Tests for repro.netmodel.planetlab."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import SyntheticPlanetLabModel
+from repro.netmodel.planetlab import _inverse_normal_cdf
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SyntheticPlanetLabModel(400, n_sites=40, seed=21)
+
+
+class TestSyntheticPlanetLab:
+    def test_symmetry_and_diagonal(self, model):
+        ids = np.arange(60)
+        mat = model.pair_latency(ids[:, None], ids[None, :])
+        np.testing.assert_allclose(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_intra_site_is_fast(self, model):
+        sites = model.site_of_node
+        intra, inter = [], []
+        for u in range(150):
+            for v in range(u + 1, 150):
+                lat = model.latency(u, v)
+                (intra if sites[u] == sites[v] else inter).append(lat)
+        assert intra, "expected some same-site pairs"
+        assert np.mean(intra) < np.mean(inter)
+        assert max(intra) < 10.0  # LAN-scale
+
+    def test_every_site_has_a_node(self):
+        model = SyntheticPlanetLabModel(50, n_sites=50, seed=3)
+        assert np.unique(model.site_of_node).size == 50
+
+    def test_sites_capped_at_nodes(self):
+        model = SyntheticPlanetLabModel(10, n_sites=100, seed=4)
+        assert model.n_sites == 10
+
+    def test_heavy_tail_exists(self, model):
+        ids = np.arange(200)
+        mat = model.pair_latency(ids[:, None], ids[None, :])
+        off = mat[np.triu_indices(200, k=1)]
+        # WAN RTTs should spread over more than an order of magnitude.
+        assert off.max() / np.median(off) > 2.0
+
+    def test_deterministic(self):
+        a = SyntheticPlanetLabModel(100, seed=8)
+        b = SyntheticPlanetLabModel(100, seed=8)
+        ids = np.arange(100)
+        np.testing.assert_allclose(
+            a.pair_latency(ids, ids[::-1]), b.pair_latency(ids, ids[::-1])
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SyntheticPlanetLabModel(10, n_sites=0)
+        with pytest.raises(ValueError):
+            SyntheticPlanetLabModel(10, intra_site_rtt=-1)
+
+
+class TestInverseNormalCdf:
+    def test_median(self):
+        assert _inverse_normal_cdf(np.asarray([0.5]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_against_scipy(self):
+        from scipy.special import ndtri
+
+        p = np.asarray([0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999])
+        np.testing.assert_allclose(_inverse_normal_cdf(p), ndtri(p), atol=2e-4)
+
+    def test_symmetric(self):
+        p = np.asarray([0.2, 0.05])
+        lo = _inverse_normal_cdf(p)
+        hi = _inverse_normal_cdf(1 - p)
+        np.testing.assert_allclose(lo, -hi, atol=2e-4)

@@ -1,0 +1,74 @@
+"""Tests for repro.netmodel.transit_stub."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import TransitStubModel
+from repro.netmodel.transit_stub import TransitStubParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransitStubModel(
+        300, n_transit_domains=3, transit_per_domain=4, stubs_per_transit=3, seed=42
+    )
+
+
+class TestTransitStubModel:
+    def test_symmetry(self, model):
+        ids = np.arange(40)
+        mat = model.pair_latency(ids[:, None], ids[None, :])
+        np.testing.assert_allclose(mat, mat.T)
+
+    def test_zero_diagonal(self, model):
+        ids = np.arange(40)
+        mat = model.pair_latency(ids[:, None], ids[None, :])
+        assert np.all(np.diag(mat) == 0)
+
+    def test_deterministic_repeated_measurement(self, model):
+        a = model.latency(3, 200)
+        b = model.latency(3, 200)
+        assert a == b
+
+    def test_hierarchy_ordering(self, model):
+        """Same-stub pairs are cheaper than cross-domain pairs on average."""
+        stub = model.stub_of_node
+        same_stub, cross_domain = [], []
+        params = model.params
+        transit_of = model._transit_of_stub
+        domain_of = model._domain_of_transit
+        for u in range(120):
+            for v in range(u + 1, 120):
+                lat = model.latency(u, v)
+                if stub[u] == stub[v]:
+                    same_stub.append(lat)
+                elif domain_of[transit_of[stub[u]]] != domain_of[transit_of[stub[v]]]:
+                    cross_domain.append(lat)
+        assert np.mean(same_stub) < np.mean(cross_domain)
+        # Hard bounds: jitter cannot push categories past each other.
+        assert max(same_stub) < params.intra_stub * (1 + params.jitter) + 1e-9
+        assert min(cross_domain) > 2 * params.stub_uplink * (1 - params.jitter) - 1e-9
+
+    def test_all_positive_off_diagonal(self, model):
+        ids = np.arange(60)
+        mat = model.pair_latency(ids[:, None], ids[None, :])
+        off = mat[~np.eye(60, dtype=bool)]
+        assert np.all(off > 0)
+
+    def test_reproducible_across_instances(self):
+        a = TransitStubModel(100, seed=7)
+        b = TransitStubModel(100, seed=7)
+        ids = np.arange(100)
+        np.testing.assert_allclose(
+            a.pair_latency(ids, ids[::-1]), b.pair_latency(ids, ids[::-1])
+        )
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError, match="positive"):
+            TransitStubModel(10, n_transit_domains=0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TransitStubParams(intra_stub=-1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            TransitStubParams(jitter=1.5)

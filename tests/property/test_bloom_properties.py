@@ -1,0 +1,69 @@
+"""Property-based tests for Bloom filters and attenuated aggregation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.bloom import (
+    BloomParams,
+    contains_key,
+    insert_keys,
+    make_filters,
+)
+
+params_strategy = st.builds(
+    BloomParams,
+    n_bits=st.sampled_from([64, 128, 256, 1024]),
+    n_hashes=st.integers(min_value=1, max_value=6),
+)
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**62), min_size=0, max_size=60, unique=True
+)
+
+
+class TestBloomProperties:
+    @given(params_strategy, keys_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_no_false_negatives_ever(self, params, keys):
+        filters = make_filters(1, params)
+        karr = np.asarray(keys, dtype=np.int64)
+        insert_keys(filters, np.zeros(karr.size, dtype=np.int64), karr, params)
+        for k in keys:
+            assert contains_key(filters, np.asarray([0]), int(k), params)[0]
+
+    @given(params_strategy, keys_strategy, keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_union_homomorphism(self, params, keys_a, keys_b):
+        """OR of two filters == filter of the union of key sets."""
+        fa = make_filters(1, params)
+        fb = make_filters(1, params)
+        fu = make_filters(1, params)
+        a = np.asarray(keys_a, dtype=np.int64)
+        b = np.asarray(keys_b, dtype=np.int64)
+        insert_keys(fa, np.zeros(a.size, dtype=np.int64), a, params)
+        insert_keys(fb, np.zeros(b.size, dtype=np.int64), b, params)
+        union = np.asarray(sorted(set(keys_a) | set(keys_b)), dtype=np.int64)
+        insert_keys(fu, np.zeros(union.size, dtype=np.int64), union, params)
+        np.testing.assert_array_equal(fa | fb, fu)
+
+    @given(params_strategy, keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_insert_idempotent(self, params, keys):
+        fa = make_filters(1, params)
+        karr = np.asarray(keys, dtype=np.int64)
+        insert_keys(fa, np.zeros(karr.size, dtype=np.int64), karr, params)
+        snapshot = fa.copy()
+        insert_keys(fa, np.zeros(karr.size, dtype=np.int64), karr, params)
+        np.testing.assert_array_equal(fa, snapshot)
+
+    @given(params_strategy, keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_monotonicity(self, params, keys):
+        """Inserting more keys never clears bits."""
+        f = make_filters(1, params)
+        prev = f.copy()
+        for k in keys:
+            insert_keys(f, np.asarray([0]), np.asarray([k]), params)
+            assert np.all((prev & f) == prev)  # old bits survive
+            prev = f.copy()

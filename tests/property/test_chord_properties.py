@@ -1,0 +1,60 @@
+"""Property tests for the Chord structured-overlay baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structured import ChordRing
+
+
+class TestChordProperties:
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lookup_always_reaches_owner(self, n, seed, key):
+        ring = ChordRing(n, seed=seed)
+        source = seed % n
+        res = ring.lookup(source, key)
+        assert res.owner == ring.owner_of_key(key)
+        assert res.path[-1] == res.owner
+        assert res.hops <= 4 * ring.bits  # the routing bound
+
+    @given(st.integers(min_value=2, max_value=200),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_successors_form_one_cycle(self, n, seed):
+        ring = ChordRing(n, seed=seed)
+        seen = []
+        node = 0
+        for _ in range(n):
+            seen.append(node)
+            node = ring.successor(node)
+        assert node == 0  # back to the start after exactly n steps
+        assert len(set(seen)) == n
+
+    @given(st.integers(min_value=2, max_value=120),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_ownership_partitions_key_space(self, n, seed):
+        """Every key has exactly one owner, and sampled keys distribute
+        across many owners for reasonable ring sizes."""
+        ring = ChordRing(n, seed=seed)
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 2**60, size=200)
+        owners = {ring.owner_of_key(int(k)) for k in keys}
+        assert all(0 <= o < n for o in owners)
+        if n >= 50:
+            assert len(owners) > n // 10
+
+    @given(st.integers(min_value=2, max_value=100),
+           st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=0, max_value=2**60))
+    @settings(max_examples=40, deadline=None)
+    def test_path_nodes_distinct(self, n, seed, key):
+        """Greedy finger routing never revisits a node."""
+        ring = ChordRing(n, seed=seed)
+        res = ring.lookup(seed % n, key)
+        assert len(set(res.path.tolist())) == res.path.size

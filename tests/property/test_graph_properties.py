@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import AdjacencyBuilder, OverlayGraph
+from repro.topology.csr import gather_neighbors
+
+
+@st.composite
+def edge_lists(draw, max_nodes=30, max_edges=80):
+    """A random simple undirected edge list with latencies."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=max_edges)
+    )
+    lats = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=len(edges), max_size=len(edges),
+        )
+    )
+    return n, edges, lats
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants(self, data):
+        n, edges, lats = data
+        u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        g = OverlayGraph.from_edges(n, u, v, np.asarray(lats))
+        g.validate()
+        assert g.n_edges == len(edges)
+        assert g.degrees.sum() == 2 * len(edges)
+        # Handshake: every edge visible from both endpoints with one latency.
+        for (a, b), w in zip(edges, lats):
+            assert g.has_edge(a, b) and g.has_edge(b, a)
+            assert g.edge_latency(a, b) == g.edge_latency(b, a) == w
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_round_trip(self, data):
+        n, edges, lats = data
+        u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        g = OverlayGraph.from_edges(n, u, v, np.asarray(lats))
+        g2 = OverlayGraph.from_adjacency(n, g.to_adjacency())
+        np.testing.assert_array_equal(g.indptr, g2.indptr)
+        np.testing.assert_array_equal(g.indices, g2.indices)
+        np.testing.assert_allclose(g.latency, g2.latency)
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_is_induced(self, data, seed):
+        n, edges, lats = data
+        u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        g = OverlayGraph.from_edges(n, u, v, np.asarray(lats))
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n) < 0.6
+        sub, old = g.subgraph(mask)
+        sub.validate()
+        assert sub.n_nodes == int(mask.sum())
+        # Every kept edge exists in the original between the mapped ids;
+        # every original edge between kept nodes exists in the subgraph.
+        expected = sum(1 for (a, b) in edges if mask[a] and mask[b])
+        assert sub.n_edges == expected
+        for a, b, w in sub.iter_edges():
+            assert g.edge_latency(int(old[a]), int(old[b])) == w
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_gather_matches_per_node_neighbors(self, data):
+        n, edges, lats = data
+        u = np.asarray([e[0] for e in edges], dtype=np.int64)
+        v = np.asarray([e[1] for e in edges], dtype=np.int64)
+        g = OverlayGraph.from_edges(n, u, v, np.asarray(lats))
+        nodes = np.arange(n, dtype=np.int64)
+        nbrs, owner = gather_neighbors(g, nodes)
+        manual = np.concatenate(
+            [g.neighbors(i) for i in range(n)]
+        ) if n else np.empty(0)
+        np.testing.assert_array_equal(nbrs, manual)
+        np.testing.assert_array_equal(np.bincount(owner, minlength=n), g.degrees)
+
+
+class TestBuilderInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=14),
+                st.integers(min_value=0, max_value=14),
+                st.booleans(),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builder_mirror_of_reference_dict(self, ops):
+        """Random add/remove sequences stay consistent with a plain set."""
+        builder = AdjacencyBuilder(15)
+        reference = set()
+        for a, b, is_add in ops:
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            if is_add and key not in reference:
+                builder.add_edge(a, b, 1.0)
+                reference.add(key)
+            elif not is_add and key in reference:
+                builder.remove_edge(a, b)
+                reference.remove(key)
+        assert builder.n_edges == len(reference)
+        g = builder.freeze()
+        g.validate()
+        assert {(u, v) for u, v, _ in g.iter_edges()} == reference

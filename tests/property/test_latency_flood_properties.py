@@ -1,0 +1,63 @@
+"""Property tests for the hop-constrained arrival-time kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.latency_flood import flood_arrival_times
+from repro.topology import OverlayGraph
+
+
+@st.composite
+def weighted_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, min_size=1))
+    lats = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=len(edges), max_size=len(edges),
+        )
+    )
+    u = np.asarray([e[0] for e in edges], dtype=np.int64)
+    v = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return OverlayGraph.from_edges(n, u, v, np.asarray(lats))
+
+
+class TestArrivalTimeProperties:
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=19))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_ttl(self, graph, source_pick):
+        source = source_pick % graph.n_nodes
+        prev = flood_arrival_times(graph, source, 0)
+        for ttl in range(1, 6):
+            cur = flood_arrival_times(graph, source, ttl)
+            assert np.all(cur <= prev + 1e-12)  # more hops never hurt
+            prev = cur
+
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=19))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bounded_by_dijkstra(self, graph, source_pick):
+        import scipy.sparse.csgraph as csgraph
+
+        source = source_pick % graph.n_nodes
+        dij = csgraph.dijkstra(
+            graph.to_scipy(weighted=True), directed=False, indices=[source]
+        )[0]
+        for ttl in (1, 3, graph.n_nodes):
+            arrival = flood_arrival_times(graph, source, ttl)
+            assert np.all(arrival >= dij - 1e-9)
+        # And with unbounded hops they coincide.
+        full = flood_arrival_times(graph, source, graph.n_nodes)
+        np.testing.assert_allclose(full, dij)
+
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=19))
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_matches_bfs(self, graph, source_pick):
+        from repro.analysis import bfs_hops
+
+        source = source_pick % graph.n_nodes
+        for ttl in (0, 1, 2, 4):
+            arrival = flood_arrival_times(graph, source, ttl)
+            hops = bfs_hops(graph, source, max_hops=ttl)
+            np.testing.assert_array_equal(np.isfinite(arrival), hops >= 0)

@@ -1,0 +1,77 @@
+"""Property tests: Makalu protocol invariants under random event sequences.
+
+Whatever order joins, failures and capacity changes arrive in, the builder
+must preserve its structural invariants: a simple symmetric overlay, no
+node above its capacity, consistent membership bookkeeping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MakaluBuilder, MakaluConfig
+from repro.core.maintenance import handle_capacity_change, repair_after_failure
+
+FAST = MakaluConfig(
+    degree_min=3, degree_max=6, walk_length=8, min_candidates=6,
+    max_walks=2, refinement_rounds=0, fill_rounds=1,
+)
+
+
+@st.composite
+def event_sequences(draw):
+    n = draw(st.integers(min_value=8, max_value=40))
+    n_events = draw(st.integers(min_value=1, max_value=25))
+    events = []
+    for _ in range(n_events):
+        kind = draw(st.sampled_from(["join", "fail", "capacity"]))
+        node = draw(st.integers(min_value=0, max_value=n - 1))
+        if kind == "capacity":
+            cap = draw(st.integers(min_value=1, max_value=8))
+            events.append((kind, node, cap))
+        else:
+            events.append((kind, node, None))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, events, seed
+
+
+class TestProtocolInvariants:
+    @given(event_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_under_any_event_order(self, case):
+        n, events, seed = case
+        builder = MakaluBuilder(n_nodes=n, config=FAST, seed=seed)
+        joined: set[int] = set()
+
+        for kind, node, cap in events:
+            if kind == "join" and node not in joined:
+                builder.join(node)
+                joined.add(node)
+            elif kind == "fail" and node in joined:
+                repair_after_failure(builder, [node], rejoin=True, max_passes=1)
+                joined.discard(node)
+            elif kind == "capacity" and node in joined:
+                handle_capacity_change(builder, node, cap)
+
+            # --- invariants after every event --------------------------
+            graph = builder.adj.freeze()
+            graph.validate()  # simple + symmetric
+            assert np.all(graph.degrees <= builder.capacities), (
+                "capacity exceeded"
+            )
+            # Failed nodes hold no edges and are out of the join list.
+            for u in range(n):
+                if u not in joined:
+                    assert u not in builder._joined
+            assert set(builder._joined) == joined
+
+    @given(st.integers(min_value=10, max_value=60),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_full_build_always_within_capacity(self, n, seed):
+        builder = MakaluBuilder(n_nodes=n, config=FAST, seed=seed)
+        graph = builder.build()
+        graph.validate()
+        assert np.all(graph.degrees <= builder.capacities)
+        # Everyone joined exactly once.
+        assert sorted(builder._joined) == list(range(n))

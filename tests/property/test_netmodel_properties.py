@@ -1,0 +1,83 @@
+"""Property tests shared by every physical-latency substrate.
+
+The Makalu protocol assumes latencies are symmetric, deterministic under
+repeated measurement, zero only on the diagonal, and stable across model
+instances built from the same seed.  These invariants are checked for all
+three substrates over random (n, seed, id-pair) draws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel import (
+    EuclideanModel,
+    SyntheticPlanetLabModel,
+    TransitStubModel,
+)
+
+MODEL_FACTORIES = [
+    lambda n, seed: EuclideanModel(n, seed=seed),
+    lambda n, seed: TransitStubModel(n, seed=seed),
+    lambda n, seed: SyntheticPlanetLabModel(n, n_sites=max(2, n // 10), seed=seed),
+]
+
+
+@st.composite
+def model_cases(draw):
+    factory = draw(st.sampled_from(MODEL_FACTORIES))
+    n = draw(st.integers(min_value=2, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return factory(n, seed), n
+
+
+class TestSubstrateInvariants:
+    @given(model_cases(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_and_deterministic(self, case, data):
+        model, n = case
+        u = data.draw(st.integers(min_value=0, max_value=n - 1))
+        v = data.draw(st.integers(min_value=0, max_value=n - 1))
+        a = model.latency(u, v)
+        b = model.latency(v, u)
+        assert a == b
+        assert model.latency(u, v) == a  # repeated measurement is stable
+
+    @given(model_cases(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_diagonal_zero_offdiagonal_positive(self, case, data):
+        model, n = case
+        u = data.draw(st.integers(min_value=0, max_value=n - 1))
+        v = data.draw(st.integers(min_value=0, max_value=n - 1))
+        lat = model.latency(u, v)
+        if u == v:
+            assert lat == 0.0
+        else:
+            assert lat > 0.0
+
+    @given(st.integers(min_value=2, max_value=80),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_model(self, n, seed):
+        for factory in MODEL_FACTORIES:
+            a = factory(n, seed)
+            b = factory(n, seed)
+            ids = np.arange(n)
+            np.testing.assert_allclose(
+                a.pair_latency(ids, ids[::-1]), b.pair_latency(ids, ids[::-1])
+            )
+
+    @given(model_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_matches_scalar(self, case):
+        model, n = case
+        us = np.arange(min(n, 10))
+        vs = (us + 1) % n
+        vec = model.pair_latency(us, vs)
+        for i in range(us.size):
+            # The Euclidean scalar fast path sums squares in a different
+            # order than einsum, so allow last-ulp float divergence.
+            assert vec[i] == pytest.approx(
+                model.latency(int(us[i]), int(vs[i])), rel=1e-12, abs=1e-12
+            )

@@ -1,0 +1,104 @@
+"""Property-based tests for the Makalu peer rating function.
+
+The shared-pass implementation in rate_neighbors is validated against the
+direct set-based definitions (node_boundary / unique_reachable) on random
+adjacency structures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rating import (
+    RatingWeights,
+    node_boundary,
+    rate_neighbors,
+    unique_reachable,
+)
+
+
+@st.composite
+def local_views(draw):
+    """A node 0 with neighbors and each neighbor's neighborhood + latency.
+
+    This mirrors exactly what a Makalu node knows: its neighbor list with
+    latencies, plus each neighbor's shared neighbor list (which must
+    include node 0 back).
+    """
+    n_neighbors = draw(st.integers(min_value=1, max_value=8))
+    neighbors = list(range(1, n_neighbors + 1))
+    universe = st.integers(min_value=0, max_value=25)
+    adj = {}
+    for v in neighbors:
+        others = draw(st.sets(universe, max_size=10))
+        others.discard(v)
+        others.add(0)  # symmetric link back to the rating node
+        adj[v] = others
+    latencies = {
+        v: draw(st.floats(min_value=0.001, max_value=1e4, allow_nan=False))
+        for v in neighbors
+    }
+    return neighbors, adj, latencies
+
+
+class TestRatingAgainstDefinitions:
+    @given(local_views())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_set_based_definition(self, view):
+        neighbors, adj, lat = view
+        fn = lambda v: adj[v]
+        ratings = rate_neighbors(0, lat, fn, RatingWeights(1.0, 1.0))
+        boundary = len(node_boundary(0, neighbors, fn))
+        d_max = max(lat.values())
+        for v in neighbors:
+            unique = len(unique_reachable(0, v, neighbors, fn))
+            conn = unique / boundary if boundary else 0.0
+            prox = d_max / max(lat[v], 1e-12)
+            assert ratings[v] == pytest.approx(conn + prox, rel=1e-12)
+
+    @given(local_views())
+    @settings(max_examples=100, deadline=None)
+    def test_connectivity_term_bounds(self, view):
+        """Each connectivity share is in [0, 1] and shares sum to <= 1."""
+        neighbors, adj, lat = view
+        fn = lambda v: adj[v]
+        ratings = rate_neighbors(0, lat, fn, RatingWeights(1.0, 0.0))
+        total = sum(ratings.values())
+        assert all(0.0 <= r <= 1.0 + 1e-12 for r in ratings.values())
+        assert total <= 1.0 + 1e-9
+
+    @given(local_views())
+    @settings(max_examples=100, deadline=None)
+    def test_proximity_term_bounds(self, view):
+        """Proximity scores are >= 1 with the max attained by the nearest."""
+        neighbors, adj, lat = view
+        fn = lambda v: adj[v]
+        ratings = rate_neighbors(0, lat, fn, RatingWeights(0.0, 1.0))
+        assert all(r >= 1.0 - 1e-9 for r in ratings.values())
+        nearest = min(lat, key=lat.get)
+        assert ratings[nearest] == max(ratings.values())
+
+    @given(local_views(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_weights_scale_linearly(self, view, scale):
+        neighbors, adj, lat = view
+        fn = lambda v: adj[v]
+        base_conn = rate_neighbors(0, lat, fn, RatingWeights(1.0, 0.0))
+        base_prox = rate_neighbors(0, lat, fn, RatingWeights(0.0, 1.0))
+        mixed = rate_neighbors(0, lat, fn, RatingWeights(scale, 2 * scale))
+        for v in neighbors:
+            expected = scale * base_conn[v] + 2 * scale * base_prox[v]
+            assert mixed[v] == pytest.approx(expected, rel=1e-9)
+
+    @given(local_views())
+    @settings(max_examples=60, deadline=None)
+    def test_latency_scale_invariance(self, view):
+        """Multiplying all latencies by a constant leaves ratings unchanged
+        (only relative proximity matters)."""
+        neighbors, adj, lat = view
+        fn = lambda v: adj[v]
+        scaled = {v: 7.5 * d for v, d in lat.items()}
+        a = rate_neighbors(0, lat, fn)
+        b = rate_neighbors(0, scaled, fn)
+        for v in neighbors:
+            assert a[v] == pytest.approx(b[v], rel=1e-9)

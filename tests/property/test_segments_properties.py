@@ -1,0 +1,76 @@
+"""Property-based tests for CSR segment reductions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.segments import segment_bitwise_or, segment_max, segment_sum
+
+
+@st.composite
+def segmented_data(draw, width=None):
+    """Random (data, indptr) pair with possibly-empty segments."""
+    n_segments = draw(st.integers(min_value=1, max_value=12))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=8),
+            min_size=n_segments, max_size=n_segments,
+        )
+    )
+    total = sum(sizes)
+    indptr = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+    if width is None:
+        data = draw(
+            st.lists(
+                st.integers(min_value=-1000, max_value=1000),
+                min_size=total, max_size=total,
+            )
+        )
+        return np.asarray(data, dtype=np.int64), indptr, sizes
+    rows = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=2**63 - 1),
+                min_size=width, max_size=width,
+            ),
+            min_size=total, max_size=total,
+        )
+    )
+    return np.asarray(rows, dtype=np.uint64).reshape(total, width), indptr, sizes
+
+
+class TestSegmentReductions:
+    @given(segmented_data())
+    @settings(max_examples=100, deadline=None)
+    def test_sum_matches_python(self, case):
+        data, indptr, sizes = case
+        out = segment_sum(data, indptr)
+        expected = [
+            int(data[indptr[i] : indptr[i + 1]].sum()) for i in range(len(sizes))
+        ]
+        np.testing.assert_array_equal(out, expected)
+
+    @given(segmented_data())
+    @settings(max_examples=100, deadline=None)
+    def test_max_matches_python(self, case):
+        data, indptr, sizes = case
+        out = segment_max(data, indptr, empty_value=-9999)
+        expected = [
+            int(data[indptr[i] : indptr[i + 1]].max()) if sizes[i] else -9999
+            for i in range(len(sizes))
+        ]
+        np.testing.assert_array_equal(out, expected)
+
+    @given(segmented_data(width=3), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bitwise_or_matches_python_any_chunking(self, case, chunk):
+        data, indptr, sizes = case
+        out = segment_bitwise_or(data, indptr, chunk_rows=chunk)
+        for i in range(len(sizes)):
+            seg = data[indptr[i] : indptr[i + 1]]
+            expected = (
+                np.bitwise_or.reduce(seg, axis=0)
+                if sizes[i]
+                else np.zeros(3, dtype=np.uint64)
+            )
+            np.testing.assert_array_equal(out[i], expected)

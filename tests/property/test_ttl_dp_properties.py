@@ -1,0 +1,75 @@
+"""Property test: the Chang-Liu DP is exactly optimal on small horizons.
+
+Brute-forces every increasing TTL retry sequence ending at the horizon and
+checks the DP's expected cost matches the minimum.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import optimal_ttl_sequence
+
+
+def expected_cost(sequence, pmf, cost):
+    """E[messages] of a retry ladder under first-hit-hop pmf."""
+    cdf = np.cumsum(pmf)
+    total = 0.0
+    prev = 0
+    for t in sequence:
+        p_not_found = 1.0 - cdf[prev]  # previous attempt (or free local check)
+        total += cost[t] * p_not_found
+        prev = t
+    return total
+
+
+@st.composite
+def dp_instances(draw):
+    horizon = draw(st.integers(min_value=1, max_value=7))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=horizon + 1, max_size=horizon + 1,
+        )
+    )
+    pmf = np.asarray(raw)
+    total = pmf.sum()
+    if total > 0:
+        # Sub-normalize: leave some mass for "not present".
+        pmf = pmf / total * draw(st.floats(min_value=0.3, max_value=1.0))
+    steps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=horizon, max_size=horizon,
+        )
+    )
+    cost = np.concatenate(([0.0], np.cumsum(steps)))
+    return pmf, cost
+
+
+class TestDpOptimality:
+    @given(dp_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_bruteforce(self, instance):
+        pmf, cost = instance
+        horizon = pmf.size - 1
+        dp_seq = optimal_ttl_sequence(pmf, cost)
+        assert dp_seq[-1] == horizon
+
+        best = min(
+            expected_cost(list(combo) + [horizon], pmf, cost)
+            for r in range(horizon)
+            for combo in itertools.combinations(range(1, horizon), r)
+        )
+        assert expected_cost(dp_seq, pmf, cost) == pytest.approx(best, abs=1e-9)
+
+    @given(dp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_sequence_valid(self, instance):
+        pmf, cost = instance
+        seq = optimal_ttl_sequence(pmf, cost)
+        assert seq == sorted(set(seq))
+        assert all(1 <= t <= pmf.size - 1 for t in seq)

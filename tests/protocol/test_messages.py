@@ -1,0 +1,147 @@
+"""Tests for repro.protocol.messages — wire format round trips."""
+
+import pytest
+
+from repro.protocol import (
+    DESCRIPTOR_HEADER_SIZE,
+    GnutellaHeader,
+    MessageType,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    QueryHitResult,
+    decode_message,
+)
+
+DID = bytes(range(16))
+
+
+class TestHeader:
+    def test_size(self):
+        h = GnutellaHeader(DID, MessageType.PING, ttl=7, hops=0, payload_length=0)
+        assert len(h.encode()) == DESCRIPTOR_HEADER_SIZE == 23
+
+    def test_round_trip(self):
+        h = GnutellaHeader(DID, MessageType.QUERY, ttl=5, hops=2,
+                           payload_length=40)
+        decoded = GnutellaHeader.decode(h.encode())
+        assert decoded == h
+
+    def test_forwarded_semantics(self):
+        h = GnutellaHeader(DID, MessageType.QUERY, ttl=4, hops=1,
+                           payload_length=0)
+        f = h.forwarded()
+        assert f.ttl == 3 and f.hops == 2
+        assert f.descriptor_id == h.descriptor_id
+
+    def test_expired_ttl_cannot_forward(self):
+        h = GnutellaHeader(DID, MessageType.PING, ttl=1, hops=6,
+                           payload_length=0)
+        with pytest.raises(ValueError, match="expired"):
+            h.forwarded()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            GnutellaHeader(b"short", MessageType.PING, 7, 0, 0)
+        with pytest.raises(ValueError, match="one byte"):
+            GnutellaHeader(DID, MessageType.PING, 256, 0, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            GnutellaHeader(DID, MessageType.PING, 7, 0, -1)
+
+    def test_truncated_decode(self):
+        with pytest.raises(ValueError, match="header bytes"):
+            GnutellaHeader.decode(b"\x00" * 10)
+
+
+class TestPing:
+    def test_wire_size(self):
+        assert Ping(DID).wire_size == 23
+        assert len(Ping(DID).encode()) == 23
+
+    def test_round_trip(self):
+        msg = decode_message(Ping(DID, ttl=5, hops=2).encode())
+        assert isinstance(msg, Ping)
+        assert msg.ttl == 5 and msg.hops == 2
+
+
+class TestPong:
+    def test_round_trip(self):
+        pong = Pong(DID, port=6346, ip=(10, 0, 0, 7), files_shared=120,
+                    kb_shared=500_000, ttl=6, hops=1)
+        msg = decode_message(pong.encode())
+        assert msg == pong
+
+    def test_wire_size(self):
+        pong = Pong(DID, port=1, ip=(1, 2, 3, 4), files_shared=0, kb_shared=0)
+        assert pong.wire_size == len(pong.encode()) == 23 + 14
+
+
+class TestQuery:
+    def test_round_trip(self):
+        q = Query(DID, search_criteria="ubuntu iso", min_speed=64, ttl=7)
+        msg = decode_message(q.encode())
+        assert msg == q
+
+    def test_wire_size_tracks_criteria(self):
+        short = Query(DID, search_criteria="a")
+        long = Query(DID, search_criteria="a" * 80)
+        assert long.wire_size - short.wire_size == 79
+        assert short.wire_size == len(short.encode())
+
+    def test_realistic_2006_size(self):
+        # The paper's measured mean query is 106 bytes: a 23-byte header
+        # plus speed field plus ~80 characters of criteria/extensions.
+        q = Query(DID, search_criteria="x" * 80)
+        assert q.wire_size == pytest.approx(106, abs=2)
+
+    def test_unicode_criteria(self):
+        q = Query(DID, search_criteria="музыка mp3")
+        msg = decode_message(q.encode())
+        assert msg.search_criteria == "музыка mp3"
+
+
+class TestQueryHit:
+    def make(self, n_results=2):
+        results = tuple(
+            QueryHitResult(file_index=i, file_size=1000 * i,
+                           file_name=f"file-{i}.mp3")
+            for i in range(n_results)
+        )
+        return QueryHit(DID, port=6346, ip=(192, 168, 0, 9), speed=1000,
+                        results=results, servent_id=bytes(16), ttl=7, hops=0)
+
+    def test_round_trip(self):
+        hit = self.make(3)
+        msg = decode_message(hit.encode())
+        assert msg == hit
+
+    def test_empty_results(self):
+        hit = self.make(0)
+        msg = decode_message(hit.encode())
+        assert msg.results == ()
+
+    def test_too_many_results(self):
+        results = tuple(
+            QueryHitResult(i, i, "f") for i in range(256)
+        )
+        with pytest.raises(ValueError, match="255"):
+            QueryHit(DID, port=1, ip=(1, 2, 3, 4), speed=0, results=results)
+
+    def test_bad_servent_id(self):
+        with pytest.raises(ValueError, match="servent_id"):
+            QueryHit(DID, port=1, ip=(1, 2, 3, 4), speed=0, results=(),
+                     servent_id=b"short")
+
+
+class TestDecodeMessage:
+    def test_truncated_payload(self):
+        q = Query(DID, search_criteria="abc").encode()
+        with pytest.raises(ValueError, match="truncated"):
+            decode_message(q[:-2])
+
+    def test_unknown_type(self):
+        header = GnutellaHeader(DID, MessageType.PING, 7, 0, 0).encode()
+        corrupted = header[:16] + b"\x42" + header[17:]
+        with pytest.raises(ValueError):
+            decode_message(corrupted)

@@ -1,0 +1,127 @@
+"""Tests for repro.search.attenuated."""
+
+import numpy as np
+import pytest
+
+from repro.search import BloomParams, build_attenuated_filters, place_objects
+from repro.search.attenuated import aggregate_neighbors
+from repro.search.bloom import insert_keys, make_filters
+from tests.conftest import build_graph, path_graph, star_graph
+
+
+def single_holder_placement(n_nodes, holder, key=42):
+    """A placement with one object at one known node."""
+    from repro.search.replication import Placement
+
+    return Placement(
+        n_nodes=n_nodes,
+        object_keys=np.asarray([key], dtype=np.int64),
+        replica_nodes=np.asarray([holder], dtype=np.int64),
+        replica_indptr=np.asarray([0, 1], dtype=np.int64),
+    )
+
+
+class TestAggregateNeighbors:
+    def test_star_aggregation(self):
+        g = star_graph(3)
+        p = BloomParams(n_bits=128, n_hashes=2)
+        rows = make_filters(4, p)
+        insert_keys(rows, np.asarray([1]), np.asarray([7]), p)
+        agg = aggregate_neighbors(g, rows)
+        # The center ORs its leaves; leaves OR only the center (empty).
+        np.testing.assert_array_equal(agg[0], rows[1])
+        assert agg[1].sum() == 0  # center's filter is empty
+        assert agg[2].sum() == 0
+
+    def test_chunking_invariance(self, small_makalu, rng):
+        p = BloomParams(n_bits=128, n_hashes=2)
+        rows = rng.integers(0, 2**63, size=(small_makalu.n_nodes, p.n_words)).astype(
+            np.uint64
+        )
+        a = aggregate_neighbors(small_makalu, rows, chunk_nodes=13)
+        b = aggregate_neighbors(small_makalu, rows, chunk_nodes=10_000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shape_mismatch(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="one filter per node"):
+            aggregate_neighbors(g, np.zeros((2, 4), dtype=np.uint64))
+
+
+class TestBuildAttenuatedFilters:
+    def test_level0_contains_own_content(self):
+        g = path_graph(5)
+        placement = single_holder_placement(5, holder=2)
+        abf = build_attenuated_filters(g, placement=placement, depth=3)
+        assert abf.contains(2, 0, 42)
+        assert not abf.contains(0, 0, 42)
+
+    def test_level_semantics_on_path(self):
+        # Path 0-1-2-3-4 with object at node 0: node i's level-i filter
+        # first contains the key at level == distance(i, 0).
+        g = path_graph(5)
+        placement = single_holder_placement(5, holder=0)
+        abf = build_attenuated_filters(g, placement=placement, depth=4)
+        assert abf.matched_level(np.asarray([0]), 42)[0] == 0
+        assert abf.matched_level(np.asarray([1]), 42)[0] == 1
+        assert abf.matched_level(np.asarray([2]), 42)[0] == 2
+        assert abf.matched_level(np.asarray([3]), 42)[0] == 3
+        assert abf.matched_level(np.asarray([4]), 42)[0] == abf.no_match
+
+    def test_matched_level_prefers_shallowest(self):
+        # Star: center holds the object; a leaf sees it at level 1, and the
+        # echo at level 3 (leaf->center->leaf->center) must not shadow it.
+        g = star_graph(3)
+        placement = single_holder_placement(4, holder=0)
+        abf = build_attenuated_filters(g, placement=placement, depth=4)
+        assert abf.matched_level(np.asarray([1]), 42)[0] == 1
+        assert abf.matched_level(np.asarray([0]), 42)[0] == 0
+
+    def test_depth_property(self):
+        g = path_graph(3)
+        placement = single_holder_placement(3, holder=0)
+        abf = build_attenuated_filters(g, placement=placement, depth=2)
+        assert abf.depth == 2
+        assert abf.no_match == 2
+
+    def test_many_objects_no_false_negatives(self, small_makalu):
+        placement = place_objects(small_makalu.n_nodes, 20, 0.02, seed=1)
+        abf = build_attenuated_filters(small_makalu, placement=placement, depth=3)
+        # Every holder's level-0 filter contains its object's key.
+        for obj in range(20):
+            key = placement.key_of(obj)
+            holders = placement.replicas(obj)
+            levels = abf.matched_level(holders, key)
+            assert np.all(levels == 0)
+            # And holders' neighbors see it at level <= 1.
+            nbr = int(small_makalu.neighbors(int(holders[0]))[0])
+            assert abf.matched_level(np.asarray([nbr]), key)[0] <= 1
+
+    def test_node_store_entry_point(self):
+        g = path_graph(3)
+        indptr = np.asarray([0, 1, 1, 1])
+        keys = np.asarray([99])
+        abf = build_attenuated_filters(g, node_store=(indptr, keys), depth=2)
+        assert abf.contains(0, 0, 99)
+
+    def test_requires_exactly_one_content_source(self):
+        g = path_graph(3)
+        placement = single_holder_placement(3, holder=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            build_attenuated_filters(g, placement=placement,
+                                     node_store=(np.asarray([0, 0, 0, 0]),
+                                                 np.asarray([], dtype=np.int64)))
+        with pytest.raises(ValueError, match="exactly one"):
+            build_attenuated_filters(g)
+
+    def test_bad_depth(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="depth"):
+            build_attenuated_filters(
+                g, placement=single_holder_placement(3, 0), depth=0
+            )
+
+    def test_placement_size_mismatch(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="disagree"):
+            build_attenuated_filters(g, placement=single_holder_placement(5, 0))

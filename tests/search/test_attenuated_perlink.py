@@ -1,0 +1,165 @@
+"""Tests for repro.search.attenuated_perlink."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    build_per_link_filters,
+    identifier_queries,
+    place_objects,
+)
+from repro.search.attenuated_perlink import (
+    _leave_one_out_or,
+    _reverse_entry_permutation,
+)
+from tests.search.test_attenuated import single_holder_placement
+from tests.conftest import build_graph, cycle_graph, path_graph, star_graph
+
+
+class TestReversePermutation:
+    def test_involution(self, small_makalu):
+        rev = _reverse_entry_permutation(small_makalu)
+        np.testing.assert_array_equal(rev[rev], np.arange(rev.size))
+
+    def test_maps_to_reverse_edge(self):
+        g = build_graph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        rev = _reverse_entry_permutation(g)
+        deg = np.diff(g.indptr)
+        src = np.repeat(np.arange(4), deg)
+        dst = g.indices
+        for j in range(dst.size):
+            assert src[rev[j]] == dst[j]
+            assert dst[rev[j]] == src[j]
+
+
+class TestLeaveOneOutOr:
+    def test_manual(self):
+        rows = np.asarray([[1], [2], [4], [8], [16]], dtype=np.uint64)
+        indptr = np.asarray([0, 3, 3, 5])
+        out = _leave_one_out_or(rows, indptr)
+        np.testing.assert_array_equal(out, [[6], [5], [3], [16], [8]])
+
+    def test_singleton_segment_is_zero(self):
+        rows = np.asarray([[0xFF]], dtype=np.uint64)
+        out = _leave_one_out_or(rows, np.asarray([0, 1]))
+        np.testing.assert_array_equal(out, [[0]])
+
+    def test_matches_bruteforce(self, rng):
+        rows = rng.integers(0, 2**63, size=(60, 3)).astype(np.uint64)
+        cuts = np.sort(rng.integers(0, 61, size=9))
+        indptr = np.concatenate(([0], cuts, [60]))
+        out = _leave_one_out_or(rows, indptr)
+        for s in range(indptr.size - 1):
+            seg = slice(indptr[s], indptr[s + 1])
+            for j in range(indptr[s], indptr[s + 1]):
+                others = [k for k in range(indptr[s], indptr[s + 1]) if k != j]
+                expected = (
+                    np.bitwise_or.reduce(rows[others], axis=0)
+                    if others else np.zeros(3, dtype=np.uint64)
+                )
+                np.testing.assert_array_equal(out[j], expected)
+
+
+class TestPerLinkSemantics:
+    def test_level1_is_neighbor_digest(self):
+        g = path_graph(3)
+        p = single_holder_placement(3, holder=1)
+        plf = build_per_link_filters(g, placement=p, depth=2)
+        # Links 0->1 and 2->1 see the key at level 1; links 1->0, 1->2 don't.
+        pos_01 = g.indptr[0] + 0
+        pos_21 = g.indptr[2] + 0
+        assert plf.matched_level_links(np.asarray([pos_01]), 42)[0] == 1
+        assert plf.matched_level_links(np.asarray([pos_21]), 42)[0] == 1
+
+    def test_exact_distance_semantics_on_path(self):
+        # 0-1-2-3-4, object at 0.  Link (i -> i-1) matches at level i exactly.
+        g = path_graph(5)
+        p = single_holder_placement(5, holder=0)
+        plf = build_per_link_filters(g, placement=p, depth=4)
+        for i in (1, 2, 3, 4):
+            nbrs = g.neighbors(i)
+            pos = g.indptr[i] + int(np.searchsorted(nbrs, i - 1))
+            assert plf.matched_level_links(np.asarray([pos]), 42)[0] == i
+            # The forward link (away from the holder) never matches.
+            if i < 4:
+                fpos = g.indptr[i] + int(np.searchsorted(nbrs, i + 1))
+                assert (
+                    plf.matched_level_links(np.asarray([fpos]), 42)[0]
+                    == plf.no_match
+                )
+
+    def test_no_echo(self):
+        # Star with the object at the CENTER: the center's own links to
+        # leaves must never claim the object (a leaf has nothing), while in
+        # the per-node variant the center's deep levels echo its own content.
+        g = star_graph(4)
+        p = single_holder_placement(5, holder=0)
+        plf = build_per_link_filters(g, placement=p, depth=3)
+        center_links = np.arange(g.indptr[0], g.indptr[1])
+        levels = plf.matched_level_links(center_links, 42)
+        assert np.all(levels == plf.no_match)
+        # Contrast: per-node filters echo the center's key back at level 2.
+        abf = build_attenuated_filters(g, placement=p, depth=3)
+        assert abf.matched_level(np.asarray([0]), 42)[0] == 0  # own level
+        # A leaf's view of the center via per-node filter matches at 1;
+        # per-link agrees there (no echo involved on that direction).
+        leaf_link = g.indptr[1]
+        assert plf.matched_level_links(np.asarray([leaf_link]), 42)[0] == 1
+
+    def test_cycle_both_directions(self):
+        g = cycle_graph(6)
+        p = single_holder_placement(6, holder=3)
+        plf = build_per_link_filters(g, placement=p, depth=3)
+        # From node 1: going via 2 reaches 3 in 2 hops; via 0 needs 4 (> depth).
+        nbrs = g.neighbors(1)
+        via2 = g.indptr[1] + int(np.searchsorted(nbrs, 2))
+        via0 = g.indptr[1] + int(np.searchsorted(nbrs, 0))
+        assert plf.matched_level_links(np.asarray([via2]), 42)[0] == 2
+        assert plf.matched_level_links(np.asarray([via0]), 42)[0] == plf.no_match
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="depth"):
+            build_per_link_filters(
+                g, placement=single_holder_placement(3, 0), depth=0
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            build_per_link_filters(g)
+        with pytest.raises(ValueError, match="disagree"):
+            build_per_link_filters(g, placement=single_holder_placement(5, 0))
+
+
+class TestPerLinkRouting:
+    def test_router_accepts_per_link_filters(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 10, 0.01, seed=1)
+        plf = build_per_link_filters(small_makalu, placement=p, depth=3)
+        router = AbfRouter(small_makalu, plf)
+        results = identifier_queries(router, p, 60, ttl=25, seed=2)
+        assert np.mean([r.success for r in results]) > 0.9
+        msgs = [r.messages for r in results if r.success]
+        assert np.median(msgs) <= 10
+
+    def test_graph_mismatch_rejected(self, small_makalu):
+        p = single_holder_placement(4, holder=0)
+        g = path_graph(4)
+        plf = build_per_link_filters(g, placement=p, depth=2)
+        with pytest.raises(ValueError, match="different graph"):
+            AbfRouter(small_makalu, plf)
+
+    def test_per_link_at_least_as_good_as_per_node(self, small_makalu):
+        """Without echo pollution, per-link routing should resolve at least
+        as many queries within the same TTL."""
+        p = place_objects(small_makalu.n_nodes, 10, 0.005, seed=3)
+        node_router = AbfRouter(
+            small_makalu, build_attenuated_filters(small_makalu, placement=p, depth=3)
+        )
+        link_router = AbfRouter(
+            small_makalu, build_per_link_filters(small_makalu, placement=p, depth=3)
+        )
+        node_res = identifier_queries(node_router, p, 80, ttl=25, seed=4)
+        link_res = identifier_queries(link_router, p, 80, ttl=25, seed=4)
+        node_ok = np.mean([r.success for r in node_res])
+        link_ok = np.mean([r.success for r in link_res])
+        assert link_ok >= node_ok - 0.05

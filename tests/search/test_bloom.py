@@ -1,0 +1,127 @@
+"""Tests for repro.search.bloom."""
+
+import numpy as np
+import pytest
+
+from repro.search.bloom import (
+    BloomParams,
+    contains_key,
+    fill_ratio,
+    insert_keys,
+    key_positions,
+    make_filters,
+)
+
+
+class TestBloomParams:
+    def test_defaults(self):
+        p = BloomParams()
+        assert p.n_bits == 2048 and p.n_hashes == 4
+        assert p.n_words == 32
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BloomParams(n_bits=100)  # not multiple of 64
+        with pytest.raises(ValueError):
+            BloomParams(n_bits=0)
+
+    def test_invalid_hashes(self):
+        with pytest.raises(ValueError):
+            BloomParams(n_hashes=0)
+
+    def test_fp_rate_formula(self):
+        p = BloomParams(n_bits=1024, n_hashes=4)
+        assert p.false_positive_rate(0) == 0.0
+        # Classic formula sanity: more items -> higher FP rate.
+        assert p.false_positive_rate(100) < p.false_positive_rate(500) < 1.0
+
+    def test_fp_rate_negative_items(self):
+        with pytest.raises(ValueError):
+            BloomParams().false_positive_rate(-1)
+
+
+class TestInsertContains:
+    def test_no_false_negatives(self):
+        p = BloomParams(n_bits=256, n_hashes=3)
+        filters = make_filters(10, p)
+        keys = np.arange(100, 150)
+        rows = np.repeat(np.arange(10), 5)
+        insert_keys(filters, rows, keys, p)
+        for row, key in zip(rows, keys):
+            assert contains_key(filters, np.asarray([row]), int(key), p)[0]
+
+    def test_empty_filter_contains_nothing(self):
+        p = BloomParams(n_bits=256, n_hashes=3)
+        filters = make_filters(5, p)
+        assert not contains_key(filters, np.arange(5), 12345, p).any()
+
+    def test_isolation_between_rows(self):
+        p = BloomParams(n_bits=2048, n_hashes=4)
+        filters = make_filters(2, p)
+        insert_keys(filters, np.asarray([0]), np.asarray([777]), p)
+        assert contains_key(filters, np.asarray([0]), 777, p)[0]
+        assert not contains_key(filters, np.asarray([1]), 777, p)[0]
+
+    def test_fp_rate_near_theory(self):
+        p = BloomParams(n_bits=1024, n_hashes=4)
+        filters = make_filters(1, p)
+        n_items = 150
+        insert_keys(filters, np.zeros(n_items, dtype=np.int64),
+                    np.arange(n_items), p)
+        probes = np.arange(10_000, 30_000)
+        hits = sum(
+            bool(contains_key(filters, np.asarray([0]), int(k), p)[0])
+            for k in probes[:2000]
+        )
+        measured = hits / 2000
+        expected = p.false_positive_rate(n_items)
+        assert measured < 3 * expected + 0.01
+
+    def test_misaligned_args(self):
+        p = BloomParams()
+        filters = make_filters(2, p)
+        with pytest.raises(ValueError, match="aligned"):
+            insert_keys(filters, np.asarray([0, 1]), np.asarray([5]), p)
+
+    def test_insert_empty_noop(self):
+        p = BloomParams()
+        filters = make_filters(1, p)
+        insert_keys(filters, np.asarray([], dtype=np.int64),
+                    np.asarray([], dtype=np.int64), p)
+        assert filters.sum() == 0
+
+
+class TestKeyPositions:
+    def test_shapes(self):
+        p = BloomParams(n_bits=512, n_hashes=5)
+        words, masks = key_positions(np.arange(7), p)
+        assert words.shape == (7, 5)
+        assert masks.shape == (7, 5)
+
+    def test_words_in_range(self):
+        p = BloomParams(n_bits=512, n_hashes=4)
+        words, masks = key_positions(np.arange(100), p)
+        assert words.min() >= 0 and words.max() < p.n_words
+
+    def test_masks_single_bit(self):
+        p = BloomParams(n_bits=512, n_hashes=4)
+        _, masks = key_positions(np.arange(50), p)
+        # Each mask must be a power of two.
+        m = masks.reshape(-1)
+        assert np.all((m & (m - np.uint64(1))) == 0)
+        assert np.all(m != 0)
+
+
+class TestFillRatio:
+    def test_empty_and_inserted(self):
+        p = BloomParams(n_bits=256, n_hashes=2)
+        filters = make_filters(2, p)
+        insert_keys(filters, np.zeros(20, dtype=np.int64), np.arange(20), p)
+        ratios = fill_ratio(filters, p)
+        assert ratios[1] == 0.0
+        assert 0 < ratios[0] <= 40 / 256
+
+    def test_saturated(self):
+        p = BloomParams(n_bits=64, n_hashes=1)
+        filters = np.full((1, 1), np.uint64(0xFFFFFFFFFFFFFFFF))
+        assert fill_ratio(filters, p)[0] == 1.0

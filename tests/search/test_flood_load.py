@@ -1,0 +1,60 @@
+"""Tests for flood_node_load (per-peer traffic accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.search import flood
+from repro.search.flooding import flood_node_load
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestFloodNodeLoad:
+    def test_total_matches_flood(self, small_makalu):
+        for source, ttl in [(0, 2), (5, 4), (9, 6)]:
+            load, _ = flood_node_load(small_makalu, source, ttl)
+            assert load.sum() == flood(small_makalu, source, ttl).total_messages
+
+    def test_star_center_load(self):
+        g = star_graph(4)
+        load, hops = flood_node_load(g, 1, ttl=2)
+        # Leaf 1 sends to center (1 msg); center forwards to 3 other leaves.
+        assert load[0] == 1
+        np.testing.assert_array_equal(load[[2, 3, 4]], [1, 1, 1])
+        assert load[1] == 0  # parent is excluded
+        np.testing.assert_array_equal(hops, [1, 0, 2, 2, 2])
+
+    def test_cycle_meeting_point_gets_two(self):
+        g = cycle_graph(6)
+        load, hops = flood_node_load(g, 0, ttl=3)
+        # Node 3 receives one copy from each direction.
+        assert load[3] == 2
+        assert hops[3] == 3
+
+    def test_complete_graph_duplicates_land_on_siblings(self):
+        g = complete_graph(4)
+        load, hops = flood_node_load(g, 0, ttl=2)
+        # Hop 1: 3 messages; hop 2: each of 3 forwards to its 2 non-parent
+        # neighbors — in K4 every hop-1 node's parent IS the source, so the
+        # duplicates land on the siblings and the source receives nothing.
+        assert load.sum() == 3 + 6
+        assert np.all(hops[1:] == 1)
+        np.testing.assert_array_equal(load, [0, 3, 3, 3])
+
+    def test_hops_match_bfs(self, small_makalu):
+        from repro.analysis import bfs_hops
+
+        load, hops = flood_node_load(small_makalu, 3, ttl=4)
+        np.testing.assert_array_equal(hops, bfs_hops(small_makalu, 3, max_hops=4))
+
+    def test_ttl_zero(self):
+        g = path_graph(3)
+        load, hops = flood_node_load(g, 0, ttl=0)
+        assert load.sum() == 0
+        assert hops[0] == 0
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            flood_node_load(g, 5, ttl=1)
+        with pytest.raises(ValueError):
+            flood_node_load(g, 0, ttl=-1)

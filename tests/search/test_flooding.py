@@ -1,0 +1,175 @@
+"""Tests for repro.search.flooding — message accounting checked by hand."""
+
+import numpy as np
+import pytest
+
+from repro.search import flood, flood_queries, place_objects
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestFloodAccounting:
+    def test_star_hop1(self):
+        g = star_graph(4)
+        r = flood(g, 0, ttl=1)
+        assert r.total_messages == 4
+        assert r.nodes_visited == 5
+        assert r.duplicate_fraction == 0.0
+
+    def test_star_from_leaf(self):
+        g = star_graph(4)
+        r = flood(g, 1, ttl=2)
+        # hop1: leaf -> center (1 msg); hop2: center -> 3 other leaves.
+        np.testing.assert_array_equal(r.messages_per_hop, [1, 3])
+        assert r.nodes_visited == 5
+        assert r.duplicates_per_hop.sum() == 0
+
+    def test_cycle_duplicates_on_meeting(self):
+        g = cycle_graph(6)
+        r = flood(g, 0, ttl=3)
+        # hop1: 2 msgs; hop2: 2 msgs; hop3: both sides send to node 3 -> 2
+        # messages, 1 new node, 1 duplicate.
+        np.testing.assert_array_equal(r.messages_per_hop, [2, 2, 2])
+        np.testing.assert_array_equal(r.new_nodes_per_hop, [2, 2, 1])
+        np.testing.assert_array_equal(r.duplicates_per_hop, [0, 0, 1])
+
+    def test_complete_graph_massive_duplication(self):
+        g = complete_graph(5)
+        r = flood(g, 0, ttl=2)
+        # hop1: 4 msgs, all new.  hop2: each of 4 nodes sends deg-1 = 3.
+        np.testing.assert_array_equal(r.messages_per_hop, [4, 12])
+        np.testing.assert_array_equal(r.new_nodes_per_hop, [4, 0])
+        assert r.duplicates_per_hop[1] == 12
+
+    def test_ttl_zero(self):
+        g = star_graph(3)
+        r = flood(g, 0, ttl=0)
+        assert r.total_messages == 0
+        assert r.nodes_visited == 1
+
+    def test_flood_stops_at_exhaustion(self):
+        g = path_graph(3)
+        r = flood(g, 0, ttl=10)
+        # hop1: 1 msg; hop2: 1 msg; then node 2 has no non-parent neighbor.
+        assert r.total_messages == 2
+        assert r.nodes_visited == 3
+
+    def test_messages_within_ttl(self):
+        g = cycle_graph(8)
+        r = flood(g, 0, ttl=4)
+        assert r.messages_within_ttl(2) == int(r.messages_per_hop[:2].sum())
+        assert r.messages_within_ttl(100) == r.total_messages
+
+
+class TestFloodHits:
+    def test_source_holds_object(self):
+        g = star_graph(3)
+        mask = np.zeros(4, dtype=bool)
+        mask[0] = True
+        r = flood(g, 0, ttl=2, replica_mask=mask)
+        assert r.first_hit_hop == 0
+        assert r.success
+
+    def test_hit_at_correct_hop(self):
+        g = path_graph(6)
+        mask = np.zeros(6, dtype=bool)
+        mask[4] = True
+        r = flood(g, 0, ttl=5, replica_mask=mask)
+        assert r.first_hit_hop == 4
+
+    def test_miss_beyond_ttl(self):
+        g = path_graph(6)
+        mask = np.zeros(6, dtype=bool)
+        mask[5] = True
+        r = flood(g, 0, ttl=3, replica_mask=mask)
+        assert not r.success
+        assert r.first_hit_hop == -1
+
+    def test_replica_count(self):
+        g = complete_graph(6)
+        mask = np.zeros(6, dtype=bool)
+        mask[[1, 2, 3]] = True
+        r = flood(g, 0, ttl=1, replica_mask=mask)
+        assert r.replicas_found == 3
+
+    def test_record_conversion(self):
+        g = path_graph(4)
+        mask = np.zeros(4, dtype=bool)
+        mask[2] = True
+        rec = flood(g, 0, ttl=3, replica_mask=mask).record()
+        assert rec.first_hit_hop == 2
+        assert rec.messages == 3
+
+
+class TestFloodValidation:
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            flood(path_graph(3), 3, ttl=1)
+
+    def test_bad_ttl(self):
+        with pytest.raises(ValueError):
+            flood(path_graph(3), 0, ttl=-1)
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(ValueError, match="one entry per node"):
+            flood(path_graph(3), 0, ttl=1, replica_mask=np.zeros(2, dtype=bool))
+
+
+class TestFloodOnMakalu:
+    def test_high_coverage_within_four_hops(self, small_makalu):
+        r = flood(small_makalu, 0, ttl=4)
+        assert r.nodes_visited > 0.9 * small_makalu.n_nodes
+
+    def test_duplicates_low_in_expanding_phase(self, small_makalu):
+        # At this small scale only hop 1 is inside the expanding phase;
+        # the low-duplicate property at deeper TTLs is a 100k-node effect
+        # exercised by the benchmarks.
+        r = flood(small_makalu, 0, ttl=1)
+        assert r.duplicate_fraction == 0.0
+
+    def test_duplicates_surge_past_convergence_boundary(self, small_makalu):
+        shallow = flood(small_makalu, 0, ttl=2)
+        deep = flood(small_makalu, 0, ttl=4)
+        assert deep.duplicate_fraction > shallow.duplicate_fraction
+
+    def test_conservation_invariant(self, small_makalu):
+        """Each hop's messages = new nodes + duplicates."""
+        r = flood(small_makalu, 3, ttl=6)
+        np.testing.assert_array_equal(
+            r.messages_per_hop, r.new_nodes_per_hop + r.duplicates_per_hop
+        )
+
+
+class TestFloodQueries:
+    def test_batch_shape(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 5, 0.02, seed=1)
+        results = flood_queries(small_makalu, p, 20, ttl=4, seed=2)
+        assert len(results) == 20
+
+    def test_all_succeed_at_good_replication(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 5, 0.05, seed=3)
+        results = flood_queries(small_makalu, p, 30, ttl=4, seed=4)
+        assert all(r.success for r in results)
+
+    def test_explicit_sources(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 2, 0.05, seed=5)
+        results = flood_queries(
+            small_makalu, p, 3, ttl=2, seed=6, sources=[1, 2, 3]
+        )
+        assert [r.source for r in results] == [1, 2, 3]
+
+    def test_source_count_mismatch(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 2, 0.05, seed=7)
+        with pytest.raises(ValueError, match="one entry per query"):
+            flood_queries(small_makalu, p, 3, ttl=2, sources=[1])
+
+    def test_placement_size_mismatch(self, small_makalu):
+        p = place_objects(10, 2, 0.5, seed=8)
+        with pytest.raises(ValueError, match="disagree"):
+            flood_queries(small_makalu, p, 3, ttl=2)
+
+    def test_reproducible(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 5, 0.02, seed=9)
+        a = flood_queries(small_makalu, p, 10, ttl=3, seed=10)
+        b = flood_queries(small_makalu, p, 10, ttl=3, seed=10)
+        assert [r.total_messages for r in a] == [r.total_messages for r in b]
+        assert [r.first_hit_hop for r in a] == [r.first_hit_hop for r in b]

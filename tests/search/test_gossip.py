@@ -1,0 +1,92 @@
+"""Tests for repro.search.gossip (flood + epidemic two-phase search)."""
+
+import numpy as np
+import pytest
+
+from repro.search import flood, flood_then_gossip, place_objects
+from tests.conftest import cycle_graph, path_graph, star_graph
+
+
+class TestFloodThenGossip:
+    def test_pure_flood_phase_matches_flood(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 1, 0.02, seed=1)
+        mask = p.holder_mask(0)
+        two_phase = flood_then_gossip(
+            small_makalu, 0, mask, flood_ttl=3, gossip_rounds=0, seed=2
+        )
+        plain = flood(small_makalu, 0, ttl=3, replica_mask=mask)
+        assert two_phase.flood_messages == plain.total_messages
+        assert two_phase.gossip_messages == 0
+        assert two_phase.first_hit_hop == plain.first_hit_hop
+
+    def test_gossip_extends_reach(self, small_makalu):
+        no_gossip = flood_then_gossip(
+            small_makalu, 0, None, flood_ttl=2, gossip_rounds=0, seed=3
+        )
+        with_gossip = flood_then_gossip(
+            small_makalu, 0, None, flood_ttl=2, gossip_rounds=4, fanout=3, seed=3
+        )
+        assert with_gossip.nodes_visited > no_gossip.nodes_visited
+
+    def test_gossip_cheaper_than_deep_flood(self, small_makalu):
+        """Past the convergence boundary, epidemic push spends fewer messages
+        per node than full flooding at comparable coverage."""
+        deep = flood(small_makalu, 7, ttl=5)
+        hybrid = flood_then_gossip(
+            small_makalu, 7, None, flood_ttl=2, gossip_rounds=6, fanout=3, seed=4
+        )
+        deep_cost = deep.total_messages / deep.nodes_visited
+        hybrid_cost = hybrid.total_messages / hybrid.nodes_visited
+        assert hybrid_cost < deep_cost
+        assert hybrid.nodes_visited > 0.5 * deep.nodes_visited
+
+    def test_hit_in_gossip_phase_hop_accounting(self):
+        g = path_graph(8)
+        mask = np.zeros(8, dtype=bool)
+        mask[4] = True
+        # flood covers 2 hops; gossip (fanout >= 1 on a path) pushes on.
+        r = flood_then_gossip(g, 0, mask, flood_ttl=2, gossip_rounds=6,
+                              fanout=2, seed=5)
+        assert r.success
+        assert r.first_hit_hop > 2
+
+    def test_hit_in_flood_phase(self):
+        g = star_graph(4)
+        mask = np.zeros(5, dtype=bool)
+        mask[3] = True
+        r = flood_then_gossip(g, 0, mask, flood_ttl=1, gossip_rounds=0)
+        assert r.success and r.first_hit_hop == 1
+
+    def test_source_hit(self):
+        g = star_graph(2)
+        mask = np.zeros(3, dtype=bool)
+        mask[0] = True
+        r = flood_then_gossip(g, 0, mask, flood_ttl=1, gossip_rounds=1, seed=6)
+        assert r.first_hit_hop == 0
+
+    def test_messages_counted_per_push(self):
+        # On a cycle, flood_ttl=0 means gossip starts from the source only...
+        g = cycle_graph(10)
+        r = flood_then_gossip(g, 0, None, flood_ttl=1, gossip_rounds=1,
+                              fanout=2, seed=7)
+        # flood hop1 = 2 messages; gossip round: 2 new nodes x fanout 2.
+        assert r.flood_messages == 2
+        assert r.gossip_messages == 4
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            flood_then_gossip(g, 0, None, flood_ttl=-1, gossip_rounds=0)
+        with pytest.raises(ValueError, match="fanout"):
+            flood_then_gossip(g, 0, None, flood_ttl=1, gossip_rounds=1, fanout=0)
+        with pytest.raises(ValueError, match="one entry per node"):
+            flood_then_gossip(g, 0, np.zeros(2, dtype=bool), flood_ttl=1,
+                              gossip_rounds=0)
+
+    def test_reproducible(self, small_makalu):
+        a = flood_then_gossip(small_makalu, 3, None, flood_ttl=2,
+                              gossip_rounds=3, seed=8)
+        b = flood_then_gossip(small_makalu, 3, None, flood_ttl=2,
+                              gossip_rounds=3, seed=8)
+        assert a.total_messages == b.total_messages
+        assert a.nodes_visited == b.nodes_visited

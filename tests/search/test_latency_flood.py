@@ -1,0 +1,106 @@
+"""Tests for repro.search.latency_flood."""
+
+import numpy as np
+import pytest
+
+from repro.search.latency_flood import (
+    flood_arrival_times,
+    response_time_distribution,
+    time_to_first_result,
+)
+from repro.search import place_objects
+from tests.conftest import build_graph, path_graph
+
+
+class TestArrivalTimes:
+    def test_path_accumulates_latency(self):
+        g = build_graph(4, [(0, 1), (1, 2), (2, 3)], latencies=[5.0, 7.0, 2.0])
+        arrival = flood_arrival_times(g, 0, ttl=3)
+        np.testing.assert_allclose(arrival, [0.0, 5.0, 12.0, 14.0])
+
+    def test_ttl_limits_reach(self):
+        g = path_graph(5)
+        arrival = flood_arrival_times(g, 0, ttl=2)
+        assert np.isfinite(arrival[:3]).all()
+        assert np.isinf(arrival[3:]).all()
+
+    def test_hop_constrained_not_pure_dijkstra(self):
+        # Cheap long path (3 hops x 1) vs expensive direct edge (1 hop x 10):
+        # with TTL 1 only the direct edge is usable.
+        g = build_graph(
+            4, [(0, 1), (1, 2), (2, 3), (0, 3)], latencies=[1.0, 1.0, 1.0, 10.0]
+        )
+        assert flood_arrival_times(g, 0, ttl=1)[3] == 10.0
+        assert flood_arrival_times(g, 0, ttl=3)[3] == 3.0
+
+    def test_matches_dijkstra_when_ttl_large(self, small_makalu):
+        import scipy.sparse.csgraph as csgraph
+
+        arrival = flood_arrival_times(small_makalu, 5, ttl=small_makalu.n_nodes)
+        dist = csgraph.dijkstra(
+            small_makalu.to_scipy(weighted=True), directed=False, indices=[5]
+        )[0]
+        np.testing.assert_allclose(arrival, dist)
+
+    def test_ttl_zero(self):
+        g = path_graph(3)
+        arrival = flood_arrival_times(g, 1, ttl=0)
+        assert arrival[1] == 0.0
+        assert np.isinf(arrival[0]) and np.isinf(arrival[2])
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            flood_arrival_times(g, 9, ttl=1)
+        with pytest.raises(ValueError):
+            flood_arrival_times(g, 0, ttl=-1)
+
+
+class TestTimeToFirstResult:
+    def test_round_trip_doubles(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[4.0, 6.0])
+        mask = np.zeros(3, dtype=bool)
+        mask[2] = True
+        one_way = time_to_first_result(g, 0, 3, mask, round_trip=False)
+        rt = time_to_first_result(g, 0, 3, mask, round_trip=True)
+        assert one_way.first_result_time == 10.0
+        assert rt.first_result_time == 20.0
+
+    def test_nearest_replica_wins(self):
+        g = build_graph(4, [(0, 1), (0, 2), (2, 3)], latencies=[9.0, 1.0, 1.0])
+        mask = np.zeros(4, dtype=bool)
+        mask[[1, 3]] = True
+        res = time_to_first_result(g, 0, 3, mask, round_trip=False)
+        assert res.first_result_time == 2.0  # via 2 -> 3
+        assert res.results_within_ttl == 2
+
+    def test_unreachable_is_inf(self):
+        g = build_graph(3, [(0, 1)])
+        mask = np.zeros(3, dtype=bool)
+        mask[2] = True
+        res = time_to_first_result(g, 0, 5, mask)
+        assert not res.success
+        assert np.isinf(res.first_result_time)
+
+
+class TestDistribution:
+    def test_shapes_and_reproducibility(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 5, 0.02, seed=1)
+        a = response_time_distribution(small_makalu, p, 20, ttl=4, seed=2)
+        b = response_time_distribution(small_makalu, p, 20, ttl=4, seed=2)
+        np.testing.assert_allclose(a, b)
+        assert a.shape == (20,)
+        assert np.isfinite(a).mean() > 0.9
+
+    def test_makalu_faster_than_latency_blind_expander(self, small_makalu,
+                                                        small_makalu_model):
+        """Makalu's proximity-aware links should answer queries faster than
+        a random expander on the same substrate at the same TTL."""
+        from repro.topology import k_regular_graph
+
+        n = small_makalu.n_nodes
+        kreg = k_regular_graph(n, 10, model=small_makalu_model, seed=9)
+        p = place_objects(n, 5, 0.02, seed=3)
+        mk = response_time_distribution(small_makalu, p, 40, ttl=4, seed=4)
+        kr = response_time_distribution(kreg, p, 40, ttl=4, seed=4)
+        assert np.median(mk[np.isfinite(mk)]) < np.median(kr[np.isfinite(kr)])

@@ -1,0 +1,86 @@
+"""Tests for repro.search.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.search.metrics import (
+    QueryRecord,
+    min_ttl_for_success,
+    success_vs_ttl,
+    summarize,
+)
+
+
+def record(messages, hit):
+    return QueryRecord(source=0, messages=messages, first_hit_hop=hit)
+
+
+class TestQueryRecord:
+    def test_success_flag(self):
+        assert record(10, 3).success
+        assert not record(10, -1).success
+        assert record(0, 0).success  # source held the object
+
+
+class TestSummarize:
+    def test_basic_aggregation(self):
+        recs = [record(100, 2), record(200, -1), record(300, 4)]
+        s = summarize(recs)
+        assert s.n_queries == 3
+        assert s.success_rate == pytest.approx(2 / 3)
+        assert s.mean_messages == pytest.approx(200.0)
+        assert s.mean_hops_to_hit == pytest.approx(3.0)
+
+    def test_no_successes_gives_nan_hops(self):
+        s = summarize([record(5, -1)])
+        assert np.isnan(s.mean_hops_to_hit)
+        assert s.success_rate == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile(self):
+        recs = [record(m, 1) for m in range(1, 101)]
+        s = summarize(recs)
+        assert s.p95_messages == pytest.approx(np.percentile(range(1, 101), 95))
+
+
+class TestSuccessVsTtl:
+    def test_curve_shape(self):
+        hops = np.asarray([0, 1, 1, 2, -1])
+        curve = success_vs_ttl(hops, max_ttl=3)
+        np.testing.assert_allclose(curve, [0.2, 0.6, 0.8, 0.8])
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        hops = rng.integers(-1, 10, size=200)
+        curve = success_vs_ttl(hops, max_ttl=12)
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_failures_never_count(self):
+        curve = success_vs_ttl(np.asarray([-1, -1]), max_ttl=5)
+        np.testing.assert_array_equal(curve, np.zeros(6))
+
+    def test_negative_ttl_raises(self):
+        with pytest.raises(ValueError):
+            success_vs_ttl(np.asarray([1]), max_ttl=-1)
+
+
+class TestMinTtl:
+    def test_basic(self):
+        hops = np.asarray([1, 2, 2, 3])
+        assert min_ttl_for_success(hops, target=0.5) == 2
+        assert min_ttl_for_success(hops, target=1.0) == 3
+
+    def test_paper_95_percent_semantics(self):
+        hops = np.concatenate([np.full(95, 4), np.full(5, 9)])
+        assert min_ttl_for_success(hops, target=0.95) == 4
+
+    def test_unreachable_target(self):
+        hops = np.asarray([-1, -1, 1])
+        assert min_ttl_for_success(hops, target=0.95, max_ttl=10) == -1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            min_ttl_for_success(np.asarray([1]), target=0.0)

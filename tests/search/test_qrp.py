@@ -1,0 +1,115 @@
+"""Tests for repro.search.qrp (real Query Routing Protocol tables)."""
+
+import numpy as np
+import pytest
+
+from repro.search import TwoTierSearch, place_objects
+from repro.search.bloom import BloomParams
+from repro.search.qrp import QrpTables, build_qrp_tables
+from repro.topology import two_tier_graph
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return two_tier_graph(800, seed=71)
+
+
+@pytest.fixture(scope="module")
+def placement(topo):
+    return place_objects(topo.graph.n_nodes, 10, 0.02, seed=72)
+
+
+@pytest.fixture(scope="module")
+def qrp(topo, placement):
+    return build_qrp_tables(topo, placement)
+
+
+class TestBuildQrpTables:
+    def test_holders_always_match(self, topo, placement, qrp):
+        """No false negatives: every holder's digest matches its objects."""
+        for obj in range(placement.n_objects):
+            key = placement.key_of(obj)
+            holders = placement.replicas(obj)
+            assert qrp.matches(holders, key).all()
+
+    def test_ultrapeer_aggregates_leaves(self, topo, placement, qrp):
+        """An ultrapeer's table matches anything any of its leaves holds."""
+        for obj in range(placement.n_objects):
+            key = placement.key_of(obj)
+            for holder in placement.replicas(obj):
+                if topo.is_ultrapeer[holder]:
+                    continue
+                parents = topo.leaf_parents(int(holder))
+                assert qrp.matches(parents, key).all()
+
+    def test_empty_leaf_rarely_matches(self, topo, placement, qrp):
+        """Digest of a content-free leaf matches (almost) nothing."""
+        indptr, _ = placement.node_store()
+        per_node = np.diff(indptr)
+        empty_leaves = topo.leaves[per_node[topo.leaves] == 0][:50]
+        assert empty_leaves.size > 0
+        fp = np.mean([
+            qrp.matches(empty_leaves, placement.key_of(obj)).mean()
+            for obj in range(placement.n_objects)
+        ])
+        assert fp == 0.0  # empty filters match nothing, ever
+
+    def test_fp_estimate_reasonable(self, topo, placement, qrp):
+        up = int(topo.ultrapeers[0])
+        est = qrp.false_positive_estimate(up)
+        assert 0.0 <= est < 0.2
+
+    def test_size_mismatch_rejected(self, topo):
+        bad = place_objects(10, 2, 0.5, seed=73)
+        with pytest.raises(ValueError, match="disagree"):
+            build_qrp_tables(topo, bad)
+
+
+class TestQrpRouting:
+    def test_query_with_real_tables(self, topo, placement, qrp):
+        searcher = TwoTierSearch(topo)
+        src = int(topo.leaves[0])
+        obj = 0
+        res = searcher.query(
+            src, ttl=4, replica_mask=placement.holder_mask(obj),
+            qrp=qrp, key=placement.key_of(obj),
+        )
+        assert res.success
+
+    def test_key_required_with_tables(self, topo, placement, qrp):
+        searcher = TwoTierSearch(topo)
+        with pytest.raises(ValueError, match="key is required"):
+            searcher.query(
+                0, ttl=2, replica_mask=placement.holder_mask(0), qrp=qrp
+            )
+
+    def test_emergent_fp_deliveries(self, topo):
+        """With tiny digests and a rich catalog, saturated tables must cause
+        extra deliveries compared to exact-membership routing."""
+        rich = place_objects(topo.graph.n_nodes, 300, 0.02, seed=74)
+        tiny = build_qrp_tables(
+            topo, rich, params=BloomParams(n_bits=64, n_hashes=1)
+        )
+        searcher = TwoTierSearch(topo)
+        src = int(topo.leaves[1])
+        obj = 1
+        mask = rich.holder_mask(obj)
+        key = rich.key_of(obj)
+        exact = searcher.query(src, ttl=4, replica_mask=mask,
+                               results_target=10_000)
+        noisy = searcher.query(src, ttl=4, replica_mask=mask, qrp=tiny,
+                               key=key, results_target=10_000)
+        assert noisy.leaf_messages > exact.leaf_messages
+        # Hits themselves are identical — FPs waste messages, nothing else.
+        assert noisy.replicas_found == exact.replicas_found
+
+    def test_well_sized_tables_close_to_exact(self, topo, placement, qrp):
+        searcher = TwoTierSearch(topo)
+        src = int(topo.leaves[2])
+        obj = 2
+        mask = placement.holder_mask(obj)
+        exact = searcher.query(src, ttl=4, replica_mask=mask,
+                               results_target=10_000)
+        real = searcher.query(src, ttl=4, replica_mask=mask, qrp=qrp,
+                              key=placement.key_of(obj), results_target=10_000)
+        assert real.leaf_messages <= exact.leaf_messages * 1.5 + 5

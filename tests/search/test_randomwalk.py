@@ -1,0 +1,108 @@
+"""Tests for repro.search.randomwalk."""
+
+import numpy as np
+import pytest
+
+from repro.search import place_objects, random_walk_search
+from tests.conftest import cycle_graph, path_graph, star_graph
+
+
+class TestRandomWalkSearch:
+    def test_source_holds_object(self):
+        g = star_graph(3)
+        mask = np.zeros(4, dtype=bool)
+        mask[0] = True
+        r = random_walk_search(g, 0, mask, seed=1)
+        assert r.success and r.messages == 0 and r.hit_step == 0
+
+    def test_messages_are_walkers_times_steps(self):
+        g = cycle_graph(50)
+        mask = np.zeros(50, dtype=bool)  # no object: walk to exhaustion
+        r = random_walk_search(g, 0, mask, n_walkers=4, max_steps=10, seed=2)
+        assert not r.success
+        assert r.messages == 4 * 10
+
+    def test_finds_neighbor_object_fast(self):
+        g = star_graph(5)
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True  # center holds it; walkers start at a leaf
+        r = random_walk_search(g, 2, mask, n_walkers=2, max_steps=5, seed=3)
+        assert r.success and r.hit_step == 1
+        assert r.messages == 2
+
+    def test_no_backtrack_on_cycle(self):
+        # On a cycle (degree 2) strict bounce-avoidance makes every walker
+        # march monotonically, so the object at distance 10 (or 20 going the
+        # other way) is ALWAYS found within 20 steps.
+        g = cycle_graph(30)
+        mask = np.zeros(30, dtype=bool)
+        mask[10] = True
+        for seed in range(5):
+            r = random_walk_search(g, 0, mask, n_walkers=2, max_steps=25, seed=seed)
+            assert r.success
+            assert r.hit_step <= 20
+
+    def test_isolated_source_fails_cleanly(self):
+        from tests.conftest import build_graph
+
+        g = build_graph(3, [(1, 2)])
+        mask = np.zeros(3, dtype=bool)
+        mask[1] = True
+        r = random_walk_search(g, 0, mask, seed=5)
+        assert not r.success and r.messages == 0
+
+    def test_degree_bias_prefers_hubs(self):
+        # A hub-and-spoke pair: biased walkers should hit the hub-adjacent
+        # object faster on average than uniform walkers.
+        from repro.topology import powerlaw_graph
+
+        g = powerlaw_graph(800, seed=6)
+        hub = int(np.argmax(g.degrees))
+        mask = np.zeros(800, dtype=bool)
+        mask[hub] = True
+        uniform_steps, biased_steps = [], []
+        for seed in range(30):
+            src = int((hub + 3 + seed) % 800)
+            u = random_walk_search(g, src, mask, n_walkers=4, max_steps=200,
+                                   bias="uniform", seed=seed)
+            b = random_walk_search(g, src, mask, n_walkers=4, max_steps=200,
+                                   bias="degree", seed=seed)
+            if u.success:
+                uniform_steps.append(u.hit_step)
+            if b.success:
+                biased_steps.append(b.hit_step)
+        assert np.mean(biased_steps) < np.mean(uniform_steps)
+
+    def test_walk_vs_flood_message_tradeoff(self, small_makalu):
+        """Lv et al.: walks use fewer messages at higher latency."""
+        from repro.search import flood
+
+        p = place_objects(small_makalu.n_nodes, 1, 0.05, seed=7)
+        mask = p.holder_mask(0)
+        walk = random_walk_search(small_makalu, 0, mask, n_walkers=8,
+                                  max_steps=200, seed=8)
+        fl = flood(small_makalu, 0, ttl=4, replica_mask=mask)
+        assert walk.success and fl.success
+        assert walk.messages < fl.total_messages
+        assert walk.hit_step >= fl.first_hit_hop
+
+    def test_validation(self):
+        g = path_graph(3)
+        mask = np.zeros(3, dtype=bool)
+        with pytest.raises(ValueError):
+            random_walk_search(g, 5, mask)
+        with pytest.raises(ValueError, match="one entry per node"):
+            random_walk_search(g, 0, np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError, match="n_walkers"):
+            random_walk_search(g, 0, mask, n_walkers=0)
+        with pytest.raises(ValueError, match="max_steps"):
+            random_walk_search(g, 0, mask, max_steps=-1)
+        with pytest.raises(ValueError, match="bias"):
+            random_walk_search(g, 0, mask, bias="hubwards")
+
+    def test_reproducible(self, small_makalu):
+        p = place_objects(small_makalu.n_nodes, 1, 0.02, seed=9)
+        mask = p.holder_mask(0)
+        a = random_walk_search(small_makalu, 1, mask, seed=10)
+        b = random_walk_search(small_makalu, 1, mask, seed=10)
+        assert a.messages == b.messages and a.hit_step == b.hit_step

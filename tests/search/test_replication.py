@@ -1,0 +1,114 @@
+"""Tests for repro.search.replication."""
+
+import numpy as np
+import pytest
+
+from repro.search import place_objects, place_single_object, replica_count
+
+
+class TestReplicaCount:
+    def test_ratio_to_count(self):
+        assert replica_count(100_000, 0.0005) == 50
+        assert replica_count(100_000, 0.01) == 1000
+
+    def test_floor_at_one(self):
+        assert replica_count(100, 0.0001) == 1
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            replica_count(100, 0.0)
+        with pytest.raises(ValueError):
+            replica_count(100, 1.5)
+
+
+class TestPlaceObjects:
+    def test_replica_counts(self):
+        p = place_objects(1000, 10, 0.01, seed=1)
+        np.testing.assert_array_equal(p.replicas_per_object, np.full(10, 10))
+
+    def test_replicas_distinct_per_object(self):
+        p = place_objects(500, 20, 0.02, seed=2)
+        for obj in range(20):
+            reps = p.replicas(obj)
+            assert np.unique(reps).size == reps.size
+            assert reps.min() >= 0 and reps.max() < 500
+
+    def test_replicas_sorted(self):
+        p = place_objects(200, 5, 0.05, seed=3)
+        for obj in range(5):
+            reps = p.replicas(obj)
+            assert np.all(np.diff(reps) > 0)
+
+    def test_keys_distinct(self):
+        p = place_objects(100, 50, 0.01, seed=4)
+        assert np.unique(p.object_keys).size == 50
+
+    def test_explicit_keys(self):
+        keys = np.arange(10, 15)
+        p = place_objects(100, 5, 0.01, keys=keys, seed=5)
+        np.testing.assert_array_equal(p.object_keys, keys)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            place_objects(100, 3, 0.01, keys=np.asarray([1, 1, 2]), seed=6)
+
+    def test_holder_mask(self):
+        p = place_objects(50, 2, 0.1, seed=7)
+        mask = p.holder_mask(0)
+        assert mask.sum() == 5
+        assert np.all(np.flatnonzero(mask) == p.replicas(0))
+
+    def test_node_store_round_trip(self):
+        p = place_objects(60, 8, 0.1, seed=8)
+        indptr, keys = p.node_store()
+        assert indptr[-1] == keys.size == 8 * 6
+        # Rebuild (node, key) pairs and compare against the placement.
+        rebuilt = set()
+        for u in range(60):
+            for k in keys[indptr[u] : indptr[u + 1]]:
+                rebuilt.add((u, int(k)))
+        expected = set()
+        for obj in range(8):
+            for node in p.replicas(obj):
+                expected.add((int(node), p.key_of(obj)))
+        assert rebuilt == expected
+
+    def test_uniformity_rough(self):
+        # Over many objects, every node should hold a replica occasionally.
+        p = place_objects(50, 200, 0.1, seed=9)
+        indptr, _ = p.node_store()
+        per_node = np.diff(indptr)
+        assert per_node.min() > 0
+
+    def test_out_of_range_index(self):
+        p = place_objects(10, 2, 0.2, seed=10)
+        with pytest.raises(IndexError):
+            p.replicas(2)
+
+    def test_reproducible(self):
+        a = place_objects(100, 5, 0.03, seed=11)
+        b = place_objects(100, 5, 0.03, seed=11)
+        np.testing.assert_array_equal(a.replica_nodes, b.replica_nodes)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            place_objects(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            place_objects(10, 0, 0.5)
+
+
+class TestPlaceSingleObject:
+    def test_worst_case_single_copy(self):
+        p = place_single_object(1000, 1, seed=1)
+        assert p.n_objects == 1
+        assert p.replicas(0).size == 1
+
+    def test_multiple_replicas(self):
+        p = place_single_object(100, 7, seed=2)
+        assert p.replicas(0).size == 7
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            place_single_object(10, 0)
+        with pytest.raises(ValueError):
+            place_single_object(10, 11)

@@ -1,0 +1,132 @@
+"""Tests for repro.search.ttl_policy (Chang-Liu TTL selection)."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    optimal_ttl_sequence,
+    randomized_ttl,
+    run_ttl_sequence,
+)
+from tests.conftest import path_graph, star_graph
+
+
+class TestOptimalTtlSequence:
+    def test_near_objects_get_small_first_attempt(self):
+        # 90% of objects within 1 hop: a cheap TTL-1 probe first is optimal.
+        pmf = np.asarray([0.0, 0.9, 0.0, 0.0, 0.1])
+        cost = np.asarray([0.0, 10.0, 100.0, 1000.0, 10_000.0])
+        seq = optimal_ttl_sequence(pmf, cost)
+        assert seq[0] == 1
+        assert seq[-1] == 4
+
+    def test_far_objects_skip_intermediate_rungs(self):
+        # All mass at the horizon: any intermediate attempt is pure waste.
+        pmf = np.asarray([0.0, 0.0, 0.0, 1.0])
+        cost = np.asarray([0.0, 10.0, 100.0, 1000.0])
+        assert optimal_ttl_sequence(pmf, cost) == [3]
+
+    def test_sequence_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        pmf = rng.dirichlet(np.ones(8))
+        cost = np.cumsum(rng.uniform(1, 100, size=8))
+        cost[0] = 0.0
+        seq = optimal_ttl_sequence(pmf, np.sort(cost))
+        assert seq == sorted(set(seq))
+        assert seq[-1] == 7
+
+    def test_expected_cost_beats_naive(self):
+        """The DP sequence's expected cost <= always-flood-max."""
+        pmf = np.asarray([0.05, 0.5, 0.3, 0.1, 0.05])
+        cost = np.asarray([0.0, 5.0, 50.0, 500.0, 5000.0])
+        seq = optimal_ttl_sequence(pmf, cost)
+
+        def expected_cost(sequence):
+            total, p_not_found = 0.0, 1.0
+            prev = 0
+            cdf = np.cumsum(pmf)
+            for t in sequence:
+                p_not_found = 1.0 - cdf[prev]
+                total += cost[t] * p_not_found
+                prev = t
+            return total
+
+        assert expected_cost(seq) <= expected_cost([4]) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            optimal_ttl_sequence(np.asarray([0.5, 0.5]), np.asarray([0.0]))
+        with pytest.raises(ValueError, match="probability"):
+            optimal_ttl_sequence(np.asarray([0.9, 0.9]), np.asarray([0.0, 1.0]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            optimal_ttl_sequence(np.asarray([0.5, 0.2, 0.3]),
+                                 np.asarray([0.0, 5.0, 1.0]))
+        with pytest.raises(ValueError, match="horizon"):
+            optimal_ttl_sequence(np.asarray([1.0]), np.asarray([0.0]))
+
+
+class TestRandomizedTtl:
+    def test_ends_at_horizon(self):
+        for seed in range(10):
+            seq = randomized_ttl(13, seed=seed)
+            assert seq[-1] == 13
+
+    def test_doubling_ladder(self):
+        seq = randomized_ttl(16, seed=0)
+        for a, b in zip(seq, seq[1:]):
+            assert b <= 2 * a or b == 16
+
+    def test_strictly_increasing(self):
+        for seed in range(10):
+            seq = randomized_ttl(20, seed=seed)
+            assert seq == sorted(set(seq))
+
+    def test_random_start_varies(self):
+        starts = {randomized_ttl(64, seed=s)[0] for s in range(40)}
+        assert len(starts) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_ttl(0)
+        with pytest.raises(ValueError):
+            randomized_ttl(8, base=0)
+
+
+class TestRunTtlSequence:
+    def test_stops_at_first_success(self):
+        g = path_graph(8)
+        mask = np.zeros(8, dtype=bool)
+        mask[2] = True
+        r = run_ttl_sequence(g, 0, mask, [1, 2, 4, 7])
+        assert r.success
+        assert r.attempts == (1, 2)
+        # messages: flood ttl1 (1 msg) + flood ttl2 (2 msgs).
+        assert r.messages == 3
+
+    def test_failure_pays_whole_ladder(self):
+        g = star_graph(4)
+        mask = np.zeros(5, dtype=bool)  # object not present
+        r = run_ttl_sequence(g, 1, mask, [1, 2])
+        assert not r.success
+        assert r.attempts == (1, 2)
+
+    def test_rejects_non_increasing(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="increasing"):
+            run_ttl_sequence(g, 0, np.zeros(3, dtype=bool), [2, 1])
+
+    def test_rejects_empty(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="at least one"):
+            run_ttl_sequence(g, 0, np.zeros(3, dtype=bool), [])
+
+    def test_expanding_ring_cheaper_for_near_objects(self, small_makalu):
+        """Retry ladders beat a single deep flood when objects are close."""
+        from repro.search import place_objects
+
+        p = place_objects(small_makalu.n_nodes, 1, 0.1, seed=1)
+        mask = p.holder_mask(0)
+        ladder = run_ttl_sequence(small_makalu, 0, mask, [1, 2, 4])
+        deep = run_ttl_sequence(small_makalu, 0, mask, [4])
+        assert ladder.success and deep.success
+        assert ladder.messages <= deep.messages

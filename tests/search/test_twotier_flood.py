@@ -1,0 +1,132 @@
+"""Tests for repro.search.twotier_flood (Gnutella v0.6 query routing)."""
+
+import numpy as np
+import pytest
+
+from repro.search import TwoTierSearch, place_objects, two_tier_queries
+from repro.topology import two_tier_graph
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return two_tier_graph(1500, seed=31)
+
+
+@pytest.fixture(scope="module")
+def searcher(topo):
+    return TwoTierSearch(topo)
+
+
+class TestTwoTierSearchSetup:
+    def test_mesh_is_ultrapeer_only(self, topo, searcher):
+        assert searcher.mesh.n_nodes == topo.ultrapeers.size
+
+    def test_leaf_lists_cover_all_leaves(self, topo, searcher):
+        covered = set()
+        for mid in range(searcher.mesh.n_nodes):
+            covered.update(searcher.leaves_of(mid).tolist())
+        assert covered == set(topo.leaves.tolist())
+
+    def test_leaf_lists_match_attachments(self, topo, searcher):
+        # Spot-check: leaf appears in exactly its parents' lists.
+        leaf = int(topo.leaves[0])
+        parents = set(topo.leaf_parents(leaf).tolist())
+        holders = set()
+        for mid in range(searcher.mesh.n_nodes):
+            if leaf in searcher.leaves_of(mid):
+                holders.add(int(searcher._mesh_to_node[mid]))
+        assert holders == parents
+
+
+class TestQueryBehaviour:
+    def test_source_holds_object(self, topo, searcher):
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        leaf = int(topo.leaves[0])
+        mask[leaf] = True
+        r = searcher.query(leaf, ttl=4, replica_mask=mask)
+        assert r.success and r.first_hit_hop == 0
+        assert r.total_messages == 0
+
+    def test_leaf_query_costs_submissions(self, topo, searcher):
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        leaf = int(topo.leaves[1])
+        # Object held by one of the leaf's own ultrapeers.
+        up = int(topo.leaf_parents(leaf)[0])
+        mask[up] = True
+        r = searcher.query(leaf, ttl=4, replica_mask=mask)
+        assert r.success
+        assert r.first_hit_hop == 1  # found at the entry ultrapeers
+        assert r.mesh_messages == topo.leaf_parents(leaf).size
+
+    def test_dynamic_query_stops_early_when_found(self, topo, searcher):
+        placement = place_objects(topo.graph.n_nodes, 1, 0.05, seed=1)
+        mask = placement.holder_mask(0)
+        r = searcher.query(int(topo.leaves[2]), ttl=6, replica_mask=mask)
+        assert r.success
+        # Plenty of replicas: the flood should not have swept the mesh.
+        assert r.hops_used <= 2
+
+    def test_rare_object_floods_deep(self, topo, searcher):
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        mask[int(topo.leaves[-1])] = True
+        src = int(topo.leaves[0])
+        r = searcher.query(src, ttl=5, replica_mask=mask)
+        cheap = searcher.query(
+            src, ttl=5,
+            replica_mask=place_objects(topo.graph.n_nodes, 1, 0.1, seed=2).holder_mask(0),
+        )
+        assert r.total_messages > 5 * cheap.total_messages
+
+    def test_results_target_controls_termination(self, topo, searcher):
+        placement = place_objects(topo.graph.n_nodes, 1, 0.05, seed=3)
+        mask = placement.holder_mask(0)
+        src = int(topo.leaves[3])
+        eager = searcher.query(src, ttl=6, replica_mask=mask, results_target=1)
+        greedy = searcher.query(src, ttl=6, replica_mask=mask, results_target=50)
+        assert greedy.total_messages >= eager.total_messages
+        assert greedy.replicas_found >= eager.replicas_found
+
+    def test_qrp_false_positives_add_leaf_messages(self, topo, searcher):
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        mask[int(topo.leaves[-1])] = True
+        src = int(topo.leaves[0])
+        clean = searcher.query(src, ttl=4, replica_mask=mask, seed=1)
+        noisy = searcher.query(
+            src, ttl=4, replica_mask=mask, qrp_false_positive=0.5, seed=1
+        )
+        assert noisy.leaf_messages > clean.leaf_messages
+
+    def test_ultrapeer_source(self, topo, searcher):
+        up = int(topo.ultrapeers[0])
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        mask[up] = True
+        r = searcher.query(up, ttl=3, replica_mask=mask)
+        assert r.success and r.first_hit_hop == 0
+
+    def test_validation_errors(self, topo, searcher):
+        mask = np.zeros(topo.graph.n_nodes, dtype=bool)
+        with pytest.raises(ValueError):
+            searcher.query(0, ttl=-1, replica_mask=mask)
+        with pytest.raises(ValueError, match="one entry per node"):
+            searcher.query(0, ttl=2, replica_mask=np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError, match="results_target"):
+            searcher.query(0, ttl=2, replica_mask=mask, results_target=0)
+
+
+class TestBatch:
+    def test_batch_runs(self, topo, searcher):
+        placement = place_objects(topo.graph.n_nodes, 5, 0.02, seed=4)
+        results = two_tier_queries(searcher, placement, 25, ttl=4, seed=5)
+        assert len(results) == 25
+        assert all(r.success for r in results)
+
+    def test_reproducible(self, topo, searcher):
+        placement = place_objects(topo.graph.n_nodes, 5, 0.02, seed=6)
+        a = two_tier_queries(searcher, placement, 10, ttl=4, seed=7)
+        b = two_tier_queries(searcher, placement, 10, ttl=4, seed=7)
+        assert [r.total_messages for r in a] == [r.total_messages for r in b]
+
+    def test_size_mismatch(self, searcher):
+        placement = place_objects(10, 1, 0.5, seed=8)
+        with pytest.raises(ValueError, match="disagree"):
+            two_tier_queries(searcher, placement, 5, ttl=3)

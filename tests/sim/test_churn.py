@@ -1,0 +1,159 @@
+"""Tests for repro.sim.churn."""
+
+import numpy as np
+import pytest
+
+from repro.core import MakaluConfig
+from repro.netmodel import EuclideanModel
+from repro.sim import ChurnConfig, ChurnSimulation
+
+
+class TestChurnConfig:
+    def test_online_fraction(self):
+        cfg = ChurnConfig(mean_session=80.0, mean_offline=20.0)
+        assert cfg.online_fraction == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_session=0.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_offline=-1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(snapshot_interval=0.0)
+
+
+@pytest.fixture(scope="module")
+def churn_run(fast_makalu_config):
+    sim = ChurnSimulation(
+        model=EuclideanModel(200, seed=51),
+        makalu_config=fast_makalu_config,
+        churn_config=ChurnConfig(
+            mean_session=60.0, mean_offline=15.0, snapshot_interval=20.0
+        ),
+        seed=52,
+    )
+    snapshots = sim.run(120.0)
+    return sim, snapshots
+
+
+class TestChurnSimulation:
+    def test_snapshots_taken(self, churn_run):
+        _, snaps = churn_run
+        assert len(snaps) == 6  # every 20 time units up to 120
+
+    def test_online_fraction_near_steady_state(self, churn_run):
+        _, snaps = churn_run
+        fractions = [s.n_online / 200 for s in snaps[2:]]
+        assert 0.6 <= np.mean(fractions) <= 0.95  # expected 0.8
+
+    def test_overlay_stays_mostly_connected(self, churn_run):
+        """The headline fault-tolerance claim under continuous churn: the
+        online overlay self-heals instead of fragmenting."""
+        _, snaps = churn_run
+        assert all(s.giant_fraction > 0.9 for s in snaps)
+
+    def test_degrees_recover(self, churn_run):
+        _, snaps = churn_run
+        # Mean degree should stay within reach of the capacity range.
+        assert all(s.mean_degree > 3.0 for s in snaps)
+
+    def test_online_bookkeeping_consistent(self, churn_run):
+        sim, _ = churn_run
+        online = np.flatnonzero(sim.online)
+        # Offline nodes must hold no edges.
+        for node in np.flatnonzero(~sim.online)[:20]:
+            assert sim.builder.adj.degree(int(node)) == 0
+        # _joined tracks exactly the online set.
+        assert set(sim.builder._joined) == set(online.tolist())
+
+    def test_reproducible(self, fast_makalu_config):
+        def run():
+            sim = ChurnSimulation(
+                model=EuclideanModel(80, seed=3),
+                makalu_config=fast_makalu_config,
+                churn_config=ChurnConfig(
+                    mean_session=30.0, mean_offline=10.0, snapshot_interval=15.0
+                ),
+                seed=4,
+            )
+            return sim.run(45.0)
+
+        a, b = run(), run()
+        assert [(s.n_online, s.n_components) for s in a] == [
+            (s.n_online, s.n_components) for s in b
+        ]
+
+    def test_invalid_duration(self, fast_makalu_config):
+        sim = ChurnSimulation(
+            model=EuclideanModel(50, seed=5), makalu_config=fast_makalu_config, seed=6
+        )
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+
+class TestChurnWithHostCaches:
+    def test_host_cache_churn_stays_connected(self, fast_makalu_config):
+        sim = ChurnSimulation(
+            model=EuclideanModel(150, seed=61),
+            makalu_config=fast_makalu_config,
+            churn_config=ChurnConfig(
+                mean_session=60.0, mean_offline=15.0, snapshot_interval=25.0
+            ),
+            use_host_caches=True,
+            seed=62,
+        )
+        snapshots = sim.run(100.0)
+        assert sim.builder.membership is not None
+        # Caches actually got populated by the walks.
+        filled = sum(1 for c in sim.builder.membership.caches if len(c) > 0)
+        assert filled > 100
+        # The overlay still self-heals with stale-cache bootstraps.
+        assert all(s.giant_fraction > 0.85 for s in snapshots)
+
+    def test_host_cache_reproducible(self, fast_makalu_config):
+        def run():
+            sim = ChurnSimulation(
+                model=EuclideanModel(80, seed=63),
+                makalu_config=fast_makalu_config,
+                churn_config=ChurnConfig(
+                    mean_session=30.0, mean_offline=10.0, snapshot_interval=20.0
+                ),
+                use_host_caches=True,
+                seed=64,
+            )
+            return sim.run(40.0)
+
+        a, b = run(), run()
+        assert [(s.n_online, s.n_components) for s in a] == [
+            (s.n_online, s.n_components) for s in b
+        ]
+
+
+class TestSearchProbes:
+    def test_probes_disabled_by_default(self, churn_run):
+        _, snaps = churn_run
+        assert all(np.isnan(s.search_success) for s in snaps)
+
+    def test_search_survives_churn(self, fast_makalu_config):
+        sim = ChurnSimulation(
+            model=EuclideanModel(200, seed=81),
+            makalu_config=fast_makalu_config,
+            churn_config=ChurnConfig(
+                mean_session=60.0, mean_offline=15.0, snapshot_interval=25.0,
+                probe_queries=10, probe_ttl=4, probe_replicas=4,
+            ),
+            seed=82,
+        )
+        snaps = sim.run(100.0)
+        rates = [s.search_success for s in snaps]
+        assert all(not np.isnan(r) for r in rates)
+        # End-to-end claim: search keeps working while ~20% are offline.
+        assert np.mean(rates) > 0.85
+
+    def test_probe_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(probe_queries=-1)
+        with pytest.raises(ValueError):
+            ChurnConfig(probe_ttl=-1)
+        with pytest.raises(ValueError):
+            ChurnConfig(probe_replicas=0)

@@ -1,0 +1,98 @@
+"""Tests for repro.sim.engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda s: log.append("c"))
+        sim.schedule(1.0, lambda s: log.append("a"))
+        sim.schedule(2.0, lambda s: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda s, i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        log = []
+
+        def tick(s):
+            log.append(s.now)
+            if s.now < 5:
+                s.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(10.0, lambda s: log.append(10))
+        n = sim.run(until=5.0)
+        assert n == 1
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda s: log.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert log == [10]
+
+    def test_max_events_bounds_work(self):
+        sim = Simulator()
+
+        def forever(s):
+            s.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        n = sim.run(max_events=50)
+        assert n == 50
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda s: s.schedule_at(7.0, lambda s2: seen.append(s2.now)))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-1.0, lambda s: None)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.processed == 3
+
+    def test_empty_run_with_until_sets_now(self):
+        sim = Simulator()
+        sim.run(until=9.0)
+        assert sim.now == 9.0

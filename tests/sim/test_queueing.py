@@ -1,0 +1,156 @@
+"""Tests for repro.sim.queueing (message-level flooding with queues)."""
+
+import numpy as np
+import pytest
+
+from repro.search import flood
+from repro.sim.queueing import queued_flood
+from tests.conftest import build_graph, complete_graph, path_graph, star_graph
+
+
+class TestQueuedFloodBasics:
+    def test_matches_synchronous_flood_on_unit_latency(self):
+        """With uniform link latencies, first-arrival order == BFS order,
+        so the event-driven and hop-synchronous models agree exactly."""
+        from repro.core import makalu_graph
+
+        g = makalu_graph(n_nodes=300, seed=2)  # unit latencies
+        for source, ttl in [(0, 2), (5, 4)]:
+            q = queued_flood(g, source, ttl, service_time=0.0)
+            s = flood(g, source, ttl)
+            assert q.messages == s.total_messages
+            assert q.nodes_reached == s.nodes_visited
+
+    def test_close_to_synchronous_on_heterogeneous_latency(self, small_makalu):
+        """On real substrates the first copy often arrives via a longer-hop
+        but lower-latency path carrying LESS remaining TTL, which then
+        suppresses some forwarding (real query-ID dedup behaves the same
+        way).  The event-driven flood therefore reaches the same nodes with
+        somewhat fewer messages than the hop-synchronous ideal."""
+        q = queued_flood(small_makalu, 5, 4, service_time=0.0)
+        s = flood(small_makalu, 5, 4)
+        assert q.nodes_reached >= 0.95 * s.nodes_visited
+        assert q.messages <= s.total_messages
+        assert q.messages > 0.6 * s.total_messages
+
+    def test_zero_service_time_is_pure_propagation(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[4.0, 6.0])
+        q = queued_flood(g, 0, 3, service_time=0.0)
+        np.testing.assert_allclose(q.discovery_time, [0.0, 4.0, 10.0])
+        assert q.max_queue_delay == 0.0
+
+    def test_service_time_accumulates_along_path(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[4.0, 6.0])
+        q = queued_flood(g, 0, 3, service_time=1.0)
+        # node1: arrives 4, processes by 5; forwards: arrives 5+6=11,
+        # processes by 12.
+        np.testing.assert_allclose(q.discovery_time[1:], [5.0, 12.0])
+
+    def test_simultaneous_duplicates_queue_serially(self):
+        # Diamond 0-1, 0-2, 1-3, 2-3: node 3 receives two copies at the
+        # same instant; the second waits one service time behind the first.
+        g = build_graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)],
+                        latencies=[1.0, 1.0, 1.0, 1.0])
+        q = queued_flood(g, 0, 3, service_time=1.0)
+        # 1 and 2 process at t=2; copies reach 3 at t=3 (x2); first done
+        # at 4, second starts at 4 (queued 1s).
+        assert q.discovery_time[3] == pytest.approx(4.0)
+        assert q.max_queue_delay == pytest.approx(1.0)
+        assert q.busiest_node == 3
+
+    def test_replica_timing(self):
+        g = path_graph(4)
+        mask = np.zeros(4, dtype=bool)
+        mask[3] = True
+        q = queued_flood(g, 0, 5, replica_mask=mask, service_time=0.5)
+        # hops latency 1 each + 0.5 service at each of 3 processed nodes.
+        assert q.first_result_time == pytest.approx(3 * 1.0 + 3 * 0.5)
+        assert q.success
+
+    def test_unreachable_replica(self):
+        g = path_graph(4)
+        mask = np.zeros(4, dtype=bool)
+        mask[3] = True
+        q = queued_flood(g, 0, 1, replica_mask=mask)
+        assert not q.success
+
+    def test_per_node_service_times(self):
+        g = path_graph(3)
+        service = np.asarray([0.0, 5.0, 0.0])
+        q = queued_flood(g, 0, 3, service_time=service)
+        assert q.discovery_time[1] == pytest.approx(6.0)  # 1 + 5
+        assert q.discovery_time[2] == pytest.approx(7.0)  # 6 + 1 + 0
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            queued_flood(g, 9, 1)
+        with pytest.raises(ValueError):
+            queued_flood(g, 0, -1)
+        with pytest.raises(ValueError, match="non-negative"):
+            queued_flood(g, 0, 1, service_time=-1.0)
+        with pytest.raises(ValueError, match="one entry per node"):
+            queued_flood(g, 0, 1, replica_mask=np.zeros(2, dtype=bool))
+
+
+class TestCongestionMechanism:
+    def test_hub_load_concentration_across_queries(self):
+        """The Qiao-Bustamante hub pathology, measured the right way: under
+        a stream of queries, the busiest power-law node carries a much
+        larger share of per-query traffic than the busiest Makalu node, so
+        at equal query rates its utilization — and hence queueing — is
+        proportionally higher."""
+        from repro.core import makalu_graph
+        from repro.netmodel import EuclideanModel
+        from repro.search.flooding import flood_node_load
+        from repro.topology import powerlaw_graph
+
+        n = 1500
+        model = EuclideanModel(n, seed=5)
+        mk = makalu_graph(model=model, seed=6)
+        pl = powerlaw_graph(n, model=model, seed=7)
+        rng = np.random.default_rng(8)
+
+        def max_load_share(graph, ttl):
+            total = np.zeros(n, dtype=np.int64)
+            msgs = 0
+            for _ in range(15):
+                load, _ = flood_node_load(graph, int(rng.integers(0, n)), ttl)
+                total += load
+                msgs += load.sum()
+            return total.max() / msgs  # busiest node's share of all traffic
+
+        mk_share = max_load_share(mk, 4)
+        pl_share = max_load_share(pl, 7)
+        assert pl_share > 2 * mk_share
+
+    def test_duplicates_cause_queueing(self, small_makalu):
+        """Per-query duplicate bursts: deep floods' extra copies queue
+        behind each other; shallow floods barely queue."""
+        shallow = queued_flood(small_makalu, 0, 1, service_time=1.0)
+        deep = queued_flood(small_makalu, 0, 5, service_time=1.0)
+        assert deep.max_queue_delay > shallow.max_queue_delay
+
+    def test_background_utilization_scales_response_time(self):
+        """Scaling a node's service time by its cross-query load (the M/M/1
+        1/(1-rho) reading) stretches response times through hubs."""
+        from repro.topology import powerlaw_graph
+
+        n = 800
+        pl = powerlaw_graph(n, seed=9)
+        hub = int(np.argmax(pl.degrees))
+        mask = np.zeros(n, dtype=bool)
+        # Replica two hops past the hub, so queries route through it.
+        far = pl.neighbors(hub)
+        target = int(pl.neighbors(int(far[0]))[0])
+        mask[target] = True
+        src_candidates = [v for v in pl.neighbors(hub) if v != target]
+        src = int(src_candidates[-1])
+
+        uniform = queued_flood(pl, src, 6, replica_mask=mask, service_time=0.1)
+        congested_service = np.full(n, 0.1)
+        congested_service[hub] = 5.0  # hub at high utilization
+        congested = queued_flood(pl, src, 6, replica_mask=mask,
+                                 service_time=congested_service)
+        assert uniform.success and congested.success
+        assert congested.first_result_time > uniform.first_result_time

@@ -1,0 +1,118 @@
+"""Tests for repro.structured.chord."""
+
+import numpy as np
+import pytest
+
+from repro.structured import ChordRing, chord_broadcast_cost
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing(500, bits=32, seed=11)
+
+
+class TestRingStructure:
+    def test_positions_distinct_and_sorted(self, ring):
+        assert np.unique(ring._ring).size == 500
+        assert np.all(np.diff(ring._ring) > 0)
+
+    def test_rank_inverse(self, ring):
+        for node in range(0, 500, 37):
+            rank = ring._rank_of[node]
+            assert ring._node_at[rank] == node
+
+    def test_successor_wraps(self, ring):
+        # The node with the largest position has the smallest as successor.
+        last = int(ring._node_at[-1])
+        first = int(ring._node_at[0])
+        assert ring.successor(last) == first
+
+    def test_owner_of_key_is_successor(self, ring):
+        for key in (0, 1, 123456, 2**40):
+            owner = ring.owner_of_key(key)
+            pos = ring.key_position(key)
+            # Owner's position is >= key position (mod wrap).
+            owner_pos = ring.position_of(owner)
+            if owner_pos >= pos:
+                # No node lies strictly between pos and owner_pos.
+                between = (ring._ring >= pos) & (ring._ring < owner_pos)
+                assert not between.any()
+            else:  # wrapped
+                assert pos > ring._ring.max()
+
+    def test_fingers_exclude_self(self, ring):
+        for node in (0, 13, 499):
+            assert node not in ring.fingers(node)
+
+    def test_finger_count_logarithmic(self, ring):
+        sizes = [ring.fingers(node).size for node in range(0, 500, 50)]
+        # ~log2(500) ~ 9 distinct fingers, allow slack.
+        assert 5 <= np.mean(sizes) <= 16
+
+
+class TestLookup:
+    def test_resolves_to_owner(self, ring):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            src = int(rng.integers(0, 500))
+            key = int(rng.integers(0, 2**60))
+            res = ring.lookup(src, key)
+            assert res.owner == ring.owner_of_key(key)
+            assert res.path[0] == src
+            assert res.path[-1] == res.owner
+
+    def test_hops_logarithmic(self, ring):
+        rng = np.random.default_rng(2)
+        hops = [
+            ring.lookup(int(rng.integers(0, 500)), int(rng.integers(0, 2**60))).hops
+            for _ in range(200)
+        ]
+        # O(log n): mean about log2(500)/2 ~ 4.5; generous bound.
+        assert np.mean(hops) < 2 * np.log2(500)
+        assert max(hops) < 4 * np.log2(500)
+
+    def test_lookup_from_owner_costs_zero(self, ring):
+        key = 987654
+        owner = ring.owner_of_key(key)
+        res = ring.lookup(owner, key)
+        assert res.hops == 0
+
+    def test_deterministic(self):
+        a = ChordRing(100, seed=5).lookup(0, 42)
+        b = ChordRing(100, seed=5).lookup(0, 42)
+        np.testing.assert_array_equal(a.path, b.path)
+
+    def test_scaling_hops_grow_slowly(self):
+        rng = np.random.default_rng(3)
+        means = []
+        for n in (100, 1000, 10_000):
+            ring = ChordRing(n, seed=7)
+            hops = [
+                ring.lookup(int(rng.integers(0, n)), int(rng.integers(0, 2**60))).hops
+                for _ in range(60)
+            ]
+            means.append(np.mean(hops))
+        # 100x more nodes adds only ~log-factor hops.
+        assert means[2] < means[0] + 8
+        assert means[2] / means[0] < 3.0
+
+
+class TestBroadcast:
+    def test_cost_floor(self):
+        assert chord_broadcast_cost(100_000) == (99_999, 0)
+        assert chord_broadcast_cost(1) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chord_broadcast_cost(0)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            ChordRing(0)
+        with pytest.raises(ValueError):
+            ChordRing(10, bits=4)
+        ring = ChordRing(10, seed=1)
+        with pytest.raises(ValueError):
+            ring.lookup(10, 42)

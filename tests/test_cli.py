@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+ARGS_SMALL = ["--nodes", "200", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.nodes == 2000
+        assert args.model == "euclidean"
+        assert args.topology == "makalu"
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--topology", "chord"])
+
+
+class TestCommands:
+    def test_build(self, capsys):
+        assert main(["build", *ARGS_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "200 nodes" in out
+        assert "connected: True" in out
+
+    @pytest.mark.parametrize("topology", ["makalu", "kregular", "powerlaw", "twotier"])
+    def test_build_all_topologies(self, topology, capsys):
+        assert main(["build", *ARGS_SMALL, "--topology", topology]) == 0
+        assert "edges" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("model", ["euclidean", "transit-stub", "planetlab"])
+    def test_build_all_models(self, model, capsys):
+        assert main(["build", *ARGS_SMALL, "--model", model]) == 0
+
+    def test_flood(self, capsys):
+        assert main([
+            "flood", *ARGS_SMALL, "--ttl", "4", "--replication", "0.02",
+            "--queries", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "min TTL" in out
+        assert "duplicate" in out
+
+    def test_identifier(self, capsys):
+        assert main([
+            "identifier", *ARGS_SMALL, "--replication", "0.02",
+            "--queries", "20",
+        ]) == 0
+        assert "ABF identifier search" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *ARGS_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "algebraic connectivity" in out
+        assert "targeted failures" in out
+
+    def test_traffic(self, capsys):
+        assert main(["traffic", *ARGS_SMALL, "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth savings" in out
+
+    def test_churn(self, capsys):
+        assert main([
+            "churn", "--nodes", "120", "--seed", "4", "--duration", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "online=" in out
+
+    def test_identifier_per_link(self, capsys):
+        assert main([
+            "identifier", *ARGS_SMALL, "--per-link", "--replication", "0.02",
+            "--queries", "15",
+        ]) == 0
+        assert "per-link" in capsys.readouterr().out
+
+    def test_response(self, capsys):
+        assert main([
+            "response", *ARGS_SMALL, "--replication", "0.02", "--queries", "15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "response times" in out
+        assert "median" in out

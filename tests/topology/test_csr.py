@@ -1,0 +1,59 @@
+"""Tests for repro.topology.csr."""
+
+import numpy as np
+
+from repro.topology.csr import gather_neighbors, ragged_slices
+from tests.conftest import build_graph, complete_graph, path_graph, star_graph
+
+
+class TestRaggedSlices:
+    def test_single_node(self):
+        indptr = np.asarray([0, 2, 5, 5])
+        pos, owner = ragged_slices(indptr, np.asarray([1]))
+        np.testing.assert_array_equal(pos, [2, 3, 4])
+        np.testing.assert_array_equal(owner, [0, 0, 0])
+
+    def test_multiple_nodes_preserve_order(self):
+        indptr = np.asarray([0, 2, 5, 5, 6])
+        pos, owner = ragged_slices(indptr, np.asarray([3, 0]))
+        np.testing.assert_array_equal(pos, [5, 0, 1])
+        np.testing.assert_array_equal(owner, [0, 1, 1])
+
+    def test_empty_nodes(self):
+        indptr = np.asarray([0, 0, 0])
+        pos, owner = ragged_slices(indptr, np.asarray([0, 1]))
+        assert pos.size == 0 and owner.size == 0
+
+    def test_no_nodes(self):
+        indptr = np.asarray([0, 3])
+        pos, owner = ragged_slices(indptr, np.asarray([], dtype=np.int64))
+        assert pos.size == 0
+
+
+class TestGatherNeighbors:
+    def test_star_center(self):
+        g = star_graph(3)
+        nbrs, owner = gather_neighbors(g, np.asarray([0]))
+        np.testing.assert_array_equal(np.sort(nbrs), [1, 2, 3])
+
+    def test_multiplicity_preserved(self):
+        g = complete_graph(4)
+        nbrs, owner = gather_neighbors(g, np.asarray([0, 1]))
+        # Node 2 and 3 each appear twice (adjacent to both 0 and 1).
+        counts = np.bincount(nbrs, minlength=4)
+        np.testing.assert_array_equal(counts, [1, 1, 2, 2])
+
+    def test_owner_positions(self):
+        g = path_graph(4)
+        nodes = np.asarray([3, 1])
+        nbrs, owner = gather_neighbors(g, nodes)
+        # node 3 has neighbor [2]; node 1 has neighbors [0, 2]
+        np.testing.assert_array_equal(nbrs, [2, 0, 2])
+        np.testing.assert_array_equal(nodes[owner], [3, 1, 1])
+
+    def test_matches_manual_concatenation(self):
+        g = build_graph(6, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (3, 5)])
+        nodes = np.asarray([4, 0, 5])
+        nbrs, _ = gather_neighbors(g, nodes)
+        manual = np.concatenate([g.neighbors(int(u)) for u in nodes])
+        np.testing.assert_array_equal(nbrs, manual)

@@ -1,0 +1,80 @@
+"""Tests for repro.topology.gia (capacity-adapted Gia topology)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.gia import (
+    GIA_CAPACITY_LEVELS,
+    GiaTopology,
+    gia_graph,
+    sample_gia_capacities,
+)
+from repro.netmodel import EuclideanModel
+
+
+class TestCapacitySampling:
+    def test_levels_only(self):
+        caps = sample_gia_capacities(5000, seed=1)
+        levels = {lvl for lvl, _ in GIA_CAPACITY_LEVELS}
+        assert set(np.unique(caps)) <= levels
+
+    def test_distribution_rough(self):
+        caps = sample_gia_capacities(20_000, seed=2)
+        for level, prob in GIA_CAPACITY_LEVELS:
+            frac = float(np.mean(caps == level))
+            assert abs(frac - prob) < 0.02
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            sample_gia_capacities(100, seed=3), sample_gia_capacities(100, seed=3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_gia_capacities(0)
+
+
+class TestGiaGraph:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return gia_graph(3000, seed=4)
+
+    def test_valid_and_connected(self, topo):
+        topo.graph.validate()
+        assert topo.graph.is_connected()
+
+    def test_degree_tracks_capacity(self, topo):
+        degs = topo.graph.degrees
+        lows = degs[topo.capacities == 1.0]
+        highs = degs[topo.capacities == 1000.0]
+        assert highs.mean() > 5 * lows.mean()
+
+    def test_degree_bounds(self):
+        topo = gia_graph(2000, min_degree=3, max_degree=40, seed=5)
+        # Configuration-model deletions can shave a few edges below target.
+        assert topo.graph.degrees.max() <= 40
+        assert np.median(topo.graph.degrees[topo.capacities == 1.0]) >= 2
+
+    def test_explicit_capacities(self):
+        caps = np.full(100, 7.0)
+        topo = gia_graph(100, capacities=caps, seed=6)
+        np.testing.assert_array_equal(topo.capacities, caps)
+        # Uniform capacities -> near-uniform degrees.
+        assert topo.graph.degrees.std() < 2.5
+
+    def test_latencies_from_model(self):
+        model = EuclideanModel(200, seed=7)
+        topo = gia_graph(200, model=model, seed=8)
+        for u, v, lat in list(topo.graph.iter_edges())[:10]:
+            assert lat == pytest.approx(model.latency(u, v))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gia_graph(100, min_degree=0)
+        with pytest.raises(ValueError):
+            gia_graph(100, capacities=np.zeros(100))
+        with pytest.raises(ValueError, match="one entry per node"):
+            gia_graph(100, capacities=np.ones(5))
+        with pytest.raises(ValueError, match="one entry per node"):
+            GiaTopology(graph=gia_graph(50, seed=9).graph,
+                        capacities=np.ones(3))

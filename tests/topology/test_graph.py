@@ -1,0 +1,249 @@
+"""Tests for repro.topology.graph."""
+
+import numpy as np
+import pytest
+
+from repro.topology import AdjacencyBuilder, OverlayGraph
+from tests.conftest import build_graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestFromEdges:
+    def test_basic_triangle(self):
+        g = build_graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        np.testing.assert_array_equal(g.degrees, [2, 2, 2])
+
+    def test_neighbors_sorted(self):
+        g = build_graph(4, [(2, 0), (2, 3), (2, 1)])
+        np.testing.assert_array_equal(g.neighbors(2), [0, 1, 3])
+
+    def test_latencies_follow_edges(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[5.0, 7.0])
+        assert g.edge_latency(0, 1) == 5.0
+        assert g.edge_latency(1, 0) == 5.0
+        assert g.edge_latency(2, 1) == 7.0
+
+    def test_default_unit_latency(self):
+        g = build_graph(2, [(0, 1)])
+        assert g.edge_latency(0, 1) == 1.0
+
+    def test_empty_graph(self):
+        g = build_graph(5, [])
+        assert g.n_edges == 0
+        assert g.neighbors(3).size == 0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            build_graph(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            build_graph(2, [(0, 2)])
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_graph(2, [(0, 1)], latencies=[-1.0])
+
+    def test_rejects_misaligned_latencies(self):
+        with pytest.raises(ValueError, match="align"):
+            build_graph(3, [(0, 1), (1, 2)], latencies=[1.0])
+
+
+class TestAccessors:
+    def test_has_edge(self):
+        g = path_graph(4)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 3)
+
+    def test_edge_latency_missing_raises(self):
+        g = path_graph(3)
+        with pytest.raises(KeyError):
+            g.edge_latency(0, 2)
+
+    def test_mean_degree(self):
+        assert cycle_graph(10).mean_degree == pytest.approx(2.0)
+        assert complete_graph(5).mean_degree == pytest.approx(4.0)
+
+    def test_iter_edges_each_once(self):
+        g = complete_graph(5)
+        edges = list(g.iter_edges())
+        assert len(edges) == 10
+        assert all(u < v for u, v, _ in edges)
+
+    def test_arrays_read_only(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.indices[0] = 99
+
+    def test_neighbor_latencies_aligned(self):
+        g = build_graph(3, [(0, 1), (0, 2)], latencies=[3.0, 4.0])
+        nbrs = g.neighbors(0)
+        lats = g.neighbor_latencies(0)
+        assert lats[list(nbrs).index(1)] == 3.0
+        assert lats[list(nbrs).index(2)] == 4.0
+
+
+class TestFromAdjacency:
+    def test_round_trip(self):
+        g1 = build_graph(4, [(0, 1), (1, 2), (2, 3)], latencies=[1.0, 2.0, 3.0])
+        adj = g1.to_adjacency()
+        g2 = OverlayGraph.from_adjacency(4, adj)
+        np.testing.assert_array_equal(g1.indptr, g2.indptr)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+        np.testing.assert_allclose(g1.latency, g2.latency)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            OverlayGraph.from_adjacency(2, {0: {1: 1.0}, 1: {}})
+
+
+class TestToScipy:
+    def test_unweighted(self):
+        g = path_graph(3)
+        m = g.to_scipy()
+        assert m.shape == (3, 3)
+        assert m.nnz == 4
+        assert m[0, 1] == 1.0
+
+    def test_weighted(self):
+        g = build_graph(2, [(0, 1)], latencies=[9.0])
+        m = g.to_scipy(weighted=True)
+        assert m[0, 1] == 9.0
+
+
+class TestSubgraph:
+    def test_mask_subgraph(self):
+        g = path_graph(5)
+        sub, old = g.subgraph(np.asarray([True, True, True, False, False]))
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 2
+        np.testing.assert_array_equal(old, [0, 1, 2])
+
+    def test_id_subgraph(self):
+        g = complete_graph(5)
+        sub, old = g.subgraph(np.asarray([1, 3, 4]))
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 3  # induced triangle
+
+    def test_latencies_preserved(self):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[5.0, 6.0])
+        sub, old = g.subgraph(np.asarray([1, 2]))
+        assert sub.edge_latency(0, 1) == 6.0
+
+    def test_remove_nodes(self):
+        g = star_graph(4)
+        sub, old = g.remove_nodes([0])
+        assert sub.n_nodes == 4
+        assert sub.n_edges == 0
+
+    def test_remove_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            path_graph(3).remove_nodes([5])
+
+    def test_empty_subgraph(self):
+        g = path_graph(3)
+        sub, old = g.subgraph(np.zeros(3, dtype=bool))
+        assert sub.n_nodes == 0
+        assert sub.n_edges == 0
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert path_graph(10).is_connected()
+
+    def test_disconnected_components(self):
+        g = build_graph(4, [(0, 1), (2, 3)])
+        n, labels = g.connected_components()
+        assert n == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_giant_component(self):
+        g = build_graph(6, [(0, 1), (1, 2), (2, 0), (4, 5)])
+        giant, old = g.giant_component()
+        assert giant.n_nodes == 3
+        assert set(old.tolist()) == {0, 1, 2}
+
+    def test_isolated_nodes_counted(self):
+        g = build_graph(3, [(0, 1)])
+        n, _ = g.connected_components()
+        assert n == 2
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        complete_graph(6).validate()
+        path_graph(5).validate()
+        build_graph(3, []).validate()
+
+    def test_detects_handcrafted_asymmetry(self):
+        # Bypass from_edges to build a broken CSR directly.
+        indptr = np.asarray([0, 1, 1])
+        indices = np.asarray([1])
+        latency = np.asarray([1.0])
+        g = OverlayGraph(indptr, indices, latency)
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+
+class TestAdjacencyBuilder:
+    def test_add_and_freeze(self):
+        b = AdjacencyBuilder(3)
+        b.add_edge(0, 1, 2.0)
+        b.add_edge(1, 2, 3.0)
+        g = b.freeze()
+        assert g.n_edges == 2
+        assert g.edge_latency(0, 1) == 2.0
+        g.validate()
+
+    def test_remove_edge(self):
+        b = AdjacencyBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        b.remove_edge(1, 0)
+        assert b.n_edges == 0
+        assert not b.has_edge(0, 1)
+
+    def test_degree_tracking(self):
+        b = AdjacencyBuilder(4)
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(0, 2, 1.0)
+        assert b.degree(0) == 2
+        assert b.degree(3) == 0
+
+    def test_duplicate_add_raises(self):
+        b = AdjacencyBuilder(2)
+        b.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError, match="already present"):
+            b.add_edge(1, 0, 1.0)
+
+    def test_self_loop_raises(self):
+        b = AdjacencyBuilder(2)
+        with pytest.raises(ValueError, match="self loop"):
+            b.add_edge(1, 1, 1.0)
+
+    def test_remove_missing_raises(self):
+        b = AdjacencyBuilder(2)
+        with pytest.raises(KeyError):
+            b.remove_edge(0, 1)
+
+    def test_negative_latency_raises(self):
+        b = AdjacencyBuilder(2)
+        with pytest.raises(ValueError, match="negative"):
+            b.add_edge(0, 1, -1.0)
+
+    def test_freeze_round_trip(self):
+        b = AdjacencyBuilder(5)
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            u, v = rng.choice(5, size=2, replace=False)
+            if not b.has_edge(int(u), int(v)):
+                b.add_edge(int(u), int(v), float(rng.uniform(1, 10)))
+        g = b.freeze()
+        g.validate()
+        assert g.n_edges == b.n_edges

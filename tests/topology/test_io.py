@@ -1,0 +1,67 @@
+"""Tests for repro.topology.io (overlay persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import two_tier_graph
+from repro.topology.io import load_graph, load_two_tier, save_graph, save_two_tier
+from tests.conftest import build_graph
+
+
+class TestSaveLoadGraph:
+    def test_round_trip_bit_identical(self, small_makalu, tmp_path):
+        path = str(tmp_path / "overlay.npz")
+        save_graph(path, small_makalu)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.indptr, small_makalu.indptr)
+        np.testing.assert_array_equal(loaded.indices, small_makalu.indices)
+        np.testing.assert_array_equal(loaded.latency, small_makalu.latency)
+        loaded.validate()
+
+    def test_creates_directories(self, tmp_path):
+        g = build_graph(3, [(0, 1), (1, 2)], latencies=[2.0, 3.0])
+        path = str(tmp_path / "deep" / "dir" / "g.npz")
+        save_graph(path, g)
+        assert load_graph(path).edge_latency(0, 1) == 2.0
+
+    def test_empty_graph(self, tmp_path):
+        g = build_graph(4, [])
+        path = str(tmp_path / "empty.npz")
+        save_graph(path, g)
+        loaded = load_graph(path)
+        assert loaded.n_nodes == 4 and loaded.n_edges == 0
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError, match="not a saved overlay"):
+            load_graph(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        np.savez(path, format_version=np.asarray([99]),
+                 indptr=np.asarray([0, 0]), indices=np.asarray([]),
+                 latency=np.asarray([]))
+        with pytest.raises(ValueError, match="format v99"):
+            load_graph(path)
+
+
+class TestSaveLoadTwoTier:
+    def test_round_trip(self, tmp_path):
+        topo = two_tier_graph(300, seed=3)
+        path = str(tmp_path / "tt.npz")
+        save_two_tier(path, topo)
+        loaded = load_two_tier(path)
+        np.testing.assert_array_equal(loaded.is_ultrapeer, topo.is_ultrapeer)
+        np.testing.assert_array_equal(loaded.graph.indices, topo.graph.indices)
+
+    def test_graph_only_file_rejected(self, small_makalu, tmp_path):
+        path = str(tmp_path / "plain.npz")
+        save_graph(path, small_makalu)
+        with pytest.raises(ValueError, match="no ultrapeer roles"):
+            load_two_tier(path)
+
+    def test_bad_mask_shape(self, small_makalu, tmp_path):
+        with pytest.raises(ValueError, match="one entry per node"):
+            save_graph(str(tmp_path / "x.npz"), small_makalu,
+                       is_ultrapeer=np.zeros(3, dtype=bool))

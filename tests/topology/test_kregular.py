@@ -1,0 +1,61 @@
+"""Tests for repro.topology.kregular."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import EuclideanModel
+from repro.topology import k_regular_graph
+
+
+class TestKRegularGraph:
+    @pytest.mark.parametrize("n,k", [(10, 3), (50, 4), (200, 8), (501, 10)])
+    def test_exact_degrees(self, n, k):
+        g = k_regular_graph(n, k, seed=1)
+        assert np.all(g.degrees == k)
+        g.validate()
+
+    def test_simple_graph(self):
+        g = k_regular_graph(100, 6, seed=2)
+        g.validate()  # no self loops, no parallel edges, symmetric
+
+    def test_connected_at_moderate_k(self):
+        # Random k-regular graphs with k >= 3 are connected w.h.p.
+        for seed in range(5):
+            assert k_regular_graph(300, 6, seed=seed).is_connected()
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            k_regular_graph(5, 3)
+
+    def test_k_ge_n_rejected(self):
+        with pytest.raises(ValueError, match="k < n_nodes"):
+            k_regular_graph(4, 4)
+
+    def test_k_zero(self):
+        g = k_regular_graph(5, 0, seed=1)
+        assert g.n_edges == 0
+
+    def test_reproducible(self):
+        a = k_regular_graph(60, 4, seed=9)
+        b = k_regular_graph(60, 4, seed=9)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_latencies_from_model(self):
+        model = EuclideanModel(40, seed=3)
+        g = k_regular_graph(40, 4, model=model, seed=4)
+        for u, v, lat in list(g.iter_edges())[:10]:
+            assert lat == pytest.approx(model.latency(u, v))
+
+    def test_unit_latency_without_model(self):
+        g = k_regular_graph(20, 4, seed=5)
+        assert np.all(g.latency == 1.0)
+
+    def test_complete_graph_edge_case(self):
+        # k = n-1 forces the complete graph.
+        g = k_regular_graph(6, 5, seed=6)
+        assert g.n_edges == 15
+
+    def test_randomness_differs_across_seeds(self):
+        a = k_regular_graph(100, 4, seed=1)
+        b = k_regular_graph(100, 4, seed=2)
+        assert not np.array_equal(a.indices, b.indices)

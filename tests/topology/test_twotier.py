@@ -1,0 +1,85 @@
+"""Tests for repro.topology.twotier."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import EuclideanModel
+from repro.topology import TwoTierTopology, two_tier_graph
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return two_tier_graph(2000, seed=42)
+
+
+class TestTwoTierGraph:
+    def test_valid_simple_graph(self, topo):
+        topo.graph.validate()
+
+    def test_connected(self, topo):
+        assert topo.graph.is_connected()
+
+    def test_ultrapeer_fraction(self, topo):
+        frac = topo.ultrapeers.size / topo.graph.n_nodes
+        assert 0.12 <= frac <= 0.18
+
+    def test_leaves_only_touch_ultrapeers(self, topo):
+        for leaf in topo.leaves[:100]:
+            nbrs = topo.graph.neighbors(int(leaf))
+            assert np.all(topo.is_ultrapeer[nbrs])
+
+    def test_leaf_degree(self, topo):
+        leaf_degs = topo.graph.degrees[topo.leaves]
+        assert np.all(leaf_degs == 3)
+
+    def test_ultrapeer_mesh_degree_near_target(self, topo):
+        # UP degree = mesh degree (~30) + leaf attachments.
+        mesh, old = topo.graph.subgraph(topo.is_ultrapeer)
+        mesh_degs = mesh.degrees
+        assert 24 <= mesh_degs.mean() <= 31
+
+    def test_leaf_parents(self, topo):
+        leaf = int(topo.leaves[0])
+        parents = topo.leaf_parents(leaf)
+        assert parents.size == 3
+        assert np.all(topo.is_ultrapeer[parents])
+
+    def test_mixed_leaf_degree_range(self):
+        t = two_tier_graph(2000, leaf_degree_range=(1, 3), seed=7)
+        leaf_degs = t.graph.degrees[t.leaves]
+        assert leaf_degs.min() == 1
+        assert leaf_degs.max() == 3
+        assert {1, 2, 3} <= set(np.unique(leaf_degs).tolist())
+
+    def test_latencies_from_model(self):
+        model = EuclideanModel(300, seed=1)
+        t = two_tier_graph(300, model=model, seed=2)
+        for u, v, lat in list(t.graph.iter_edges())[:10]:
+            assert lat == pytest.approx(model.latency(u, v))
+
+    def test_reproducible(self):
+        a = two_tier_graph(500, seed=9)
+        b = two_tier_graph(500, seed=9)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+        np.testing.assert_array_equal(a.is_ultrapeer, b.is_ultrapeer)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            two_tier_graph(100, ultrapeer_fraction=0.0)
+
+    def test_invalid_leaf_degree(self):
+        with pytest.raises(ValueError, match="leaf_degree"):
+            two_tier_graph(100, leaf_degree=0)
+
+    def test_invalid_leaf_degree_range(self):
+        with pytest.raises(ValueError, match="leaf_degree_range"):
+            two_tier_graph(100, leaf_degree_range=(3, 1))
+
+    def test_mask_shape_enforced(self, topo):
+        with pytest.raises(ValueError, match="one entry per node"):
+            TwoTierTopology(graph=topo.graph, is_ultrapeer=np.zeros(3, dtype=bool))
+
+    def test_small_network(self):
+        t = two_tier_graph(20, seed=3)
+        t.graph.validate()
+        assert t.ultrapeers.size >= 2

@@ -1,0 +1,51 @@
+"""Tests for repro.trace.gnutella — the published trace scalars."""
+
+import pytest
+
+from repro.trace import GNUTELLA_2003, GNUTELLA_2006, TrafficTraceStats
+
+
+class TestPublishedStats:
+    def test_2006_bandwidth_matches_paper(self):
+        # Paper: "an outgoing query bandwidth of 103 kbps in 2006".
+        assert GNUTELLA_2006.outgoing_bandwidth_kbps == pytest.approx(103.4, rel=0.03)
+
+    def test_2003_bandwidth_matches_paper(self):
+        # Paper: "over 130 kbps in 2003".
+        assert GNUTELLA_2003.outgoing_bandwidth_kbps == pytest.approx(130.0, rel=0.05)
+
+    def test_2003_queries_per_window(self):
+        # "over 400K query messages in a 2 hour interval".
+        assert GNUTELLA_2003.queries_per_window == pytest.approx(432_000)
+
+    def test_2006_queries_per_window(self):
+        # "23K queries in a 2 hour interval".
+        assert GNUTELLA_2006.queries_per_window == pytest.approx(23_256, rel=0.02)
+
+    def test_2006_outgoing_rate(self):
+        # Table 2: 124.16 outgoing messages per second.
+        assert GNUTELLA_2006.outgoing_messages_per_second == pytest.approx(
+            124.16, rel=0.01
+        )
+
+    def test_success_rates(self):
+        assert GNUTELLA_2003.success_rate == 0.035
+        assert GNUTELLA_2006.success_rate == 0.069
+
+
+class TestTrafficTraceStats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficTraceStats(2000, queries_per_second=0, mean_query_bytes=1,
+                              mean_forward_peers=1, success_rate=0.5)
+        with pytest.raises(ValueError):
+            TrafficTraceStats(2000, queries_per_second=1, mean_query_bytes=1,
+                              mean_forward_peers=1, success_rate=1.5)
+
+    def test_bandwidth_arithmetic(self):
+        stats = TrafficTraceStats(
+            2020, queries_per_second=10.0, mean_query_bytes=125.0,
+            mean_forward_peers=2.0, success_rate=0.5,
+        )
+        # 10 q/s * 2 fwd * 125 B * 8 b/B / 1000 = 20 kbps.
+        assert stats.outgoing_bandwidth_kbps == pytest.approx(20.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.trace.replay (instrumented-peer methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import GNUTELLA_2006, generate_workload
+from repro.trace.replay import replay_at_monitored_peer
+from repro.protocol.messages import Query
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(GNUTELLA_2006, duration=20.0, n_objects=20, seed=1)
+
+
+class TestReplayAtMonitoredPeer:
+    def test_default_monitors_highest_degree(self, small_makalu, workload):
+        report = replay_at_monitored_peer(small_makalu, workload, ttl=4, seed=2)
+        assert report.node == int(np.argmax(small_makalu.degrees))
+
+    def test_traffic_flows_through_monitored_peer(self, small_makalu, workload):
+        report = replay_at_monitored_peer(small_makalu, workload, ttl=4, seed=3)
+        # At TTL 4 on 400 nodes nearly every flood sweeps the peer.
+        assert report.queries_received >= workload.n_queries * 0.8
+        assert report.queries_forwarded > 0
+        assert report.bytes_forwarded > 0
+
+    def test_fanout_near_degree_minus_one(self, small_makalu, workload):
+        report = replay_at_monitored_peer(small_makalu, workload, ttl=4, seed=4)
+        degree = int(small_makalu.degrees[report.node])
+        # Each fresh query forwards degree-1; duplicates dilute the ratio
+        # below that, never above.
+        assert 0 < report.forwarded_per_query <= degree
+
+    def test_bandwidth_uses_real_wire_format(self, small_makalu, workload):
+        report = replay_at_monitored_peer(
+            small_makalu, workload, ttl=4, criteria_bytes=80, seed=5
+        )
+        size = Query(bytes(16), search_criteria="x" * 80).wire_size
+        assert report.bytes_forwarded == report.queries_forwarded * size
+        assert size == 106  # the 2006 trace's mean query size
+
+    def test_rate_accounting(self, small_makalu, workload):
+        report = replay_at_monitored_peer(small_makalu, workload, ttl=4, seed=6)
+        assert report.received_per_second == pytest.approx(
+            report.queries_received / workload.duration
+        )
+        assert report.outgoing_bandwidth_kbps > 0
+
+    def test_explicit_monitored_node(self, small_makalu, workload):
+        report = replay_at_monitored_peer(
+            small_makalu, workload, monitored=7, ttl=4, seed=7
+        )
+        assert report.node == 7
+
+    def test_leaf_of_flood_does_not_forward(self, small_makalu, workload):
+        """With TTL 1 the monitored peer (not the source) never forwards."""
+        report = replay_at_monitored_peer(
+            small_makalu, workload, monitored=7, ttl=1, seed=8
+        )
+        # Forwarding only happens for its own originated queries.
+        degree = int(small_makalu.degrees[7])
+        assert report.queries_forwarded % degree == 0
+
+    def test_invalid_node(self, small_makalu, workload):
+        with pytest.raises(ValueError):
+            replay_at_monitored_peer(
+                small_makalu, workload, monitored=10**6, ttl=2
+            )

@@ -1,0 +1,70 @@
+"""Tests for repro.trace.validation (Table 2)."""
+
+import pytest
+
+from repro.trace import (
+    GNUTELLA_2003,
+    GNUTELLA_2006,
+    gnutella_row,
+    makalu_row,
+    traffic_comparison,
+)
+
+
+class TestGnutellaRow:
+    def test_table2_gnutella_column(self):
+        row = gnutella_row(GNUTELLA_2006)
+        assert row.outgoing_msgs_per_query == pytest.approx(38.439)
+        assert row.outgoing_msgs_per_second == pytest.approx(124.16, rel=0.01)
+        assert row.outgoing_bandwidth_kbps == pytest.approx(103.4, rel=0.03)
+        assert row.query_success_rate == 0.069
+
+    def test_2003_row(self):
+        row = gnutella_row(GNUTELLA_2003)
+        assert row.outgoing_msgs_per_query == 4.0
+
+
+class TestMakaluRow:
+    def test_fanout_from_mean_degree(self, small_makalu):
+        row = makalu_row(small_makalu, n_queries=10, seed=1)
+        assert row.outgoing_msgs_per_query == pytest.approx(
+            small_makalu.mean_degree - 1.0
+        )
+
+    def test_bandwidth_arithmetic(self, small_makalu):
+        row = makalu_row(small_makalu, n_queries=10, seed=2)
+        expected = (
+            GNUTELLA_2006.queries_per_second
+            * row.outgoing_msgs_per_query
+            * GNUTELLA_2006.mean_query_bytes
+            * 8.0 / 1000.0
+        )
+        assert row.outgoing_bandwidth_kbps == pytest.approx(expected)
+
+    def test_worst_case_success_at_small_scale(self, small_makalu):
+        # On 400 nodes a TTL-5 flood covers everything: worst-case single-copy
+        # queries all succeed.  (The 36% figure is the 100k-scale result.)
+        row = makalu_row(small_makalu, ttl=5, n_queries=20, seed=3)
+        assert row.query_success_rate == 1.0
+
+    def test_success_shrinks_with_ttl(self, small_makalu):
+        high = makalu_row(small_makalu, ttl=4, n_queries=40, seed=4)
+        low = makalu_row(small_makalu, ttl=1, n_queries=40, seed=4)
+        assert low.query_success_rate < high.query_success_rate
+
+    def test_invalid_queries(self, small_makalu):
+        with pytest.raises(ValueError):
+            makalu_row(small_makalu, n_queries=0)
+
+
+class TestTrafficComparison:
+    def test_headline_claims_shape(self, small_makalu):
+        cmp = traffic_comparison(small_makalu, ttl=5, n_queries=30, seed=5)
+        # Paper headlines: ~75% bandwidth savings, >=5x success.
+        assert cmp.bandwidth_savings > 0.5
+        assert cmp.success_ratio > 2.0
+
+    def test_rows_labeled(self, small_makalu):
+        cmp = traffic_comparison(small_makalu, ttl=5, n_queries=5, seed=6)
+        assert "Gnutella" in cmp.gnutella.name
+        assert "Makalu" in cmp.makalu.name

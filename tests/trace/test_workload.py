@@ -1,0 +1,62 @@
+"""Tests for repro.trace.workload."""
+
+import numpy as np
+import pytest
+
+from repro.trace import GNUTELLA_2006, generate_workload
+from repro.trace.workload import zipf_popularity
+
+
+class TestZipfPopularity:
+    def test_normalized(self):
+        pmf = zipf_popularity(100)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        pmf = zipf_popularity(50, exponent=1.0)
+        assert np.all(np.diff(pmf) < 0)
+
+    def test_head_heaviness_grows_with_exponent(self):
+        flat = zipf_popularity(100, exponent=0.2)
+        steep = zipf_popularity(100, exponent=1.5)
+        assert steep[0] > flat[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_popularity(0)
+        with pytest.raises(ValueError):
+            zipf_popularity(10, exponent=0.0)
+
+
+class TestGenerateWorkload:
+    def test_rate_matches_trace(self):
+        w = generate_workload(GNUTELLA_2006, duration=3600.0, seed=1)
+        # Poisson with lambda = 3.23 q/s over an hour: ~11,628 +- noise.
+        assert w.n_queries == pytest.approx(3.23 * 3600, rel=0.1)
+        assert w.rate == pytest.approx(3.23, rel=0.1)
+
+    def test_times_sorted_within_duration(self):
+        w = generate_workload(GNUTELLA_2006, duration=100.0, seed=2)
+        assert np.all(np.diff(w.times) >= 0)
+        assert w.times.min() >= 0 and w.times.max() <= 100.0
+
+    def test_objects_in_range(self):
+        w = generate_workload(GNUTELLA_2006, duration=500.0, n_objects=30, seed=3)
+        assert w.objects.min() >= 0 and w.objects.max() < 30
+
+    def test_popularity_skew(self):
+        w = generate_workload(GNUTELLA_2006, duration=5000.0, n_objects=100,
+                              zipf_exponent=1.0, seed=4)
+        pop = w.popularity()
+        # Top-ranked object queried far more than the median object.
+        assert pop[0] > 4 * np.median(pop[pop > 0])
+
+    def test_reproducible(self):
+        a = generate_workload(GNUTELLA_2006, duration=200.0, seed=5)
+        b = generate_workload(GNUTELLA_2006, duration=200.0, seed=5)
+        np.testing.assert_array_equal(a.objects, b.objects)
+        np.testing.assert_allclose(a.times, b.times)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_workload(GNUTELLA_2006, duration=0.0)

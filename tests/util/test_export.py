@@ -1,0 +1,44 @@
+"""Tests for repro.util.export."""
+
+import numpy as np
+import pytest
+
+from repro.util.export import load_series_csv, save_series_csv
+
+
+class TestSaveLoadCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        save_series_csv(str(path), {"ttl": [1, 2, 3], "success": [0.1, 0.5, 1.0]})
+        loaded = load_series_csv(str(path))
+        assert loaded["ttl"] == ["1", "2", "3"]
+        assert [float(x) for x in loaded["success"]] == [0.1, 0.5, 1.0]
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        save_series_csv(str(path), {"x": [1]})
+        assert path.exists()
+
+    def test_numpy_columns(self, tmp_path):
+        path = tmp_path / "np.csv"
+        save_series_csv(str(path), {"n": np.asarray([10, 20])})
+        assert load_series_csv(str(path))["n"] == ["10", "20"]
+
+    def test_column_order_preserved(self, tmp_path):
+        path = tmp_path / "order.csv"
+        save_series_csv(str(path), {"b": [1], "a": [2]})
+        assert open(path).readline().strip() == "b,a"
+
+    def test_unequal_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="equal length"):
+            save_series_csv(str(tmp_path / "x.csv"), {"a": [1], "b": [1, 2]})
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            save_series_csv(str(tmp_path / "x.csv"), {})
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_series_csv(str(path))

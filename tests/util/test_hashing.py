@@ -1,0 +1,91 @@
+"""Tests for repro.util.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    bloom_bit_positions,
+    hash_pair_u64,
+    splitmix64,
+    string_to_key,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        np.testing.assert_array_equal(splitmix64(x), splitmix64(x))
+
+    def test_salt_changes_output(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(splitmix64(x, salt=0), splitmix64(x, salt=1))
+
+    def test_scalar_input(self):
+        out = splitmix64(12345)
+        assert out.dtype == np.uint64
+
+    def test_avalanche_rough(self):
+        # Flipping one input bit should flip ~half the output bits on average.
+        x = np.uint64(0xDEADBEEF)
+        a = int(splitmix64(x))
+        b = int(splitmix64(x ^ np.uint64(1)))
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+    def test_no_trivial_collisions(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        hashed = splitmix64(x)
+        assert np.unique(hashed).size == x.size
+
+
+class TestHashPair:
+    def test_h2_always_odd(self):
+        _, h2 = hash_pair_u64(np.arange(1000, dtype=np.uint64))
+        assert np.all(h2 & np.uint64(1) == 1)
+
+    def test_h1_h2_independent_looking(self):
+        h1, h2 = hash_pair_u64(np.arange(1000, dtype=np.uint64))
+        assert not np.array_equal(h1, h2)
+
+
+class TestBloomBitPositions:
+    def test_shape(self):
+        pos = bloom_bit_positions(np.arange(10), n_hashes=4, n_bits=256)
+        assert pos.shape == (10, 4)
+
+    def test_in_range(self):
+        pos = bloom_bit_positions(np.arange(1000), n_hashes=5, n_bits=300)
+        assert pos.min() >= 0 and pos.max() < 300
+
+    def test_deterministic(self):
+        a = bloom_bit_positions(np.asarray([7, 8]), 4, 128)
+        b = bloom_bit_positions(np.asarray([7, 8]), 4, 128)
+        np.testing.assert_array_equal(a, b)
+
+    def test_positions_spread(self):
+        # Positions over many keys should cover most of the bit space.
+        pos = bloom_bit_positions(np.arange(5000), n_hashes=4, n_bits=512)
+        assert np.unique(pos).size > 500
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError, match="n_hashes"):
+            bloom_bit_positions(np.asarray([1]), 0, 128)
+        with pytest.raises(ValueError, match="n_bits"):
+            bloom_bit_positions(np.asarray([1]), 4, 0)
+
+
+class TestStringToKey:
+    def test_stable(self):
+        assert string_to_key("ubuntu.iso") == string_to_key("ubuntu.iso")
+
+    def test_distinct_names(self):
+        names = [f"file-{i}.dat" for i in range(1000)]
+        keys = {string_to_key(n) for n in names}
+        assert len(keys) == 1000
+
+    def test_positive_63bit(self):
+        k = string_to_key("x")
+        assert 0 <= k < 2**63
+
+    def test_unicode(self):
+        assert string_to_key("файл") != string_to_key("file")

@@ -1,0 +1,121 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    as_generator,
+    derive_seed,
+    sample_without_replacement,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_generator("not a seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(1, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(1, 3)
+        draws = [g.integers(0, 2**32, size=4) for g in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        a = [g.integers(0, 2**32) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 2**32) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_generators(1, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(10, 3) != derive_seed(10, 4)
+
+    def test_result_is_nonnegative_63bit(self):
+        for salt in range(20):
+            s = derive_seed(123, salt)
+            assert 0 <= s < 2**63
+
+
+class TestSampleWithoutReplacement:
+    def test_basic_distinct(self, rng):
+        picks = sample_without_replacement(rng, 100, 20)
+        assert np.unique(picks).size == 20
+        assert picks.min() >= 0 and picks.max() < 100
+
+    def test_exclusions_respected(self, rng):
+        exclude = [0, 5, 10, 99]
+        picks = sample_without_replacement(rng, 100, 50, exclude=exclude)
+        assert not np.isin(picks, exclude).any()
+        assert np.unique(picks).size == 50
+
+    def test_full_population_minus_exclusions(self, rng):
+        picks = sample_without_replacement(rng, 10, 8, exclude=[3, 7])
+        assert sorted(picks.tolist()) == [0, 1, 2, 4, 5, 6, 8, 9]
+
+    def test_oversample_raises(self, rng):
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_without_replacement(rng, 10, 11)
+
+    def test_oversample_after_exclusions_raises(self, rng):
+        with pytest.raises(ValueError, match="after exclusions"):
+            sample_without_replacement(rng, 10, 9, exclude=[1, 2])
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError, match="negative"):
+            sample_without_replacement(rng, 10, -1)
+
+    def test_out_of_range_exclusions_raise(self, rng):
+        with pytest.raises(ValueError, match="outside"):
+            sample_without_replacement(rng, 10, 2, exclude=[10])
+
+    def test_uniformity_rough(self):
+        # With heavy exclusion, remaining ids should all appear over trials.
+        gen = np.random.default_rng(0)
+        seen = set()
+        for _ in range(200):
+            picks = sample_without_replacement(gen, 20, 3, exclude=list(range(10)))
+            seen.update(picks.tolist())
+        assert seen == set(range(10, 20))

@@ -1,0 +1,76 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_node_id,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, float("nan")])
+    def test_rejects(self, p):
+        with pytest.raises(ValueError):
+            check_probability("p", p)
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts(self):
+        m = check_square_matrix("m", [[1, 2], [3, 4]])
+        assert m.dtype == np.float64
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix("m", np.zeros((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", np.zeros(4))
+
+
+class TestCheckNodeId:
+    def test_accepts_in_range(self):
+        assert check_node_id("u", 3, 5) == 3
+
+    @pytest.mark.parametrize("node", [-1, 5, 100])
+    def test_rejects_out_of_range(self, node):
+        with pytest.raises(ValueError, match="node id"):
+            check_node_id("u", node, 5)
