@@ -6,14 +6,25 @@ descriptor level, so tables are buffered here and flushed by the
 ``pytest_terminal_summary`` hook in ``conftest.py`` — they appear at the
 end of every ``pytest benchmarks/ --benchmark-only`` run and are also
 persisted to ``benchmarks/results/latest.txt``.
+
+When an observability session is active (``REPRO_BENCH_OBS=1``, see
+``conftest.py``), every table is followed by the metric deltas the
+experiment produced, so persisted BENCH results carry instrumentation
+alongside the headline numbers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+from repro import obs
 
 #: Rendered report blocks, flushed by the terminal-summary hook.
 REPORTS: List[str] = []
+
+#: Snapshot taken at the previous table flush; tables report deltas so
+#: each experiment's block shows only its own metrics.
+_LAST_SNAPSHOT: Optional[dict] = None
 
 
 def print_table(
@@ -40,10 +51,31 @@ def print_table(
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     if note:
         lines.append(f"  note: {note}")
+    metrics_block = _metrics_delta_block()
+    if metrics_block:
+        lines.append(metrics_block)
     block = "\n".join(lines)
     REPORTS.append(block)
     # Best effort immediate echo (visible under `pytest -s`).
     print("\n" + block + "\n")
+
+
+def _metrics_delta_block() -> str:
+    """Render metrics accrued since the last table, if obs is active."""
+    global _LAST_SNAPSHOT
+    session = obs.active()
+    if session is None:
+        return ""
+    snap = session.metrics.snapshot()
+    delta = (
+        obs.diff_snapshots(_LAST_SNAPSHOT, snap) if _LAST_SNAPSHOT else snap
+    )
+    _LAST_SNAPSHOT = snap
+    counters = {k: v for k, v in delta.get("counters", {}).items() if v}
+    if not counters:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    return f"  metrics: {body}"
 
 
 def _fmt(value: object) -> str:

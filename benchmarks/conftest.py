@@ -76,6 +76,20 @@ SCALES = {
 }
 
 
+def pytest_configure(config):
+    """Activate observability for the whole run with REPRO_BENCH_OBS=1.
+
+    Tables rendered by ``_report.print_table`` then embed the metric
+    deltas each experiment produced.  ``REPRO_BENCH_OBS`` may also name a
+    JSONL path to stream the full event trace.
+    """
+    flag = os.environ.get("REPRO_BENCH_OBS", "")
+    if flag and flag != "0":
+        from repro import obs
+
+        obs.configure(trace=flag if flag != "1" else None, profile=True)
+
+
 def pytest_terminal_summary(terminalreporter):
     """Flush the paper-vs-measured tables after the benchmark summary."""
     if not _report.REPORTS:
@@ -108,6 +122,14 @@ def pytest_terminal_summary(terminalreporter):
         fh.write("\n\n".join(existing.values()) + "\n")
     terminalreporter.write_line("")
     terminalreporter.write_line(f"(tables saved to {scale_path})")
+
+    from repro import obs
+
+    session = obs.active()
+    if session is not None and session.profiler is not None:
+        terminalreporter.section("observability profile")
+        for line in session.profiler.format_report().splitlines():
+            terminalreporter.write_line(line)
 
 
 @pytest.fixture(scope="session")

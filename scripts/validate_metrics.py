@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Validate a --metrics-json snapshot against the checked-in schema.
+
+Usage::
+
+    python scripts/validate_metrics.py SNAPSHOT.json [SCHEMA.json]
+
+Implements the small JSON-Schema subset the snapshot schema actually uses
+(type, const, required, properties, additionalProperties, items,
+minItems, minimum) so CI needs no third-party validator.  Exits 0 on
+success, 1 with a path-qualified error message on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_SCHEMA = (
+    Path(__file__).resolve().parent.parent
+    / "schemas" / "metrics_snapshot.schema.json"
+)
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _check(instance, schema: dict, path: str) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        py = _TYPES[expected]
+        ok = isinstance(instance, py)
+        # bool is an int subclass but never a JSON integer/number.
+        if ok and expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            raise ValidationError(f"{path}: expected {expected}, "
+                                  f"got {type(instance).__name__}")
+    if "const" in schema and instance != schema["const"]:
+        raise ValidationError(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}"
+        )
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            raise ValidationError(
+                f"{path}: {instance} below minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise ValidationError(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                _check(value, props[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                _check(value, extra, f"{path}.{key}")
+            elif extra is False:
+                raise ValidationError(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise ValidationError(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(instance):
+                _check(item, item_schema, f"{path}[{i}]")
+
+
+def validate(instance, schema: dict) -> None:
+    """Raise :class:`ValidationError` if ``instance`` violates ``schema``."""
+    _check(instance, schema, "$")
+
+
+def main(argv) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    snapshot = json.loads(Path(argv[1]).read_text())
+    schema_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_SCHEMA
+    schema = json.loads(schema_path.read_text())
+    try:
+        validate(snapshot, schema)
+    except ValidationError as err:
+        print(f"INVALID: {err}")
+        return 1
+    counters = len(snapshot.get("counters", {}))
+    print(f"OK: {argv[1]} conforms to {schema_path.name} "
+          f"({counters} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

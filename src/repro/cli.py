@@ -10,20 +10,28 @@ Usage examples::
     python -m repro churn --nodes 500 --duration 150
 
 Every subcommand prints a short human-readable report; all accept
-``--seed`` for reproducibility.  The CLI is a thin veneer over the public
-API — anything here can be done in a few lines of Python (see
-``examples/``).
+``--seed`` for reproducibility.  All subcommands also accept the
+observability flags (off by default, see docs/OBSERVABILITY.md):
+
+* ``--metrics-json PATH`` — write the run's metric snapshot as JSON;
+* ``--trace PATH`` — stream structured events (JSONL) to ``PATH``;
+* ``--profile`` — print a per-phase wall-time report after the run.
+
+The CLI is a thin veneer over the public API — anything here can be done
+in a few lines of Python (see ``examples/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import (
     algebraic_connectivity,
     convergence_boundary,
@@ -224,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=2000)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--model", choices=sorted(MODELS), default="euclidean")
+        p.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write a JSON metrics snapshot of the run")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="stream structured JSONL trace events to PATH")
+        p.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-time report")
         if topology:
             p.add_argument(
                 "--topology",
@@ -286,7 +300,34 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics_json = getattr(args, "metrics_json", None)
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not (metrics_json or trace_path or profile):
+        return args.func(args)
+
+    # Fail before the run, not after it: both sinks are written at exit.
+    for path in (metrics_json, trace_path):
+        parent = os.path.dirname(os.path.abspath(path)) if path else None
+        if parent and not os.path.isdir(parent):
+            print(f"error: cannot write {path}: "
+                  f"directory {parent} does not exist", file=sys.stderr)
+            return 2
+
+    session = obs.configure(trace=trace_path or None, profile=profile)
+    try:
+        rc = args.func(args)
+    finally:
+        obs.disable()
+    if metrics_json:
+        session.metrics.write_json(metrics_json)
+        print(f"metrics snapshot written to {metrics_json}")
+    if trace_path:
+        print(f"trace written to {trace_path} "
+              f"({session.tracer.emitted} events)")
+    if profile:
+        print(session.profiler.format_report())
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
+from repro.obs import runtime as _obs
 from repro.topology.graph import AdjacencyBuilder
 
 
@@ -44,12 +45,16 @@ def prune_to_capacity(
         raise ValueError(f"capacity must be >= 0, got {capacity}")
     pruned: list[int] = []
     while adj.degree(node) > capacity:
-        ratings = rate_neighbors(
-            node, adj.neighbors(node), lambda v: adj.neighbors(v).keys(), weights
-        )
+        with _obs.span("maintenance.rating"):
+            ratings = rate_neighbors(
+                node, adj.neighbors(node), lambda v: adj.neighbors(v).keys(),
+                weights,
+            )
         victim = worst_neighbor(ratings)
         adj.remove_edge(node, victim)
         pruned.append(victim)
+        _obs.count("maintenance.capacity_prunes")
+        _obs.event("maintenance.prune", node=node, victim=victim)
     return pruned
 
 
@@ -108,6 +113,12 @@ def repair_after_failure(
             adj.remove_edge(int(f), v)
             if v not in failed_set:
                 bereaved.add(v)
+    _obs.count("maintenance.failures", failed.size)
+    _obs.count("maintenance.bereaved", len(bereaved))
+    _obs.event(
+        "maintenance.failure", failed=failed.size, bereaved=len(bereaved),
+        rejoin=rejoin,
+    )
     # Failed nodes leave the candidate pool so walks cannot resurrect them.
     builder._joined = [x for x in builder._joined if x not in failed_set]
     builder._repair_queue = type(builder._repair_queue)(
@@ -116,12 +127,14 @@ def repair_after_failure(
 
     survivors = np.asarray(sorted(bereaved), dtype=np.int64)
     if rejoin:
-        for _ in range(max_passes):
-            needy = [
-                int(x) for x in survivors if adj.degree(int(x)) < builder.capacities[x]
-            ]
-            if not needy:
-                break
-            for x in needy:
-                builder._acquire(x, allow_swap=False)
+        with _obs.span("maintenance.repair"):
+            for _ in range(max_passes):
+                needy = [
+                    int(x) for x in survivors
+                    if adj.degree(int(x)) < builder.capacities[x]
+                ]
+                if not needy:
+                    break
+                for x in needy:
+                    builder._acquire(x, allow_swap=False)
     return survivors

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
 from repro.netmodel.base import NetworkModel
+from repro.obs import runtime as _obs
 from repro.topology.graph import AdjacencyBuilder, OverlayGraph
 from repro.util.rng import SeedLike, as_generator
 
@@ -192,12 +193,17 @@ class MakaluBuilder:
         joiners — whose unique-reachable set is empty by construction —
         bootstrap into the overlay at all.
         """
-        ratings = rate_neighbors(
-            x, self.adj.neighbors(x), self._neighborhood_of, self.config.weights
-        )
+        with _obs.span("makalu.rating"):
+            ratings = rate_neighbors(
+                x, self.adj.neighbors(x), self._neighborhood_of,
+                self.config.weights,
+            )
+        _obs.count("makalu.rating_calls")
         sparable = {v: r for v, r in ratings.items() if self.adj.degree(v) > 1}
         victim = worst_neighbor(sparable if sparable else ratings)
         self.adj.remove_edge(x, victim)
+        _obs.count("makalu.prunes")
+        _obs.event("makalu.prune", node=x, victim=victim)
         if self.adj.degree(victim) < self.config.min_degree_floor:
             self._repair_queue.append(victim)
         return victim
@@ -209,16 +215,21 @@ class MakaluBuilder:
         """
         if u == c or self.adj.has_edge(u, c):
             return False
+        _obs.count("makalu.connections_attempted")
         self.adj.add_edge(u, c, self._latency(u, c))
         # Acceptor side first: c provisionally holds the connection and
         # prunes its worst neighbor if now over capacity.
         if self.adj.degree(c) > self.capacities[c]:
             if self._prune_once(c) == u:
+                _obs.event("makalu.reject", initiator=u, acceptor=c, by=c)
                 return False
         # Initiator side: same rule.
         if self.adj.degree(u) > self.capacities[u]:
             if self._prune_once(u) == c:
+                _obs.event("makalu.reject", initiator=u, acceptor=c, by=u)
                 return False
+        _obs.count("makalu.connections_accepted")
+        _obs.event("makalu.accept", initiator=u, acceptor=c)
         return True
 
     def _seed_peers(self, u: int) -> list[int]:
@@ -298,16 +309,18 @@ class MakaluBuilder:
         """Join node ``u`` to the overlay (bootstrap + fill capacity)."""
         self._acquire(u, allow_swap=False)
         self._joined.append(u)
+        _obs.count("makalu.joins")
 
     def refine(self, rounds: Optional[int] = None) -> None:
         """Run management/refinement rounds over all joined nodes."""
         rounds = self.config.refinement_rounds if rounds is None else rounds
         nodes = np.asarray(self._joined, dtype=np.int64)
         for _ in range(rounds):
-            order = self.rng.permutation(nodes)
-            for u in order:
-                self._acquire(int(u), allow_swap=True)
-            self._drain_repairs(budget=2 * len(nodes))
+            with _obs.span("makalu.refine_round"):
+                order = self.rng.permutation(nodes)
+                for u in order:
+                    self._acquire(int(u), allow_swap=True)
+                self._drain_repairs(budget=2 * len(nodes))
 
     def fill(self, rounds: Optional[int] = None) -> None:
         """Let under-capacity nodes re-acquire until full (bounded rounds).
@@ -331,14 +344,18 @@ class MakaluBuilder:
 
     def build(self) -> OverlayGraph:
         """Run the full construction and return the frozen overlay."""
-        order = self.rng.permutation(self.n_nodes)
-        for u in order:
-            self.join(int(u))
-        self._drain_repairs(budget=2 * self.n_nodes)
-        self.refine()
-        self._drain_repairs(budget=2 * self.n_nodes)
-        self.fill()
-        return self.adj.freeze()
+        with _obs.span("makalu.build"):
+            with _obs.span("makalu.joins"):
+                order = self.rng.permutation(self.n_nodes)
+                for u in order:
+                    self.join(int(u))
+                self._drain_repairs(budget=2 * self.n_nodes)
+            with _obs.span("makalu.refine"):
+                self.refine()
+                self._drain_repairs(budget=2 * self.n_nodes)
+            with _obs.span("makalu.fill"):
+                self.fill()
+            return self.adj.freeze()
 
 
 def makalu_graph(

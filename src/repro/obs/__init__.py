@@ -1,0 +1,75 @@
+"""Unified observability: metrics, event tracing, and profiling.
+
+Three cooperating pieces, all off by default and activated together
+through a process-local session (:mod:`repro.obs.runtime`):
+
+* :class:`MetricsRegistry` — named counters/gauges/histograms with
+  ``snapshot()`` / ``reset()`` / JSON export (:mod:`repro.obs.metrics`);
+* :class:`Tracer` — structured events in a ring buffer with an optional
+  JSONL sink (:mod:`repro.obs.tracer`);
+* :class:`Profiler` — nested ``span()`` wall-time aggregation
+  (:mod:`repro.obs.profiler`).
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.observed(trace=True, profile=True) as session:
+        flood(graph, source=0, ttl=4, replica_mask=mask)
+
+    session.metrics.snapshot()["counters"]["search.flood.messages_sent"]
+    session.tracer.events("flood.hop")      # per-hop fan-out sequence
+    print(session.profiler.format_report())
+
+See docs/OBSERVABILITY.md for the event schema and the metric name
+catalogue.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from repro.obs.profiler import Profiler
+from repro.obs.runtime import (
+    ObsSession,
+    active,
+    configure,
+    count,
+    disable,
+    event,
+    gauge,
+    is_enabled,
+    observe,
+    observed,
+    span,
+    tracing_active,
+)
+from repro.obs.tracer import Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_EDGES",
+    "diff_snapshots",
+    "Tracer",
+    "read_trace",
+    "Profiler",
+    "ObsSession",
+    "active",
+    "configure",
+    "disable",
+    "observed",
+    "is_enabled",
+    "count",
+    "gauge",
+    "observe",
+    "event",
+    "span",
+    "tracing_active",
+]

@@ -1,0 +1,246 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`): instrumented code increments named instruments, and a
+``snapshot()`` turns the whole registry into plain JSON-serializable data
+that benchmarks embed in their reports and the CLI writes with
+``--metrics-json``.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Code never talks to a registry
+   directly unless one is active (see :mod:`repro.obs.runtime`); the
+   instruments themselves are ``__slots__`` objects whose hot methods do one
+   add.
+2. **Deterministic.**  Instruments never read clocks or RNGs, so enabling
+   metrics cannot perturb a seeded simulation.
+3. **Mergeable.**  Snapshots are plain dicts of numbers;
+   :func:`diff_snapshots` subtracts one from another so a benchmark can
+   report "metrics during this phase" without resetting global state.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (powers of two cover message
+#: counts, fan-outs and hop depths across the scales the harness runs).
+DEFAULT_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so snapshots dump with plain ``json``."""
+    try:
+        import numpy as np
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class Counter:
+    """Monotonically increasing count (messages sent, prunes, events)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += int(n)
+
+
+class Gauge:
+    """Last-write-wins numeric level (online nodes, frontier size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: Number) -> None:
+        """Set the gauge to ``v``."""
+        self.value = float(v)
+
+    def inc(self, n: Number = 1) -> None:
+        """Adjust the gauge by ``n`` (may be negative)."""
+        self.value += float(n)
+
+
+class Histogram:
+    """Fixed-bucket distribution (per-query messages, span durations).
+
+    ``edges`` are inclusive upper bounds of the finite buckets; observations
+    above the last edge land in the overflow bucket, so ``counts`` has
+    ``len(edges) + 1`` entries.  ``sum``/``count`` allow exact means even
+    though bucket boundaries quantize the rest of the distribution.
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must strictly increase: {edges}")
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: Number) -> None:
+        """Record one observation."""
+        v = float(v)
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (nan when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments with get-or-create semantics.
+
+    Asking for the same name twice returns the same instrument; asking for
+    a name already registered as a different instrument type raises, since
+    that is always an instrumentation bug.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (edges fixed at creation)."""
+        return self._get(name, Histogram, edges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument, grouped by kind.
+
+        The layout is the JSONL/CLI export schema
+        (``schemas/metrics_snapshot.schema.json``)::
+
+            {"schema_version": 1,
+             "counters":   {name: int},
+             "gauges":     {name: float},
+             "histograms": {name: {"edges": [...], "counts": [...],
+                                   "sum": float, "count": int}}}
+        """
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = _jsonable(inst.value)
+            elif isinstance(inst, Gauge):
+                gauges[name] = float(inst.value)
+            else:
+                histograms[name] = {
+                    "edges": list(inst.edges),
+                    "counts": list(inst.counts),
+                    "sum": float(inst.sum),
+                    "count": int(inst.count),
+                }
+        return {
+            "schema_version": 1,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations (and edges)."""
+        for inst in self._instruments.values():
+            if isinstance(inst, Counter):
+                inst.value = 0
+            elif isinstance(inst, Gauge):
+                inst.value = 0.0
+            else:
+                inst.counts = [0] * (len(inst.edges) + 1)
+                inst.sum = 0.0
+                inst.count = 0
+
+    def write_json(self, path: str, indent: Optional[int] = 2) -> None:
+        """Write :meth:`snapshot` to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=indent, default=_jsonable)
+            fh.write("\n")
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Per-instrument change between two snapshots of the same registry.
+
+    Counters and histogram counts/sums subtract (``after - before``; a
+    counter absent from ``before`` diffs against zero); gauges report the
+    ``after`` value (levels do not accumulate).  Useful for bracketing one
+    phase of a longer run without resetting shared state.
+    """
+    out = {
+        "schema_version": 1,
+        "counters": {},
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": {},
+    }
+    b_c = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        out["counters"][name] = value - b_c.get(name, 0)
+    b_h = before.get("histograms", {})
+    for name, h in after.get("histograms", {}).items():
+        prev = b_h.get(
+            name, {"counts": [0] * len(h["counts"]), "sum": 0.0, "count": 0}
+        )
+        out["histograms"][name] = {
+            "edges": list(h["edges"]),
+            "counts": [a - b for a, b in zip(h["counts"], prev["counts"])],
+            "sum": h["sum"] - prev["sum"],
+            "count": h["count"] - prev["count"],
+        }
+    return out

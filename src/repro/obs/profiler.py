@@ -1,0 +1,111 @@
+"""Lightweight span profiler: where did the wall-clock go?
+
+``span("phase")`` context managers nest; each distinct *path* of nested
+names (``makalu.build/makalu.refine``) aggregates call count, total and
+self time.  That keeps the report a tree rather than a flat histogram, so
+"time in rating during refinement" and "time in rating during join" stay
+separate lines.
+
+Timers use :func:`time.perf_counter` only — never the RNG, never wall
+dates — so profiling a seeded run cannot perturb its results (only its
+speed: each active span costs two clock reads).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class _Span:
+    """One active timer; returned by :meth:`Profiler.span`."""
+
+    __slots__ = ("profiler", "name", "path", "t0", "child_time")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self.path = ""
+        self.t0 = 0.0
+        self.child_time = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self.profiler._stack
+        prefix = stack[-1].path + "/" if stack else ""
+        self.path = prefix + self.name
+        self.child_time = 0.0
+        stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self.t0
+        stack = self.profiler._stack
+        stack.pop()
+        if stack:
+            stack[-1].child_time += elapsed
+        self.profiler._record(self.path, elapsed, elapsed - self.child_time)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled profiling (zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Profiler:
+    """Aggregates nested span timings by path."""
+
+    def __init__(self):
+        # path -> [calls, total_seconds, self_seconds]
+        self._totals: Dict[str, List[float]] = {}
+        self._stack: List[_Span] = []
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one region under the current nesting."""
+        if "/" in name:
+            raise ValueError(f"span names cannot contain '/': {name!r}")
+        return _Span(self, name)
+
+    def _record(self, path: str, total: float, self_time: float) -> None:
+        entry = self._totals.get(path)
+        if entry is None:
+            self._totals[path] = [1, total, self_time]
+        else:
+            entry[0] += 1
+            entry[1] += total
+            entry[2] += self_time
+
+    def report(self) -> Dict[str, dict]:
+        """Per-path aggregates: ``{path: {calls, total_s, self_s}}``."""
+        return {
+            path: {"calls": int(c), "total_s": t, "self_s": s}
+            for path, (c, t, s) in sorted(self._totals.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all aggregates (open spans keep timing)."""
+        self._totals.clear()
+
+    def format_report(self) -> str:
+        """Human-readable table, children indented under parents."""
+        if not self._totals:
+            return "profile: no spans recorded"
+        lines = ["profile (per-phase wall time):",
+                 f"  {'span':<40} {'calls':>7} {'total s':>9} {'self s':>9}"]
+        for path, (calls, total, self_s) in sorted(self._totals.items()):
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {label:<40} {int(calls):>7} {total:>9.3f} {self_s:>9.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Process-local observability session and the cheap instrumentation API.
+
+The library is instrumented at fixed points (sim-engine dispatch, flood
+hops, Makalu prune/accept, churn joins/leaves, ...) through the
+module-level helpers here — :func:`count`, :func:`observe`, :func:`event`,
+:func:`span` — which are **no-ops unless a session is active**.  The
+disabled path is one global load and one ``is None`` test, so leaving the
+instrumentation compiled into hot kernels costs well under the 5% budget
+the benchmarks enforce.
+
+Activation is explicit and process-local::
+
+    from repro import obs
+
+    with obs.observed(trace_path="run.jsonl", profile=True) as session:
+        results = flood_queries(graph, placement, 100, ttl=4, seed=7)
+    session.metrics.snapshot()   # counters the run produced
+    session.profiler.format_report()
+
+or imperatively with :func:`configure` / :func:`disable` (what the CLI's
+``--metrics-json`` / ``--trace`` / ``--profile`` flags do).
+
+Instrumentation never touches RNG streams or wall-clock-dependent logic,
+so a seeded run produces bit-identical results with observability on or
+off (``tests/obs/test_determinism.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.obs.metrics import DEFAULT_EDGES, MetricsRegistry
+from repro.obs.profiler import NOOP_SPAN, Profiler
+from repro.obs.tracer import Tracer
+
+
+class ObsSession:
+    """One activated observability configuration.
+
+    ``metrics`` is always present; ``tracer`` and ``profiler`` are None
+    unless requested, letting call sites skip event-dict construction when
+    only counters are wanted.
+    """
+
+    __slots__ = ("metrics", "tracer", "profiler")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[Profiler] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.profiler = profiler
+
+    def close(self) -> None:
+        """Flush and close the tracer sink, if any."""
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+_ACTIVE: Optional[ObsSession] = None
+
+
+def active() -> Optional[ObsSession]:
+    """The currently active session, or None when observability is off."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    """Whether any observability session is active."""
+    return _ACTIVE is not None
+
+
+def configure(
+    metrics: Optional[MetricsRegistry] = None,
+    trace: Union[None, bool, str] = None,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+) -> ObsSession:
+    """Activate observability for this process; returns the session.
+
+    Parameters
+    ----------
+    metrics:
+        Registry to record into (a fresh one by default).
+    trace:
+        ``True`` enables the in-memory ring buffer only; a string path
+        additionally streams every event to that JSONL file; ``None``/
+        ``False`` disables tracing.
+    trace_capacity:
+        Ring-buffer size when tracing is enabled.
+    profile:
+        Enable :func:`span` timers.
+
+    Re-configuring replaces (and closes) any prior session.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    tracer = None
+    if trace:
+        sink = trace if isinstance(trace, str) else None
+        tracer = Tracer(capacity=trace_capacity, sink=sink)
+    _ACTIVE = ObsSession(
+        metrics=metrics,
+        tracer=tracer,
+        profiler=Profiler() if profile else None,
+    )
+    return _ACTIVE
+
+
+def disable() -> Optional[ObsSession]:
+    """Deactivate observability; returns the session that was active.
+
+    The session object stays usable afterwards (snapshots, reports), its
+    tracer sink is flushed and closed.
+    """
+    global _ACTIVE
+    session, _ACTIVE = _ACTIVE, None
+    if session is not None:
+        session.close()
+    return session
+
+
+@contextmanager
+def observed(
+    metrics: Optional[MetricsRegistry] = None,
+    trace: Union[None, bool, str] = None,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+) -> Iterator[ObsSession]:
+    """Context-manager form of :func:`configure` / :func:`disable`."""
+    session = configure(
+        metrics=metrics, trace=trace, trace_capacity=trace_capacity,
+        profile=profile,
+    )
+    try:
+        yield session
+    finally:
+        if _ACTIVE is session:
+            disable()
+
+
+# ----------------------------------------------------------------------
+# Instrumentation call sites use only the helpers below.  Each one's
+# disabled path is a single global check.
+# ----------------------------------------------------------------------
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` if a session is active."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.counter(name).inc(n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` if a session is active."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.gauge(name).set(value)
+
+
+def observe(
+    name: str, value: float, edges: Sequence[float] = DEFAULT_EDGES
+) -> None:
+    """Record ``value`` in histogram ``name`` if a session is active."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.histogram(name, edges).observe(value)
+
+
+def event(kind: str, **fields) -> None:
+    """Emit a trace event if a session with tracing is active.
+
+    Callers on hot paths should prefer ``tracing_active()`` +  a local
+    tracer reference to avoid building the kwargs dict when disabled;
+    this helper is for warm paths where that does not matter.
+    """
+    s = _ACTIVE
+    if s is not None and s.tracer is not None:
+        s.tracer.emit(kind, **fields)
+
+
+def tracing_active() -> Optional[Tracer]:
+    """The active tracer, or None — for hoisting out of hot loops."""
+    s = _ACTIVE
+    return s.tracer if s is not None else None
+
+
+def span(name: str):
+    """Timer context manager; a shared no-op unless profiling is active."""
+    s = _ACTIVE
+    if s is not None and s.profiler is not None:
+        return s.profiler.span(name)
+    return NOOP_SPAN

@@ -1,0 +1,134 @@
+"""Structured event tracer: bounded ring buffer plus optional JSONL sink.
+
+Instrumented code emits flat dict events (``kind`` plus free-form fields);
+the tracer stamps each with a monotonically increasing ``seq`` so traces
+from one run totally order, even across subsystems.  The ring buffer keeps
+the most recent ``capacity`` events for in-process inspection (tests,
+post-mortem on assertion failures); the JSONL sink, when given, persists
+*every* event regardless of ring capacity.
+
+Event schema (one JSON object per line in the sink)::
+
+    {"seq": 17, "kind": "flood.hop", "source": 3, "hop": 2,
+     "sent": 118, "new": 97, "dup": 21}
+
+``seq`` and ``kind`` are guaranteed; everything else is emitter-defined
+(documented per-kind in docs/OBSERVABILITY.md).  Values are coerced to
+plain JSON types on emit, so numpy scalars are safe to pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.metrics import _jsonable
+
+
+class Tracer:
+    """Ring-buffered structured event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest events are dropped (and counted in
+        :attr:`dropped`) once the buffer is full.  The JSONL sink is not
+        subject to the capacity.
+    sink:
+        Optional path (or open text file) receiving one JSON line per
+        event.  Lines are written on emit; call :meth:`close` (or use the
+        CLI/ runtime helpers, which do) to flush.
+    """
+
+    def __init__(
+        self, capacity: int = 65536, sink: Union[None, str, IO[str]] = None
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: List[dict] = []
+        self._start = 0  # ring read position once the buffer wraps
+        self._seq = 0
+        self.dropped = 0
+        self._owns_sink = isinstance(sink, str)
+        self._sink: Optional[IO[str]] = (
+            open(sink, "w") if isinstance(sink, str) else sink
+        )
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the stamped event dict."""
+        event = {"seq": self._seq, "kind": kind}
+        for key, value in fields.items():
+            event[key] = _jsonable(value)
+        self._seq += 1
+        if len(self._buf) < self.capacity:
+            self._buf.append(event)
+        else:
+            self._buf[self._start] = event
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, default=_jsonable))
+            self._sink.write("\n")
+        return event
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (including any dropped from the ring)."""
+        return self._seq
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        """Buffered events, oldest first, optionally filtered by kind."""
+        ordered = self._buf[self._start:] + self._buf[: self._start]
+        if kind is None:
+            return ordered
+        return [e for e in ordered if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        """Empty the ring buffer (sequence numbers keep increasing)."""
+        self._buf.clear()
+        self._start = 0
+        self.dropped = 0
+
+    def flush(self) -> None:
+        """Flush the JSONL sink, if any."""
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink (only if this tracer opened it)."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str, kind: Optional[str] = None) -> List[dict]:
+    """Load a JSONL trace written by a :class:`Tracer` sink.
+
+    Blank lines are skipped; events come back as plain dicts in file
+    order (which is emit order).  ``kind`` filters to one event kind.
+    """
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if kind is None or event.get("kind") == kind:
+                events.append(event)
+    return events

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.search.bloom import BloomParams, insert_keys, key_positions, make_filters
 from repro.search.replication import Placement
 from repro.topology.graph import OverlayGraph
@@ -144,13 +145,18 @@ def build_attenuated_filters(
         if store_indptr.shape != (graph.n_nodes + 1,):
             raise ValueError("node_store indptr must have n_nodes + 1 entries")
 
-    level0 = make_filters(graph.n_nodes, params)
-    owners = np.repeat(
-        np.arange(graph.n_nodes, dtype=np.int64), np.diff(store_indptr)
-    )
-    insert_keys(level0, owners, store_keys, params)
+    with _obs.span("abf.build"):
+        level0 = make_filters(graph.n_nodes, params)
+        owners = np.repeat(
+            np.arange(graph.n_nodes, dtype=np.int64), np.diff(store_indptr)
+        )
+        insert_keys(level0, owners, store_keys, params)
 
-    levels = [level0]
-    for _ in range(1, depth):
-        levels.append(aggregate_neighbors(graph, levels[-1]))
+        levels = [level0]
+        for _ in range(1, depth):
+            with _obs.span("abf.aggregate_level"):
+                levels.append(aggregate_neighbors(graph, levels[-1]))
+    _obs.count("abf.filters_built", graph.n_nodes * depth)
+    _obs.event("abf.build", nodes=graph.n_nodes, depth=depth,
+               bits=params.n_bits)
     return AttenuatedFilters(params=params, levels=tuple(levels))

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.search.metrics import QueryRecord
 from repro.search.replication import Placement
 from repro.topology.csr import gather_neighbors
@@ -160,30 +161,56 @@ def flood(
         first_hit = 0
         replicas_found = 1
 
+    # Observability is hoisted out of the hop loop: one session lookup per
+    # flood, one `is None` test per hop when disabled (<5% budget).
+    session = _obs.active()
+    tracer = session.tracer if session is not None else None
+
     frontier = np.asarray([source], dtype=np.int64)
-    for h in range(1, ttl + 1):
-        degs = indptr[frontier + 1] - indptr[frontier]
-        # Every frontier node forwards to all neighbors except its parent;
-        # the source (hop 1) has no parent and sends to everyone.
-        sent = int(degs.sum()) - (frontier.size if h > 1 else 0)
-        if sent <= 0:
-            break
-        nbrs, _ = gather_neighbors(graph, frontier)
-        fresh = nbrs[~visited[nbrs]]
-        frontier = np.unique(fresh)
-        visited[frontier] = True
+    with _obs.span("search.flood"):
+        for h in range(1, ttl + 1):
+            degs = indptr[frontier + 1] - indptr[frontier]
+            # Every frontier node forwards to all neighbors except its
+            # parent; the source (hop 1) has no parent, sends to everyone.
+            sent = int(degs.sum()) - (frontier.size if h > 1 else 0)
+            if sent <= 0:
+                break
+            nbrs, _ = gather_neighbors(graph, frontier)
+            fresh = nbrs[~visited[nbrs]]
+            frontier = np.unique(fresh)
+            visited[frontier] = True
 
-        messages[h - 1] = sent
-        new_nodes[h - 1] = frontier.size
-        duplicates[h - 1] = sent - frontier.size
+            messages[h - 1] = sent
+            new_nodes[h - 1] = frontier.size
+            duplicates[h - 1] = sent - frontier.size
+            if tracer is not None:
+                tracer.emit(
+                    "flood.hop", source=source, hop=h, sent=sent,
+                    new=frontier.size, dup=sent - frontier.size,
+                )
 
-        if replica_mask is not None and frontier.size:
-            hits = int(np.count_nonzero(replica_mask[frontier]))
-            if hits and first_hit < 0:
-                first_hit = h
-            replicas_found += hits
-        if frontier.size == 0:
-            break
+            if replica_mask is not None and frontier.size:
+                hits = int(np.count_nonzero(replica_mask[frontier]))
+                if hits and first_hit < 0:
+                    first_hit = h
+                replicas_found += hits
+            if frontier.size == 0:
+                break
+
+    if session is not None:
+        reg = session.metrics
+        reg.counter("search.flood.queries").inc()
+        reg.counter("search.flood.messages_sent").inc(int(messages.sum()))
+        reg.counter("search.flood.duplicates").inc(int(duplicates.sum()))
+        reg.histogram("search.flood.messages_per_query").observe(
+            float(messages.sum())
+        )
+        if tracer is not None:
+            tracer.emit(
+                "flood.query", source=source, ttl=ttl,
+                messages=int(messages.sum()), first_hit_hop=first_hit,
+                replicas_found=replicas_found,
+            )
 
     return FloodResult(
         source=source,

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.search.metrics import QueryRecord
 from repro.topology.graph import OverlayGraph
 from repro.util.rng import SeedLike, as_generator
@@ -78,10 +79,15 @@ def gia_search(
     current = source
     messages = 0
 
+    session = _obs.active()
+    tracer = session.tracer if session is not None else None
+
     for step in range(max_steps + 1):
         last_visit[current] = step
         # One-hop replication: the node's index covers itself + neighbors.
         if replica_mask[current]:
+            _record_gia(session, tracer, source, messages,
+                        step if messages else 0)
             return GiaSearchResult(source=source, messages=messages,
                                    hit_step=step if messages else 0,
                                    resolved_at=current)
@@ -89,6 +95,7 @@ def gia_search(
         if nbrs.size:
             held = nbrs[replica_mask[nbrs]]
             if held.size:
+                _record_gia(session, tracer, source, messages, step)
                 return GiaSearchResult(source=source, messages=messages,
                                        hit_step=step, resolved_at=int(held[0]))
         if step == max_steps or nbrs.size == 0:
@@ -104,6 +111,23 @@ def gia_search(
             nxt = int(nbrs[np.argmin(last_visit[nbrs])])
         current = nxt
         messages += 1
+        if tracer is not None:
+            tracer.emit("gia.step", source=source, step=step + 1, node=nxt)
 
+    _record_gia(session, tracer, source, messages, -1)
     return GiaSearchResult(source=source, messages=messages, hit_step=-1,
                            resolved_at=-1)
+
+
+def _record_gia(session, tracer, source, messages, hit_step) -> None:
+    """Final per-walk metrics/trace (no-op when observability is off)."""
+    if session is None:
+        return
+    reg = session.metrics
+    reg.counter("search.gia.queries").inc()
+    reg.counter("search.gia.messages_sent").inc(messages)
+    reg.histogram("search.gia.messages_per_query").observe(float(messages))
+    if tracer is not None:
+        tracer.emit(
+            "gia.query", source=source, messages=messages, hit_step=hit_step,
+        )

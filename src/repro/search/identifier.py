@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.search.attenuated import AttenuatedFilters
 from repro.search.metrics import QueryRecord
 from repro.search.replication import Placement
@@ -124,7 +125,11 @@ class AbfRouter:
         current = source
         messages = 0
 
+        session = _obs.active()
+        tracer = session.tracer if session is not None else None
+
         if holder_mask[current]:
+            self._record_query(session, tracer, source, 0, current)
             return IdentifierSearchResult(
                 source=source, target_key=key, messages=0,
                 resolved_at=current, path=np.asarray(path, dtype=np.int64),
@@ -140,6 +145,9 @@ class AbfRouter:
                 current = stack[-1]
                 messages += 1
                 path.append(current)
+                if tracer is not None:
+                    tracer.emit("abf.route", node=path[-2], chosen=current,
+                                decision="backtrack")
                 continue
 
             levels = self.filters.neighbor_levels(graph, current, fresh, key)
@@ -152,10 +160,21 @@ class AbfRouter:
                     lats = self._latencies_to(current, tied)
                     tied = tied[np.lexsort((tied, lats))]
                 nxt = int(tied[0])
+                decision = "filter"
             else:
                 # No signal anywhere: wander to a random unvisited neighbor
                 # until some filter horizon comes into view.
                 nxt = int(fresh[rng.integers(0, fresh.size)])
+                decision = "random"
+
+            if tracer is not None:
+                tracer.emit(
+                    "abf.route", node=current, chosen=nxt, decision=decision,
+                    level=best if decision == "filter" else None,
+                    fanout=int(fresh.size),
+                )
+            if session is not None:
+                session.metrics.counter(f"search.abf.routed_{decision}").inc()
 
             visited[nxt] = True
             stack.append(nxt)
@@ -163,15 +182,32 @@ class AbfRouter:
             messages += 1
             current = nxt
             if holder_mask[current]:
+                self._record_query(session, tracer, source, messages, current)
                 return IdentifierSearchResult(
                     source=source, target_key=key, messages=messages,
                     resolved_at=current, path=np.asarray(path, dtype=np.int64),
                 )
 
+        self._record_query(session, tracer, source, messages, -1)
         return IdentifierSearchResult(
             source=source, target_key=key, messages=messages,
             resolved_at=-1, path=np.asarray(path, dtype=np.int64),
         )
+
+    @staticmethod
+    def _record_query(session, tracer, source, messages, resolved_at) -> None:
+        """Final per-query metrics/trace (no-op when observability is off)."""
+        if session is None:
+            return
+        reg = session.metrics
+        reg.counter("search.abf.queries").inc()
+        reg.counter("search.abf.messages_sent").inc(messages)
+        reg.histogram("search.abf.messages_per_query").observe(float(messages))
+        if tracer is not None:
+            tracer.emit(
+                "abf.query", source=source, messages=messages,
+                resolved_at=resolved_at,
+            )
 
     def _latencies_to(self, u: int, targets: np.ndarray) -> np.ndarray:
         """Link latencies from ``u`` to a subset of its neighbors."""

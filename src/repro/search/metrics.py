@@ -3,6 +3,15 @@
 Each mechanism produces per-query records (messages sent, hop at which the
 first replica was located, success); these helpers turn batches of those
 records into the statistics the paper's tables and figures report.
+
+**Failure-hop convention.**  ``first_hit_hop == -1`` is a *sentinel*
+meaning the query failed, not a hop count.  Every aggregate here excludes
+failures from hop statistics (``mean_hops_to_hit`` averages successful
+queries only); code combining results across shards or seeds must do the
+same — averaging raw ``first_hit_hop`` values silently treats each failure
+as "found at hop -1" and biases the mean downward.  Use
+:meth:`SearchSummary.merge` (or re-summarize the concatenated records),
+never a plain mean of per-shard means.
 """
 
 from __future__ import annotations
@@ -18,8 +27,10 @@ class QueryRecord:
     """Outcome of one query.
 
     ``first_hit_hop`` is the hop (or message count, for hop-per-message
-    mechanisms) at which the first replica was located, -1 on failure.
-    ``messages`` is the total messages the query generated.
+    mechanisms) at which the first replica was located; the sentinel -1
+    means the query failed and must be excluded from hop averages (see the
+    module docstring).  ``messages`` is the total messages the query
+    generated.
     """
 
     source: int
@@ -34,7 +45,12 @@ class QueryRecord:
 
 @dataclass(frozen=True)
 class SearchSummary:
-    """Aggregate statistics over a batch of queries."""
+    """Aggregate statistics over a batch of queries.
+
+    ``mean_hops_to_hit`` averages *successful* queries only (NaN when the
+    batch had no successes); failed queries' ``first_hit_hop == -1``
+    sentinels never enter it.
+    """
 
     n_queries: int
     success_rate: float
@@ -49,9 +65,53 @@ class SearchSummary:
             f"{self.mean_hops_to_hit:.2f}, p95 msgs {self.p95_messages:.0f}"
         )
 
+    @property
+    def n_successes(self) -> int:
+        """Number of successful queries in the batch."""
+        return int(round(self.success_rate * self.n_queries))
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages across the batch (exact for integer records)."""
+        return int(round(self.mean_messages * self.n_queries))
+
+    @staticmethod
+    def merge(summaries: Sequence["SearchSummary"]) -> "SearchSummary":
+        """Combine per-shard/per-seed batches into one summary.
+
+        Success rate and message means recombine exactly (weighted by
+        query count).  ``mean_hops_to_hit`` recombines exactly over the
+        *successful* queries of every batch — a batch with zero successes
+        (NaN hops) contributes nothing rather than poisoning the mean, and
+        failures are never averaged in as hop -1.  ``p95_messages`` cannot
+        be reconstructed exactly from aggregates; it is approximated by
+        the query-count-weighted mean of the per-batch p95s (re-summarize
+        the concatenated records when an exact percentile matters).
+        """
+        if not summaries:
+            raise ValueError("cannot merge zero summaries")
+        n = sum(s.n_queries for s in summaries)
+        successes = sum(s.n_successes for s in summaries)
+        hop_total = sum(
+            s.mean_hops_to_hit * s.n_successes
+            for s in summaries if s.n_successes
+        )
+        return SearchSummary(
+            n_queries=n,
+            success_rate=successes / n,
+            mean_messages=sum(s.mean_messages * s.n_queries for s in summaries) / n,
+            mean_hops_to_hit=hop_total / successes if successes else float("nan"),
+            p95_messages=sum(s.p95_messages * s.n_queries for s in summaries) / n,
+        )
+
 
 def summarize(records: Sequence[QueryRecord]) -> SearchSummary:
-    """Aggregate a batch of per-query records."""
+    """Aggregate a batch of per-query records.
+
+    Failed queries (``first_hit_hop == -1``) count toward ``n_queries``,
+    ``success_rate`` and the message statistics but are excluded from
+    ``mean_hops_to_hit``.
+    """
     if not records:
         raise ValueError("cannot summarize zero queries")
     messages = np.asarray([r.messages for r in records], dtype=np.float64)

@@ -23,6 +23,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.search.metrics import QueryRecord
 from repro.topology.graph import OverlayGraph
 from repro.util.rng import SeedLike, as_generator
@@ -80,8 +81,10 @@ def random_walk_search(
     rng = as_generator(seed)
 
     if replica_mask[source]:
+        _record_walk(_obs.active(), _obs.tracing_active(), source, 0, 0)
         return WalkResult(source=source, n_walkers=n_walkers, messages=0, hit_step=0)
     if graph.neighbors(source).size == 0:
+        _record_walk(_obs.active(), _obs.tracing_active(), source, 0, -1)
         return WalkResult(source=source, n_walkers=n_walkers, messages=0, hit_step=-1)
 
     indptr = graph.indptr
@@ -91,6 +94,9 @@ def random_walk_search(
     pos = np.full(n_walkers, source, dtype=np.int64)
     prev = np.full(n_walkers, -1, dtype=np.int64)
     messages = 0
+
+    session = _obs.active()
+    tracer = session.tracer if session is not None else None
 
     for step in range(1, max_steps + 1):
         degs = degrees[pos]
@@ -125,10 +131,30 @@ def random_walk_search(
         prev = pos
         pos = nxt
         messages += n_walkers
+        if tracer is not None:
+            tracer.emit(
+                "walk.step", source=source, step=step, walkers=n_walkers,
+            )
         if replica_mask[pos].any():
+            _record_walk(session, tracer, source, messages, step)
             return WalkResult(
                 source=source, n_walkers=n_walkers, messages=messages, hit_step=step
             )
+    _record_walk(session, tracer, source, messages, -1)
     return WalkResult(
         source=source, n_walkers=n_walkers, messages=messages, hit_step=-1
     )
+
+
+def _record_walk(session, tracer, source, messages, hit_step) -> None:
+    """Final per-walk metrics/trace (no-op when observability is off)."""
+    if session is None:
+        return
+    reg = session.metrics
+    reg.counter("search.walk.queries").inc()
+    reg.counter("search.walk.messages_sent").inc(messages)
+    reg.histogram("search.walk.messages_per_query").observe(float(messages))
+    if tracer is not None:
+        tracer.emit(
+            "walk.query", source=source, messages=messages, hit_step=hit_step,
+        )

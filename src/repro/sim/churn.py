@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.makalu import MakaluBuilder, MakaluConfig
 from repro.core.maintenance import repair_after_failure
 from repro.netmodel.base import NetworkModel
+from repro.obs import runtime as _obs
 from repro.sim.engine import Simulator
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive
@@ -117,7 +118,8 @@ class ChurnSimulation:
     def run(self, duration: float) -> list[ChurnSnapshot]:
         """Build the initial overlay, churn for ``duration``, return snapshots."""
         check_positive("duration", duration)
-        self.builder.build()
+        with _obs.span("churn.initial_build"):
+            self.builder.build()
         cfg = self.churn_config
         for node in range(self.builder.n_nodes):
             self._schedule_departure(node)
@@ -139,14 +141,20 @@ class ChurnSimulation:
         if not self.online[node]:  # pragma: no cover - defensive
             return
         self.online[node] = False
-        repair_after_failure(self.builder, [node], rejoin=True, max_passes=1)
+        _obs.count("churn.departures")
+        _obs.event("churn.depart", t=self._sim.now, node=node)
+        with _obs.span("churn.repair"):
+            repair_after_failure(self.builder, [node], rejoin=True, max_passes=1)
         self._schedule_rejoin(node)
 
     def _rejoin(self, node: int) -> None:
         if self.online[node]:  # pragma: no cover - defensive
             return
         self.online[node] = True
-        self.builder.join(node)
+        _obs.count("churn.rejoins")
+        _obs.event("churn.rejoin", t=self._sim.now, node=node)
+        with _obs.span("churn.join"):
+            self.builder.join(node)
         self._schedule_departure(node)
 
     def _snapshot(self, sim: Simulator) -> None:
@@ -159,15 +167,21 @@ class ChurnSimulation:
             mean_deg = sub.mean_degree
         else:  # pragma: no cover - everyone offline simultaneously
             n_comp, giant, mean_deg = 0, 0.0, 0.0
-        self.snapshots.append(
-            ChurnSnapshot(
-                time=sim.now,
-                n_online=int(online_ids.size),
-                n_components=n_comp,
-                giant_fraction=giant,
-                mean_degree=mean_deg,
-                search_success=self._probe_search(sub),
-            )
+        snap = ChurnSnapshot(
+            time=sim.now,
+            n_online=int(online_ids.size),
+            n_components=n_comp,
+            giant_fraction=giant,
+            mean_degree=mean_deg,
+            search_success=self._probe_search(sub),
+        )
+        self.snapshots.append(snap)
+        _obs.count("churn.snapshots")
+        _obs.gauge("churn.online_nodes", snap.n_online)
+        _obs.gauge("churn.giant_fraction", snap.giant_fraction)
+        _obs.event(
+            "churn.snapshot", t=sim.now, online=snap.n_online,
+            components=snap.n_components, giant=snap.giant_fraction,
         )
         sim.schedule(self.churn_config.snapshot_interval, self._snapshot, label="snapshot")
 
@@ -181,11 +195,12 @@ class ChurnSimulation:
         n = online_graph.n_nodes
         replicas = min(cfg.probe_replicas, n)
         hits = 0
-        for _ in range(cfg.probe_queries):
-            holders = self.rng.choice(n, size=replicas, replace=False)
-            mask = np.zeros(n, dtype=bool)
-            mask[holders] = True
-            source = int(self.rng.integers(0, n))
-            hits += flood(online_graph, source, cfg.probe_ttl,
-                          replica_mask=mask).success
+        with _obs.span("churn.probe_search"):
+            for _ in range(cfg.probe_queries):
+                holders = self.rng.choice(n, size=replicas, replace=False)
+                mask = np.zeros(n, dtype=bool)
+                mask[holders] = True
+                source = int(self.rng.integers(0, n))
+                hits += flood(online_graph, source, cfg.probe_ttl,
+                              replica_mask=mask).success
         return hits / cfg.probe_queries

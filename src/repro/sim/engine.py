@@ -4,6 +4,11 @@ A binary-heap event queue with a strict (time, sequence) order: events at
 equal times fire in scheduling order, so simulations are reproducible
 run-to-run.  Callbacks receive the simulator, letting them schedule
 follow-up events.
+
+Dispatch is observable: each fired event's ``label`` reaches the active
+:mod:`repro.obs` tracer (kind ``sim.event``) and is attached as a note to
+any exception a callback raises, so a failing churn run reports *which*
+event blew up, not just a bare traceback.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro.obs import runtime as _obs
 
 EventCallback = Callable[["Simulator"], Any]
 
@@ -69,6 +76,38 @@ class Simulator:
         """Schedule ``callback`` at an absolute virtual time."""
         return self.schedule(time - self._now, callback, label=label)
 
+    def _dispatch(self, event: Event) -> None:
+        """Fire one event: advance the clock, trace, run the callback."""
+        self._now = event.time
+        tracer = _obs.tracing_active()
+        if tracer is not None:
+            tracer.emit(
+                "sim.event", t=event.time, event_seq=event.seq,
+                label=event.label,
+            )
+        _obs.count("sim.events_dispatched")
+        try:
+            event.callback(self)
+        except Exception as exc:
+            note = (
+                f"while dispatching event {event.label or '<unlabeled>'!r} "
+                f"(t={event.time}, seq={event.seq})"
+            )
+            if hasattr(exc, "add_note"):  # Python 3.11+
+                exc.add_note(note)
+            else:  # pragma: no cover - 3.10 fallback
+                exc.args = exc.args + (note,)
+            raise
+        self._processed += 1
+
+    def step(self) -> Optional[Event]:
+        """Fire the single next event; returns it, or None if queue empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._dispatch(event)
+        return event
+
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> int:
@@ -84,11 +123,8 @@ class Simulator:
             if until is not None and self._queue[0].time > until:
                 self._now = until
                 break
-            event = heapq.heappop(self._queue)
-            self._now = event.time
-            event.callback(self)
+            self._dispatch(heapq.heappop(self._queue))
             processed += 1
-            self._processed += 1
         else:
             if until is not None:
                 self._now = until

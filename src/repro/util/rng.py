@@ -69,6 +69,36 @@ def derive_seed(seed: SeedLike, salt: int) -> int:
     return int(mixed & np.uint64(2**63 - 1))
 
 
+def state_fingerprint(gen: np.random.Generator) -> str:
+    """Stable hex digest of a generator's internal state.
+
+    Two generators with identical fingerprints will produce identical
+    future draws.  The observability layer's determinism guard compares
+    fingerprints before/after an instrumented run against an
+    uninstrumented one to prove that enabling metrics/tracing/profiling
+    never consumes or perturbs an RNG stream
+    (``tests/obs/test_determinism.py``).
+    """
+    import hashlib
+    import json
+
+    state = gen.bit_generator.state
+
+    def canonical(obj):
+        if isinstance(obj, dict):
+            return {k: canonical(v) for k, v in sorted(obj.items())}
+        if isinstance(obj, (list, tuple)):
+            return [canonical(v) for v in obj]
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.integer):
+            return int(obj)
+        return obj
+
+    payload = json.dumps(canonical(state), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def sample_without_replacement(
     rng: np.random.Generator,
     population: int,

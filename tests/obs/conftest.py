@@ -1,0 +1,13 @@
+"""Observability tests mutate process-local state; always clean up."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Guarantee no session leaks into (or out of) any test."""
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,84 @@
+"""Determinism guard: observability must never perturb RNG streams.
+
+Seeded runs must produce bit-identical results with instrumentation fully
+on versus fully off, and must leave shared generators in identical states.
+A regression here means some instrumentation path consumed randomness or
+changed control flow — which would silently invalidate every seeded
+comparison made with metrics enabled.
+"""
+
+import numpy as np
+
+from repro import obs
+from repro.core import makalu_graph
+from repro.search import flood_queries, place_objects
+from repro.sim import ChurnConfig, ChurnSimulation
+from repro.util.rng import as_generator, state_fingerprint
+
+
+def _flood_outcome():
+    graph = makalu_graph(n_nodes=150, seed=31)
+    placement = place_objects(graph.n_nodes, 5, 0.02, seed=32)
+    rng = as_generator(33)
+    results = flood_queries(graph, placement, 10, ttl=4, seed=rng)
+    return (
+        [(r.source, r.total_messages, r.first_hit_hop) for r in results],
+        state_fingerprint(rng),
+    )
+
+
+class TestStateFingerprint:
+    def test_equal_states_equal_fingerprints(self):
+        a, b = as_generator(5), as_generator(5)
+        assert state_fingerprint(a) == state_fingerprint(b)
+
+    def test_consumption_changes_fingerprint(self):
+        rng = as_generator(5)
+        before = state_fingerprint(rng)
+        rng.integers(0, 10)
+        assert state_fingerprint(rng) != before
+
+    def test_identical_draw_sequences_converge(self):
+        a, b = as_generator(5), as_generator(5)
+        a.integers(0, 10, size=3)
+        b.integers(0, 10, size=3)
+        assert state_fingerprint(a) == state_fingerprint(b)
+
+
+class TestInstrumentationIsInert:
+    def test_flood_identical_with_obs_on_and_off(self, tmp_path):
+        plain, plain_fp = _flood_outcome()
+        with obs.observed(
+            trace=str(tmp_path / "t.jsonl"), profile=True
+        ):
+            instrumented, instrumented_fp = _flood_outcome()
+        assert instrumented == plain
+        assert instrumented_fp == plain_fp
+
+    def test_churn_identical_with_obs_on_and_off(self):
+        def run():
+            sim = ChurnSimulation(
+                n_nodes=50,
+                churn_config=ChurnConfig(
+                    mean_session=20.0, mean_offline=5.0,
+                    snapshot_interval=20.0,
+                ),
+                seed=17,
+            )
+            snaps = sim.run(duration=40.0)
+            return [
+                (s.time, s.n_online, s.n_components, s.giant_fraction)
+                for s in snaps
+            ]
+
+        plain = run()
+        with obs.observed(trace=True, profile=True):
+            instrumented = run()
+        assert instrumented == plain
+
+    def test_makalu_build_identical_with_obs_on_and_off(self):
+        plain = makalu_graph(n_nodes=80, seed=41)
+        with obs.observed(trace=True):
+            instrumented = makalu_graph(n_nodes=80, seed=41)
+        assert np.array_equal(plain.indptr, instrumented.indptr)
+        assert np.array_equal(plain.indices, instrumented.indices)

@@ -1,0 +1,177 @@
+"""Integration: instrumented kernels report what the results report."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import MakaluBuilder, makalu_graph
+from repro.search import (
+    AbfRouter,
+    build_attenuated_filters,
+    flood_queries,
+    identifier_queries,
+    place_objects,
+    random_walk_search,
+    summarize,
+)
+from repro.sim import ChurnConfig, ChurnSimulation, Simulator
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return makalu_graph(n_nodes=200, seed=11)
+
+
+class TestFloodAccounting:
+    def test_messages_sent_counter_matches_summary(self, small_graph):
+        placement = place_objects(small_graph.n_nodes, 5, 0.02, seed=12)
+        with obs.observed() as session:
+            results = flood_queries(
+                small_graph, placement, 15, ttl=4, seed=13
+            )
+        summary = summarize([r.record() for r in results])
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["search.flood.queries"] == 15
+        assert counters["search.flood.messages_sent"] == sum(
+            r.total_messages for r in results
+        )
+        assert counters["search.flood.messages_sent"] == summary.total_messages
+        assert counters["search.flood.duplicates"] == sum(
+            int(r.duplicates_per_hop.sum()) for r in results
+        )
+
+    def test_per_hop_trace_matches_flood_result(self, small_graph):
+        placement = place_objects(small_graph.n_nodes, 5, 0.02, seed=12)
+        with obs.observed(trace=True) as session:
+            [result] = flood_queries(small_graph, placement, 1, ttl=4, seed=13)
+        hops = session.tracer.events("flood.hop")
+        sent = [e["sent"] for e in hops]
+        assert sent == [int(m) for m in result.messages_per_hop[: len(sent)]]
+        assert all(
+            e["new"] + e["dup"] == e["sent"] for e in hops
+        )
+        [q] = session.tracer.events("flood.query")
+        assert q["messages"] == result.total_messages
+        assert q["first_hit_hop"] == result.first_hit_hop
+
+    def test_trace_replays_identically_on_same_seed(self, small_graph, tmp_path):
+        placement = place_objects(small_graph.n_nodes, 5, 0.02, seed=12)
+
+        def run(path):
+            with obs.observed(trace=str(path)):
+                flood_queries(small_graph, placement, 10, ttl=4, seed=99)
+            return obs.read_trace(str(path), kind="flood.hop")
+
+        first = run(tmp_path / "a.jsonl")
+        second = run(tmp_path / "b.jsonl")
+        strip = lambda es: [
+            {k: v for k, v in e.items() if k != "seq"} for e in es
+        ]
+        assert strip(first) == strip(second)
+        assert len(first) > 0
+
+
+class TestOtherMechanisms:
+    def test_walk_counters(self, small_graph):
+        mask = np.zeros(small_graph.n_nodes, dtype=bool)
+        mask[50] = True
+        with obs.observed() as session:
+            result = random_walk_search(
+                small_graph, 0, mask, n_walkers=4, max_steps=32, seed=5
+            )
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["search.walk.queries"] == 1
+        assert counters["search.walk.messages_sent"] == result.messages
+
+    def test_abf_route_decisions_traced(self, small_graph):
+        placement = place_objects(small_graph.n_nodes, 5, 0.05, seed=21)
+        with obs.observed(trace=True) as session:
+            filters = build_attenuated_filters(
+                small_graph, placement=placement, depth=2
+            )
+            router = AbfRouter(small_graph, filters)
+            results = identifier_queries(router, placement, 5, ttl=20, seed=22)
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["search.abf.queries"] == 5
+        assert counters["search.abf.messages_sent"] == sum(
+            r.messages for r in results
+        )
+        routes = session.tracer.events("abf.route")
+        assert all(
+            e["decision"] in ("filter", "random", "backtrack") for e in routes
+        )
+        assert counters["abf.filters_built"] == 2 * small_graph.n_nodes
+
+    def test_makalu_build_metrics(self):
+        with obs.observed(trace=True, profile=True) as session:
+            MakaluBuilder(n_nodes=60, seed=3).build()
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["makalu.joins"] == 60
+        assert counters["makalu.connections_attempted"] >= (
+            counters["makalu.connections_accepted"]
+        )
+        accepts = session.tracer.events("makalu.accept")
+        assert len(accepts) == counters["makalu.connections_accepted"]
+        report = session.profiler.report()
+        assert "makalu.build" in report
+        assert "makalu.build/makalu.joins" in report
+
+
+class TestSimEngine:
+    def test_dispatch_traced_with_labels(self):
+        with obs.observed(trace=True) as session:
+            sim = Simulator()
+            sim.schedule(1.0, lambda s: None, label="tick")
+            sim.schedule(2.0, lambda s: None)
+            sim.run()
+        events = session.tracer.events("sim.event")
+        assert [e["label"] for e in events] == ["tick", ""]
+        assert [e["t"] for e in events] == [1.0, 2.0]
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["sim.events_dispatched"] == 2
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append("a"), label="a")
+        sim.schedule(2.0, lambda s: log.append("b"), label="b")
+        event = sim.step()
+        assert event.label == "a"
+        assert log == ["a"]
+        assert sim.pending == 1
+        sim.step()
+        assert sim.step() is None
+
+    def test_callback_exception_names_event(self):
+        sim = Simulator()
+
+        def boom(s):
+            raise RuntimeError("kaboom")
+
+        sim.schedule(1.0, boom, label="explode")
+        with pytest.raises(RuntimeError, match="kaboom") as excinfo:
+            sim.run()
+        notes = getattr(excinfo.value, "__notes__", excinfo.value.args)
+        assert any("explode" in str(n) for n in notes)
+
+
+class TestChurn:
+    def test_churn_events_and_counters(self):
+        with obs.observed(trace=True) as session:
+            sim = ChurnSimulation(
+                n_nodes=60,
+                churn_config=ChurnConfig(
+                    mean_session=20.0, mean_offline=5.0,
+                    snapshot_interval=25.0,
+                ),
+                seed=7,
+            )
+            snapshots = sim.run(duration=50.0)
+        counters = session.metrics.snapshot()["counters"]
+        departs = session.tracer.events("churn.depart")
+        rejoins = session.tracer.events("churn.rejoin")
+        assert counters.get("churn.departures", 0) == len(departs)
+        assert counters.get("churn.rejoins", 0) == len(rejoins)
+        assert counters["churn.snapshots"] == len(snapshots)
+        # Engine events wrap every churn event.
+        assert counters["sim.events_dispatched"] >= len(departs) + len(rejoins)

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_numpy_increment_coerces_to_int(self):
+        c = Counter("x")
+        c.inc(np.int64(7))
+        assert c.value == 7
+        assert isinstance(c.value, int)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        g = Gauge("x")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.inc(-1.5)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_bounds(self):
+        h = Histogram("x", edges=[1, 10, 100])
+        for v in [0.5, 1.0, 5, 10, 99, 1000]:
+            h.observe(v)
+        # (-inf,1]: 0.5, 1.0 | (1,10]: 5, 10 | (10,100]: 99 | overflow: 1000
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(0.5 + 1 + 5 + 10 + 99 + 1000)
+
+    def test_mean(self):
+        h = Histogram("x", edges=[10])
+        assert np.isnan(h.mean)
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("x", edges=[1, 1])
+
+    def test_needs_edges(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("x", edges=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_layout(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=[2]).observe(1)
+        snap = reg.snapshot()
+        assert snap["schema_version"] == 1
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"] == {
+            "edges": [2.0], "counts": [1, 0], "sum": 1.0, "count": 1,
+        }
+
+    def test_snapshot_is_json_serializable_with_numpy_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(np.int64(2))
+        reg.gauge("g").set(np.float64(0.5))
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        h = reg.histogram("h", edges=[1, 2])
+        h.observe(5)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert h.counts == [0, 0, 0]
+        assert h.count == 0
+        assert h.edges == (1.0, 2.0)
+
+    def test_write_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        path = str(tmp_path / "m.json")
+        reg.write_json(path)
+        with open(path) as fh:
+            assert json.load(fh)["counters"]["c"] == 9
+
+    def test_default_edges_used(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").edges == DEFAULT_EDGES
+
+
+class TestDiffSnapshots:
+    def test_counters_subtract(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        before = reg.snapshot()
+        reg.counter("c").inc(4)
+        reg.counter("new").inc(1)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"] == {"c": 4, "new": 1}
+
+    def test_gauges_report_after_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(10)
+        before = reg.snapshot()
+        reg.gauge("g").set(2)
+        assert diff_snapshots(before, reg.snapshot())["gauges"]["g"] == 2.0
+
+    def test_histograms_subtract(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", edges=[10])
+        h.observe(1)
+        before = reg.snapshot()
+        h.observe(100)
+        delta = diff_snapshots(before, reg.snapshot())["histograms"]["h"]
+        assert delta["counts"] == [0, 1]
+        assert delta["count"] == 1
+        assert delta["sum"] == pytest.approx(100.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the span profiler (repro.obs.profiler)."""
+
+import time
+
+import pytest
+
+from repro.obs import Profiler
+from repro.obs.profiler import NOOP_SPAN
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        p = Profiler()
+        with p.span("outer"):
+            with p.span("inner"):
+                pass
+            with p.span("inner"):
+                pass
+        report = p.report()
+        assert set(report) == {"outer", "outer/inner"}
+        assert report["outer"]["calls"] == 1
+        assert report["outer/inner"]["calls"] == 2
+
+    def test_self_time_excludes_children(self):
+        p = Profiler()
+        with p.span("outer"):
+            with p.span("inner"):
+                time.sleep(0.02)
+        report = p.report()
+        assert report["outer"]["total_s"] >= report["outer/inner"]["total_s"]
+        assert report["outer"]["self_s"] == pytest.approx(
+            report["outer"]["total_s"] - report["outer/inner"]["total_s"]
+        )
+
+    def test_same_name_different_parents_stay_separate(self):
+        p = Profiler()
+        with p.span("a"):
+            with p.span("work"):
+                pass
+        with p.span("b"):
+            with p.span("work"):
+                pass
+        assert "a/work" in p.report()
+        assert "b/work" in p.report()
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError, match="span names"):
+            Profiler().span("a/b")
+
+    def test_reset(self):
+        p = Profiler()
+        with p.span("x"):
+            pass
+        p.reset()
+        assert p.report() == {}
+
+    def test_exception_still_records(self):
+        p = Profiler()
+        with pytest.raises(RuntimeError):
+            with p.span("x"):
+                raise RuntimeError("boom")
+        assert p.report()["x"]["calls"] == 1
+        # The stack unwound: a new top-level span is top-level again.
+        with p.span("y"):
+            pass
+        assert "y" in p.report()
+
+
+class TestReport:
+    def test_format_report_lists_spans(self):
+        p = Profiler()
+        with p.span("phase"):
+            pass
+        text = p.format_report()
+        assert "phase" in text
+        assert "calls" in text
+
+    def test_format_report_empty(self):
+        assert "no spans" in Profiler().format_report()
+
+    def test_noop_span_is_reusable(self):
+        with NOOP_SPAN:
+            with NOOP_SPAN:
+                pass

@@ -1,0 +1,82 @@
+"""Tests for session activation and the cheap instrumentation helpers."""
+
+from repro import obs
+
+
+class TestSessionLifecycle:
+    def test_off_by_default(self):
+        assert obs.active() is None
+        assert not obs.is_enabled()
+
+    def test_configure_and_disable(self):
+        session = obs.configure()
+        assert obs.active() is session
+        assert session.tracer is None
+        assert session.profiler is None
+        returned = obs.disable()
+        assert returned is session
+        assert obs.active() is None
+
+    def test_configure_replaces_prior_session(self):
+        first = obs.configure()
+        second = obs.configure(trace=True, profile=True)
+        assert obs.active() is second
+        assert second is not first
+        assert second.tracer is not None
+        assert second.profiler is not None
+
+    def test_observed_context_manager(self):
+        with obs.observed() as session:
+            assert obs.active() is session
+        assert obs.active() is None
+
+    def test_trace_path_opens_sink(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with obs.observed(trace=path) as session:
+            session.tracer.emit("k", i=1)
+        assert obs.read_trace(path)[0]["i"] == 1
+
+
+class TestHelpers:
+    def test_noops_when_disabled(self):
+        # None of these may raise or create state.
+        obs.count("c")
+        obs.gauge("g", 1)
+        obs.observe("h", 1)
+        obs.event("k", x=1)
+        with obs.span("s"):
+            pass
+        assert obs.active() is None
+
+    def test_count_and_observe_when_enabled(self):
+        with obs.observed() as session:
+            obs.count("c", 2)
+            obs.gauge("g", 7)
+            obs.observe("h", 3)
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_event_requires_tracer(self):
+        with obs.observed() as session:  # metrics only
+            obs.event("k", x=1)
+        assert session.tracer is None
+        with obs.observed(trace=True) as session:
+            obs.event("k", x=1)
+        assert session.tracer.events("k")[0]["x"] == 1
+
+    def test_span_requires_profiler(self):
+        with obs.observed() as session:
+            with obs.span("s"):
+                pass
+        assert session.profiler is None
+        with obs.observed(profile=True) as session:
+            with obs.span("s"):
+                pass
+        assert session.profiler.report()["s"]["calls"] == 1
+
+    def test_tracing_active_hoist(self):
+        assert obs.tracing_active() is None
+        with obs.observed(trace=True) as session:
+            assert obs.tracing_active() is session.tracer

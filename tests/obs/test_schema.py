@@ -1,0 +1,67 @@
+"""The checked-in snapshot schema must accept real registry output."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCHEMA_PATH = ROOT / "schemas" / "metrics_snapshot.schema.json"
+VALIDATOR_PATH = ROOT / "scripts" / "validate_metrics.py"
+
+
+@pytest.fixture(scope="module")
+def validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_metrics", VALIDATOR_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+class TestSchema:
+    def test_empty_registry_snapshot_validates(self, validator, schema):
+        validator.validate(MetricsRegistry().snapshot(), schema)
+
+    def test_populated_snapshot_validates(self, validator, schema):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(3)
+        reg.gauge("g").set(-1.5)
+        reg.histogram("h", edges=[1, 2]).observe(1.5)
+        # Round-trip through JSON exactly as the CLI does.
+        snapshot = json.loads(json.dumps(reg.snapshot()))
+        validator.validate(snapshot, schema)
+
+    def test_wrong_version_rejected(self, validator, schema):
+        snap = MetricsRegistry().snapshot()
+        snap["schema_version"] = 99
+        with pytest.raises(validator.ValidationError, match="const"):
+            validator.validate(snap, schema)
+
+    def test_negative_counter_rejected(self, validator, schema):
+        snap = MetricsRegistry().snapshot()
+        snap["counters"]["bad"] = -1
+        with pytest.raises(validator.ValidationError, match="minimum"):
+            validator.validate(snap, schema)
+
+    def test_unexpected_top_level_key_rejected(self, validator, schema):
+        snap = MetricsRegistry().snapshot()
+        snap["surprise"] = {}
+        with pytest.raises(validator.ValidationError, match="unexpected"):
+            validator.validate(snap, schema)
+
+    def test_malformed_histogram_rejected(self, validator, schema):
+        snap = MetricsRegistry().snapshot()
+        snap["histograms"]["h"] = {"edges": [], "counts": [0], "sum": 0,
+                                   "count": 0}
+        with pytest.raises(validator.ValidationError):
+            validator.validate(snap, schema)

@@ -1,0 +1,77 @@
+"""Unit tests for the event tracer (repro.obs.tracer)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, read_trace
+
+
+class TestRingBuffer:
+    def test_events_in_emit_order(self):
+        t = Tracer(capacity=10)
+        for i in range(3):
+            t.emit("k", i=i)
+        assert [e["i"] for e in t.events()] == [0, 1, 2]
+        assert [e["seq"] for e in t.events()] == [0, 1, 2]
+
+    def test_overflow_drops_oldest(self):
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.emit("k", i=i)
+        assert [e["i"] for e in t.events()] == [2, 3, 4]
+        assert t.dropped == 2
+        assert t.emitted == 5
+        assert len(t) == 3
+
+    def test_kind_filter(self):
+        t = Tracer()
+        t.emit("a", x=1)
+        t.emit("b", x=2)
+        t.emit("a", x=3)
+        assert [e["x"] for e in t.events("a")] == [1, 3]
+
+    def test_clear_keeps_sequence_monotonic(self):
+        t = Tracer(capacity=2)
+        t.emit("k")
+        t.clear()
+        assert len(t) == 0
+        assert t.emit("k")["seq"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_numpy_fields_coerced(self):
+        t = Tracer()
+        e = t.emit("k", a=np.int64(3), b=np.float64(0.5),
+                   c=np.asarray([1, 2]))
+        assert e["a"] == 3 and isinstance(e["a"], int)
+        assert e["b"] == 0.5 and isinstance(e["b"], float)
+        assert e["c"] == [1, 2]
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(capacity=2, sink=path) as t:
+            for i in range(5):
+                t.emit("k", i=i)
+        # The sink keeps everything, ring capacity notwithstanding.
+        events = read_trace(path)
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert events == sorted(events, key=lambda e: e["seq"])
+
+    def test_read_trace_kind_filter(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(sink=path) as t:
+            t.emit("a", i=0)
+            t.emit("b", i=1)
+        assert [e["i"] for e in read_trace(path, kind="b")] == [1]
+
+    def test_close_idempotent(self, tmp_path):
+        t = Tracer(sink=str(tmp_path / "t.jsonl"))
+        t.emit("k")
+        t.close()
+        t.close()
+        t.emit("k")  # post-close emits still buffer in the ring
+        assert len(t) == 2

@@ -5,6 +5,7 @@ import pytest
 
 from repro.search.metrics import (
     QueryRecord,
+    SearchSummary,
     min_ttl_for_success,
     success_vs_ttl,
     summarize,
@@ -44,6 +45,51 @@ class TestSummarize:
         recs = [record(m, 1) for m in range(1, 101)]
         s = summarize(recs)
         assert s.p95_messages == pytest.approx(np.percentile(range(1, 101), 95))
+
+
+class TestMerge:
+    def test_merge_matches_summarize_of_concatenation(self):
+        batch_a = [record(10, 2), record(20, -1)]
+        batch_b = [record(30, 4), record(40, 6), record(50, -1)]
+        merged = SearchSummary.merge(
+            [summarize(batch_a), summarize(batch_b)]
+        )
+        direct = summarize(batch_a + batch_b)
+        assert merged.n_queries == direct.n_queries
+        assert merged.success_rate == pytest.approx(direct.success_rate)
+        assert merged.mean_messages == pytest.approx(direct.mean_messages)
+        assert merged.mean_hops_to_hit == pytest.approx(direct.mean_hops_to_hit)
+
+    def test_failures_do_not_enter_hop_mean(self):
+        # A shard of pure failures must not drag the merged hop mean
+        # toward -1 — the bug merge() exists to prevent.
+        ok = summarize([record(10, 4), record(10, 4)])
+        failed = summarize([record(10, -1), record(10, -1)])
+        merged = SearchSummary.merge([ok, failed])
+        assert merged.mean_hops_to_hit == pytest.approx(4.0)
+        assert merged.success_rate == pytest.approx(0.5)
+
+    def test_all_failures_gives_nan_hops(self):
+        failed = summarize([record(10, -1)])
+        merged = SearchSummary.merge([failed, failed])
+        assert np.isnan(merged.mean_hops_to_hit)
+        assert merged.success_rate == 0.0
+
+    def test_single_batch_identity(self):
+        s = summarize([record(10, 2), record(30, -1)])
+        merged = SearchSummary.merge([s])
+        assert merged.n_queries == s.n_queries
+        assert merged.mean_messages == pytest.approx(s.mean_messages)
+        assert merged.p95_messages == pytest.approx(s.p95_messages)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            SearchSummary.merge([])
+
+    def test_helper_properties(self):
+        s = summarize([record(10, 2), record(20, -1)])
+        assert s.n_successes == 1
+        assert s.total_messages == 30
 
 
 class TestSuccessVsTtl:

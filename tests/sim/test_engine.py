@@ -96,3 +96,39 @@ class TestSimulator:
         sim = Simulator()
         sim.run(until=9.0)
         assert sim.now == 9.0
+
+    def test_step_fires_one_event_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda s: log.append("late"), label="late")
+        sim.schedule(1.0, lambda s: log.append("early"), label="early")
+        event = sim.step()
+        assert event.label == "early"
+        assert log == ["early"]
+        assert sim.now == 1.0
+        assert sim.processed == 1
+
+    def test_step_on_empty_queue_returns_none(self):
+        assert Simulator().step() is None
+
+    def test_callback_exception_carries_event_label(self):
+        sim = Simulator()
+
+        def boom(s):
+            raise ValueError("original message")
+
+        sim.schedule(1.5, boom, label="repair-pass")
+        with pytest.raises(ValueError, match="original message") as excinfo:
+            sim.run()
+        context = getattr(excinfo.value, "__notes__", excinfo.value.args)
+        joined = " ".join(str(c) for c in context)
+        assert "repair-pass" in joined
+        assert "t=1.5" in joined
+
+    def test_unlabeled_event_exception_still_annotated(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: 1 / 0)
+        with pytest.raises(ZeroDivisionError) as excinfo:
+            sim.run()
+        context = getattr(excinfo.value, "__notes__", excinfo.value.args)
+        assert any("<unlabeled>" in str(c) for c in context)

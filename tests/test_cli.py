@@ -88,3 +88,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "response times" in out
         assert "median" in out
+
+
+class TestObservabilityFlags:
+    def test_flood_metrics_json_matches_reported_messages(
+        self, tmp_path, capsys
+    ):
+        import json
+        import re
+
+        path = tmp_path / "metrics.json"
+        assert main([
+            "flood", *ARGS_SMALL, "--queries", "20", "--replication", "0.02",
+            "--metrics-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        snap = json.loads(path.read_text())
+        assert snap["counters"]["search.flood.queries"] == 20
+        # The snapshot's total must exactly match the summary the CLI
+        # printed (mean msgs x queries).
+        mean = float(re.search(r"mean msgs (\d+\.\d)", out).group(1))
+        total = snap["counters"]["search.flood.messages_sent"]
+        assert round(total / 20, 1) == mean
+
+    def test_flood_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "flood", *ARGS_SMALL, "--queries", "5", "--replication", "0.02",
+            "--trace", str(path),
+        ]) == 0
+        assert "trace written" in capsys.readouterr().out
+        assert len(read_trace(str(path), kind="flood.query")) == 5
+
+    def test_build_profile_report(self, capsys):
+        assert main(["build", *ARGS_SMALL, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (per-phase wall time):" in out
+        assert "makalu.build" in out
+
+    def test_obs_disabled_after_run(self, tmp_path):
+        from repro import obs
+
+        assert main([
+            "flood", *ARGS_SMALL, "--queries", "5",
+            "--metrics-json", str(tmp_path / "m.json"),
+        ]) == 0
+        assert obs.active() is None
