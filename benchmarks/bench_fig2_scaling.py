@@ -15,13 +15,14 @@ REPLICATION = 0.01
 TTL = 4
 
 
-def bench_fig2_messages_vs_size(benchmark, makalu_by_size, scale):
+def bench_fig2_messages_vs_size(benchmark, makalu_by_size, scale, flood_exec):
     def run():
         series = {}
         for i, (n, graph) in enumerate(sorted(makalu_by_size.items())):
             placement = place_objects(n, 10, REPLICATION, seed=500 + i)
             results = flood_queries(
-                graph, placement, min(scale.n_queries, 100), ttl=TTL, seed=600 + i
+                graph, placement, min(scale.n_queries, 100), ttl=TTL,
+                seed=600 + i, **flood_exec,
             )
             series[n] = (
                 float(np.mean([r.total_messages for r in results])),

@@ -15,14 +15,14 @@ REPLICATION = 0.01
 MAX_TTL = 4
 
 
-def bench_fig3_success_vs_ttl(benchmark, makalu_by_size, scale):
+def bench_fig3_success_vs_ttl(benchmark, makalu_by_size, scale, flood_exec):
     def run():
         curves = {}
         for i, (n, graph) in enumerate(sorted(makalu_by_size.items())):
             placement = place_objects(n, 10, REPLICATION, seed=700 + i)
             results = flood_queries(
                 graph, placement, min(scale.n_queries, 100), ttl=MAX_TTL,
-                seed=800 + i,
+                seed=800 + i, **flood_exec,
             )
             hits = np.asarray([r.first_hit_hop for r in results])
             curves[n] = success_vs_ttl(hits, MAX_TTL)

@@ -43,10 +43,12 @@ PAPER = {
 SUCCESS_TARGET = 0.95
 
 
-def _measure_flood(graph, replication, n_queries, probe_ttl, seed):
+def _measure_flood(graph, replication, n_queries, probe_ttl, seed, flood_exec):
     """Min TTL (95% success) and mean messages at that TTL for plain floods."""
     placement = place_objects(graph.n_nodes, 10, replication, seed=seed)
-    results = flood_queries(graph, placement, n_queries, ttl=probe_ttl, seed=seed + 1)
+    results = flood_queries(
+        graph, placement, n_queries, ttl=probe_ttl, seed=seed + 1, **flood_exec
+    )
     hits = np.asarray([r.first_hit_hop for r in results])
     ttl = min_ttl_for_success(hits, SUCCESS_TARGET, max_ttl=probe_ttl)
     if ttl < 0:
@@ -74,7 +76,7 @@ def _measure_twotier(topo, replication, n_queries, probe_ttl, seed):
 
 
 def bench_table1_flooding(
-    benchmark, makalu_search, powerlaw_search, twotier_search, scale
+    benchmark, makalu_search, powerlaw_search, twotier_search, scale, flood_exec
 ):
     def run():
         out = {}
@@ -82,13 +84,15 @@ def bench_table1_flooding(
             seed = 9000 + 10 * i
             out[repl] = {
                 "powerlaw": _measure_flood(
-                    powerlaw_search, repl, scale.n_queries, probe_ttl=20, seed=seed
+                    powerlaw_search, repl, scale.n_queries, probe_ttl=20,
+                    seed=seed, flood_exec=flood_exec,
                 ),
                 "twotier": _measure_twotier(
                     twotier_search, repl, scale.n_queries, probe_ttl=8, seed=seed + 3
                 ),
                 "makalu": _measure_flood(
-                    makalu_search, repl, scale.n_queries, probe_ttl=10, seed=seed + 6
+                    makalu_search, repl, scale.n_queries, probe_ttl=10,
+                    seed=seed + 6, flood_exec=flood_exec,
                 ),
             }
         return out

@@ -140,6 +140,24 @@ def scale() -> BenchScale:
     return SCALES[name]
 
 
+@pytest.fixture(scope="session")
+def flood_exec() -> dict:
+    """Execution knobs for the flooding drivers.
+
+    ``REPRO_BENCH_WORKERS`` selects worker processes (default 1, ``0`` =
+    one per core); ``REPRO_BENCH_BATCH`` the kernel batch width (default
+    64, ``1`` forces the scalar loop).  Results are bit-identical at any
+    setting — these knobs trade wall time only — so the reproduction
+    tables and assertions are unaffected.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    batch = int(os.environ.get("REPRO_BENCH_BATCH", "64"))
+    return {
+        "n_workers": workers,
+        "batch_size": None if batch <= 1 else batch,
+    }
+
+
 from _cache import cached_graph as _cached_graph
 from _cache import cached_two_tier as _cached_two_tier
 

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Wall-time smoke benchmark for the batched/parallel flood paths.
+
+Reproduces ``bench_fig2_scaling``'s largest small-scale configuration (a
+5000-node Makalu overlay, 100 queries, TTL 4, 1% replication — same seeds
+as the benchmark fixtures) and times three executions of the identical
+workload:
+
+* ``scalar``   — the per-query loop (``flood_queries`` defaults);
+* ``batched``  — the bit-parallel kernel (``batch_size=64``);
+* ``workers4`` — four worker processes over shared memory
+  (``n_workers=4``, batched inside each worker).
+
+All three must return bit-identical per-query results (the script fails
+otherwise), so the timings are a true apples-to-apples comparison.  The
+measurements land in ``BENCH_parallel.json`` next to the repo root,
+together with the host's CPU count — the ``workers4`` figure only
+demonstrates parallel speedup when the host actually has cores to run the
+workers on; on a single-core host it degenerates to the batched kernel
+plus process-pool overhead, and the batched row carries the wall-time
+improvement.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import EuclideanModel, makalu_graph
+from repro.search import flood_queries, place_objects
+
+# bench_fig2_scaling's largest small-scale configuration (same seeds).
+N_NODES = 5000
+N_QUERIES = 100
+TTL = 4
+REPLICATION = 0.01
+MODEL_SEED, GRAPH_SEED, PLACEMENT_SEED, QUERY_SEED = 4005, 4105, 505, 605
+
+
+def best_of(fn, reps: int) -> float:
+    """Minimum wall time over ``reps`` runs (first run warms caches)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def results_identical(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x.source == y.source
+        and x.first_hit_hop == y.first_hit_hop
+        and x.replicas_found == y.replicas_found
+        and np.array_equal(x.messages_per_hop, y.messages_per_hop)
+        and np.array_equal(x.new_nodes_per_hop, y.new_nodes_per_hop)
+        and np.array_equal(x.duplicates_per_hop, y.duplicates_per_hop)
+        for x, y in zip(a, b)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="repetitions per mode; best (minimum) time is kept",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"building {N_NODES}-node Makalu overlay ...", flush=True)
+    t0 = time.perf_counter()
+    graph = makalu_graph(
+        model=EuclideanModel(N_NODES, seed=MODEL_SEED), seed=GRAPH_SEED
+    )
+    build_s = time.perf_counter() - t0
+    placement = place_objects(N_NODES, 10, REPLICATION, seed=PLACEMENT_SEED)
+    print(f"  built in {build_s:.1f}s ({graph.n_edges} edges)")
+
+    modes = {
+        "scalar": dict(),
+        "batched": dict(batch_size=64),
+        "workers4": dict(n_workers=4),
+    }
+    outputs, times = {}, {}
+    for name, kwargs in modes.items():
+        run = lambda kw=kwargs: flood_queries(
+            graph, placement, N_QUERIES, ttl=TTL, seed=QUERY_SEED, **kw
+        )
+        outputs[name] = run()
+        times[name] = best_of(run, args.reps)
+        print(f"  {name:9s} {1000 * times[name]:8.1f} ms")
+
+    for name in ("batched", "workers4"):
+        if not results_identical(outputs["scalar"], outputs[name]):
+            print(f"FAIL: {name} results diverge from scalar", file=sys.stderr)
+            return 1
+    print("  all modes bit-identical")
+
+    speedups = {
+        name: times["scalar"] / times[name] for name in ("batched", "workers4")
+    }
+    report = {
+        "schema_version": 1,
+        "config": {
+            "benchmark": "bench_fig2_scaling largest config (small scale)",
+            "n_nodes": N_NODES,
+            "n_queries": N_QUERIES,
+            "ttl": TTL,
+            "replication": REPLICATION,
+            "reps": args.reps,
+        },
+        "host": {"cpu_count": os.cpu_count()},
+        "wall_time_ms": {k: round(1000 * v, 2) for k, v in times.items()},
+        "speedup_vs_scalar": {k: round(v, 2) for k, v in speedups.items()},
+        "bit_identical": True,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    best = max(speedups.values())
+    print(
+        f"best speedup vs scalar: {best:.1f}x "
+        f"({'batched' if speedups['batched'] >= speedups['workers4'] else 'workers4'}, "
+        f"{os.cpu_count()} CPU core(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

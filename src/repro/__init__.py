@@ -57,6 +57,7 @@ from repro.netmodel import (
     SyntheticPlanetLabModel,
     TransitStubModel,
 )
+from repro.parallel import ParallelRunResult, run_queries
 from repro.search import (
     AbfRouter,
     BloomParams,
@@ -67,6 +68,7 @@ from repro.search import (
     build_per_link_filters,
     build_qrp_tables,
     flood,
+    flood_batch,
     flood_queries,
     identifier_queries,
     min_ttl_for_success,
@@ -137,6 +139,7 @@ __all__ = [
     "place_objects",
     "place_single_object",
     "flood",
+    "flood_batch",
     "flood_queries",
     "TwoTierSearch",
     "two_tier_queries",
@@ -163,6 +166,9 @@ __all__ = [
     "degree_ccdf",
     "fit_powerlaw_exponent",
     "powerlaw_fit_quality",
+    # parallel
+    "ParallelRunResult",
+    "run_queries",
     # sim
     "Simulator",
     "ChurnConfig",

@@ -99,7 +99,8 @@ def cmd_flood(args) -> int:
         graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
     )
     results = flood_queries(
-        graph, placement, args.queries, ttl=args.ttl, seed=args.seed + 3
+        graph, placement, args.queries, ttl=args.ttl, seed=args.seed + 3,
+        batch_size=args.batch_size, n_workers=args.workers,
     )
     records = [r.record() for r in results]
     summary = summarize(records)
@@ -134,7 +135,8 @@ def cmd_identifier(args) -> int:
         variant = "per-node"
     router = AbfRouter(graph, filters)
     results = identifier_queries(
-        router, placement, args.queries, ttl=args.ttl, seed=args.seed + 3
+        router, placement, args.queries, ttl=args.ttl, seed=args.seed + 3,
+        n_workers=args.workers,
     )
     summary = summarize([r.record() for r in results])
     print(f"ABF identifier search on {args.topology} ({graph.n_nodes} nodes, "
@@ -255,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replication", type=float, default=0.005)
     p.add_argument("--objects", type=int, default=10)
     p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = one per CPU core; "
+                        "results are bit-identical at any setting)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="queries advanced together by the vectorized "
+                        "flood kernel (default: scalar loop when "
+                        "--workers is 1)")
     p.set_defaults(func=cmd_flood)
 
     p = sub.add_parser("identifier", help="run ABF identifier queries")
@@ -266,6 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replication", type=float, default=0.005)
     p.add_argument("--objects", type=int, default=10)
     p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results are bit-identical "
+                        "at any setting)")
     p.set_defaults(func=cmd_identifier)
 
     p = sub.add_parser("response", help="query response-time distribution")

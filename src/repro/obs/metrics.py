@@ -196,6 +196,30 @@ class MetricsRegistry:
             "histograms": histograms,
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram counts/sums add; gauges are last-write-wins
+        (levels from another process do not accumulate).  This is how the
+        parallel runner (:mod:`repro.parallel`) recombines worker-process
+        metrics into the parent session so totals match a single-process
+        run.  Histogram bucket edges must agree with any instrument
+        already registered under the same name.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, h in snap.get("histograms", {}).items():
+            inst = self.histogram(name, tuple(h["edges"]))
+            if list(inst.edges) != [float(e) for e in h["edges"]]:
+                raise ValueError(
+                    f"histogram {name!r} bucket edges disagree; cannot merge"
+                )
+            inst.counts = [a + b for a, b in zip(inst.counts, h["counts"])]
+            inst.sum += float(h["sum"])
+            inst.count += int(h["count"])
+
     def reset(self) -> None:
         """Zero every instrument, keeping registrations (and edges)."""
         for inst in self._instruments.values():

@@ -1,0 +1,29 @@
+"""Process-parallel search execution (sharding + batching).
+
+* :mod:`repro.parallel.runner` — :func:`run_queries` (shared-memory flood
+  executor) and :func:`map_shards` (generic shard mapper);
+* :mod:`repro.parallel.shared_graph` — zero-copy CSR sharing between the
+  parent and its worker processes.
+
+See ``docs/API.md`` ("Parallel execution") for the determinism and
+shared-memory lifecycle guarantees.
+"""
+
+from repro.parallel.runner import (
+    DEFAULT_BATCH_SIZE,
+    ParallelRunResult,
+    default_workers,
+    map_shards,
+    run_queries,
+)
+from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ParallelRunResult",
+    "default_workers",
+    "map_shards",
+    "run_queries",
+    "SharedGraph",
+    "SharedGraphHandle",
+]

@@ -1,0 +1,292 @@
+"""Process-parallel query execution with exact recombination.
+
+Two layers:
+
+* :func:`run_queries` — the flooding executor.  The overlay's CSR arrays
+  go into shared memory (:mod:`repro.parallel.shared_graph`), the query
+  workload is split into contiguous shards, and each worker advances its
+  shard through the batched kernel
+  (:func:`repro.search.batch.flood_batch`).  Per-query results come back
+  in workload order and are bit-identical to the scalar loop.
+* :func:`map_shards` — a generic shard mapper used by the identifier and
+  two-tier drivers, whose per-query state (Bloom filters, QRP tables) is
+  cheap enough to pickle once per shard.
+
+Both layers handle observability the same way: when the parent process has
+an active :mod:`repro.obs` session, each worker opens a fresh metrics-only
+session, runs its shard, and ships the metric snapshot back; the parent
+folds every snapshot into its own registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`).  Counter and
+histogram totals therefore match a single-process run exactly.  Trace
+events and profiler spans are per-process and are *not* transported.
+
+Determinism: the workload (sources, objects, and any per-query generators)
+is always drawn in the parent before sharding, so results do not depend on
+``n_workers``, ``batch_size``, or scheduling.  Shards also receive
+dedicated ``SeedSequence.spawn`` children (shard ``i`` of any run with the
+same root seed sees the same child), so mechanisms that consume randomness
+in flight stay reproducible per shard; flooding itself consumes none.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import runtime as _obs
+from repro.search.flooding import FloodResult, draw_query_workload
+from repro.search.metrics import SearchSummary, summarize
+from repro.search.replication import Placement
+from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle
+from repro.topology.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+
+#: Queries advanced per kernel invocation inside each worker.  Large enough
+#: to amortize the per-level numpy overhead, small enough that the per-batch
+#: ``(batch, n_nodes)`` replica-mask block stays in cache-friendly territory
+#: at paper scale.
+DEFAULT_BATCH_SIZE = 64
+
+
+def default_workers() -> int:
+    """Worker count used when callers pass ``n_workers=0`` (one per core)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, shares imports); fall back to spawn elsewhere."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _shard_bounds(n: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` split of ``range(n)``."""
+    n_shards = max(1, min(n_shards, n))
+    edges = np.linspace(0, n, n_shards + 1, dtype=np.int64)
+    return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+def _root_seed_seq(seed: SeedLike) -> np.random.SeedSequence:
+    """The SeedSequence shard children are spawned from."""
+    gen = as_generator(seed)
+    seq = gen.bit_generator.seed_seq
+    if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover
+        seq = np.random.SeedSequence(int(gen.integers(0, 2**63)))
+    return seq
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _reset_worker_obs(obs_on: bool) -> None:
+    """Replace any session inherited through fork with a fresh one.
+
+    The inherited session must not be ``close()``d — its tracer may hold a
+    file descriptor shared with the parent — so it is simply dropped.
+    """
+    _obs._ACTIVE = None
+    if obs_on:
+        _obs.configure()
+
+
+def _init_flood_worker(
+    handle: SharedGraphHandle, placement: Placement, ttl: int,
+    batch_size: int, obs_on: bool,
+) -> None:
+    _reset_worker_obs(obs_on)
+    _WORKER["graph"] = handle.attach()
+    _WORKER["placement"] = placement
+    _WORKER["ttl"] = ttl
+    _WORKER["batch_size"] = batch_size
+
+
+def _run_flood_shard(spec):
+    """Flood one shard batch-by-batch; returns results + summary + metrics."""
+    from repro.search.batch import flood_batch, placement_masks
+
+    index, sources, objects, _seed_seq = spec
+    graph, placement = _WORKER["graph"], _WORKER["placement"]
+    ttl, batch_size = _WORKER["ttl"], _WORKER["batch_size"]
+    results: list[FloodResult] = []
+    for start in range(0, sources.size, batch_size):
+        chunk = slice(start, start + batch_size)
+        results.extend(
+            flood_batch(
+                graph, sources[chunk], ttl,
+                replica_masks=placement_masks(placement, objects[chunk]),
+            )
+        )
+    summary = summarize([r.record() for r in results])
+    session = _obs.active()
+    snapshot = session.metrics.snapshot() if session is not None else None
+    return index, results, summary, snapshot
+
+
+def _init_map_worker(obs_on: bool) -> None:
+    _reset_worker_obs(obs_on)
+
+
+def _run_map_shard(arg):
+    fn, payload = arg
+    out = fn(payload)
+    session = _obs.active()
+    snapshot = session.metrics.snapshot() if session is not None else None
+    return out, snapshot
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParallelRunResult:
+    """Recombined outcome of a sharded query run.
+
+    ``results`` is in workload (query) order and bit-identical to the
+    scalar loop.  ``summary`` is re-summarized from the concatenated
+    per-query records, so every field — exact percentiles included —
+    matches a single-process run.  ``shard_summaries`` are the per-shard
+    aggregates; ``SearchSummary.merge(shard_summaries)`` recombines their
+    counts and means exactly (see its docstring for the p95 caveat).
+    """
+
+    results: list[FloodResult]
+    summary: SearchSummary
+    shard_summaries: list[SearchSummary]
+    n_workers: int
+
+    @property
+    def merged_summary(self) -> SearchSummary:
+        """The shard summaries recombined via :meth:`SearchSummary.merge`."""
+        return SearchSummary.merge(self.shard_summaries)
+
+
+def run_queries(
+    graph: OverlayGraph,
+    placement: Placement,
+    n_queries: int,
+    ttl: int,
+    seed: SeedLike = None,
+    sources: Optional[Sequence[int]] = None,
+    objects: Optional[np.ndarray] = None,
+    n_workers: int = 0,
+    batch_size: Optional[int] = None,
+) -> ParallelRunResult:
+    """Run a flooding query workload sharded across worker processes.
+
+    Parameters
+    ----------
+    seed, sources:
+        Workload selection, with the same semantics (and RNG consumption)
+        as :func:`repro.search.flooding.flood_queries`; ``objects`` may be
+        given alongside ``sources`` to replay an exact workload instead.
+    n_workers:
+        Worker processes; ``0`` means one per CPU core, ``1`` runs the
+        batched kernel in-process (no pool, no shared memory) — useful as
+        the deterministic reference in equivalence tests.
+    batch_size:
+        Kernel batch width within each shard (default
+        :data:`DEFAULT_BATCH_SIZE`).
+
+    The graph's CSR arrays travel through shared memory; only the handle,
+    the placement, and each shard's slice of the workload are pickled.
+    """
+    if objects is None:
+        sources, objects = draw_query_workload(
+            graph, placement, n_queries, seed=seed, sources=sources
+        )
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        if sources.size != n_queries or objects.size != n_queries:
+            raise ValueError("sources/objects must have one entry per query")
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        n_workers = default_workers()
+
+    bounds = _shard_bounds(n_queries, n_workers)
+    shard_seqs = _root_seed_seq(seed).spawn(len(bounds))
+    specs = [
+        (i, sources[a:b], objects[a:b], shard_seqs[i])
+        for i, (a, b) in enumerate(bounds)
+    ]
+    session = _obs.active()
+
+    if n_workers == 1 or len(specs) == 1:
+        _init_flood_worker_inline = dict(_WORKER)
+        _WORKER.update(
+            graph=graph, placement=placement, ttl=ttl, batch_size=batch_size
+        )
+        try:
+            shard_outs = [_run_flood_shard(s)[:3] + (None,) for s in specs]
+        finally:
+            _WORKER.clear()
+            _WORKER.update(_init_flood_worker_inline)
+    else:
+        ctx = mp.get_context(_start_method())
+        with SharedGraph(graph) as shared:
+            with ctx.Pool(
+                processes=min(n_workers, len(specs)),
+                initializer=_init_flood_worker,
+                initargs=(shared.handle, placement, ttl, batch_size,
+                          session is not None),
+            ) as pool:
+                shard_outs = pool.map(_run_flood_shard, specs)
+
+    shard_outs.sort(key=lambda t: t[0])
+    results = [r for _, rs, _, _ in shard_outs for r in rs]
+    shard_summaries = [s for _, _, s, _ in shard_outs]
+    if session is not None:
+        for _, _, _, snapshot in shard_outs:
+            if snapshot is not None:
+                session.metrics.merge_snapshot(snapshot)
+    return ParallelRunResult(
+        results=results,
+        summary=summarize([r.record() for r in results]),
+        shard_summaries=shard_summaries,
+        n_workers=n_workers,
+    )
+
+
+def map_shards(
+    fn: Callable, payloads: Sequence, n_workers: int
+) -> list:
+    """Run ``fn(payload)`` for every payload, optionally across processes.
+
+    ``fn`` must be a module-level callable (pickled by reference) and each
+    payload self-contained.  Results come back in payload order.  Worker
+    metric snapshots are merged into the parent's active obs session, the
+    same contract as :func:`run_queries`.
+    """
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        n_workers = default_workers()
+    if n_workers == 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    session = _obs.active()
+    ctx = mp.get_context(_start_method())
+    with ctx.Pool(
+        processes=min(n_workers, len(payloads)),
+        initializer=_init_map_worker,
+        initargs=(session is not None,),
+    ) as pool:
+        outs = pool.map(_run_map_shard, [(fn, p) for p in payloads])
+    if session is not None:
+        for _, snapshot in outs:
+            if snapshot is not None:
+                session.metrics.merge_snapshot(snapshot)
+    return [out for out, _ in outs]

@@ -1,0 +1,131 @@
+"""Zero-copy overlay sharing across worker processes.
+
+An :class:`~repro.topology.graph.OverlayGraph` is three contiguous numpy
+arrays (``indptr``, ``indices``, ``latency``).  Pickling them to every
+worker of a process pool copies the whole topology per worker — at paper
+scale (100k nodes, ~1M directed entries) that is tens of megabytes of
+serialization per fork.  :class:`SharedGraph` instead places each array in
+a :mod:`multiprocessing.shared_memory` block once; workers receive only the
+block *names* (a :class:`SharedGraphHandle`, a few hundred bytes) and map
+the same physical pages.
+
+Lifecycle contract:
+
+* the parent creates :class:`SharedGraph` (ideally via ``with``), launches
+  workers, and finally calls :meth:`SharedGraph.close` — which unlinks the
+  blocks.  Blocks outlive crashed workers but not the parent's ``close``;
+* workers call :meth:`SharedGraphHandle.attach` once (typically in a pool
+  initializer) and simply drop the returned graph when done — attached
+  segments are unmapped at process exit, and only the parent unlinks.
+
+Attached views are read-only (``OverlayGraph`` freezes its arrays), so
+concurrent workers cannot race on the topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.topology.graph import OverlayGraph
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it for cleanup.
+
+    ``SharedMemory(name=...)`` *attachment* also registers the segment with
+    the resource tracker (fixed only in Python 3.13's ``track=False``).
+    That is wrong for workers: forked children share the parent's tracker
+    process, so a later ``unregister`` from one child would strip the
+    parent's own registration, and spawned children would warn about — and
+    may prematurely unlink — segments the parent still owns.  Suppressing
+    the registration itself (rather than unregistering afterwards) leaves
+    the tracker state exactly as the parent created it.
+    """
+    try:  # pragma: no cover - tracker internals vary across 3.10-3.12
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except Exception:
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable descriptor of a shared overlay (names + shapes only)."""
+
+    n_nodes: int
+    names: Tuple[str, str, str]  # indptr, indices, latency blocks
+    sizes: Tuple[int, int, int]  # element counts, same order
+
+    def attach(self) -> OverlayGraph:
+        """Map the shared blocks and rebuild the overlay without copying.
+
+        The returned graph's arrays alias the shared pages.  The
+        ``SharedMemory`` objects are anchored in a process-level registry
+        (``np.ndarray(buffer=...)`` does not keep them alive itself), so
+        the mapping persists until process exit — the lifetime a pool
+        worker needs.
+        """
+        arrays = []
+        for name, size, dtype in zip(
+            self.names, self.sizes, (np.int64, np.int64, np.float64)
+        ):
+            shm = _attach_untracked(name)
+            _ATTACHED.append(shm)
+            arrays.append(np.ndarray((size,), dtype=dtype, buffer=shm.buf))
+        return OverlayGraph(*arrays)
+
+
+#: Keeps attached segments mapped for the worker process's lifetime.
+_ATTACHED: list = []
+
+
+class SharedGraph:
+    """Parent-side owner of the shared CSR blocks (context manager)."""
+
+    def __init__(self, graph: OverlayGraph):
+        self._blocks = []
+        names, sizes = [], []
+        for arr in (graph.indptr, graph.indices, graph.latency):
+            shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[:] = arr
+            self._blocks.append(shm)
+            names.append(shm.name)
+            sizes.append(arr.size)
+        self.handle = SharedGraphHandle(
+            n_nodes=graph.n_nodes, names=tuple(names), sizes=tuple(sizes)
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink every block (idempotent)."""
+        blocks, self._blocks = self._blocks, []
+        for shm in blocks:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - safety net
+        self.close()

@@ -1,6 +1,8 @@
 """Search mechanisms over overlay graphs (paper Section 4).
 
 * :mod:`repro.search.flooding` — TTL-limited duplicate-suppressed flooding;
+* :mod:`repro.search.batch` — the vectorized multi-query flood kernel
+  (bit-identical to scalar flooding; see also :mod:`repro.parallel`);
 * :mod:`repro.search.twotier_flood` — Gnutella v0.6 query routing (dynamic
   querying + QRP leaf shielding);
 * :mod:`repro.search.randomwalk` — k-walker and degree-biased baselines;
@@ -28,7 +30,13 @@ from repro.search.bloom import (
     insert_keys,
     make_filters,
 )
-from repro.search.flooding import FloodResult, flood, flood_queries
+from repro.search.batch import flood_batch, placement_masks
+from repro.search.flooding import (
+    FloodResult,
+    draw_query_workload,
+    flood,
+    flood_queries,
+)
 from repro.search.gia import GiaSearchResult, gia_search
 from repro.search.gossip import GossipSearchResult, flood_then_gossip
 from repro.search.identifier import (
@@ -71,7 +79,10 @@ from repro.search.twotier_flood import (
 
 __all__ = [
     "flood",
+    "flood_batch",
     "flood_queries",
+    "draw_query_workload",
+    "placement_masks",
     "FloodResult",
     "TwoTierSearch",
     "TwoTierFloodResult",

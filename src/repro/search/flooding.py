@@ -223,19 +223,23 @@ def flood(
     )
 
 
-def flood_queries(
+def draw_query_workload(
     graph: OverlayGraph,
     placement: Placement,
     n_queries: int,
-    ttl: int,
     seed: SeedLike = None,
     sources: Optional[Sequence[int]] = None,
-) -> list[FloodResult]:
-    """Issue ``n_queries`` flooding queries for random objects of a placement.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw the ``(sources, objects)`` arrays of a query batch.
 
-    Sources are uniform random nodes unless given explicitly; each query
-    targets a uniformly chosen object of the placement (the paper floods
-    "for each unique object in the system from random nodes").
+    This is the *only* RNG consumption of a flooding workload (floods
+    themselves are deterministic), and it is shared by the scalar loop, the
+    batched kernel and the process-parallel runner: all three see the same
+    workload for the same seed, which is what makes their results
+    bit-identical.  Sources are uniform random nodes unless given
+    explicitly; each query targets a uniformly chosen object of the
+    placement (the paper floods "for each unique object in the system from
+    random nodes").
     """
     if n_queries < 1:
         raise ValueError(f"n_queries must be >= 1, got {n_queries}")
@@ -249,6 +253,65 @@ def flood_queries(
         if sources.size != n_queries:
             raise ValueError("sources must have one entry per query")
     objects = rng.integers(0, placement.n_objects, size=n_queries)
+    return np.asarray(sources, dtype=np.int64), objects
+
+
+def flood_queries(
+    graph: OverlayGraph,
+    placement: Placement,
+    n_queries: int,
+    ttl: int,
+    seed: SeedLike = None,
+    sources: Optional[Sequence[int]] = None,
+    batch_size: Optional[int] = None,
+    n_workers: int = 1,
+) -> list[FloodResult]:
+    """Issue ``n_queries`` flooding queries for random objects of a placement.
+
+    Parameters
+    ----------
+    batch_size:
+        When given, advance up to this many floods simultaneously through
+        the vectorized :func:`repro.search.batch.flood_batch` kernel
+        instead of one scalar flood per Python iteration.  Results are
+        bit-identical either way; batching only changes wall time.
+    n_workers:
+        When > 1 (or 0, meaning one worker per CPU core), shard the
+        batches across worker processes via
+        :func:`repro.parallel.run_queries` (the overlay's CSR arrays are
+        placed in shared memory, not pickled per worker).  Implies
+        batching (default shard batch size when ``batch_size`` is None).
+
+    Every path draws the workload identically (see
+    :func:`draw_query_workload`), so the same seed produces the same
+    per-query results regardless of ``batch_size`` and ``n_workers``.
+    """
+    sources, objects = draw_query_workload(
+        graph, placement, n_queries, seed=seed, sources=sources
+    )
+    if n_workers == 0 or n_workers > 1:
+        from repro.parallel import run_queries
+
+        return run_queries(
+            graph, placement, n_queries, ttl,
+            sources=sources, objects=objects,
+            n_workers=n_workers, batch_size=batch_size,
+        ).results
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        from repro.search.batch import flood_batch, placement_masks
+
+        results: list[FloodResult] = []
+        for start in range(0, n_queries, batch_size):
+            chunk = slice(start, start + batch_size)
+            results.extend(
+                flood_batch(
+                    graph, sources[chunk], ttl,
+                    replica_masks=placement_masks(placement, objects[chunk]),
+                )
+            )
+        return results
 
     results = []
     for src, obj in zip(sources, objects):

@@ -28,7 +28,7 @@ from repro.search.attenuated import AttenuatedFilters
 from repro.search.metrics import QueryRecord
 from repro.search.replication import Placement
 from repro.topology.graph import OverlayGraph
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import check_node_id
 
 
@@ -217,6 +217,20 @@ class AbfRouter:
         return lats[pos]
 
 
+def _run_identifier_shard(payload) -> list[IdentifierSearchResult]:
+    """One worker's slice of an identifier workload (module-level: picklable)."""
+    router, placement, sources, objects, ttl, rngs = payload
+    results = []
+    for src, obj, rng in zip(sources, objects, rngs):
+        mask = placement.holder_mask(int(obj))
+        results.append(
+            router.query(
+                int(src), placement.key_of(int(obj)), mask, ttl=ttl, seed=rng
+            )
+        )
+    return results
+
+
 def identifier_queries(
     router: AbfRouter,
     placement: Placement,
@@ -224,8 +238,16 @@ def identifier_queries(
     ttl: int = 25,
     seed: SeedLike = None,
     sources: Optional[Sequence[int]] = None,
+    n_workers: int = 1,
 ) -> list[IdentifierSearchResult]:
-    """Issue a batch of identifier queries for random placement objects."""
+    """Issue a batch of identifier queries for random placement objects.
+
+    Each query routes with its own child generator spawned from the seed
+    (``SeedSequence.spawn``), so results are independent of how the batch
+    is executed: ``n_workers > 1`` shards the workload across processes
+    via :func:`repro.parallel.map_shards` and returns bit-identical
+    results in the same order as the serial loop.
+    """
     graph = router.graph
     if placement.n_nodes != graph.n_nodes:
         raise ValueError("placement and graph node counts disagree")
@@ -237,12 +259,20 @@ def identifier_queries(
         if sources.size != n_queries:
             raise ValueError("sources must have one entry per query")
     objects = rng.integers(0, placement.n_objects, size=n_queries)
-    results = []
-    for src, obj in zip(sources, objects):
-        mask = placement.holder_mask(int(obj))
-        results.append(
-            router.query(
-                int(src), placement.key_of(int(obj)), mask, ttl=ttl, seed=rng
-            )
+    query_rngs = spawn_generators(rng, n_queries)
+    if n_workers == 1:
+        return _run_identifier_shard(
+            (router, placement, sources, objects, ttl, query_rngs)
         )
-    return results
+
+    from repro.parallel import map_shards
+    from repro.parallel.runner import _shard_bounds
+
+    payloads = [
+        (router, placement, sources[a:b], objects[a:b], ttl, query_rngs[a:b])
+        for a, b in _shard_bounds(n_queries, n_workers)
+    ]
+    return [
+        r for shard in map_shards(_run_identifier_shard, payloads, n_workers)
+        for r in shard
+    ]

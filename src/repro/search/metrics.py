@@ -50,6 +50,14 @@ class SearchSummary:
     ``mean_hops_to_hit`` averages *successful* queries only (NaN when the
     batch had no successes); failed queries' ``first_hit_hop == -1``
     sentinels never enter it.
+
+    ``n_successes`` and ``total_messages`` are stored as exact integers —
+    the rates/means are derived views of them, never the other way around.
+    (They used to be reconstructed as ``round(rate * n)``, which drifts
+    once merged summaries are merged again; carrying the counts keeps
+    :meth:`merge` exact at any nesting depth.)  Both default to ``None``
+    for backward compatibility, in which case they are recovered by
+    rounding — exact only for a summary that has never been merged.
     """
 
     n_queries: int
@@ -57,6 +65,18 @@ class SearchSummary:
     mean_messages: float
     mean_hops_to_hit: float  # over successful queries only; nan if none
     p95_messages: float
+    n_successes: int = None  # type: ignore[assignment]
+    total_messages: int = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.n_successes is None:
+            object.__setattr__(
+                self, "n_successes", int(round(self.success_rate * self.n_queries))
+            )
+        if self.total_messages is None:
+            object.__setattr__(
+                self, "total_messages", int(round(self.mean_messages * self.n_queries))
+            )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -65,33 +85,26 @@ class SearchSummary:
             f"{self.mean_hops_to_hit:.2f}, p95 msgs {self.p95_messages:.0f}"
         )
 
-    @property
-    def n_successes(self) -> int:
-        """Number of successful queries in the batch."""
-        return int(round(self.success_rate * self.n_queries))
-
-    @property
-    def total_messages(self) -> int:
-        """Total messages across the batch (exact for integer records)."""
-        return int(round(self.mean_messages * self.n_queries))
-
     @staticmethod
     def merge(summaries: Sequence["SearchSummary"]) -> "SearchSummary":
         """Combine per-shard/per-seed batches into one summary.
 
-        Success rate and message means recombine exactly (weighted by
-        query count).  ``mean_hops_to_hit`` recombines exactly over the
-        *successful* queries of every batch — a batch with zero successes
-        (NaN hops) contributes nothing rather than poisoning the mean, and
-        failures are never averaged in as hop -1.  ``p95_messages`` cannot
-        be reconstructed exactly from aggregates; it is approximated by
-        the query-count-weighted mean of the per-batch p95s (re-summarize
-        the concatenated records when an exact percentile matters).
+        Query, success and message *counts* add exactly, so success rate
+        and message means recombine exactly (weighted by query count) no
+        matter how deeply merged summaries are re-merged.
+        ``mean_hops_to_hit`` recombines exactly over the *successful*
+        queries of every batch — a batch with zero successes (NaN hops)
+        contributes nothing rather than poisoning the mean, and failures
+        are never averaged in as hop -1.  ``p95_messages`` cannot be
+        reconstructed exactly from aggregates; it is approximated by the
+        query-count-weighted mean of the per-batch p95s (re-summarize the
+        concatenated records when an exact percentile matters).
         """
         if not summaries:
             raise ValueError("cannot merge zero summaries")
         n = sum(s.n_queries for s in summaries)
         successes = sum(s.n_successes for s in summaries)
+        total_messages = sum(s.total_messages for s in summaries)
         hop_total = sum(
             s.mean_hops_to_hit * s.n_successes
             for s in summaries if s.n_successes
@@ -99,9 +112,11 @@ class SearchSummary:
         return SearchSummary(
             n_queries=n,
             success_rate=successes / n,
-            mean_messages=sum(s.mean_messages * s.n_queries for s in summaries) / n,
+            mean_messages=total_messages / n,
             mean_hops_to_hit=hop_total / successes if successes else float("nan"),
             p95_messages=sum(s.p95_messages * s.n_queries for s in summaries) / n,
+            n_successes=successes,
+            total_messages=total_messages,
         )
 
 
@@ -114,15 +129,19 @@ def summarize(records: Sequence[QueryRecord]) -> SearchSummary:
     """
     if not records:
         raise ValueError("cannot summarize zero queries")
-    messages = np.asarray([r.messages for r in records], dtype=np.float64)
+    messages = np.asarray([r.messages for r in records], dtype=np.int64)
     hits = np.asarray([r.first_hit_hop for r in records], dtype=np.float64)
     success = hits >= 0
+    n_successes = int(np.count_nonzero(success))
+    total_messages = int(messages.sum())
     return SearchSummary(
         n_queries=len(records),
-        success_rate=float(success.mean()),
-        mean_messages=float(messages.mean()),
+        success_rate=n_successes / len(records),
+        mean_messages=total_messages / len(records),
         mean_hops_to_hit=float(hits[success].mean()) if success.any() else float("nan"),
         p95_messages=float(np.percentile(messages, 95)),
+        n_successes=n_successes,
+        total_messages=total_messages,
     )
 
 

@@ -32,7 +32,7 @@ from repro.search.replication import Placement
 from repro.topology.csr import gather_neighbors
 from repro.topology.graph import OverlayGraph
 from repro.topology.twotier import TwoTierTopology
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import check_node_id, check_probability
 
 
@@ -272,6 +272,20 @@ class TwoTierSearch:
         return found + up_hits + leaf_hits, first_hit, leaf_msgs
 
 
+def _run_two_tier_shard(payload) -> list[TwoTierFloodResult]:
+    """One worker's slice of a v0.6 workload (module-level: picklable)."""
+    search, placement, sources, objects, ttl, results_target, rngs = payload
+    results = []
+    for src, obj, rng in zip(sources, objects, rngs):
+        mask = placement.holder_mask(int(obj))
+        results.append(
+            search.query(
+                int(src), ttl, mask, results_target=results_target, seed=rng
+            )
+        )
+    return results
+
+
 def two_tier_queries(
     search: TwoTierSearch,
     placement: Placement,
@@ -280,8 +294,15 @@ def two_tier_queries(
     results_target: int = 1,
     seed: SeedLike = None,
     sources: Optional[Sequence[int]] = None,
+    n_workers: int = 1,
 ) -> list[TwoTierFloodResult]:
-    """Issue a batch of v0.6 queries for random objects of a placement."""
+    """Issue a batch of v0.6 queries for random objects of a placement.
+
+    Each query routes with its own child generator spawned from the seed,
+    so ``n_workers > 1`` (sharding across processes via
+    :func:`repro.parallel.map_shards`) returns bit-identical results in
+    the same order as the serial loop.
+    """
     graph = search.topo.graph
     if placement.n_nodes != graph.n_nodes:
         raise ValueError("placement and graph node counts disagree")
@@ -293,12 +314,21 @@ def two_tier_queries(
         if sources.size != n_queries:
             raise ValueError("sources must have one entry per query")
     objects = rng.integers(0, placement.n_objects, size=n_queries)
-    results = []
-    for src, obj in zip(sources, objects):
-        mask = placement.holder_mask(int(obj))
-        results.append(
-            search.query(
-                int(src), ttl, mask, results_target=results_target, seed=rng
-            )
+    query_rngs = spawn_generators(rng, n_queries)
+    if n_workers == 1:
+        return _run_two_tier_shard(
+            (search, placement, sources, objects, ttl, results_target, query_rngs)
         )
-    return results
+
+    from repro.parallel import map_shards
+    from repro.parallel.runner import _shard_bounds
+
+    payloads = [
+        (search, placement, sources[a:b], objects[a:b], ttl, results_target,
+         query_rngs[a:b])
+        for a, b in _shard_bounds(n_queries, n_workers)
+    ]
+    return [
+        r for shard in map_shards(_run_two_tier_shard, payloads, n_workers)
+        for r in shard
+    ]

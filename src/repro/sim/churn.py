@@ -21,7 +21,7 @@ from repro.core.maintenance import repair_after_failure
 from repro.netmodel.base import NetworkModel
 from repro.obs import runtime as _obs
 from repro.sim.engine import Simulator
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import check_positive
 
 
@@ -95,6 +95,12 @@ class ChurnSimulation:
 
     def __post_init__(self):
         self.rng = as_generator(self.seed)
+        # Probes draw from a dedicated child stream, spawned (not drawn)
+        # from the seed so the spawn itself consumes nothing: the churn
+        # trajectory driven by ``self.rng`` is bit-identical whether
+        # ``probe_queries`` is 0 or 1000, and snapshots stay comparable
+        # across probe settings.
+        self._probe_rng = spawn_generators(self.rng, 1)[0]
         membership = None
         if self.use_host_caches:
             from repro.core.membership import MembershipService
@@ -197,10 +203,10 @@ class ChurnSimulation:
         hits = 0
         with _obs.span("churn.probe_search"):
             for _ in range(cfg.probe_queries):
-                holders = self.rng.choice(n, size=replicas, replace=False)
+                holders = self._probe_rng.choice(n, size=replicas, replace=False)
                 mask = np.zeros(n, dtype=bool)
                 mask[holders] = True
-                source = int(self.rng.integers(0, n))
+                source = int(self._probe_rng.integers(0, n))
                 hits += flood(online_graph, source, cfg.probe_ttl,
                               replica_mask=mask).success
         return hits / cfg.probe_queries

@@ -1,0 +1,229 @@
+"""Process-parallel execution must be bit-identical to the serial path."""
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime as obs
+from repro.parallel import (
+    DEFAULT_BATCH_SIZE,
+    SharedGraph,
+    map_shards,
+    run_queries,
+)
+from repro.parallel.runner import _shard_bounds, default_workers
+from repro.search import flood_queries, place_objects, summarize
+from repro.topology import powerlaw_graph
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = powerlaw_graph(600, seed=31)
+    placement = place_objects(600, 8, 0.02, seed=32)
+    return graph, placement
+
+
+def assert_results_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.source == y.source
+        assert x.first_hit_hop == y.first_hit_hop
+        assert x.replicas_found == y.replicas_found
+        np.testing.assert_array_equal(x.messages_per_hop, y.messages_per_hop)
+        np.testing.assert_array_equal(x.new_nodes_per_hop, y.new_nodes_per_hop)
+        np.testing.assert_array_equal(
+            x.duplicates_per_hop, y.duplicates_per_hop
+        )
+
+
+class TestShardBounds:
+    def test_partition_properties(self):
+        for n in (1, 5, 64, 1000):
+            for k in (1, 3, 7, 16):
+                bounds = _shard_bounds(n, k)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                # Contiguous, non-empty, near-equal shards.
+                for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                    assert b == c
+                sizes = [b - a for a, b in bounds]
+                assert all(s > 0 for s in sizes)
+                assert max(sizes) - min(sizes) <= 1
+                assert len(bounds) == min(k, n)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestRunQueries:
+    def test_matches_scalar_loop(self, world):
+        graph, placement = world
+        scalar = flood_queries(graph, placement, 53, ttl=5, seed=7)
+        refsum = summarize([r.record() for r in scalar])
+        for n_workers in (1, 2, 4):
+            out = run_queries(
+                graph, placement, 53, ttl=5, seed=7,
+                n_workers=n_workers, batch_size=16,
+            )
+            assert_results_equal(out.results, scalar)
+            # Re-summarized summary is exact, percentile included.
+            assert out.summary == refsum
+            # Shard-merged summary recombines the exact counts.
+            merged = out.merged_summary
+            assert merged.n_queries == refsum.n_queries
+            assert merged.n_successes == refsum.n_successes
+            assert merged.total_messages == refsum.total_messages
+            assert merged.success_rate == refsum.success_rate
+            assert merged.mean_messages == refsum.mean_messages
+
+    def test_explicit_workload_replay(self, world):
+        graph, placement = world
+        sources = np.arange(0, 40, dtype=np.int64) % graph.n_nodes
+        objects = np.arange(0, 40, dtype=np.int64) % placement.n_objects
+        a = run_queries(
+            graph, placement, 40, ttl=4,
+            sources=sources, objects=objects, n_workers=1,
+        )
+        b = run_queries(
+            graph, placement, 40, ttl=4,
+            sources=sources, objects=objects, n_workers=3,
+        )
+        assert_results_equal(a.results, b.results)
+        assert [r.source for r in a.results] == list(sources)
+
+    def test_obs_counters_match_serial(self, world):
+        graph, placement = world
+        obs.configure()
+        try:
+            flood_queries(graph, placement, 30, ttl=4, seed=13)
+            ref = obs.active().metrics.snapshot()
+        finally:
+            obs.disable()
+        for n_workers in (1, 3):
+            obs.configure()
+            try:
+                run_queries(
+                    graph, placement, 30, ttl=4, seed=13,
+                    n_workers=n_workers, batch_size=8,
+                )
+                snap = obs.active().metrics.snapshot()
+            finally:
+                obs.disable()
+            assert snap["counters"] == ref["counters"]
+            assert snap["histograms"] == ref["histograms"]
+
+    def test_more_workers_than_queries(self, world):
+        graph, placement = world
+        scalar = flood_queries(graph, placement, 3, ttl=3, seed=2)
+        out = run_queries(graph, placement, 3, ttl=3, seed=2, n_workers=8)
+        assert_results_equal(out.results, scalar)
+        assert len(out.shard_summaries) <= 3
+
+    def test_flood_queries_n_workers_dispatch(self, world):
+        graph, placement = world
+        scalar = flood_queries(graph, placement, 20, ttl=4, seed=3)
+        parallel = flood_queries(
+            graph, placement, 20, ttl=4, seed=3, n_workers=2
+        )
+        assert_results_equal(parallel, scalar)
+
+    def test_validation(self, world):
+        graph, placement = world
+        with pytest.raises(ValueError):
+            run_queries(graph, placement, 5, ttl=3, n_workers=-1)
+        with pytest.raises(ValueError):
+            run_queries(graph, placement, 5, ttl=3, batch_size=0)
+        with pytest.raises(ValueError):
+            run_queries(
+                graph, placement, 5, ttl=3,
+                sources=np.asarray([1, 2]), objects=np.asarray([0, 0]),
+            )
+
+    def test_default_batch_size_used(self, world):
+        graph, placement = world
+        scalar = flood_queries(graph, placement, 10, ttl=3, seed=4)
+        out = run_queries(graph, placement, 10, ttl=3, seed=4, n_workers=1)
+        assert out.n_workers == 1
+        assert_results_equal(out.results, scalar)
+        assert DEFAULT_BATCH_SIZE >= 1
+
+
+class TestMapShards:
+    def test_order_and_parity(self):
+        payloads = [(i, i * 2) for i in range(7)]
+        serial = [_square_sum(p) for p in payloads]
+        assert map_shards(_square_sum, payloads, n_workers=1) == serial
+        assert map_shards(_square_sum, payloads, n_workers=3) == serial
+
+    def test_single_payload_runs_inline(self):
+        assert map_shards(_square_sum, [(2, 3)], n_workers=4) == [13]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            map_shards(_square_sum, [(1, 1)], n_workers=-2)
+
+
+def _square_sum(payload):
+    a, b = payload
+    return a * a + b * b
+
+
+class TestSharedGraph:
+    def test_attach_roundtrip(self, world):
+        graph, _ = world
+        with SharedGraph(graph) as shared:
+            attached = shared.handle.attach()
+            assert attached.n_nodes == graph.n_nodes
+            np.testing.assert_array_equal(attached.indptr, graph.indptr)
+            np.testing.assert_array_equal(attached.indices, graph.indices)
+            np.testing.assert_array_equal(attached.latency, graph.latency)
+
+    def test_close_idempotent(self, world):
+        graph, _ = world
+        shared = SharedGraph(graph)
+        shared.close()
+        shared.close()  # second close must be a no-op
+
+    def test_handle_is_small(self, world):
+        import pickle
+
+        graph, _ = world
+        with SharedGraph(graph) as shared:
+            blob = pickle.dumps(shared.handle)
+            # The whole point: the handle is names + shapes, not the CSR.
+            assert len(blob) < 1024
+            assert len(blob) < graph.indices.nbytes
+
+
+class TestIdentifierAndTwoTierParallel:
+    def test_identifier_parallel_parity(self):
+        from repro.search import (
+            AbfRouter,
+            build_attenuated_filters,
+            identifier_queries,
+        )
+
+        graph = powerlaw_graph(300, seed=41)
+        placement = place_objects(300, 5, 0.04, seed=42)
+        filters = build_attenuated_filters(graph, placement, depth=3)
+        router = AbfRouter(graph, filters)
+        serial = identifier_queries(router, placement, 30, ttl=15, seed=43)
+        parallel = identifier_queries(
+            router, placement, 30, ttl=15, seed=43, n_workers=3
+        )
+        for a, b in zip(serial, parallel):
+            assert a.source == b.source
+            assert a.messages == b.messages
+            assert a.resolved_at == b.resolved_at
+            np.testing.assert_array_equal(a.path, b.path)
+
+    def test_two_tier_parallel_parity(self):
+        from repro.search import TwoTierSearch, two_tier_queries
+        from repro.topology import two_tier_graph
+
+        topo = two_tier_graph(500, seed=44)
+        placement = place_objects(500, 5, 0.04, seed=45)
+        search = TwoTierSearch(topo)
+        serial = two_tier_queries(search, placement, 30, ttl=4, seed=46)
+        parallel = two_tier_queries(
+            search, placement, 30, ttl=4, seed=46, n_workers=3
+        )
+        assert serial == parallel

@@ -1,0 +1,213 @@
+"""The batched flood kernel must be bit-identical to scalar flooding."""
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime as obs
+from repro.search import (
+    draw_query_workload,
+    flood,
+    flood_batch,
+    flood_queries,
+    place_objects,
+    placement_masks,
+)
+from repro.search.flooding import flood_node_load
+from repro.topology import k_regular_graph, powerlaw_graph
+
+from ..conftest import complete_graph, cycle_graph, path_graph, star_graph
+
+
+def assert_results_equal(batched, scalar):
+    """Field-for-field FloodResult equality."""
+    assert len(batched) == len(scalar)
+    for b, s in zip(batched, scalar):
+        assert b.source == s.source
+        assert b.ttl == s.ttl
+        assert b.first_hit_hop == s.first_hit_hop
+        assert b.replicas_found == s.replicas_found
+        np.testing.assert_array_equal(b.messages_per_hop, s.messages_per_hop)
+        np.testing.assert_array_equal(b.new_nodes_per_hop, s.new_nodes_per_hop)
+        np.testing.assert_array_equal(b.duplicates_per_hop, s.duplicates_per_hop)
+
+
+def run_both(graph, sources, ttl, masks=None):
+    batched = flood_batch(graph, sources, ttl, replica_masks=masks)
+    scalar = [
+        flood(graph, int(src), ttl,
+              replica_mask=None if masks is None else masks[i])
+        for i, src in enumerate(sources)
+    ]
+    return batched, scalar
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("make,n", [
+        (path_graph, 9), (cycle_graph, 8), (star_graph, 6), (complete_graph, 7),
+    ])
+    @pytest.mark.parametrize("ttl", [0, 1, 2, 5])
+    def test_fixed_topologies(self, make, n, ttl):
+        graph = make(n)
+        sources = np.arange(graph.n_nodes, dtype=np.int64)
+        assert_results_equal(*run_both(graph, sources, ttl))
+
+    def test_random_topologies_with_replicas(self, rng):
+        for trial in range(8):
+            n = int(rng.integers(20, 300))
+            if trial % 2:
+                graph = k_regular_graph(n, 6, seed=int(rng.integers(2**31)))
+            else:
+                graph = powerlaw_graph(n, seed=int(rng.integers(2**31)))
+            placement = place_objects(n, 5, 0.05, seed=trial)
+            nq = int(rng.integers(1, 40))
+            sources = rng.integers(0, n, size=nq)
+            objects = rng.integers(0, 5, size=nq)
+            ttl = int(rng.integers(0, 7))
+            masks = placement_masks(placement, objects)
+            assert_results_equal(*run_both(graph, sources, ttl, masks))
+
+    def test_small_makalu(self, small_makalu, rng):
+        placement = place_objects(small_makalu.n_nodes, 6, 0.02, seed=5)
+        sources = rng.integers(0, small_makalu.n_nodes, size=25)
+        objects = rng.integers(0, 6, size=25)
+        masks = placement_masks(placement, objects)
+        assert_results_equal(*run_both(small_makalu, sources, ttl=5, masks=masks))
+
+    def test_churn_online_subgraph(self, small_makalu, rng):
+        """Parity holds on the ragged subgraphs churn probing floods."""
+        for frac in (0.5, 0.8):
+            online = rng.random(small_makalu.n_nodes) < frac
+            sub, _ = small_makalu.subgraph(np.flatnonzero(online))
+            sources = rng.integers(0, sub.n_nodes, size=15)
+            assert_results_equal(*run_both(sub, sources, ttl=4))
+
+    def test_repeated_sources(self):
+        graph = cycle_graph(10)
+        sources = np.asarray([3, 3, 3, 7], dtype=np.int64)
+        assert_results_equal(*run_both(graph, sources, ttl=3))
+
+    def test_empty_batch(self):
+        assert flood_batch(path_graph(4), np.empty(0, dtype=np.int64), 3) == []
+
+    def test_validation(self):
+        graph = path_graph(4)
+        with pytest.raises(ValueError):
+            flood_batch(graph, [0, 99], 2)
+        with pytest.raises(ValueError):
+            flood_batch(graph, [0], -1)
+        with pytest.raises(ValueError):
+            flood_batch(graph, [[0, 1]], 2)
+        with pytest.raises(ValueError):
+            flood_batch(graph, [0, 1], 2, replica_masks=np.zeros((1, 4), bool))
+
+
+class TestNodeLoadConservation:
+    def test_load_sum_equals_total_messages(self, rng):
+        """flood_node_load conserves messages against flood's accounting."""
+        for trial in range(10):
+            n = int(rng.integers(10, 250))
+            if trial % 2:
+                graph = powerlaw_graph(n, seed=int(rng.integers(2**31)))
+            else:
+                graph = k_regular_graph(n, 4, seed=int(rng.integers(2**31)))
+            source = int(rng.integers(0, n))
+            ttl = int(rng.integers(0, 8))
+            load, hops = flood_node_load(graph, source, ttl)
+            result = flood(graph, source, ttl)
+            assert int(load.sum()) == result.total_messages
+            # Reached-node sets agree too.
+            assert int(np.count_nonzero(hops >= 0)) == result.nodes_visited
+
+
+class TestObsParity:
+    def _counters(self, session):
+        return dict(session.metrics.snapshot()["counters"])
+
+    def test_metrics_and_trace_identical(self, tmp_path):
+        graph = powerlaw_graph(150, seed=3)
+        placement = place_objects(150, 4, 0.05, seed=4)
+        sources = np.arange(0, 150, 10, dtype=np.int64)
+        objects = np.arange(sources.size, dtype=np.int64) % 4
+        masks = placement_masks(placement, objects)
+
+        streams = {}
+        for mode in ("scalar", "batched"):
+            trace = tmp_path / f"{mode}.jsonl"
+            obs.configure(trace=str(trace))
+            try:
+                if mode == "scalar":
+                    for i, src in enumerate(sources):
+                        flood(graph, int(src), 4, replica_mask=masks[i])
+                else:
+                    flood_batch(graph, sources, 4, replica_masks=masks)
+                snap = obs.active().metrics.snapshot()
+            finally:
+                obs.disable()
+            streams[mode] = (
+                snap["counters"], snap["histograms"],
+                trace.read_text().splitlines(),
+            )
+
+        s_counters, s_hists, s_events = streams["scalar"]
+        b_counters, b_hists, b_events = streams["batched"]
+        assert b_counters == s_counters
+        assert b_hists == s_hists
+        # Trace events carry no wall-clock state, so the streams must be
+        # byte-identical: same events, same fields, same order.
+        assert b_events == s_events
+
+
+class TestFloodQueriesBatched:
+    def test_batch_size_chunking_matches_scalar(self, small_makalu):
+        placement = place_objects(small_makalu.n_nodes, 8, 0.03, seed=21)
+        scalar = flood_queries(small_makalu, placement, 30, ttl=4, seed=22)
+        for batch_size in (1, 7, 30, 64):
+            batched = flood_queries(
+                small_makalu, placement, 30, ttl=4, seed=22,
+                batch_size=batch_size,
+            )
+            assert_results_equal(batched, scalar)
+
+    def test_invalid_batch_size(self, small_makalu):
+        placement = place_objects(small_makalu.n_nodes, 2, 0.05, seed=1)
+        with pytest.raises(ValueError):
+            flood_queries(small_makalu, placement, 5, ttl=2, batch_size=0)
+
+    def test_rng_consumption_identical(self, small_makalu):
+        """Batching must not change how much randomness the driver draws."""
+        from repro.util.rng import state_fingerprint
+
+        placement = place_objects(small_makalu.n_nodes, 4, 0.05, seed=2)
+        fps = []
+        for kwargs in ({}, {"batch_size": 16}):
+            gen = np.random.default_rng(77)
+            flood_queries(small_makalu, placement, 12, ttl=3, seed=gen, **kwargs)
+            fps.append(state_fingerprint(gen))
+        assert fps[0] == fps[1]
+
+
+class TestWorkloadAndMasks:
+    def test_draw_query_workload_matches_flood_queries(self, small_makalu):
+        placement = place_objects(small_makalu.n_nodes, 5, 0.05, seed=8)
+        sources, objects = draw_query_workload(
+            small_makalu, placement, 20, seed=9
+        )
+        results = flood_queries(small_makalu, placement, 20, ttl=3, seed=9)
+        assert [r.source for r in results] == list(sources)
+
+    def test_placement_masks_rows(self):
+        placement = place_objects(50, 3, 0.1, seed=6)
+        objects = np.asarray([2, 0, 2], dtype=np.int64)
+        masks = placement_masks(placement, objects)
+        assert masks.shape == (3, 50)
+        for i, obj in enumerate(objects):
+            np.testing.assert_array_equal(
+                masks[i], placement.holder_mask(int(obj))
+            )
+
+    def test_workload_validation(self, small_makalu):
+        placement = place_objects(small_makalu.n_nodes, 2, 0.05, seed=1)
+        with pytest.raises(ValueError):
+            draw_query_workload(small_makalu, placement, 0)
+        with pytest.raises(ValueError):
+            draw_query_workload(small_makalu, placement, 3, sources=[1])

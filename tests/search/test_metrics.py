@@ -91,6 +91,50 @@ class TestMerge:
         assert s.n_successes == 1
         assert s.total_messages == 30
 
+    def test_merge_of_merged_is_exact(self):
+        """Counts survive arbitrary re-merging without rounding drift.
+
+        The regression this guards: ``n_successes``/``total_messages`` used
+        to be reconstructed as ``round(rate * n)``, which drifts once
+        merged summaries are merged again (the intermediate rates are not
+        exactly representable).  The counts are now carried as integers.
+        """
+        rng = np.random.default_rng(7)
+        batches = []
+        for _ in range(9):
+            n = int(rng.integers(1, 40))
+            batches.append([
+                record(int(rng.integers(0, 10_000)),
+                       int(rng.integers(-1, 8)))
+                for _ in range(n)
+            ])
+        direct = summarize([r for b in batches for r in b])
+
+        # Merge in two uneven layers, then merge the merges.
+        layer1 = [
+            SearchSummary.merge([summarize(b) for b in batches[:4]]),
+            SearchSummary.merge([summarize(b) for b in batches[4:7]]),
+            SearchSummary.merge([summarize(b) for b in batches[7:]]),
+        ]
+        nested = SearchSummary.merge(layer1)
+        assert nested.n_queries == direct.n_queries
+        assert nested.n_successes == direct.n_successes
+        assert nested.total_messages == direct.total_messages
+        assert nested.success_rate == direct.success_rate
+        assert nested.mean_messages == direct.mean_messages
+        assert nested.mean_hops_to_hit == pytest.approx(
+            direct.mean_hops_to_hit
+        )
+
+    def test_legacy_construction_recovers_counts(self):
+        """Summaries built without counts still expose consistent integers."""
+        s = SearchSummary(
+            n_queries=8, success_rate=0.75, mean_messages=12.5,
+            mean_hops_to_hit=2.0, p95_messages=20.0,
+        )
+        assert s.n_successes == 6
+        assert s.total_messages == 100
+
 
 class TestSuccessVsTtl:
     def test_curve_shape(self):

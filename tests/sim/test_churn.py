@@ -157,3 +157,48 @@ class TestSearchProbes:
             ChurnConfig(probe_ttl=-1)
         with pytest.raises(ValueError):
             ChurnConfig(probe_replicas=0)
+
+    def test_probes_do_not_perturb_churn_trajectory(self, fast_makalu_config):
+        """Probes draw from a dedicated child stream, not the churn RNG.
+
+        The regression this guards: probe draws used to come from
+        ``self.rng``, so enabling probes shifted every subsequent
+        departure/rejoin time and the trajectory silently diverged from a
+        probe-free run of the same seed.
+        """
+
+        def trajectory(probe_queries):
+            sim = ChurnSimulation(
+                model=EuclideanModel(150, seed=91),
+                makalu_config=fast_makalu_config,
+                churn_config=ChurnConfig(
+                    mean_session=60.0, mean_offline=15.0,
+                    snapshot_interval=25.0, probe_queries=probe_queries,
+                ),
+                seed=92,
+            )
+            snaps = sim.run(100.0)
+            return [
+                (s.time, s.n_online, s.n_components, s.giant_fraction,
+                 s.mean_degree)
+                for s in snaps
+            ]
+
+        assert trajectory(0) == trajectory(25)
+
+    def test_probe_results_reproducible(self, fast_makalu_config):
+        """Same seed, same probe success rates (the child stream is seeded)."""
+
+        def rates():
+            sim = ChurnSimulation(
+                model=EuclideanModel(150, seed=93),
+                makalu_config=fast_makalu_config,
+                churn_config=ChurnConfig(
+                    mean_session=60.0, mean_offline=15.0,
+                    snapshot_interval=25.0, probe_queries=8,
+                ),
+                seed=94,
+            )
+            return [s.search_success for s in sim.run(100.0)]
+
+        assert rates() == rates()
