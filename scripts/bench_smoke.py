@@ -13,12 +13,17 @@ workload:
 
 All three must return bit-identical per-query results (the script fails
 otherwise), so the timings are a true apples-to-apples comparison.  The
-measurements land in ``BENCH_parallel.json`` next to the repo root,
-together with the host's CPU count — the ``workers4`` figure only
-demonstrates parallel speedup when the host actually has cores to run the
-workers on; on a single-core host it degenerates to the batched kernel
-plus process-pool overhead, and the batched row carries the wall-time
-improvement.
+measurements are *appended* to the run history in ``BENCH_parallel.json``
+next to the repo root (``{"runs": [...]}``, newest last) so successive
+runs accumulate instead of overwriting each other — each record carries a
+timestamp, the host's CPU count and name, the git commit, the workload
+config, and the wall times.  A legacy single-run file (schema 1) is
+converted to a one-entry history on first append.  ``repro obs diff``
+and ``repro obs report`` understand both layouts and compare the newest
+record.  The ``workers4`` figure only demonstrates parallel speedup when
+the host actually has cores to run the workers on; on a single-core host
+it degenerates to the batched kernel plus process-pool overhead, and the
+batched row carries the wall-time improvement.
 
 Usage::
 
@@ -28,8 +33,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
+import socket
+import subprocess
 import sys
 import time
 
@@ -44,6 +52,49 @@ N_QUERIES = 100
 TTL = 4
 REPLICATION = 0.01
 MODEL_SEED, GRAPH_SEED, PLACEMENT_SEED, QUERY_SEED = 4005, 4105, 505, 605
+
+
+def git_sha() -> str:
+    """The current commit, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def append_run(path: str, record: dict) -> dict:
+    """Append ``record`` to the run history at ``path`` (created if absent).
+
+    A pre-existing legacy file (schema 1: one flat run record) becomes the
+    history's first entry, so old measurements survive the upgrade.
+    Unreadable files are preserved under ``<path>.corrupt`` rather than
+    silently clobbered.
+    """
+    history = {"schema_version": 2, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                old = json.load(fh)
+        except ValueError:
+            os.replace(path, path + ".corrupt")
+            print(f"warning: unreadable {path} moved to {path}.corrupt",
+                  file=sys.stderr)
+            old = None
+        if isinstance(old, dict):
+            if isinstance(old.get("runs"), list):
+                history["runs"] = old["runs"]
+            elif "wall_time_ms" in old:  # legacy single-run layout
+                history["runs"] = [old]
+    history["runs"].append(record)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    return history
 
 
 def best_of(fn, reps: int) -> float:
@@ -112,8 +163,11 @@ def main(argv=None) -> int:
     speedups = {
         name: times["scalar"] / times[name] for name in ("batched", "workers4")
     }
-    report = {
-        "schema_version": 1,
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": git_sha(),
         "config": {
             "benchmark": "bench_fig2_scaling largest config (small scale)",
             "n_nodes": N_NODES,
@@ -122,15 +176,14 @@ def main(argv=None) -> int:
             "replication": REPLICATION,
             "reps": args.reps,
         },
-        "host": {"cpu_count": os.cpu_count()},
+        "host": {"cpu_count": os.cpu_count(), "name": socket.gethostname()},
+        "build_s": round(build_s, 2),
         "wall_time_ms": {k: round(1000 * v, 2) for k, v in times.items()},
         "speedup_vs_scalar": {k: round(v, 2) for k, v in speedups.items()},
         "bit_identical": True,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    history = append_run(args.out, record)
+    print(f"appended run {len(history['runs'])} to {args.out}")
 
     best = max(speedups.values())
     print(

@@ -7,8 +7,9 @@ Usage::
 
 Implements the small JSON-Schema subset the snapshot schema actually uses
 (type, const, required, properties, additionalProperties, items,
-minItems, minimum) so CI needs no third-party validator.  Exits 0 on
-success, 1 with a path-qualified error message on the first violation.
+minItems, maxItems, minimum) so CI needs no third-party validator.  Exits
+0 on success, 1 with a path-qualified error message on the first
+violation.
 """
 
 from __future__ import annotations
@@ -73,6 +74,10 @@ def _check(instance, schema: dict, path: str) -> None:
         if "minItems" in schema and len(instance) < schema["minItems"]:
             raise ValidationError(
                 f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            raise ValidationError(
+                f"{path}: {len(instance)} items > maxItems {schema['maxItems']}"
             )
         item_schema = schema.get("items")
         if isinstance(item_schema, dict):

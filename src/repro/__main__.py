@@ -1,8 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro obs report ... | head` closes stdout early; behave like
+        # a Unix filter instead of tracebacking.  Re-point stdout at
+        # devnull so the interpreter's exit-time flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

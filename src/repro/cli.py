@@ -15,7 +15,13 @@ observability flags (off by default, see docs/OBSERVABILITY.md):
 
 * ``--metrics-json PATH`` — write the run's metric snapshot as JSON;
 * ``--trace PATH`` — stream structured events (JSONL) to ``PATH``;
-* ``--profile`` — print a per-phase wall-time report after the run.
+* ``--profile`` — print a per-phase wall-time report after the run;
+* ``--profile-json PATH`` — write the profile (aggregates + span
+  timeline) as JSON, convertible via ``repro obs export-trace``.
+
+The artifacts feed the ``repro obs`` toolkit: ``repro obs report`` for a
+human-readable summary, ``repro obs diff`` for CI regression gating, and
+``repro obs export-trace`` for Chrome ``chrome://tracing`` conversion.
 
 The CLI is a thin veneer over the public API — anything here can be done
 in a few lines of Python (see ``examples/``).
@@ -209,6 +215,8 @@ def cmd_churn(args) -> int:
         churn_config=ChurnConfig(
             mean_session=args.session, mean_offline=args.offline,
             snapshot_interval=args.duration / 6,
+            health_interval=args.health_interval,
+            health_sources=args.health_sources,
         ),
         seed=args.seed,
     )
@@ -219,6 +227,13 @@ def cmd_churn(args) -> int:
         print(f"  t={s.time:6.0f}  online={s.n_online:5d}  "
               f"components={s.n_components:3d}  giant={100 * s.giant_fraction:5.1f}%  "
               f"mean degree={s.mean_degree:.1f}")
+    if sim.health_samples:
+        print(f"health samples (every {args.health_interval:g} time units):")
+        for h in sim.health_samples:
+            print(f"  t={h.time:6.0f}  expansion={h.expansion:.3f}  "
+                  f"spectral gap={h.spectral_gap:.3f}  "
+                  f"filter staleness={100 * h.filter_staleness:5.1f}%  "
+                  f"isolated={100 * h.isolated_fraction:4.1f}%")
     return 0
 
 
@@ -240,6 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream structured JSONL trace events to PATH")
         p.add_argument("--profile", action="store_true",
                        help="print a per-phase wall-time report")
+        p.add_argument("--profile-json", metavar="PATH", default=None,
+                       help="write the profile (aggregates + span "
+                            "timeline) as JSON")
         if topology:
             p.add_argument(
                 "--topology",
@@ -304,9 +322,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=150.0)
     p.add_argument("--session", type=float, default=100.0)
     p.add_argument("--offline", type=float, default=25.0)
+    p.add_argument("--health-interval", type=float, default=0.0,
+                   help="structural-health sampling period (0 disables; "
+                        "sampling never perturbs the churn trajectory)")
+    p.add_argument("--health-sources", type=int, default=8,
+                   help="BFS/expansion sources per health sample")
     p.set_defaults(func=cmd_churn)
 
+    from repro.obs.report import add_obs_subparsers
+
+    add_obs_subparsers(sub)
+
     return parser
+
+
+def _write_profile_json(profiler, path: str) -> None:
+    import json
+
+    doc = {
+        "schema_version": 1,
+        "report": profiler.report(),
+        "timeline": profiler.timeline_report(),
+        "timeline_dropped": profiler.timeline_dropped,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -315,28 +356,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     metrics_json = getattr(args, "metrics_json", None)
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if not (metrics_json or trace_path or profile):
+    profile_json = getattr(args, "profile_json", None)
+    if not (metrics_json or trace_path or profile or profile_json):
         return args.func(args)
 
-    # Fail before the run, not after it: both sinks are written at exit.
-    for path in (metrics_json, trace_path):
+    # Fail before the run, not after it: all sinks are written at exit.
+    for path in (metrics_json, trace_path, profile_json):
         parent = os.path.dirname(os.path.abspath(path)) if path else None
         if parent and not os.path.isdir(parent):
             print(f"error: cannot write {path}: "
                   f"directory {parent} does not exist", file=sys.stderr)
             return 2
 
-    session = obs.configure(trace=trace_path or None, profile=profile)
+    session = obs.configure(trace=trace_path or None,
+                            profile=profile or bool(profile_json))
     try:
         rc = args.func(args)
     finally:
+        # Flush artifacts even when the command raises: a crashed run
+        # leaves partial-but-readable metrics, profile, and trace files
+        # behind (disable() closes the JSONL sink, so ``repro obs
+        # export-trace`` works on the truncated trace).
         obs.disable()
-    if metrics_json:
-        session.metrics.write_json(metrics_json)
-        print(f"metrics snapshot written to {metrics_json}")
-    if trace_path:
-        print(f"trace written to {trace_path} "
-              f"({session.tracer.emitted} events)")
+        if metrics_json:
+            session.metrics.write_json(metrics_json)
+            print(f"metrics snapshot written to {metrics_json}")
+        if trace_path:
+            print(f"trace written to {trace_path} "
+                  f"({session.tracer.emitted} events)")
+        if profile_json:
+            _write_profile_json(session.profiler, profile_json)
+            print(f"profile written to {profile_json}")
     if profile:
         print(session.profiler.format_report())
     return rc

@@ -168,6 +168,11 @@ class MakaluBuilder:
         #: Live-node mask consulted by cache bootstraps; the churn
         #: simulation keeps it updated.  ``None`` means everyone is up.
         self.alive_mask: Optional[np.ndarray] = None
+        #: Optional :class:`~repro.obs.health.HealthSampler` hooked into
+        #: the maintenance loop: when set, each refinement round ends with
+        #: a structural health sample (t = completed round index), so
+        #: construction convergence is a time series, not a black box.
+        self.health_sampler = None
 
     # ------------------------------------------------------------------
     # Local protocol primitives
@@ -315,12 +320,14 @@ class MakaluBuilder:
         """Run management/refinement rounds over all joined nodes."""
         rounds = self.config.refinement_rounds if rounds is None else rounds
         nodes = np.asarray(self._joined, dtype=np.int64)
-        for _ in range(rounds):
+        for r in range(rounds):
             with _obs.span("makalu.refine_round"):
                 order = self.rng.permutation(nodes)
                 for u in order:
                     self._acquire(int(u), allow_swap=True)
                 self._drain_repairs(budget=2 * len(nodes))
+            if self.health_sampler is not None:
+                self.health_sampler.sample(t=r + 1, graph=self.adj.freeze())
 
     def fill(self, rounds: Optional[int] = None) -> None:
         """Let under-capacity nodes re-acquire until full (bounded rounds).
@@ -350,6 +357,9 @@ class MakaluBuilder:
                 for u in order:
                     self.join(int(u))
                 self._drain_repairs(budget=2 * self.n_nodes)
+            if self.health_sampler is not None:
+                # Round 0 = the overlay as joins left it, before refinement.
+                self.health_sampler.sample(t=0, graph=self.adj.freeze())
             with _obs.span("makalu.refine"):
                 self.refine()
                 self._drain_repairs(budget=2 * self.n_nodes)

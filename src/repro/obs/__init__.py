@@ -25,8 +25,10 @@ See docs/OBSERVABILITY.md for the event schema and the metric name
 catalogue.
 """
 
+from repro.obs.health import HealthConfig, HealthSample, HealthSampler
 from repro.obs.metrics import (
     DEFAULT_EDGES,
+    SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
@@ -45,22 +47,30 @@ from repro.obs.runtime import (
     is_enabled,
     observe,
     observed,
+    record,
     span,
     tracing_active,
 )
+from repro.obs.timeseries import TimeSeries, merge_points
 from repro.obs.tracer import Tracer, read_trace
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
     "MetricsRegistry",
     "DEFAULT_EDGES",
+    "SCHEMA_VERSION",
     "diff_snapshots",
+    "merge_points",
     "Tracer",
     "read_trace",
     "Profiler",
     "ObsSession",
+    "HealthConfig",
+    "HealthSample",
+    "HealthSampler",
     "active",
     "configure",
     "disable",
@@ -69,6 +79,7 @@ __all__ = [
     "count",
     "gauge",
     "observe",
+    "record",
     "event",
     "span",
     "tracing_active",

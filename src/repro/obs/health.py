@@ -1,0 +1,354 @@
+"""Structural health sampling of a live overlay under churn.
+
+The paper's resilience story (Figures 7/8) is that Makalu's local rating
+function keeps the overlay expander-like *while nodes fail*.  Offline,
+end-state analysis (:mod:`repro.analysis`) can only certify the overlay
+after the fact; this module samples the same structural quantities
+periodically on the *live* overlay — as time series — so a churn run's
+health trajectory is observable and gateable (``repro obs diff``):
+
+* connected-component count and largest-component fraction;
+* degree-distribution statistics (mean / max / isolated fraction);
+* node-boundary expansion of sampled neighborhoods (the quantity Makalu's
+  rating maximizes locally), reusing :mod:`repro.analysis.expansion`;
+* a spectral-gap estimate of the normalized Laplacian from a few power
+  -iteration steps (cheap; collapses toward zero as the overlay frays);
+* routing-state staleness: the fraction of attenuated-Bloom-filter
+  aggregate entries (equivalently, nodes within the filter depth at build
+  time) and host-cache entries that point at departed nodes.
+
+Every sample is recorded into the active :class:`MetricsRegistry` as
+``TimeSeries`` points keyed by virtual time, and returned as a
+:class:`HealthSample` row.  The sampler owns a dedicated RNG stream:
+enabling or disabling sampling never consumes randomness from the
+simulation's streams, so trajectories stay bit-identical either way
+(``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs import runtime as _obs
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tunables of one health-sampling hook.
+
+    ``interval`` is in the time units of whatever drives the sampler
+    (virtual simulation time under churn, round index in construction
+    loops); ``0`` disables sampling entirely.  ``n_sources`` bounds the
+    per-sample BFS work for the expansion and staleness estimates;
+    ``power_iters`` bounds the spectral-gap estimate's matvec count.
+    """
+
+    interval: float = 0.0
+    n_sources: int = 8
+    max_hop: int = 2
+    filter_depth: int = 3
+    power_iters: int = 24
+
+    def __post_init__(self):
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+        if self.n_sources < 1:
+            raise ValueError(f"n_sources must be >= 1, got {self.n_sources}")
+        if self.max_hop < 1:
+            raise ValueError(f"max_hop must be >= 1, got {self.max_hop}")
+        if self.filter_depth < 1:
+            raise ValueError(
+                f"filter_depth must be >= 1, got {self.filter_depth}"
+            )
+        if self.power_iters < 1:
+            raise ValueError(
+                f"power_iters must be >= 1, got {self.power_iters}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration samples at all."""
+        return self.interval > 0
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One structural health observation of the (online) overlay.
+
+    ``filter_staleness`` / ``cache_staleness`` are NaN when the sampler has
+    no reference graph / membership service to judge them against.
+    """
+
+    time: float
+    n_online: int
+    n_components: int
+    largest_component_fraction: float
+    mean_degree: float
+    max_degree: int
+    isolated_fraction: float
+    expansion: float
+    spectral_gap: float
+    filter_staleness: float = float("nan")
+    cache_staleness: float = float("nan")
+
+
+def spectral_gap_estimate(
+    graph, n_iters: int = 24, rng: SeedLike = None
+) -> float:
+    """Estimate the normalized-Laplacian spectral gap by power iteration.
+
+    The exact gap (:func:`repro.analysis.spectral.spectral_gap`) needs a
+    dense eigensolve — unusable inside a periodic sampler.  Instead,
+    power-iterate ``M = 2I - L`` (eigenvalues ``2 - λ_i``, all >= 0) with
+    the known top eigenvector ``D^{1/2}·1`` (eigenvalue 2, from λ₀ = 0)
+    deflated; the Rayleigh quotient then converges toward ``2 - λ₁`` and
+    the estimate is ``2 - rayleigh >= ~λ₁``.  A handful of iterations gives
+    the trend that matters: a fragmenting overlay gains extra (near-)zero
+    eigenvalues of ``L`` that deflation does not remove, so the estimate
+    collapses toward zero exactly when expansion is lost.
+
+    Deterministic for a given ``rng``; never touches global RNG state.
+    """
+    from repro.analysis.spectral import laplacian
+
+    n = graph.n_nodes
+    if n < 2:
+        return 0.0
+    if graph.n_edges == 0:
+        return 0.0
+    gen = as_generator(rng)
+    lap = laplacian(graph, normalized=True)
+    v0 = np.sqrt(graph.degrees.astype(np.float64))
+    norm0 = np.linalg.norm(v0)
+    if norm0 == 0.0:  # pragma: no cover - no edges is caught above
+        return 0.0
+    v0 /= norm0
+
+    x = gen.standard_normal(n)
+    x -= (v0 @ x) * v0
+    for _ in range(n_iters):
+        x = 2.0 * x - lap @ x
+        x -= (v0 @ x) * v0  # re-deflate against floating-point drift
+        norm = np.linalg.norm(x)
+        if norm < 1e-300:
+            # x started (numerically) inside the deflated subspace.
+            return 0.0
+        x /= norm
+    rayleigh = x @ (2.0 * x - lap @ x)
+    gap = 2.0 - float(rayleigh)
+    # Round-off can push the estimate a hair outside [0, 2]; clamp.
+    return min(max(gap, 0.0), 2.0)
+
+
+def expansion_sample(
+    graph, n_sources: int = 8, max_hop: int = 2, rng: SeedLike = None
+) -> float:
+    """Worst mean node-boundary expansion |∂B_h|/|B_h| over hops 1..max_hop.
+
+    A cheap live counterpart of
+    :func:`repro.analysis.expansion.expansion_profile` (which it reuses):
+    BFS balls around ``n_sources`` sampled nodes, CSR frontier-vectorized.
+    Returns 0.0 for graphs too small to expand.
+    """
+    from repro.analysis.expansion import expansion_profile
+
+    if graph.n_nodes < 2:
+        return 0.0
+    profile = expansion_profile(
+        graph, n_sources=n_sources, max_hops=max_hop, seed=as_generator(rng)
+    )
+    return profile.min_early_expansion(max_hop)
+
+
+def neighborhood_staleness(
+    reference,
+    online: np.ndarray,
+    depth: int = 3,
+    n_sources: int = 16,
+    rng: SeedLike = None,
+) -> float:
+    """Fraction of routing-filter aggregate entries pointing at departed nodes.
+
+    A node's level-``i`` attenuated Bloom filter aggregates the content
+    digests of nodes within ``i`` hops *at build time*
+    (:mod:`repro.search.attenuated`); entries contributed by nodes that
+    have since departed are stale routing state.  For a sample of
+    currently-online nodes, BFS the *reference* overlay (the graph the
+    filters were built on) to ``depth`` hops and measure the offline
+    fraction of the reached nodes — exactly the stale-entry fraction of
+    those nodes' filters.  The same figure bounds host-cache staleness
+    when caches are fed by neighborhood gossip.
+
+    Returns NaN when no sampled node has any in-reach filter entries.
+    """
+    from repro.analysis.bfs import bfs_hops
+
+    online = np.asarray(online, dtype=bool)
+    if online.size != reference.n_nodes:
+        raise ValueError("online mask must cover the reference graph")
+    candidates = np.flatnonzero(online)
+    if candidates.size == 0:
+        return float("nan")
+    gen = as_generator(rng)
+    k = min(n_sources, candidates.size)
+    sources = gen.choice(candidates, size=k, replace=False)
+    stale_fractions = []
+    for s in sources:
+        hops = bfs_hops(reference, int(s), max_hops=depth)
+        reached = np.flatnonzero((hops >= 1) & (hops <= depth))
+        if reached.size == 0:
+            continue
+        stale_fractions.append(float(np.mean(~online[reached])))
+    if not stale_fractions:
+        return float("nan")
+    return float(np.mean(stale_fractions))
+
+
+def cache_staleness(membership, online: np.ndarray) -> float:
+    """Fraction of host-cache entries pointing at departed nodes.
+
+    Exact (no sampling): every entry of every
+    :class:`~repro.core.membership.HostCache` is checked against the live
+    mask.  NaN when all caches are empty.
+    """
+    online = np.asarray(online, dtype=bool)
+    total = stale = 0
+    for cache in membership.caches:
+        for peer in cache.peers():
+            total += 1
+            if not online[peer]:
+                stale += 1
+    return stale / total if total else float("nan")
+
+
+class HealthSampler:
+    """Periodic structural-health sampler for a live overlay.
+
+    Passive by design: the owner (churn simulation, Makalu refinement
+    loop, a test) calls :meth:`sample` whenever its own clock says so; the
+    sampler computes the health quantities, records each into the active
+    obs session as a ``TimeSeries`` point under ``<prefix>.*``, appends a
+    :class:`HealthSample` row to :attr:`samples`, and emits one
+    ``<prefix>.sample`` trace event.  With no obs session active the rows
+    still accumulate, so library users get trajectories without
+    configuring observability.
+
+    The sampler draws only from its own ``rng``; hand it a dedicated
+    spawned stream (as :class:`~repro.sim.churn.ChurnSimulation` does) and
+    it cannot perturb the simulation it watches.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HealthConfig] = None,
+        rng: SeedLike = None,
+        prefix: str = "health",
+    ):
+        self.config = config if config is not None else HealthConfig()
+        self.rng = as_generator(rng)
+        self.prefix = prefix
+        self.samples: List[HealthSample] = []
+        #: Overlay snapshot the routing filters were (notionally) built on;
+        #: set via :meth:`set_reference` to enable staleness sampling.
+        self.reference = None
+
+    def set_reference(self, graph) -> None:
+        """Fix the filter-build-time overlay used for staleness sampling."""
+        self.reference = graph
+
+    def sample(
+        self,
+        t: float,
+        graph,
+        online: Optional[np.ndarray] = None,
+        membership=None,
+    ) -> HealthSample:
+        """Measure the overlay's health at time ``t`` and record it.
+
+        ``graph`` is the full overlay; ``online`` an optional liveness
+        mask (all-online when None).  Structural quantities are computed
+        on the induced online subgraph; staleness against
+        :attr:`reference` / ``membership``.
+        """
+        cfg = self.config
+        with _obs.span("health.sample"):
+            if online is None:
+                sub, n_online = graph, graph.n_nodes
+            else:
+                online = np.asarray(online, dtype=bool)
+                sub, _ = graph.subgraph(online)
+                n_online = int(np.count_nonzero(online))
+
+            if sub.n_nodes:
+                n_comp, labels = sub.connected_components()
+                largest = float(np.bincount(labels).max() / sub.n_nodes)
+                degs = sub.degrees
+                mean_deg = float(degs.mean())
+                max_deg = int(degs.max())
+                isolated = float(np.mean(degs == 0))
+                expansion = expansion_sample(
+                    sub, n_sources=cfg.n_sources, max_hop=cfg.max_hop,
+                    rng=self.rng,
+                )
+                gap = spectral_gap_estimate(
+                    sub, n_iters=cfg.power_iters, rng=self.rng
+                )
+            else:  # pragma: no cover - everyone offline simultaneously
+                n_comp, largest, mean_deg, max_deg = 0, 0.0, 0.0, 0
+                isolated, expansion, gap = 0.0, 0.0, 0.0
+
+            filter_stale = float("nan")
+            if self.reference is not None and online is not None:
+                filter_stale = neighborhood_staleness(
+                    self.reference, online, depth=cfg.filter_depth,
+                    n_sources=cfg.n_sources, rng=self.rng,
+                )
+            cache_stale = float("nan")
+            if membership is not None and online is not None:
+                cache_stale = cache_staleness(membership, online)
+
+        row = HealthSample(
+            time=float(t),
+            n_online=n_online,
+            n_components=n_comp,
+            largest_component_fraction=largest,
+            mean_degree=mean_deg,
+            max_degree=max_deg,
+            isolated_fraction=isolated,
+            expansion=expansion,
+            spectral_gap=gap,
+            filter_staleness=filter_stale,
+            cache_staleness=cache_stale,
+        )
+        self.samples.append(row)
+        self._record(row)
+        return row
+
+    def _record(self, row: HealthSample) -> None:
+        p, t = self.prefix, row.time
+        _obs.count(f"{p}.samples")
+        _obs.record(f"{p}.online_nodes", t, row.n_online)
+        _obs.record(f"{p}.n_components", t, row.n_components)
+        _obs.record(
+            f"{p}.largest_component_fraction", t,
+            row.largest_component_fraction,
+        )
+        _obs.record(f"{p}.mean_degree", t, row.mean_degree)
+        _obs.record(f"{p}.max_degree", t, row.max_degree)
+        _obs.record(f"{p}.isolated_fraction", t, row.isolated_fraction)
+        _obs.record(f"{p}.expansion", t, row.expansion)
+        _obs.record(f"{p}.spectral_gap", t, row.spectral_gap)
+        if not np.isnan(row.filter_staleness):
+            _obs.record(f"{p}.filter_staleness", t, row.filter_staleness)
+        if not np.isnan(row.cache_staleness):
+            _obs.record(f"{p}.cache_staleness", t, row.cache_staleness)
+        _obs.event(
+            f"{p}.sample", t=t, online=row.n_online,
+            components=row.n_components,
+            largest=row.largest_component_fraction,
+            expansion=row.expansion, gap=row.spectral_gap,
+        )

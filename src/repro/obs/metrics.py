@@ -25,7 +25,14 @@ import json
 from bisect import bisect_left
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.obs.timeseries import TimeSeries, merge_points
+
 Number = Union[int, float]
+
+#: Version stamped on (and required of) metric snapshots.  Version 2 added
+#: the ``timeseries`` section; ``merge_snapshot``/``diff_snapshots`` still
+#: accept version-1 snapshots (the section is simply absent).
+SCHEMA_VERSION = 2
 
 #: Default histogram bucket upper bounds (powers of two cover message
 #: counts, fan-outs and hop depths across the scales the harness runs).
@@ -157,6 +164,10 @@ class MetricsRegistry:
         """Get or create the histogram ``name`` (edges fixed at creation)."""
         return self._get(name, Histogram, edges)
 
+    def timeseries(self, name: str) -> TimeSeries:
+        """Get or create the time series ``name``."""
+        return self._get(name, TimeSeries)
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
@@ -169,19 +180,24 @@ class MetricsRegistry:
         The layout is the JSONL/CLI export schema
         (``schemas/metrics_snapshot.schema.json``)::
 
-            {"schema_version": 1,
+            {"schema_version": 2,
              "counters":   {name: int},
              "gauges":     {name: float},
              "histograms": {name: {"edges": [...], "counts": [...],
-                                   "sum": float, "count": int}}}
+                                   "sum": float, "count": int}},
+             "timeseries": {name: {"points": [[t, value], ...]}}}
         """
-        counters, gauges, histograms = {}, {}, {}
+        counters, gauges, histograms, timeseries = {}, {}, {}, {}
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             if isinstance(inst, Counter):
                 counters[name] = _jsonable(inst.value)
             elif isinstance(inst, Gauge):
                 gauges[name] = float(inst.value)
+            elif isinstance(inst, TimeSeries):
+                timeseries[name] = {
+                    "points": [[t, v] for t, v in inst.points]
+                }
             else:
                 histograms[name] = {
                     "edges": list(inst.edges),
@@ -190,10 +206,11 @@ class MetricsRegistry:
                     "count": int(inst.count),
                 }
         return {
-            "schema_version": 1,
+            "schema_version": SCHEMA_VERSION,
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "timeseries": timeseries,
         }
 
     def merge_snapshot(self, snap: dict) -> None:
@@ -219,6 +236,9 @@ class MetricsRegistry:
             inst.counts = [a + b for a, b in zip(inst.counts, h["counts"])]
             inst.sum += float(h["sum"])
             inst.count += int(h["count"])
+        for name, ts in snap.get("timeseries", {}).items():
+            inst = self.timeseries(name)
+            inst.points = merge_points(inst.points, ts["points"])
 
     def reset(self) -> None:
         """Zero every instrument, keeping registrations (and edges)."""
@@ -227,6 +247,8 @@ class MetricsRegistry:
                 inst.value = 0
             elif isinstance(inst, Gauge):
                 inst.value = 0.0
+            elif isinstance(inst, TimeSeries):
+                inst.points = []
             else:
                 inst.counts = [0] * (len(inst.edges) + 1)
                 inst.sum = 0.0
@@ -244,14 +266,17 @@ def diff_snapshots(before: dict, after: dict) -> dict:
 
     Counters and histogram counts/sums subtract (``after - before``; a
     counter absent from ``before`` diffs against zero); gauges report the
-    ``after`` value (levels do not accumulate).  Useful for bracketing one
-    phase of a longer run without resetting shared state.
+    ``after`` value (levels do not accumulate); time series report the
+    points appended since ``before`` (series are append-only, so the tail
+    beyond ``before``'s length is the phase's samples).  Useful for
+    bracketing one phase of a longer run without resetting shared state.
     """
     out = {
-        "schema_version": 1,
+        "schema_version": SCHEMA_VERSION,
         "counters": {},
         "gauges": dict(after.get("gauges", {})),
         "histograms": {},
+        "timeseries": {},
     }
     b_c = before.get("counters", {})
     for name, value in after.get("counters", {}).items():
@@ -267,4 +292,8 @@ def diff_snapshots(before: dict, after: dict) -> dict:
             "sum": h["sum"] - prev["sum"],
             "count": h["count"] - prev["count"],
         }
+    b_t = before.get("timeseries", {})
+    for name, ts in after.get("timeseries", {}).items():
+        skip = len(b_t.get(name, {"points": []})["points"])
+        out["timeseries"][name] = {"points": [list(p) for p in ts["points"][skip:]]}
     return out

@@ -39,12 +39,14 @@ class _Span:
         return self
 
     def __exit__(self, *exc) -> None:
-        elapsed = time.perf_counter() - self.t0
+        t1 = time.perf_counter()
+        elapsed = t1 - self.t0
         stack = self.profiler._stack
         stack.pop()
         if stack:
             stack[-1].child_time += elapsed
         self.profiler._record(self.path, elapsed, elapsed - self.child_time)
+        self.profiler._record_timeline(self.path, self.t0, t1)
 
 
 class _NoopSpan:
@@ -63,12 +65,40 @@ NOOP_SPAN = _NoopSpan()
 
 
 class Profiler:
-    """Aggregates nested span timings by path."""
+    """Aggregates nested span timings by path.
 
-    def __init__(self):
+    Beyond the per-path aggregates, a bounded *timeline* keeps the first
+    ``timeline_capacity`` completed spans as ``(path, start_s, end_s)``
+    records (``perf_counter`` seconds) so a run's phase structure can be
+    exported to Chrome's ``chrome://tracing`` format (``repro obs
+    export-trace``).  Overflow is counted in :attr:`timeline_dropped`
+    rather than silently discarded.
+    """
+
+    def __init__(self, timeline_capacity: int = 65536):
+        if timeline_capacity < 0:
+            raise ValueError(
+                f"timeline_capacity must be >= 0, got {timeline_capacity}"
+            )
         # path -> [calls, total_seconds, self_seconds]
         self._totals: Dict[str, List[float]] = {}
         self._stack: List[_Span] = []
+        self.timeline_capacity = timeline_capacity
+        self.timeline: List[tuple] = []
+        self.timeline_dropped = 0
+
+    def _record_timeline(self, path: str, start: float, end: float) -> None:
+        if len(self.timeline) < self.timeline_capacity:
+            self.timeline.append((path, start, end))
+        else:
+            self.timeline_dropped += 1
+
+    def timeline_report(self) -> List[dict]:
+        """Completed spans as plain dicts: ``{path, start_s, end_s}``."""
+        return [
+            {"path": path, "start_s": start, "end_s": end}
+            for path, start, end in self.timeline
+        ]
 
     def span(self, name: str) -> _Span:
         """Context manager timing one region under the current nesting."""
@@ -93,8 +123,10 @@ class Profiler:
         }
 
     def reset(self) -> None:
-        """Drop all aggregates (open spans keep timing)."""
+        """Drop all aggregates and the timeline (open spans keep timing)."""
         self._totals.clear()
+        self.timeline.clear()
+        self.timeline_dropped = 0
 
     def format_report(self) -> str:
         """Human-readable table, children indented under parents."""

@@ -132,7 +132,13 @@ def observed(
     trace_capacity: int = 65536,
     profile: bool = False,
 ) -> Iterator[ObsSession]:
-    """Context-manager form of :func:`configure` / :func:`disable`."""
+    """Context-manager form of :func:`configure` / :func:`disable`.
+
+    The session's tracer sink is flushed and closed on exit even when the
+    body raises, or when the body re-configured observability underneath
+    us — a crashed simulation must still leave a readable (partial) JSONL
+    trace behind.
+    """
     session = configure(
         metrics=metrics, trace=trace, trace_capacity=trace_capacity,
         profile=profile,
@@ -142,6 +148,8 @@ def observed(
     finally:
         if _ACTIVE is session:
             disable()
+        else:
+            session.close()
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +179,13 @@ def observe(
     s = _ACTIVE
     if s is not None:
         s.metrics.histogram(name, edges).observe(value)
+
+
+def record(name: str, t: float, value: float) -> None:
+    """Append ``(t, value)`` to time series ``name`` if a session is active."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.timeseries(name).record(t, value)
 
 
 def event(kind: str, **fields) -> None:

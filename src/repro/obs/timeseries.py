@@ -1,0 +1,72 @@
+"""Time-series metric instrument: (time, value) samples over a run.
+
+Counters, gauges and histograms summarize a run *after* it finishes; a
+:class:`TimeSeries` keeps the trajectory — how many components the online
+overlay had at t=20, 40, 60 — so health under churn is inspectable per
+sample rather than collapsed to an end-state aggregate.  The instrument is
+deliberately dumb: an append-only list of ``(t, value)`` pairs, no clocks,
+no interpolation, no RNG, so recording from a seeded simulation cannot
+perturb it.
+
+Snapshot form (``schemas/metrics_snapshot.schema.json``, version 2)::
+
+    {"timeseries": {"health.n_components": {"points": [[20.0, 1], ...]}}}
+
+``t`` is whatever the recorder passes — virtual simulation time for the
+churn health sampler, a round index for construction-phase sampling.
+Points are kept in record order; recorders are expected to sample
+monotonically, and :func:`merge_points` re-sorts when combining series
+from different processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+class TimeSeries:
+    """Append-only sequence of ``(t, value)`` samples."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points: List[Point] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append one sample at time ``t``."""
+        self.points.append((float(t), float(value)))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.points)
+
+    @property
+    def last(self) -> float:
+        """Most recent value (raises on an empty series)."""
+        if not self.points:
+            raise ValueError(f"time series {self.name!r} has no samples")
+        return self.points[-1][1]
+
+    def values(self) -> List[float]:
+        """The sampled values, in record order."""
+        return [v for _, v in self.points]
+
+    def times(self) -> List[float]:
+        """The sample times, in record order."""
+        return [t for t, _ in self.points]
+
+
+def merge_points(a: Sequence[Point], b: Sequence[Point]) -> List[Point]:
+    """Combine two point sequences, ordered by time (stable on ties).
+
+    Used by :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` to
+    recombine worker-process series into the parent session.
+    """
+    merged = [(float(t), float(v)) for t, v in a]
+    merged.extend((float(t), float(v)) for t, v in b)
+    merged.sort(key=lambda p: p[0])
+    return merged

@@ -17,7 +17,7 @@ never a plain mean of per-shard means.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -58,6 +58,13 @@ class SearchSummary:
     :meth:`merge` exact at any nesting depth.)  Both default to ``None``
     for backward compatibility, in which case they are recovered by
     rounding — exact only for a summary that has never been merged.
+
+    ``mechanism`` tags which search mechanism produced the batch (e.g.
+    ``"flooding"`` or ``"abf-identifier"``).  It is optional metadata, but
+    :meth:`merge` refuses to combine summaries tagged with *different*
+    mechanisms — their message/hop statistics are not comparable, and the
+    mismatch used to surface only much later as a confusing downstream
+    error.
     """
 
     n_queries: int
@@ -67,6 +74,7 @@ class SearchSummary:
     p95_messages: float
     n_successes: int = None  # type: ignore[assignment]
     total_messages: int = None  # type: ignore[assignment]
+    mechanism: Optional[str] = None
 
     def __post_init__(self):
         if self.n_successes is None:
@@ -99,9 +107,21 @@ class SearchSummary:
         reconstructed exactly from aggregates; it is approximated by the
         query-count-weighted mean of the per-batch p95s (re-summarize the
         concatenated records when an exact percentile matters).
+
+        Raises :class:`ValueError` when the summaries carry conflicting
+        ``mechanism`` tags — cross-mechanism statistics are meaningless.
+        Untagged summaries (``mechanism=None``) merge with anything; the
+        merged summary keeps the common tag if there is one.
         """
         if not summaries:
             raise ValueError("cannot merge zero summaries")
+        mechanisms = {s.mechanism for s in summaries if s.mechanism is not None}
+        if len(mechanisms) > 1:
+            a, b, *_ = sorted(mechanisms)
+            raise ValueError(
+                f"cannot merge summaries from different search mechanisms: "
+                f"{a!r} vs {b!r}"
+            )
         n = sum(s.n_queries for s in summaries)
         successes = sum(s.n_successes for s in summaries)
         total_messages = sum(s.total_messages for s in summaries)
@@ -117,15 +137,20 @@ class SearchSummary:
             p95_messages=sum(s.p95_messages * s.n_queries for s in summaries) / n,
             n_successes=successes,
             total_messages=total_messages,
+            mechanism=next(iter(mechanisms)) if mechanisms else None,
         )
 
 
-def summarize(records: Sequence[QueryRecord]) -> SearchSummary:
+def summarize(
+    records: Sequence[QueryRecord], mechanism: Optional[str] = None
+) -> SearchSummary:
     """Aggregate a batch of per-query records.
 
     Failed queries (``first_hit_hop == -1``) count toward ``n_queries``,
     ``success_rate`` and the message statistics but are excluded from
-    ``mean_hops_to_hit``.
+    ``mean_hops_to_hit``.  ``mechanism`` optionally tags the summary with
+    the producing search mechanism; :meth:`SearchSummary.merge` refuses
+    cross-mechanism merges.
     """
     if not records:
         raise ValueError("cannot summarize zero queries")
@@ -142,6 +167,7 @@ def summarize(records: Sequence[QueryRecord]) -> SearchSummary:
         p95_messages=float(np.percentile(messages, 95)),
         n_successes=n_successes,
         total_messages=total_messages,
+        mechanism=mechanism,
     )
 
 

@@ -20,6 +20,7 @@ from repro.core.makalu import MakaluBuilder, MakaluConfig
 from repro.core.maintenance import repair_after_failure
 from repro.netmodel.base import NetworkModel
 from repro.obs import runtime as _obs
+from repro.obs.health import HealthConfig, HealthSample, HealthSampler
 from repro.sim.engine import Simulator
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import check_positive
@@ -42,6 +43,14 @@ class ChurnConfig:
     probe_ttl: int = 4
     #: Replicas per probe object, placed on random online nodes.
     probe_replicas: int = 5
+    #: Structural-health sampling period (0 disables the
+    #: :class:`~repro.obs.health.HealthSampler` hook entirely; the churn
+    #: trajectory is bit-identical either way).
+    health_interval: float = 0.0
+    #: BFS/expansion source sample size per health sample.
+    health_sources: int = 8
+    #: Notional attenuated-filter depth for the staleness estimate.
+    health_filter_depth: int = 3
 
     def __post_init__(self):
         check_positive("mean_session", self.mean_session)
@@ -53,6 +62,12 @@ class ChurnConfig:
             raise ValueError("probe_ttl must be >= 0")
         if self.probe_replicas < 1:
             raise ValueError("probe_replicas must be >= 1")
+        if self.health_interval < 0:
+            raise ValueError("health_interval must be >= 0")
+        if self.health_sources < 1:
+            raise ValueError("health_sources must be >= 1")
+        if self.health_filter_depth < 1:
+            raise ValueError("health_filter_depth must be >= 1")
 
     @property
     def online_fraction(self) -> float:
@@ -101,6 +116,11 @@ class ChurnSimulation:
         # ``probe_queries`` is 0 or 1000, and snapshots stay comparable
         # across probe settings.
         self._probe_rng = spawn_generators(self.rng, 1)[0]
+        # Health sampling gets the next child stream for the same reason:
+        # enabling --health-interval cannot perturb the churn trajectory.
+        # Spawned unconditionally so the probe child's identity is stable
+        # regardless of the health setting.
+        self._health_rng = spawn_generators(self.rng, 1)[0]
         membership = None
         if self.use_host_caches:
             from repro.core.membership import MembershipService
@@ -119,7 +139,23 @@ class ChurnSimulation:
         # the builder consults this live-node mask when probing entries.
         self.builder.alive_mask = self.online
         self.snapshots: list[ChurnSnapshot] = []
+        cfg = self.churn_config
+        self.health_sampler: Optional[HealthSampler] = None
+        if cfg.health_interval > 0:
+            self.health_sampler = HealthSampler(
+                HealthConfig(
+                    interval=cfg.health_interval,
+                    n_sources=cfg.health_sources,
+                    filter_depth=cfg.health_filter_depth,
+                ),
+                rng=self._health_rng,
+            )
         self._sim = Simulator()
+
+    @property
+    def health_samples(self) -> list[HealthSample]:
+        """Health rows collected so far (empty when sampling is disabled)."""
+        return self.health_sampler.samples if self.health_sampler else []
 
     def run(self, duration: float) -> list[ChurnSnapshot]:
         """Build the initial overlay, churn for ``duration``, return snapshots."""
@@ -130,6 +166,13 @@ class ChurnSimulation:
         for node in range(self.builder.n_nodes):
             self._schedule_departure(node)
         self._sim.schedule(cfg.snapshot_interval, self._snapshot, label="snapshot")
+        if self.health_sampler is not None:
+            # Routing filters are (notionally) built on the post-build
+            # overlay; staleness is measured against this reference.
+            self.health_sampler.set_reference(self.builder.adj.freeze())
+            self._sim.schedule(
+                cfg.health_interval, self._health_sample, label="health"
+            )
         self._sim.run(until=duration)
         return self.snapshots
 
@@ -190,6 +233,18 @@ class ChurnSimulation:
             components=snap.n_components, giant=snap.giant_fraction,
         )
         sim.schedule(self.churn_config.snapshot_interval, self._snapshot, label="snapshot")
+
+    def _health_sample(self, sim: Simulator) -> None:
+        self.health_sampler.sample(
+            t=sim.now,
+            graph=self.builder.adj.freeze(),
+            online=self.online,
+            membership=self.builder.membership,
+        )
+        sim.schedule(
+            self.churn_config.health_interval, self._health_sample,
+            label="health",
+        )
 
     def _probe_search(self, online_graph) -> float:
         """End-to-end search availability: flooding probes on the live overlay."""

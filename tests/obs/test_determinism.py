@@ -82,3 +82,60 @@ class TestInstrumentationIsInert:
             instrumented = makalu_graph(n_nodes=80, seed=41)
         assert np.array_equal(plain.indptr, instrumented.indptr)
         assert np.array_equal(plain.indices, instrumented.indices)
+
+
+class TestHealthSamplingIsInert:
+    """Health telemetry must be a pure observer of the churn trajectory."""
+
+    # Captured from a run predating the health-sampling hook: the golden
+    # trajectory of the seeded churn run below.  If any of the three runs
+    # in this class diverges from it, something consumed randomness or
+    # changed control flow in the simulation — spawning the sampler's
+    # child stream, the extra health events in the event heap, or the
+    # sampling itself.
+    GOLDEN = [
+        (15.0, 51, 1, 1.0, 9.921568627451, 1.0),
+        (30.0, 46, 1, 1.0, 10.130434782609, 1.0),
+        (45.0, 52, 1, 1.0, 9.423076923077, 1.0),
+        (60.0, 48, 1, 1.0, 9.416666666667, 1.0),
+    ]
+
+    def _run(self, health_interval):
+        sim = ChurnSimulation(
+            n_nodes=60,
+            churn_config=ChurnConfig(
+                mean_session=30.0, mean_offline=8.0, snapshot_interval=15.0,
+                probe_queries=3, health_interval=health_interval,
+            ),
+            seed=97,
+        )
+        snaps = sim.run(60.0)
+        trajectory = [
+            (s.time, s.n_online, s.n_components,
+             round(s.giant_fraction, 12), round(s.mean_degree, 12),
+             round(s.search_success, 12))
+            for s in snaps
+        ]
+        return sim, trajectory
+
+    def test_trajectory_matches_pre_health_golden(self):
+        _, trajectory = self._run(health_interval=0.0)
+        assert trajectory == self.GOLDEN
+
+    def test_sampling_enabled_leaves_trajectory_bit_identical(self):
+        _, trajectory = self._run(health_interval=10.0)
+        assert trajectory == self.GOLDEN
+
+    def test_sampling_under_obs_session_records_series(self):
+        with obs.observed() as session:
+            sim, trajectory = self._run(health_interval=10.0)
+        assert trajectory == self.GOLDEN
+        assert len(sim.health_samples) == 6
+        series = session.metrics.snapshot()["timeseries"]
+        health = {k: v["points"] for k, v in series.items()
+                  if k.startswith("health.")}
+        # The acceptance bar: at least 5 distinct health time series,
+        # each with at least 2 points.
+        assert sum(1 for pts in health.values() if len(pts) >= 2) >= 5
+        for pts in health.values():
+            assert [t for t, _ in pts] == [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]

@@ -1,0 +1,249 @@
+"""Structural health sampling: estimators, sampler, and metric emission."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.makalu import MakaluBuilder
+from repro.core.membership import MembershipService
+from repro.obs.health import (
+    HealthConfig,
+    HealthSampler,
+    cache_staleness,
+    expansion_sample,
+    neighborhood_staleness,
+    spectral_gap_estimate,
+)
+from repro.topology import k_regular_graph
+from repro.topology.graph import OverlayGraph
+
+
+def complete_graph(n):
+    u, v = np.triu_indices(n, k=1)
+    return OverlayGraph.from_edges(n, u, v)
+
+
+def ring_graph(n):
+    u = np.arange(n)
+    return OverlayGraph.from_edges(n, u, (u + 1) % n)
+
+
+def two_cliques(k):
+    """Two disjoint complete graphs of ``k`` nodes each."""
+    u, v = np.triu_indices(k, k=1)
+    return OverlayGraph.from_edges(
+        2 * k, np.concatenate([u, u + k]), np.concatenate([v, v + k])
+    )
+
+
+class TestSpectralGapEstimate:
+    def test_matches_exact_gap_on_expander(self):
+        from repro.analysis.spectral import spectral_gap
+
+        graph = k_regular_graph(64, 8, seed=3)
+        exact = spectral_gap(graph)
+        est = spectral_gap_estimate(graph, n_iters=200, rng=0)
+        # Power iteration converges from above onto λ₁ as slower modes mix
+        # away, so the estimate upper-bounds the true gap; with many
+        # iterations it should be close.
+        assert exact - 1e-6 <= est <= exact + 0.35
+
+    def test_disconnected_graph_estimates_zero(self):
+        # A second component adds another λ = 0 eigenvalue that deflation
+        # doesn't remove, so the estimate must collapse.
+        est = spectral_gap_estimate(two_cliques(8), n_iters=200, rng=0)
+        assert est == pytest.approx(0.0, abs=1e-6)
+
+    def test_complete_graph_has_large_gap(self):
+        est = spectral_gap_estimate(complete_graph(12), n_iters=100, rng=0)
+        assert est > 0.8
+
+    def test_ring_gap_below_expander_gap(self):
+        ring = spectral_gap_estimate(ring_graph(64), n_iters=300, rng=0)
+        expander = spectral_gap_estimate(
+            k_regular_graph(64, 8, seed=3), n_iters=300, rng=0
+        )
+        assert ring < expander
+
+    def test_degenerate_graphs(self):
+        empty = OverlayGraph.from_edges(5, [], [])
+        assert spectral_gap_estimate(empty, rng=0) == 0.0
+        single = OverlayGraph.from_edges(1, [], [])
+        assert spectral_gap_estimate(single, rng=0) == 0.0
+
+    def test_deterministic_for_fixed_rng(self):
+        graph = k_regular_graph(40, 6, seed=1)
+        assert spectral_gap_estimate(graph, rng=7) == spectral_gap_estimate(
+            graph, rng=7
+        )
+
+
+class TestExpansionSample:
+    def test_sparse_expander_expands(self):
+        # (A complete graph saturates the BFS ball at hop 1 — empty
+        # boundary, expansion 0 — so use a sparse expander instead.)
+        assert expansion_sample(k_regular_graph(200, 6, seed=2), rng=0) > 0.5
+
+    def test_tiny_graph_is_zero(self):
+        assert expansion_sample(OverlayGraph.from_edges(1, [], []), rng=0) == 0.0
+
+
+class TestNeighborhoodStaleness:
+    def test_all_online_is_fresh(self):
+        graph = ring_graph(10)
+        online = np.ones(10, dtype=bool)
+        assert neighborhood_staleness(graph, online, rng=0) == 0.0
+
+    def test_offline_neighbors_are_stale(self):
+        # Star: center 0 online, all leaves offline.  From the center,
+        # every 1-hop filter entry is stale.
+        n = 9
+        graph = OverlayGraph.from_edges(
+            n, np.zeros(n - 1, dtype=int), np.arange(1, n)
+        )
+        online = np.zeros(n, dtype=bool)
+        online[0] = True
+        assert neighborhood_staleness(graph, online, depth=1, rng=0) == 1.0
+
+    def test_no_online_nodes_is_nan(self):
+        graph = ring_graph(6)
+        assert np.isnan(
+            neighborhood_staleness(graph, np.zeros(6, dtype=bool), rng=0)
+        )
+
+    def test_mask_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_staleness(ring_graph(6), np.ones(4, dtype=bool))
+
+
+class TestCacheStaleness:
+    def test_counts_departed_entries(self):
+        svc = MembershipService(20, seed=0)
+        for node in range(20):
+            svc.observe(node, [(node + 1) % 20, (node + 2) % 20])
+        online = np.ones(20, dtype=bool)
+        assert cache_staleness(svc, online) == 0.0
+        online[:10] = False
+        frac = cache_staleness(svc, online)
+        assert 0.0 < frac <= 1.0
+
+    def test_empty_caches_are_nan(self):
+        svc = MembershipService(5, seed=0)
+        assert np.isnan(cache_staleness(svc, np.ones(5, dtype=bool)))
+
+
+class TestHealthConfig:
+    def test_zero_interval_disables(self):
+        assert not HealthConfig().enabled
+        assert HealthConfig(interval=5.0).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": -1.0},
+            {"n_sources": 0},
+            {"max_hop": 0},
+            {"filter_depth": 0},
+            {"power_iters": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthConfig(**kwargs)
+
+
+class TestHealthSampler:
+    def test_sample_full_graph(self):
+        sampler = HealthSampler(rng=0)
+        row = sampler.sample(t=1.0, graph=k_regular_graph(50, 6, seed=2))
+        assert row.n_online == 50
+        assert row.n_components == 1
+        assert row.largest_component_fraction == 1.0
+        assert row.mean_degree == pytest.approx(6.0)
+        assert row.isolated_fraction == 0.0
+        assert row.expansion > 0.0
+        assert row.spectral_gap > 0.0
+        assert np.isnan(row.filter_staleness)
+        assert np.isnan(row.cache_staleness)
+        assert sampler.samples == [row]
+
+    def test_online_mask_restricts_to_subgraph(self):
+        graph = two_cliques(6)
+        online = np.zeros(12, dtype=bool)
+        online[:6] = True  # only the first clique
+        row = HealthSampler(rng=0).sample(t=0.0, graph=graph, online=online)
+        assert row.n_online == 6
+        assert row.n_components == 1
+        assert row.mean_degree == pytest.approx(5.0)
+
+    def test_fragmentation_visible_in_sample(self):
+        row = HealthSampler(rng=0).sample(t=0.0, graph=two_cliques(6))
+        assert row.n_components == 2
+        assert row.largest_component_fraction == pytest.approx(0.5)
+        assert row.spectral_gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_staleness_needs_reference_and_mask(self):
+        graph = ring_graph(10)
+        online = np.ones(10, dtype=bool)
+        online[3] = False
+        sampler = HealthSampler(rng=0)
+        assert np.isnan(sampler.sample(t=0.0, graph=graph,
+                                       online=online).filter_staleness)
+        sampler.set_reference(graph)
+        row = sampler.sample(t=1.0, graph=graph, online=online)
+        assert 0.0 < row.filter_staleness < 1.0
+
+    def test_emits_timeseries_and_counter(self):
+        with obs.observed() as session:
+            sampler = HealthSampler(rng=0)
+            graph = k_regular_graph(30, 6, seed=2)
+            sampler.sample(t=1.0, graph=graph)
+            sampler.sample(t=2.0, graph=graph)
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["health.samples"] == 2
+        series = snap["timeseries"]
+        for name in ("health.online_nodes", "health.n_components",
+                     "health.largest_component_fraction",
+                     "health.mean_degree", "health.expansion",
+                     "health.spectral_gap"):
+            assert [t for t, _ in series[name]["points"]] == [1.0, 2.0]
+
+    def test_custom_prefix(self):
+        with obs.observed() as session:
+            HealthSampler(rng=0, prefix="makalu.health").sample(
+                t=0.0, graph=ring_graph(8)
+            )
+        series = session.metrics.snapshot()["timeseries"]
+        assert "makalu.health.spectral_gap" in series
+
+    def test_no_session_still_accumulates_rows(self):
+        sampler = HealthSampler(rng=0)
+        sampler.sample(t=0.0, graph=ring_graph(8))
+        assert len(sampler.samples) == 1
+
+
+class TestMakaluMaintenanceHook:
+    def test_builder_samples_per_refine_round(self):
+        builder = MakaluBuilder(n_nodes=60, seed=5)
+        builder.health_sampler = HealthSampler(rng=0)
+        builder.build()
+        # build() samples round 0 (post-joins) and then once per internal
+        # refinement round.
+        n_after_build = len(builder.health_sampler.samples)
+        assert n_after_build == 1 + builder.config.refinement_rounds
+        builder.refine(rounds=3)
+        rows = builder.health_sampler.samples
+        assert len(rows) == n_after_build + 3
+        assert rows[0].time == 0.0
+        assert [r.time for r in rows[n_after_build:]] == [1.0, 2.0, 3.0]
+        assert all(r.largest_component_fraction == 1.0 for r in rows)
+
+    def test_builder_without_sampler_unchanged(self):
+        a = MakaluBuilder(n_nodes=40, seed=5)
+        a.build()
+        b = MakaluBuilder(n_nodes=40, seed=5)
+        b.health_sampler = HealthSampler(rng=0)
+        b.build()
+        assert sorted(a.adj.freeze().iter_edges()) == sorted(
+            b.adj.freeze().iter_edges()
+        )

@@ -1,0 +1,222 @@
+"""The ``repro obs`` toolkit: report, diff/regression gating, export-trace."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    MetricDelta,
+    diff_metrics,
+    export_chrome_trace,
+    flatten_metrics,
+    improves_when_higher,
+    latest_bench_record,
+    render_report,
+)
+
+
+def snapshot_doc(gap_last=0.5):
+    return {
+        "schema_version": 2,
+        "counters": {"churn.departures": 10},
+        "gauges": {"churn.online_nodes": 90.0},
+        "histograms": {"repair.passes": {"edges": [1.0], "counts": [3, 1],
+                                         "sum": 5.0, "count": 4}},
+        "timeseries": {
+            "health.spectral_gap": {"points": [[10.0, 0.6], [20.0, gap_last]]},
+        },
+    }
+
+
+def make_bench_doc():
+    return {
+        "schema_version": 2,
+        "runs": [
+            {"wall_time_ms": {"scalar": 100.0}, "speedup_vs_scalar": {}},
+            {"timestamp": "2026-08-06T00:00:00+00:00", "git_sha": "abc",
+             "wall_time_ms": {"scalar": 80.0, "batched": 20.0},
+             "speedup_vs_scalar": {"batched": 4.0}},
+        ],
+    }
+
+
+class TestFlatten:
+    def test_snapshot_leaves(self):
+        flat = flatten_metrics(snapshot_doc())
+        assert flat["churn.departures"] == 10.0
+        assert flat["churn.online_nodes"] == 90.0
+        assert flat["repair.passes.count"] == 4.0
+        assert flat["repair.passes.mean"] == pytest.approx(1.25)
+        assert flat["health.spectral_gap.last"] == 0.5
+        assert flat["health.spectral_gap.min"] == 0.5
+        assert flat["health.spectral_gap.mean"] == pytest.approx(0.55)
+        assert flat["health.spectral_gap.samples"] == 2.0
+
+    def test_bench_history_uses_latest_run(self):
+        flat = flatten_metrics(make_bench_doc())
+        assert flat["wall_time_ms.scalar"] == 80.0
+        assert flat["speedup_vs_scalar.batched"] == 4.0
+
+    def test_legacy_single_run_bench(self):
+        doc = {"schema_version": 1, "wall_time_ms": {"scalar": 50.0},
+               "speedup_vs_scalar": {"batched": 2.0}}
+        assert latest_bench_record(doc) is doc
+        assert flatten_metrics(doc)["wall_time_ms.scalar"] == 50.0
+
+
+class TestDiff:
+    def test_self_diff_has_no_changes(self):
+        deltas = diff_metrics(snapshot_doc(), snapshot_doc())
+        assert all(d.relative == 0.0 for d in deltas)
+
+    def test_direction_awareness(self):
+        assert improves_when_higher("health.spectral_gap.last")
+        assert improves_when_higher("speedup_vs_scalar.batched")
+        assert not improves_when_higher("wall_time_ms.scalar")
+        assert not improves_when_higher("health.filter_staleness.mean")
+        # A *drop* in spectral gap is a regression; a drop in wall time
+        # is an improvement.
+        worse = MetricDelta("health.spectral_gap.last", 0.5, 0.25, -0.5)
+        better = MetricDelta("wall_time_ms.scalar", 100.0, 50.0, -0.5)
+        assert worse.exceeds(0.1)
+        assert not better.exceeds(0.1)
+
+    def test_one_sided_metric_never_gates(self):
+        a, b = snapshot_doc(), snapshot_doc()
+        b["counters"]["brand.new"] = 7
+        deltas = {d.name: d for d in diff_metrics(a, b)}
+        d = deltas["brand.new"]
+        assert d.before is None and math.isnan(d.relative)
+        assert not d.exceeds(0.0)
+
+    def test_zero_baseline_gives_infinite_relative(self):
+        a, b = snapshot_doc(), snapshot_doc()
+        a["counters"]["churn.departures"] = 0
+        d = {x.name: x for x in diff_metrics(a, b)}["churn.departures"]
+        assert math.isinf(d.relative) and d.exceeds(1e9)
+
+
+class TestReportRendering:
+    def test_snapshot_report_mentions_series(self):
+        text = render_report(snapshot_doc())
+        assert "health.spectral_gap" in text
+        assert "2 samples" in text
+        assert "churn.departures" in text
+
+    def test_bench_report(self):
+        text = render_report(make_bench_doc())
+        assert "2 run(s)" in text
+        assert "batched" in text
+
+
+class TestCliCommands:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_report_command(self, tmp_path, capsys):
+        path = self.write(tmp_path, "snap.json", snapshot_doc())
+        assert main(["obs", "report", path]) == 0
+        assert "health.spectral_gap" in capsys.readouterr().out
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc())
+        b = self.write(tmp_path, "b.json", snapshot_doc())
+        assert main(["obs", "diff", a, b, "--fail-on-regression"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(gap_last=0.5))
+        b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.25))
+        assert main(["obs", "diff", a, b, "--fail-on-regression",
+                     "--threshold", "0.1"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regression_without_flag_still_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(gap_last=0.5))
+        b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.25))
+        assert main(["obs", "diff", a, b, "--threshold", "0.1"]) == 0
+
+    def test_sub_threshold_change_passes(self, tmp_path):
+        a = self.write(tmp_path, "a.json", snapshot_doc(gap_last=0.50))
+        b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.49))
+        assert main(["obs", "diff", a, b, "--fail-on-regression",
+                     "--threshold", "0.1"]) == 0
+
+    def test_bench_diff_gates_on_speedup_drop(self, tmp_path):
+        a = self.write(tmp_path, "a.json", make_bench_doc())
+        slower = make_bench_doc()
+        slower["runs"][-1]["speedup_vs_scalar"]["batched"] = 1.0
+        slower["runs"][-1]["wall_time_ms"]["batched"] = 80.0
+        b = self.write(tmp_path, "b.json", slower)
+        assert main(["obs", "diff", a, b, "--fail-on-regression",
+                     "--threshold", "0.25"]) == 1
+
+
+def assert_chrome_shape(path):
+    doc = json.loads(path.read_text())
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("i", "X")
+        assert isinstance(ev["name"], str)
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        assert ev["pid"] == 1 and ev["tid"] == 1
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+    return doc
+
+
+class TestExportTrace:
+    def test_tracer_jsonl(self, tmp_path):
+        src = tmp_path / "trace.jsonl"
+        with src.open("w") as fh:
+            for seq, kind in enumerate(["churn.depart", "churn.rejoin"]):
+                fh.write(json.dumps({"seq": seq, "kind": kind, "t": 1.5,
+                                     "node": seq}) + "\n")
+        out = tmp_path / "trace.chrome.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        doc = assert_chrome_shape(out)
+        first = doc["traceEvents"][0]
+        assert first["name"] == "churn.depart"
+        assert first["args"]["t"] == 1.5
+
+    def test_truncated_jsonl_converts_parsed_prefix(self, tmp_path):
+        # A run killed mid-write leaves a torn final line; export-trace
+        # must keep everything before it.
+        src = tmp_path / "trace.jsonl"
+        src.write_text(
+            json.dumps({"seq": 0, "kind": "a"}) + "\n"
+            + json.dumps({"seq": 1, "kind": "b"}) + "\n"
+            + '{"seq": 2, "kind": "tr'
+        )
+        out = tmp_path / "out.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        assert len(assert_chrome_shape(out)["traceEvents"]) == 2
+
+    def test_profile_dump(self, tmp_path):
+        src = tmp_path / "profile.json"
+        src.write_text(json.dumps({
+            "schema_version": 1,
+            "report": {},
+            "timeline": [
+                {"path": "churn/repair", "start_s": 10.0, "end_s": 10.5},
+                {"path": "churn", "start_s": 10.0, "end_s": 11.0},
+            ],
+            "timeline_dropped": 0,
+        }))
+        out = tmp_path / "profile.chrome.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        doc = assert_chrome_shape(out)
+        events = {e["args"]["path"]: e for e in doc["traceEvents"]}
+        assert events["churn/repair"]["ph"] == "X"
+        assert events["churn/repair"]["dur"] == pytest.approx(5e5)
+        assert events["churn"]["ts"] == 0.0
+
+    def test_garbage_input_rejected(self, tmp_path):
+        src = tmp_path / "junk.txt"
+        src.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            export_chrome_trace(str(src), str(tmp_path / "out.json"))

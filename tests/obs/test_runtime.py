@@ -1,5 +1,9 @@
 """Tests for session activation and the cheap instrumentation helpers."""
 
+import json
+
+import pytest
+
 from repro import obs
 
 
@@ -35,6 +39,34 @@ class TestSessionLifecycle:
         with obs.observed(trace=path) as session:
             session.tracer.emit("k", i=1)
         assert obs.read_trace(path)[0]["i"] == 1
+
+    def test_sink_closed_when_body_raises(self, tmp_path):
+        """A crashed simulation must leave a readable partial trace."""
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError):
+            with obs.observed(trace=path) as session:
+                session.tracer.emit("before.crash", i=1)
+                raise RuntimeError("simulated crash")
+        assert obs.active() is None
+        events = [json.loads(l) for l in open(path) if l.strip()]
+        assert events and events[0]["kind"] == "before.crash"
+
+    def test_sink_closed_when_body_reconfigures(self, tmp_path):
+        """Re-configuring inside observed() must not leak the first sink.
+
+        The regression this guards: the old finally block only disabled
+        the session if it was still active, so a body that called
+        configure() replaced the session and the original sink was never
+        flushed — its buffered tail silently vanished.
+        """
+        first_path = str(tmp_path / "first.jsonl")
+        with obs.observed(trace=first_path) as first:
+            first.tracer.emit("first.event", i=1)
+            obs.configure()  # replaces (and closes) the first session
+        obs.disable()
+        assert obs.active() is None
+        events = [json.loads(l) for l in open(first_path) if l.strip()]
+        assert events and events[0]["kind"] == "first.event"
 
 
 class TestHelpers:

@@ -37,6 +37,8 @@ class TestSchema:
         reg.counter("a.b").inc(3)
         reg.gauge("g").set(-1.5)
         reg.histogram("h", edges=[1, 2]).observe(1.5)
+        reg.timeseries("ts").record(1.0, 0.5)
+        reg.timeseries("ts").record(2.0, 0.25)
         # Round-trip through JSON exactly as the CLI does.
         snapshot = json.loads(json.dumps(reg.snapshot()))
         validator.validate(snapshot, schema)
@@ -64,4 +66,38 @@ class TestSchema:
         snap["histograms"]["h"] = {"edges": [], "counts": [0], "sum": 0,
                                    "count": 0}
         with pytest.raises(validator.ValidationError):
+            validator.validate(snap, schema)
+
+    def test_missing_metric_kind_rejected(self, validator, schema):
+        # schema 2 requires all four sections, timeseries included.
+        snap = MetricsRegistry().snapshot()
+        del snap["timeseries"]
+        with pytest.raises(validator.ValidationError, match="required"):
+            validator.validate(snap, schema)
+        snap = MetricsRegistry().snapshot()
+        del snap["histograms"]
+        with pytest.raises(validator.ValidationError, match="required"):
+            validator.validate(snap, schema)
+
+    def test_malformed_timeseries_points_rejected(self, validator, schema):
+        base = MetricsRegistry().snapshot()
+        # A bare-value point (not a [t, value] pair).
+        snap = json.loads(json.dumps(base))
+        snap["timeseries"]["ts"] = {"points": [1.5]}
+        with pytest.raises(validator.ValidationError, match="array"):
+            validator.validate(snap, schema)
+        # A triple is not a [t, value] pair either.
+        snap = json.loads(json.dumps(base))
+        snap["timeseries"]["ts"] = {"points": [[1.0, 2.0, 3.0]]}
+        with pytest.raises(validator.ValidationError, match="maxItems"):
+            validator.validate(snap, schema)
+        # Non-numeric coordinates.
+        snap = json.loads(json.dumps(base))
+        snap["timeseries"]["ts"] = {"points": [["t", 2.0]]}
+        with pytest.raises(validator.ValidationError, match="number"):
+            validator.validate(snap, schema)
+        # Missing the points list entirely.
+        snap = json.loads(json.dumps(base))
+        snap["timeseries"]["ts"] = {}
+        with pytest.raises(validator.ValidationError, match="points"):
             validator.validate(snap, schema)

@@ -1,0 +1,91 @@
+"""TimeSeries metric kind: recording, snapshots, merge and diff."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimeSeries, merge_points
+from repro.obs.metrics import SCHEMA_VERSION, diff_snapshots
+
+
+class TestTimeSeries:
+    def test_record_appends_in_order(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 10.0)
+        ts.record(2.5, -3.0)
+        assert ts.points == [(1.0, 10.0), (2.5, -3.0)]
+        assert ts.count == 2
+        assert ts.last == -3.0
+        assert ts.values() == [10.0, -3.0]
+        assert ts.times() == [1.0, 2.5]
+
+    def test_last_of_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").last
+
+    def test_coerces_to_float(self):
+        ts = TimeSeries("x")
+        ts.record(1, 2)
+        assert ts.points == [(1.0, 2.0)]
+        assert isinstance(ts.points[0][1], float)
+
+    def test_merge_points_sorts_stably_by_time(self):
+        a = [(1.0, 1.0), (3.0, 3.0)]
+        b = [(2.0, 2.0), (3.0, 30.0)]
+        merged = merge_points(a, b)
+        assert merged == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (3.0, 30.0)]
+
+
+class TestRegistryTimeSeries:
+    def test_snapshot_layout(self):
+        reg = MetricsRegistry()
+        reg.timeseries("health.gap").record(10.0, 0.5)
+        reg.timeseries("health.gap").record(20.0, 0.4)
+        snap = reg.snapshot()
+        assert snap["schema_version"] == SCHEMA_VERSION == 2
+        assert snap["timeseries"]["health.gap"]["points"] == [
+            [10.0, 0.5], [20.0, 0.4]
+        ]
+
+    def test_same_name_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.timeseries("x") is reg.timeseries("x")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.timeseries("x")
+
+    def test_reset_clears_points(self):
+        reg = MetricsRegistry()
+        reg.timeseries("x").record(1.0, 1.0)
+        reg.reset()
+        assert reg.timeseries("x").count == 0
+
+    def test_merge_snapshot_combines_series(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.timeseries("x").record(1.0, 1.0)
+        reg_b.timeseries("x").record(2.0, 2.0)
+        reg_b.timeseries("y").record(0.0, 9.0)
+        reg_a.merge_snapshot(reg_b.snapshot())
+        assert reg_a.timeseries("x").points == [(1.0, 1.0), (2.0, 2.0)]
+        assert reg_a.timeseries("y").points == [(0.0, 9.0)]
+
+    def test_merge_v1_snapshot_without_timeseries(self):
+        # Old snapshots (schema 1) lack the section; merge must not choke.
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        old = reg.snapshot()
+        del old["timeseries"]
+        fresh = MetricsRegistry()
+        fresh.merge_snapshot(old)
+        assert fresh.counter("c").value == 1
+
+    def test_diff_snapshots_reports_appended_tail(self):
+        reg = MetricsRegistry()
+        reg.timeseries("x").record(1.0, 1.0)
+        before = reg.snapshot()
+        reg.timeseries("x").record(2.0, 2.0)
+        reg.timeseries("x").record(3.0, 3.0)
+        after = reg.snapshot()
+        delta = diff_snapshots(before, after)
+        assert delta["timeseries"]["x"]["points"] == [[2.0, 2.0], [3.0, 3.0]]

@@ -136,6 +136,34 @@ class TestMerge:
         assert s.total_messages == 100
 
 
+class TestMechanismTag:
+    def test_summarize_tags_mechanism(self):
+        s = summarize([record(10, 1)], mechanism="flooding")
+        assert s.mechanism == "flooding"
+        assert summarize([record(10, 1)]).mechanism is None
+
+    def test_merge_keeps_common_tag(self):
+        a = summarize([record(10, 1)], mechanism="flooding")
+        b = summarize([record(20, 2)], mechanism="flooding")
+        assert SearchSummary.merge([a, b]).mechanism == "flooding"
+
+    def test_merge_of_untagged_stays_untagged(self):
+        a = summarize([record(10, 1)])
+        b = summarize([record(20, 2)])
+        assert SearchSummary.merge([a, b]).mechanism is None
+
+    def test_untagged_merges_with_tagged(self):
+        a = summarize([record(10, 1)], mechanism="flooding")
+        b = summarize([record(20, 2)])
+        assert SearchSummary.merge([a, b]).mechanism == "flooding"
+
+    def test_cross_mechanism_merge_raises_with_both_names(self):
+        flood = summarize([record(10, 1)], mechanism="flooding")
+        abf = summarize([record(20, 2)], mechanism="abf-identifier")
+        with pytest.raises(ValueError, match="'abf-identifier'.*'flooding'"):
+            SearchSummary.merge([flood, abf])
+
+
 class TestSuccessVsTtl:
     def test_curve_shape(self):
         hops = np.asarray([0, 1, 1, 2, -1])

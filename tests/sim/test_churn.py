@@ -202,3 +202,81 @@ class TestSearchProbes:
             return [s.search_success for s in sim.run(100.0)]
 
         assert rates() == rates()
+
+
+class TestHealthSampling:
+    def _sim(self, fast_makalu_config, health_interval, **kwargs):
+        return ChurnSimulation(
+            model=EuclideanModel(150, seed=71),
+            makalu_config=fast_makalu_config,
+            churn_config=ChurnConfig(
+                mean_session=60.0, mean_offline=15.0, snapshot_interval=25.0,
+                health_interval=health_interval, **kwargs,
+            ),
+            seed=72,
+        )
+
+    def test_disabled_by_default(self, churn_run):
+        sim, _ = churn_run
+        assert sim.health_sampler is None
+        assert sim.health_samples == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(health_interval=-1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(health_sources=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(health_filter_depth=0)
+
+    def test_samples_collected_at_interval(self, fast_makalu_config):
+        sim = self._sim(fast_makalu_config, health_interval=20.0)
+        sim.run(100.0)
+        rows = sim.health_samples
+        assert [r.time for r in rows] == [20.0, 40.0, 60.0, 80.0, 100.0]
+        for r in rows:
+            assert 0 < r.n_online <= 150
+            assert r.largest_component_fraction > 0.5
+            assert r.expansion >= 0.0
+            assert 0.0 <= r.spectral_gap <= 2.0
+            # The post-build overlay is the staleness reference, so the
+            # figure is defined from the first sample on.
+            assert 0.0 <= r.filter_staleness <= 1.0
+
+    def test_sampling_does_not_perturb_trajectory(self, fast_makalu_config):
+        """Health sampling draws only from its own spawned stream."""
+
+        def trajectory(interval):
+            sim = self._sim(fast_makalu_config, health_interval=interval)
+            return [
+                (s.time, s.n_online, s.n_components, s.giant_fraction,
+                 s.mean_degree)
+                for s in sim.run(100.0)
+            ]
+
+        assert trajectory(0.0) == trajectory(10.0)
+
+    def test_health_samples_reproducible(self, fast_makalu_config):
+        def rows():
+            sim = self._sim(fast_makalu_config, health_interval=25.0)
+            sim.run(75.0)
+            # repr-compare: NaN staleness fields defeat dataclass ==.
+            return [repr(r) for r in sim.health_samples]
+
+        assert rows() == rows()
+
+    def test_cache_staleness_with_host_caches(self, fast_makalu_config):
+        sim = ChurnSimulation(
+            model=EuclideanModel(150, seed=73),
+            makalu_config=fast_makalu_config,
+            churn_config=ChurnConfig(
+                mean_session=60.0, mean_offline=15.0, snapshot_interval=25.0,
+                health_interval=25.0,
+            ),
+            use_host_caches=True,
+            seed=74,
+        )
+        sim.run(75.0)
+        assert all(
+            0.0 <= r.cache_staleness <= 1.0 for r in sim.health_samples
+        )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from unittest import mock
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -73,6 +75,22 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "online=" in out
+        assert "health samples" not in out  # disabled by default
+
+    def test_churn_health_interval(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "health.json"
+        assert main([
+            "churn", "--nodes", "120", "--seed", "4", "--duration", "40",
+            "--health-interval", "10", "--metrics-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "health samples" in out
+        assert "spectral gap=" in out
+        series = json.loads(path.read_text())["timeseries"]
+        gap_points = series["health.spectral_gap"]["points"]
+        assert [t for t, _ in gap_points] == [10.0, 20.0, 30.0, 40.0]
 
     def test_identifier_per_link(self, capsys):
         assert main([
@@ -136,3 +154,56 @@ class TestObservabilityFlags:
             "--metrics-json", str(tmp_path / "m.json"),
         ]) == 0
         assert obs.active() is None
+
+    def test_profile_json_written_and_convertible(self, tmp_path, capsys):
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert main([
+            "build", *ARGS_SMALL, "--profile-json", str(profile_path),
+        ]) == 0
+        assert "profile written" in capsys.readouterr().out
+        doc = json.loads(profile_path.read_text())
+        assert doc["timeline"], "no spans recorded"
+        assert all(s["end_s"] >= s["start_s"] for s in doc["timeline"])
+        out = tmp_path / "profile.chrome.json"
+        assert main([
+            "obs", "export-trace", str(profile_path), "--out", str(out),
+        ]) == 0
+        chrome = json.loads(out.read_text())
+        assert chrome["traceEvents"][0]["ph"] == "X"
+
+    def test_artifacts_written_when_command_raises(self, tmp_path, capsys):
+        """A crashed run must still leave readable metrics and trace files."""
+        import json
+
+        from repro import obs
+        from repro.cli import build_parser
+
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+
+        def boom(args):
+            obs.count("made.it.here")
+            obs.event("made.it.here")
+            raise RuntimeError("simulated crash")
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "build", *ARGS_SMALL,
+            "--metrics-json", str(metrics_path), "--trace", str(trace_path),
+        ])
+        args.func = boom
+        with pytest.raises(RuntimeError):
+            # Re-enter main's obs plumbing with the crashing command.
+            from repro import cli
+
+            with mock.patch.object(
+                cli.argparse.ArgumentParser, "parse_args", return_value=args
+            ):
+                main([])
+        assert obs.active() is None
+        snap = json.loads(metrics_path.read_text())
+        assert snap["counters"]["made.it.here"] == 1
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert any(e["kind"] == "made.it.here" for e in lines)
