@@ -1,0 +1,128 @@
+"""Search success vs. fraction failed — with the recovery protocol live.
+
+The paper's Figure 1 analysis deliberately freezes the overlay after the
+crash ("the remaining nodes are not given the opportunity to recover").
+This benchmark measures the operational complement: the same top-degree
+crash levels, but survivors run the retry-with-backoff recovery discipline
+(:class:`repro.core.maintenance.RecoveryPolicy`) to exhaustion before
+search is probed.  Three curves:
+
+* **makalu + recovery** — the full protocol: instant edge loss, then
+  bounded retry/backoff re-acquisition with host-cache fallback;
+* **makalu frozen** — the paper's snapshot model, no recovery;
+* **power-law frozen** — the baseline overlay, which has no maintenance
+  protocol to run.
+
+The claim under test: live recovery keeps flooding success essentially
+flat through 40% targeted failure, while the power-law overlay's success
+collapses with its hubs.
+"""
+
+import numpy as np
+
+from _report import print_table
+from repro.analysis import top_degree_nodes
+from repro.core import MakaluBuilder, MakaluConfig
+from repro.core.maintenance import RecoveryPolicy, repair_after_failure, recovery_attempt
+from repro.netmodel import EuclideanModel
+from repro.search import flood_queries, place_objects
+from repro.topology import powerlaw_graph
+
+N = 600
+FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4)
+N_QUERIES = 120
+TTL = 3
+REPLICATION = 0.01
+N_OBJECTS = 10
+
+
+def fresh_makalu(seed=4201):
+    b = MakaluBuilder(
+        model=EuclideanModel(N, seed=4200),
+        config=MakaluConfig(refinement_rounds=1),
+        seed=seed,
+    )
+    b.build()
+    return b
+
+
+def drive_recovery(builder, bereaved, victims, policy, rng):
+    """Run every bereaved node's retry chain to completion.
+
+    Time is abstract here: the benchmark only cares about the overlay
+    state after all backoff timers would have fired.
+    """
+    online = np.ones(builder.n_nodes, dtype=bool)
+    online[victims] = False
+    for attempt in range(1, policy.max_retries + 1):
+        needy = [
+            int(x) for x in bereaved
+            if builder.adj.degree(int(x)) < builder.capacities[x]
+        ]
+        if not needy:
+            break
+        for x in needy:
+            recovery_attempt(builder, x, policy, attempt, rng, online=online)
+
+
+def survivor_success(graph, victims, seed):
+    survivors, _ = graph.remove_nodes(victims)
+    if survivors.n_nodes == 0:
+        return 0.0
+    placement = place_objects(survivors.n_nodes, N_OBJECTS, REPLICATION,
+                              seed=seed)
+    results = flood_queries(survivors, placement, N_QUERIES, ttl=TTL,
+                            seed=seed + 1)
+    return float(np.mean([r.success for r in results]))
+
+
+def bench_fault_recovery(benchmark, scale):
+    def run():
+        base_makalu = fresh_makalu().adj.freeze()
+        base_power = powerlaw_graph(N, seed=4300)
+        policy = RecoveryPolicy()
+        curves = {"makalu + recovery": [], "makalu frozen": [],
+                  "power-law frozen": []}
+        for fraction in FRACTIONS:
+            # Live recovery needs its own mutable builder per level.
+            builder = fresh_makalu()
+            victims = top_degree_nodes(builder.adj.freeze(), fraction)
+            bereaved = repair_after_failure(builder, victims, rejoin=False)
+            drive_recovery(builder, bereaved, victims, policy,
+                           np.random.default_rng(4400 + len(victims)))
+            curves["makalu + recovery"].append(survivor_success(
+                builder.adj.freeze(), victims, seed=4500
+            ))
+            curves["makalu frozen"].append(survivor_success(
+                base_makalu, top_degree_nodes(base_makalu, fraction),
+                seed=4500,
+            ))
+            curves["power-law frozen"].append(survivor_success(
+                base_power, top_degree_nodes(base_power, fraction), seed=4500
+            ))
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [label] + [f"{100 * s:.1f}%" for s in series]
+        for label, series in curves.items()
+    ]
+    print_table(
+        f"Live recovery — search success vs. fraction of top-degree nodes "
+        f"failed ({N} nodes, flooding TTL {TTL}, {100 * REPLICATION:.0f}% "
+        f"replication)",
+        ["overlay"] + [f"{100 * f:.0f}% failed" for f in FRACTIONS],
+        rows,
+        note="recovery holds Makalu's success near its unfailed level; the "
+             "power-law overlay degrades as its hubs disappear",
+    )
+
+    recovered = curves["makalu + recovery"]
+    powerlaw = curves["power-law frozen"]
+    # Makalu with live recovery dominates the power-law baseline at every
+    # non-trivial failure level, and stays near its own unfailed success.
+    for i, fraction in enumerate(FRACTIONS):
+        if fraction > 0.0:
+            assert recovered[i] > powerlaw[i], fraction
+    assert min(recovered) >= recovered[0] - 0.10

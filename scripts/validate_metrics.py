@@ -5,9 +5,11 @@ Usage::
 
     python scripts/validate_metrics.py SNAPSHOT.json [SCHEMA.json]
 
-Implements the small JSON-Schema subset the snapshot schema actually uses
-(type, const, required, properties, additionalProperties, items,
-minItems, maxItems, minimum) so CI needs no third-party validator.  Exits
+Implements the small JSON-Schema subset the checked-in schemas actually
+use (type incl. type lists, const, enum, required, properties,
+additionalProperties, items, minItems, maxItems, minimum, maximum,
+exclusiveMinimum) so CI needs no third-party validator.  Also validates
+fault scenarios against ``schemas/fault_scenario.schema.json``.  Exits
 0 on success, 1 with a path-qualified error message on the first
 violation.
 """
@@ -40,22 +42,42 @@ class ValidationError(Exception):
 def _check(instance, schema: dict, path: str) -> None:
     expected = schema.get("type")
     if expected is not None:
-        py = _TYPES[expected]
-        ok = isinstance(instance, py)
-        # bool is an int subclass but never a JSON integer/number.
-        if ok and expected in ("integer", "number") and isinstance(instance, bool):
-            ok = False
-        if not ok:
-            raise ValidationError(f"{path}: expected {expected}, "
-                                  f"got {type(instance).__name__}")
+        options = expected if isinstance(expected, list) else [expected]
+
+        def matches(name):
+            if name == "null":
+                return instance is None
+            ok = isinstance(instance, _TYPES[name])
+            # bool is an int subclass but never a JSON integer/number.
+            if ok and name in ("integer", "number") and isinstance(instance, bool):
+                ok = False
+            return ok
+
+        if not any(matches(name) for name in options):
+            raise ValidationError(
+                f"{path}: expected {' or '.join(options)}, "
+                f"got {type(instance).__name__}"
+            )
     if "const" in schema and instance != schema["const"]:
         raise ValidationError(
             f"{path}: expected const {schema['const']!r}, got {instance!r}"
         )
-    if "minimum" in schema and isinstance(instance, (int, float)):
-        if instance < schema["minimum"]:
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ValidationError(
+            f"{path}: {instance!r} not one of {schema['enum']}"
+        )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
             raise ValidationError(
                 f"{path}: {instance} below minimum {schema['minimum']}"
+            )
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise ValidationError(
+                f"{path}: {instance} above maximum {schema['maximum']}"
+            )
+        if "exclusiveMinimum" in schema and instance <= schema["exclusiveMinimum"]:
+            raise ValidationError(
+                f"{path}: {instance} not above {schema['exclusiveMinimum']}"
             )
     if isinstance(instance, dict):
         for key in schema.get("required", []):

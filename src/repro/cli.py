@@ -208,25 +208,73 @@ def cmd_traffic(args) -> int:
     return 0
 
 
-def cmd_churn(args) -> int:
-    """Run the churn simulation and print per-snapshot health."""
+def _load_faults(args):
+    """Resolve ``--faults`` into a scenario, or None when absent.
+
+    Raises SystemExit-worthy errors as ValueError subclasses; callers
+    turn them into one-line messages (never tracebacks).
+    """
+    name = getattr(args, "faults", None)
+    if not name:
+        return None
+    from repro.faults import load_scenario
+
+    return load_scenario(name)
+
+
+def _make_recovery(args):
+    """Resolve the ``--recovery*`` flags into a policy, or None."""
+    if not getattr(args, "recovery", False):
+        return None
+    from repro.core.maintenance import RecoveryPolicy
+
+    return RecoveryPolicy(
+        max_retries=args.recovery_retries,
+        base_delay=args.recovery_delay,
+        backoff=args.recovery_backoff,
+        host_cache_fallback=not args.no_fallback,
+    )
+
+
+def _run_churn_sim(args, scenario, recovery):
+    """Build and run a ChurnSimulation; shared by churn and faults run."""
     sim = ChurnSimulation(
         model=_make_model(args),
         churn_config=ChurnConfig(
             mean_session=args.session, mean_offline=args.offline,
             snapshot_interval=args.duration / 6,
+            probe_queries=args.probe_queries,
+            probe_ttl=args.probe_ttl,
             health_interval=args.health_interval,
             health_sources=args.health_sources,
         ),
         seed=args.seed,
+        faults=scenario,
+        recovery=recovery,
     )
     snapshots = sim.run(args.duration)
+    return sim, snapshots
+
+
+def _print_churn_report(args, sim, snapshots, scenario) -> None:
+    extras = []
+    if scenario is not None:
+        extras.append(f"faults={scenario.name}")
+    if sim.recovery is not None:
+        extras.append("recovery=on")
+    suffix = f" [{', '.join(extras)}]" if extras else ""
     print(f"churn on {args.nodes} Makalu nodes "
-          f"(sessions ~Exp({args.session}), offline ~Exp({args.offline})):")
+          f"(sessions ~Exp({args.session}), offline ~Exp({args.offline}))"
+          f"{suffix}:")
+    probing = args.probe_queries > 0
     for s in snapshots:
-        print(f"  t={s.time:6.0f}  online={s.n_online:5d}  "
-              f"components={s.n_components:3d}  giant={100 * s.giant_fraction:5.1f}%  "
-              f"mean degree={s.mean_degree:.1f}")
+        line = (f"  t={s.time:6.0f}  online={s.n_online:5d}  "
+                f"components={s.n_components:3d}  "
+                f"giant={100 * s.giant_fraction:5.1f}%  "
+                f"mean degree={s.mean_degree:.1f}")
+        if probing:
+            line += f"  search success={100 * s.search_success:5.1f}%"
+        print(line)
     if sim.health_samples:
         print(f"health samples (every {args.health_interval:g} time units):")
         for h in sim.health_samples:
@@ -234,6 +282,55 @@ def cmd_churn(args) -> int:
                   f"spectral gap={h.spectral_gap:.3f}  "
                   f"filter staleness={100 * h.filter_staleness:5.1f}%  "
                   f"isolated={100 * h.isolated_fraction:4.1f}%")
+    if sim.injector is not None:
+        print("fault injection summary:")
+        for k, v in sorted(sim.injector.summary().items()):
+            if v:
+                print(f"  {k}: {v}")
+        session = obs.active()
+        if session is not None:
+            counters = session.metrics.snapshot().get("counters", {})
+            recov = {k: v for k, v in sorted(counters.items())
+                     if k.startswith("recovery.")}
+            if recov:
+                print("recovery counters:")
+                for k, v in recov.items():
+                    print(f"  {k}: {v}")
+
+
+def cmd_churn(args) -> int:
+    """Run the churn simulation and print per-snapshot health."""
+    try:
+        scenario = _load_faults(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recovery = _make_recovery(args)
+    sim, snapshots = _run_churn_sim(args, scenario, recovery)
+    _print_churn_report(args, sim, snapshots, scenario)
+    return 0
+
+
+def cmd_faults_list(args) -> int:
+    """List the built-in fault scenarios."""
+    from repro.faults import BUILTIN_SCENARIOS
+
+    for name, scenario in sorted(BUILTIN_SCENARIOS.items()):
+        print(f"{name} ({scenario.n_events} events)")
+        print(f"  {scenario.description}")
+    return 0
+
+
+def cmd_faults_run(args) -> int:
+    """Run a fault scenario against a churned Makalu overlay."""
+    try:
+        scenario = _load_faults(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recovery = _make_recovery(args)
+    sim, snapshots = _run_churn_sim(args, scenario, recovery)
+    _print_churn_report(args, sim, snapshots, scenario)
     return 0
 
 
@@ -317,17 +414,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=100)
     p.set_defaults(func=cmd_traffic)
 
+    def churn_args(p, faults_flag=True):
+        p.add_argument("--duration", type=float, default=150.0)
+        p.add_argument("--session", type=float, default=100.0)
+        p.add_argument("--offline", type=float, default=25.0)
+        p.add_argument("--probe-queries", type=int, default=0,
+                       help="flooding probes per snapshot (0 disables; "
+                            "probes see any active message-loss window)")
+        p.add_argument("--probe-ttl", type=int, default=4)
+        p.add_argument("--health-interval", type=float, default=0.0,
+                       help="structural-health sampling period (0 disables; "
+                            "sampling never perturbs the churn trajectory)")
+        p.add_argument("--health-sources", type=int, default=8,
+                       help="BFS/expansion sources per health sample")
+        if faults_flag:
+            p.add_argument("--faults", metavar="SCENARIO", default=None,
+                           help="fault scenario: a builtin name (see "
+                                "'repro faults list') or a JSON file path")
+        p.add_argument("--recovery", action="store_true",
+                       help="enable retry-with-backoff neighbor recovery "
+                            "instead of one-shot repair")
+        p.add_argument("--recovery-retries", type=int, default=3)
+        p.add_argument("--recovery-delay", type=float, default=2.0,
+                       help="base retry delay (doubles per attempt by "
+                            "default)")
+        p.add_argument("--recovery-backoff", type=float, default=2.0)
+        p.add_argument("--no-fallback", action="store_true",
+                       help="disable the bounded host-cache fallback on "
+                            "the final recovery attempt")
+
     p = sub.add_parser("churn", help="run the churn simulation")
     common(p, topology=False)
-    p.add_argument("--duration", type=float, default=150.0)
-    p.add_argument("--session", type=float, default=100.0)
-    p.add_argument("--offline", type=float, default=25.0)
-    p.add_argument("--health-interval", type=float, default=0.0,
-                   help="structural-health sampling period (0 disables; "
-                        "sampling never perturbs the churn trajectory)")
-    p.add_argument("--health-sources", type=int, default=8,
-                   help="BFS/expansion sources per health sample")
+    churn_args(p)
     p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser("faults",
+                       help="fault-injection scenarios (list / run)")
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    fp = fsub.add_parser("list", help="list built-in fault scenarios")
+    fp.set_defaults(func=cmd_faults_list)
+
+    fp = fsub.add_parser(
+        "run", help="run a fault scenario over a churned Makalu overlay"
+    )
+    common(fp, topology=False)
+    fp.add_argument("faults", metavar="SCENARIO",
+                    help="builtin scenario name or JSON file path")
+    churn_args(fp, faults_flag=False)
+    fp.set_defaults(func=cmd_faults_run)
 
     from repro.obs.report import add_obs_subparsers
 

@@ -20,6 +20,7 @@ are not part of the initial join:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
 from repro.obs import runtime as _obs
 from repro.topology.graph import AdjacencyBuilder
+from repro.util.validation import check_positive
 
 
 def prune_to_capacity(
@@ -138,3 +140,119 @@ def repair_after_failure(
                 for x in needy:
                     builder._acquire(x, allow_swap=False)
     return survivors
+
+
+# ----------------------------------------------------------------------
+# Retry/timeout recovery (the fault-injection engine's repair discipline)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Retry discipline for neighbor re-acquisition after faults.
+
+    An under-capacity node does not re-acquire in a tight loop: each
+    attempt is a timed protocol exchange, and hammering the overlay right
+    after a correlated crash amplifies the damage.  Instead attempts are
+    spaced ``base_delay * backoff**(attempt - 1)`` apart (exponential
+    backoff), up to ``max_retries`` attempts.  If the walks still have not
+    restored capacity by the final attempt, the node falls back to bounded
+    direct connections from its host cache / known-online pool
+    (``fallback_peers`` tries) and then gives up until some later fault or
+    churn event touches it again.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 2.0
+    backoff: float = 2.0
+    host_cache_fallback: bool = True
+    fallback_peers: int = 2
+
+    def __post_init__(self):
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        check_positive("base_delay", self.base_delay)
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.fallback_peers < 0:
+            raise ValueError(
+                f"fallback_peers must be >= 0, got {self.fallback_peers}"
+            )
+
+    def retry_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return self.base_delay * self.backoff ** max(attempt - 1, 0)
+
+
+def _fallback_candidates(builder, node: int, online, rng) -> list[int]:
+    """Bounded fallback pool: the node's host cache first, else known peers.
+
+    Only online non-neighbors qualify; order is deterministic given ``rng``.
+    """
+    neighbors = set(builder.adj.neighbors(node))
+
+    def usable(p: int) -> bool:
+        if p == node or p in neighbors:
+            return False
+        return online is None or bool(online[p])
+
+    if builder.membership is not None:
+        pool = [p for p in builder.membership.caches[node].peers() if usable(p)]
+        if pool:
+            rng.shuffle(pool)
+            return pool
+    pool = [p for p in builder._joined if usable(p)]
+    rng.shuffle(pool)
+    return pool
+
+
+def recovery_attempt(
+    builder,
+    node: int,
+    policy: RecoveryPolicy,
+    attempt: int,
+    rng: np.random.Generator,
+    online: Optional[np.ndarray] = None,
+) -> str:
+    """One scheduled recovery attempt for an under-capacity ``node``.
+
+    Returns ``"recovered"`` (back at capacity), ``"retry"`` (still short,
+    another attempt should be scheduled after ``policy.retry_delay``), or
+    ``"gave_up"`` (retries exhausted; the host-cache fallback, if enabled,
+    has already been spent).  Callers own the timer; this function only
+    does the protocol work of a single attempt, so it composes with any
+    event queue.
+    """
+    adj = builder.adj
+    _obs.count("recovery.attempts")
+    if adj.degree(node) < builder.capacities[node]:
+        with _obs.span("recovery.acquire"):
+            builder._acquire(node, allow_swap=False)
+    if adj.degree(node) >= builder.capacities[node]:
+        _obs.count("recovery.recovered")
+        _obs.event("recovery.recovered", node=node, attempt=attempt)
+        return "recovered"
+    if attempt < policy.max_retries:
+        _obs.count("recovery.retries")
+        return "retry"
+    # Final attempt: spend the bounded host-cache fallback before giving up.
+    if policy.host_cache_fallback and policy.fallback_peers > 0:
+        for peer in _fallback_candidates(builder, node, online, rng)[
+            : policy.fallback_peers
+        ]:
+            _obs.count("recovery.fallback_attempts")
+            if builder._attempt_connection(node, int(peer)):
+                _obs.count("recovery.fallback_connections")
+            if adj.degree(node) >= builder.capacities[node]:
+                _obs.count("recovery.recovered")
+                _obs.event(
+                    "recovery.recovered", node=node, attempt=attempt,
+                    via="fallback",
+                )
+                return "recovered"
+    _obs.count("recovery.gave_up")
+    _obs.event(
+        "recovery.gave_up", node=node, attempt=attempt,
+        degree=adj.degree(node),
+    )
+    return "gave_up"

@@ -168,6 +168,15 @@ class MakaluBuilder:
         #: Live-node mask consulted by cache bootstraps; the churn
         #: simulation keeps it updated.  ``None`` means everyone is up.
         self.alive_mask: Optional[np.ndarray] = None
+        #: Optional reachability predicate ``(u, v) -> bool``.  While set,
+        #: connection attempts failing it are refused before any protocol
+        #: work — the fault injector installs one for the duration of a
+        #: network partition so no cross-cut edge can form.
+        self.link_filter = None
+        #: Multiplier on physical link latencies, normally 1.0; latency
+        #: spike windows raise it so connections formed during a spike are
+        #: rated (and kept/pruned) at their degraded cost.
+        self.latency_scale: float = 1.0
         #: Optional :class:`~repro.obs.health.HealthSampler` hooked into
         #: the maintenance loop: when set, each refinement round ends with
         #: a structural health sample (t = completed round index), so
@@ -180,8 +189,8 @@ class MakaluBuilder:
 
     def _latency(self, u: int, v: int) -> float:
         if self.model is None:
-            return 1.0
-        return self.model.latency(u, v)
+            return self.latency_scale
+        return self.latency_scale * self.model.latency(u, v)
 
     def _neighborhood_of(self, v: int):
         """The neighbor list ``v`` shares with its peers."""
@@ -219,6 +228,9 @@ class MakaluBuilder:
         Returns True if the edge survives both sides' capacity pruning.
         """
         if u == c or self.adj.has_edge(u, c):
+            return False
+        if self.link_filter is not None and not self.link_filter(u, c):
+            _obs.count("makalu.connections_unreachable")
             return False
         _obs.count("makalu.connections_attempted")
         self.adj.add_edge(u, c, self._latency(u, c))

@@ -1,0 +1,93 @@
+"""Counter-based (stateless) randomness for fault injection.
+
+Sequential RNG streams cannot give bit-identical fault decisions across
+execution strategies: the scalar flood loop, the bit-parallel batch kernel
+and the process-parallel runner all visit messages in different orders, so
+any ``Generator`` threaded through them would hand different draws to the
+same message.  Fault decisions here are instead *pure functions* of the
+message's identity — ``(scenario seed, query key, hop, sender, receiver)``
+— hashed through the splitmix64 finalizer.  Every execution strategy
+evaluates the same function on the same coordinates and therefore drops
+exactly the same messages (the EXPERIMENTS.md seed-derivation convention:
+keyed per-query, never per-worker).
+
+The mixer is the standard splitmix64 finalizer (Steele et al.), which
+passes BigCrush as a counter-based generator; fault injection needs "no
+visible correlation between nearby message coordinates", which it clears
+by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U30 = np.uint64(30)
+_U27 = np.uint64(27)
+_U31 = np.uint64(31)
+
+#: Largest representable threshold; a loss rate of 1.0 maps here, making
+#: survival probability 2**-64 per message — indistinguishable from "all
+#: messages lost" at any simulation scale.
+_MAX_U64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _finalize(z: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over uint64 scalars/arrays (wrapping arithmetic)."""
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> _U30)) * _MIX1
+        z = (z ^ (z >> _U27)) * _MIX2
+        return z ^ (z >> _U31)
+
+
+def _mix(acc, word) -> np.ndarray:
+    """Fold ``word`` into accumulator ``acc`` (both uint64, broadcastable)."""
+    with np.errstate(over="ignore"):
+        return _finalize(acc ^ (word + _GOLDEN))
+
+
+def _as_u64(value) -> np.ndarray:
+    """Cast ints / int64 arrays to uint64 (two's-complement for negatives)."""
+    return np.asarray(value).astype(np.uint64)
+
+
+def message_hash(seed: int, query_keys, hop: int, senders, receivers) -> np.ndarray:
+    """uint64 hash of each (query, sender -> receiver @ hop) message.
+
+    ``senders``/``receivers`` are broadcast against ``query_keys``: with a
+    scalar key the result matches the message arrays' shape; with a
+    ``(nq,)`` key vector and ``(m,)`` message arrays it is the full
+    ``(m, nq)`` matrix, element ``[j, q]`` equal to the scalar evaluation
+    at ``(query_keys[q], senders[j], receivers[j])`` — that equality is
+    what makes the batch kernel bit-identical to the scalar loop.
+    """
+    base = _mix(_finalize(_as_u64(seed) + _GOLDEN), _as_u64(hop))
+    pair = _mix(_mix(base, _as_u64(senders)), _as_u64(receivers))
+    qk = _as_u64(query_keys)
+    if qk.ndim == 0:
+        return _mix(pair, qk)
+    return _mix(pair[..., None], qk[None, :])
+
+
+def rate_threshold(rate: float) -> np.uint64:
+    """The uint64 threshold below which a message hash means "dropped"."""
+    if rate <= 0.0:
+        return np.uint64(0)
+    if rate >= 1.0:
+        return _MAX_U64
+    return np.uint64(int(rate * float(2**64)))
+
+
+def drop_mask(
+    rate: float, seed: int, query_keys, hop: int, senders, receivers
+) -> np.ndarray:
+    """Boolean drop decision per message (see :func:`message_hash`)."""
+    return message_hash(seed, query_keys, hop, senders, receivers) < rate_threshold(rate)
+
+
+def uniform01(seed: int, query_key: int, hop: int, sender: int, receiver: int) -> float:
+    """Scalar uniform in [0, 1) at one message coordinate (tests, docs)."""
+    h = message_hash(seed, query_key, hop, np.int64(sender), np.int64(receiver))
+    return float(h) / float(2**64)

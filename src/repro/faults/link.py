@@ -1,0 +1,68 @@
+"""Per-link fault description consumed by the search kernels.
+
+A :class:`LinkFaults` bundles the message-level failure environment a
+query executes under: an i.i.d. per-message loss rate and a latency
+inflation factor (the latter interpreted by latency-aware consumers such
+as :class:`~repro.core.makalu.MakaluBuilder` during spike windows; the
+hop-synchronous kernels only consume the loss).
+
+Loss decisions are counter-based (:mod:`repro.faults.hashing`): a message
+``sender -> receiver`` at hop ``h`` of the query with key ``k`` is dropped
+iff ``hash(seed, k, h, sender, receiver) < rate * 2**64``.  Because the
+decision is a pure function of those coordinates, the scalar flood, the
+bit-parallel batch kernel and every worker-count of the process-parallel
+runner drop exactly the same messages — the golden-parity tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.hashing import drop_mask
+from repro.util.validation import check_probability
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Message-level fault environment for one query workload.
+
+    Attributes
+    ----------
+    loss_rate:
+        Per-message i.i.d. drop probability in [0, 1].
+    seed:
+        Loss-stream key; scenarios derive one per loss window so separate
+        windows make independent decisions.
+    latency_factor:
+        Multiplier on physical link latencies while active (latency
+        spikes).  Ignored by the loss-only kernels.
+    """
+
+    loss_rate: float = 0.0
+    seed: int = 0
+    latency_factor: float = 1.0
+
+    def __post_init__(self):
+        check_probability("loss_rate", self.loss_rate)
+        if self.latency_factor <= 0:
+            raise ValueError(
+                f"latency_factor must be > 0, got {self.latency_factor}"
+            )
+
+    @property
+    def lossy(self) -> bool:
+        """Whether any message can be dropped under this environment."""
+        return self.loss_rate > 0.0
+
+    def drop(self, query_keys, hop: int, senders, receivers) -> np.ndarray:
+        """Boolean drop mask for a block of messages.
+
+        With a scalar ``query_keys`` the mask matches ``senders``' shape;
+        with a ``(nq,)`` vector it is ``(len(senders), nq)`` — one column
+        per query of a batch kernel invocation.
+        """
+        return drop_mask(
+            self.loss_rate, self.seed, query_keys, hop, senders, receivers
+        )

@@ -21,8 +21,23 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+
+class UnsupportedSchemaError(ValueError):
+    """An artifact announces a schema version newer than this build reads.
+
+    CLI entry points catch this and turn it into a one-line stderr message
+    with exit status 2 — a forward-compatibility file should fail loudly
+    but never with a traceback.
+    """
+
+
+#: Newest ``schema_version`` this build knows how to read, for both metric
+#: snapshots and bench run histories (currently in lockstep at 2).
+SUPPORTED_SNAPSHOT_SCHEMA = 2
 
 #: Metric-name fragments where *larger* values are better; a relative
 #: decrease beyond the threshold is the regression.  Everything else is
@@ -53,11 +68,23 @@ def improves_when_higher(name: str) -> bool:
 
 
 def load_document(path: str) -> dict:
-    """Load a JSON artifact (snapshot or bench history) from ``path``."""
+    """Load a JSON artifact (snapshot or bench history) from ``path``.
+
+    Raises :class:`UnsupportedSchemaError` when the artifact declares a
+    ``schema_version`` newer than :data:`SUPPORTED_SNAPSHOT_SCHEMA` —
+    diffing a half-understood document would silently drop the sections
+    this build does not know about.
+    """
     with open(path) as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict):
         raise ValueError(f"{path}: expected a JSON object at top level")
+    version = doc.get("schema_version")
+    if isinstance(version, int) and version > SUPPORTED_SNAPSHOT_SCHEMA:
+        raise UnsupportedSchemaError(
+            f"{path}: schema_version {version} is newer than the supported "
+            f"version {SUPPORTED_SNAPSHOT_SCHEMA}; upgrade repro to read it"
+        )
     return doc
 
 
@@ -372,15 +399,23 @@ def export_chrome_trace(in_path: str, out_path: str) -> Tuple[int, str]:
 
 def cmd_report(args) -> int:
     """``repro obs report SNAPSHOT``"""
-    doc = load_document(args.snapshot)
+    try:
+        doc = load_document(args.snapshot)
+    except UnsupportedSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_report(doc, title=args.snapshot))
     return 0
 
 
 def cmd_diff(args) -> int:
     """``repro obs diff A B [--fail-on-regression --threshold X]``"""
-    before = load_document(args.before)
-    after = load_document(args.after)
+    try:
+        before = load_document(args.before)
+        after = load_document(args.after)
+    except UnsupportedSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     deltas = diff_metrics(before, after)
     regressions = [d for d in deltas if d.exceeds(args.threshold)]
     print(f"diff {args.before} -> {args.after} "

@@ -98,22 +98,24 @@ def _reset_worker_obs(obs_on: bool) -> None:
 
 def _init_flood_worker(
     handle: SharedGraphHandle, placement: Placement, ttl: int,
-    batch_size: int, obs_on: bool,
+    batch_size: int, obs_on: bool, faults=None,
 ) -> None:
     _reset_worker_obs(obs_on)
     _WORKER["graph"] = handle.attach()
     _WORKER["placement"] = placement
     _WORKER["ttl"] = ttl
     _WORKER["batch_size"] = batch_size
+    _WORKER["faults"] = faults
 
 
 def _run_flood_shard(spec):
     """Flood one shard batch-by-batch; returns results + summary + metrics."""
     from repro.search.batch import flood_batch, placement_masks
 
-    index, sources, objects, _seed_seq = spec
+    index, sources, objects, _seed_seq, keys = spec
     graph, placement = _WORKER["graph"], _WORKER["placement"]
     ttl, batch_size = _WORKER["ttl"], _WORKER["batch_size"]
+    faults = _WORKER.get("faults")
     results: list[FloodResult] = []
     for start in range(0, sources.size, batch_size):
         chunk = slice(start, start + batch_size)
@@ -121,6 +123,12 @@ def _run_flood_shard(spec):
             flood_batch(
                 graph, sources[chunk], ttl,
                 replica_masks=placement_masks(placement, objects[chunk]),
+                # Loss keys are the *global* workload indices carried in
+                # the shard spec — never shard-local positions — so drop
+                # decisions are invariant under n_workers (the
+                # keyed-per-query convention).
+                faults=faults,
+                query_keys=keys[chunk],
             )
         )
     summary = summarize([r.record() for r in results])
@@ -179,6 +187,7 @@ def run_queries(
     objects: Optional[np.ndarray] = None,
     n_workers: int = 0,
     batch_size: Optional[int] = None,
+    faults=None,
 ) -> ParallelRunResult:
     """Run a flooding query workload sharded across worker processes.
 
@@ -195,6 +204,10 @@ def run_queries(
     batch_size:
         Kernel batch width within each shard (default
         :data:`DEFAULT_BATCH_SIZE`).
+    faults:
+        Optional :class:`~repro.faults.link.LinkFaults` message-loss
+        environment, keyed by global workload index so results stay
+        bit-identical across worker counts.
 
     The graph's CSR arrays travel through shared memory; only the handle,
     the placement, and each shard's slice of the workload are pickled.
@@ -220,7 +233,8 @@ def run_queries(
     bounds = _shard_bounds(n_queries, n_workers)
     shard_seqs = _root_seed_seq(seed).spawn(len(bounds))
     specs = [
-        (i, sources[a:b], objects[a:b], shard_seqs[i])
+        (i, sources[a:b], objects[a:b], shard_seqs[i],
+         np.arange(a, b, dtype=np.int64))
         for i, (a, b) in enumerate(bounds)
     ]
     session = _obs.active()
@@ -228,7 +242,8 @@ def run_queries(
     if n_workers == 1 or len(specs) == 1:
         _init_flood_worker_inline = dict(_WORKER)
         _WORKER.update(
-            graph=graph, placement=placement, ttl=ttl, batch_size=batch_size
+            graph=graph, placement=placement, ttl=ttl, batch_size=batch_size,
+            faults=faults,
         )
         try:
             shard_outs = [_run_flood_shard(s)[:3] + (None,) for s in specs]
@@ -242,7 +257,7 @@ def run_queries(
                 processes=min(n_workers, len(specs)),
                 initializer=_init_flood_worker,
                 initargs=(shared.handle, placement, ttl, batch_size,
-                          session is not None),
+                          session is not None, faults),
             ) as pool:
                 shard_outs = pool.map(_run_flood_shard, specs)
 

@@ -23,9 +23,12 @@ the outcome — which is what makes exact batching possible.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.link import LinkFaults
 
 from repro.obs import runtime as _obs
 from repro.search.flooding import FloodResult
@@ -60,11 +63,26 @@ def _pack_queries(flags: np.ndarray) -> np.ndarray:
     return np.packbits(padded, bitorder="little").view("<u8").astype(np.uint64)
 
 
+def _pack_rows(flags: np.ndarray) -> np.ndarray:
+    """Pack ``(rows, n_queries)`` booleans into ``(rows, n_words)`` uint64."""
+    rows, nq = flags.shape
+    n_words = (nq + 63) >> 6
+    padded = np.zeros((rows, n_words * 64), dtype=np.uint8)
+    padded[:, :nq] = flags
+    return (
+        np.packbits(padded, axis=1, bitorder="little")
+        .view("<u8")
+        .astype(np.uint64)
+    )
+
+
 def flood_batch(
     graph: OverlayGraph,
     sources: Sequence[int],
     ttl: int,
     replica_masks: Optional[np.ndarray] = None,
+    faults: Optional["LinkFaults"] = None,
+    query_keys: Optional[np.ndarray] = None,
 ) -> list[FloodResult]:
     """Run one duplicate-suppressed flood per entry of ``sources`` at once.
 
@@ -78,6 +96,15 @@ def flood_batch(
         Optional ``(n_queries, n_nodes)`` boolean holder masks, one row per
         query; row ``i`` plays the role of scalar ``flood``'s
         ``replica_mask`` for query ``i``.
+    faults:
+        Optional :class:`~repro.faults.link.LinkFaults` loss environment,
+        applied per transit message exactly as in scalar ``flood``.
+    query_keys:
+        ``(n_queries,)`` loss-stream keys, the per-query ``query_key`` of
+        scalar ``flood``.  Callers slicing a larger workload into batches
+        must pass the *global* workload indices (never ``0..batch-1``), or
+        worker counts would change which messages drop.  Defaults to
+        ``arange(n_queries)``.
 
     Returns
     -------
@@ -99,10 +126,18 @@ def flood_batch(
         replica_masks = np.asarray(replica_masks, dtype=bool)
         if replica_masks.shape != (nq, n):
             raise ValueError("replica_masks must be (n_queries, n_nodes)")
+    lossy = faults is not None and faults.lossy
+    if query_keys is None:
+        query_keys = np.arange(nq, dtype=np.int64)
+    else:
+        query_keys = np.asarray(query_keys, dtype=np.int64)
+        if query_keys.shape != (nq,):
+            raise ValueError("query_keys must have one entry per query")
 
     messages = np.zeros((nq, ttl), dtype=np.int64)
     new_nodes = np.zeros((nq, ttl), dtype=np.int64)
     duplicates = np.zeros((nq, ttl), dtype=np.int64)
+    dropped = np.zeros((nq, ttl), dtype=np.int64) if lossy else None
     first_hit = np.full(nq, -1, dtype=np.int64)
     replicas_found = np.zeros(nq, dtype=np.int64)
 
@@ -144,7 +179,23 @@ def flood_batch(
 
                 new = np.zeros_like(visited)
                 nbrs, owner_pos = gather_neighbors(graph, rows)
-                np.bitwise_or.at(new, nbrs, frontier[rows[owner_pos]])
+                if lossy:
+                    # (pairs, nq) drop decisions — element [j, q] is
+                    # exactly scalar flood's decision for query q on the
+                    # message senders[j] -> nbrs[j], so ANDing the packed
+                    # keep mask into the delivery OR loses the same
+                    # messages the scalar loop loses.
+                    senders = rows[owner_pos]
+                    dropmat = faults.drop(query_keys, h, senders, nbrs)
+                    fpairs = _unpack_queries(frontier[rows], nq).astype(
+                        bool
+                    )[owner_pos]
+                    dropped_h = (dropmat & fpairs).sum(axis=0, dtype=np.int64)
+                    dropped[live, h - 1] = dropped_h[live]
+                    deliver = frontier[senders] & _pack_rows(~dropmat)
+                    np.bitwise_or.at(new, nbrs, deliver)
+                else:
+                    np.bitwise_or.at(new, nbrs, frontier[rows[owner_pos]])
                 # Fresh arrivals only; the OR above already deduped
                 # same-hop duplicates per query.
                 np.bitwise_and(new, ~visited, out=new)
@@ -179,6 +230,7 @@ def flood_batch(
             duplicates_per_hop=duplicates[q],
             first_hit_hop=int(first_hit[q]),
             replicas_found=int(replicas_found[q]),
+            dropped_per_hop=dropped[q] if lossy else None,
         )
         for q in range(nq)
     ]
@@ -207,15 +259,28 @@ def _record_obs(results: list[FloodResult]) -> None:
         queries.inc()
         sent_c.inc(total)
         dup_c.inc(int(r.duplicates_per_hop.sum()))
+        if r.dropped_per_hop is not None:
+            reg.counter("search.flood.messages_lost").inc(
+                int(r.dropped_per_hop.sum())
+            )
         hist.observe(float(total))
         if tracer is not None:
             for h in np.flatnonzero(r.messages_per_hop > 0):
-                tracer.emit(
-                    "flood.hop", source=r.source, hop=int(h) + 1,
-                    sent=int(r.messages_per_hop[h]),
-                    new=int(r.new_nodes_per_hop[h]),
-                    dup=int(r.duplicates_per_hop[h]),
-                )
+                if r.dropped_per_hop is not None:
+                    tracer.emit(
+                        "flood.hop", source=r.source, hop=int(h) + 1,
+                        sent=int(r.messages_per_hop[h]),
+                        new=int(r.new_nodes_per_hop[h]),
+                        dup=int(r.duplicates_per_hop[h]),
+                        lost=int(r.dropped_per_hop[h]),
+                    )
+                else:
+                    tracer.emit(
+                        "flood.hop", source=r.source, hop=int(h) + 1,
+                        sent=int(r.messages_per_hop[h]),
+                        new=int(r.new_nodes_per_hop[h]),
+                        dup=int(r.duplicates_per_hop[h]),
+                    )
             tracer.emit(
                 "flood.query", source=r.source, ttl=r.ttl, messages=total,
                 first_hit_hop=r.first_hit_hop,

@@ -17,9 +17,12 @@ without re-running (see :func:`repro.search.metrics.success_vs_ttl`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.link import LinkFaults
 
 from repro.obs import runtime as _obs
 from repro.search.metrics import QueryRecord
@@ -46,11 +49,21 @@ class FloodResult:
     duplicates_per_hop: np.ndarray
     first_hit_hop: int
     replicas_found: int
+    #: Per-hop counts of messages lost in transit; ``None`` when the flood
+    #: ran without an injected fault environment.
+    dropped_per_hop: Optional[np.ndarray] = None
 
     @property
     def total_messages(self) -> int:
         """Messages generated over the whole flood."""
         return int(self.messages_per_hop.sum())
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages lost to injected faults (0 without fault injection)."""
+        if self.dropped_per_hop is None:
+            return 0
+        return int(self.dropped_per_hop.sum())
 
     @property
     def nodes_visited(self) -> int:
@@ -129,6 +142,8 @@ def flood(
     source: int,
     ttl: int,
     replica_mask: Optional[np.ndarray] = None,
+    faults: Optional["LinkFaults"] = None,
+    query_key: int = 0,
 ) -> FloodResult:
     """Run one duplicate-suppressed flood from ``source``.
 
@@ -140,12 +155,25 @@ def flood(
         Optional boolean per-node holder mask; when given, the result
         reports the first hop at which a holder was reached and how many
         holders the flood visited in total.
+    faults:
+        Optional :class:`~repro.faults.link.LinkFaults` environment.  Each
+        forwarded message is then dropped in transit with the configured
+        loss rate; drop decisions are counter-based over
+        ``(faults.seed, query_key, hop, sender, receiver)``, so the batch
+        kernel and the parallel runner lose exactly the same messages.
+        Lost messages still count as sent (the bandwidth is paid), but
+        their receivers never see the query this hop.
+    query_key:
+        Identity of this query in the loss stream.  Callers issuing many
+        queries must pass distinct keys (workload index) or every query
+        sharing a seed would lose the same edges.
     """
     check_node_id("source", source, graph.n_nodes)
     if ttl < 0:
         raise ValueError(f"ttl must be >= 0, got {ttl}")
     if replica_mask is not None and replica_mask.shape != (graph.n_nodes,):
         raise ValueError("replica_mask must have one entry per node")
+    lossy = faults is not None and faults.lossy
 
     indptr = graph.indptr
     visited = np.zeros(graph.n_nodes, dtype=bool)
@@ -154,6 +182,7 @@ def flood(
     messages = np.zeros(ttl, dtype=np.int64)
     new_nodes = np.zeros(ttl, dtype=np.int64)
     duplicates = np.zeros(ttl, dtype=np.int64)
+    dropped = np.zeros(ttl, dtype=np.int64) if lossy else None
 
     first_hit = -1
     replicas_found = 0
@@ -175,8 +204,17 @@ def flood(
             sent = int(degs.sum()) - (frontier.size if h > 1 else 0)
             if sent <= 0:
                 break
-            nbrs, _ = gather_neighbors(graph, frontier)
-            fresh = nbrs[~visited[nbrs]]
+            nbrs, owner_pos = gather_neighbors(graph, frontier)
+            if lossy:
+                # Loss is decided per transit message; receivers of dropped
+                # messages never see the query this hop.  Sent counts are
+                # unchanged — the bandwidth was spent either way.
+                drop = faults.drop(query_key, h, frontier[owner_pos], nbrs)
+                dropped[h - 1] = int(np.count_nonzero(drop))
+                delivered = nbrs[~drop]
+            else:
+                delivered = nbrs
+            fresh = delivered[~visited[delivered]]
             frontier = np.unique(fresh)
             visited[frontier] = True
 
@@ -184,10 +222,17 @@ def flood(
             new_nodes[h - 1] = frontier.size
             duplicates[h - 1] = sent - frontier.size
             if tracer is not None:
-                tracer.emit(
-                    "flood.hop", source=source, hop=h, sent=sent,
-                    new=frontier.size, dup=sent - frontier.size,
-                )
+                if lossy:
+                    tracer.emit(
+                        "flood.hop", source=source, hop=h, sent=sent,
+                        new=frontier.size, dup=sent - frontier.size,
+                        lost=int(dropped[h - 1]),
+                    )
+                else:
+                    tracer.emit(
+                        "flood.hop", source=source, hop=h, sent=sent,
+                        new=frontier.size, dup=sent - frontier.size,
+                    )
 
             if replica_mask is not None and frontier.size:
                 hits = int(np.count_nonzero(replica_mask[frontier]))
@@ -202,6 +247,8 @@ def flood(
         reg.counter("search.flood.queries").inc()
         reg.counter("search.flood.messages_sent").inc(int(messages.sum()))
         reg.counter("search.flood.duplicates").inc(int(duplicates.sum()))
+        if lossy:
+            reg.counter("search.flood.messages_lost").inc(int(dropped.sum()))
         reg.histogram("search.flood.messages_per_query").observe(
             float(messages.sum())
         )
@@ -220,6 +267,7 @@ def flood(
         duplicates_per_hop=duplicates,
         first_hit_hop=first_hit,
         replicas_found=replicas_found,
+        dropped_per_hop=dropped,
     )
 
 
@@ -265,6 +313,7 @@ def flood_queries(
     sources: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     n_workers: int = 1,
+    faults: Optional["LinkFaults"] = None,
 ) -> list[FloodResult]:
     """Issue ``n_queries`` flooding queries for random objects of a placement.
 
@@ -285,6 +334,9 @@ def flood_queries(
     Every path draws the workload identically (see
     :func:`draw_query_workload`), so the same seed produces the same
     per-query results regardless of ``batch_size`` and ``n_workers``.
+    With ``faults``, loss keys are the workload indices — query ``i``
+    drops the same messages on every execution path (the golden-parity
+    contract; never key loss by worker or batch position).
     """
     sources, objects = draw_query_workload(
         graph, placement, n_queries, seed=seed, sources=sources
@@ -296,6 +348,7 @@ def flood_queries(
             graph, placement, n_queries, ttl,
             sources=sources, objects=objects,
             n_workers=n_workers, batch_size=batch_size,
+            faults=faults,
         ).results
     if batch_size is not None:
         if batch_size < 1:
@@ -309,12 +362,19 @@ def flood_queries(
                 flood_batch(
                     graph, sources[chunk], ttl,
                     replica_masks=placement_masks(placement, objects[chunk]),
+                    faults=faults,
+                    query_keys=np.arange(
+                        start, min(start + batch_size, n_queries)
+                    ),
                 )
             )
         return results
 
     results = []
-    for src, obj in zip(sources, objects):
+    for i, (src, obj) in enumerate(zip(sources, objects)):
         mask = placement.holder_mask(int(obj))
-        results.append(flood(graph, int(src), ttl, replica_mask=mask))
+        results.append(
+            flood(graph, int(src), ttl, replica_mask=mask, faults=faults,
+                  query_key=i)
+        )
     return results

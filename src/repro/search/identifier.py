@@ -94,6 +94,8 @@ class AbfRouter:
         ttl: int = 25,
         backtrack: bool = True,
         seed: SeedLike = None,
+        faults=None,
+        query_key: int = 0,
     ) -> IdentifierSearchResult:
         """Route one query for ``key`` starting at ``source``.
 
@@ -109,6 +111,17 @@ class AbfRouter:
         backtrack:
             Pop back along the path (costing a message) at dead ends; with
             False the query dies instead.
+        faults:
+            Optional :class:`~repro.faults.link.LinkFaults`.  A dropped
+            transmission (forward or backtrack) burns the message and its
+            TTL unit but the query never arrives — the holder keeps the
+            query and retries on the next iteration with a fresh drop
+            decision.  Decisions are counter-based over ``(faults.seed,
+            query_key, message index, sender, receiver)``, so sharded
+            execution loses the same messages as the serial loop.
+        query_key:
+            Identity of this query in the loss stream (global workload
+            index when issued in batches).
         """
         graph = self.graph
         check_node_id("source", source, graph.n_nodes)
@@ -117,6 +130,7 @@ class AbfRouter:
         if holder_mask.shape != (graph.n_nodes,):
             raise ValueError("holder_mask must have one entry per node")
         rng = as_generator(seed)
+        lossy = faults is not None and faults.lossy
 
         visited = np.zeros(graph.n_nodes, dtype=bool)
         visited[source] = True
@@ -129,21 +143,32 @@ class AbfRouter:
         tracer = session.tracer if session is not None else None
 
         if holder_mask[current]:
-            self._record_query(session, tracer, source, 0, current)
+            self._record_query(session, tracer, source, 0, current,
+                               lost=0 if lossy else None)
             return IdentifierSearchResult(
                 source=source, target_key=key, messages=0,
                 resolved_at=current, path=np.asarray(path, dtype=np.int64),
             )
 
+        lost = 0
         while messages < ttl:
             nbrs = graph.neighbors(current)
             fresh = nbrs[~visited[nbrs]]
             if fresh.size == 0:
                 if not backtrack or len(stack) <= 1:
                     break
-                stack.pop()
-                current = stack[-1]
+                target = stack[-2]
                 messages += 1
+                if lossy and bool(
+                    faults.drop(query_key, messages, current, target)
+                ):
+                    lost += 1
+                    if tracer is not None:
+                        tracer.emit("abf.route", node=current, chosen=target,
+                                    decision="lost")
+                    continue
+                stack.pop()
+                current = target
                 path.append(current)
                 if tracer is not None:
                     tracer.emit("abf.route", node=path[-2], chosen=current,
@@ -167,6 +192,17 @@ class AbfRouter:
                 nxt = int(fresh[rng.integers(0, fresh.size)])
                 decision = "random"
 
+            messages += 1
+            if lossy and bool(faults.drop(query_key, messages, current, nxt)):
+                # The forwarded query vanished in transit: TTL is spent,
+                # the neighbor never saw it, and the holder retries next
+                # iteration (possibly re-picking the same best neighbor
+                # under a fresh drop decision).
+                lost += 1
+                if tracer is not None:
+                    tracer.emit("abf.route", node=current, chosen=nxt,
+                                decision="lost")
+                continue
             if tracer is not None:
                 tracer.emit(
                     "abf.route", node=current, chosen=nxt, decision=decision,
@@ -179,29 +215,34 @@ class AbfRouter:
             visited[nxt] = True
             stack.append(nxt)
             path.append(nxt)
-            messages += 1
             current = nxt
             if holder_mask[current]:
-                self._record_query(session, tracer, source, messages, current)
+                self._record_query(session, tracer, source, messages, current,
+                                   lost=lost if lossy else None)
                 return IdentifierSearchResult(
                     source=source, target_key=key, messages=messages,
                     resolved_at=current, path=np.asarray(path, dtype=np.int64),
                 )
 
-        self._record_query(session, tracer, source, messages, -1)
+        self._record_query(session, tracer, source, messages, -1,
+                           lost=lost if lossy else None)
         return IdentifierSearchResult(
             source=source, target_key=key, messages=messages,
             resolved_at=-1, path=np.asarray(path, dtype=np.int64),
         )
 
     @staticmethod
-    def _record_query(session, tracer, source, messages, resolved_at) -> None:
+    def _record_query(
+        session, tracer, source, messages, resolved_at, lost=None
+    ) -> None:
         """Final per-query metrics/trace (no-op when observability is off)."""
         if session is None:
             return
         reg = session.metrics
         reg.counter("search.abf.queries").inc()
         reg.counter("search.abf.messages_sent").inc(messages)
+        if lost is not None:
+            reg.counter("search.abf.messages_lost").inc(lost)
         reg.histogram("search.abf.messages_per_query").observe(float(messages))
         if tracer is not None:
             tracer.emit(
@@ -219,13 +260,14 @@ class AbfRouter:
 
 def _run_identifier_shard(payload) -> list[IdentifierSearchResult]:
     """One worker's slice of an identifier workload (module-level: picklable)."""
-    router, placement, sources, objects, ttl, rngs = payload
+    router, placement, sources, objects, ttl, rngs, faults, keys = payload
     results = []
-    for src, obj, rng in zip(sources, objects, rngs):
+    for src, obj, rng, qkey in zip(sources, objects, rngs, keys):
         mask = placement.holder_mask(int(obj))
         results.append(
             router.query(
-                int(src), placement.key_of(int(obj)), mask, ttl=ttl, seed=rng
+                int(src), placement.key_of(int(obj)), mask, ttl=ttl, seed=rng,
+                faults=faults, query_key=int(qkey),
             )
         )
     return results
@@ -239,6 +281,7 @@ def identifier_queries(
     seed: SeedLike = None,
     sources: Optional[Sequence[int]] = None,
     n_workers: int = 1,
+    faults=None,
 ) -> list[IdentifierSearchResult]:
     """Issue a batch of identifier queries for random placement objects.
 
@@ -246,7 +289,8 @@ def identifier_queries(
     (``SeedSequence.spawn``), so results are independent of how the batch
     is executed: ``n_workers > 1`` shards the workload across processes
     via :func:`repro.parallel.map_shards` and returns bit-identical
-    results in the same order as the serial loop.
+    results in the same order as the serial loop.  With ``faults``, loss
+    keys are the global workload indices, preserving that invariance.
     """
     graph = router.graph
     if placement.n_nodes != graph.n_nodes:
@@ -260,16 +304,19 @@ def identifier_queries(
             raise ValueError("sources must have one entry per query")
     objects = rng.integers(0, placement.n_objects, size=n_queries)
     query_rngs = spawn_generators(rng, n_queries)
+    query_keys = np.arange(n_queries, dtype=np.int64)
     if n_workers == 1:
         return _run_identifier_shard(
-            (router, placement, sources, objects, ttl, query_rngs)
+            (router, placement, sources, objects, ttl, query_rngs, faults,
+             query_keys)
         )
 
     from repro.parallel import map_shards
     from repro.parallel.runner import _shard_bounds
 
     payloads = [
-        (router, placement, sources[a:b], objects[a:b], ttl, query_rngs[a:b])
+        (router, placement, sources[a:b], objects[a:b], ttl,
+         query_rngs[a:b], faults, query_keys[a:b])
         for a, b in _shard_bounds(n_queries, n_workers)
     ]
     return [

@@ -47,6 +47,7 @@ class TwoTierFloodResult:
     first_hit_hop: int
     replicas_found: int
     hops_used: int
+    messages_lost: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -118,6 +119,8 @@ class TwoTierSearch:
         qrp=None,
         key: Optional[int] = None,
         seed: SeedLike = None,
+        faults=None,
+        query_key: int = 0,
     ) -> TwoTierFloodResult:
         """Route one query from ``source`` (leaf or ultrapeer).
 
@@ -139,6 +142,20 @@ class TwoTierSearch:
             false positives) and ``key`` identifies the queried object.
         key:
             The queried object's key; required with ``qrp``.
+        faults:
+            Optional :class:`~repro.faults.link.LinkFaults`.  Loss applies
+            to overlay *transit* messages — leaf -> ultrapeer submissions
+            (hop coordinate 0) and ultrapeer mesh forwards (hop ``h``) —
+            with counter-based decisions keyed on global node ids, so
+            execution strategy never changes which messages drop.
+            Ultrapeer -> leaf QRP deliveries are exempt: they model the
+            shielded last-hop handoff, and dropping them would silently
+            change hit accounting rather than routing.  Lost messages are
+            still paid for in the message counts (bandwidth spent), and
+            are also reported in ``messages_lost``.
+        query_key:
+            Identity of this query in the loss stream (global workload
+            index when issued in batches).
         """
         graph = self.topo.graph
         check_node_id("source", source, graph.n_nodes)
@@ -152,9 +169,11 @@ class TwoTierSearch:
         if qrp is not None and key is None:
             raise ValueError("key is required when routing with real QRP tables")
         rng = as_generator(seed)
+        lossy = faults is not None and faults.lossy
 
         mesh_msgs = 0
         leaf_msgs = 0
+        lost = 0
         found = 0
         first_hit = -1
 
@@ -170,11 +189,20 @@ class TwoTierSearch:
                 )
 
         if self.topo.is_ultrapeer[source]:
+            # An ultrapeer source originates the query locally: no
+            # transmission, nothing to lose.
             entry = self._node_to_mesh[[source]]
         else:
             parents = self.topo.leaf_parents(source)
             entry = self._node_to_mesh[parents]
             mesh_msgs += entry.size  # leaf -> ultrapeer submissions
+            if lossy and parents.size:
+                drop = faults.drop(
+                    query_key, 0,
+                    np.full(parents.size, source, dtype=np.int64), parents,
+                )
+                lost += int(np.count_nonzero(drop))
+                entry = entry[~drop]
 
         visited = np.zeros(self._mesh.n_nodes, dtype=bool)
         frontier = np.unique(entry)
@@ -204,7 +232,19 @@ class TwoTierSearch:
                 break
             mesh_msgs += sent
             hops_used = h
-            nbrs, _ = gather_neighbors(self._mesh, frontier)
+            nbrs, owner_pos = gather_neighbors(self._mesh, frontier)
+            if lossy:
+                # Drop decisions cover every gathered pair (the aggregate
+                # parent exclusion in ``sent`` is orthogonal); coordinates
+                # are global node ids so they match the overlay-wide loss
+                # stream, not mesh-local numbering.
+                drop = faults.drop(
+                    query_key, h,
+                    self._mesh_to_node[frontier[owner_pos]],
+                    self._mesh_to_node[nbrs],
+                )
+                lost += int(np.count_nonzero(drop))
+                nbrs = nbrs[~drop]
             fresh = nbrs[~visited[nbrs]]
             frontier = np.unique(fresh)
             visited[frontier] = True
@@ -221,6 +261,7 @@ class TwoTierSearch:
             first_hit_hop=first_hit,
             replicas_found=found,
             hops_used=hops_used,
+            messages_lost=lost,
         )
 
     def _process_ups(
@@ -274,13 +315,15 @@ class TwoTierSearch:
 
 def _run_two_tier_shard(payload) -> list[TwoTierFloodResult]:
     """One worker's slice of a v0.6 workload (module-level: picklable)."""
-    search, placement, sources, objects, ttl, results_target, rngs = payload
+    (search, placement, sources, objects, ttl, results_target, rngs,
+     faults, keys) = payload
     results = []
-    for src, obj, rng in zip(sources, objects, rngs):
+    for src, obj, rng, qkey in zip(sources, objects, rngs, keys):
         mask = placement.holder_mask(int(obj))
         results.append(
             search.query(
-                int(src), ttl, mask, results_target=results_target, seed=rng
+                int(src), ttl, mask, results_target=results_target, seed=rng,
+                faults=faults, query_key=int(qkey),
             )
         )
     return results
@@ -295,13 +338,15 @@ def two_tier_queries(
     seed: SeedLike = None,
     sources: Optional[Sequence[int]] = None,
     n_workers: int = 1,
+    faults=None,
 ) -> list[TwoTierFloodResult]:
     """Issue a batch of v0.6 queries for random objects of a placement.
 
     Each query routes with its own child generator spawned from the seed,
     so ``n_workers > 1`` (sharding across processes via
     :func:`repro.parallel.map_shards`) returns bit-identical results in
-    the same order as the serial loop.
+    the same order as the serial loop.  With ``faults``, loss keys are the
+    global workload indices, preserving that invariance.
     """
     graph = search.topo.graph
     if placement.n_nodes != graph.n_nodes:
@@ -315,9 +360,11 @@ def two_tier_queries(
             raise ValueError("sources must have one entry per query")
     objects = rng.integers(0, placement.n_objects, size=n_queries)
     query_rngs = spawn_generators(rng, n_queries)
+    query_keys = np.arange(n_queries, dtype=np.int64)
     if n_workers == 1:
         return _run_two_tier_shard(
-            (search, placement, sources, objects, ttl, results_target, query_rngs)
+            (search, placement, sources, objects, ttl, results_target,
+             query_rngs, faults, query_keys)
         )
 
     from repro.parallel import map_shards
@@ -325,7 +372,7 @@ def two_tier_queries(
 
     payloads = [
         (search, placement, sources[a:b], objects[a:b], ttl, results_target,
-         query_rngs[a:b])
+         query_rngs[a:b], faults, query_keys[a:b])
         for a, b in _shard_bounds(n_queries, n_workers)
     ]
     return [

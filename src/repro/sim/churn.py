@@ -12,12 +12,20 @@ snapshots record connectivity so the overlay's self-healing is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.link import LinkFaults
+    from repro.faults.scenario import FaultScenario
+
 from repro.core.makalu import MakaluBuilder, MakaluConfig
-from repro.core.maintenance import repair_after_failure
+from repro.core.maintenance import (
+    RecoveryPolicy,
+    recovery_attempt,
+    repair_after_failure,
+)
 from repro.netmodel.base import NetworkModel
 from repro.obs import runtime as _obs
 from repro.obs.health import HealthConfig, HealthSample, HealthSampler
@@ -107,6 +115,15 @@ class ChurnSimulation:
     churn_config: ChurnConfig = field(default_factory=ChurnConfig)
     use_host_caches: bool = False
     seed: SeedLike = None
+    #: Optional :class:`~repro.faults.scenario.FaultScenario` injected live
+    #: into the run (crashes, partitions, loss windows, latency spikes,
+    #: stale views).  ``None`` reproduces the plain churn trajectory.
+    faults: Optional["FaultScenario"] = None
+    #: Retry/timeout discipline for fault recovery.  ``None`` keeps the
+    #: legacy immediate-repair behaviour (and the bit-exact no-fault
+    #: trajectory); a policy routes bereaved nodes through scheduled
+    #: backoff attempts instead.
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self):
         self.rng = as_generator(self.seed)
@@ -121,6 +138,11 @@ class ChurnSimulation:
         # Spawned unconditionally so the probe child's identity is stable
         # regardless of the health setting.
         self._health_rng = spawn_generators(self.rng, 1)[0]
+        # Fault injection and recovery draw from the third child stream —
+        # again spawned unconditionally, so attaching a scenario never
+        # perturbs the probe or health streams (and a no-fault run is
+        # bit-identical to one built before faults existed).
+        self._fault_rng = spawn_generators(self.rng, 1)[0]
         membership = None
         if self.use_host_caches:
             from repro.core.membership import MembershipService
@@ -138,6 +160,19 @@ class ChurnSimulation:
         # Rejoining nodes bootstrap from their own (possibly stale) caches;
         # the builder consults this live-node mask when probing entries.
         self.builder.alive_mask = self.online
+        # Per-node session epoch: bumped on every online/offline transition.
+        # Scheduled depart/rejoin/recovery events capture the epoch at
+        # scheduling time and no-op on mismatch, so an injected crash
+        # invalidates the victim's pending churn events without touching
+        # the event queue (or consuming any RNG).
+        self._epoch = np.zeros(self.builder.n_nodes, dtype=np.int64)
+        #: Message-level fault environment applied to probe searches; the
+        #: fault injector swaps it as loss windows open and close.
+        self.active_faults: Optional["LinkFaults"] = None
+        # Monotone per-probe query key: loss decisions are counter-based
+        # over (seed, key, hop, edge), so keys must never repeat.
+        self._probe_key = 0
+        self.injector = None
         self.snapshots: list[ChurnSnapshot] = []
         cfg = self.churn_config
         self.health_sampler: Optional[HealthSampler] = None
@@ -173,6 +208,11 @@ class ChurnSimulation:
             self._sim.schedule(
                 cfg.health_interval, self._health_sample, label="health"
             )
+        if self.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self)
+            self.injector.schedule()
         self._sim.run(until=duration)
         return self.snapshots
 
@@ -180,31 +220,133 @@ class ChurnSimulation:
 
     def _schedule_departure(self, node: int) -> None:
         delay = float(self.rng.exponential(self.churn_config.mean_session))
-        self._sim.schedule(delay, lambda sim, n=node: self._depart(n), label="depart")
+        epoch = int(self._epoch[node])
+        self._sim.schedule(
+            delay, lambda sim, n=node, e=epoch: self._depart(n, e),
+            label="depart",
+        )
 
-    def _schedule_rejoin(self, node: int) -> None:
-        delay = float(self.rng.exponential(self.churn_config.mean_offline))
-        self._sim.schedule(delay, lambda sim, n=node: self._rejoin(n), label="rejoin")
+    def _schedule_rejoin(self, node: int, rng=None) -> None:
+        rng = self.rng if rng is None else rng
+        delay = float(rng.exponential(self.churn_config.mean_offline))
+        epoch = int(self._epoch[node])
+        self._sim.schedule(
+            delay, lambda sim, n=node, e=epoch: self._rejoin(n, e),
+            label="rejoin",
+        )
 
-    def _depart(self, node: int) -> None:
+    def _depart(self, node: int, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch[node]:
+            return  # superseded by an injected crash or earlier transition
         if not self.online[node]:  # pragma: no cover - defensive
             return
         self.online[node] = False
+        self._epoch[node] += 1
         _obs.count("churn.departures")
         _obs.event("churn.depart", t=self._sim.now, node=node)
         with _obs.span("churn.repair"):
-            repair_after_failure(self.builder, [node], rejoin=True, max_passes=1)
+            survivors = repair_after_failure(
+                self.builder, [node], rejoin=self.recovery is None,
+                max_passes=1,
+            )
+        if self.recovery is not None:
+            self._schedule_recovery(survivors)
         self._schedule_rejoin(node)
 
-    def _rejoin(self, node: int) -> None:
+    def _rejoin(self, node: int, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch[node]:
+            return
         if self.online[node]:  # pragma: no cover - defensive
             return
         self.online[node] = True
+        self._epoch[node] += 1
         _obs.count("churn.rejoins")
         _obs.event("churn.rejoin", t=self._sim.now, node=node)
         with _obs.span("churn.join"):
             self.builder.join(node)
         self._schedule_departure(node)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.injector)
+    # ------------------------------------------------------------------
+
+    def crash_nodes(self, victims: Iterable[int], rejoin: bool = True) -> np.ndarray:
+        """Fail ``victims`` simultaneously (a correlated crash).
+
+        Unlike churn departures, victims drop as one batch — survivors see
+        the full damage at once, which is the regime the paper's static
+        analysis studies.  Returns the bereaved survivor ids.  With
+        ``rejoin``, victims re-enter after exponential offline periods
+        drawn from the fault stream.
+        """
+        victims = [int(v) for v in victims if self.online[int(v)]]
+        if not victims:
+            return np.empty(0, dtype=np.int64)
+        for v in victims:
+            self.online[v] = False
+            self._epoch[v] += 1
+        _obs.count("faults.crashes")
+        _obs.count("faults.crash_victims", len(victims))
+        _obs.event(
+            "faults.crash", t=self._sim.now, victims=len(victims),
+            rejoin=rejoin,
+        )
+        with _obs.span("faults.crash_repair"):
+            survivors = repair_after_failure(
+                self.builder, victims, rejoin=False
+            )
+        self.repair_or_recover(survivors)
+        if rejoin:
+            for v in victims:
+                self._schedule_rejoin(v, rng=self._fault_rng)
+        return survivors
+
+    def repair_or_recover(self, nodes: Iterable[int]) -> None:
+        """Restore capacity for ``nodes``: immediately, or via the policy.
+
+        Without a :class:`RecoveryPolicy` the nodes run acquisition passes
+        right now (the legacy repair behaviour); with one, each node gets a
+        scheduled retry chain with exponential backoff.
+        """
+        nodes = [int(x) for x in nodes if self.online[int(x)]]
+        if self.recovery is not None:
+            self._schedule_recovery(nodes)
+            return
+        adj, caps = self.builder.adj, self.builder.capacities
+        with _obs.span("faults.repair"):
+            for _ in range(2):
+                needy = [x for x in nodes if adj.degree(x) < caps[x]]
+                if not needy:
+                    break
+                for x in needy:
+                    self.builder._acquire(x, allow_swap=False)
+
+    def _schedule_recovery(self, nodes: Iterable[int]) -> None:
+        adj, caps = self.builder.adj, self.builder.capacities
+        for node in nodes:
+            node = int(node)
+            if not self.online[node] or adj.degree(node) >= caps[node]:
+                continue
+            self._schedule_recovery_attempt(node, attempt=1)
+
+    def _schedule_recovery_attempt(self, node: int, attempt: int) -> None:
+        epoch = int(self._epoch[node])
+        self._sim.schedule(
+            self.recovery.retry_delay(attempt),
+            lambda sim, n=node, a=attempt, e=epoch: self._recovery_attempt(n, a, e),
+            label="recovery",
+        )
+
+    def _recovery_attempt(self, node: int, attempt: int, epoch: int) -> None:
+        if epoch != self._epoch[node] or not self.online[node]:
+            _obs.count("recovery.cancelled")
+            return
+        outcome = recovery_attempt(
+            self.builder, node, self.recovery, attempt,
+            rng=self._fault_rng, online=self.online,
+        )
+        if outcome == "retry":
+            self._schedule_recovery_attempt(node, attempt + 1)
 
     def _snapshot(self, sim: Simulator) -> None:
         online_ids = np.flatnonzero(self.online)
@@ -262,6 +404,12 @@ class ChurnSimulation:
                 mask = np.zeros(n, dtype=bool)
                 mask[holders] = True
                 source = int(self._probe_rng.integers(0, n))
+                # Keys advance even when no loss window is active, so the
+                # k-th probe of a run makes identical drop decisions no
+                # matter when earlier windows opened or closed.
+                key = self._probe_key
+                self._probe_key += 1
                 hits += flood(online_graph, source, cfg.probe_ttl,
-                              replica_mask=mask).success
+                              replica_mask=mask, faults=self.active_faults,
+                              query_key=key).success
         return hits / cfg.probe_queries

@@ -1,0 +1,133 @@
+"""repair_after_failure in the corners: orphaned survivors, full-capacity
+repairs, and repairs launched on an already-partitioned overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core import MakaluBuilder
+from repro.core.maintenance import repair_after_failure
+from repro.netmodel import EuclideanModel
+
+
+@pytest.fixture
+def builder(fast_makalu_config):
+    b = MakaluBuilder(
+        model=EuclideanModel(150, seed=51), config=fast_makalu_config, seed=52
+    )
+    b.build()
+    return b
+
+
+def edge_endpoints(graph):
+    u = np.repeat(np.arange(graph.n_nodes), np.diff(graph.indptr))
+    return u, graph.indices
+
+
+class TestOrphanedSurvivor:
+    def test_survivor_with_all_neighbors_failed_reconnects(self, builder):
+        node = 0
+        doomed = list(builder.adj.neighbors(node))
+        assert doomed
+        bereaved = repair_after_failure(builder, doomed, rejoin=True)
+        assert node in bereaved
+        # The orphan came back: acquisition walks restart from the host
+        # cache / joined pool even with degree zero.
+        assert builder.adj.degree(node) > 0
+
+    def test_orphan_without_rejoin_stays_isolated(self, builder):
+        node = 0
+        doomed = list(builder.adj.neighbors(node))
+        repair_after_failure(builder, doomed, rejoin=False)
+        assert builder.adj.degree(node) == 0
+
+    def test_orphan_chain_both_endpoints_recover(self, builder):
+        # Two nodes whose entire neighborhoods (minus each other) fail.
+        adj = builder.adj
+        u = 0
+        v = next(iter(adj.neighbors(u)))
+        doomed = (set(adj.neighbors(u)) | set(adj.neighbors(v))) - {u, v}
+        repair_after_failure(builder, doomed, rejoin=True)
+        assert adj.degree(u) > 0 and adj.degree(v) > 0
+
+
+class TestRepairAtCapacity:
+    def test_survivor_already_at_capacity_is_left_alone(self, builder):
+        # A survivor that lost a neighbor but is still at capacity (its
+        # capacity shrank, or it was over-provisioned) takes no passes.
+        adj = builder.adj
+        node = int(np.argmax([adj.degree(u) for u in range(builder.n_nodes)]))
+        victim = next(iter(adj.neighbors(node)))
+        builder.capacities[node] = adj.degree(node) - 1  # full after loss
+        before = set(adj.neighbors(node)) - {victim}
+        repair_after_failure(builder, [victim], rejoin=True)
+        assert adj.degree(node) <= builder.capacities[node]
+        assert before <= set(adj.neighbors(node))
+
+    def test_repair_never_exceeds_capacity(self, builder):
+        graph = builder.adj.freeze()
+        doomed = np.argsort(-graph.degrees)[:15].tolist()
+        bereaved = repair_after_failure(builder, doomed, rejoin=True)
+        for x in bereaved:
+            assert builder.adj.degree(int(x)) <= builder.capacities[x]
+
+    def test_failing_a_zero_degree_node_is_harmless(self, builder):
+        node = 0
+        for v in list(builder.adj.neighbors(node)):
+            builder.adj.remove_edge(node, v)
+        total_before = builder.adj.freeze().degrees.sum()
+        bereaved = repair_after_failure(builder, [node], rejoin=False)
+        assert bereaved.size == 0
+        assert builder.adj.freeze().degrees.sum() == total_before
+
+
+class TestAlreadyPartitionedOverlay:
+    def _bisect(self, builder):
+        # Sever the overlay into ids < half vs >= half, then forbid
+        # re-crossing: repair must degrade gracefully within each side.
+        half = builder.n_nodes // 2
+        adj = builder.adj
+        for u in range(half):
+            for v in list(adj.neighbors(u)):
+                if v >= half:
+                    adj.remove_edge(u, v)
+        builder.link_filter = lambda a, b: (a < half) == (b < half)
+        return half
+
+    def test_repair_on_partitioned_overlay_terminates(self, builder):
+        half = self._bisect(builder)
+        doomed = list(range(half - 10, half)) + list(range(half, half + 10))
+        bereaved = repair_after_failure(builder, doomed, rejoin=True)
+        # Graceful degradation: the pass budget bounds the work, survivors
+        # stay on their own side, and no cross-partition edge appears.
+        u, v = edge_endpoints(builder.adj.freeze())
+        assert ((u < half) == (v < half)).all()
+        assert bereaved.size > 0
+
+    def test_partitioned_repair_does_not_merge_components(self, builder):
+        half = self._bisect(builder)
+        n_before, _ = builder.adj.freeze().connected_components()
+        assert n_before >= 2
+        doomed = np.arange(0, builder.n_nodes, 7).tolist()
+        repair_after_failure(builder, doomed, rejoin=True)
+        survivors_left = [
+            u for u in range(half)
+            if u not in doomed and builder.adj.degree(u) > 0
+        ]
+        survivors_right = [
+            u for u in range(half, builder.n_nodes)
+            if u not in doomed and builder.adj.degree(u) > 0
+        ]
+        assert survivors_left and survivors_right
+        u, v = edge_endpoints(builder.adj.freeze())
+        assert ((u < half) == (v < half)).all()
+
+    def test_unsatisfiable_repair_gives_up_quietly(self, builder):
+        # Every candidate is gone: survivors cannot reach capacity, and
+        # repair must stop after its bounded passes instead of spinning.
+        node = 0
+        doomed = list(builder.adj.neighbors(node))
+        builder._joined = []
+        builder.link_filter = lambda a, b: False
+        bereaved = repair_after_failure(builder, doomed, rejoin=True)
+        assert node in bereaved
+        assert builder.adj.degree(node) == 0

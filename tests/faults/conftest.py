@@ -1,0 +1,12 @@
+"""Fault tests toggle the process-local obs session; always clean up."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.disable()
+    yield
+    obs.disable()

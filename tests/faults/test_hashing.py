@@ -1,0 +1,125 @@
+"""Properties of the counter-based fault-decision hash."""
+
+import numpy as np
+import pytest
+
+from repro.faults.hashing import (
+    drop_mask,
+    message_hash,
+    rate_threshold,
+    uniform01,
+)
+from repro.faults.link import LinkFaults
+
+
+class TestMessageHash:
+    def test_deterministic(self):
+        a = message_hash(7, 3, 2, np.int64(5), np.int64(9))
+        b = message_hash(7, 3, 2, np.int64(5), np.int64(9))
+        assert a == b
+
+    def test_every_coordinate_matters(self):
+        base = (7, 3, 2, 5, 9)
+        ref = message_hash(*base[:3], np.int64(base[3]), np.int64(base[4]))
+        for i in range(5):
+            other = list(base)
+            other[i] += 1
+            h = message_hash(
+                other[0], other[1], other[2],
+                np.int64(other[3]), np.int64(other[4]),
+            )
+            assert h != ref, f"coordinate {i} ignored"
+
+    def test_direction_matters(self):
+        assert message_hash(1, 0, 1, np.int64(2), np.int64(3)) != message_hash(
+            1, 0, 1, np.int64(3), np.int64(2)
+        )
+
+    def test_broadcast_matrix_matches_scalar_evaluations(self):
+        # The contract the batch kernel relies on: a (nq,) key vector with
+        # (m,) message arrays yields the (m, nq) matrix of scalar values.
+        rng = np.random.default_rng(0)
+        senders = rng.integers(0, 100, size=13)
+        receivers = rng.integers(0, 100, size=13)
+        keys = rng.integers(0, 50, size=7)
+        matrix = message_hash(42, keys, 3, senders, receivers)
+        assert matrix.shape == (13, 7)
+        for j in range(13):
+            for q in range(7):
+                scalar = message_hash(
+                    42, int(keys[q]), 3, senders[j], receivers[j]
+                )
+                assert matrix[j, q] == scalar
+
+    def test_scalar_key_matches_sender_shape(self):
+        senders = np.arange(5, dtype=np.int64)
+        receivers = senders + 1
+        h = message_hash(0, 9, 1, senders, receivers)
+        assert h.shape == (5,)
+
+    def test_negative_coordinates_are_valid(self):
+        # int64 -1 casts through two's complement, not an error.
+        h = message_hash(0, 0, 0, np.int64(-1), np.int64(-2))
+        assert h == message_hash(0, 0, 0, np.int64(-1), np.int64(-2))
+
+
+class TestRateThreshold:
+    def test_edges(self):
+        assert rate_threshold(0.0) == 0
+        assert rate_threshold(-1.0) == 0
+        assert rate_threshold(1.0) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert rate_threshold(2.0) == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_monotone(self):
+        rates = [0.0, 0.01, 0.1, 0.5, 0.9, 1.0]
+        ts = [int(rate_threshold(r)) for r in rates]
+        assert ts == sorted(ts)
+
+    def test_half_is_half_of_range(self):
+        assert int(rate_threshold(0.5)) == 2**63
+
+
+class TestDropMask:
+    def test_rate_zero_drops_nothing(self):
+        s = np.arange(1000, dtype=np.int64)
+        assert not drop_mask(0.0, 1, 0, 1, s, s + 1).any()
+
+    def test_rate_one_drops_everything(self):
+        s = np.arange(1000, dtype=np.int64)
+        assert drop_mask(1.0, 1, 0, 1, s, s + 1).all()
+
+    def test_empirical_rate_tracks_nominal(self):
+        rng = np.random.default_rng(3)
+        n = 200_000
+        senders = rng.integers(0, 500, size=n)
+        receivers = rng.integers(0, 500, size=n)
+        for rate in (0.05, 0.3, 0.7):
+            got = drop_mask(rate, 11, 4, 2, senders, receivers).mean()
+            assert abs(got - rate) < 0.01, (rate, got)
+
+    def test_uniform01_matches_drop_decision(self):
+        for rate in (0.2, 0.8):
+            u = uniform01(5, 1, 2, 3, 4)
+            dropped = bool(drop_mask(rate, 5, 1, 2, np.int64(3), np.int64(4)))
+            assert dropped == (u < rate)
+
+
+class TestLinkFaults:
+    def test_lossy_flag(self):
+        assert not LinkFaults().lossy
+        assert not LinkFaults(loss_rate=0.0, seed=3).lossy
+        assert LinkFaults(loss_rate=0.01).lossy
+
+    def test_drop_delegates_to_hash(self):
+        f = LinkFaults(loss_rate=0.4, seed=9)
+        s = np.arange(50, dtype=np.int64)
+        expect = drop_mask(0.4, 9, 2, 3, s, s + 1)
+        assert np.array_equal(f.drop(2, 3, s, s + 1), expect)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaults(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaults(latency_factor=0.0)

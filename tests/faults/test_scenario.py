@@ -1,0 +1,194 @@
+"""Scenario validation, JSON round trips, and schema gating."""
+
+import json
+
+import pytest
+
+from repro.faults.scenario import (
+    BUILTIN_SCENARIOS,
+    SCENARIO_SCHEMA_VERSION,
+    CrashEvent,
+    FaultScenario,
+    LatencySpike,
+    LossWindow,
+    PartitionEvent,
+    StaleViewEvent,
+    load_scenario,
+)
+from repro.obs.report import UnsupportedSchemaError
+
+
+def full_scenario():
+    return FaultScenario(
+        name="everything",
+        description="one of each",
+        crashes=(CrashEvent(time=10.0, fraction=0.2, mode="random",
+                            rejoin=False),),
+        loss_windows=(LossWindow(start=5.0, end=50.0, rate=0.1),
+                      LossWindow(start=60.0, end=None, rate=0.02)),
+        latency_spikes=(LatencySpike(start=20.0, end=30.0, factor=2.5),),
+        partitions=(PartitionEvent(time=40.0, heal_time=55.0, fraction=0.4,
+                                   mode="random"),),
+        stale_views=(StaleViewEvent(time=12.0, fraction=0.3),),
+    )
+
+
+class TestEventValidation:
+    def test_crash_event_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CrashEvent(time=-1.0, fraction=0.1)
+        with pytest.raises(ValueError):
+            CrashEvent(time=1.0, fraction=1.5)
+        with pytest.raises(ValueError):
+            CrashEvent(time=1.0, fraction=0.1, mode="alphabetical")
+
+    def test_loss_window_rejects_inverted_span(self):
+        with pytest.raises(ValueError):
+            LossWindow(start=10.0, end=10.0, rate=0.1)
+        with pytest.raises(ValueError):
+            LossWindow(start=0.0, rate=-0.1)
+
+    def test_latency_spike_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            LatencySpike(start=0.0, factor=0.0)
+
+    def test_partition_rejects_heal_before_cut(self):
+        with pytest.raises(ValueError):
+            PartitionEvent(time=10.0, heal_time=5.0)
+        with pytest.raises(ValueError):
+            PartitionEvent(time=10.0, heal_time=20.0, mode="diagonal")
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultScenario(partitions=(
+                PartitionEvent(time=10.0, heal_time=40.0),
+                PartitionEvent(time=30.0, heal_time=60.0),
+            ))
+
+    def test_sequential_partitions_allowed(self):
+        s = FaultScenario(partitions=(
+            PartitionEvent(time=10.0, heal_time=30.0),
+            PartitionEvent(time=30.0, heal_time=60.0),
+        ))
+        assert s.n_events == 2
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        s = full_scenario()
+        assert FaultScenario.from_dict(s.to_dict()) == s
+
+    def test_file_round_trip_is_lossless(self, tmp_path):
+        s = full_scenario()
+        path = tmp_path / "scenario.json"
+        s.write(str(path))
+        assert FaultScenario.from_file(str(path)) == s
+        # And the on-disk form is plain JSON announcing its schema.
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == SCENARIO_SCHEMA_VERSION
+
+    def test_missing_sections_default_empty(self):
+        s = FaultScenario.from_dict({"name": "minimal"})
+        assert s.name == "minimal"
+        assert s.n_events == 0
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault scenario keys"):
+            FaultScenario.from_dict({"name": "x", "explosions": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            FaultScenario.from_dict([1, 2])
+
+    def test_invalid_json_file_reports_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultScenario.from_file(str(path))
+
+
+class TestSchemaGate:
+    def test_newer_schema_raises_unsupported(self):
+        doc = {"schema_version": SCENARIO_SCHEMA_VERSION + 1, "name": "x"}
+        with pytest.raises(UnsupportedSchemaError, match="newer than"):
+            FaultScenario.from_dict(doc)
+
+    def test_unsupported_is_a_value_error(self):
+        # Callers that catch ValueError for validation also catch the gate.
+        assert issubclass(UnsupportedSchemaError, ValueError)
+
+    def test_bad_version_types_rejected(self):
+        for bad in ("2", 0, -1, None):
+            with pytest.raises(ValueError):
+                FaultScenario.from_dict({"schema_version": bad})
+
+
+class TestBuiltinsAndLoading:
+    def test_builtins_are_valid_and_round_trip(self):
+        for name, s in BUILTIN_SCENARIOS.items():
+            assert s.name == name
+            assert s.description
+            assert s.n_events > 0
+            assert FaultScenario.from_dict(s.to_dict()) == s
+
+    def test_load_scenario_prefers_builtin(self):
+        assert load_scenario("partition-heal") is (
+            BUILTIN_SCENARIOS["partition-heal"]
+        )
+
+    def test_load_scenario_falls_back_to_path(self, tmp_path):
+        s = full_scenario()
+        path = tmp_path / "s.json"
+        s.write(str(path))
+        assert load_scenario(str(path)) == s
+
+    def test_load_scenario_unknown_name_lists_builtins(self):
+        with pytest.raises(ValueError, match="partition-heal"):
+            load_scenario("definitely-not-a-scenario")
+
+
+class TestCheckedInJsonSchema:
+    """schemas/fault_scenario.schema.json must accept real scenario output."""
+
+    @pytest.fixture(scope="class")
+    def validator(self):
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "validate_metrics", root / "scripts" / "validate_metrics.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @pytest.fixture(scope="class")
+    def schema(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        return json.loads(
+            (root / "schemas" / "fault_scenario.schema.json").read_text()
+        )
+
+    def test_builtins_validate(self, validator, schema):
+        for scenario in BUILTIN_SCENARIOS.values():
+            validator.validate(scenario.to_dict(), schema)
+
+    def test_full_scenario_validates(self, validator, schema):
+        validator.validate(full_scenario().to_dict(), schema)
+
+    def test_schema_rejects_what_from_dict_rejects(self, validator, schema):
+        bad_docs = [
+            {"schema_version": SCENARIO_SCHEMA_VERSION, "explosions": []},
+            {"schema_version": SCENARIO_SCHEMA_VERSION,
+             "crashes": [{"time": 1.0, "fraction": 0.1, "mode": "alpha"}]},
+            {"schema_version": SCENARIO_SCHEMA_VERSION,
+             "latency_spikes": [{"start": 0.0, "factor": 0.0}]},
+        ]
+        for doc in bad_docs:
+            with pytest.raises(validator.ValidationError):
+                validator.validate(doc, schema)
+            with pytest.raises(ValueError):
+                FaultScenario.from_dict(doc)

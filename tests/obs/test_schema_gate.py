@@ -1,0 +1,92 @@
+"""CLI behaviour on artifacts newer than this build understands.
+
+The contract (regression-tested here): ``repro obs report/diff`` and the
+fault-scenario loaders exit non-zero with a one-line message on stderr —
+never a traceback — when handed a ``schema_version`` from the future.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    SUPPORTED_SNAPSHOT_SCHEMA,
+    UnsupportedSchemaError,
+    load_document,
+)
+
+
+def future_snapshot(tmp_path, name="future.json"):
+    doc = {
+        "schema_version": SUPPORTED_SNAPSHOT_SCHEMA + 1,
+        "counters": {"churn.departures": 10},
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def current_snapshot(tmp_path, name="now.json"):
+    doc = {"schema_version": SUPPORTED_SNAPSHOT_SCHEMA,
+           "counters": {"churn.departures": 10}}
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestLoaderGate:
+    def test_load_metrics_raises_unsupported(self, tmp_path):
+        with pytest.raises(UnsupportedSchemaError, match="upgrade repro"):
+            load_document(future_snapshot(tmp_path))
+
+    def test_current_schema_loads(self, tmp_path):
+        assert load_document(current_snapshot(tmp_path))["schema_version"] == (
+            SUPPORTED_SNAPSHOT_SCHEMA
+        )
+
+
+class TestCliGate:
+    def test_report_exits_2_with_one_line_message(self, tmp_path, capsys):
+        assert main(["obs", "report", future_snapshot(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+        assert "schema" in captured.err
+
+    def test_diff_exits_2_when_either_side_is_newer(self, tmp_path, capsys):
+        now = current_snapshot(tmp_path)
+        future = future_snapshot(tmp_path)
+        for pair in ((future, now), (now, future)):
+            assert main(["obs", "diff", *pair, "--fail-on-regression"]) == 2
+            captured = capsys.readouterr()
+            assert "Traceback" not in captured.err
+            assert captured.err.count("\n") == 1
+
+    def test_churn_faults_gate_future_scenario(self, tmp_path, capsys):
+        doc = {"schema_version": 99, "name": "from-the-future"}
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(doc))
+        assert main(["churn", "--nodes", "40", "--duration", "10",
+                     "--faults", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_faults_run_gates_future_scenario(self, tmp_path, capsys):
+        doc = {"schema_version": 99, "name": "from-the-future"}
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(doc))
+        assert main(["faults", "run", str(path), "--nodes", "40",
+                     "--duration", "10"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_scenario_name_is_one_line(self, capsys):
+        assert main(["churn", "--nodes", "40", "--duration", "10",
+                     "--faults", "no-such-scenario"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "partition-heal" in captured.err  # lists the builtins

@@ -1,0 +1,121 @@
+"""Seed-sweep invariants for CSR graph construction round-trips.
+
+Unlike the hypothesis suites next door, these sweep an explicit family of
+derived seeds (``SeedSequence(master).spawn``) so every run checks the
+exact same 200 random graphs — the property layer's reproducible
+counterpart to example-based tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topology.csr import gather_neighbors, ragged_slices
+from repro.topology.graph import AdjacencyBuilder, OverlayGraph
+
+N_SEEDS = 200
+MASTER_SEED = 0xC5A
+
+
+def _derived_rngs():
+    """The sweep's generators — one per derived seed, in a fixed order."""
+    children = np.random.SeedSequence(MASTER_SEED).spawn(N_SEEDS)
+    return [np.random.default_rng(c) for c in children]
+
+
+def random_simple_graph(rng):
+    """A random simple undirected graph with random positive latencies."""
+    n = int(rng.integers(2, 40))
+    # Sample from the upper triangle so each undirected edge appears once.
+    iu, iv = np.triu_indices(n, k=1)
+    n_pairs = iu.size
+    want = int(rng.integers(0, n_pairs + 1))
+    pick = rng.choice(n_pairs, size=want, replace=False)
+    u, v = iu[pick], iv[pick]
+    lat = rng.uniform(0.1, 50.0, size=want)
+    return n, u, v, lat
+
+
+class TestCsrRoundTrips:
+    def test_edge_list_round_trips_through_adjacency(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            g = OverlayGraph.from_edges(n, u, v, lat)
+            g2 = OverlayGraph.from_adjacency(n, g.to_adjacency())
+            assert np.array_equal(g.indptr, g2.indptr)
+            assert np.array_equal(g.indices, g2.indices)
+            assert np.array_equal(g.latency, g2.latency)
+
+    def test_builder_freeze_matches_from_edges(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            adj = AdjacencyBuilder(n)
+            for a, b, w in zip(u, v, lat):
+                adj.add_edge(int(a), int(b), float(w))
+            g = adj.freeze()
+            ref = OverlayGraph.from_edges(n, u, v, lat)
+            assert np.array_equal(g.indptr, ref.indptr)
+            assert np.array_equal(g.indices, ref.indices)
+            assert np.array_equal(g.latency, ref.latency)
+
+    def test_csr_invariants_hold(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            g = OverlayGraph.from_edges(n, u, v, lat)
+            g.validate()
+            assert g.n_edges == u.size
+            assert int(g.degrees.sum()) == 2 * u.size
+            for node in range(n):
+                nbrs = g.neighbors(node)
+                # Sorted, unique, no self loops, symmetric with latencies.
+                assert np.all(np.diff(nbrs) > 0)
+                assert node not in nbrs
+                for w in nbrs:
+                    assert g.has_edge(int(w), node)
+                    assert g.edge_latency(node, int(w)) == g.edge_latency(
+                        int(w), node
+                    )
+
+    def test_gather_neighbors_recovers_concatenated_lists(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            g = OverlayGraph.from_edges(n, u, v, lat)
+            # Query a random multiset of nodes (duplicates exercised too).
+            k = int(rng.integers(0, 2 * n))
+            nodes = rng.integers(0, n, size=k)
+            nbrs, owner_pos = gather_neighbors(g, nodes)
+            expected = (
+                np.concatenate([g.neighbors(int(x)) for x in nodes])
+                if k
+                else np.empty(0, dtype=np.int64)
+            )
+            assert np.array_equal(nbrs, expected)
+            assert owner_pos.shape == nbrs.shape
+            if k:
+                counts = g.degrees[nodes]
+                assert np.array_equal(
+                    owner_pos,
+                    np.repeat(np.arange(k, dtype=np.int64), counts),
+                )
+
+    def test_ragged_slices_positions_index_the_csr(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            g = OverlayGraph.from_edges(n, u, v, lat)
+            nodes = np.arange(n, dtype=np.int64)
+            positions, owner_pos = ragged_slices(g.indptr, nodes)
+            assert np.array_equal(g.indices[positions], g.indices)
+            assert np.array_equal(nodes[owner_pos], np.repeat(nodes, g.degrees))
+
+    def test_full_subgraph_is_identity(self):
+        for rng in _derived_rngs():
+            n, u, v, lat = random_simple_graph(rng)
+            g = OverlayGraph.from_edges(n, u, v, lat)
+            sub, mapping = g.subgraph(np.ones(n, dtype=bool))
+            assert np.array_equal(mapping, np.arange(n))
+            assert np.array_equal(sub.indptr, g.indptr)
+            assert np.array_equal(sub.indices, g.indices)
+            assert np.array_equal(sub.latency, g.latency)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,95 @@
+"""Seed-sweep invariants for capacity pruning.
+
+The load-bearing one: :func:`repro.core.maintenance.prune_to_capacity`
+must never disconnect a node it could keep connected — any node pruned
+down to a capacity of at least one keeps at least one neighbor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.maintenance import prune_to_capacity
+from repro.topology.graph import AdjacencyBuilder
+
+N_SEEDS = 200
+MASTER_SEED = 0x9A4E
+
+
+def _derived_rngs():
+    children = np.random.SeedSequence(MASTER_SEED).spawn(N_SEEDS)
+    return [np.random.default_rng(c) for c in children]
+
+
+def random_builder(rng):
+    """A random simple graph in builder form, with node 0 well-connected."""
+    n = int(rng.integers(4, 25))
+    adj = AdjacencyBuilder(n)
+    iu, iv = np.triu_indices(n, k=1)
+    density = rng.uniform(0.15, 0.7)
+    pick = rng.random(iu.size) < density
+    for a, b in zip(iu[pick], iv[pick]):
+        adj.add_edge(int(a), int(b), float(rng.uniform(0.1, 10.0)))
+    # Guarantee the pruned node has something to prune.
+    for b in range(1, n):
+        if not adj.has_edge(0, b) and adj.degree(0) < 5:
+            adj.add_edge(0, b, float(rng.uniform(0.1, 10.0)))
+    return adj
+
+
+class TestPruneToCapacity:
+    def test_never_disconnects_a_node_it_could_keep_connected(self):
+        for rng in _derived_rngs():
+            adj = random_builder(rng)
+            before = adj.degree(0)
+            capacity = int(rng.integers(1, max(2, before)))
+            prune_to_capacity(adj, 0, capacity)
+            # capacity >= 1 and the node had neighbors: it keeps some.
+            assert adj.degree(0) >= 1
+
+    def test_prunes_exactly_down_to_capacity(self):
+        for rng in _derived_rngs():
+            adj = random_builder(rng)
+            before = adj.degree(0)
+            neighbors_before = set(adj.neighbors(0))
+            capacity = int(rng.integers(0, before + 3))
+            pruned = prune_to_capacity(adj, 0, capacity)
+            assert adj.degree(0) == min(before, capacity)
+            assert len(pruned) == max(0, before - capacity)
+            assert len(set(pruned)) == len(pruned)
+            assert set(pruned) <= neighbors_before
+            assert set(adj.neighbors(0)) == neighbors_before - set(pruned)
+
+    def test_pruning_preserves_graph_validity(self):
+        for rng in _derived_rngs():
+            adj = random_builder(rng)
+            capacity = int(rng.integers(0, adj.degree(0) + 1))
+            pruned = prune_to_capacity(adj, 0, capacity)
+            g = adj.freeze()
+            g.validate()
+            # Pruned edges are gone in both directions.
+            for v in pruned:
+                assert not adj.has_edge(0, v)
+                assert not adj.has_edge(v, 0)
+
+    def test_pruning_is_deterministic(self):
+        # Ratings plus the worst-neighbor tie-break are deterministic, so
+        # pruning the same graph twice removes the same neighbors in the
+        # same order.
+        for rng in _derived_rngs():
+            seed_state = rng.bit_generator.state
+            adj_a = random_builder(np.random.default_rng())
+            # Rebuild identically from the captured state.
+            rng_a = np.random.default_rng()
+            rng_a.bit_generator.state = seed_state
+            adj_a = random_builder(rng_a)
+            rng_b = np.random.default_rng()
+            rng_b.bit_generator.state = seed_state
+            adj_b = random_builder(rng_b)
+            cap = max(0, adj_a.degree(0) - 2)
+            assert prune_to_capacity(adj_a, 0, cap) == prune_to_capacity(
+                adj_b, 0, cap
+            )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,96 @@
+"""Seed-sweep bounds for the Makalu rating function F(u, v).
+
+F(u, v) = alpha * |R(u,v)| / |dGamma(u)| + beta * d_max / d(u, v): the
+connectivity term is a fraction of the node boundary (so it lives in
+[0, 1]) and the proximity term is at most d_max over the smallest floored
+latency, giving the sweep's closed-form bound
+``alpha + beta * d_max / d_min``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rating import (
+    _LATENCY_FLOOR,
+    RatingWeights,
+    rate_neighbors,
+    worst_neighbor,
+)
+
+N_SEEDS = 200
+MASTER_SEED = 0xFA7
+
+
+def _derived_rngs():
+    children = np.random.SeedSequence(MASTER_SEED).spawn(N_SEEDS)
+    return [np.random.default_rng(c) for c in children]
+
+
+def random_rating_instance(rng):
+    """A random node, neighbor latencies, and shared neighborhoods."""
+    n = int(rng.integers(2, 30))
+    u = 0
+    k = int(rng.integers(1, n))
+    nbr_ids = rng.choice(np.arange(1, n + 1), size=k, replace=False)
+    # Latencies include occasional zeros to exercise the floor.
+    lats = rng.uniform(0.0, 20.0, size=k)
+    lats[rng.random(k) < 0.1] = 0.0
+    neighbor_latency = {int(v): float(d) for v, d in zip(nbr_ids, lats)}
+    # Each neighbor advertises a random Gamma(v) over a shared universe.
+    universe = np.arange(n + 10)
+    neighborhoods = {
+        int(v): set(
+            rng.choice(universe, size=int(rng.integers(0, 12)),
+                       replace=False).tolist()
+        )
+        for v in nbr_ids
+    }
+    weights = RatingWeights(
+        alpha=float(rng.uniform(0.0, 3.0)), beta=float(rng.uniform(0.1, 3.0))
+    )
+    return u, neighbor_latency, neighborhoods, weights
+
+
+class TestRatingBounds:
+    def test_ratings_finite_and_within_closed_form_bound(self):
+        for rng in _derived_rngs():
+            u, nbr_lat, nbhd, weights = random_rating_instance(rng)
+            ratings = rate_neighbors(u, nbr_lat, lambda v: nbhd[v], weights)
+            assert set(ratings) == set(nbr_lat)
+            d_max = max(max(nbr_lat.values()), _LATENCY_FLOOR)
+            d_min = max(min(nbr_lat.values()), _LATENCY_FLOOR)
+            bound = weights.alpha + weights.beta * d_max / d_min
+            for v, f in ratings.items():
+                assert math.isfinite(f)
+                assert f >= 0.0
+                assert f <= bound + 1e-9, (v, f, bound)
+
+    def test_connectivity_term_is_a_boundary_fraction(self):
+        # With beta = 0 the rating is exactly alpha * |R| / |boundary|,
+        # so the per-neighbor values sum to at most alpha (unique sets are
+        # disjoint slices of one boundary).
+        for rng in _derived_rngs():
+            u, nbr_lat, nbhd, _ = random_rating_instance(rng)
+            weights = RatingWeights(alpha=1.0, beta=0.0)
+            ratings = rate_neighbors(u, nbr_lat, lambda v: nbhd[v], weights)
+            total = sum(ratings.values())
+            assert 0.0 <= total <= 1.0 + 1e-9
+            for f in ratings.values():
+                assert 0.0 <= f <= 1.0 + 1e-9
+
+    def test_worst_neighbor_is_argmin_of_returned_ratings(self):
+        for rng in _derived_rngs():
+            u, nbr_lat, nbhd, weights = random_rating_instance(rng)
+            ratings = rate_neighbors(u, nbr_lat, lambda v: nbhd[v], weights)
+            victim = worst_neighbor(ratings)
+            lowest = min(ratings.values())
+            assert ratings[victim] == lowest
+            # Tie-break: highest id among the minimum raters.
+            tied = [v for v, f in ratings.items() if f == lowest]
+            assert victim == max(tied)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
