@@ -46,6 +46,7 @@ from repro.core import (
     MakaluBuilder,
     MakaluConfig,
     MembershipService,
+    RatingCache,
     RatingWeights,
     makalu_graph,
     rate_neighbors,
@@ -122,6 +123,7 @@ __all__ = [
     # core
     "MakaluBuilder",
     "MakaluConfig",
+    "RatingCache",
     "RatingWeights",
     "makalu_graph",
     "rate_neighbors",

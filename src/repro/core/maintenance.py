@@ -26,6 +26,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
+from repro.core.rating_cache import RatingCache
 from repro.obs import runtime as _obs
 from repro.topology.graph import AdjacencyBuilder
 from repro.util.validation import check_positive
@@ -36,22 +37,31 @@ def prune_to_capacity(
     node: int,
     capacity: int,
     weights: RatingWeights = RatingWeights(),
+    cache: Optional[RatingCache] = None,
 ) -> list[int]:
     """Prune ``node``'s lowest-rated neighbors until within ``capacity``.
 
     Returns the pruned neighbor ids, in pruning order.  Ratings are
     recomputed after every removal, as in the protocol — dropping a neighbor
-    changes both the node boundary and d_max.
+    changes both the node boundary and d_max.  With ``cache`` (a
+    :class:`~repro.core.rating_cache.RatingCache` observing ``adj``) each
+    recomputation is an O(degree) cached evaluation, bit-identical to the
+    scalar kernel.
     """
     if capacity < 0:
         raise ValueError(f"capacity must be >= 0, got {capacity}")
+    if cache is not None and cache.adj is not adj:
+        raise ValueError("cache observes a different adjacency than adj")
     pruned: list[int] = []
     while adj.degree(node) > capacity:
         with _obs.span("maintenance.rating"):
-            ratings = rate_neighbors(
-                node, adj.neighbors(node), lambda v: adj.neighbors(v).keys(),
-                weights,
-            )
+            if cache is not None:
+                ratings = cache.ratings(node)
+            else:
+                ratings = rate_neighbors(
+                    node, adj.neighbors(node),
+                    lambda v: adj.neighbors(v).keys(), weights,
+                )
         victim = worst_neighbor(ratings)
         adj.remove_edge(node, victim)
         pruned.append(victim)
@@ -79,7 +89,8 @@ def handle_capacity_change(
     builder.capacities[node] = new_capacity
     if new_capacity < old:
         pruned = prune_to_capacity(
-            builder.adj, node, new_capacity, builder.config.weights
+            builder.adj, node, new_capacity, builder.config.weights,
+            cache=getattr(builder, "rating_cache", None),
         )
         for victim in pruned:
             if builder.adj.degree(victim) < builder.config.min_degree_floor:
@@ -109,6 +120,14 @@ def repair_after_failure(
     failed_set = set(failed.tolist())
     adj = builder.adj
 
+    # Drop failed nodes' rating state *before* tearing their edges down:
+    # nobody will rate a dead node again, and a dropped entry costs the
+    # teardown loop nothing while a live one would absorb O(degree) deltas
+    # per removed edge.
+    cache = getattr(builder, "rating_cache", None)
+    if cache is not None:
+        cache.drop_many(failed_set)
+
     bereaved: set[int] = set()
     for f in failed:
         for v in list(adj.neighbors(int(f))):
@@ -122,7 +141,9 @@ def repair_after_failure(
         rejoin=rejoin,
     )
     # Failed nodes leave the candidate pool so walks cannot resurrect them.
-    builder._joined = [x for x in builder._joined if x not in failed_set]
+    # The roster is tombstoned (O(log n) per failed node), not rebuilt —
+    # the old O(n) list scan per failure event made heavy churn quadratic.
+    builder._joined.discard_many(failed_set)
     builder._repair_queue = type(builder._repair_queue)(
         x for x in builder._repair_queue if x not in failed_set
     )

@@ -38,10 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.membership import MembershipService
 
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
+from repro.core.rating_cache import RatingCache
 from repro.netmodel.base import NetworkModel
 from repro.obs import runtime as _obs
 from repro.topology.graph import AdjacencyBuilder, OverlayGraph
 from repro.util.rng import SeedLike, as_generator
+from repro.util.tombstone import TombstoneList
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,25 @@ class MakaluConfig:
         disconnected peers rejoin through the host cache).
     weights:
         alpha/beta weighting of the rating function.
+    use_rating_cache:
+        Rate neighbors through the incremental
+        :class:`~repro.core.rating_cache.RatingCache` instead of the scalar
+        kernel.  Ratings (and hence every build decision) are bit-identical
+        either way; the cache turns each rating from a full neighborhood
+        re-walk into an O(degree) evaluation.
+    rating_crosscheck:
+        Re-derive every cached rating through the scalar kernel and raise
+        on any bitwise difference.  Exact but slow — tests/debugging only.
+    refine_mode:
+        ``"sequential"`` (default) replays refinement one node at a time,
+        exactly as the live protocol interleaves; ``"batch"`` computes each
+        round synchronously against a snapshot with every stage (walks,
+        provisional ratings, selection, reconciliation) vectorized across
+        all nodes — see :mod:`repro.core.batch_refine`.  Batch rounds are
+        deterministic but draw the RNG differently, so overlays differ
+        edge-for-edge from sequential ones while matching their structural
+        health; sequential stays the default because seeded golden
+        trajectories pin it.
     """
 
     degree_min: int = 8
@@ -81,6 +102,9 @@ class MakaluConfig:
     fill_rounds: int = 4
     min_degree_floor: int = 2
     weights: RatingWeights = field(default_factory=RatingWeights)
+    use_rating_cache: bool = True
+    rating_crosscheck: bool = False
+    refine_mode: str = "sequential"
 
     def __post_init__(self):
         if not 1 <= self.degree_min <= self.degree_max:
@@ -100,6 +124,11 @@ class MakaluConfig:
             raise ValueError("fill_rounds must be >= 0")
         if self.min_degree_floor < 1:
             raise ValueError("min_degree_floor must be >= 1")
+        if self.refine_mode not in ("sequential", "batch"):
+            raise ValueError(
+                f"refine_mode must be 'sequential' or 'batch', "
+                f"got {self.refine_mode!r}"
+            )
 
 
 class MakaluBuilder:
@@ -158,7 +187,18 @@ class MakaluBuilder:
             )
 
         self.adj = AdjacencyBuilder(self.n_nodes)
-        self._joined: list[int] = []
+        #: Incremental rating engine kept in sync with ``adj`` through its
+        #: mutation observer; ``None`` when disabled by config.
+        self.rating_cache: Optional[RatingCache] = (
+            RatingCache(
+                self.adj,
+                weights=self.config.weights,
+                cross_check=self.config.rating_crosscheck,
+            )
+            if self.config.use_rating_cache
+            else None
+        )
+        self._joined_roster = TombstoneList()
         self._repair_queue: deque[int] = deque()
         #: Optional per-node host caches (see repro.core.membership).  When
         #: set, joiners bootstrap from their own cache (stale entries cost
@@ -182,6 +222,23 @@ class MakaluBuilder:
         #: a structural health sample (t = completed round index), so
         #: construction convergence is a time series, not a black box.
         self.health_sampler = None
+
+    @property
+    def _joined(self) -> TombstoneList:
+        """The joined-node roster (candidate pool for walks/bootstraps).
+
+        A :class:`~repro.util.tombstone.TombstoneList`, so failure events
+        remove departed nodes in O(log n) each instead of rebuilding an
+        O(n) list — the logical order (and hence every seeded pick) is
+        identical to the plain list this used to be.
+        """
+        return self._joined_roster
+
+    @_joined.setter
+    def _joined(self, items) -> None:
+        if not isinstance(items, TombstoneList):
+            items = TombstoneList(items)
+        self._joined_roster = items
 
     # ------------------------------------------------------------------
     # Local protocol primitives
@@ -208,10 +265,13 @@ class MakaluBuilder:
         bootstrap into the overlay at all.
         """
         with _obs.span("makalu.rating"):
-            ratings = rate_neighbors(
-                x, self.adj.neighbors(x), self._neighborhood_of,
-                self.config.weights,
-            )
+            if self.rating_cache is not None:
+                ratings = self.rating_cache.ratings(x)
+            else:
+                ratings = rate_neighbors(
+                    x, self.adj.neighbors(x), self._neighborhood_of,
+                    self.config.weights,
+                )
         _obs.count("makalu.rating_calls")
         sparable = {v: r for v, r in ratings.items() if self.adj.degree(v) > 1}
         victim = worst_neighbor(sparable if sparable else ratings)
@@ -328,11 +388,33 @@ class MakaluBuilder:
         self._joined.append(u)
         _obs.count("makalu.joins")
 
-    def refine(self, rounds: Optional[int] = None) -> None:
-        """Run management/refinement rounds over all joined nodes."""
+    def refine(self, rounds: Optional[int] = None,
+               mode: Optional[str] = None) -> None:
+        """Run management/refinement rounds over all joined nodes.
+
+        ``mode`` overrides ``config.refine_mode`` for this call (either
+        ``"sequential"`` or ``"batch"``).
+        """
         rounds = self.config.refinement_rounds if rounds is None else rounds
-        nodes = np.asarray(self._joined, dtype=np.int64)
+        mode = self.config.refine_mode if mode is None else mode
+        if mode == "batch":
+            from repro.core.batch_refine import batch_refine_round
+
+            for r in range(rounds):
+                with _obs.span("makalu.refine_round"):
+                    batch_refine_round(self)
+                if self.health_sampler is not None:
+                    self.health_sampler.sample(t=r + 1, graph=self.adj.freeze())
+            return
+        nodes = self._joined.to_array()
         for r in range(rounds):
+            if self.rating_cache is not None:
+                # Prime the round: one vectorized pass builds rating state
+                # for every node not yet cached, so the swap storm below
+                # runs on O(degree) cache hits instead of cold rebuilds.
+                # Builds no RNG state and changes no ratings — the
+                # trajectory is identical with the cache off.
+                self.rating_cache.warm(nodes.tolist())
             with _obs.span("makalu.refine_round"):
                 order = self.rng.permutation(nodes)
                 for u in order:

@@ -25,7 +25,8 @@ exchange on connection establishment in the protocol.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections.abc import Mapping as _Mapping
+from collections.abc import Set as _Set
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Mapping
 
@@ -60,14 +61,21 @@ class RatingWeights:
             raise ValueError("at least one rating weight must be positive")
 
 
-def _occurrence_counts(
-    neighbors: Iterable[int], neighborhood_of: NeighborhoodFn
-) -> Counter:
-    """How many of ``u``'s neighbors list each node in their neighborhood."""
-    counts: Counter = Counter()
-    for v in neighbors:
-        counts.update(neighborhood_of(v))
-    return counts
+def _distinct(neighborhood: Iterable[int]) -> Iterable[int]:
+    """The neighborhood with duplicate entries removed, order preserved.
+
+    Set semantics are the contract: ``Gamma(v)`` is a *set* of nodes, but
+    the protocol hands over plain lists, and a sloppy (or adversarial)
+    peer can repeat an entry.  Counting a repeated entry as multiple
+    reachers would inflate the occurrence count of that node past the
+    number of neighbors that actually reach it — destroying the listing
+    neighbor's uniqueness credit (see ``rate_neighbors``).  Inputs that
+    already guarantee uniqueness (sets, dict views, mappings) pass through
+    untouched so the hot adjacency-backed path pays nothing.
+    """
+    if isinstance(neighborhood, (_Set, _Mapping)):
+        return neighborhood
+    return dict.fromkeys(neighborhood)
 
 
 def node_boundary(
@@ -125,6 +133,8 @@ def rate_neighbors(
     neighborhood_of:
         Callback returning ``Gamma(v)`` for a neighbor ``v`` — in the
         protocol this is the neighbor list ``v`` shared with ``u``.
+        Duplicate entries in a shared list count once (set semantics,
+        matching :func:`unique_reachable` / :func:`node_boundary`).
     weights:
         alpha/beta weighting; defaults to the paper's equal weighting.
 
@@ -139,11 +149,13 @@ def rate_neighbors(
 
     # Single shared pass: count how many of u's neighbors reach each node,
     # remembering the first contributor so unique nodes can be credited to
-    # exactly one neighbor without re-walking every neighborhood.
+    # exactly one neighbor without re-walking every neighborhood.  Each
+    # neighborhood is deduplicated first — a neighbor listing the same
+    # node twice is still only one reacher (set semantics; see _distinct).
     counts: Dict[int, int] = {}
     owner: Dict[int, int] = {}
     for v in nbrs:
-        for x in neighborhood_of(v):
+        for x in _distinct(neighborhood_of(v)):
             if x in counts:
                 counts[x] += 1
             else:

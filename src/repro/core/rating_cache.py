@@ -1,0 +1,526 @@
+"""Incremental Makalu rating engine.
+
+:func:`repro.core.rating.rate_neighbors` re-derives, on every call, the
+occurrence counts behind F(u, v): it walks each neighbor's full
+neighborhood, counts how many neighbors reach each node, and splits the
+node boundary into per-neighbor uniqueness credits.  That is O(sum of
+neighborhood sizes) *per rating*, and overlay construction rates nodes
+constantly — every accept/prune decision in ``Manage()``, every
+refinement swap, every churn repair.  At 100k nodes the rating function
+dominates build, refinement and repair wall time.
+
+:class:`RatingCache` keeps that per-node state **materialized** and
+applies O(|Gamma(v)|) deltas when the overlay mutates instead of
+re-walking every neighborhood:
+
+* per rated node ``u`` it stores, for every node ``x`` visible through
+  ``u``'s neighbors, a packed ``(occurrence count, contributor-id sum)``
+  word.  The id sum is the owner trick: when the count is 1 the sum *is*
+  the unique contributor, and when a count drops 2 -> 1 subtracting the
+  departing contributor reveals the remaining owner — no contributor
+  sets needed;
+* from those words it maintains the node-boundary size and each
+  neighbor's unique-reachable count, so a rating evaluation is a single
+  O(degree) pass producing **bit-identical** floats to ``rate_neighbors``
+  (same operations in the same order);
+* it subscribes to :class:`~repro.topology.graph.AdjacencyBuilder`
+  mutations, so every edge add/remove — prune, accept, failure, repair —
+  updates the cached state in O(degree) without callers knowing the
+  cache exists;
+* :meth:`warm` / :meth:`rate_many` are the NumPy batch paths: one
+  vectorized pass over the frozen CSR builds (or rates) many nodes per
+  call, which is how ``MakaluBuilder`` primes refinement rounds.
+
+Cached state is exact, not approximate.  ``cross_check=True`` re-derives
+every rating through the scalar kernel and raises
+:class:`RatingCacheMismatch` on any bitwise difference; the property
+suite runs this mode over randomized mutation sequences.
+
+Observability counters (live under ``rating_cache.*`` when an obs
+session is active): ``hits`` (cached evaluations), ``full_recomputes``
+(cold builds), ``delta_updates`` (edge events applied incrementally),
+``warm_builds`` (entries built by the vectorized batch path) and
+``invalidations`` (entries dropped, e.g. for failed nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.rating import _LATENCY_FLOOR, RatingWeights, rate_neighbors
+from repro.obs import runtime as _obs
+from repro.topology.csr import ragged_slices
+from repro.topology.graph import AdjacencyBuilder, OverlayGraph
+
+#: The vectorized batch path packs ``count << shift | contributor_sum``
+#: into int64; beyond this many nodes (3 * bit_length > 62) it would
+#: overflow, so warm/rate_many fall back to scalar per-node builds.
+_VECTOR_NODE_LIMIT = 1 << 20
+
+
+class RatingCacheMismatch(AssertionError):
+    """A cached rating diverged from the scalar reference (cross-check)."""
+
+
+class _Entry:
+    """Cached rating state of one node.
+
+    ``occ`` maps every node ``x`` visible through the owner's neighbors to
+    ``(count << shift) | contributor_id_sum`` where ``count`` is how many
+    neighbors list ``x`` and the sum is over those contributors' ids.
+    ``unique[v]`` is |R(u, v)| for each current neighbor ``v``;
+    ``boundary`` is |dGamma(u)|.
+    """
+
+    __slots__ = ("occ", "unique", "boundary")
+
+    def __init__(self):
+        self.occ: Dict[int, int] = {}
+        self.unique: Dict[int, int] = {}
+        self.boundary = 0
+
+
+class RatingCache:
+    """Incremental, exactly-consistent Makalu rating state over a builder
+    adjacency.
+
+    Parameters
+    ----------
+    adj:
+        The mutable overlay being constructed/maintained.  The cache
+        installs itself as the adjacency's mutation observer; there can be
+        only one cache per adjacency.
+    weights:
+        alpha/beta weighting used by :meth:`ratings`.
+    cross_check:
+        Re-derive every cached rating through the scalar
+        :func:`~repro.core.rating.rate_neighbors` and raise
+        :class:`RatingCacheMismatch` on any bitwise difference.  Exact but
+        slow — for tests and debugging.
+    """
+
+    def __init__(
+        self,
+        adj: AdjacencyBuilder,
+        weights: RatingWeights = RatingWeights(),
+        cross_check: bool = False,
+    ):
+        if adj.observer is not None:
+            raise ValueError("adjacency already has a mutation observer")
+        self.adj = adj
+        self.weights = weights
+        self.cross_check = cross_check
+        # Packed-word layout: contributor sums are < n_nodes^2, so two
+        # bit-lengths of headroom keep them clear of the count bits.
+        self._shift = 2 * max(adj.n_nodes.bit_length(), 1)
+        self._entries: Dict[int, _Entry] = {}
+        self._adjlist = adj._adj  # list[dict]; hot loops skip the accessor
+        adj.observer = self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, u: int) -> bool:
+        return u in self._entries
+
+    # ------------------------------------------------------------------
+    # Observer protocol (AdjacencyBuilder calls these after mutating)
+    # ------------------------------------------------------------------
+
+    def edge_added(self, u: int, v: int) -> None:
+        entries = self._entries
+        if not entries:
+            return
+        adjlist = self._adjlist
+        one = 1 << self._shift
+        two = one << 1
+        eu = entries.get(u)
+        if eu is not None:
+            self._attach(eu, u, v)
+        ev = entries.get(v)
+        if ev is not None:
+            self._attach(ev, v, u)
+        # Third parties: every cached w with u (resp. v) as a neighbor now
+        # sees v (resp. u) in that neighbor's shared list — an O(1) count
+        # bump each.  (Delta bodies are inlined here and below: this runs
+        # once per neighbor per edge event, and method-call overhead alone
+        # was costing more than the scalar ratings the cache replaces.)
+        entries_get = entries.get
+        for a, b in ((u, v), (v, u)):
+            one_a = one | a
+            for w in adjlist[a]:
+                if w == b:
+                    continue
+                e = entries_get(w)
+                if e is None:
+                    continue
+                occ = e.occ
+                p = occ.get(b)
+                if p is None:
+                    occ[b] = one_a
+                    if b not in adjlist[w]:
+                        e.boundary += 1
+                        e.unique[a] += 1
+                else:
+                    occ[b] = p + one_a
+                    if p < two and b not in adjlist[w]:
+                        # count went 1 -> 2: the old owner loses its credit.
+                        e.unique[p - one] -= 1
+        _obs.count("rating_cache.delta_updates")
+
+    def edge_removed(self, u: int, v: int) -> None:
+        entries = self._entries
+        if not entries:
+            return
+        adjlist = self._adjlist
+        one = 1 << self._shift
+        two = one << 1
+        eu = entries.get(u)
+        if eu is not None:
+            self._detach(eu, u, v)
+        ev = entries.get(v)
+        if ev is not None:
+            self._detach(ev, v, u)
+        entries_get = entries.get
+        for a, b in ((u, v), (v, u)):
+            one_a = one | a
+            for w in adjlist[a]:
+                # b is already out of adjlist[a], so w != b throughout.
+                e = entries_get(w)
+                if e is None:
+                    continue
+                occ = e.occ
+                p = occ[b] - one_a
+                if p < one:  # count dropped to zero
+                    del occ[b]
+                    if b not in adjlist[w]:
+                        e.boundary -= 1
+                        e.unique[a] -= 1
+                else:
+                    occ[b] = p
+                    if p < two and b not in adjlist[w]:
+                        # count went 2 -> 1: the id sum is the new owner.
+                        e.unique[p - one] += 1
+        _obs.count("rating_cache.delta_updates")
+
+    # ------------------------------------------------------------------
+    # Endpoint deltas
+    # ------------------------------------------------------------------
+
+    def _attach(self, e: _Entry, u: int, v: int) -> None:
+        """``v`` became a neighbor of cached ``u`` (edge already in adj)."""
+        one = 1 << self._shift
+        two = one << 1
+        occ = e.occ
+        unique = e.unique
+        # v moves into Gamma(u): if it was reachable through other
+        # neighbors it leaves the boundary (and its owner loses credit).
+        p = occ.get(v)
+        if p is not None:
+            if p < two:
+                unique[p - one] -= 1
+            e.boundary -= 1
+        unique[v] = 0
+        # Contributions of v's (current) shared list, including u itself.
+        nbrs_u = self._adjlist[u]
+        one_v = one | v
+        for x in self._adjlist[v]:
+            p = occ.get(x)
+            if p is None:
+                occ[x] = one_v
+                if x != u and x not in nbrs_u:
+                    e.boundary += 1
+                    unique[v] += 1
+            else:
+                occ[x] = p + one_v
+                if p < two and x != u and x not in nbrs_u:
+                    unique[p - one] -= 1
+
+    def _detach(self, e: _Entry, u: int, v: int) -> None:
+        """``v`` stopped being a neighbor of cached ``u`` (edge removed)."""
+        one = 1 << self._shift
+        two = one << 1
+        occ = e.occ
+        unique = e.unique
+        # Remove v's contributions: its current shared list plus the
+        # back-link to u that disappeared with the edge.
+        nbrs_u = self._adjlist[u]
+        one_v = one | v
+        for x in self._adjlist[v]:
+            p = occ[x] - one_v
+            if p < one:
+                del occ[x]
+                if x != u and x not in nbrs_u:
+                    e.boundary -= 1
+                    unique[v] -= 1
+            else:
+                occ[x] = p
+                if p < two and x != u and x not in nbrs_u:
+                    unique[p - one] += 1
+        p = occ[u] - one_v  # the back-link; u is inner, no bookkeeping
+        if p < one:
+            del occ[u]
+        else:
+            occ[u] = p
+        # v leaves Gamma(u); if still reachable through other neighbors it
+        # re-enters the boundary (and may be someone's unique credit).
+        del unique[v]
+        p = occ.get(v)
+        if p is not None:
+            e.boundary += 1
+            if p < two:
+                unique[p - one] += 1
+
+    # ------------------------------------------------------------------
+    # Cold build (scalar)
+    # ------------------------------------------------------------------
+
+    def _build(self, u: int) -> _Entry:
+        adjlist = self._adjlist
+        one = 1 << self._shift
+        e = _Entry()
+        occ = e.occ
+        nbrs = adjlist[u]
+        for v in nbrs:
+            for x in adjlist[v]:
+                p = occ.get(x)
+                occ[x] = (one | v) if p is None else p + one + v
+        e.unique = dict.fromkeys(nbrs, 0)
+        unique = e.unique
+        boundary = 0
+        for x, p in occ.items():
+            if x == u or x in nbrs:
+                continue
+            boundary += 1
+            if p < (one << 1):
+                unique[p - one] += 1
+        e.boundary = boundary
+        return e
+
+    # ------------------------------------------------------------------
+    # Rating evaluation
+    # ------------------------------------------------------------------
+
+    def ratings(self, u: int) -> Dict[int, float]:
+        """F(u, v) for every neighbor ``v`` — bit-identical to the scalar
+        :func:`~repro.core.rating.rate_neighbors` on the same adjacency."""
+        e = self._entries.get(u)
+        if e is None:
+            e = self._build(u)
+            self._entries[u] = e
+            _obs.count("rating_cache.full_recomputes")
+        else:
+            _obs.count("rating_cache.hits")
+        out = self._evaluate(u, e)
+        if self.cross_check:
+            self._verify(u, out)
+        return out
+
+    def _evaluate(self, u: int, e: _Entry) -> Dict[int, float]:
+        lat = self._adjlist[u]
+        if not lat:
+            return {}
+        d_max = max(lat.values())
+        if d_max < _LATENCY_FLOOR:
+            d_max = _LATENCY_FLOOR
+        alpha, beta = self.weights.alpha, self.weights.beta
+        boundary = e.boundary
+        unique = e.unique
+        ratings: Dict[int, float] = {}
+        for v, d in lat.items():
+            connectivity = (unique[v] / boundary) if boundary else 0.0
+            proximity = d_max / (d if d > _LATENCY_FLOOR else _LATENCY_FLOOR)
+            ratings[v] = alpha * connectivity + beta * proximity
+        return ratings
+
+    def _verify(self, u: int, cached: Dict[int, float]) -> None:
+        adjlist = self._adjlist
+        reference = rate_neighbors(
+            u, adjlist[u], lambda v: adjlist[v].keys(), self.weights
+        )
+        if cached != reference:
+            diverging = {
+                v: (cached.get(v), reference.get(v))
+                for v in set(cached) | set(reference)
+                if cached.get(v) != reference.get(v)
+            }
+            raise RatingCacheMismatch(
+                f"cached ratings for node {u} diverge from rate_neighbors: "
+                f"{diverging}"
+            )
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def drop(self, u: int) -> None:
+        """Forget ``u``'s cached state (e.g. the node failed)."""
+        if self._entries.pop(u, None) is not None:
+            _obs.count("rating_cache.invalidations")
+
+    def drop_many(self, nodes: Iterable[int]) -> None:
+        """Forget cached state for all of ``nodes``.
+
+        Dropping a failing node *before* its edges are torn down also
+        skips the pointless O(degree^2) delta work of updating an entry
+        nobody will read again.
+        """
+        entries = self._entries
+        dropped = 0
+        for u in nodes:
+            if entries.pop(u, None) is not None:
+                dropped += 1
+        if dropped:
+            _obs.count("rating_cache.invalidations", dropped)
+
+    def clear(self) -> None:
+        """Forget all cached state.
+
+        Used before bulk graph rewrites (a batch refinement round's edge
+        diff) where re-warming from scratch beats replaying every edge
+        event through the per-entry delta path.
+        """
+        if self._entries:
+            _obs.count("rating_cache.invalidations", len(self._entries))
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Vectorized batch paths
+    # ------------------------------------------------------------------
+
+    def warm(self, nodes: Iterable[int], graph: Optional[OverlayGraph] = None) -> int:
+        """Build cache entries for every uncached node in ``nodes``.
+
+        One vectorized NumPy pass over the frozen CSR replaces thousands
+        of per-node Python counting loops; subsequent ratings of the
+        warmed nodes are O(degree) cache hits.  Returns the number of
+        entries built.  ``graph`` may supply an already-frozen snapshot of
+        the adjacency (it must be current); otherwise one is taken.
+        """
+        todo = [u for u in nodes if u not in self._entries]
+        if not todo:
+            return 0
+        if self.adj.n_nodes > _VECTOR_NODE_LIMIT:
+            for u in todo:
+                self._entries[u] = self._build(u)
+            _obs.count("rating_cache.warm_builds", len(todo))
+            return len(todo)
+        state = self._bulk_state(np.asarray(todo, dtype=np.int64), graph)
+        entries = self._entries
+        for u, xs, packed, unique, boundary in state:
+            e = _Entry()
+            e.occ = dict(zip(xs, packed))
+            e.unique = unique
+            e.boundary = boundary
+            entries[u] = e
+        _obs.count("rating_cache.warm_builds", len(todo))
+        return len(todo)
+
+    def rate_many(
+        self, nodes: Iterable[int], graph: Optional[OverlayGraph] = None
+    ) -> Dict[int, Dict[int, float]]:
+        """Rate many nodes in one call: ``{u: {v: F(u, v)}}``.
+
+        Entries are built (vectorized) for any uncached node first; the
+        per-node evaluations are then plain cache hits, bit-identical to
+        :meth:`ratings`.
+        """
+        nodes = [int(u) for u in nodes]
+        self.warm(nodes, graph)
+        entries = self._entries
+        out = {}
+        for u in nodes:
+            out[u] = self._evaluate(u, entries[u])
+        if self.cross_check:
+            for u in nodes:
+                self._verify(u, out[u])
+        _obs.count("rating_cache.hits", len(nodes))
+        return out
+
+    def _bulk_state(self, S: np.ndarray, graph: Optional[OverlayGraph]):
+        """Vectorized equivalent of :meth:`_build` for many nodes at once.
+
+        Yields ``(u, xs, packed, unique, boundary)`` tuples ready to become
+        entries: the per-(u, x) occurrence words come from one sort +
+        ``reduceat`` over the expanded (u, v, x) triples of the frozen CSR.
+        """
+        g = graph if graph is not None else self.adj.freeze()
+        n = g.n_nodes
+        indptr, indices = g.indptr, g.indices
+        shift = self._shift
+
+        # Level 1: (u, v) pairs — every neighbor v of every target u.
+        pos_uv, owner_uv = ragged_slices(indptr, S)
+        V = indices[pos_uv]
+        # Level 2: (u, v, x) triples — v's shared list, owner-tracked.
+        pos_x, owner_pair = ragged_slices(indptr, V)
+        X = indices[pos_x]
+        U2 = S[owner_uv[owner_pair]]
+        C2 = V[owner_pair]
+
+        empty = set(S.tolist())
+        if X.size:
+            # Group triples by (u, x); per group: count and contributor sum.
+            key = U2 * n + X
+            order = np.argsort(key)
+            key_s, c_s = key[order], C2[order]
+            starts = np.flatnonzero(
+                np.concatenate(([True], key_s[1:] != key_s[:-1]))
+            )
+            counts = np.diff(np.append(starts, key_s.size))
+            osum = np.add.reduceat(c_s, starts)
+            gkey = key_s[starts]
+            gu, gx = gkey // n, gkey % n
+            packed = (counts.astype(np.int64) << shift) | osum
+
+            # Inner-set membership: x == u, or (u, x) is an edge — one
+            # searchsorted against the sorted global (row, col) key array.
+            rowkeys = (
+                np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr)) * n
+                + indices
+            )
+            idx = np.searchsorted(rowkeys, gkey)
+            hit = idx < rowkeys.size
+            hit[hit] = rowkeys[idx[hit]] == gkey[hit]
+            inner = (gx == gu) | hit
+
+            outer = ~inner
+            boundary_per_node = np.bincount(gu[outer], minlength=n)
+
+            # Unique credits: boundary groups with count 1 belong to the
+            # single contributor (the id sum itself).
+            sel = outer & (counts == 1)
+            credit_keys, credit_counts = np.unique(
+                gu[sel] * n + osum[sel], return_counts=True
+            )
+            credits: Dict[int, Dict[int, int]] = {}
+            for k, c in zip(credit_keys.tolist(), credit_counts.tolist()):
+                credits.setdefault(k // n, {})[k % n] = c
+
+            u_starts = np.flatnonzero(
+                np.concatenate(([True], gu[1:] != gu[:-1]))
+            )
+            u_ends = np.append(u_starts[1:], gu.size)
+            gx_l, packed_l = gx.tolist(), packed.tolist()
+            adjlist = self._adjlist
+            for st, en in zip(u_starts.tolist(), u_ends.tolist()):
+                u = int(gu[st])
+                empty.discard(u)
+                unique = dict.fromkeys(adjlist[u], 0)
+                unique.update(credits.get(u, ()))
+                yield (
+                    u,
+                    gx_l[st:en],
+                    packed_l[st:en],
+                    unique,
+                    int(boundary_per_node[u]),
+                )
+        # Isolated targets still deserve (empty) entries.
+        for u in sorted(empty):
+            yield (u, [], [], {}, 0)

@@ -54,6 +54,7 @@ HIGHER_IS_BETTER = (
     "accepted",
     "mean_degree",
     "min_degree",
+    "hits",
 )
 
 

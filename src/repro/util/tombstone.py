@@ -1,0 +1,181 @@
+"""An append-ordered collection with O(log n) removal and O(log n) indexing.
+
+:class:`TombstoneList` replaces the plain ``list`` the Makalu builder kept
+its joined-node roster in.  The roster is read three ways on hot paths:
+
+* **uniform picks** — ``rng.integers(0, len(joined))`` then ``joined[i]``
+  (bootstrap seed peers);
+* **membership** — "is this node still in the candidate pool?";
+* **ordered iteration** — refinement rounds walk the roster.
+
+and written two ways: a node is appended on join and removed on departure/
+failure.  With a plain list, removal preserving order is an O(n) rebuild —
+quadratic under heavy churn where every departure removes one node.
+
+Here removal just *tombstones* the physical slot and updates a Fenwick
+(binary indexed) tree of alive counts, so the logical sequence — alive
+items in append order — is unchanged while removal costs O(log n).
+Logical indexing is a Fenwick order-statistics ``select`` (the i-th alive
+slot), also O(log n).  Crucially the logical sequence is **identical** to
+what the old compact list held at every point in time, so seeded
+simulations draw the same picks and follow bit-identical trajectories.
+
+When more than half the physical slots are tombstones the storage is
+compacted (O(n), amortized O(1) per removal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+#: Compaction never triggers below this many tombstones, so small rosters
+#: (unit tests, tiny sims) keep their physical layout stable.
+_MIN_COMPACT = 64
+
+
+class TombstoneList:
+    """Append-ordered int collection with tombstoned O(log n) removal.
+
+    The logical content is the subsequence of alive items in append order;
+    ``__len__`` / ``__iter__`` / ``__getitem__`` / ``__contains__`` all
+    speak logical terms.  Items are hashable node ids and must be unique
+    among alive entries (re-appending a removed id is fine — that is the
+    rejoin-after-departure pattern).
+    """
+
+    __slots__ = ("_items", "_alive", "_pos", "_fen", "_n_alive")
+
+    def __init__(self, items: Iterable[int] = ()):
+        self._items: List[int] = []
+        self._alive = bytearray()
+        self._pos = {}  # item -> physical slot (alive entries only)
+        self._fen: List[int] = [0]  # 1-indexed Fenwick tree of alive flags
+        self._n_alive = 0
+        for x in items:
+            self.append(x)
+
+    # ------------------------------------------------------------------
+    # Fenwick helpers (1-indexed over physical slots)
+    # ------------------------------------------------------------------
+
+    def _prefix(self, i: int) -> int:
+        """Alive count in physical slots [0, i) (i is 1-indexed exclusive)."""
+        fen, s = self._fen, 0
+        while i > 0:
+            s += fen[i]
+            i -= i & -i
+        return s
+
+    def _add(self, i: int, delta: int) -> None:
+        fen = self._fen
+        n = len(fen) - 1
+        while i <= n:
+            fen[i] += delta
+            i += i & -i
+
+    def _select(self, k: int) -> int:
+        """Physical slot of the k-th (0-based) alive item."""
+        fen = self._fen
+        pos, remaining = 0, k + 1
+        bit = 1 << (len(fen) - 1).bit_length()
+        while bit:
+            nxt = pos + bit
+            if nxt < len(fen) and fen[nxt] < remaining:
+                pos = nxt
+                remaining -= fen[nxt]
+            bit >>= 1
+        return pos  # 0-indexed physical slot (pos is 1-indexed - 1)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, x: int) -> None:
+        """Append ``x`` to the logical end; it must not already be alive."""
+        if x in self._pos:
+            raise ValueError(f"{x} is already in the list")
+        phys = len(self._items)
+        self._items.append(x)
+        self._alive.append(1)
+        self._pos[x] = phys
+        # Fenwick append: node i covers slots (i - lowbit(i), i].
+        i = phys + 1
+        self._fen.append(1 + self._prefix(i - 1) - self._prefix(i - (i & -i)))
+        self._n_alive += 1
+
+    def discard(self, x: int) -> bool:
+        """Remove ``x`` if alive; returns whether anything was removed."""
+        phys = self._pos.pop(x, None)
+        if phys is None:
+            return False
+        self._alive[phys] = 0
+        self._add(phys + 1, -1)
+        self._n_alive -= 1
+        return True
+
+    def discard_many(self, xs: Iterable[int]) -> int:
+        """Remove every alive member of ``xs``; returns the count removed.
+
+        O(k log n) for k removals, plus amortized compaction — this is the
+        operation that replaces the old O(n) full-list rebuild per failure
+        event.
+        """
+        removed = sum(1 for x in xs if self.discard(x))
+        dead = len(self._items) - self._n_alive
+        if dead > _MIN_COMPACT and dead > self._n_alive:
+            self._compact()
+        return removed
+
+    def _compact(self) -> None:
+        items = [x for x, a in zip(self._items, self._alive) if a]
+        self._items = items
+        self._alive = bytearray(b"\x01" * len(items))
+        self._pos = {x: i for i, x in enumerate(items)}
+        fen = [0] * (len(items) + 1)
+        for i in range(1, len(fen)):
+            fen[i] = i & -i  # all alive: node i covers lowbit(i) slots
+        self._fen = fen
+
+    # ------------------------------------------------------------------
+    # Logical reads
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_alive
+
+    def __contains__(self, x) -> bool:
+        return x in self._pos
+
+    def __iter__(self) -> Iterator[int]:
+        return (x for x, a in zip(self._items, self._alive) if a)
+
+    def __getitem__(self, k: int) -> int:
+        if not isinstance(k, (int, np.integer)):
+            raise TypeError("TombstoneList indices must be integers")
+        if k < 0:
+            k += self._n_alive
+        if not 0 <= k < self._n_alive:
+            raise IndexError("TombstoneList index out of range")
+        return self._items[self._select(int(k))]
+
+    def to_array(self) -> np.ndarray:
+        """Alive items in logical order as an int64 array."""
+        if self._n_alive == len(self._items):
+            return np.asarray(self._items, dtype=np.int64)
+        return np.fromiter(iter(self), dtype=np.int64, count=self._n_alive)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = self.to_array()
+        return arr.astype(dtype) if dtype is not None else arr
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TombstoneList):
+            return list(self) == list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TombstoneList({list(self)!r})"

@@ -1,0 +1,98 @@
+"""Rating-cache integration with the Makalu builder and maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.maintenance import prune_to_capacity, repair_after_failure
+from repro.core.makalu import MakaluBuilder, MakaluConfig
+from repro.core.rating_cache import RatingCache
+from repro.netmodel import EuclideanModel
+from repro.topology.graph import AdjacencyBuilder
+
+
+def graphs_equal(a, b):
+    return (
+        np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.latency, b.latency)
+    )
+
+
+class TestBuildIdentity:
+    """The cache is an engine swap: overlays must be bit-identical."""
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_cache_on_off_same_overlay(self, seed):
+        model = EuclideanModel(220, seed=3)
+        on = MakaluBuilder(
+            model=model, config=MakaluConfig(use_rating_cache=True), seed=seed
+        ).build()
+        off = MakaluBuilder(
+            model=model, config=MakaluConfig(use_rating_cache=False), seed=seed
+        ).build()
+        assert graphs_equal(on, off)
+
+    def test_crosscheck_build_matches(self):
+        """A full build under cross_check both verifies every rating
+        against the scalar kernel and produces the identical overlay."""
+        model = EuclideanModel(150, seed=5)
+        plain = MakaluBuilder(
+            model=model, config=MakaluConfig(use_rating_cache=False), seed=2
+        ).build()
+        checked = MakaluBuilder(
+            model=model,
+            config=MakaluConfig(use_rating_cache=True, rating_crosscheck=True),
+            seed=2,
+        ).build()
+        assert graphs_equal(plain, checked)
+
+    def test_builder_exposes_cache_per_config(self):
+        b = MakaluBuilder(n_nodes=10, seed=1)
+        assert isinstance(b.rating_cache, RatingCache)
+        b2 = MakaluBuilder(
+            n_nodes=10, config=MakaluConfig(use_rating_cache=False), seed=1
+        )
+        assert b2.rating_cache is None
+
+
+class TestMaintenanceThreading:
+    def test_prune_to_capacity_accepts_cache(self):
+        adj = AdjacencyBuilder(8)
+        cache = RatingCache(adj)
+        for v in range(1, 7):
+            adj.add_edge(0, v, latency=float(v))
+        adj.add_edge(1, 7, latency=1.0)  # keep node 1 connected post-prune
+        removed = prune_to_capacity(adj, node=0, capacity=3, cache=cache)
+        assert adj.degree(0) == 3
+        assert len(removed) == 3
+        # Scalar path on an identical graph prunes the same victims.
+        adj2 = AdjacencyBuilder(8)
+        for v in range(1, 7):
+            adj2.add_edge(0, v, latency=float(v))
+        adj2.add_edge(1, 7, latency=1.0)
+        assert prune_to_capacity(adj2, node=0, capacity=3) == removed
+
+    def test_prune_rejects_foreign_cache(self):
+        adj = AdjacencyBuilder(4)
+        other = AdjacencyBuilder(4)
+        cache = RatingCache(other)
+        adj.add_edge(0, 1, latency=1.0)
+        with pytest.raises(ValueError):
+            prune_to_capacity(adj, node=0, capacity=0, cache=cache)
+
+    def test_repair_after_failure_drops_failed_entries(self):
+        model = EuclideanModel(80, seed=1)
+        builder = MakaluBuilder(model=model, seed=4)
+        builder.build()
+        cache = builder.rating_cache
+        failed = [3, 11, 19]
+        for u in failed:
+            cache.ratings(u)
+        repair_after_failure(builder, failed)
+        for u in failed:
+            assert u not in cache
+            assert u not in builder._joined
+        # Survivors' cached state stayed coherent through the teardown.
+        for u in range(30):
+            if u not in failed and len(builder.adj.neighbors(u)):
+                assert set(cache.ratings(u)) == set(builder.adj.neighbors(u))

@@ -1,0 +1,140 @@
+"""The incremental RatingCache must be bit-identical to rate_neighbors.
+
+Random edge add/remove sequences are applied to an AdjacencyBuilder with
+an attached cache; after every batch of mutations, each node's cached
+ratings must equal the scalar kernel's output exactly (no tolerance —
+the cache must be a drop-in replacement inside build decisions, where
+any last-bit difference changes prune victims and hence the overlay).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rating import RatingWeights, rate_neighbors
+from repro.core.rating_cache import RatingCache, RatingCacheMismatch
+from repro.topology.graph import AdjacencyBuilder
+
+N_NODES = 14
+
+
+def scalar_ratings(adj, u, weights):
+    return rate_neighbors(
+        u, adj.neighbors(u), lambda v: adj.neighbors(v).keys(), weights
+    )
+
+
+def apply_ops(adj, ops):
+    """Replay (u, v) toggle ops: add the edge if absent, else remove it."""
+    for u, v in ops:
+        if u == v:
+            continue
+        if adj.has_edge(u, v):
+            adj.remove_edge(u, v)
+        else:
+            adj.add_edge(u, v, latency=1.0 + abs(u - v))
+
+
+edge_ops = st.lists(
+    st.tuples(st.integers(0, N_NODES - 1), st.integers(0, N_NODES - 1)),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestCacheScalarParity:
+    @given(edge_ops, edge_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_ratings_exact_after_mutations(self, warm_ops, churn_ops):
+        adj = AdjacencyBuilder(N_NODES)
+        cache = RatingCache(adj, weights=RatingWeights())
+        apply_ops(adj, warm_ops)
+        # Materialize entries mid-sequence so later ops exercise the
+        # incremental delta path, not just cold builds.
+        for u in range(N_NODES):
+            cache.ratings(u)
+        apply_ops(adj, churn_ops)
+        for u in range(N_NODES):
+            assert cache.ratings(u) == scalar_ratings(adj, u, cache.weights)
+
+    @given(edge_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_warm_matches_scalar_builds(self, ops):
+        """warm()'s batch-built state equals per-node incremental state."""
+        adj = AdjacencyBuilder(N_NODES)
+        cache = RatingCache(adj)
+        apply_ops(adj, ops)
+        cache.warm(range(N_NODES))
+        for u in range(N_NODES):
+            assert cache.ratings(u) == scalar_ratings(adj, u, cache.weights)
+
+    @given(edge_ops, edge_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_rate_many_matches_per_node(self, warm_ops, churn_ops):
+        adj = AdjacencyBuilder(N_NODES)
+        cache = RatingCache(adj)
+        apply_ops(adj, warm_ops)
+        cache.warm(range(N_NODES))
+        apply_ops(adj, churn_ops)
+        batch = cache.rate_many(range(N_NODES))
+        for u in range(N_NODES):
+            assert batch[u] == scalar_ratings(adj, u, cache.weights)
+
+    @given(edge_ops, st.integers(0, N_NODES - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_drop_then_rebuild_is_exact(self, ops, victim):
+        adj = AdjacencyBuilder(N_NODES)
+        cache = RatingCache(adj)
+        apply_ops(adj, ops)
+        for u in range(N_NODES):
+            cache.ratings(u)
+        cache.drop(victim)
+        assert victim not in cache
+        assert cache.ratings(victim) == scalar_ratings(adj, victim, cache.weights)
+
+
+class TestCrossCheckMode:
+    def test_crosscheck_passes_on_honest_state(self):
+        adj = AdjacencyBuilder(8)
+        cache = RatingCache(adj, cross_check=True)
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            u, v = rng.integers(0, 8, size=2)
+            if u != v and not adj.has_edge(int(u), int(v)):
+                adj.add_edge(int(u), int(v), latency=float(1 + u + v))
+        for u in range(8):
+            cache.ratings(u)  # must not raise
+
+    def test_crosscheck_raises_on_corrupted_state(self):
+        adj = AdjacencyBuilder(6)
+        cache = RatingCache(adj, cross_check=True)
+        adj.add_edge(0, 1, latency=1.0)
+        adj.add_edge(1, 2, latency=1.0)
+        adj.add_edge(0, 2, latency=1.0)
+        adj.add_edge(2, 3, latency=1.0)  # node 3 = 0's boundary, via 2
+        cache.ratings(0)
+        entry = cache._entries[0]
+        entry.unique[1] += 1  # simulate the bug the cache exists to prevent
+        with pytest.raises(RatingCacheMismatch):
+            cache.ratings(0)
+
+
+class TestObserverContract:
+    def test_single_observer_slot_enforced(self):
+        adj = AdjacencyBuilder(4)
+        RatingCache(adj)
+        with pytest.raises(ValueError):
+            RatingCache(adj)
+
+    def test_clear_forgets_everything(self):
+        adj = AdjacencyBuilder(6)
+        cache = RatingCache(adj)
+        adj.add_edge(0, 1, latency=1.0)
+        adj.add_edge(1, 2, latency=2.0)
+        for u in range(3):
+            cache.ratings(u)
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.ratings(1) == scalar_ratings(adj, 1, cache.weights)

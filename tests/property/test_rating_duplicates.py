@@ -1,0 +1,97 @@
+"""rate_neighbors must be insensitive to duplicate entries in shared lists.
+
+In the live protocol a peer's shared neighbor list can carry duplicates
+(re-announcements, overlapping gossip).  A node appearing twice in
+Gamma(v) is still one node: occurrence counts — and therefore boundary
+sizes and unique-reachability credits — must be computed over the
+*distinct* neighborhood.  These properties pin the dedup semantics
+against the set-based reference definitions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rating import (
+    RatingWeights,
+    node_boundary,
+    rate_neighbors,
+    unique_reachable,
+    worst_neighbor,
+)
+
+
+@st.composite
+def duplicated_views(draw):
+    """A local view whose shared neighbor lists carry random duplicates."""
+    n_neighbors = draw(st.integers(min_value=1, max_value=8))
+    neighbors = list(range(1, n_neighbors + 1))
+    universe = st.integers(min_value=0, max_value=25)
+    clean: dict[int, set] = {}
+    noisy: dict[int, list] = {}
+    for v in neighbors:
+        others = draw(st.sets(universe, max_size=10))
+        others.discard(v)
+        others.add(0)
+        clean[v] = others
+        # Repeat a random subset of entries 1-3 extra times, shuffled in.
+        repeats = draw(
+            st.lists(st.sampled_from(sorted(others)), max_size=12)
+        )
+        noisy[v] = draw(st.permutations(sorted(others) + repeats))
+    latencies = {
+        v: draw(st.floats(min_value=0.001, max_value=1e4, allow_nan=False))
+        for v in neighbors
+    }
+    return neighbors, clean, noisy, latencies
+
+
+class TestDuplicateInsensitivity:
+    @given(duplicated_views())
+    @settings(max_examples=150, deadline=None)
+    def test_ratings_equal_distinct_view(self, view):
+        """Duplicate-bearing lists rate bit-identically to their set views."""
+        neighbors, clean, noisy, lat = view
+        from_clean = rate_neighbors(0, lat, lambda v: clean[v])
+        from_noisy = rate_neighbors(0, lat, lambda v: noisy[v])
+        assert from_clean == from_noisy  # exact, not approx
+
+    @given(duplicated_views())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_set_based_definition(self, view):
+        """Even with duplicates, ratings equal the set-based reference."""
+        neighbors, clean, noisy, lat = view
+        fn = lambda v: noisy[v]
+        set_fn = lambda v: clean[v]
+        ratings = rate_neighbors(0, lat, fn, RatingWeights(1.0, 1.0))
+        boundary = len(node_boundary(0, neighbors, set_fn))
+        d_max = max(lat.values())
+        for v in neighbors:
+            unique = len(unique_reachable(0, v, neighbors, set_fn))
+            conn = unique / boundary if boundary else 0.0
+            prox = d_max / max(lat[v], 1e-12)
+            assert ratings[v] == pytest.approx(conn + prox, rel=1e-12)
+
+    @given(duplicated_views())
+    @settings(max_examples=100, deadline=None)
+    def test_prune_victim_unchanged_by_duplicates(self, view):
+        """The Manage() pruning decision is unaffected by list noise."""
+        neighbors, clean, noisy, lat = view
+        a = worst_neighbor(rate_neighbors(0, lat, lambda v: clean[v]))
+        b = worst_neighbor(rate_neighbors(0, lat, lambda v: noisy[v]))
+        assert a == b
+
+    @given(duplicated_views())
+    @settings(max_examples=100, deadline=None)
+    def test_connectivity_shares_still_bounded(self, view):
+        """With dedup, shares stay in [0, 1] and sum to <= 1 despite noise.
+
+        Before the dedup fix, a duplicated entry could push a neighbor's
+        occurrence count past 1 (destroying its unique-reachable credit)
+        or inflate the boundary multiset — this guards the regression.
+        """
+        neighbors, clean, noisy, lat = view
+        ratings = rate_neighbors(0, lat, lambda v: noisy[v],
+                                 RatingWeights(1.0, 0.0))
+        assert all(0.0 <= r <= 1.0 + 1e-12 for r in ratings.values())
+        assert sum(ratings.values()) <= 1.0 + 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for the tombstoned order-statistics roster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.tombstone import TombstoneList
+
+
+class TestTombstoneBasics:
+    def test_append_and_index(self):
+        t = TombstoneList()
+        for x in (5, 3, 9):
+            t.append(x)
+        assert len(t) == 3
+        assert [t[i] for i in range(3)] == [5, 3, 9]
+        assert list(t) == [5, 3, 9]
+
+    def test_discard_preserves_logical_order(self):
+        t = TombstoneList([10, 20, 30, 40, 50])
+        assert t.discard(30)
+        assert list(t) == [10, 20, 40, 50]
+        assert t[2] == 40
+        assert 30 not in t
+        assert 20 in t
+
+    def test_discard_absent_returns_false(self):
+        t = TombstoneList([1, 2, 3])
+        assert not t.discard(99)
+        assert len(t) == 3
+
+    def test_discard_many_counts_removals(self):
+        t = TombstoneList(range(10))
+        removed = t.discard_many([2, 4, 6, 99])
+        assert removed == 3
+        assert list(t) == [0, 1, 3, 5, 7, 8, 9]
+
+    def test_index_error_out_of_range(self):
+        t = TombstoneList([1, 2])
+        with pytest.raises(IndexError):
+            t[2]
+
+    def test_to_array_and_numpy_protocol(self):
+        t = TombstoneList([7, 8, 9])
+        t.discard(8)
+        np.testing.assert_array_equal(t.to_array(), [7, 9])
+        np.testing.assert_array_equal(np.asarray(t), [7, 9])
+
+    def test_equality_with_plain_list(self):
+        t = TombstoneList([1, 2, 3])
+        t.discard(2)
+        assert t == [1, 3]
+
+    def test_append_after_discard(self):
+        t = TombstoneList([1, 2])
+        t.discard(1)
+        t.append(5)
+        assert list(t) == [2, 5]
+        assert t[1] == 5
+
+
+class TestTombstoneMatchesListSemantics:
+    """The roster must behave exactly like remove-by-value on a plain list."""
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["append", "discard"]),
+                      st.integers(min_value=0, max_value=40)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_op_sequences(self, ops):
+        t = TombstoneList()
+        ref: list[int] = []
+        for op, x in ops:
+            if op == "append":
+                # The roster holds unique node ids, mirroring _joined.
+                if x not in ref:
+                    t.append(x)
+                    ref.append(x)
+            else:
+                expected = x in ref
+                assert t.discard(x) == expected
+                if expected:
+                    ref.remove(x)
+            assert len(t) == len(ref)
+        assert list(t) == ref
+        for i, want in enumerate(ref):
+            assert t[i] == want
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_seeded_selection_matches_list(self, seed):
+        """rng-driven picks by index agree with the plain-list equivalent,
+        including after compaction-triggering removal storms."""
+        rng = np.random.default_rng(seed)
+        ref = list(range(300))
+        t = TombstoneList(ref)
+        dead = rng.choice(300, size=250, replace=False)
+        t.discard_many(dead.tolist())
+        for d in dead.tolist():
+            ref.remove(d)
+        picks = rng.integers(0, len(ref), size=50)
+        assert [t[int(i)] for i in picks] == [ref[int(i)] for i in picks]
