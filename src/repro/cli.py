@@ -181,6 +181,76 @@ def cmd_response(args) -> int:
     return 0
 
 
+def cmd_capacity(args) -> int:
+    """Serve a continuous trace-shaped workload through shared queues."""
+    from repro.sim import (
+        draw_workload_sources,
+        saturation_sweep,
+        scale_workload,
+        simulate_workload,
+    )
+    from repro.trace import GNUTELLA_2003, GNUTELLA_2006
+    from repro.trace.workload import generate_workload
+
+    stats = GNUTELLA_2006 if args.trace_stats == "2006" else GNUTELLA_2003
+    graph = _make_overlay(args)
+    placement = place_objects(
+        graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
+    )
+    workload = generate_workload(
+        stats, args.duration, n_objects=args.objects,
+        zipf_exponent=args.zipf, seed=args.seed + 4,
+    )
+    if args.rate_scale != 1.0:
+        workload = scale_workload(workload, args.rate_scale)
+    sources = draw_workload_sources(
+        graph.n_nodes, workload.n_queries, seed=args.seed + 5
+    )
+    print(f"continuous load on {args.topology} ({graph.n_nodes} nodes, "
+          f"TTL {args.ttl}, {workload.n_queries} queries @ "
+          f"{workload.rate:.1f}/s, service {args.service_time:g}s):")
+
+    if args.sweep:
+        multipliers = [float(m) for m in args.sweep.split(",")]
+        sweep = saturation_sweep(
+            graph, workload, placement, args.ttl, multipliers=multipliers,
+            sources=sources, service_time=args.service_time,
+            latency_scale=args.latency_unit,
+            metric_prefix="queue", top_k=args.top,
+        )
+        for m, r in zip(sweep.multipliers, sweep.results):
+            print(f"  x{m:<5g} p50 {r.response_quantile(0.5):8.3f}  "
+                  f"p99 {r.response_quantile(0.99):8.3f}  "
+                  f"util.max {r.utilization.max(initial=0.0):.3f}  "
+                  f"success {100 * r.success_rate:5.1f}%"
+                  f"{'  [saturated]' if r.is_saturated() else ''}")
+        sat = sweep.saturation_multiplier
+        print(f"  saturation point: "
+              f"{'not reached' if sat != sat else f'x{sat:g}'}")
+        return 0
+
+    result = simulate_workload(
+        graph, workload, placement, args.ttl, sources=sources,
+        service_time=args.service_time, latency_scale=args.latency_unit,
+        top_k=args.top,
+    )
+    print(f"  resolved: {100 * result.success_rate:.1f}%  "
+          f"messages: {result.messages}  makespan: {result.makespan:.2f}s")
+    print(f"  response  p50 {result.response_quantile(0.5):.3f}  "
+          f"p90 {result.response_quantile(0.9):.3f}  "
+          f"p99 {result.response_quantile(0.99):.3f}  "
+          f"p999 {result.response_quantile(0.999):.3f}  (virtual s)")
+    util = result.utilization
+    print(f"  utilization  max {util.max(initial=0.0):.3f}  "
+          f"mean {float(util.mean()) if util.size else 0.0:.3f}"
+          f"{'  [saturated]' if result.is_saturated() else ''}")
+    hot = ", ".join(
+        f"{int(v)}:{util[v]:.2f}" for v in result.hot_nodes(args.top)
+    )
+    print(f"  hottest nodes (id:util): {hot}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     """Print path, spectral and fault-tolerance analysis of an overlay."""
     graph = _make_overlay(args)
@@ -421,6 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--objects", type=int, default=10)
     p.add_argument("--queries", type=int, default=100)
     p.set_defaults(func=cmd_response)
+
+    p = sub.add_parser(
+        "capacity",
+        help="serve a continuous workload through shared per-node queues",
+    )
+    common(p)
+    p.add_argument("--ttl", type=int, default=5)
+    p.add_argument("--replication", type=float, default=0.01)
+    p.add_argument("--objects", type=int, default=200)
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="workload length in virtual seconds")
+    p.add_argument("--trace-stats", choices=["2003", "2006"], default="2006",
+                   help="Gnutella trace whose query rate shapes arrivals")
+    p.add_argument("--zipf", type=float, default=0.8,
+                   help="object-popularity Zipf exponent")
+    p.add_argument("--service-time", type=float, default=0.005,
+                   help="per-message processing time at each node")
+    p.add_argument("--latency-unit", type=float, default=0.001,
+                   help="seconds per link-latency unit (overlay latencies "
+                        "are in the network model's ~ms units; arrivals "
+                        "are in seconds)")
+    p.add_argument("--rate-scale", type=float, default=1.0,
+                   help="multiply the trace arrival rate")
+    p.add_argument("--sweep", metavar="M1,M2,...", default=None,
+                   help="rate multipliers for a saturation sweep "
+                        "(e.g. 1,2,4,8); same queries at every rate")
+    p.add_argument("--top", type=int, default=5,
+                   help="hot nodes to report")
+    p.set_defaults(func=cmd_capacity)
 
     p = sub.add_parser("analyze", help="structural + fault-tolerance analysis")
     common(p)

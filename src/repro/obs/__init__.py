@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     diff_snapshots,
 )
 from repro.obs.profiler import Profiler
+from repro.obs.quantiles import LogHistogram, STANDARD_QUANTILES
 from repro.obs.runtime import (
     ObsSession,
     active,
@@ -47,17 +48,20 @@ from repro.obs.runtime import (
     is_enabled,
     observe,
     observed,
+    quantile,
     record,
     span,
     tracing_active,
 )
 from repro.obs.timeseries import TimeSeries, merge_points
-from repro.obs.tracer import Tracer, read_trace
+from repro.obs.tracer import Tracer, merge_traces, read_trace
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
+    "STANDARD_QUANTILES",
     "TimeSeries",
     "MetricsRegistry",
     "DEFAULT_EDGES",
@@ -66,6 +70,7 @@ __all__ = [
     "merge_points",
     "Tracer",
     "read_trace",
+    "merge_traces",
     "Profiler",
     "ObsSession",
     "HealthConfig",
@@ -79,6 +84,7 @@ __all__ = [
     "count",
     "gauge",
     "observe",
+    "quantile",
     "record",
     "event",
     "span",

@@ -25,14 +25,17 @@ import json
 from bisect import bisect_left
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.obs.quantiles import DEFAULT_GROWTH, DEFAULT_MIN_VALUE, LogHistogram
 from repro.obs.timeseries import TimeSeries, merge_points
 
 Number = Union[int, float]
 
 #: Version stamped on (and required of) metric snapshots.  Version 2 added
-#: the ``timeseries`` section; ``merge_snapshot``/``diff_snapshots`` still
-#: accept version-1 snapshots (the section is simply absent).
-SCHEMA_VERSION = 2
+#: the ``timeseries`` section; version 3 added ``quantiles`` (streaming
+#: log-bucket latency histograms, :mod:`repro.obs.quantiles`).
+#: ``merge_snapshot``/``diff_snapshots`` still accept version-1/2
+#: snapshots (the newer sections are simply absent).
+SCHEMA_VERSION = 3
 
 #: Default histogram bucket upper bounds (powers of two cover message
 #: counts, fan-outs and hop depths across the scales the harness runs).
@@ -168,6 +171,16 @@ class MetricsRegistry:
         """Get or create the time series ``name``."""
         return self._get(name, TimeSeries)
 
+    def quantile(
+        self,
+        name: str,
+        min_value: float = DEFAULT_MIN_VALUE,
+        growth: float = DEFAULT_GROWTH,
+    ) -> LogHistogram:
+        """Get or create the quantile histogram ``name`` (geometry fixed
+        at creation)."""
+        return self._get(name, LogHistogram, min_value, growth)
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
@@ -180,14 +193,19 @@ class MetricsRegistry:
         The layout is the JSONL/CLI export schema
         (``schemas/metrics_snapshot.schema.json``)::
 
-            {"schema_version": 2,
+            {"schema_version": 3,
              "counters":   {name: int},
              "gauges":     {name: float},
              "histograms": {name: {"edges": [...], "counts": [...],
                                    "sum": float, "count": int}},
+             "quantiles":  {name: {"min_value": float, "growth": float,
+                                   "zeros": int, "counts": [...],
+                                   "sum": float, "count": int,
+                                   "min": float|null, "max": float|null}},
              "timeseries": {name: {"points": [[t, value], ...]}}}
         """
         counters, gauges, histograms, timeseries = {}, {}, {}, {}
+        quantiles = {}
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             if isinstance(inst, Counter):
@@ -198,6 +216,8 @@ class MetricsRegistry:
                 timeseries[name] = {
                     "points": [[t, v] for t, v in inst.points]
                 }
+            elif isinstance(inst, LogHistogram):
+                quantiles[name] = inst.state()
             else:
                 histograms[name] = {
                     "edges": list(inst.edges),
@@ -210,6 +230,7 @@ class MetricsRegistry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "quantiles": quantiles,
             "timeseries": timeseries,
         }
 
@@ -236,6 +257,10 @@ class MetricsRegistry:
             inst.counts = [a + b for a, b in zip(inst.counts, h["counts"])]
             inst.sum += float(h["sum"])
             inst.count += int(h["count"])
+        for name, q in snap.get("quantiles", {}).items():
+            self.quantile(
+                name, min_value=q["min_value"], growth=q["growth"]
+            ).merge_state(q)
         for name, ts in snap.get("timeseries", {}).items():
             inst = self.timeseries(name)
             inst.points = merge_points(inst.points, ts["points"])
@@ -249,6 +274,8 @@ class MetricsRegistry:
                 inst.value = 0.0
             elif isinstance(inst, TimeSeries):
                 inst.points = []
+            elif isinstance(inst, LogHistogram):
+                inst.reset()
             else:
                 inst.counts = [0] * (len(inst.edges) + 1)
                 inst.sum = 0.0
@@ -264,9 +291,10 @@ class MetricsRegistry:
 def diff_snapshots(before: dict, after: dict) -> dict:
     """Per-instrument change between two snapshots of the same registry.
 
-    Counters and histogram counts/sums subtract (``after - before``; a
-    counter absent from ``before`` diffs against zero); gauges report the
-    ``after`` value (levels do not accumulate); time series report the
+    Counters and histogram/quantile counts/sums subtract (``after -
+    before``; a counter absent from ``before`` diffs against zero); gauges
+    report the ``after`` value (levels do not accumulate); quantile
+    min/max keep ``after``'s envelope; time series report the
     points appended since ``before`` (series are append-only, so the tail
     beyond ``before``'s length is the phase's samples).  Useful for
     bracketing one phase of a longer run without resetting shared state.
@@ -276,6 +304,7 @@ def diff_snapshots(before: dict, after: dict) -> dict:
         "counters": {},
         "gauges": dict(after.get("gauges", {})),
         "histograms": {},
+        "quantiles": {},
         "timeseries": {},
     }
     b_c = before.get("counters", {})
@@ -291,6 +320,28 @@ def diff_snapshots(before: dict, after: dict) -> dict:
             "counts": [a - b for a, b in zip(h["counts"], prev["counts"])],
             "sum": h["sum"] - prev["sum"],
             "count": h["count"] - prev["count"],
+        }
+    b_q = before.get("quantiles", {})
+    for name, q in after.get("quantiles", {}).items():
+        prev = b_q.get(name)
+        if prev is None:
+            out["quantiles"][name] = {k: (list(v) if isinstance(v, list)
+                                          else v) for k, v in q.items()}
+            continue
+        counts = list(q["counts"])
+        for i, c in enumerate(prev["counts"][: len(counts)]):
+            counts[i] -= c
+        # min/max are not subtractable; the phase inherits the envelope
+        # observed by ``after`` (conservative, never narrower than truth).
+        out["quantiles"][name] = {
+            "min_value": q["min_value"],
+            "growth": q["growth"],
+            "zeros": q["zeros"] - prev.get("zeros", 0),
+            "counts": counts,
+            "sum": q["sum"] - prev.get("sum", 0.0),
+            "count": q["count"] - prev.get("count", 0),
+            "min": q.get("min"),
+            "max": q.get("max"),
         }
     b_t = before.get("timeseries", {})
     for name, ts in after.get("timeseries", {}).items():

@@ -1,0 +1,254 @@
+"""Streaming latency histograms with log-spaced buckets (HDR-style).
+
+The fixed-edge :class:`~repro.obs.metrics.Histogram` is built for small
+integer distributions (messages per query, hop depths); latency wants
+*relative* resolution across many orders of magnitude — 1 ms and 10 s in
+one instrument — plus quantile readout.  A :class:`LogHistogram` buckets
+positive observations geometrically: bucket ``i`` covers
+``(min_value * growth**(i-1), min_value * growth**i]``, so every quantile
+read back is correct to within a factor of ``growth`` (5% at the default
+1.05), independent of scale.
+
+Design constraints match the rest of the metrics layer:
+
+* **Deterministic** — no clocks, no RNG; observing is a log, a compare
+  and an add.
+* **Mergeable** — two histograms with the same ``(min_value, growth)``
+  geometry combine by summing bucket counts.  Bucket counts, ``count``,
+  ``zeros`` and the ``min``/``max`` envelope merge associatively and
+  commutatively bit-for-bit — so every quantile readout of a merged run
+  is independent of shard grouping — which is what lets
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` recombine
+  parallel shards (:mod:`repro.parallel.runner`) in any grouping.
+  ``sum`` is float accumulation and associative only to rounding, the
+  same caveat as fixed-bucket histogram sums.
+* **Exact envelope** — ``sum``/``count``/``min``/``max`` are tracked
+  exactly, so means are exact and quantile readouts are clamped into the
+  truly observed range (p999 of a merged run never exceeds the largest
+  value any shard saw).
+
+Snapshot form (``schemas/metrics_snapshot.schema.json``, version 3)::
+
+    {"quantiles": {"queue.response_s": {
+        "min_value": 1e-6, "growth": 1.05, "zeros": 0,
+        "counts": [..], "sum": 12.5, "count": 100,
+        "min": 0.004, "max": 2.75}}}
+
+Zero observations (a source node resolving its own query) land in the
+dedicated ``zeros`` bucket; negative observations are instrumentation
+bugs and raise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Union
+
+Number = Union[int, float]
+
+#: Default geometry: 5% relative quantile error, resolving down to 1 µs.
+DEFAULT_MIN_VALUE = 1e-6
+DEFAULT_GROWTH = 1.05
+
+#: Quantiles the SLO/report layers read out by default.
+STANDARD_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+class LogHistogram:
+    """Streaming distribution with geometric buckets and quantile readout.
+
+    Parameters
+    ----------
+    min_value:
+        Upper bound of the first bucket; positive observations at or
+        below it are recorded there (resolution floor).
+    growth:
+        Geometric bucket width factor (> 1).  The relative error of any
+        quantile readout is bounded by ``growth - 1``.
+    """
+
+    __slots__ = ("name", "min_value", "growth", "_log_growth", "_log_min",
+                 "zeros", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        min_value: float = DEFAULT_MIN_VALUE,
+        growth: float = DEFAULT_GROWTH,
+    ):
+        if not min_value > 0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        if not growth > 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.name = name
+        self.min_value = float(min_value)
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self._log_min = math.log(self.min_value)
+        self.zeros = 0
+        self.counts: List[int] = []
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _bucket_index(self, v: float) -> int:
+        """Bucket of a positive observation (0 covers ``(0, min_value]``)."""
+        if v <= self.min_value:
+            return 0
+        # ceil() of the exact exponent; the epsilon guards values that sit
+        # numerically on a bucket edge from spilling one bucket up.
+        exponent = (math.log(v) - self._log_min) / self._log_growth
+        return max(0, math.ceil(exponent - 1e-12))
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """Inclusive upper value bound of bucket ``index``."""
+        return self.min_value * self.growth ** index
+
+    def observe(self, v: Number) -> None:
+        """Record one observation (must be >= 0 and finite)."""
+        v = float(v)
+        if not (v >= 0.0 and math.isfinite(v)):
+            raise ValueError(
+                f"quantile histogram {self.name!r} takes finite values >= 0, "
+                f"got {v}"
+            )
+        if v == 0.0:
+            self.zeros += 1
+        else:
+            i = self._bucket_index(v)
+            if i >= len(self.counts):
+                self.counts.extend([0] * (i + 1 - len(self.counts)))
+            self.counts[i] += 1
+        self.sum += v
+        self.count += 1
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (nan when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (nan when empty).
+
+        The readout is the containing bucket's upper bound, clamped into
+        the exactly-tracked ``[min, max]`` envelope — so the relative
+        error is at most ``growth - 1`` and extreme quantiles of sparse
+        data degrade to the true extremes rather than bucket edges.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = max(1, math.ceil(q * self.count))
+        cum = self.zeros
+        if target <= cum:
+            return 0.0
+        value = None
+        for i, c in enumerate(self.counts):
+            cum += c
+            if target <= cum:
+                value = self.bucket_upper_bound(i)
+                break
+        if value is None:  # q == 1 with rounding dust; take the top bucket
+            value = self.bucket_upper_bound(len(self.counts) - 1)
+        return min(max(value, self.min), self.max)
+
+    @property
+    def p50(self) -> float:
+        """Median readout."""
+        return self.quantile(0.5)
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile readout."""
+        return self.quantile(0.9)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile readout."""
+        return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile readout."""
+        return self.quantile(0.999)
+
+    def state(self) -> dict:
+        """Plain-data snapshot form (the ``quantiles`` schema section)."""
+        return {
+            "min_value": self.min_value,
+            "growth": self.growth,
+            "zeros": int(self.zeros),
+            "counts": list(self.counts),
+            "sum": float(self.sum),
+            "count": int(self.count),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        The geometries must agree exactly — merging differently-bucketed
+        distributions would silently misplace counts.
+        """
+        if (float(state["min_value"]) != self.min_value
+                or float(state["growth"]) != self.growth):
+            raise ValueError(
+                f"quantile histogram {self.name!r} geometry disagrees "
+                f"(min_value/growth); cannot merge"
+            )
+        other = [int(c) for c in state["counts"]]
+        if len(other) > len(self.counts):
+            self.counts.extend([0] * (len(other) - len(self.counts)))
+        for i, c in enumerate(other):
+            self.counts[i] += c
+        self.zeros += int(state["zeros"])
+        self.sum += float(state["sum"])
+        self.count += int(state["count"])
+        for key, pick in (("min", min), ("max", max)):
+            v = state.get(key)
+            if v is not None:
+                mine = getattr(self, key)
+                setattr(self, key, float(v) if mine is None
+                        else pick(mine, float(v)))
+
+    def reset(self) -> None:
+        """Zero all counts, keeping the geometry."""
+        self.zeros = 0
+        self.counts = []
+        self.sum = 0.0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+
+def quantiles_of_state(state: dict, qs=STANDARD_QUANTILES) -> dict:
+    """Quantile readouts of a snapshot-form state, keyed ``"p50"`` style.
+
+    This is how the report/SLO/flatten layers read quantiles out of JSON
+    artifacts without rebuilding an instrument by hand.
+    """
+    hist = LogHistogram(
+        "readout", min_value=state["min_value"], growth=state["growth"]
+    )
+    hist.merge_state(state)
+    return {
+        "p" + format(q, "g").replace("0.", "").ljust(2, "0"): hist.quantile(q)
+        for q in qs
+    }
+
+
+def merge_states(a: dict, b: dict) -> dict:
+    """Combine two snapshot-form states (associative and commutative)."""
+    hist = LogHistogram(
+        "merge", min_value=a["min_value"], growth=a["growth"]
+    )
+    hist.merge_state(a)
+    hist.merge_state(b)
+    return hist.state()

@@ -11,7 +11,12 @@ from ``--profile-json``):
   (or bench histories), with direction-aware regression flagging for CI
   gating (``repro obs diff --fail-on-regression``);
 * :func:`export_chrome_trace` — convert a tracer JSONL file or a profile
-  dump into Chrome's ``chrome://tracing`` / Perfetto JSON format.
+  dump into Chrome's ``chrome://tracing`` / Perfetto JSON format, with
+  one lane per ``query_id`` for queueing-path events;
+* :func:`hot_metrics` — top-k per-entity gauge ranking
+  (``repro obs top``, the hot-node report);
+* ``repro obs slo`` — SLO evaluation lives in :mod:`repro.obs.slo` and
+  is wired here.
 
 Everything here is dependency-free (stdlib json only) so CI can gate on
 it without installing the package's numeric stack.
@@ -25,6 +30,8 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.quantiles import quantiles_of_state
+
 
 class UnsupportedSchemaError(ValueError):
     """An artifact announces a schema version newer than this build reads.
@@ -36,8 +43,10 @@ class UnsupportedSchemaError(ValueError):
 
 
 #: Newest ``schema_version`` this build knows how to read, for both metric
-#: snapshots and bench run histories (currently in lockstep at 2).
-SUPPORTED_SNAPSHOT_SCHEMA = 2
+#: snapshots and bench run histories (currently in lockstep at 3; version
+#: 3 added the ``quantiles`` section).  Older versions load fine — the
+#: newer sections are simply absent.
+SUPPORTED_SNAPSHOT_SCHEMA = 3
 
 #: Metric-name fragments where *larger* values are better; a relative
 #: decrease beyond the threshold is the regression.  Everything else is
@@ -55,6 +64,8 @@ HIGHER_IS_BETTER = (
     "mean_degree",
     "min_degree",
     "hits",
+    "p99_ratio",
+    "saturation_multiplier",
 )
 
 
@@ -111,6 +122,9 @@ def flatten_metrics(doc: dict) -> Dict[str, float]:
 
     * counters and gauges map through unchanged;
     * histograms contribute ``<name>.count`` and ``<name>.mean``;
+    * quantile histograms contribute ``<name>.count``, ``<name>.mean``,
+      ``<name>.p50``/``.p90``/``.p99``/``.p999`` and ``<name>.max`` —
+      the latency surface SLOs and regression gates evaluate;
     * time series contribute ``<name>.samples``, ``<name>.last``,
       ``<name>.mean`` and ``<name>.min`` — the trajectory summary a
       regression gate can hold steady across runs;
@@ -136,6 +150,15 @@ def flatten_metrics(doc: dict) -> Dict[str, float]:
         flat[f"{name}.count"] = count
         if count:
             flat[f"{name}.mean"] = float(h["sum"]) / count
+    for name, q in doc.get("quantiles", {}).items():
+        count = float(q.get("count", 0))
+        flat[f"{name}.count"] = count
+        if count:
+            flat[f"{name}.mean"] = float(q["sum"]) / count
+            for label, value in quantiles_of_state(q).items():
+                flat[f"{name}.{label}"] = value
+            if q.get("max") is not None:
+                flat[f"{name}.max"] = float(q["max"])
     for name, ts in doc.get("timeseries", {}).items():
         values = [float(v) for _, v in ts.get("points", [])]
         flat[f"{name}.samples"] = float(len(values))
@@ -156,10 +179,24 @@ def _series_line(name: str, points: List[list]) -> str:
     if not values:
         return f"  {name}: (no samples)"
     lo, hi = min(values), max(values)
+    mean = sum(values) / len(values)
     return (
         f"  {name}: {len(values)} samples over "
         f"t=[{points[0][0]:g}, {points[-1][0]:g}]  "
-        f"first={values[0]:g} last={values[-1]:g} min={lo:g} max={hi:g}"
+        f"min={lo:g} mean={mean:g} max={hi:g} last={values[-1]:g}"
+    )
+
+
+def _quantile_line(name: str, state: dict) -> str:
+    count = state.get("count", 0)
+    if not count:
+        return f"  {name}: (no observations)"
+    qs = quantiles_of_state(state)
+    mean = state.get("sum", 0.0) / count
+    readout = " ".join(f"{label}={value:g}" for label, value in qs.items())
+    return (
+        f"  {name}: count={count} mean={mean:g} {readout} "
+        f"max={state.get('max', float('nan')):g}"
     )
 
 
@@ -205,6 +242,11 @@ def render_report(doc: dict, title: str = "metrics snapshot") -> str:
             count = h.get("count", 0)
             mean = (h.get("sum", 0.0) / count) if count else float("nan")
             lines.append(f"  {name}: count={count} mean={mean:g}")
+    quantiles = doc.get("quantiles", {})
+    if quantiles:
+        lines.append(f"quantiles ({len(quantiles)}):")
+        for name in sorted(quantiles):
+            lines.append(_quantile_line(name, quantiles[name]))
     series = doc.get("timeseries", {})
     if series:
         lines.append(f"time series ({len(series)}):")
@@ -300,11 +342,19 @@ def _tracer_events_to_chrome(events: List[dict]) -> List[dict]:
     so ``ts`` is the sequence number in microseconds — the viewer shows
     the run's causal order at one event per tick.  Events with a virtual
     time ``t`` keep it in ``args``.
+
+    Events that carry a ``query_id`` correlation field (the queueing
+    simulator's per-query causal path: enqueue -> service -> forward ->
+    hit) get **one lane per query**: ``tid`` is the query id, ``ts`` is
+    the event's virtual time ``t`` in microseconds, and a thread-name
+    metadata record labels the lane, so a query's hop tree reads as one
+    horizontal track in chrome://tracing / Perfetto.
     """
     out = []
+    query_lanes: List[int] = []
     for event in events:
         args = {k: v for k, v in event.items() if k not in ("seq", "kind")}
-        out.append({
+        record = {
             "name": event.get("kind", "event"),
             "cat": str(event.get("kind", "event")).split(".")[0],
             "ph": "i",
@@ -313,6 +363,22 @@ def _tracer_events_to_chrome(events: List[dict]) -> List[dict]:
             "pid": 1,
             "tid": 1,
             "args": args,
+        }
+        qid = event.get("query_id")
+        if isinstance(qid, int) and not isinstance(qid, bool):
+            record["tid"] = qid + 2  # lane 1 stays the un-correlated stream
+            if "t" in event:
+                record["ts"] = float(event["t"]) * 1e6
+            if qid not in query_lanes:
+                query_lanes.append(qid)
+        out.append(record)
+    for qid in query_lanes:
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": qid + 2,
+            "args": {"name": f"query {qid}"},
         })
     return out
 
@@ -433,6 +499,49 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def hot_metrics(
+    doc: dict, prefix: str, k: int
+) -> List[Tuple[str, float]]:
+    """Top-``k`` ``(suffix, value)`` pairs of metrics under ``prefix``.
+
+    Gauges match directly; time series contribute their last sample.
+    This is how ``repro obs top`` ranks per-node utilization gauges
+    (``queue.node_util.<id>``) out of a capacity-run snapshot, but any
+    per-entity gauge family works.  Sorted by value descending, name
+    ascending on ties (deterministic output).
+    """
+    rows: Dict[str, float] = {}
+    for name, value in doc.get("gauges", {}).items():
+        if name.startswith(prefix):
+            rows[name[len(prefix):]] = float(value)
+    for name, ts in doc.get("timeseries", {}).items():
+        if name.startswith(prefix):
+            points = ts.get("points", [])
+            if points:
+                rows.setdefault(name[len(prefix):], float(points[-1][1]))
+    ranked = sorted(rows.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[: max(0, k)]
+
+
+def cmd_top(args) -> int:
+    """``repro obs top SNAPSHOT [-k N] [--prefix P]``"""
+    try:
+        doc = load_document(args.snapshot)
+    except UnsupportedSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = hot_metrics(doc, args.prefix, args.k)
+    if not rows:
+        print(f"error: no metrics under prefix {args.prefix!r} in "
+              f"{args.snapshot}", file=sys.stderr)
+        return 1
+    print(f"== top {len(rows)} by {args.prefix}* ==")
+    width = max(len(name) for name, _ in rows)
+    for rank, (name, value) in enumerate(rows, start=1):
+        print(f"  {rank:3d}. {name:<{width}}  {value:g}")
+    return 0
+
+
 def cmd_export_trace(args) -> int:
     """``repro obs export-trace INPUT [--out OUT]``"""
     out_path = args.out or (args.input.rsplit(".", 1)[0] + ".chrome.json")
@@ -469,6 +578,32 @@ def add_obs_subparsers(sub) -> None:
     p.add_argument("--show-unchanged", action="store_true",
                    help="also list metrics with zero delta")
     p.set_defaults(func=cmd_diff)
+
+    from repro.obs.slo import cmd_slo
+
+    p = obs_sub.add_parser(
+        "slo", help="evaluate a snapshot against service-level objectives"
+    )
+    p.add_argument("snapshot", help="metrics snapshot JSON")
+    p.add_argument("--spec", default=None,
+                   help="builtin SLO name or spec JSON file "
+                        "(see schemas/slo_spec.schema.json)")
+    p.add_argument("--require", action="append", metavar="METRIC<=X",
+                   help="inline objective ('metric<=value' or "
+                        "'metric>=value'); repeatable, combines with "
+                        "--spec")
+    p.set_defaults(func=cmd_slo)
+
+    p = obs_sub.add_parser(
+        "top", help="hot-entity report: top-k per-node metrics by value"
+    )
+    p.add_argument("snapshot", help="metrics snapshot JSON")
+    p.add_argument("-k", type=int, default=10,
+                   help="entries to show (default: %(default)s)")
+    p.add_argument("--prefix", default="queue.node_util.",
+                   help="metric-name prefix to rank under "
+                        "(default: %(default)s)")
+    p.set_defaults(func=cmd_top)
 
     p = obs_sub.add_parser(
         "export-trace",

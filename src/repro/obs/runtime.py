@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
 
 from repro.obs.metrics import DEFAULT_EDGES, MetricsRegistry
+from repro.obs.quantiles import DEFAULT_GROWTH, DEFAULT_MIN_VALUE
 from repro.obs.profiler import NOOP_SPAN, Profiler
 from repro.obs.tracer import Tracer
 
@@ -179,6 +180,19 @@ def observe(
     s = _ACTIVE
     if s is not None:
         s.metrics.histogram(name, edges).observe(value)
+
+
+def quantile(
+    name: str,
+    value: float,
+    min_value: float = DEFAULT_MIN_VALUE,
+    growth: float = DEFAULT_GROWTH,
+) -> None:
+    """Record ``value`` in quantile histogram ``name`` if a session is
+    active (see :mod:`repro.obs.quantiles` for the geometry params)."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.quantile(name, min_value, growth).observe(value)
 
 
 def record(name: str, t: float, value: float) -> None:

@@ -1,0 +1,340 @@
+"""Declarative service-level objectives over metric snapshots.
+
+An SLO spec names bounds on the *flattened* metric space of a snapshot
+(:func:`repro.obs.report.flatten_metrics`): quantile readouts like
+``queue.response_s.p99``, gauges like ``queue.success_rate``, counters,
+time-series summaries — anything a snapshot can express.  Evaluation is
+pure data-in/data-out so CI can gate serving behaviour the same way
+``repro obs diff`` gates regressions::
+
+    repro obs slo snapshot.json --spec capacity-default
+    repro obs slo snapshot.json --require 'queue.response_s.p99<=5.0'
+
+Spec JSON (``schemas/slo_spec.schema.json``, version 1)::
+
+    {"schema_version": 1,
+     "name": "interactive-search",
+     "description": "p99 under 5s, 19 of 20 queries resolve",
+     "objectives": [
+         {"metric": "queue.response_s.p99", "max": 5.0},
+         {"metric": "queue.success_rate", "min": 0.95}]}
+
+An objective whose metric is absent from the snapshot **fails** — an SLO
+silently evaluating to "pass" because the latency plane was off is the
+worst possible outcome for a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.report import (
+    UnsupportedSchemaError,
+    flatten_metrics,
+    load_document,
+)
+
+#: Version stamped on (and required of) SLO spec files.
+SLO_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One bound on one flattened metric (at least one side required)."""
+
+    metric: str
+    max: Optional[float] = None
+    min: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.metric:
+            raise ValueError("objective needs a metric name")
+        if self.max is None and self.min is None:
+            raise ValueError(
+                f"objective {self.metric!r} needs a max and/or min bound"
+            )
+
+    @property
+    def bound_text(self) -> str:
+        """Human-readable bound, e.g. ``<= 5 and >= 1``."""
+        parts = []
+        if self.max is not None:
+            parts.append(f"<= {self.max:g}")
+        if self.min is not None:
+            parts.append(f">= {self.min:g}")
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A named set of objectives."""
+
+    name: str
+    objectives: Tuple[Objective, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.objectives:
+            raise ValueError(f"SLO {self.name!r} has no objectives")
+
+    def to_dict(self) -> dict:
+        """Spec-file JSON form (round-trips through :func:`spec_from_dict`)."""
+        objectives = []
+        for o in self.objectives:
+            entry: dict = {"metric": o.metric}
+            if o.max is not None:
+                entry["max"] = o.max
+            if o.min is not None:
+                entry["min"] = o.min
+            objectives.append(entry)
+        return {
+            "schema_version": SLO_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "objectives": objectives,
+        }
+
+
+def spec_from_dict(doc: dict, origin: str = "<spec>") -> SloSpec:
+    """Parse and validate a spec-file dict (strict, path-qualified errors)."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"{origin}: SLO spec must be a JSON object")
+    version = doc.get("schema_version")
+    if version != SLO_SCHEMA_VERSION:
+        if isinstance(version, int) and version > SLO_SCHEMA_VERSION:
+            raise UnsupportedSchemaError(
+                f"{origin}: SLO schema_version {version} is newer than the "
+                f"supported version {SLO_SCHEMA_VERSION}; upgrade repro to "
+                f"read it"
+            )
+        raise ValueError(
+            f"{origin}: schema_version must be {SLO_SCHEMA_VERSION}, "
+            f"got {version!r}"
+        )
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{origin}: SLO spec needs a non-empty name")
+    raw = doc.get("objectives")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(f"{origin}: SLO spec needs a non-empty objectives "
+                         f"list")
+    objectives = []
+    for i, entry in enumerate(raw):
+        where = f"{origin}: objectives[{i}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where}: expected an object")
+        extra = set(entry) - {"metric", "max", "min"}
+        if extra:
+            raise ValueError(f"{where}: unexpected keys {sorted(extra)}")
+        metric = entry.get("metric")
+        if not isinstance(metric, str) or not metric:
+            raise ValueError(f"{where}: needs a metric name")
+        bounds = {}
+        for side in ("max", "min"):
+            value = entry.get(side)
+            if value is not None:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"{where}: {side} must be a number")
+                bounds[side] = float(value)
+        try:
+            objectives.append(Objective(metric=metric, **bounds))
+        except ValueError as exc:
+            raise ValueError(f"{where}: {exc}") from None
+    return SloSpec(
+        name=name,
+        description=str(doc.get("description", "")),
+        objectives=tuple(objectives),
+    )
+
+
+#: Built-in SLOs, addressable by name from ``repro obs slo --spec``.
+#: ``capacity-default`` is the bar the CI capacity-regression job holds
+#: ``benchmarks/bench_capacity.py`` snapshots to: Makalu's p99 response
+#: under heavy traffic stays bounded, nearly every query resolves, and
+#: the power-law baseline's saturated-hub p99 exceeds Makalu's by a
+#: comfortable margin (the paper's Section-6 queueing claim).
+BUILTIN_SLOS: Dict[str, SloSpec] = {
+    "capacity-default": SloSpec(
+        name="capacity-default",
+        description=(
+            "Heavy-traffic serving bar for the capacity benchmark: "
+            "bounded Makalu tail latency, high success, and a power-law "
+            "hub p99 penalty of at least 1.5x"
+        ),
+        objectives=(
+            # Measured at the committed baseline: p99 ~0.94s, success
+            # ~0.977, ratio ~6.5x; bounds leave room for benign jitter.
+            Objective("capacity.makalu.response_s.p99", max=10.0),
+            Objective("capacity.makalu.success_rate", min=0.9),
+            Objective("capacity.p99_ratio", min=1.5),
+        ),
+    ),
+    "interactive-search": SloSpec(
+        name="interactive-search",
+        description=(
+            "Per-run serving bar for `repro capacity`: sub-5s p99 in "
+            "virtual seconds and 90% query success"
+        ),
+        objectives=(
+            Objective("queue.response_s.p99", max=5.0),
+            Objective("queue.success_rate", min=0.9),
+        ),
+    ),
+}
+
+
+def load_slo_spec(name_or_path: str) -> SloSpec:
+    """Resolve a builtin SLO name or load + validate a spec JSON file."""
+    if name_or_path in BUILTIN_SLOS:
+        return BUILTIN_SLOS[name_or_path]
+    try:
+        with open(name_or_path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ValueError(
+            f"{name_or_path!r} is neither a builtin SLO "
+            f"({', '.join(sorted(BUILTIN_SLOS))}) nor a readable spec "
+            f"file: {exc}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{name_or_path}: not valid JSON: {exc}") from None
+    return spec_from_dict(doc, origin=name_or_path)
+
+
+def parse_requirement(text: str) -> Objective:
+    """Parse an inline ``--require`` objective: ``metric<=X`` / ``metric>=X``.
+
+    ``<=`` sets a max, ``>=`` a min; both may be combined across repeated
+    flags but one flag carries exactly one bound.
+    """
+    for op, side in (("<=", "max"), (">=", "min")):
+        if op in text:
+            metric, _, bound = text.partition(op)
+            metric = metric.strip()
+            try:
+                value = float(bound.strip())
+            except ValueError:
+                raise ValueError(
+                    f"requirement {text!r}: bound {bound.strip()!r} is not "
+                    f"a number"
+                ) from None
+            return Objective(metric=metric, **{side: value})
+    raise ValueError(
+        f"requirement {text!r} must look like 'metric<=value' or "
+        f"'metric>=value'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """Pass/fail of one objective against one snapshot."""
+
+    objective: Objective
+    value: Optional[float]  # None when the metric is absent
+    passed: bool
+
+    @property
+    def reason(self) -> str:
+        """One-line explanation of the verdict."""
+        o = self.objective
+        if self.value is None:
+            return (f"{o.metric}: MISSING from snapshot "
+                    f"(wanted {o.bound_text})")
+        verdict = "ok" if self.passed else "VIOLATED"
+        return f"{o.metric}: {self.value:g} {o.bound_text}  [{verdict}]"
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """Outcome of evaluating a spec against a snapshot."""
+
+    spec: SloSpec
+    results: Tuple[ObjectiveResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every objective held."""
+        return all(r.passed for r in self.results)
+
+    @property
+    def n_violations(self) -> int:
+        """Objectives that failed (missing metrics count as failures)."""
+        return sum(1 for r in self.results if not r.passed)
+
+
+def evaluate_slo(spec: SloSpec, doc: dict) -> SloResult:
+    """Evaluate ``spec`` against a snapshot document.
+
+    NaN values fail their objective (a quantile of an empty distribution
+    is not evidence of meeting latency targets), as do missing metrics.
+    """
+    flat = flatten_metrics(doc)
+    results = []
+    for o in spec.objectives:
+        value = flat.get(o.metric)
+        if value is None or value != value:  # absent or NaN
+            results.append(ObjectiveResult(o, None, passed=False))
+            continue
+        ok = ((o.max is None or value <= o.max)
+              and (o.min is None or value >= o.min))
+        results.append(ObjectiveResult(o, float(value), passed=ok))
+    return SloResult(spec=spec, results=tuple(results))
+
+
+def format_slo(result: SloResult) -> str:
+    """Human-readable evaluation report."""
+    spec = result.spec
+    lines = [f"== SLO {spec.name} =="]
+    if spec.description:
+        lines.append(spec.description)
+    for r in result.results:
+        lines.append(f"  {r.reason}")
+    lines.append(
+        f"{'PASS' if result.passed else 'FAIL'}: "
+        f"{len(result.results) - result.n_violations}/{len(result.results)} "
+        f"objective(s) met"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (wired under ``repro obs slo`` by repro.obs.report)
+# ----------------------------------------------------------------------
+
+
+def cmd_slo(args) -> int:
+    """``repro obs slo SNAPSHOT [--spec NAME|FILE] [--require M<=X ...]``"""
+    try:
+        doc = load_document(args.snapshot)
+        objectives: List[Objective] = []
+        if args.spec:
+            spec = load_slo_spec(args.spec)
+            objectives.extend(spec.objectives)
+            name, description = spec.name, spec.description
+        else:
+            name, description = "ad-hoc", ""
+        for text in args.require or []:
+            objectives.append(parse_requirement(text))
+        if not objectives:
+            print("error: give --spec and/or at least one --require",
+                  file=sys.stderr)
+            return 2
+        spec = SloSpec(name=name, description=description,
+                       objectives=tuple(objectives))
+    except UnsupportedSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = evaluate_slo(spec, doc)
+    print(format_slo(result))
+    return 0 if result.passed else 1

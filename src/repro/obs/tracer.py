@@ -15,6 +15,15 @@ Event schema (one JSON object per line in the sink)::
 ``seq`` and ``kind`` are guaranteed; everything else is emitter-defined
 (documented per-kind in docs/OBSERVABILITY.md).  Values are coerced to
 plain JSON types on emit, so numpy scalars are safe to pass.
+
+``seq`` is **per-tracer** monotonic: it totally orders one tracer's
+events, but two tracers (e.g. parallel shards each writing their own
+JSONL sink) restart from zero, so a naive concatenation has ambiguous
+ties.  Give each tracer an ``ident`` and every event carries it as
+``src``; :func:`merge_traces` then orders a set of trace files
+deterministically by ``(t, src, seq)`` — virtual time when events carry
+one, identity then sequence as tie-breakers — so a merged trace is
+byte-stable regardless of file order.
 """
 
 from __future__ import annotations
@@ -38,14 +47,21 @@ class Tracer:
         Optional path (or open text file) receiving one JSON line per
         event.  Lines are written on emit; call :meth:`close` (or use the
         CLI/ runtime helpers, which do) to flush.
+    ident:
+        Optional tracer identity (e.g. ``"shard2"``).  When set, every
+        event is stamped with it as ``src``, which is what lets
+        :func:`merge_traces` break ``seq`` ties deterministically when
+        combining traces from several tracers.
     """
 
     def __init__(
-        self, capacity: int = 65536, sink: Union[None, str, IO[str]] = None
+        self, capacity: int = 65536, sink: Union[None, str, IO[str]] = None,
+        ident: Optional[str] = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.ident = ident
         self._buf: List[dict] = []
         self._start = 0  # ring read position once the buffer wraps
         self._seq = 0
@@ -58,6 +74,8 @@ class Tracer:
     def emit(self, kind: str, **fields) -> dict:
         """Record one event; returns the stamped event dict."""
         event = {"seq": self._seq, "kind": kind}
+        if self.ident is not None:
+            event["src"] = self.ident
         for key, value in fields.items():
             event[key] = _jsonable(value)
         self._seq += 1
@@ -131,4 +149,29 @@ def read_trace(path: str, kind: Optional[str] = None) -> List[dict]:
             event = json.loads(line)
             if kind is None or event.get("kind") == kind:
                 events.append(event)
+    return events
+
+
+def merge_traces(*paths: str, kind: Optional[str] = None) -> List[dict]:
+    """Combine several JSONL traces into one deterministically ordered list.
+
+    Events order by ``(t, src, seq)``: virtual time first when present
+    (events without a ``t`` sort ahead, as pure-causal events), then
+    tracer identity (``src``, empty when the tracer had no ``ident``),
+    then the per-tracer ``seq``.  The sort is stable, so
+    events that tie on all three keep their input order.  This gives a
+    byte-stable merged trace regardless of the order the shard files are
+    passed in — the fix for per-tracer ``seq`` restarting at zero in
+    every shard.
+    """
+    events: List[dict] = []
+    for path in paths:
+        events.extend(read_trace(path, kind=kind))
+    events.sort(
+        key=lambda e: (
+            float(e["t"]) if "t" in e else float("-inf"),
+            str(e.get("src", "")),
+            int(e.get("seq", 0)),
+        )
+    )
     return events

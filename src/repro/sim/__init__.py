@@ -9,7 +9,16 @@ approximates.
 
 from repro.sim.churn import ChurnConfig, ChurnSimulation, ChurnSnapshot
 from repro.sim.engine import Event, Simulator
-from repro.sim.queueing import QueuedFloodResult, queued_flood
+from repro.sim.queueing import (
+    QueuedFloodResult,
+    SaturationSweep,
+    WorkloadRunResult,
+    draw_workload_sources,
+    queued_flood,
+    saturation_sweep,
+    scale_workload,
+    simulate_workload,
+)
 
 __all__ = [
     "Simulator",
@@ -19,4 +28,10 @@ __all__ = [
     "ChurnSnapshot",
     "queued_flood",
     "QueuedFloodResult",
+    "WorkloadRunResult",
+    "SaturationSweep",
+    "simulate_workload",
+    "saturation_sweep",
+    "scale_workload",
+    "draw_workload_sources",
 ]

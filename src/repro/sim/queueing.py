@@ -9,30 +9,39 @@ node forwards its first copy by arrival time, which on heterogeneous-
 latency substrates is not always the fewest-hop copy (exactly as in the
 real protocol); on unit-latency overlays the two models coincide.
 
-What a *single-query* run shows is duplicate-burst queueing: every reached
-node receives ~degree copies in a short window, so per-query queueing
-delay grows with the overlay's own density.  The Gnutella hub pathology
-the paper's Section 6 cites ("Gnutella's queuing time was significantly
-slower" [Qiao & Bustamante]) is instead a *cross-query load-concentration*
-effect: under a stream of queries, a power-law hub carries a far larger
-share of total traffic than any capacity-bounded Makalu node — measure it
-with :func:`repro.search.flooding.flood_node_load` averaged over sources
-(see the queueing tests), or by scaling ``service_time`` by the per-node
-background utilization it implies.
+What a *single-query* run (:func:`queued_flood`) shows is duplicate-burst
+queueing: every reached node receives ~degree copies in a short window, so
+per-query queueing delay grows with the overlay's own density.  The
+Gnutella hub pathology the paper's Section 6 cites ("Gnutella's queuing
+time was significantly slower" [Qiao & Bustamante]) is instead a
+*cross-query load-concentration* effect: under a stream of queries, a
+power-law hub carries a far larger share of total traffic than any
+capacity-bounded Makalu node.  :func:`simulate_workload` measures exactly
+that: it drives a whole :class:`~repro.trace.workload.QueryWorkload`
+(Poisson arrivals, Zipf objects) through **shared** per-node FIFO queues
+concurrently, so queries contend for hub service capacity and the
+end-to-end response-time distribution — p50/p90/p99/p999 via
+:mod:`repro.obs.quantiles` — exposes the hub-queueing tail.
+:func:`saturation_sweep` scales the arrival rate until the overlay
+saturates, locating the knee of the latency curve.
 
 Events are plain heapq entries, so a 10k-node flood simulates in
-milliseconds.
+milliseconds and a full heavy-traffic workload in seconds.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
+from repro.search.replication import Placement
 from repro.topology.graph import OverlayGraph
+from repro.trace.workload import QueryWorkload
+from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_node_id
 
 
@@ -152,3 +161,440 @@ def queued_flood(
         max_queue_delay=float(max_queue_delay),
         busiest_node=int(busiest),
     )
+
+
+# ----------------------------------------------------------------------
+# Continuous-load serving: a whole workload through shared queues
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadRunResult:
+    """Outcome of one continuous-load run (:func:`simulate_workload`).
+
+    All times are virtual seconds.  ``response_time[q]`` is end-to-end:
+    from query ``q``'s arrival in the workload stream to the moment the
+    first replica holder finished *processing* its copy (0.0 when the
+    source held a replica itself, inf when the query never resolved).
+    ``utilization[v]`` is node ``v``'s busy fraction over the run's
+    makespan — the per-node load picture hub hot-spots show up in.
+    """
+
+    ttl: int
+    sources: np.ndarray
+    objects: np.ndarray
+    response_time: np.ndarray
+    messages_per_query: np.ndarray
+    utilization: np.ndarray
+    peak_queue_delay: np.ndarray
+    makespan: float
+
+    @property
+    def n_queries(self) -> int:
+        """Queries driven through the overlay."""
+        return self.response_time.size
+
+    @property
+    def messages(self) -> int:
+        """Total messages across all queries."""
+        return int(self.messages_per_query.sum())
+
+    @property
+    def resolved(self) -> np.ndarray:
+        """Per-query success mask."""
+        return np.isfinite(self.response_time)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries that found a replica."""
+        return float(self.resolved.mean()) if self.n_queries else 0.0
+
+    def response_quantile(self, q: float) -> float:
+        """Exact response-time quantile over resolved queries (nan if none)."""
+        finite = self.response_time[self.resolved]
+        return float(np.quantile(finite, q)) if finite.size else float("nan")
+
+    def hot_nodes(self, k: int = 10) -> np.ndarray:
+        """The ``k`` highest-utilization node ids, busiest first."""
+        k = min(max(0, k), self.utilization.size)
+        order = np.argsort(-self.utilization, kind="stable")
+        return order[:k]
+
+    def is_saturated(self, util_threshold: float = 0.95) -> bool:
+        """Whether some node was effectively never idle (a saturated hub)."""
+        return bool(self.utilization.max(initial=0.0) >= util_threshold)
+
+
+def draw_workload_sources(
+    n_nodes: int, n_queries: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Uniform-random query source nodes (one RNG stream, reproducible)."""
+    rng = as_generator(seed)
+    return rng.integers(0, n_nodes, size=n_queries, dtype=np.int64)
+
+
+def simulate_workload(
+    graph: OverlayGraph,
+    workload: QueryWorkload,
+    placement: Placement,
+    ttl: int,
+    sources: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+    service_time: Union[float, np.ndarray] = 1.0,
+    latency_scale: float = 1.0,
+    sample_interval: Optional[float] = None,
+    metric_prefix: str = "queue",
+    top_k: int = 10,
+) -> WorkloadRunResult:
+    """Serve a whole query workload through shared per-node FIFO queues.
+
+    Every query floods exactly as in :func:`queued_flood`, but all
+    queries share one event heap and one ``busy_until`` per node, so
+    concurrent floods queue behind each other — the cross-query
+    load-concentration congestion a single-flood model cannot express.
+
+    Parameters
+    ----------
+    workload:
+        Arrival times and object indices (see
+        :func:`repro.trace.workload.generate_workload`).  Object indices
+        must be valid for ``placement``.
+    sources, seed:
+        Per-query source nodes; drawn uniformly from ``seed`` when not
+        given (the draw happens before the event loop, so observability
+        cannot perturb it).
+    service_time:
+        Seconds per message at each node (scalar or per-node array).
+        Duplicates consume service time too.
+    latency_scale:
+        Seconds per link-latency unit.  Overlay latencies are in the
+        network model's native units (~milliseconds); workload arrivals
+        are in seconds — 0.001 reconciles them.
+    sample_interval:
+        Period of the utilization/queue-depth time series recorded into
+        an active obs session (defaults to 1/50th of the workload
+        duration; ignored without a session).
+    metric_prefix:
+        Name prefix of every metric this run records (``queue`` by
+        default; benchmarks use e.g. ``capacity.makalu`` to hold two
+        arms apart in one snapshot).
+    top_k:
+        How many of the busiest nodes get per-node utilization gauges
+        (``<prefix>.node_util.<id>``, the ``repro obs top`` surface).
+
+    Observability (all under an active :mod:`repro.obs` session, all
+    pure observation — the run is bit-identical with obs on or off):
+
+    * quantiles ``<prefix>.response_s`` (per resolved query);
+    * counters ``<prefix>.queries`` / ``.messages`` / ``.unresolved``;
+    * gauges ``<prefix>.success_rate``, ``.util_max``, ``.util_mean``,
+      ``.makespan_s``, ``.saturated``, ``.node_util.<id>``;
+    * time series ``<prefix>.inflight`` and ``<prefix>.busy_nodes``
+      sampled every ``sample_interval``;
+    * trace events ``queue.enqueue`` / ``queue.service`` /
+      ``queue.forward`` / ``queue.hit``, each carrying a ``query_id``
+      correlation field and virtual time ``t`` (one Chrome-trace lane
+      per query via ``repro obs export-trace``).
+    """
+    n_nodes = graph.n_nodes
+    n_queries = workload.n_queries
+    if ttl < 0:
+        raise ValueError(f"ttl must be >= 0, got {ttl}")
+    objects = np.asarray(workload.objects, dtype=np.int64)
+    if objects.size and (objects.min() < 0
+                         or objects.max() >= placement.n_objects):
+        raise ValueError("workload objects out of range for the placement")
+    if placement.n_nodes != n_nodes:
+        raise ValueError("placement and graph disagree on n_nodes")
+    if sources is None:
+        sources = draw_workload_sources(n_nodes, n_queries, seed=seed)
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.shape != (n_queries,):
+            raise ValueError("sources must have one entry per query")
+        if sources.size and (sources.min() < 0 or sources.max() >= n_nodes):
+            raise ValueError("source node id out of range")
+    service = np.broadcast_to(
+        np.asarray(service_time, dtype=np.float64), (n_nodes,)
+    )
+    if np.any(service < 0):
+        raise ValueError("service times must be non-negative")
+    arrivals = np.asarray(workload.times, dtype=np.float64)
+
+    # Per-object holder masks, built once (objects repeat under Zipf).
+    holder_masks: dict = {}
+
+    def holders(obj: int) -> np.ndarray:
+        mask = holder_masks.get(obj)
+        if mask is None:
+            mask = placement.holder_mask(obj)
+            holder_masks[obj] = mask
+        return mask
+
+    if latency_scale <= 0:
+        raise ValueError(f"latency_scale must be positive, got {latency_scale}")
+    indptr, indices = graph.indptr, graph.indices
+    latency = np.asarray(graph.latency, dtype=np.float64) * latency_scale
+    seen = np.zeros((n_queries, n_nodes), dtype=bool)
+    busy_until = np.zeros(n_nodes)
+    busy_time = np.zeros(n_nodes)
+    peak_delay = np.zeros(n_nodes)
+    response = np.full(n_queries, np.inf)
+    messages_per_query = np.zeros(n_queries, dtype=np.int64)
+
+    tracer = obs.tracing_active()
+    session = obs.active()
+    sample_every = None
+    if session is not None:
+        sample_every = sample_interval
+        if sample_every is None:
+            duration = float(workload.duration)
+            sample_every = duration / 50.0 if duration > 0 else None
+        if sample_every is not None and sample_every <= 0:
+            raise ValueError("sample_interval must be positive")
+    next_sample = sample_every if sample_every is not None else np.inf
+    inflight = 0
+
+    # Heap entry: (time, seq, query_id, node, sender, remaining_ttl).
+    # sender == -1 marks the query-injection event at its source.
+    queue: list = []
+    seq = 0
+    for q in range(n_queries):
+        heapq.heappush(
+            queue, (float(arrivals[q]), seq, q, int(sources[q]), -1, ttl)
+        )
+        seq += 1
+
+    makespan = float(arrivals[-1]) if n_queries else 0.0
+
+    def record_samples(now: float) -> None:
+        nonlocal next_sample
+        while next_sample <= now:
+            obs.record(f"{metric_prefix}.inflight", next_sample, inflight)
+            obs.record(
+                f"{metric_prefix}.busy_nodes", next_sample,
+                int((busy_until > next_sample).sum()),
+            )
+            next_sample += sample_every
+
+    while queue:
+        when, _, q, node, sender, remaining = heapq.heappop(queue)
+        if sample_every is not None:
+            record_samples(when)
+
+        if sender < 0:
+            # Query injection: the source resolves locally for free and
+            # fans out without consuming its own service time (matching
+            # :func:`queued_flood`'s source semantics).
+            seen[q, node] = True
+            if holders(int(objects[q]))[node] and response[q] == np.inf:
+                response[q] = 0.0
+                if tracer is not None:
+                    tracer.emit("queue.hit", t=when, query_id=q, node=node,
+                                response_s=0.0)
+            if remaining >= 1:
+                fanout = 0
+                for i in range(indptr[node], indptr[node + 1]):
+                    heapq.heappush(
+                        queue,
+                        (when + float(latency[i]), seq, q,
+                         int(indices[i]), node, remaining - 1),
+                    )
+                    seq += 1
+                    fanout += 1
+                messages_per_query[q] += fanout
+                inflight += fanout
+                if tracer is not None and fanout:
+                    tracer.emit("queue.forward", t=when, query_id=q,
+                                node=node, sent=fanout)
+            if when > makespan:
+                makespan = when
+            continue
+
+        # Message copy arrives: FIFO service behind whatever the node is
+        # already processing — for *any* query; this coupling is the point.
+        start = max(when, busy_until[node])
+        delay = start - when
+        if delay > peak_delay[node]:
+            peak_delay[node] = delay
+        done = start + service[node]
+        busy_until[node] = done
+        busy_time[node] += service[node]
+        inflight -= 1
+        if done > makespan:
+            makespan = done
+        if tracer is not None:
+            tracer.emit("queue.service", t=when, query_id=q, node=node,
+                        start=start, done=done,
+                        dup=bool(seen[q, node]))
+        if seen[q, node]:
+            continue  # duplicate: queue + service time consumed, dropped
+        seen[q, node] = True
+        if holders(int(objects[q]))[node] and response[q] == np.inf:
+            response[q] = done - float(arrivals[q])
+            if tracer is not None:
+                tracer.emit("queue.hit", t=done, query_id=q, node=node,
+                            response_s=float(response[q]))
+        if remaining > 0:
+            fanout = 0
+            for i in range(indptr[node], indptr[node + 1]):
+                nbr = int(indices[i])
+                if nbr == sender:
+                    continue
+                heapq.heappush(
+                    queue,
+                    (done + float(latency[i]), seq, q, nbr, node,
+                     remaining - 1),
+                )
+                seq += 1
+                fanout += 1
+            messages_per_query[q] += fanout
+            inflight += fanout
+            if tracer is not None and fanout:
+                tracer.emit("queue.forward", t=done, query_id=q, node=node,
+                            sent=fanout)
+
+    if sample_every is not None:
+        record_samples(makespan)
+
+    utilization = busy_time / makespan if makespan > 0 else busy_time
+    result = WorkloadRunResult(
+        ttl=ttl,
+        sources=sources,
+        objects=objects,
+        response_time=response,
+        messages_per_query=messages_per_query,
+        utilization=utilization,
+        peak_queue_delay=peak_delay,
+        makespan=makespan,
+    )
+
+    if session is not None:
+        obs.count(f"{metric_prefix}.queries", n_queries)
+        obs.count(f"{metric_prefix}.messages", result.messages)
+        obs.count(f"{metric_prefix}.unresolved",
+                  int(n_queries - result.resolved.sum()))
+        for rt in response[result.resolved]:
+            obs.quantile(f"{metric_prefix}.response_s", float(rt))
+        obs.gauge(f"{metric_prefix}.success_rate", result.success_rate)
+        obs.gauge(f"{metric_prefix}.util_max",
+                  float(utilization.max(initial=0.0)))
+        obs.gauge(f"{metric_prefix}.util_mean",
+                  float(utilization.mean()) if n_nodes else 0.0)
+        obs.gauge(f"{metric_prefix}.makespan_s", makespan)
+        obs.gauge(f"{metric_prefix}.saturated",
+                  float(result.is_saturated()))
+        for v in result.hot_nodes(top_k):
+            obs.gauge(f"{metric_prefix}.node_util.{int(v)}",
+                      float(utilization[v]))
+    return result
+
+
+@dataclass(frozen=True)
+class SaturationSweep:
+    """Latency-vs-load curve of :func:`saturation_sweep`.
+
+    ``multipliers[i]`` scaled the workload's arrival rate; ``results[i]``
+    is the full run at that rate.  ``saturation_multiplier`` is the first
+    rate multiplier at which some node's utilization crossed the
+    threshold (nan if the sweep never saturated) — the overlay's
+    capacity knee.
+    """
+
+    multipliers: tuple
+    results: tuple
+    util_threshold: float
+
+    @property
+    def p99_curve(self) -> list:
+        """p99 response time at each rate multiplier."""
+        return [r.response_quantile(0.99) for r in self.results]
+
+    @property
+    def saturation_multiplier(self) -> float:
+        """First multiplier whose run saturated (nan if none did)."""
+        for m, r in zip(self.multipliers, self.results):
+            if r.is_saturated(self.util_threshold):
+                return float(m)
+        return float("nan")
+
+    @property
+    def saturation_index(self) -> Optional[int]:
+        """Index of the saturating run, or None."""
+        for i, r in enumerate(self.results):
+            if r.is_saturated(self.util_threshold):
+                return i
+        return None
+
+
+def scale_workload(workload: QueryWorkload, multiplier: float) -> QueryWorkload:
+    """The same query stream at ``multiplier``x the arrival rate.
+
+    Arrival times compress by the multiplier; objects (and any externally
+    drawn sources) are untouched, so runs at different rates serve the
+    *identical* queries under different load — the controlled comparison
+    a saturation sweep needs.
+    """
+    if multiplier <= 0:
+        raise ValueError(f"multiplier must be positive, got {multiplier}")
+    return QueryWorkload(
+        times=np.asarray(workload.times, dtype=np.float64) / multiplier,
+        objects=workload.objects,
+        n_objects=workload.n_objects,
+    )
+
+
+def saturation_sweep(
+    graph: OverlayGraph,
+    workload: QueryWorkload,
+    placement: Placement,
+    ttl: int,
+    multipliers: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    sources: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+    service_time: Union[float, np.ndarray] = 1.0,
+    latency_scale: float = 1.0,
+    util_threshold: float = 0.95,
+    metric_prefix: Optional[str] = None,
+    top_k: int = 10,
+) -> SaturationSweep:
+    """Find the overlay's saturation point by scaling the arrival rate.
+
+    Runs :func:`simulate_workload` once per multiplier with the same
+    queries and sources (drawn once from ``seed`` when not given), so the
+    only variable is offered load.  With ``metric_prefix`` set, each run
+    records under ``<prefix>.x<multiplier>.*`` and the sweep's headline
+    gauges land under ``<prefix>.saturation_multiplier`` /
+    ``<prefix>.p99_at_saturation_s``.
+    """
+    if not multipliers:
+        raise ValueError("need at least one rate multiplier")
+    if sources is None:
+        sources = draw_workload_sources(
+            graph.n_nodes, workload.n_queries, seed=seed
+        )
+    results = []
+    for m in multipliers:
+        prefix = (f"{metric_prefix}.x{format(float(m), 'g')}"
+                  if metric_prefix else "queue.sweep")
+        results.append(simulate_workload(
+            graph, scale_workload(workload, float(m)), placement, ttl,
+            sources=sources, service_time=service_time,
+            latency_scale=latency_scale, metric_prefix=prefix, top_k=top_k,
+        ))
+    sweep = SaturationSweep(
+        multipliers=tuple(float(m) for m in multipliers),
+        results=tuple(results),
+        util_threshold=util_threshold,
+    )
+    if metric_prefix and obs.is_enabled():
+        idx = sweep.saturation_index
+        # A sweep that never saturated records nothing here: NaN gauges
+        # poison JSON artifacts and diff output, and "absent" is exactly
+        # what an SLO should see when the knee was not found.
+        if idx is not None:
+            obs.gauge(f"{metric_prefix}.saturation_multiplier",
+                      sweep.saturation_multiplier)
+            obs.gauge(f"{metric_prefix}.p99_at_saturation_s",
+                      sweep.results[idx].response_quantile(0.99))
+    return sweep

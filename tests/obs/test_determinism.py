@@ -83,6 +83,43 @@ class TestInstrumentationIsInert:
         assert np.array_equal(plain.indptr, instrumented.indptr)
         assert np.array_equal(plain.indices, instrumented.indices)
 
+    def test_workload_sim_identical_with_obs_on_and_off(self, tmp_path):
+        """The continuous-load simulator records latency histograms, node
+        utilization and per-query trace events — all of it must be pure
+        observation of an unchanged trajectory."""
+        from repro.sim import simulate_workload
+        from repro.trace import GNUTELLA_2006
+        from repro.trace.workload import generate_workload
+
+        def run():
+            graph = makalu_graph(n_nodes=120, seed=51)
+            placement = place_objects(graph.n_nodes, 20, 0.02, seed=52)
+            workload = generate_workload(
+                GNUTELLA_2006, 5.0, n_objects=20, seed=53
+            )
+            return simulate_workload(
+                graph, workload, placement, ttl=3, seed=54,
+                service_time=0.05, latency_scale=0.001,
+            )
+
+        plain = run()
+        with obs.observed(trace=str(tmp_path / "q.jsonl"), profile=True):
+            instrumented = run()
+        np.testing.assert_array_equal(plain.sources, instrumented.sources)
+        np.testing.assert_array_equal(
+            plain.response_time, instrumented.response_time
+        )
+        np.testing.assert_array_equal(
+            plain.messages_per_query, instrumented.messages_per_query
+        )
+        np.testing.assert_array_equal(
+            plain.utilization, instrumented.utilization
+        )
+        np.testing.assert_array_equal(
+            plain.peak_queue_delay, instrumented.peak_queue_delay
+        )
+        assert plain.makespan == instrumented.makespan
+
 
 class TestHealthSamplingIsInert:
     """Health telemetry must be a pure observer of the churn trajectory."""

@@ -88,7 +88,7 @@ class TestRegistry:
         reg.gauge("g").set(1.5)
         reg.histogram("h", edges=[2]).observe(1)
         snap = reg.snapshot()
-        assert snap["schema_version"] == 2
+        assert snap["schema_version"] == 3
         assert snap["counters"] == {"c": 3}
         assert snap["gauges"] == {"g": 1.5}
         assert snap["histograms"]["h"] == {

@@ -6,11 +6,13 @@ import math
 import pytest
 
 from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import (
     MetricDelta,
     diff_metrics,
     export_chrome_trace,
     flatten_metrics,
+    hot_metrics,
     improves_when_higher,
     latest_bench_record,
     render_report,
@@ -28,6 +30,22 @@ def snapshot_doc(gap_last=0.5):
             "health.spectral_gap": {"points": [[10.0, 0.6], [20.0, gap_last]]},
         },
     }
+
+
+def capacity_doc():
+    """A schema-v3 snapshot with a latency quantile + per-node gauges,
+    built through the registry so its shape is the real artifact shape."""
+    reg = MetricsRegistry()
+    hist = reg.quantile("queue.response_s")
+    for v in [0.1] * 98 + [1.0, 4.0]:
+        hist.observe(v)
+    reg.gauge("queue.node_util.3").set(0.4)
+    reg.gauge("queue.node_util.7").set(0.9)
+    reg.gauge("queue.node_util.12").set(0.7)
+    reg.gauge("queue.success_rate").set(0.98)
+    reg.timeseries("queue.inflight").record(1.0, 5.0)
+    reg.timeseries("queue.inflight").record(2.0, 2.0)
+    return reg.snapshot()
 
 
 def make_bench_doc():
@@ -64,6 +82,29 @@ class TestFlatten:
                "speedup_vs_scalar": {"batched": 2.0}}
         assert latest_bench_record(doc) is doc
         assert flatten_metrics(doc)["wall_time_ms.scalar"] == 50.0
+
+    def test_quantile_leaves(self):
+        # v3 quantile sections flatten into the SLO/diff comparison space:
+        # count, mean, the four standard percentiles, and the exact max.
+        flat = flatten_metrics(capacity_doc())
+        assert flat["queue.response_s.count"] == 100.0
+        assert flat["queue.response_s.mean"] == pytest.approx(0.148)
+        for label in ("p50", "p90", "p99", "p999"):
+            assert f"queue.response_s.{label}" in flat
+        assert flat["queue.response_s.p50"] == pytest.approx(0.1, rel=0.06)
+        assert flat["queue.response_s.max"] == 4.0
+        assert flat["queue.response_s.p50"] <= flat["queue.response_s.p99"]
+        assert flat["queue.response_s.p999"] <= flat["queue.response_s.max"]
+
+    def test_empty_quantile_contributes_only_count(self):
+        doc = capacity_doc()
+        doc["quantiles"]["queue.empty_s"] = {
+            "min_value": 1e-6, "growth": 1.05, "zeros": 0, "counts": [],
+            "sum": 0.0, "count": 0, "min": None, "max": None,
+        }
+        flat = flatten_metrics(doc)
+        assert flat["queue.empty_s.count"] == 0.0
+        assert "queue.empty_s.p99" not in flat
 
 
 class TestDiff:
@@ -110,6 +151,51 @@ class TestReportRendering:
         assert "2 run(s)" in text
         assert "batched" in text
 
+    def test_series_line_shows_min_mean_max_last(self):
+        text = render_report(snapshot_doc(gap_last=0.4))
+        line = next(l for l in text.splitlines()
+                    if "health.spectral_gap" in l)
+        assert "min=0.4" in line
+        assert "mean=0.5" in line
+        assert "max=0.6" in line
+        assert "last=0.4" in line
+
+    def test_quantile_section(self):
+        text = render_report(capacity_doc())
+        assert "quantiles (1):" in text
+        line = next(l for l in text.splitlines()
+                    if "queue.response_s" in l)
+        assert "count=100" in line
+        for label in ("p50=", "p90=", "p99=", "p999=", "max=4"):
+            assert label in line
+
+    def test_empty_quantile_renders_placeholder(self):
+        doc = capacity_doc()
+        doc["quantiles"] = {"queue.empty_s": {
+            "min_value": 1e-6, "growth": 1.05, "zeros": 0, "counts": [],
+            "sum": 0.0, "count": 0, "min": None, "max": None,
+        }}
+        assert "(no observations)" in render_report(doc)
+
+
+class TestTop:
+    def test_ranks_gauges_under_prefix(self):
+        rows = hot_metrics(capacity_doc(), "queue.node_util.", 10)
+        assert rows == [("7", 0.9), ("12", 0.7), ("3", 0.4)]
+
+    def test_k_truncates(self):
+        rows = hot_metrics(capacity_doc(), "queue.node_util.", 2)
+        assert [name for name, _ in rows] == ["7", "12"]
+
+    def test_timeseries_contribute_last_sample(self):
+        rows = hot_metrics(capacity_doc(), "queue.inflight", 5)
+        assert rows == [("", 2.0)]
+
+    def test_value_ties_break_by_name(self):
+        doc = {"gauges": {"u.b": 1.0, "u.a": 1.0, "u.c": 2.0}}
+        assert hot_metrics(doc, "u.", 5) == [("c", 2.0), ("a", 1.0),
+                                             ("b", 1.0)]
+
 
 class TestCliCommands:
     def write(self, tmp_path, name, doc):
@@ -145,6 +231,34 @@ class TestCliCommands:
         b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.49))
         assert main(["obs", "diff", a, b, "--fail-on-regression",
                      "--threshold", "0.1"]) == 0
+
+    def test_top_command(self, tmp_path, capsys):
+        path = self.write(tmp_path, "snap.json", capacity_doc())
+        assert main(["obs", "top", path, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        # the default prefix is the per-node utilization family
+        assert "top 2 by queue.node_util.*" in out
+        assert out.index("7") < out.index("12")
+
+    def test_top_no_match_exits_1(self, tmp_path, capsys):
+        path = self.write(tmp_path, "snap.json", capacity_doc())
+        assert main(["obs", "top", path, "--prefix", "nope."]) == 1
+        assert "no metrics under prefix" in capsys.readouterr().err
+
+    def test_top_future_schema_exits_2(self, tmp_path, capsys):
+        doc = capacity_doc()
+        doc["schema_version"] = 99
+        path = self.write(tmp_path, "snap.json", doc)
+        assert main(["obs", "top", path]) == 2
+        assert "newer" in capsys.readouterr().err
+
+    def test_slo_reads_quantile_leaves(self, tmp_path, capsys):
+        # end-to-end: the v3 quantile section is the surface SLOs gate on
+        path = self.write(tmp_path, "snap.json", capacity_doc())
+        assert main(["obs", "slo", path,
+                     "--require", "queue.response_s.p99<=10",
+                     "--require", "queue.success_rate>=0.9"]) == 0
+        assert "PASS" in capsys.readouterr().out
 
     def test_bench_diff_gates_on_speedup_drop(self, tmp_path):
         a = self.write(tmp_path, "a.json", make_bench_doc())
@@ -220,3 +334,35 @@ class TestExportTrace:
         src.write_text("not json at all\n")
         with pytest.raises(ValueError):
             export_chrome_trace(str(src), str(tmp_path / "out.json"))
+
+    def test_query_events_get_per_query_lanes(self, tmp_path):
+        """Queueing-path events carrying ``query_id`` land in one Chrome
+        lane per query (tid = query_id + 2, ts = virtual time in us) with
+        a thread-name metadata record labelling the lane; uncorrelated
+        events stay on the seq-ordered lane 1."""
+        src = tmp_path / "trace.jsonl"
+        with src.open("w") as fh:
+            rows = [
+                {"seq": 0, "kind": "churn.depart", "node": 9},
+                {"seq": 1, "kind": "queue.service", "t": 0.25,
+                 "query_id": 0, "node": 3},
+                {"seq": 2, "kind": "queue.hit", "t": 0.5,
+                 "query_id": 4, "node": 5},
+            ]
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+        out = tmp_path / "out.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+
+        by_name = {e["name"]: e for e in events if e.get("ph") != "M"}
+        assert by_name["churn.depart"]["tid"] == 1
+        assert by_name["queue.service"]["tid"] == 2
+        assert by_name["queue.service"]["ts"] == pytest.approx(0.25e6)
+        assert by_name["queue.service"]["cat"] == "queue"
+        assert by_name["queue.hit"]["tid"] == 6
+        assert by_name["queue.hit"]["ts"] == pytest.approx(0.5e6)
+
+        lanes = {e["tid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert lanes == {2: "query 0", 6: "query 4"}

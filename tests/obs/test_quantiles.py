@@ -1,0 +1,166 @@
+"""LogHistogram: bucket geometry, quantile accuracy, merge semantics."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.quantiles import (
+    DEFAULT_GROWTH,
+    LogHistogram,
+    merge_states,
+    quantiles_of_state,
+)
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="min_value"):
+            LogHistogram("h", min_value=0.0)
+        with pytest.raises(ValueError, match="growth"):
+            LogHistogram("h", growth=1.0)
+
+    def test_bucket_bounds_nest(self):
+        h = LogHistogram("h", min_value=1e-3, growth=1.5)
+        for i in range(20):
+            lo = h.bucket_upper_bound(i - 1) if i else 0.0
+            hi = h.bucket_upper_bound(i)
+            # a value strictly inside (lo, hi] must land in bucket i
+            v = (lo + hi) / 2 if i else hi / 2
+            assert h._bucket_index(v) == i
+            assert h._bucket_index(hi) == i
+
+    def test_values_at_or_below_min_value_take_bucket_zero(self):
+        h = LogHistogram("h", min_value=0.01)
+        assert h._bucket_index(0.01) == 0
+        assert h._bucket_index(1e-9) == 0
+
+    def test_rejects_negative_nan_inf(self):
+        h = LogHistogram("h")
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite values >= 0"):
+                h.observe(bad)
+
+
+class TestQuantiles:
+    def test_empty_is_nan(self):
+        h = LogHistogram("h")
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+
+    def test_out_of_range_q_raises(self):
+        h = LogHistogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            h.quantile(1.5)
+
+    def test_relative_error_bounded_by_growth(self):
+        rng = np.random.default_rng(42)
+        values = rng.lognormal(mean=0.0, sigma=2.0, size=5000)
+        h = LogHistogram("h")
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = np.quantile(values, q, method="inverted_cdf")
+            got = h.quantile(q)
+            assert abs(got - exact) <= (DEFAULT_GROWTH - 1.0) * exact + 1e-12
+
+    def test_zeros_bucket(self):
+        h = LogHistogram("h")
+        for _ in range(99):
+            h.observe(0.0)
+        h.observe(5.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.quantile(1.0) == 5.0  # clamped to the exact max
+
+    def test_readout_clamped_to_envelope(self):
+        # a single observation reads back exactly at every quantile,
+        # regardless of which bucket edge contains it
+        h = LogHistogram("h")
+        h.observe(3.14159)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 3.14159
+
+    def test_exact_sum_count_mean(self):
+        h = LogHistogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.sum == 6.0 and h.count == 3 and h.mean == 2.0
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_named_properties_match_quantile(self):
+        h = LogHistogram("h")
+        for v in np.linspace(0.1, 10.0, 500):
+            h.observe(float(v))
+        assert h.p50 == h.quantile(0.5)
+        assert h.p90 == h.quantile(0.9)
+        assert h.p99 == h.quantile(0.99)
+        assert h.p999 == h.quantile(0.999)
+
+
+class TestStateAndMerge:
+    def test_state_roundtrip_through_json(self):
+        h = LogHistogram("h")
+        for v in (0.0, 0.5, 1.0, 100.0):
+            h.observe(v)
+        state = json.loads(json.dumps(h.state()))
+        other = LogHistogram("other")
+        other.merge_state(state)
+        assert other.state() == h.state()
+
+    def test_merge_rejects_geometry_mismatch(self):
+        a = LogHistogram("a", growth=1.05)
+        b = LogHistogram("b", growth=1.1)
+        b.observe(1.0)
+        with pytest.raises(ValueError, match="geometry"):
+            a.merge_state(b.state())
+
+    def test_merge_equals_direct_observation(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(scale=2.0, size=400)
+        direct = LogHistogram("d")
+        shards = [LogHistogram(f"s{i}") for i in range(4)]
+        for i, v in enumerate(values):
+            direct.observe(v)
+            shards[i % 4].observe(v)
+        merged = LogHistogram("m")
+        for s in shards:
+            merged.merge_state(s.state())
+        assert merged.counts == direct.counts
+        assert merged.zeros == direct.zeros
+        assert merged.count == direct.count
+        assert merged.min == direct.min and merged.max == direct.max
+        assert merged.sum == pytest.approx(direct.sum, rel=1e-9)
+
+    def test_merge_empty_state_is_identity(self):
+        h = LogHistogram("h")
+        h.observe(2.0)
+        before = h.state()
+        h.merge_state(LogHistogram("e").state())
+        assert h.state() == before
+
+    def test_merge_states_helper(self):
+        a, b = LogHistogram("a"), LogHistogram("b")
+        a.observe(1.0)
+        b.observe(10.0)
+        combined = merge_states(a.state(), b.state())
+        assert combined["count"] == 2
+        assert combined["min"] == 1.0 and combined["max"] == 10.0
+
+    def test_quantiles_of_state_keys(self):
+        h = LogHistogram("h")
+        for v in np.linspace(0.01, 5.0, 1000):
+            h.observe(float(v))
+        out = quantiles_of_state(h.state())
+        assert set(out) == {"p50", "p90", "p99", "p999"}
+        assert out["p50"] <= out["p90"] <= out["p99"] <= out["p999"]
+
+    def test_reset(self):
+        h = LogHistogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0 and h.counts == [] and h.zeros == 0
+        assert h.min is None and h.max is None
+        assert math.isnan(h.quantile(0.5))

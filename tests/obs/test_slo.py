@@ -1,0 +1,168 @@
+"""SLO spec parsing, evaluation semantics, and the ``repro obs slo`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import UnsupportedSchemaError
+from repro.obs.slo import (
+    BUILTIN_SLOS,
+    Objective,
+    SloSpec,
+    evaluate_slo,
+    format_slo,
+    load_slo_spec,
+    parse_requirement,
+    spec_from_dict,
+)
+
+
+def snapshot_with(quantile_values=(), gauges=()):
+    reg = MetricsRegistry()
+    for v in quantile_values:
+        reg.quantile("queue.response_s").observe(v)
+    for name, v in gauges:
+        reg.gauge(name).set(v)
+    return reg.snapshot()
+
+
+class TestObjective:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError, match="max and/or min"):
+            Objective("m")
+
+    def test_bound_text(self):
+        assert Objective("m", max=5.0).bound_text == "<= 5"
+        assert Objective("m", min=1.0).bound_text == ">= 1"
+        assert Objective("m", max=5.0, min=1.0).bound_text == "<= 5 and >= 1"
+
+
+class TestSpecParsing:
+    def good(self):
+        return {
+            "schema_version": 1,
+            "name": "t",
+            "objectives": [{"metric": "queue.success_rate", "min": 0.9}],
+        }
+
+    def test_round_trip(self):
+        spec = spec_from_dict(self.good())
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_newer_schema_rejected_loudly(self):
+        doc = self.good()
+        doc["schema_version"] = 99
+        with pytest.raises(UnsupportedSchemaError, match="newer"):
+            spec_from_dict(doc)
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.pop("name"), "name"),
+        (lambda d: d.update(objectives=[]), "objectives"),
+        (lambda d: d["objectives"][0].pop("min"), "max and/or min"),
+        (lambda d: d["objectives"][0].update(extra=1), "unexpected keys"),
+        (lambda d: d["objectives"][0].update(min="high"), "must be a number"),
+    ])
+    def test_invalid_specs_fail_with_context(self, mutate, message):
+        doc = self.good()
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            spec_from_dict(doc)
+
+    def test_builtins_are_valid_and_loadable(self):
+        for name, spec in BUILTIN_SLOS.items():
+            assert load_slo_spec(name) is spec
+            assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.good()))
+        assert load_slo_spec(str(path)).name == "t"
+
+    def test_load_missing_file_names_builtins(self):
+        with pytest.raises(ValueError, match="capacity-default"):
+            load_slo_spec("no-such-spec")
+
+
+class TestParseRequirement:
+    def test_max_and_min(self):
+        assert parse_requirement("a.b<=5") == Objective("a.b", max=5.0)
+        assert parse_requirement("a.b >= 0.5") == Objective("a.b", min=0.5)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="metric<=value"):
+            parse_requirement("a.b=5")
+        with pytest.raises(ValueError, match="not a number"):
+            parse_requirement("a.b<=five")
+
+
+class TestEvaluation:
+    def test_pass_and_violation(self):
+        doc = snapshot_with(quantile_values=[1.0] * 99 + [30.0])
+        spec = SloSpec("t", (
+            Objective("queue.response_s.p50", max=2.0),
+            Objective("queue.response_s.p999", max=2.0),
+        ))
+        result = evaluate_slo(spec, doc)
+        assert not result.passed and result.n_violations == 1
+        assert [r.passed for r in result.results] == [True, False]
+
+    def test_missing_metric_fails(self):
+        result = evaluate_slo(
+            SloSpec("t", (Objective("nope", max=1.0),)), snapshot_with()
+        )
+        assert not result.passed
+        assert "MISSING" in result.results[0].reason
+
+    def test_nan_fails(self):
+        # an empty distribution's quantile flattens to NaN
+        doc = snapshot_with(gauges=[("g", float("nan"))])
+        result = evaluate_slo(
+            SloSpec("t", (Objective("g", max=1.0),)), doc
+        )
+        assert not result.passed
+
+    def test_format_mentions_verdicts(self):
+        doc = snapshot_with(gauges=[("g", 2.0)])
+        text = format_slo(
+            evaluate_slo(SloSpec("t", (Objective("g", max=1.0),)), doc)
+        )
+        assert "VIOLATED" in text and "FAIL" in text
+
+
+class TestCli:
+    def write_snapshot(self, tmp_path, gauges):
+        path = tmp_path / "snap.json"
+        with open(path, "w") as fh:
+            json.dump(snapshot_with(gauges=gauges), fh)
+        return str(path)
+
+    def test_pass_exit_0(self, tmp_path, capsys):
+        path = self.write_snapshot(tmp_path, [("g", 0.5)])
+        assert main(["obs", "slo", path, "--require", "g<=1.0"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_violation_exit_1(self, tmp_path, capsys):
+        path = self.write_snapshot(tmp_path, [("g", 2.0)])
+        assert main(["obs", "slo", path, "--require", "g<=1.0"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_no_objectives_exit_2(self, tmp_path, capsys):
+        path = self.write_snapshot(tmp_path, [("g", 2.0)])
+        assert main(["obs", "slo", path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_spec_exit_2(self, tmp_path, capsys):
+        path = self.write_snapshot(tmp_path, [("g", 2.0)])
+        assert main(["obs", "slo", path, "--spec", "no-such"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_spec_plus_require_combine(self, tmp_path):
+        spec = {"schema_version": 1, "name": "s",
+                "objectives": [{"metric": "g", "max": 3.0}]}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        snap = self.write_snapshot(tmp_path, [("g", 2.0)])
+        assert main(["obs", "slo", snap, "--spec", str(spec_path),
+                     "--require", "g>=2.5"]) == 1

@@ -40,7 +40,7 @@ class TestRegistryTimeSeries:
         reg.timeseries("health.gap").record(10.0, 0.5)
         reg.timeseries("health.gap").record(20.0, 0.4)
         snap = reg.snapshot()
-        assert snap["schema_version"] == SCHEMA_VERSION == 2
+        assert snap["schema_version"] == SCHEMA_VERSION == 3
         assert snap["timeseries"]["health.gap"]["points"] == [
             [10.0, 0.5], [20.0, 0.4]
         ]

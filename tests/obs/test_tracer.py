@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.obs import Tracer, read_trace
+from repro.obs import Tracer, merge_traces, read_trace
 
 
 class TestRingBuffer:
@@ -75,3 +75,47 @@ class TestJsonlSink:
         t.close()
         t.emit("k")  # post-close emits still buffer in the ring
         assert len(t) == 2
+
+
+class TestIdentAndMerge:
+    def test_ident_stamped_on_every_event(self):
+        t = Tracer(ident="w0")
+        assert t.emit("k")["src"] == "w0"
+
+    def test_no_ident_no_src_field(self):
+        t = Tracer()
+        assert "src" not in t.emit("k")
+
+    def test_merge_orders_by_time_then_src_then_seq(self, tmp_path):
+        """Two shards with overlapping per-tracer seq counters: the merge
+        must be deterministic and causally ordered, with the shard ident
+        breaking ties — per-tracer seqs restart at zero, so seq alone
+        cannot order a multi-shard merge."""
+        a_path, b_path = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        with Tracer(sink=a_path, ident="a") as ta:
+            ta.emit("k", t=1.0, who="a0")
+            ta.emit("k", t=3.0, who="a1")
+        with Tracer(sink=b_path, ident="b") as tb:
+            tb.emit("k", t=1.0, who="b0")
+            tb.emit("k", t=2.0, who="b1")
+        merged = merge_traces(a_path, b_path)
+        assert [e["who"] for e in merged] == ["a0", "b0", "b1", "a1"]
+        # order is independent of the argument order
+        assert merge_traces(b_path, a_path) == merged
+
+    def test_merge_untimed_events_sort_first_by_src(self, tmp_path):
+        a_path, b_path = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        with Tracer(sink=a_path, ident="z") as ta:
+            ta.emit("setup")
+            ta.emit("k", t=1.0)
+        with Tracer(sink=b_path, ident="a") as tb:
+            tb.emit("setup")
+        merged = merge_traces(a_path, b_path)
+        assert [e.get("src") for e in merged] == ["a", "z", "z"]
+
+    def test_merge_kind_filter(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        with Tracer(sink=path, ident="a") as t:
+            t.emit("x", t=1.0)
+            t.emit("y", t=2.0)
+        assert [e["kind"] for e in merge_traces(path, kind="y")] == ["y"]

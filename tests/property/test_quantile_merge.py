@@ -1,0 +1,93 @@
+"""Seed-sweep invariants for LogHistogram shard merging.
+
+The parallel runner splits a run into shards, snapshots each worker's
+registry, and recombines with ``merge_snapshot`` — so a quantile readout
+must not depend on how the observations were sharded or in which order
+the shards were folded back together.  These sweeps check 1/2/4-way
+shardings of the same observation stream against direct observation, and
+associativity/commutativity of the state-level merge, over a fixed
+family of derived seeds.
+"""
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import LogHistogram, merge_states
+
+N_SEEDS = 100
+MASTER_SEED = 0xA77E
+
+#: Exact-merge fields: everything except the float ``sum``, which is
+#: associative only to rounding.
+EXACT = ("min_value", "growth", "zeros", "counts", "count", "min", "max")
+
+
+def _derived_rngs():
+    children = np.random.SeedSequence(MASTER_SEED).spawn(N_SEEDS)
+    return [np.random.default_rng(c) for c in children]
+
+
+def _observations(rng):
+    """A mixed stream: lognormal latencies, exact zeros, tiny values."""
+    n = int(rng.integers(1, 300))
+    values = rng.lognormal(mean=-2.0, sigma=3.0, size=n)
+    zero_at = rng.random(n) < 0.1
+    values[zero_at] = 0.0
+    return values
+
+
+def _exact_fields(state):
+    return {k: state[k] for k in EXACT}
+
+
+class TestShardingInvariance:
+    def test_1_2_4_shards_agree_with_direct(self):
+        for rng in _derived_rngs():
+            values = _observations(rng)
+            direct = LogHistogram("d")
+            for v in values:
+                direct.observe(v)
+            for n_shards in (1, 2, 4):
+                shards = [LogHistogram(f"s{i}") for i in range(n_shards)]
+                for i, v in enumerate(values):
+                    shards[i % n_shards].observe(v)
+                merged = LogHistogram("m")
+                # fold in a rotated order so commutativity is exercised too
+                for s in shards[::-1]:
+                    merged.merge_state(s.state())
+                assert _exact_fields(merged.state()) == _exact_fields(
+                    direct.state()
+                )
+                assert np.isclose(merged.sum, direct.sum, rtol=1e-9)
+                for q in (0.5, 0.9, 0.99, 0.999):
+                    assert merged.quantile(q) == direct.quantile(q)
+
+    def test_state_merge_is_associative(self):
+        for rng in _derived_rngs():
+            values = _observations(rng)
+            thirds = [LogHistogram(f"t{i}") for i in range(3)]
+            for i, v in enumerate(values):
+                thirds[i % 3].observe(v)
+            a, b, c = (t.state() for t in thirds)
+            left = merge_states(merge_states(a, b), c)
+            right = merge_states(a, merge_states(b, c))
+            assert _exact_fields(left) == _exact_fields(right)
+            assert np.isclose(left["sum"], right["sum"], rtol=1e-9)
+
+
+class TestRegistryMergeSnapshot:
+    def test_merge_snapshot_carries_quantiles(self):
+        for rng in _derived_rngs()[:20]:
+            values = _observations(rng)
+            direct = MetricsRegistry()
+            workers = [MetricsRegistry() for _ in range(4)]
+            for i, v in enumerate(values):
+                direct.quantile("lat").observe(v)
+                workers[i % 4].quantile("lat").observe(v)
+            parent = MetricsRegistry()
+            for w in workers:
+                parent.merge_snapshot(w.snapshot())
+            got = parent.snapshot()["quantiles"]["lat"]
+            want = direct.snapshot()["quantiles"]["lat"]
+            assert _exact_fields(got) == _exact_fields(want)
+            assert np.isclose(got["sum"], want["sum"], rtol=1e-9)

@@ -3,9 +3,43 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.search import flood
-from repro.sim.queueing import queued_flood
+from repro.search.replication import Placement
+from repro.sim.queueing import (
+    draw_workload_sources,
+    queued_flood,
+    saturation_sweep,
+    scale_workload,
+    simulate_workload,
+)
+from repro.trace.workload import QueryWorkload
 from tests.conftest import build_graph, complete_graph, path_graph, star_graph
+
+
+def placement_at(n_nodes, holders_per_object):
+    """A Placement with explicit holder lists, one per object."""
+    flat, indptr = [], [0]
+    for holders in holders_per_object:
+        flat.extend(sorted(holders))
+        indptr.append(len(flat))
+    return Placement(
+        n_nodes=n_nodes,
+        object_keys=np.arange(len(holders_per_object), dtype=np.int64),
+        replica_nodes=np.asarray(flat, dtype=np.int64),
+        replica_indptr=np.asarray(indptr, dtype=np.int64),
+    )
+
+
+def workload_of(times, objects, n_objects=None):
+    objects = np.asarray(objects, dtype=np.int64)
+    if n_objects is None:
+        n_objects = int(objects.max(initial=-1)) + 1 or 1
+    return QueryWorkload(
+        times=np.asarray(times, dtype=np.float64),
+        objects=objects,
+        n_objects=n_objects,
+    )
 
 
 class TestQueuedFloodBasics:
@@ -154,3 +188,282 @@ class TestCongestionMechanism:
                                  service_time=congested_service)
         assert uniform.success and congested.success
         assert congested.first_result_time > uniform.first_result_time
+
+
+class TestHeterogeneousLatencyPath:
+    def test_first_processed_copy_beats_fewest_hop_copy(self):
+        """On heterogeneous latencies, the copy that is processed first can
+        be the one that travelled MORE hops — and it, not the fewest-hop
+        copy, determines the remaining TTL.  Here the 2-hop copy via node
+        2 (latency 1+1) reaches node 1 long before the direct 1-hop copy
+        (latency 10); arriving with TTL exhausted, it never forwards to
+        node 3, which the hop-synchronous flood does reach."""
+        g = build_graph(
+            4, [(0, 1), (0, 2), (2, 1), (1, 3)],
+            latencies=[10.0, 1.0, 1.0, 1.0],
+        )
+        s = flood(g, 0, 2)
+        assert s.nodes_visited == 4  # hop-synchronous: 0->1->3 in 2 hops
+
+        q = queued_flood(g, 0, 2, service_time=0.0)
+        assert q.discovery_time[1] == pytest.approx(2.0)  # via 2, not 10.0
+        assert np.isinf(q.discovery_time[3])  # TTL died on the fast path
+        assert q.nodes_reached == 3
+
+        # The workload simulator makes the same choice per query.
+        r = simulate_workload(
+            g, workload_of([0.0], [0]), placement_at(4, [[3]]),
+            ttl=2, sources=np.array([0]), service_time=0.0,
+        )
+        assert r.success_rate == 0.0
+        r = simulate_workload(
+            g, workload_of([0.0], [0]), placement_at(4, [[1]]),
+            ttl=2, sources=np.array([0]), service_time=0.0,
+        )
+        assert r.response_time[0] == pytest.approx(2.0)
+
+
+class TestSimulateWorkload:
+    def test_source_holding_replica_resolves_instantly(self):
+        g = path_graph(3)
+        r = simulate_workload(
+            g, workload_of([1.0], [0]), placement_at(3, [[0]]),
+            ttl=2, sources=np.array([0]),
+        )
+        assert r.response_time[0] == 0.0
+        assert r.success_rate == 1.0
+
+    def test_response_matches_single_flood_timing(self):
+        # Same shape as queued_flood's replica_timing test: 3 hops of
+        # latency 1 plus 0.5 service at each of the 3 processed nodes.
+        g = path_graph(4)
+        r = simulate_workload(
+            g, workload_of([2.0], [0]), placement_at(4, [[3]]),
+            ttl=5, sources=np.array([0]), service_time=0.5,
+        )
+        assert r.response_time[0] == pytest.approx(3 * 1.0 + 3 * 0.5)
+
+    def test_unresolved_queries_are_inf(self):
+        g = path_graph(4)
+        r = simulate_workload(
+            g, workload_of([0.0, 0.0], [0, 0]), placement_at(4, [[3]]),
+            ttl=1, sources=np.array([0, 3]),
+        )
+        assert np.isinf(r.response_time[0])  # 3 is out of TTL-1 range of 0
+        assert r.response_time[1] == 0.0     # 3 holds the replica itself
+        assert r.success_rate == 0.5
+
+    def test_cross_query_congestion_delays_later_query(self):
+        """Two queries a moment apart through the same path: the second
+        queues behind the first at every node — the coupling a
+        one-flood-at-a-time model cannot express."""
+        g = path_graph(3)
+        pl = placement_at(3, [[2]])
+        alone = simulate_workload(
+            g, workload_of([0.0], [0]), pl, ttl=3,
+            sources=np.array([0]), service_time=2.0,
+        )
+        together = simulate_workload(
+            g, workload_of([0.0, 0.1], [0, 0]), pl, ttl=3,
+            sources=np.array([0, 0]), service_time=2.0,
+        )
+        assert together.response_time[0] == alone.response_time[0]
+        assert together.response_time[1] > alone.response_time[0]
+        assert together.peak_queue_delay.max() > 0.0
+
+    def test_utilization_and_hot_nodes(self):
+        # Star: every flood from a leaf pushes all traffic through hub 0.
+        g = star_graph(5)
+        r = simulate_workload(
+            g, workload_of([0.0, 0.0], [0, 0]), placement_at(6, [[5]]),
+            ttl=2, sources=np.array([1, 2]), service_time=1.0,
+        )
+        assert r.hot_nodes(1)[0] == 0
+        assert r.utilization[0] == r.utilization.max()
+        assert 0.0 < r.utilization[0] <= 1.0
+
+    def test_empty_workload(self):
+        g = path_graph(3)
+        r = simulate_workload(
+            g, workload_of([], [], n_objects=1), placement_at(3, [[2]]),
+            ttl=2,
+        )
+        assert r.n_queries == 0 and r.messages == 0
+        assert r.success_rate == 0.0 and r.makespan == 0.0
+
+    def test_sources_drawn_from_seed_are_reproducible(self):
+        g = path_graph(4)
+        pl = placement_at(4, [[3]])
+        w = workload_of([0.0, 1.0, 2.0], [0, 0, 0])
+        a = simulate_workload(g, w, pl, ttl=5, seed=11)
+        b = simulate_workload(g, w, pl, ttl=5, seed=11)
+        np.testing.assert_array_equal(a.sources, b.sources)
+        np.testing.assert_array_equal(a.response_time, b.response_time)
+        np.testing.assert_array_equal(
+            a.sources, draw_workload_sources(4, 3, seed=11)
+        )
+
+    def test_validation(self):
+        g = path_graph(3)
+        pl = placement_at(3, [[2]])
+        w = workload_of([0.0], [0])
+        with pytest.raises(ValueError, match="ttl"):
+            simulate_workload(g, w, pl, ttl=-1)
+        with pytest.raises(ValueError, match="one entry per query"):
+            simulate_workload(g, w, pl, ttl=2, sources=np.array([0, 1]))
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_workload(g, w, pl, ttl=2, sources=np.array([7]))
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_workload(g, w, pl, ttl=2, service_time=-1.0)
+        with pytest.raises(ValueError, match="latency_scale"):
+            simulate_workload(g, w, pl, ttl=2, latency_scale=0.0)
+        with pytest.raises(ValueError, match="objects out of range"):
+            simulate_workload(g, workload_of([0.0], [5]), pl, ttl=2)
+        with pytest.raises(ValueError, match="disagree"):
+            simulate_workload(g, w, placement_at(9, [[2]]), ttl=2)
+
+    def test_latency_scale_compresses_propagation(self):
+        g = path_graph(3)
+        pl = placement_at(3, [[2]])
+        w = workload_of([0.0], [0])
+        full = simulate_workload(g, w, pl, ttl=3, sources=np.array([0]),
+                                 service_time=0.0)
+        half = simulate_workload(g, w, pl, ttl=3, sources=np.array([0]),
+                                 service_time=0.0, latency_scale=0.5)
+        assert half.response_time[0] == pytest.approx(
+            full.response_time[0] / 2
+        )
+
+
+class TestWorkloadObservability:
+    def run_observed(self, **kwargs):
+        g = star_graph(4)
+        pl = placement_at(5, [[4]])
+        w = workload_of([0.0, 0.5, 1.0], [0, 0, 0])
+        src = np.array([1, 2, 3])
+        with obs.observed(trace=True) as session:
+            result = simulate_workload(
+                g, w, pl, ttl=2, sources=src, service_time=0.1, **kwargs
+            )
+        return result, session
+
+    def test_metrics_recorded(self):
+        result, session = self.run_observed()
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["queue.queries"] == 3
+        assert snap["counters"]["queue.messages"] == result.messages
+        assert snap["quantiles"]["queue.response_s"]["count"] == 3
+        gauges = snap["gauges"]
+        assert gauges["queue.success_rate"] == result.success_rate
+        assert gauges["queue.util_max"] == pytest.approx(
+            float(result.utilization.max())
+        )
+        assert any(k.startswith("queue.node_util.") for k in gauges)
+        assert snap["timeseries"]["queue.inflight"]["points"]
+
+    def test_trace_events_carry_query_ids(self):
+        _, session = self.run_observed()
+        events = session.tracer.events()
+        kinds = {e["kind"] for e in events}
+        assert {"queue.service", "queue.forward", "queue.hit"} <= kinds
+        hits = [e for e in events if e["kind"] == "queue.hit"]
+        assert sorted(e["query_id"] for e in hits) == [0, 1, 2]
+        assert all("t" in e for e in events)
+        # every query's causal chain is reconstructable by query_id
+        for q in range(3):
+            chain = [e for e in events if e.get("query_id") == q]
+            assert any(e["kind"] == "queue.service" for e in chain)
+
+    def test_bit_identical_with_obs_off(self):
+        on, _ = self.run_observed()
+        g = star_graph(4)
+        pl = placement_at(5, [[4]])
+        w = workload_of([0.0, 0.5, 1.0], [0, 0, 0])
+        off = simulate_workload(
+            g, w, pl, ttl=2, sources=np.array([1, 2, 3]), service_time=0.1
+        )
+        np.testing.assert_array_equal(on.response_time, off.response_time)
+        np.testing.assert_array_equal(on.utilization, off.utilization)
+        assert on.makespan == off.makespan
+
+    def test_bad_sample_interval_rejected_only_when_observed(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            self.run_observed(sample_interval=0.0)
+
+
+class TestScaleAndSweep:
+    def test_scale_workload(self):
+        w = workload_of([0.0, 2.0, 4.0], [0, 1, 0])
+        fast = scale_workload(w, 4.0)
+        np.testing.assert_allclose(fast.times, [0.0, 0.5, 1.0])
+        np.testing.assert_array_equal(fast.objects, w.objects)
+        assert fast.n_objects == w.n_objects
+        with pytest.raises(ValueError, match="multiplier"):
+            scale_workload(w, 0.0)
+
+    def test_sweep_finds_saturation_knee(self):
+        """A star hub under rising rate: low multipliers drain between
+        arrivals, high ones keep the hub busy nearly always — the sweep
+        reports
+        the first multiplier whose run saturates."""
+        g = star_graph(6)
+        pl = placement_at(7, [[6]])
+        n_q = 12
+        w = workload_of(np.linspace(0.0, 110.0, n_q), [0] * n_q)
+        src = np.array([1 + (i % 5) for i in range(n_q)])
+        sweep = saturation_sweep(
+            g, w, pl, ttl=2, multipliers=(1.0, 100.0), sources=src,
+            service_time=1.0, util_threshold=0.8,
+        )
+        assert not sweep.results[0].is_saturated(0.8)
+        assert sweep.results[1].is_saturated(0.8)
+        assert sweep.saturation_multiplier == 100.0
+        assert sweep.saturation_index == 1
+        # tail latency worsens with load
+        assert sweep.p99_curve[1] > sweep.p99_curve[0]
+
+    def test_sweep_serves_identical_queries_per_rate(self):
+        g = path_graph(4)
+        pl = placement_at(4, [[3]])
+        w = workload_of([0.0, 5.0], [0, 0])
+        sweep = saturation_sweep(
+            g, w, pl, ttl=5, multipliers=(1.0, 2.0), seed=3,
+        )
+        a, b = sweep.results
+        np.testing.assert_array_equal(a.sources, b.sources)
+        np.testing.assert_array_equal(a.objects, b.objects)
+
+    def test_sweep_records_headline_gauges(self):
+        g = star_graph(6)
+        pl = placement_at(7, [[6]])
+        n_q = 12
+        w = workload_of(np.linspace(0.0, 110.0, n_q), [0] * n_q)
+        src = np.array([1 + (i % 5) for i in range(n_q)])
+        with obs.observed() as session:
+            saturation_sweep(
+                g, w, pl, ttl=2, multipliers=(1.0, 100.0), sources=src,
+                service_time=1.0, util_threshold=0.8, metric_prefix="cap",
+            )
+        snap = session.metrics.snapshot()
+        assert snap["gauges"]["cap.saturation_multiplier"] == 100.0
+        assert "cap.p99_at_saturation_s" in snap["gauges"]
+        assert "cap.x1.response_s" in snap["quantiles"]
+        assert "cap.x100.response_s" in snap["quantiles"]
+
+    def test_sweep_without_saturation_records_no_nan_gauge(self):
+        g = path_graph(3)
+        pl = placement_at(3, [[2]])
+        w = workload_of([0.0], [0])
+        with obs.observed() as session:
+            saturation_sweep(g, w, pl, ttl=3, multipliers=(1.0,), seed=1,
+                             metric_prefix="cap")
+        gauges = session.metrics.snapshot()["gauges"]
+        assert "cap.saturation_multiplier" not in gauges
+
+    def test_sweep_needs_multipliers(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="multiplier"):
+            saturation_sweep(
+                g, workload_of([0.0], [0]), placement_at(3, [[2]]),
+                ttl=2, multipliers=(),
+            )
