@@ -386,6 +386,114 @@ def cmd_churn(args) -> int:
     return 0
 
 
+def cmd_node_run(args) -> int:
+    """Run one live peer until the duration elapses."""
+    import asyncio
+
+    from repro.node import NodeConfig, PeerNode
+
+    store = set()
+    if args.store:
+        store = {int(k) for k in args.store.split(",")}
+
+    async def _run() -> None:
+        node = PeerNode(args.node_id, capacity=args.capacity, store=store,
+                        config=NodeConfig(default_ttl=args.ttl))
+        await node.start(port=args.port)
+        print(f"node {args.node_id} listening on {node.host}:{node.port}")
+        for addr in args.connect or []:
+            host, _, port = addr.rpartition(":")
+            peer = await node.connect(host or "127.0.0.1", int(port))
+            print(f"  connected to node {peer} at {addr}")
+        await asyncio.sleep(args.duration)
+        counters = node.metrics.snapshot()["counters"]
+        rx = sum(v for k, v in counters.items() if k.startswith("node.rx."))
+        print(f"  degree {len(node.neighbors)}, {rx} messages received, "
+              f"{counters.get('node.protocol_errors', 0)} protocol errors")
+        await node.stop()
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_node_boot(args) -> int:
+    """Boot N live peers into a seeded overlay and flood queries."""
+    from repro.node import NodeConfig, run_live_workload
+    from repro.search import draw_query_workload
+
+    graph = _make_overlay(args)
+    placement = place_objects(
+        graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
+    )
+    sources, objects = draw_query_workload(
+        graph, placement, args.queries, seed=args.seed + 3
+    )
+    results, overlay = run_live_workload(
+        graph, placement, sources, objects, args.ttl,
+        config=NodeConfig(default_ttl=args.ttl),
+    )
+    merged = overlay.merged_registry()
+    counters = merged.snapshot()["counters"]
+    success = sum(1 for r in results if r.success) / len(results)
+    messages = sum(r.total_messages for r in results)
+    duplicates = sum(r.duplicates for r in results)
+    edges = overlay.live_edges()
+    seeded = {(u, v) for u, v, _ in graph.iter_edges()}
+    print(f"live overlay: {graph.n_nodes} asyncio peers on {args.topology} "
+          f"topology, TTL {args.ttl}:")
+    print(f"  edges held: {len(edges)}/{len(seeded)} seeded "
+          f"({len(seeded ^ edges)} mismatched)")
+    print(f"  queries: {len(results)}, success {100 * success:.1f}%, "
+          f"{messages} messages ({duplicates} duplicates)")
+    print(f"  wire health: "
+          f"{counters.get('node.protocol_errors', 0)} protocol errors, "
+          f"{counters.get('node.desyncs', 0)} desyncs, "
+          f"{counters.get('node.queryhit.unroutable', 0)} unroutable hits")
+    session = obs.active()
+    if session is not None:
+        session.metrics.merge_snapshot(merged.snapshot())
+    return 0
+
+
+def cmd_node_parity(args) -> int:
+    """Replay one seeded scenario through sim and live; diff the arms."""
+    import json
+
+    from repro.node import ParityScenario, run_parity
+    from repro.obs.report import diff_metrics, format_diff
+
+    scenario = ParityScenario(
+        n_nodes=args.nodes, n_queries=args.queries, ttl=args.ttl,
+        n_objects=args.objects, replication=args.replication,
+        seed=args.seed,
+    )
+    try:
+        report = run_parity(scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path, snap in ((args.sim_out, report.sim_snapshot),
+                       (args.live_out, report.live_snapshot)):
+        if path:
+            with open(path, "w") as fh:
+                json.dump(snap, fh, indent=2, default=float)
+                fh.write("\n")
+            print(f"snapshot written to {path}")
+    deltas = diff_metrics(report.sim_snapshot, report.live_snapshot)
+    parity_deltas = [d for d in deltas if d.name.startswith("parity.")]
+    print(f"sim vs live on {args.nodes} nodes ({args.queries} queries, "
+          f"TTL {args.ttl}):")
+    print(format_diff(parity_deltas, threshold=args.threshold,
+                      show_unchanged=True))
+    regressions = [d for d in deltas if d.exceeds(args.threshold)]
+    if regressions:
+        print(f"{len(regressions)} metric(s) diverged beyond "
+              f"{100 * args.threshold:g}%", file=sys.stderr)
+        if args.fail_on_divergence:
+            return 1
+    return 0
+
+
 def cmd_faults_list(args) -> int:
     """List the built-in fault scenarios."""
     from repro.faults import BUILTIN_SCENARIOS
@@ -565,6 +673,56 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, topology=False)
     churn_args(p)
     p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser("node",
+                       help="live asyncio overlay (run / boot / parity)")
+    nsub = p.add_subparsers(dest="node_command", required=True)
+
+    np_ = nsub.add_parser("run", help="run one live peer")
+    np_.add_argument("--node-id", type=int, default=0)
+    np_.add_argument("--port", type=int, default=0,
+                     help="listening port (0 = ephemeral)")
+    np_.add_argument("--capacity", type=int, default=None,
+                     help="Makalu degree capacity (enables live pruning)")
+    np_.add_argument("--ttl", type=int, default=7)
+    np_.add_argument("--duration", type=float, default=1.0,
+                     help="seconds to serve before reporting and exiting")
+    np_.add_argument("--connect", action="append", metavar="HOST:PORT",
+                     default=None, help="peer to dial (repeatable)")
+    np_.add_argument("--store", default=None,
+                     help="comma-separated object keys this peer holds")
+    np_.set_defaults(func=cmd_node_run)
+
+    np_ = nsub.add_parser(
+        "boot", help="boot N live peers into a seeded overlay and flood"
+    )
+    common(np_)
+    np_.set_defaults(nodes=40)
+    np_.add_argument("--ttl", type=int, default=6)
+    np_.add_argument("--replication", type=float, default=0.1)
+    np_.add_argument("--objects", type=int, default=10)
+    np_.add_argument("--queries", type=int, default=20)
+    np_.set_defaults(func=cmd_node_boot)
+
+    np_ = nsub.add_parser(
+        "parity",
+        help="replay one seeded scenario through sim and live; diff them",
+    )
+    np_.add_argument("--nodes", type=int, default=24)
+    np_.add_argument("--seed", type=int, default=7)
+    np_.add_argument("--ttl", type=int, default=6)
+    np_.add_argument("--replication", type=float, default=0.1)
+    np_.add_argument("--objects", type=int, default=8)
+    np_.add_argument("--queries", type=int, default=12)
+    np_.add_argument("--sim-out", metavar="PATH", default=None,
+                     help="write the sim arm's metric snapshot")
+    np_.add_argument("--live-out", metavar="PATH", default=None,
+                     help="write the live arm's metric snapshot")
+    np_.add_argument("--threshold", type=float, default=0.02,
+                     help="relative divergence tolerated per metric")
+    np_.add_argument("--fail-on-divergence", action="store_true",
+                     help="exit 1 when any gated metric diverges")
+    np_.set_defaults(func=cmd_node_parity)
 
     p = sub.add_parser("faults",
                        help="fault-injection scenarios (list / run)")

@@ -1,0 +1,58 @@
+"""Live asyncio node runtime speaking Gnutella v0.4 over TCP.
+
+The deployable counterpart of the discrete-event simulator: real
+sockets, real partial reads, real malformed peers.  Three layers:
+
+* :mod:`repro.node.framer` — stream reassembly with the recoverable /
+  unrecoverable decode-fault split (drop a frame vs. desync the link);
+* :mod:`repro.node.peer` — one servent: handshake, crawler-ping
+  neighborhood exchange, Makalu rating/prune maintenance, Query flood
+  serving with reverse-path QueryHit routing, per-node metrics;
+* :mod:`repro.node.boot` / :mod:`repro.node.parity` — boot N peers into
+  a seeded topology, serve workloads to quiescence, and hold the live
+  runtime against the simulator under ``repro obs diff``.
+
+CLI entry points: ``repro node run`` / ``repro node boot`` /
+``repro node parity`` (see README's live-overlay quick start).
+"""
+
+from repro.node.boot import (
+    LiveFloodResult,
+    LiveOverlay,
+    boot_and_flood,
+    run_live_workload,
+)
+from repro.node.framer import DEFAULT_MAX_PAYLOAD, StreamFramer
+from repro.node.parity import ParityReport, ParityScenario, run_parity
+from repro.node.peer import (
+    LiveHit,
+    LiveQuery,
+    NodeConfig,
+    PeerNode,
+    criteria_for_key,
+    ip_to_node,
+    key_from_criteria,
+    make_guid,
+    node_ip,
+)
+
+__all__ = [
+    "StreamFramer",
+    "DEFAULT_MAX_PAYLOAD",
+    "PeerNode",
+    "NodeConfig",
+    "LiveQuery",
+    "LiveHit",
+    "LiveOverlay",
+    "LiveFloodResult",
+    "boot_and_flood",
+    "run_live_workload",
+    "ParityScenario",
+    "ParityReport",
+    "run_parity",
+    "make_guid",
+    "node_ip",
+    "ip_to_node",
+    "criteria_for_key",
+    "key_from_criteria",
+]

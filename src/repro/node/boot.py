@@ -1,0 +1,319 @@
+"""Boot a whole live overlay of asyncio peers in one process.
+
+:class:`LiveOverlay` launches one :class:`~repro.node.peer.PeerNode` per
+overlay node on ``127.0.0.1`` (ephemeral ports), wires the seeded
+topology of an :class:`~repro.topology.graph.OverlayGraph` over real TCP
+connections, injects the graph's link latencies as the peers' measured
+distances, and serves flood queries with per-query message accounting
+derived from the nodes' private metric registries.
+
+Quiescence instead of sleep: because every peer lives in the same event
+loop, "the flood is over" is observable — the sum of all tx/rx counters
+stops moving (:meth:`LiveOverlay.settle`).  That is what makes live
+per-query totals exact rather than timeout-truncated, and it is the
+mechanism the sim/live parity harness (:mod:`repro.node.parity`) relies
+on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.node.peer import LiveQuery, NodeConfig, PeerNode
+from repro.obs.metrics import MetricsRegistry
+from repro.search.replication import Placement
+from repro.topology.graph import OverlayGraph
+
+#: Counters summed across nodes for quiescence detection: every message
+#: leaving a node eventually lands in a receiver's rx counter, so two
+#: identical consecutive sums mean no message is in flight.
+_ACTIVITY_COUNTERS = (
+    "node.tx.messages",
+    "node.rx.ping",
+    "node.rx.pong",
+    "node.rx.query",
+    "node.rx.query_hit",
+)
+
+
+@dataclass(frozen=True)
+class LiveFloodResult:
+    """Accounting of one live flood, shaped like the sim's FloodResult."""
+
+    source: int
+    key: int
+    ttl: int
+    success: bool
+    first_hit_hop: int
+    replicas_found: int
+    total_messages: int
+    duplicates: int
+    nodes_visited: int
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of query messages that were duplicates."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.duplicates / self.total_messages
+
+
+class LiveOverlay:
+    """N live peers wired into a seeded topology.
+
+    Parameters
+    ----------
+    graph:
+        The seeded topology (typically a Makalu build — the golden
+        reference the live overlay must mirror).
+    placement:
+        Optional replica placement; each node's store is its objects.
+    capacities:
+        Optional per-node Makalu capacities (enables live prune
+        maintenance).  Default None: the launcher owns the topology and
+        peers never prune.
+    latency_fn:
+        ``(u, v) -> d`` injected link latency; defaults to the graph's
+        edge latency (1.0 for non-edges, which only candidate dials see).
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        placement: Optional[Placement] = None,
+        capacities: Optional[Sequence[int]] = None,
+        latency_fn: Optional[Callable[[int, int], float]] = None,
+        config: Optional[NodeConfig] = None,
+        host: str = "127.0.0.1",
+    ):
+        if placement is not None and placement.n_nodes != graph.n_nodes:
+            raise ValueError("placement and graph node counts disagree")
+        if capacities is not None and len(capacities) != graph.n_nodes:
+            raise ValueError("capacities must have one entry per node")
+        self.graph = graph
+        self.placement = placement
+        self.host = host
+        self.config = config or NodeConfig()
+        if latency_fn is None:
+            latency_fn = self._graph_latency
+        stores = self._stores(placement, graph.n_nodes)
+        self.nodes: List[PeerNode] = [
+            PeerNode(
+                u,
+                capacity=None if capacities is None else int(capacities[u]),
+                store=stores[u],
+                latency_to=(lambda v, _u=u: latency_fn(_u, v)),
+                config=self.config,
+            )
+            for u in range(graph.n_nodes)
+        ]
+        self._started = False
+        self._final_edges: Optional[Set[Tuple[int, int]]] = None
+        self._final_latency: Dict[Tuple[int, int], float] = {}
+
+    def _graph_latency(self, u: int, v: int) -> float:
+        try:
+            return self.graph.edge_latency(u, v)
+        except KeyError:
+            return 1.0
+
+    @staticmethod
+    def _stores(placement: Optional[Placement], n: int) -> List[Set[int]]:
+        if placement is None:
+            return [set() for _ in range(n)]
+        indptr, keys = placement.node_store()
+        return [
+            {int(k) for k in keys[indptr[u]:indptr[u + 1]]} for u in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every server, then dial every seeded edge."""
+        await asyncio.gather(*(n.start(self.host, 0) for n in self.nodes))
+        for u, v, _lat in self.graph.iter_edges():
+            await self.nodes[u].connect(self.host, self.nodes[v].port)
+        self._started = True
+
+    async def stop(self) -> None:
+        """Tear every peer down.
+
+        The final topology is frozen first, so structure readback
+        (:meth:`live_edges` / :meth:`overlay_graph`) stays truthful
+        after teardown.
+        """
+        if self._started:
+            self._final_edges = self._edges_from_links()
+            self._final_latency = {
+                (u, v): self.nodes[u].neighbors[v].latency
+                for u, v in self._final_edges
+            }
+        await asyncio.gather(*(n.stop() for n in self.nodes))
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Quiescence + accounting
+    # ------------------------------------------------------------------
+
+    def _activity_fingerprint(self) -> Tuple[int, ...]:
+        return tuple(self._counter_total(name) for name in _ACTIVITY_COUNTERS)
+
+    def _counter_total(self, name: str) -> int:
+        total = 0
+        for n in self.nodes:
+            total += n.metrics.snapshot()["counters"].get(name, 0)
+        return total
+
+    async def settle(self, idle: float = 0.02, timeout: float = 10.0) -> bool:
+        """Wait until no message is in flight anywhere in the overlay.
+
+        Polls the overlay-wide tx/rx counter sums every ``idle`` seconds
+        and returns True once two consecutive polls agree (False if
+        ``timeout`` elapses first — e.g. a peer wedged mid-flood).
+        """
+        deadline = time.monotonic() + timeout
+        last = self._activity_fingerprint()
+        while time.monotonic() < deadline:
+            await asyncio.sleep(idle)
+            current = self._activity_fingerprint()
+            if current == last:
+                return True
+            last = current
+        return False
+
+    async def flood(self, source: int, key: int,
+                    ttl: Optional[int] = None) -> LiveFloodResult:
+        """Flood one query from ``source`` and account it exactly.
+
+        Runs the query to quiescence; the per-query totals are the
+        deltas of the overlay-wide query counters around it, which is
+        valid because queries are serialized through this method.
+        """
+        if not self._started:
+            raise RuntimeError("overlay is not started")
+        base_rx = self._counter_total("node.rx.query")
+        base_dup = self._counter_total("node.query.duplicates")
+        base_fresh = self._counter_total("node.query.fresh")
+        state: LiveQuery = self.nodes[source].begin_query(key, ttl=ttl)
+        await self.settle()
+        self.nodes[source].finish_query(state)
+        return LiveFloodResult(
+            source=source,
+            key=key,
+            ttl=state.ttl,
+            success=state.success,
+            first_hit_hop=state.first_hit_hop,
+            replicas_found=state.replicas_found,
+            total_messages=self._counter_total("node.rx.query") - base_rx,
+            duplicates=self._counter_total("node.query.duplicates") - base_dup,
+            nodes_visited=(
+                self._counter_total("node.query.fresh") - base_fresh + 1
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Structure + metrics readback
+    # ------------------------------------------------------------------
+
+    def _edges_from_links(self) -> Set[Tuple[int, int]]:
+        edges: Set[Tuple[int, int]] = set()
+        for node in self.nodes:
+            for pid in node.neighbors:
+                u, v = min(node.node_id, pid), max(node.node_id, pid)
+                if pid < len(self.nodes) and \
+                        node.node_id in self.nodes[pid].neighbors:
+                    edges.add((u, v))
+        return edges
+
+    def live_edges(self) -> Set[Tuple[int, int]]:
+        """The overlay's actual edge set, read from per-peer link tables.
+
+        An edge counts only when *both* endpoints hold the link — a
+        half-open connection is a fault, not an edge.  After
+        :meth:`stop`, returns the topology frozen at teardown.
+        """
+        if not self._started and self._final_edges is not None:
+            return set(self._final_edges)
+        return self._edges_from_links()
+
+    def _link_latency(self, u: int, v: int) -> float:
+        conn = self.nodes[u].neighbors.get(v)
+        if conn is not None:
+            return conn.latency
+        return self._final_latency.get((u, v), 1.0)
+
+    def overlay_graph(self) -> OverlayGraph:
+        """Freeze the live topology into an OverlayGraph."""
+        edges = sorted(self.live_edges())
+        if not edges:
+            return OverlayGraph.from_edges(
+                len(self.nodes), np.asarray([], dtype=np.int64),
+                np.asarray([], dtype=np.int64),
+            )
+        eu = np.asarray([e[0] for e in edges], dtype=np.int64)
+        ev = np.asarray([e[1] for e in edges], dtype=np.int64)
+        lat = np.asarray([self._link_latency(u, v) for u, v in edges])
+        return OverlayGraph.from_edges(len(self.nodes), eu, ev, lat)
+
+    def merged_registry(self) -> MetricsRegistry:
+        """All per-node metrics folded into one registry."""
+        merged = MetricsRegistry()
+        for node in self.nodes:
+            merged.merge_snapshot(node.metrics.snapshot())
+        return merged
+
+    def per_node_snapshots(self) -> Dict[int, dict]:
+        """Each node's private metric snapshot, keyed by node id."""
+        return {n.node_id: n.metrics.snapshot() for n in self.nodes}
+
+
+async def boot_and_flood(
+    graph: OverlayGraph,
+    placement: Placement,
+    sources: Sequence[int],
+    objects: Sequence[int],
+    ttl: int,
+    config: Optional[NodeConfig] = None,
+    capacities: Optional[Sequence[int]] = None,
+) -> Tuple[List[LiveFloodResult], LiveOverlay]:
+    """Boot the overlay, serve a workload, return results + the overlay.
+
+    The overlay is stopped before returning; its structure and metrics
+    remain readable (link tables and registries survive the teardown).
+    """
+    overlay = LiveOverlay(graph, placement=placement, config=config,
+                          capacities=capacities)
+    await overlay.start()
+    try:
+        results = []
+        for src, obj in zip(sources, objects):
+            results.append(
+                await overlay.flood(int(src), placement.key_of(int(obj)),
+                                    ttl=ttl)
+            )
+    finally:
+        await overlay.stop()
+    return results, overlay
+
+
+def run_live_workload(
+    graph: OverlayGraph,
+    placement: Placement,
+    sources: Sequence[int],
+    objects: Sequence[int],
+    ttl: int,
+    config: Optional[NodeConfig] = None,
+    capacities: Optional[Sequence[int]] = None,
+) -> Tuple[List[LiveFloodResult], LiveOverlay]:
+    """Synchronous wrapper around :func:`boot_and_flood`."""
+    return asyncio.run(
+        boot_and_flood(graph, placement, sources, objects, ttl,
+                       config=config, capacities=capacities)
+    )

@@ -1,0 +1,124 @@
+"""Stream framing for the live node runtime.
+
+A Gnutella v0.4 connection is a raw TCP byte stream; message boundaries
+exist only through the 23-byte descriptor header's declared payload
+length.  :class:`StreamFramer` turns arbitrary read chunks back into
+typed messages:
+
+* **partial reads** are reassembled — ``feed()`` buffers until a full
+  header *and* its declared payload have arrived, however the kernel
+  sliced them;
+* **payload-level faults** (a Pong that is not 14 bytes, a Query without
+  its NUL terminator, a truncated QueryHit record...) are *recoverable*:
+  the header told us where the frame ends, so the framer drops exactly
+  that frame, counts the fault against the peer, and keeps parsing;
+* **header-level faults** (an unknown payload descriptor, a declared
+  payload beyond ``max_payload``) are *unrecoverable*: the declared
+  length of a half-understood descriptor cannot be trusted, so every
+  subsequent "header" would be read from an arbitrary stream position.
+  The framer marks itself :attr:`desynced` and refuses further input;
+  the owning connection must be closed.
+
+The error taxonomy (and why the split matters on an untrusted socket)
+is documented in docs/PROTOCOL.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.protocol.messages import (
+    DESCRIPTOR_HEADER_SIZE,
+    GnutellaHeader,
+    ProtocolError,
+    decode_message,
+)
+
+#: Default cap on a declared payload.  The v0.4 spec suggests servents
+#: drop descriptors over a few KB; anything near 4 GiB (the field max) is
+#: an attack on the reassembly buffer, not a message.
+DEFAULT_MAX_PAYLOAD = 65536
+
+
+class StreamFramer:
+    """Incremental decoder of one peer's byte stream.
+
+    Feed raw chunks with :meth:`feed`; complete, validated messages come
+    back in arrival order.  All fault accounting is per-instance — one
+    framer per connection — so a node can rate-limit or drop a peer on
+    its own error behavior without a global registry.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        if max_payload < 0:
+            raise ValueError(f"max_payload must be >= 0, got {max_payload}")
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        #: Recoverable payload faults (frames dropped, stream continued).
+        self.decode_errors = 0
+        #: Messages successfully decoded over the connection's lifetime.
+        self.messages_decoded = 0
+        #: Total bytes consumed from the stream (valid and dropped frames).
+        self.bytes_consumed = 0
+        #: Set on an unrecoverable header fault; ``feed`` refuses input.
+        self.desynced = False
+        #: The most recent fault, for logs/diagnostics.
+        self.last_error: Optional[ProtocolError] = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet framed (a partial message)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[object]:
+        """Absorb a read chunk; return every message it completed.
+
+        Raises :class:`ProtocolError` only through :attr:`last_error` —
+        the call itself never raises on wire faults.  Feeding a desynced
+        framer raises ``RuntimeError`` (a programming error: the owner
+        should have closed the connection).
+        """
+        if self.desynced:
+            raise RuntimeError(
+                "framer is desynced; the connection must be closed"
+            )
+        self._buffer.extend(data)
+        messages: List[object] = []
+        while len(self._buffer) >= DESCRIPTOR_HEADER_SIZE:
+            try:
+                header = GnutellaHeader.decode(
+                    bytes(self._buffer[:DESCRIPTOR_HEADER_SIZE])
+                )
+            except ProtocolError as exc:
+                # Unknown descriptor: its declared length is untrusted,
+                # so no later frame boundary can be found.
+                self._desync(exc)
+                break
+            if header.payload_length > self.max_payload:
+                self._desync(ProtocolError(
+                    f"declared payload of {header.payload_length} bytes "
+                    f"exceeds the {self.max_payload}-byte limit",
+                    offset=19,
+                ))
+                break
+            frame_size = DESCRIPTOR_HEADER_SIZE + header.payload_length
+            if len(self._buffer) < frame_size:
+                break  # partial frame; wait for more bytes
+            frame = bytes(self._buffer[:frame_size])
+            del self._buffer[:frame_size]
+            self.bytes_consumed += frame_size
+            try:
+                messages.append(decode_message(frame, strict=True))
+                self.messages_decoded += 1
+            except ProtocolError as exc:
+                # The header fixed the frame boundary, so the stream
+                # position is still trusted: drop this frame only.
+                self.decode_errors += 1
+                self.last_error = exc
+        return messages
+
+    def _desync(self, exc: ProtocolError) -> None:
+        self.decode_errors += 1
+        self.last_error = exc
+        self.desynced = True
+        self._buffer.clear()

@@ -1,0 +1,215 @@
+"""Sim/live parity harness: one seeded scenario, two execution engines.
+
+The simulator (:mod:`repro.search.flooding` over a
+:func:`~repro.core.makalu.makalu_graph` build) is the golden reference;
+the live runtime (:mod:`repro.node.boot`) is the deployable artifact.
+This module replays the *same* seeded scenario — same overlay build,
+same placement, same :func:`~repro.search.flooding.draw_query_workload`
+— through both, and renders each arm as a metric snapshot under
+identical ``parity.*`` names so the existing ``repro obs diff
+--fail-on-regression`` gate can hold them together.
+
+What the gate may compare must be *deterministic under async
+scheduling*.  With the full-coverage guard (TTL at least the worst
+workload eccentricity + 1, enforced by default), every node that sees a
+query forwards it exactly once regardless of arrival order, so the
+flood's message totals, duplicate counts, visit counts, replica counts
+and success are all arrival-order-independent:
+
+    total = deg(source) + sum over visited v != source of (deg(v) - 1)
+
+First-hit hop depths are *not* in the gated set — they depend on which
+copy arrives first, which real concurrency does not promise — and live
+``node.*`` operational counters appear on the live side only (one-sided
+metrics diff as n/a and never gate).
+
+Structure parity is direction-aware: both arms report edge counts and
+degree stats, and the live arm sets ``parity.divergence.edge_mismatch``
+to the symmetric difference between the golden edge set and the edges
+actually held by both endpoints of every live TCP link.  The sim arm
+pins it at 0, so any live mismatch diffs as an infinite regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import makalu_graph
+from repro.node.boot import LiveFloodResult, run_live_workload
+from repro.node.peer import NodeConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.search.flooding import FloodResult, draw_query_workload, flood
+from repro.search.replication import Placement, place_objects
+from repro.topology.graph import OverlayGraph
+
+
+@dataclass(frozen=True)
+class ParityScenario:
+    """One seeded scenario replayed through both engines."""
+
+    n_nodes: int = 24
+    n_queries: int = 12
+    ttl: int = 6
+    n_objects: int = 8
+    replication: float = 0.1
+    seed: int = 7
+    #: Require every sim flood to cover the whole overlay with a hop to
+    #: spare — the precondition for live totals being scheduling-
+    #: independent (see module docstring).  Disable only for exploratory
+    #: runs whose diffs are read by humans, not gates.
+    full_coverage_guard: bool = True
+
+    def __post_init__(self):
+        if self.n_nodes < 2:
+            raise ValueError("a parity scenario needs at least 2 nodes")
+        if self.ttl < 1:
+            raise ValueError("ttl must be >= 1")
+        if self.n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+
+
+@dataclass
+class ParityReport:
+    """Both arms' snapshots plus the raw per-query results."""
+
+    scenario: ParityScenario
+    sim_snapshot: dict
+    live_snapshot: dict
+    sim_results: List[FloodResult]
+    live_results: List[LiveFloodResult]
+    edge_mismatch: int
+
+    def regressions(self, threshold: float = 0.02) -> List:
+        """Gated deltas (sim -> live) beyond ``threshold``."""
+        from repro.obs.report import diff_metrics
+
+        return [
+            d for d in diff_metrics(self.sim_snapshot, self.live_snapshot)
+            if d.exceeds(threshold)
+        ]
+
+
+def _overlay_stats(reg: MetricsRegistry, graph: OverlayGraph) -> None:
+    degs = graph.degrees
+    reg.gauge("parity.overlay.n_edges").set(float(graph.n_edges))
+    reg.gauge("parity.overlay.mean_degree").set(float(graph.mean_degree))
+    reg.gauge("parity.overlay.min_degree").set(
+        float(degs.min()) if degs.size else 0.0
+    )
+    reg.gauge("parity.overlay.max_degree").set(
+        float(degs.max()) if degs.size else 0.0
+    )
+    reg.gauge("parity.overlay.components").set(
+        float(graph.connected_components()[0])
+    )
+
+
+def _search_stats(
+    reg: MetricsRegistry,
+    successes: int,
+    messages: int,
+    duplicates: int,
+    replicas: int,
+    visited: int,
+    n_queries: int,
+) -> None:
+    reg.counter("parity.queries").inc(n_queries)
+    reg.counter("parity.messages_total").inc(messages)
+    reg.counter("parity.duplicates_total").inc(duplicates)
+    reg.counter("parity.replicas_found_total").inc(replicas)
+    reg.counter("parity.nodes_visited_total").inc(visited)
+    reg.gauge("parity.success_rate").set(
+        successes / n_queries if n_queries else 0.0
+    )
+    reg.gauge("parity.duplicate_fraction").set(
+        duplicates / messages if messages else 0.0
+    )
+
+
+def _check_coverage(scenario: ParityScenario,
+                    sim_results: List[FloodResult], n_nodes: int) -> None:
+    """Enforce the full-coverage precondition of the gated metric set."""
+    worst_ecc = 0
+    for r in sim_results:
+        if r.nodes_visited != n_nodes:
+            raise ValueError(
+                f"flood from {r.source} covered {r.nodes_visited}/{n_nodes} "
+                f"nodes at ttl={scenario.ttl}; live totals are only "
+                f"scheduling-independent under full coverage — raise ttl "
+                f"or set full_coverage_guard=False"
+            )
+        reached = np.nonzero(r.new_nodes_per_hop)[0]
+        worst_ecc = max(worst_ecc, int(reached[-1]) + 1 if reached.size else 0)
+    if scenario.ttl < worst_ecc + 1:
+        raise ValueError(
+            f"ttl={scenario.ttl} leaves no forwarding slack over the worst "
+            f"source eccentricity {worst_ecc}; use ttl >= {worst_ecc + 1} "
+            f"so every visited node forwards regardless of arrival order"
+        )
+
+
+def run_parity(scenario: ParityScenario = ParityScenario(),
+               config: Optional[NodeConfig] = None) -> ParityReport:
+    """Replay one seeded scenario through sim and live; snapshot both."""
+    graph = makalu_graph(n_nodes=scenario.n_nodes, seed=scenario.seed)
+    placement: Placement = place_objects(
+        graph.n_nodes, scenario.n_objects, scenario.replication,
+        seed=scenario.seed + 2,
+    )
+    sources, objects = draw_query_workload(
+        graph, placement, scenario.n_queries, seed=scenario.seed + 3
+    )
+
+    # --- sim arm (golden) ---------------------------------------------
+    sim_results = [
+        flood(graph, int(src), scenario.ttl,
+              replica_mask=placement.holder_mask(int(obj)))
+        for src, obj in zip(sources, objects)
+    ]
+    if scenario.full_coverage_guard:
+        _check_coverage(scenario, sim_results, graph.n_nodes)
+    sim_reg = MetricsRegistry()
+    _search_stats(
+        sim_reg,
+        successes=sum(1 for r in sim_results if r.success),
+        messages=sum(r.total_messages for r in sim_results),
+        duplicates=sum(int(r.duplicates_per_hop.sum()) for r in sim_results),
+        replicas=sum(r.replicas_found for r in sim_results),
+        visited=sum(r.nodes_visited for r in sim_results),
+        n_queries=scenario.n_queries,
+    )
+    _overlay_stats(sim_reg, graph)
+    sim_reg.gauge("parity.divergence.edge_mismatch").set(0.0)
+
+    # --- live arm ------------------------------------------------------
+    live_results, overlay = run_live_workload(
+        graph, placement, sources, objects, scenario.ttl, config=config
+    )
+    live_graph = overlay.overlay_graph()
+    golden_edges = {(u, v) for u, v, _ in graph.iter_edges()}
+    mismatch = len(golden_edges ^ overlay.live_edges())
+
+    live_reg = overlay.merged_registry()
+    _search_stats(
+        live_reg,
+        successes=sum(1 for r in live_results if r.success),
+        messages=sum(r.total_messages for r in live_results),
+        duplicates=sum(r.duplicates for r in live_results),
+        replicas=sum(r.replicas_found for r in live_results),
+        visited=sum(r.nodes_visited for r in live_results),
+        n_queries=scenario.n_queries,
+    )
+    _overlay_stats(live_reg, live_graph)
+    live_reg.gauge("parity.divergence.edge_mismatch").set(float(mismatch))
+
+    return ParityReport(
+        scenario=scenario,
+        sim_snapshot=sim_reg.snapshot(),
+        live_snapshot=live_reg.snapshot(),
+        sim_results=sim_results,
+        live_results=live_results,
+        edge_mismatch=mismatch,
+    )

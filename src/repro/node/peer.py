@@ -1,0 +1,643 @@
+"""A live asyncio Makalu peer speaking Gnutella v0.4 over TCP.
+
+One :class:`PeerNode` is one servent: it listens on a real socket,
+handshakes neighbors via Ping/Pong, learns neighbor neighborhoods with
+2-hop crawler pings, runs the Makalu rating/prune maintenance of
+:mod:`repro.core.rating` when over capacity, serves Query floods with
+the protocol's TTL/hops forwarding rules and descriptor-ID duplicate
+suppression, and routes QueryHits back along the reverse query path.
+
+Identity on the wire stays within the four v0.4 descriptors: a node's
+Pong carries its real listening port and a virtual ``10.x.y.z`` address
+encoding its integer node id (:func:`node_ip` / :func:`ip_to_node`), so
+peers recognize each other without any protocol extension.  Link
+latencies are injected (``latency_to``) rather than measured — localhost
+RTTs carry no signal, and the injected values are what make live ratings
+comparable with the simulator's.
+
+Handshake (both directions, symmetric):
+
+1. on connect, each side sends a *hello* Ping with ``ttl=1`` (never
+   forwarded);
+2. each side answers any Ping with a Pong carrying its identity;
+3. receiving the Pong for its own hello completes a side's handshake and
+   registers the neighbor.
+
+Neighborhood exchange — the ``Gamma(v)`` lists the rating function needs
+— uses a *crawler* Ping with ``ttl=2``: the neighbor answers with its
+own Pong (hops 0) and forwards the Ping one hop; its neighbors' Pongs
+come back reverse-path with hops 1.
+
+Every node owns a private :class:`~repro.obs.metrics.MetricsRegistry`
+(the ``node.*`` counter catalogue) so a multi-node boot can merge
+per-node snapshots exactly like the parallel runner merges worker
+shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
+from repro.node.framer import DEFAULT_MAX_PAYLOAD, StreamFramer
+from repro.obs import runtime as _obs
+from repro.obs.metrics import MetricsRegistry
+from repro.protocol.messages import (
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    QueryHitResult,
+)
+
+_GUID_STRUCT = struct.Struct("<II8s")
+_GUID_TAG = b"makalu\x00\x00"
+
+#: Criteria prefix of an object lookup; the paper's searches are by
+#: object identity, so a query carries ``key:<int64>``.
+_KEY_PREFIX = "key:"
+
+
+def make_guid(node_id: int, counter: int) -> bytes:
+    """A 16-byte descriptor ID unique across the overlay.
+
+    Deterministic — ``(node_id, counter)`` is the identity — so seeded
+    live runs are replayable.
+    """
+    return _GUID_STRUCT.pack(node_id & 0xFFFFFFFF, counter & 0xFFFFFFFF,
+                             _GUID_TAG)
+
+
+def node_ip(node_id: int) -> Tuple[int, int, int, int]:
+    """Virtual ``10.x.y.z`` address encoding a node id (< 2^24)."""
+    if not 0 <= node_id < (1 << 24):
+        raise ValueError(f"node_id must fit in 24 bits, got {node_id}")
+    return (10, (node_id >> 16) & 0xFF, (node_id >> 8) & 0xFF, node_id & 0xFF)
+
+
+def ip_to_node(ip: Tuple[int, int, int, int]) -> int:
+    """Inverse of :func:`node_ip`."""
+    return (ip[1] << 16) | (ip[2] << 8) | ip[3]
+
+
+def criteria_for_key(key: int) -> str:
+    """Wire search criteria of an object-key lookup."""
+    return f"{_KEY_PREFIX}{key}"
+
+
+def key_from_criteria(criteria: str) -> Optional[int]:
+    """Object key of a query's criteria, or None for a free-text query."""
+    if not criteria.startswith(_KEY_PREFIX):
+        return None
+    try:
+        return int(criteria[len(_KEY_PREFIX):])
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Tunables of one live peer."""
+
+    #: Default TTL of originated queries.
+    default_ttl: int = 7
+    #: Crawler-ping TTL (2 = the neighbor and its one-hop neighborhood).
+    crawl_ttl: int = 2
+    #: Framer cap on a declared payload.
+    max_payload: int = DEFAULT_MAX_PAYLOAD
+    #: Recoverable decode faults tolerated per connection before the
+    #: peer is dropped.
+    decode_error_limit: int = 8
+    #: Seconds to wait for a handshake Pong before giving up on a dial.
+    handshake_timeout: float = 5.0
+    #: Bound on the seen-descriptor and reverse-route tables.
+    route_capacity: int = 16384
+    #: Rating weights of the Makalu maintenance (paper: equal).
+    weights: RatingWeights = field(default_factory=RatingWeights)
+
+    def __post_init__(self):
+        if self.default_ttl < 1:
+            raise ValueError("default_ttl must be >= 1")
+        if self.crawl_ttl < 1:
+            raise ValueError("crawl_ttl must be >= 1")
+        if self.decode_error_limit < 0:
+            raise ValueError("decode_error_limit must be >= 0")
+        if self.route_capacity < 1:
+            raise ValueError("route_capacity must be >= 1")
+
+
+@dataclass
+class LiveHit:
+    """One QueryHit received by the originating node."""
+
+    server: int
+    hops: int
+    n_results: int
+
+
+@dataclass
+class LiveQuery:
+    """Originator-side state of one flooded query."""
+
+    descriptor_id: bytes
+    key: int
+    ttl: int
+    self_hit: bool
+    hits: List[LiveHit] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """Whether any replica (local or remote) was located."""
+        return self.self_hit or bool(self.hits)
+
+    @property
+    def replicas_found(self) -> int:
+        """Distinct replicas located (matches sim flood accounting)."""
+        return len(self.hits) + (1 if self.self_hit else 0)
+
+    @property
+    def first_hit_hop(self) -> int:
+        """Hop distance of the nearest located replica (-1 on failure).
+
+        A hit served at depth ``d`` travels ``d - 1`` reverse-path
+        forwards, so it arrives with ``hops == d - 1``.
+        """
+        if self.self_hit:
+            return 0
+        if not self.hits:
+            return -1
+        return min(h.hops for h in self.hits) + 1
+
+
+class PeerConnection:
+    """One TCP link to a peer, with its framer and handshake state."""
+
+    def __init__(self, owner: "PeerNode", reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.owner = owner
+        self.reader = reader
+        self.writer = writer
+        self.framer = StreamFramer(max_payload=owner.config.max_payload)
+        peername = writer.get_extra_info("peername")
+        self.remote_host: str = peername[0] if peername else "127.0.0.1"
+        self.peer_id: Optional[int] = None
+        self.peer_port: Optional[int] = None
+        self.latency: float = 1.0
+        self.handshaken = asyncio.Event()
+        self.closed = False
+        self.task: Optional[asyncio.Task] = None
+
+    def send(self, message) -> None:
+        """Queue one message on the link (never blocks; drops if closed)."""
+        if self.closed:
+            return
+        try:
+            self.writer.write(message.encode())
+        except (ConnectionError, OSError, RuntimeError):
+            self.closed = True
+            return
+        self.owner.metrics.counter("node.tx.messages").inc()
+
+
+class PeerNode:
+    """One live Makalu servent.
+
+    Parameters
+    ----------
+    node_id:
+        Integer identity, < 2^24 (it must fit the virtual address).
+    capacity:
+        Makalu degree capacity; ``None`` disables prune maintenance
+        (useful when an external launcher owns the topology).
+    store:
+        Object keys this node holds replicas of.
+    latency_to:
+        ``v -> d(u, v)`` injected link latency, the rating function's
+        proximity input.  Defaults to unit latency.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity: Optional[int] = None,
+        store: Optional[Set[int]] = None,
+        latency_to: Optional[Callable[[int], float]] = None,
+        config: Optional[NodeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        node_ip(node_id)  # validates the range
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.node_id = node_id
+        self.capacity = capacity
+        self.store: Set[int] = set(store or ())
+        self.latency_to = latency_to or (lambda v: 1.0)
+        self.config = config or NodeConfig()
+        self.metrics = metrics or MetricsRegistry()
+
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.neighbors: Dict[int, PeerConnection] = {}
+        #: Gamma(v) as learned from crawls (excludes this node itself).
+        self.neighbor_views: Dict[int, Set[int]] = {}
+        #: Addresses learned from Pongs, for joins and repair.
+        self.known_addresses: Dict[int, Tuple[str, int]] = {}
+        self.pruned: List[int] = []
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: List[PeerConnection] = []
+        self._seen: "OrderedDict[bytes, None]" = OrderedDict()
+        self._routes: "OrderedDict[bytes, PeerConnection]" = OrderedDict()
+        self._hello_pending: Dict[bytes, PeerConnection] = {}
+        self._crawl_pending: Dict[bytes, dict] = {}
+        self._queries: Dict[bytes, LiveQuery] = {}
+        self._guid_counter = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start listening (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(self._on_accept, host, port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Close the server and every connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            await self._close_connection(conn)
+        for conn in list(self._connections):
+            if conn.task is not None:
+                conn.task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await conn.task
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connections and handshake
+    # ------------------------------------------------------------------
+
+    def _on_accept(self, reader, writer) -> None:
+        conn = PeerConnection(self, reader, writer)
+        self._connections.append(conn)
+        self._hello(conn)
+        conn.task = asyncio.ensure_future(self._read_loop(conn))
+
+    async def connect(self, host: str, port: int) -> int:
+        """Dial a peer, handshake, register it; returns its node id."""
+        reader, writer = await asyncio.open_connection(host, port)
+        conn = PeerConnection(self, reader, writer)
+        self._connections.append(conn)
+        self._hello(conn)
+        conn.task = asyncio.ensure_future(self._read_loop(conn))
+        try:
+            await asyncio.wait_for(conn.handshaken.wait(),
+                                   self.config.handshake_timeout)
+        except asyncio.TimeoutError:
+            await self._close_connection(conn)
+            raise ConnectionError(
+                f"handshake with {host}:{port} timed out"
+            ) from None
+        return conn.peer_id
+
+    def _hello(self, conn: PeerConnection) -> None:
+        did = self._next_guid()
+        self._hello_pending[did] = conn
+        conn.send(Ping(did, ttl=1, hops=0))
+
+    async def _read_loop(self, conn: PeerConnection) -> None:
+        m = self.metrics
+        try:
+            while not conn.closed:
+                data = await conn.reader.read(65536)
+                if not data:
+                    break
+                before = conn.framer.decode_errors
+                messages = conn.framer.feed(data)
+                faults = conn.framer.decode_errors - before
+                if faults:
+                    m.counter("node.protocol_errors").inc(faults)
+                for msg in messages:
+                    self._dispatch(conn, msg)
+                if conn.framer.desynced:
+                    m.counter("node.desyncs").inc()
+                    break
+                if conn.framer.decode_errors > self.config.decode_error_limit:
+                    m.counter("node.peers_dropped").inc()
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            await self._close_connection(conn)
+
+    async def _close_connection(self, conn: PeerConnection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        pid = conn.peer_id
+        if pid is not None and self.neighbors.get(pid) is conn:
+            del self.neighbors[pid]
+            self.metrics.counter("node.connections_closed").inc()
+            self.metrics.gauge("node.degree").set(len(self.neighbors))
+            _obs.event("node.neighbor_lost", node=self.node_id, peer=pid)
+        if conn in self._connections:
+            self._connections.remove(conn)
+        with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+            conn.writer.close()
+            await conn.writer.wait_closed()
+
+    def _register_neighbor(self, conn: PeerConnection) -> None:
+        pid = conn.peer_id
+        existing = self.neighbors.get(pid)
+        if existing is not None and existing is not conn:
+            # Simultaneous dial in both directions: keep the first link.
+            self.metrics.counter("node.duplicate_links").inc()
+            asyncio.ensure_future(self._close_connection(conn))
+            return
+        self.neighbors[pid] = conn
+        self.metrics.counter("node.connections_opened").inc()
+        self.metrics.gauge("node.degree").set(len(self.neighbors))
+        _obs.event("node.neighbor_up", node=self.node_id, peer=pid)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, conn: PeerConnection, msg) -> None:
+        m = self.metrics
+        if isinstance(msg, Ping):
+            m.counter("node.rx.ping").inc()
+            self._on_ping(conn, msg)
+        elif isinstance(msg, Pong):
+            m.counter("node.rx.pong").inc()
+            self._on_pong(conn, msg)
+        elif isinstance(msg, Query):
+            m.counter("node.rx.query").inc()
+            self._on_query(conn, msg)
+        elif isinstance(msg, QueryHit):
+            m.counter("node.rx.query_hit").inc()
+            self._on_query_hit(conn, msg)
+
+    def _on_ping(self, conn: PeerConnection, ping: Ping) -> None:
+        # Every Ping gets our identity back, TTL sized to reach the
+        # originator along the reverse path.
+        conn.send(Pong(
+            ping.descriptor_id, port=self.port or 0,
+            ip=node_ip(self.node_id), files_shared=len(self.store),
+            kb_shared=0, ttl=ping.hops + 1, hops=0,
+        ))
+        if ping.ttl <= 1:
+            return
+        did = ping.descriptor_id
+        if did in self._seen:
+            self.metrics.counter("node.ping.duplicates").inc()
+            return
+        self._remember_seen(did)
+        self._remember_route(did, conn)
+        fwd = Ping(did, ttl=ping.ttl - 1, hops=ping.hops + 1)
+        for c in self.neighbors.values():
+            if c is not conn and not c.closed:
+                c.send(fwd)
+
+    def _on_pong(self, conn: PeerConnection, pong: Pong) -> None:
+        did = pong.descriptor_id
+        hello = self._hello_pending.pop(did, None)
+        if hello is not None:
+            peer_id = ip_to_node(pong.ip)
+            hello.peer_id = peer_id
+            hello.peer_port = pong.port
+            hello.latency = self.latency_to(peer_id)
+            self.known_addresses[peer_id] = (hello.remote_host, pong.port)
+            self._register_neighbor(hello)
+            hello.handshaken.set()
+            return
+        crawl = self._crawl_pending.get(did)
+        if crawl is not None:
+            peer_id = ip_to_node(pong.ip)
+            if peer_id != self.node_id:
+                self.known_addresses.setdefault(
+                    peer_id, (conn.remote_host, pong.port)
+                )
+                if pong.hops > 0:
+                    crawl["members"].add(peer_id)
+            return
+        route = self._routes.get(did)
+        if route is not None and not route.closed and pong.ttl > 1:
+            route.send(Pong(did, pong.port, pong.ip, pong.files_shared,
+                            pong.kb_shared, ttl=pong.ttl - 1,
+                            hops=pong.hops + 1))
+        else:
+            self.metrics.counter("node.pong.unroutable").inc()
+
+    def _on_query(self, conn: PeerConnection, q: Query) -> None:
+        m = self.metrics
+        did = q.descriptor_id
+        if did in self._seen:
+            m.counter("node.query.duplicates").inc()
+            return
+        self._remember_seen(did)
+        self._remember_route(did, conn)
+        m.counter("node.query.fresh").inc()
+        key = key_from_criteria(q.search_criteria)
+        if key is not None and key in self.store:
+            m.counter("node.query.hits_served").inc()
+            conn.send(QueryHit(
+                did, port=self.port or 0, ip=node_ip(self.node_id),
+                speed=0,
+                results=(QueryHitResult(
+                    file_index=key & 0xFFFFFFFF, file_size=0,
+                    file_name=criteria_for_key(key),
+                ),),
+                servent_id=make_guid(self.node_id, 0),
+                ttl=q.hops + 2, hops=0,
+            ))
+        if q.ttl > 1:
+            fwd = Query(did, q.search_criteria, min_speed=q.min_speed,
+                        ttl=q.ttl - 1, hops=q.hops + 1)
+            forwarded = 0
+            for c in self.neighbors.values():
+                if c is not conn and not c.closed:
+                    c.send(fwd)
+                    forwarded += 1
+            m.counter("node.query.forwarded").inc(forwarded)
+
+    def _on_query_hit(self, conn: PeerConnection, qh: QueryHit) -> None:
+        m = self.metrics
+        did = qh.descriptor_id
+        state = self._queries.get(did)
+        if state is not None:
+            state.hits.append(LiveHit(
+                server=ip_to_node(qh.ip), hops=qh.hops,
+                n_results=len(qh.results),
+            ))
+            m.counter("node.queryhit.received").inc()
+            _obs.event("node.hit", node=self.node_id,
+                       server=ip_to_node(qh.ip), hops=qh.hops)
+            return
+        route = self._routes.get(did)
+        if route is not None and not route.closed and qh.ttl > 1:
+            route.send(QueryHit(did, qh.port, qh.ip, qh.speed, qh.results,
+                                qh.servent_id, ttl=qh.ttl - 1,
+                                hops=qh.hops + 1))
+            m.counter("node.queryhit.routed").inc()
+        else:
+            m.counter("node.queryhit.unroutable").inc()
+
+    # ------------------------------------------------------------------
+    # Neighborhood exchange + Makalu maintenance
+    # ------------------------------------------------------------------
+
+    async def crawl(self, peer_id: int, settle: float = 0.05) -> Set[int]:
+        """Learn ``Gamma(peer_id)`` via a 2-hop crawler ping.
+
+        Returns the neighbor's neighborhood (this node excluded — which
+        is exactly the set the rating function can use) and caches it in
+        :attr:`neighbor_views`.  ``settle`` bounds how long reverse-path
+        Pongs are collected.
+        """
+        conn = self.neighbors.get(peer_id)
+        if conn is None or conn.closed:
+            return set()
+        did = self._next_guid()
+        state = {"members": set()}
+        self._crawl_pending[did] = state
+        self._remember_seen(did)  # our own ping must never be re-forwarded
+        conn.send(Ping(did, ttl=self.config.crawl_ttl, hops=0))
+        await asyncio.sleep(settle)
+        self._crawl_pending.pop(did, None)
+        members = set(state["members"])
+        members.discard(self.node_id)
+        self.neighbor_views[peer_id] = members
+        return members
+
+    async def refresh_neighbor_views(self, settle: float = 0.05) -> None:
+        """Crawl every current neighbor concurrently."""
+        await asyncio.gather(
+            *(self.crawl(pid, settle=settle) for pid in list(self.neighbors))
+        )
+
+    def rate_current_neighbors(self) -> Dict[int, float]:
+        """Makalu ratings of the current neighbor set (from cached views)."""
+        latencies = {pid: c.latency for pid, c in self.neighbors.items()}
+        return rate_neighbors(
+            self.node_id, latencies,
+            lambda v: self.neighbor_views.get(v, ()),
+            self.config.weights,
+        )
+
+    async def manage(self, settle: float = 0.05) -> List[int]:
+        """The paper's ``Manage()``: prune worst-rated while over capacity.
+
+        Views are refreshed before each prune so ratings reflect the
+        surviving topology.  Neighbors for which this node is the last
+        known link are spared when any other victim exists (the builder's
+        rule — pruning them would disconnect the overlay).
+        """
+        if self.capacity is None:
+            return []
+        pruned: List[int] = []
+        while len(self.neighbors) > self.capacity:
+            await self.refresh_neighbor_views(settle=settle)
+            ratings = self.rate_current_neighbors()
+            sparable = {
+                pid: r for pid, r in ratings.items()
+                if len(self.neighbor_views.get(pid, ())) >= 1
+            }
+            victim = worst_neighbor(sparable or ratings)
+            pruned.append(victim)
+            self.pruned.append(victim)
+            self.metrics.counter("node.prunes").inc()
+            _obs.event("node.prune", node=self.node_id, peer=victim)
+            await self._close_connection(self.neighbors[victim])
+        return pruned
+
+    async def join(self, addresses: Sequence[Tuple[str, int]],
+                   target: Optional[int] = None,
+                   settle: float = 0.05) -> None:
+        """Bootstrap into an overlay from seed addresses.
+
+        Dials seeds, crawls for second-hop candidates, and keeps dialing
+        learned addresses until ``target`` (default: capacity) neighbors
+        are held; finishes with one :meth:`manage` pass.
+        """
+        if target is None:
+            target = self.capacity if self.capacity is not None \
+                else len(addresses)
+        for host, port in addresses:
+            if len(self.neighbors) >= target:
+                break
+            try:
+                await self.connect(host, port)
+            except (ConnectionError, OSError):
+                self.metrics.counter("node.join.failures").inc()
+        if len(self.neighbors) < target:
+            await self.refresh_neighbor_views(settle=settle)
+            for pid, addr in list(self.known_addresses.items()):
+                if len(self.neighbors) >= target:
+                    break
+                if pid == self.node_id or pid in self.neighbors:
+                    continue
+                try:
+                    await self.connect(*addr)
+                except (ConnectionError, OSError):
+                    self.metrics.counter("node.join.failures").inc()
+        await self.manage(settle=settle)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def begin_query(self, key: int, ttl: Optional[int] = None) -> LiveQuery:
+        """Originate a flood for an object key; returns live state.
+
+        The flood completes asynchronously — callers observe quiescence
+        (or wait a deadline) before reading the state's hits.
+        """
+        if ttl is None:
+            ttl = self.config.default_ttl
+        if ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        did = self._next_guid()
+        state = LiveQuery(descriptor_id=did, key=key, ttl=ttl,
+                          self_hit=key in self.store)
+        self._queries[did] = state
+        self._remember_seen(did)  # copies looping back are duplicates
+        q = Query(did, criteria_for_key(key), ttl=ttl, hops=0)
+        for c in self.neighbors.values():
+            if not c.closed:
+                c.send(q)
+        self.metrics.counter("node.query.originated").inc()
+        _obs.event("node.query", node=self.node_id, key=key, ttl=ttl)
+        return state
+
+    def finish_query(self, state: LiveQuery) -> None:
+        """Drop originator state once its hits have been consumed."""
+        self._queries.pop(state.descriptor_id, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_guid(self) -> bytes:
+        self._guid_counter += 1
+        return make_guid(self.node_id, self._guid_counter)
+
+    def _remember_seen(self, did: bytes) -> None:
+        self._seen[did] = None
+        if len(self._seen) > self.config.route_capacity:
+            self._seen.popitem(last=False)
+
+    def _remember_route(self, did: bytes, conn: PeerConnection) -> None:
+        self._routes[did] = conn
+        if len(self._routes) > self.config.route_capacity:
+            self._routes.popitem(last=False)

@@ -14,6 +14,7 @@ from repro.protocol.messages import (
     MessageType,
     Ping,
     Pong,
+    ProtocolError,
     Query,
     QueryHit,
     QueryHitResult,
@@ -24,6 +25,7 @@ __all__ = [
     "MessageType",
     "GnutellaHeader",
     "DESCRIPTOR_HEADER_SIZE",
+    "ProtocolError",
     "Ping",
     "Pong",
     "Query",

@@ -17,6 +17,17 @@ TTL/hops semantics follow the spec: a forwarding servent decrements TTL
 and increments hops; a message whose TTL reaches 0 is dropped.  These are
 the rules the flooding kernels model, and the encoded sizes let
 :mod:`repro.trace` account bandwidth byte-exactly.
+
+**Error contract.**  Every decode path raises :class:`ProtocolError` (a
+``ValueError`` subclass carrying the byte offset of the fault) on *any*
+malformed input — truncated records, missing NUL terminators, undeclared
+trailing bytes, invalid UTF-8 — and nothing else.  That is the contract
+the live node runtime (:mod:`repro.node`) relies on: its stream framer
+catches exactly ``ProtocolError``, counts the fault against the peer, and
+keeps the connection alive instead of dying on a ``struct.error`` from an
+untrusted socket.  Constructor misuse (e.g. a 5-byte descriptor id passed
+to :class:`GnutellaHeader`) stays a plain ``ValueError`` — that is a
+programming error, not a wire fault.
 """
 
 from __future__ import annotations
@@ -24,10 +35,26 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 DESCRIPTOR_HEADER_SIZE = 23
 _HEADER_STRUCT = struct.Struct("<16sBBBI")
+
+
+class ProtocolError(ValueError):
+    """Malformed wire bytes: the *only* exception decoders may raise.
+
+    ``offset`` is the byte position of the fault relative to the start of
+    the region being decoded (the header for header faults, the payload
+    for payload faults); it is embedded in the message text so logs show
+    where a peer's stream went wrong.
+    """
+
+    def __init__(self, message: str, offset: Optional[int] = None):
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+        self.offset = offset
 
 
 class MessageType(enum.IntEnum):
@@ -66,16 +93,29 @@ class GnutellaHeader:
 
     @classmethod
     def decode(cls, data: bytes) -> "GnutellaHeader":
-        """Parse a 23-byte header."""
+        """Parse a 23-byte header.
+
+        Raises :class:`ProtocolError` on truncation or an unknown payload
+        descriptor (real servents drop such descriptors silently; a framer
+        must notice them, since it cannot trust the declared length of a
+        message type it does not understand).
+        """
         if len(data) < DESCRIPTOR_HEADER_SIZE:
-            raise ValueError(
-                f"need {DESCRIPTOR_HEADER_SIZE} header bytes, got {len(data)}"
+            raise ProtocolError(
+                f"need {DESCRIPTOR_HEADER_SIZE} header bytes, got {len(data)}",
+                offset=len(data),
             )
         did, mtype, ttl, hops, length = _HEADER_STRUCT.unpack(
             data[:DESCRIPTOR_HEADER_SIZE]
         )
+        try:
+            message_type = MessageType(mtype)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown payload descriptor 0x{mtype:02x}", offset=16
+            ) from None
         return cls(
-            descriptor_id=did, message_type=MessageType(mtype), ttl=ttl,
+            descriptor_id=did, message_type=message_type, ttl=ttl,
             hops=hops, payload_length=length,
         )
 
@@ -147,6 +187,12 @@ class Pong:
 
     @classmethod
     def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "Pong":
+        """Parse the 14-byte Pong payload; :class:`ProtocolError` otherwise."""
+        if len(payload) != 14:
+            raise ProtocolError(
+                f"Pong payload must be exactly 14 bytes, got {len(payload)}",
+                offset=min(len(payload), 14),
+            )
         port, a, b, c, d, files, kb = struct.unpack("<H4BII", payload)
         return cls(descriptor_id=descriptor_id, port=port, ip=(a, b, c, d),
                    files_shared=files, kb_shared=kb, ttl=ttl, hops=hops)
@@ -167,6 +213,13 @@ class Query:
     ttl: int = 7
     hops: int = 0
 
+    def __post_init__(self):
+        if "\x00" in self.search_criteria:
+            raise ValueError(
+                "search_criteria cannot contain NUL (it is the wire "
+                "terminator)"
+            )
+
     def encode(self) -> bytes:
         """Serialize header + payload."""
         payload = struct.pack("<H", self.min_speed) + (
@@ -177,8 +230,29 @@ class Query:
 
     @classmethod
     def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "Query":
+        """Parse a Query payload; :class:`ProtocolError` on any fault.
+
+        The search criteria must be NUL-terminated; bytes after the first
+        NUL are protocol extensions (rich queries) and are ignored.
+        """
+        if len(payload) < 2:
+            raise ProtocolError(
+                f"Query payload needs a 2-byte minimum speed, got "
+                f"{len(payload)} byte(s)", offset=len(payload),
+            )
         (min_speed,) = struct.unpack("<H", payload[:2])
-        criteria = payload[2:].split(b"\x00", 1)[0].decode("utf-8")
+        end = payload.find(b"\x00", 2)
+        if end < 0:
+            raise ProtocolError(
+                "Query search criteria is not NUL-terminated", offset=2
+            )
+        try:
+            criteria = payload[2:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"Query search criteria is not valid UTF-8: {exc.reason}",
+                offset=2 + exc.start,
+            ) from None
         return cls(descriptor_id=descriptor_id, search_criteria=criteria,
                    min_speed=min_speed, ttl=ttl, hops=hops)
 
@@ -199,12 +273,23 @@ class QueryHitResult:
     file_size: int
     file_name: str
 
+    def __post_init__(self):
+        if "\x00" in self.file_name:
+            raise ValueError(
+                "file_name cannot contain NUL (it is the wire terminator)"
+            )
+
     def encode(self) -> bytes:
         """index (4) + size (4) + name + double NUL terminator."""
         return (
             struct.pack("<II", self.file_index, self.file_size)
             + self.file_name.encode("utf-8") + b"\x00\x00"
         )
+
+    @property
+    def wire_size(self) -> int:
+        """Encoded bytes of this record (pure arithmetic, no encoding)."""
+        return 8 + len(self.file_name.encode("utf-8")) + 2
 
 
 @dataclass(frozen=True)
@@ -238,16 +323,55 @@ class QueryHit:
 
     @classmethod
     def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "QueryHit":
+        """Parse a QueryHit payload; :class:`ProtocolError` on any fault.
+
+        Every declared result record must be complete (8 fixed bytes, a
+        NUL-terminated UTF-8 name, and the extensions NUL), and exactly a
+        16-byte servent id must remain after the last record — anything
+        else means the peer's framing is wrong.
+        """
+        if len(payload) < 11:
+            raise ProtocolError(
+                f"QueryHit payload needs an 11-byte fixed prefix, got "
+                f"{len(payload)} byte(s)", offset=len(payload),
+            )
         count, port, a, b, c, d, speed = struct.unpack("<BH4BI", payload[:11])
         pos = 11
         results: List[QueryHitResult] = []
-        for _ in range(count):
+        for i in range(count):
+            if pos + 8 > len(payload):
+                raise ProtocolError(
+                    f"QueryHit result record {i}/{count} is truncated in "
+                    f"its index/size fields", offset=pos,
+                )
             index, size = struct.unpack("<II", payload[pos : pos + 8])
             pos += 8
-            end = payload.index(b"\x00", pos)
-            name = payload[pos:end].decode("utf-8")
+            end = payload.find(b"\x00", pos)
+            if end < 0:
+                raise ProtocolError(
+                    f"QueryHit result record {i}/{count} has no "
+                    f"NUL-terminated file name", offset=pos,
+                )
+            try:
+                name = payload[pos:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(
+                    f"QueryHit result record {i}/{count} file name is not "
+                    f"valid UTF-8: {exc.reason}", offset=pos + exc.start,
+                ) from None
+            if end + 1 >= len(payload) or payload[end + 1] != 0:
+                raise ProtocolError(
+                    f"QueryHit result record {i}/{count} is missing its "
+                    f"extensions NUL", offset=end + 1,
+                )
             pos = end + 2  # skip name NUL + extensions NUL
             results.append(QueryHitResult(index, size, name))
+        if len(payload) - pos != 16:
+            raise ProtocolError(
+                f"expected a 16-byte servent id after {count} result "
+                f"record(s), got {len(payload) - pos} trailing byte(s)",
+                offset=pos,
+            )
         servent_id = payload[pos : pos + 16]
         return cls(descriptor_id=descriptor_id, port=port, ip=(a, b, c, d),
                    speed=speed, results=tuple(results), servent_id=servent_id,
@@ -255,33 +379,64 @@ class QueryHit:
 
     @property
     def wire_size(self) -> int:
-        """Total bytes on the wire."""
-        return len(self.encode())
+        """Total bytes on the wire.
+
+        Pure arithmetic over the result records — never a round trip
+        through :meth:`encode`, which would cost O(payload) per call on
+        the trace-accounting hot path.  Pinned equal to ``len(encode())``
+        by the protocol test suite, like every other descriptor.
+        """
+        return (
+            DESCRIPTOR_HEADER_SIZE + 11
+            + sum(r.wire_size for r in self.results) + 16
+        )
 
 
-def decode_message(data: bytes):
+def decode_message(data: bytes, strict: bool = True):
     """Decode one complete message (header + payload) from bytes.
 
-    Returns the typed message object.  Unknown payload descriptors raise
-    ``ValueError`` (real servents drop such descriptors silently; a
-    simulator should notice them).
+    Returns the typed message object; every malformed input raises
+    :class:`ProtocolError` (unknown payload descriptors included — real
+    servents drop such descriptors silently, but neither a simulator nor
+    a stream framer may, since the declared length of a half-understood
+    descriptor cannot be trusted).
+
+    ``strict`` (the default, and what the live node runtime uses) rejects
+    two shapes the lenient mode used to hide, both of which mask framing
+    desync on a TCP stream:
+
+    * bytes beyond the declared ``payload_length`` — a caller that sliced
+      the stream wrongly would otherwise silently drop them;
+    * a Ping with a nonzero declared payload (the v0.4 Ping is empty).
+
+    Pass ``strict=False`` only for offline trace accounting over captures
+    whose surrounding framing has already been validated.
     """
     header = GnutellaHeader.decode(data)
-    payload = data[
-        DESCRIPTOR_HEADER_SIZE : DESCRIPTOR_HEADER_SIZE + header.payload_length
-    ]
-    if len(payload) != header.payload_length:
-        raise ValueError(
+    body = data[DESCRIPTOR_HEADER_SIZE:]
+    if len(body) < header.payload_length:
+        raise ProtocolError(
             f"truncated payload: header promises {header.payload_length} "
-            f"bytes, got {len(payload)}"
+            f"bytes, got {len(body)}",
+            offset=DESCRIPTOR_HEADER_SIZE + len(body),
         )
+    if strict and len(body) > header.payload_length:
+        raise ProtocolError(
+            f"{len(body) - header.payload_length} byte(s) beyond the "
+            f"declared {header.payload_length}-byte payload",
+            offset=DESCRIPTOR_HEADER_SIZE + header.payload_length,
+        )
+    payload = body[: header.payload_length]
     common = (header.descriptor_id, header.ttl, header.hops)
     if header.message_type == MessageType.PING:
+        if strict and header.payload_length != 0:
+            raise ProtocolError(
+                f"Ping declares a {header.payload_length}-byte payload; "
+                f"the v0.4 Ping is empty", offset=19,
+            )
         return Ping(descriptor_id=common[0], ttl=header.ttl, hops=header.hops)
     if header.message_type == MessageType.PONG:
         return Pong.decode_payload(*common, payload)
     if header.message_type == MessageType.QUERY:
         return Query.decode_payload(*common, payload)
-    if header.message_type == MessageType.QUERY_HIT:
-        return QueryHit.decode_payload(*common, payload)
-    raise ValueError(f"unknown payload descriptor {header.message_type!r}")
+    return QueryHit.decode_payload(*common, payload)

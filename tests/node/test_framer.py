@@ -1,0 +1,149 @@
+"""Stream framer tests: reassembly, and the recoverable/desync fault split."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.node import DEFAULT_MAX_PAYLOAD, StreamFramer
+from repro.protocol import (
+    DESCRIPTOR_HEADER_SIZE,
+    GnutellaHeader,
+    MessageType,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    QueryHitResult,
+)
+
+DID = bytes(range(16))
+
+_STREAM = [
+    Ping(descriptor_id=DID, ttl=7, hops=0),
+    Pong(descriptor_id=DID, port=6346, ip=(10, 0, 0, 1), files_shared=2,
+         kb_shared=8),
+    Query(descriptor_id=DID, search_criteria="key:9"),
+    QueryHit(descriptor_id=DID, port=6346, ip=(10, 0, 0, 2), speed=1,
+             results=(QueryHitResult(9, 64, "key:9"),), servent_id=DID),
+]
+
+
+def _bad_pong_frame() -> bytes:
+    """A correctly framed Pong whose payload is the wrong length."""
+    payload = b"\x00" * 13  # Pong needs exactly 14
+    return GnutellaHeader(
+        DID, MessageType.PONG, 7, 0, len(payload)
+    ).encode() + payload
+
+
+class TestReassembly:
+    def test_whole_stream_in_one_feed(self):
+        framer = StreamFramer()
+        data = b"".join(m.encode() for m in _STREAM)
+        out = framer.feed(data)
+        assert out == _STREAM
+        assert framer.messages_decoded == 4
+        assert framer.bytes_consumed == len(data)
+        assert framer.pending_bytes == 0
+        assert framer.decode_errors == 0
+
+    def test_byte_at_a_time(self):
+        framer = StreamFramer()
+        data = b"".join(m.encode() for m in _STREAM)
+        out = []
+        for i in range(len(data)):
+            out.extend(framer.feed(data[i:i + 1]))
+        assert out == _STREAM
+
+    @given(st.data())
+    def test_arbitrary_chunking(self, data):
+        stream = b"".join(m.encode() for m in _STREAM)
+        framer = StreamFramer()
+        out = []
+        pos = 0
+        while pos < len(stream):
+            size = data.draw(st.integers(1, len(stream) - pos))
+            out.extend(framer.feed(stream[pos:pos + size]))
+            pos += size
+        assert out == _STREAM
+        assert framer.pending_bytes == 0
+
+    def test_partial_frame_is_buffered(self):
+        framer = StreamFramer()
+        data = _STREAM[1].encode()
+        assert framer.feed(data[:-1]) == []
+        assert framer.pending_bytes == len(data) - 1
+        assert framer.feed(data[-1:]) == [_STREAM[1]]
+        assert framer.pending_bytes == 0
+
+
+class TestRecoverableFaults:
+    def test_bad_payload_drops_one_frame_only(self):
+        framer = StreamFramer()
+        stream = _STREAM[0].encode() + _bad_pong_frame() + _STREAM[2].encode()
+        out = framer.feed(stream)
+        assert out == [_STREAM[0], _STREAM[2]]
+        assert framer.decode_errors == 1
+        assert not framer.desynced
+        assert framer.last_error is not None
+        assert framer.bytes_consumed == len(stream)
+
+    def test_nonzero_ping_payload_is_recoverable(self):
+        # Header is valid (known type, sane length), so the frame
+        # boundary holds: strict decode rejects the frame, stream lives.
+        framer = StreamFramer()
+        bad = GnutellaHeader(
+            DID, MessageType.PING, 7, 0, 4
+        ).encode() + b"ext!"
+        out = framer.feed(bad + _STREAM[0].encode())
+        assert out == [_STREAM[0]]
+        assert framer.decode_errors == 1
+        assert not framer.desynced
+
+    def test_error_accounting_accumulates(self):
+        framer = StreamFramer()
+        for _ in range(3):
+            framer.feed(_bad_pong_frame())
+        assert framer.decode_errors == 3
+        assert framer.messages_decoded == 0
+
+
+class TestDesync:
+    def test_unknown_descriptor_desyncs(self):
+        framer = StreamFramer()
+        bad = bytearray(_STREAM[0].encode())
+        bad[16] = 0x7F  # not a v0.4 payload descriptor
+        out = framer.feed(bytes(bad) + _STREAM[0].encode())
+        assert out == []
+        assert framer.desynced
+        assert framer.decode_errors == 1
+        assert framer.pending_bytes == 0  # buffer discarded
+
+    def test_oversized_declared_payload_desyncs(self):
+        framer = StreamFramer(max_payload=64)
+        huge = GnutellaHeader(DID, MessageType.QUERY, 7, 0, 65).encode()
+        framer.feed(huge)
+        assert framer.desynced
+        assert framer.last_error.offset == 19
+
+    def test_default_cap(self):
+        framer = StreamFramer()
+        assert framer.max_payload == DEFAULT_MAX_PAYLOAD
+        header = GnutellaHeader(
+            DID, MessageType.QUERY, 7, 0, DEFAULT_MAX_PAYLOAD + 1
+        ).encode()
+        framer.feed(header)
+        assert framer.desynced
+
+    def test_feed_after_desync_raises(self):
+        framer = StreamFramer()
+        bad = bytearray(DESCRIPTOR_HEADER_SIZE)
+        bad[16] = 0xFF
+        framer.feed(bytes(bad))
+        assert framer.desynced
+        with pytest.raises(RuntimeError, match="desynced"):
+            framer.feed(b"more")
+
+    def test_negative_max_payload_rejected(self):
+        with pytest.raises(ValueError):
+            StreamFramer(max_payload=-1)

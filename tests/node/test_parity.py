@@ -1,0 +1,156 @@
+"""LiveOverlay structure/accounting tests and the sim/live parity gate."""
+
+import asyncio
+
+import pytest
+
+from repro.core import makalu_graph
+from repro.node import (
+    LiveOverlay,
+    ParityScenario,
+    run_live_workload,
+    run_parity,
+)
+from repro.search.flooding import draw_query_workload, flood
+from repro.search.replication import place_objects
+
+SCENARIO = ParityScenario(
+    n_nodes=14, n_queries=3, ttl=6, n_objects=4, replication=0.15, seed=7
+)
+
+
+def _small_setup(n=10, seed=3):
+    graph = makalu_graph(n_nodes=n, seed=seed)
+    placement = place_objects(graph.n_nodes, 4, 0.2, seed=seed + 2)
+    return graph, placement
+
+
+class TestLiveOverlay:
+    def test_boot_mirrors_the_seeded_topology(self):
+        graph, placement = _small_setup()
+        golden = {(u, v) for u, v, _ in graph.iter_edges()}
+
+        async def run():
+            overlay = LiveOverlay(graph, placement=placement)
+            await overlay.start()
+            try:
+                live = overlay.live_edges()
+            finally:
+                await overlay.stop()
+            return live, overlay
+
+        live, overlay = asyncio.run(run())
+        assert live == golden
+        # The topology stays readable after teardown (frozen at stop).
+        assert overlay.live_edges() == golden
+        rebuilt = overlay.overlay_graph()
+        assert rebuilt.n_edges == graph.n_edges
+        for u, v, lat in graph.iter_edges():
+            assert rebuilt.edge_latency(u, v) == pytest.approx(lat)
+
+    def test_stores_come_from_the_placement(self):
+        graph, placement = _small_setup()
+        overlay = LiveOverlay(graph, placement=placement)
+        indptr, keys = placement.node_store()
+        for u, node in enumerate(overlay.nodes):
+            assert node.store == \
+                {int(k) for k in keys[indptr[u]:indptr[u + 1]]}
+
+    def test_mismatched_shapes_rejected(self):
+        graph, placement = _small_setup()
+        other = place_objects(graph.n_nodes + 1, 2, 0.2, seed=1)
+        with pytest.raises(ValueError):
+            LiveOverlay(graph, placement=other)
+        with pytest.raises(ValueError):
+            LiveOverlay(graph, capacities=[4] * (graph.n_nodes - 1))
+
+    def test_flood_requires_started_overlay(self):
+        graph, placement = _small_setup()
+        overlay = LiveOverlay(graph, placement=placement)
+
+        async def run():
+            with pytest.raises(RuntimeError):
+                await overlay.flood(0, 1)
+
+        asyncio.run(run())
+
+    def test_live_flood_matches_sim_exactly(self):
+        # Full-coverage regime: message totals are scheduling-independent
+        # (every visited node forwards exactly once), so live == sim.
+        graph, placement = _small_setup(n=12, seed=5)
+        sources, objects = draw_query_workload(graph, placement, 3, seed=9)
+        ttl = 6
+        live_results, _ = run_live_workload(
+            graph, placement, sources, objects, ttl
+        )
+        for live, (src, obj) in zip(live_results,
+                                    zip(sources, objects)):
+            sim = flood(graph, int(src), ttl,
+                        replica_mask=placement.holder_mask(int(obj)))
+            assert live.total_messages == sim.total_messages
+            assert live.duplicates == int(sim.duplicates_per_hop.sum())
+            assert live.nodes_visited == sim.nodes_visited
+            assert live.success == sim.success
+            assert live.replicas_found == sim.replicas_found
+
+    def test_wire_health_is_clean(self):
+        graph, placement = _small_setup()
+        sources, objects = draw_query_workload(graph, placement, 2, seed=9)
+        _, overlay = run_live_workload(graph, placement, sources, objects, 6)
+        counters = overlay.merged_registry().snapshot()["counters"]
+        assert counters.get("node.protocol_errors", 0) == 0
+        assert counters.get("node.desyncs", 0) == 0
+        assert counters.get("node.queryhit.unroutable", 0) == 0
+
+
+class TestParityScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParityScenario(n_nodes=1)
+        with pytest.raises(ValueError):
+            ParityScenario(ttl=0)
+        with pytest.raises(ValueError):
+            ParityScenario(n_queries=0)
+
+
+class TestRunParity:
+    def test_sim_and_live_agree(self):
+        report = run_parity(SCENARIO)
+        assert report.edge_mismatch == 0
+        assert report.regressions(threshold=0.02) == []
+        sim = report.sim_snapshot["counters"]
+        live = report.live_snapshot["counters"]
+        # The gated counters are not merely within tolerance — the
+        # full-coverage guard makes them exactly equal.
+        for name in ("parity.queries", "parity.messages_total",
+                     "parity.duplicates_total",
+                     "parity.replicas_found_total",
+                     "parity.nodes_visited_total"):
+            assert sim[name] == live[name], name
+        assert report.sim_snapshot["gauges"][
+            "parity.divergence.edge_mismatch"] == 0.0
+        assert report.live_snapshot["gauges"][
+            "parity.divergence.edge_mismatch"] == 0.0
+
+    def test_live_snapshot_carries_node_counters(self):
+        report = run_parity(SCENARIO)
+        live = report.live_snapshot["counters"]
+        assert live.get("node.rx.query", 0) > 0
+        # One-sided: the sim arm must NOT fake node.* values.
+        assert "node.rx.query" not in report.sim_snapshot["counters"]
+
+    def test_coverage_guard_rejects_partial_floods(self):
+        starved = ParityScenario(
+            n_nodes=20, n_queries=2, ttl=1, n_objects=4,
+            replication=0.15, seed=7,
+        )
+        with pytest.raises(ValueError, match="covered"):
+            run_parity(starved)
+
+    def test_guard_can_be_disabled(self):
+        relaxed = ParityScenario(
+            n_nodes=12, n_queries=2, ttl=1, n_objects=4,
+            replication=0.2, seed=7, full_coverage_guard=False,
+        )
+        report = run_parity(relaxed)  # must not raise
+        assert len(report.live_results) == 2

@@ -1,0 +1,424 @@
+"""Live peer tests: handshake, crawl, flood serving, maintenance, resilience.
+
+Every test runs a handful of real asyncio peers on ephemeral localhost
+ports inside one ``asyncio.run``; short sleeps stand in for quiescence
+(the topologies are 2–4 nodes, so a flood settles in a few loop turns).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.node import NodeConfig, PeerNode, StreamFramer
+from repro.node.peer import (
+    criteria_for_key,
+    ip_to_node,
+    key_from_criteria,
+    make_guid,
+    node_ip,
+)
+from repro.protocol import GnutellaHeader, MessageType, Ping, Pong
+
+SETTLE = 0.15
+
+
+async def _boot(n, **kwargs):
+    nodes = [PeerNode(i, **kwargs) for i in range(n)]
+    await asyncio.gather(*(nd.start() for nd in nodes))
+    return nodes
+
+
+async def _stop(nodes):
+    await asyncio.gather(*(nd.stop() for nd in nodes))
+
+
+def _counter(node, name):
+    return node.metrics.snapshot()["counters"].get(name, 0)
+
+
+class TestIdentity:
+    def test_guid_is_deterministic_and_16_bytes(self):
+        assert make_guid(3, 7) == make_guid(3, 7)
+        assert len(make_guid(3, 7)) == 16
+        assert make_guid(3, 7) != make_guid(3, 8)
+
+    @pytest.mark.parametrize("nid", [0, 1, 255, 256, (1 << 24) - 1])
+    def test_ip_round_trip(self, nid):
+        ip = node_ip(nid)
+        assert ip[0] == 10
+        assert ip_to_node(ip) == nid
+
+    def test_node_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            node_ip(1 << 24)
+        with pytest.raises(ValueError):
+            node_ip(-1)
+
+    def test_criteria_round_trip(self):
+        assert key_from_criteria(criteria_for_key(42)) == 42
+        assert key_from_criteria("free text") is None
+        assert key_from_criteria("key:not-a-number") is None
+
+
+class TestHandshake:
+    def test_both_sides_register(self):
+        async def run():
+            a, b = await _boot(2)
+            try:
+                peer = await a.connect(b.host, b.port)
+                await asyncio.sleep(SETTLE)
+                assert peer == 1
+                assert list(a.neighbors) == [1]
+                assert list(b.neighbors) == [0]
+                assert a.known_addresses[1] == (b.host, b.port)
+                assert _counter(a, "node.connections_opened") == 1
+                assert _counter(b, "node.connections_opened") == 1
+            finally:
+                await _stop([a, b])
+
+        asyncio.run(run())
+
+    def test_latency_is_injected_not_measured(self):
+        async def run():
+            lat = {1: 3.5}
+            a = PeerNode(0, latency_to=lambda v: lat.get(v, 1.0))
+            b = PeerNode(1)
+            await asyncio.gather(a.start(), b.start())
+            try:
+                await a.connect(b.host, b.port)
+                assert a.neighbors[1].latency == 3.5
+            finally:
+                await _stop([a, b])
+
+        asyncio.run(run())
+
+    def test_duplicate_dial_keeps_first_link(self):
+        async def run():
+            a, b = await _boot(2)
+            try:
+                await a.connect(b.host, b.port)
+                await a.connect(b.host, b.port)
+                await asyncio.sleep(SETTLE)
+                assert list(a.neighbors) == [1]
+                assert list(b.neighbors) == [0]
+                assert _counter(a, "node.duplicate_links") \
+                    + _counter(b, "node.duplicate_links") >= 1
+            finally:
+                await _stop([a, b])
+
+        asyncio.run(run())
+
+    def test_connect_to_dead_port_raises(self):
+        async def run():
+            a = PeerNode(0)
+            await a.start()
+            dead_port = a.port
+            await a.stop()
+            b = PeerNode(1, config=NodeConfig(handshake_timeout=0.5))
+            await b.start()
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    await b.connect("127.0.0.1", dead_port)
+            finally:
+                await b.stop()
+
+        asyncio.run(run())
+
+
+class TestCrawl:
+    def test_crawl_learns_neighbor_neighborhood(self):
+        async def run():
+            a, b, c = await _boot(3)
+            try:
+                await a.connect(b.host, b.port)
+                await b.connect(c.host, c.port)
+                view = await a.crawl(1, settle=SETTLE)
+                # Gamma(b) minus the crawler itself: just c.
+                assert view == {2}
+                assert a.neighbor_views[1] == {2}
+                # The crawl also taught a where c lives (for joins).
+                assert 2 in a.known_addresses
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+    def test_crawl_of_unknown_peer_is_empty(self):
+        async def run():
+            (a,) = await _boot(1)
+            try:
+                assert await a.crawl(99, settle=0.01) == set()
+            finally:
+                await a.stop()
+
+        asyncio.run(run())
+
+
+class TestFlood:
+    def test_hit_routes_back_along_reverse_path(self):
+        async def run():
+            a, b, c = await _boot(3)
+            c.store.add(42)
+            try:
+                await a.connect(b.host, b.port)
+                await b.connect(c.host, c.port)
+                state = a.begin_query(42, ttl=3)
+                await asyncio.sleep(SETTLE)
+                a.finish_query(state)
+                assert state.success
+                assert state.replicas_found == 1
+                assert state.hits[0].server == 2
+                # Served at depth 2 -> one reverse forward -> hops 1.
+                assert state.hits[0].hops == 1
+                assert state.first_hit_hop == 2
+                assert _counter(b, "node.queryhit.routed") == 1
+                assert _counter(c, "node.query.hits_served") == 1
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+    def test_ttl_bounds_the_flood(self):
+        async def run():
+            a, b, c = await _boot(3)
+            c.store.add(42)
+            try:
+                await a.connect(b.host, b.port)
+                await b.connect(c.host, c.port)
+                state = a.begin_query(42, ttl=1)
+                await asyncio.sleep(SETTLE)
+                assert _counter(b, "node.rx.query") == 1
+                assert _counter(b, "node.query.forwarded") == 0
+                assert _counter(c, "node.rx.query") == 0
+                assert not state.success
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+    def test_self_hit(self):
+        async def run():
+            a, b = await _boot(2)
+            a.store.add(7)
+            try:
+                await a.connect(b.host, b.port)
+                state = a.begin_query(7, ttl=2)
+                assert state.self_hit
+                assert state.success
+                assert state.first_hit_hop == 0
+                await asyncio.sleep(SETTLE)
+            finally:
+                await _stop([a, b])
+
+        asyncio.run(run())
+
+    def test_duplicate_suppression_in_a_triangle(self):
+        async def run():
+            a, b, c = await _boot(3)
+            try:
+                await a.connect(b.host, b.port)
+                await b.connect(c.host, c.port)
+                await a.connect(c.host, c.port)
+                state = a.begin_query(5, ttl=3)
+                await asyncio.sleep(SETTLE)
+                # b and c each: one fresh copy (from a), one duplicate
+                # (from each other); nothing loops back to a.
+                dup = sum(_counter(n, "node.query.duplicates")
+                          for n in (a, b, c))
+                fresh = sum(_counter(n, "node.query.fresh")
+                            for n in (a, b, c))
+                assert fresh == 2
+                assert dup == 2
+                assert not state.success
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+    def test_begin_query_validates_ttl(self):
+        async def run():
+            (a,) = await _boot(1)
+            try:
+                with pytest.raises(ValueError):
+                    a.begin_query(1, ttl=0)
+            finally:
+                await a.stop()
+
+        asyncio.run(run())
+
+
+class TestMaintenance:
+    def test_manage_prunes_to_capacity_and_spares_last_links(self):
+        async def run():
+            hub = PeerNode(0, capacity=2)
+            spokes = [PeerNode(i) for i in (1, 2, 3)]
+            await asyncio.gather(hub.start(),
+                                 *(s.start() for s in spokes))
+            try:
+                for s in spokes:
+                    await hub.connect(s.host, s.port)
+                # 2 and 3 also know each other; 1's only link is the hub.
+                await spokes[1].connect(spokes[2].host, spokes[2].port)
+                pruned = await hub.manage(settle=SETTLE)
+                assert len(hub.neighbors) == 2
+                assert len(pruned) == 1
+                # Node 1 would be disconnected by a prune, so the victim
+                # must come from the 2-3 pair.
+                assert pruned[0] in (2, 3)
+                assert 1 in hub.neighbors
+                assert _counter(hub, "node.prunes") == 1
+                assert hub.pruned == pruned
+            finally:
+                await _stop([hub, *spokes])
+
+        asyncio.run(run())
+
+    def test_manage_without_capacity_is_a_noop(self):
+        async def run():
+            a, b = await _boot(2)
+            try:
+                await a.connect(b.host, b.port)
+                assert await a.manage() == []
+                assert list(a.neighbors) == [1]
+            finally:
+                await _stop([a, b])
+
+        asyncio.run(run())
+
+    def test_join_reaches_target_via_crawled_addresses(self):
+        async def run():
+            b, c = PeerNode(1), PeerNode(2)
+            await asyncio.gather(b.start(), c.start())
+            a = PeerNode(0, capacity=2)
+            await a.start()
+            try:
+                await b.connect(c.host, c.port)
+                await a.join([(b.host, b.port)], target=2, settle=SETTLE)
+                assert set(a.neighbors) == {1, 2}
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+    def test_rate_current_neighbors_uses_injected_latency(self):
+        async def run():
+            lat = {1: 1.0, 2: 9.0}
+            a = PeerNode(0, latency_to=lambda v: lat.get(v, 1.0))
+            b, c = PeerNode(1), PeerNode(2)
+            await asyncio.gather(a.start(), b.start(), c.start())
+            try:
+                await a.connect(b.host, b.port)
+                await a.connect(c.host, c.port)
+                await a.refresh_neighbor_views(settle=SETTLE)
+                ratings = a.rate_current_neighbors()
+                assert set(ratings) == {1, 2}
+                # The rating is a utility: higher latency -> lower
+                # rating, all else equal (that neighbor is pruned first).
+                assert ratings[2] < ratings[1]
+            finally:
+                await _stop([a, b, c])
+
+        asyncio.run(run())
+
+
+class TestResilience:
+    """A malicious/broken peer must cost counters, not the process."""
+
+    @staticmethod
+    def _bad_pong_frame() -> bytes:
+        payload = b"\x00" * 13  # Pong must be exactly 14
+        return GnutellaHeader(
+            bytes(16), MessageType.PONG, 7, 0, len(payload)
+        ).encode() + payload
+
+    def test_recoverable_garbage_is_counted_not_fatal(self):
+        async def run():
+            (node,) = await _boot(1)
+            node.store.add(3)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    node.host, node.port
+                )
+                writer.write(self._bad_pong_frame() * 2)
+                await writer.drain()
+                # Still alive: a well-formed Ping gets our Pong back.
+                writer.write(Ping(make_guid(9, 1), ttl=1, hops=0).encode())
+                await writer.drain()
+                framer = StreamFramer()
+                deadline = asyncio.get_event_loop().time() + 2.0
+                got = []
+                while not got and \
+                        asyncio.get_event_loop().time() < deadline:
+                    data = await asyncio.wait_for(reader.read(4096), 2.0)
+                    if not data:
+                        break
+                    got = [m for m in framer.feed(data)
+                           if isinstance(m, Pong)]
+                assert got, "node stopped serving after recoverable faults"
+                assert ip_to_node(got[0].ip) == 0
+                assert _counter(node, "node.protocol_errors") == 2
+                assert _counter(node, "node.desyncs") == 0
+                writer.close()
+            finally:
+                await node.stop()
+
+        asyncio.run(run())
+
+    def test_unknown_descriptor_desyncs_and_drops_the_peer(self):
+        async def run():
+            (node,) = await _boot(1)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    node.host, node.port
+                )
+                bad = bytearray(Ping(bytes(16)).encode())
+                bad[16] = 0x7F
+                writer.write(bytes(bad))
+                await writer.drain()
+                # The node must close the connection on us.
+                data = await asyncio.wait_for(reader.read(), 2.0)
+                while data:
+                    data = await asyncio.wait_for(reader.read(), 2.0)
+                await asyncio.sleep(SETTLE)
+                assert _counter(node, "node.desyncs") == 1
+                writer.close()
+            finally:
+                await node.stop()
+
+        asyncio.run(run())
+
+    def test_decode_error_limit_drops_the_peer(self):
+        async def run():
+            node = PeerNode(0, config=NodeConfig(decode_error_limit=1))
+            await node.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    node.host, node.port
+                )
+                writer.write(self._bad_pong_frame() * 2)
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), 2.0)
+                while data:
+                    data = await asyncio.wait_for(reader.read(), 2.0)
+                await asyncio.sleep(SETTLE)
+                assert _counter(node, "node.peers_dropped") == 1
+                writer.close()
+            finally:
+                await node.stop()
+
+        asyncio.run(run())
+
+    def test_neighbor_death_is_observed(self):
+        async def run():
+            a, b = await _boot(2)
+            try:
+                await a.connect(b.host, b.port)
+                await asyncio.sleep(SETTLE)
+                await b.stop()
+                await asyncio.sleep(SETTLE)
+                assert 1 not in a.neighbors
+                assert _counter(a, "node.connections_closed") == 1
+            finally:
+                await a.stop()
+
+        asyncio.run(run())

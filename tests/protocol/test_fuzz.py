@@ -1,0 +1,261 @@
+"""Property-based round-trip and malformed-bytes fuzzing for the wire codecs.
+
+Two contracts are pinned here, because the live node runtime depends on
+them rather than on any particular happy path:
+
+* **round trip** — for every well-formed descriptor (arbitrary UTF-8
+  criteria/names, up to 255 QueryHit results, TTL/hops across 0/1/255),
+  ``decode_message(m.encode(), strict=True) == m`` and
+  ``m.wire_size == len(m.encode())``;
+* **error confinement** — no input, however mangled (truncated at any
+  byte offset, bit-flipped, or arbitrary garbage), makes the decoders
+  raise anything other than :class:`ProtocolError`.  A ``struct.error``
+  or ``UnicodeDecodeError`` escaping here would kill a live connection
+  handler instead of being counted against the peer.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import (
+    DESCRIPTOR_HEADER_SIZE,
+    GnutellaHeader,
+    MessageType,
+    Ping,
+    Pong,
+    ProtocolError,
+    Query,
+    QueryHit,
+    QueryHitResult,
+    decode_message,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+dids = st.binary(min_size=16, max_size=16)
+# Hit the TTL/hops byte-range edges far more often than uniform sampling
+# would: 0 (expired), 1 (last hop), 255 (max) are where off-by-ones live.
+byte_edges = st.sampled_from([0, 1, 2, 7, 254, 255]) | st.integers(0, 255)
+u16 = st.integers(0, 0xFFFF)
+u32 = st.integers(0, 0xFFFFFFFF)
+ips = st.tuples(*([st.integers(0, 255)] * 4))
+# Arbitrary UTF-8 text minus NUL (the wire terminator, rejected by the
+# constructors).  hypothesis' default text strategy excludes surrogates,
+# so everything generated is encodable.
+wire_text = st.text(max_size=64).filter(lambda s: "\x00" not in s)
+
+pings = st.builds(Ping, descriptor_id=dids, ttl=byte_edges, hops=byte_edges)
+pongs = st.builds(
+    Pong, descriptor_id=dids, port=u16, ip=ips, files_shared=u32,
+    kb_shared=u32, ttl=byte_edges, hops=byte_edges,
+)
+queries = st.builds(
+    Query, descriptor_id=dids, search_criteria=wire_text, min_speed=u16,
+    ttl=byte_edges, hops=byte_edges,
+)
+hit_results = st.builds(
+    QueryHitResult, file_index=u32, file_size=u32, file_name=wire_text
+)
+query_hits = st.builds(
+    QueryHit, descriptor_id=dids, port=u16, ip=ips, speed=u32,
+    results=st.lists(hit_results, max_size=8).map(tuple),
+    servent_id=dids, ttl=byte_edges, hops=byte_edges,
+)
+messages = pings | pongs | queries | query_hits
+
+
+# ----------------------------------------------------------------------
+# Round trips + wire_size pins
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(messages)
+    def test_decode_inverts_encode(self, msg):
+        assert decode_message(msg.encode(), strict=True) == msg
+
+    @given(messages)
+    def test_wire_size_matches_encoding(self, msg):
+        assert msg.wire_size == len(msg.encode())
+
+    @given(dids, st.sampled_from(MessageType), byte_edges, byte_edges,
+           st.integers(0, 0xFFFFFFFF))
+    def test_header_round_trip(self, did, mtype, ttl, hops, length):
+        header = GnutellaHeader(did, mtype, ttl, hops, length)
+        assert GnutellaHeader.decode(header.encode()) == header
+
+    def test_query_hit_with_255_results(self):
+        # The declared-count byte's maximum — hypothesis rarely reaches
+        # list sizes this large, so pin it explicitly.
+        results = tuple(
+            QueryHitResult(i, i * 2, f"file-{i}.dat") for i in range(255)
+        )
+        hit = QueryHit(
+            descriptor_id=bytes(16), port=6346, ip=(10, 0, 0, 1),
+            speed=56, results=results, servent_id=bytes(range(16)),
+        )
+        data = hit.encode()
+        assert hit.wire_size == len(data)
+        decoded = decode_message(data)
+        assert decoded == hit
+        assert len(decoded.results) == 255
+
+    def test_query_hit_rejects_256_results(self):
+        results = tuple(QueryHitResult(i, i, "f") for i in range(256))
+        with pytest.raises(ValueError, match="at most 255"):
+            QueryHit(
+                descriptor_id=bytes(16), port=1, ip=(1, 2, 3, 4), speed=0,
+                results=results,
+            )
+
+    @given(queries)
+    def test_multibyte_criteria_survive(self, query):
+        decoded = decode_message(query.encode())
+        assert decoded.search_criteria == query.search_criteria
+
+
+# ----------------------------------------------------------------------
+# Truncation at every byte offset
+# ----------------------------------------------------------------------
+
+_SAMPLES = [
+    Ping(descriptor_id=bytes(16), ttl=1, hops=0),
+    Pong(descriptor_id=bytes(16), port=6346, ip=(127, 0, 0, 1),
+         files_shared=3, kb_shared=12),
+    Query(descriptor_id=bytes(16), search_criteria="key:42 é中"),
+    QueryHit(
+        descriptor_id=bytes(16), port=6346, ip=(10, 0, 0, 2), speed=100,
+        results=(QueryHitResult(7, 1024, "a.txt"),
+                 QueryHitResult(9, 2048, "中文.bin")),
+        servent_id=bytes(range(16)),
+    ),
+]
+
+
+class TestTruncation:
+    @pytest.mark.parametrize(
+        "msg", _SAMPLES, ids=[type(m).__name__ for m in _SAMPLES]
+    )
+    def test_every_prefix_raises_protocol_error(self, msg):
+        data = msg.encode()
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                decode_message(data[:cut])
+
+    @pytest.mark.parametrize(
+        "msg", _SAMPLES, ids=[type(m).__name__ for m in _SAMPLES]
+    )
+    def test_full_message_still_decodes(self, msg):
+        assert decode_message(msg.encode()) == msg
+
+    def test_header_prefixes_raise(self):
+        data = GnutellaHeader(bytes(16), MessageType.PING, 7, 0, 0).encode()
+        for cut in range(DESCRIPTOR_HEADER_SIZE):
+            with pytest.raises(ProtocolError):
+                GnutellaHeader.decode(data[:cut])
+
+
+# ----------------------------------------------------------------------
+# Garbage and mutation fuzz: only ProtocolError may escape
+# ----------------------------------------------------------------------
+
+
+def _decode_must_confine(data: bytes):
+    """decode_message either succeeds or raises exactly ProtocolError."""
+    try:
+        decode_message(data)
+    except ProtocolError:
+        pass  # the one permitted exception
+    # any other exception type propagates and fails the test
+
+
+class TestFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_arbitrary_bytes(self, data):
+        _decode_must_confine(data)
+
+    @given(
+        st.sampled_from(_SAMPLES),
+        st.data(),
+    )
+    @settings(max_examples=300)
+    def test_mutated_valid_messages(self, msg, data):
+        # Corrupt a real encoding: flip one byte anywhere.  This reaches
+        # deep decoder states (bad NULs, bad UTF-8, length lies) that
+        # uniform garbage almost never finds.
+        raw = bytearray(msg.encode())
+        pos = data.draw(st.integers(0, len(raw) - 1))
+        flip = data.draw(st.integers(1, 255))
+        raw[pos] ^= flip
+        _decode_must_confine(bytes(raw))
+
+    @given(
+        st.sampled_from([MessageType.PONG, MessageType.QUERY,
+                         MessageType.QUERY_HIT]),
+        st.binary(max_size=128),
+    )
+    @settings(max_examples=300)
+    def test_valid_header_random_payload(self, mtype, body):
+        # A correctly framed descriptor whose payload is garbage — the
+        # exact shape the stream framer hands to the payload decoders.
+        header = GnutellaHeader(bytes(16), mtype, 7, 0, len(body))
+        _decode_must_confine(header.encode() + body)
+
+    @given(st.binary(max_size=64))
+    def test_header_decode_confines(self, data):
+        try:
+            GnutellaHeader.decode(data)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=200)
+    def test_protocol_error_offsets_are_sane(self, data):
+        try:
+            decode_message(data)
+        except ProtocolError as exc:
+            if exc.offset is not None:
+                assert isinstance(exc.offset, int)
+                assert 0 <= exc.offset <= len(data) + DESCRIPTOR_HEADER_SIZE
+                assert f"offset {exc.offset}" in str(exc)
+
+
+# ----------------------------------------------------------------------
+# Strict-mode framing rejections
+# ----------------------------------------------------------------------
+
+
+class TestStrictMode:
+    @given(messages, st.binary(min_size=1, max_size=32))
+    def test_trailing_bytes_rejected_strict(self, msg, extra):
+        data = msg.encode() + extra
+        with pytest.raises(ProtocolError, match="beyond the declared"):
+            decode_message(data, strict=True)
+
+    @given(messages, st.binary(min_size=1, max_size=32))
+    def test_trailing_bytes_tolerated_lenient(self, msg, extra):
+        assert decode_message(msg.encode() + extra, strict=False) == msg
+
+    @given(st.integers(1, 64), st.data())
+    def test_nonzero_ping_payload_rejected_strict(self, n, data):
+        body = data.draw(st.binary(min_size=n, max_size=n))
+        raw = GnutellaHeader(
+            bytes(16), MessageType.PING, 7, 0, n
+        ).encode() + body
+        with pytest.raises(ProtocolError, match="Ping"):
+            decode_message(raw, strict=True)
+        # lenient mode keeps the historical behavior: payload ignored
+        assert decode_message(raw, strict=False) == Ping(
+            descriptor_id=bytes(16), ttl=7, hops=0
+        )
+
+    def test_strict_is_the_default(self):
+        data = Ping(descriptor_id=bytes(16)).encode() + b"x"
+        with pytest.raises(ProtocolError):
+            decode_message(data)

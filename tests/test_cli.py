@@ -207,3 +207,82 @@ class TestObservabilityFlags:
         assert snap["counters"]["made.it.here"] == 1
         lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
         assert any(e["kind"] == "made.it.here" for e in lines)
+
+
+class TestNodeParser:
+    def test_boot_defaults(self):
+        args = build_parser().parse_args(["node", "boot"])
+        assert args.nodes == 40
+        assert args.ttl == 6
+        assert args.queries == 20
+
+    def test_parity_defaults(self):
+        args = build_parser().parse_args(["node", "parity"])
+        assert args.nodes == 24
+        assert args.threshold == 0.02
+        assert not args.fail_on_divergence
+
+    def test_node_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node"])
+
+
+class TestNodeCommands:
+    def test_run_single_peer(self, capsys):
+        assert main([
+            "node", "run", "--node-id", "5", "--duration", "0.05",
+            "--store", "1,2,3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node 5 listening on" in out
+        assert "0 protocol errors" in out
+
+    def test_boot_small_overlay(self, capsys):
+        assert main([
+            "node", "boot", "--nodes", "10", "--queries", "3",
+            "--objects", "4", "--replication", "0.2", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live overlay: 10 asyncio peers" in out
+        assert "0 mismatched" in out
+        assert "0 protocol errors" in out
+
+    def test_boot_metrics_json_carries_node_counters(self, tmp_path):
+        import json
+
+        path = tmp_path / "live.json"
+        assert main([
+            "node", "boot", "--nodes", "8", "--queries", "2",
+            "--objects", "3", "--replication", "0.25", "--seed", "5",
+            "--metrics-json", str(path),
+        ]) == 0
+        snap = json.loads(path.read_text())
+        assert snap["counters"]["node.rx.query"] > 0
+        assert snap["counters"].get("node.protocol_errors", 0) == 0
+
+    def test_parity_gate_passes_and_writes_snapshots(self, tmp_path, capsys):
+        import json
+
+        sim_path = tmp_path / "sim.json"
+        live_path = tmp_path / "live.json"
+        assert main([
+            "node", "parity", "--nodes", "12", "--queries", "3",
+            "--objects", "4", "--replication", "0.2", "--seed", "7",
+            "--sim-out", str(sim_path), "--live-out", str(live_path),
+            "--fail-on-divergence",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim vs live on 12 nodes" in out
+        sim = json.loads(sim_path.read_text())
+        live = json.loads(live_path.read_text())
+        assert sim["counters"]["parity.messages_total"] == \
+            live["counters"]["parity.messages_total"]
+        assert live["gauges"]["parity.divergence.edge_mismatch"] == 0.0
+
+    def test_parity_starved_ttl_exits_2(self, capsys):
+        assert main([
+            "node", "parity", "--nodes", "20", "--queries", "2",
+            "--ttl", "1", "--objects", "4", "--replication", "0.2",
+            "--seed", "7",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
