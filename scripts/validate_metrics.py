@@ -4,14 +4,17 @@
 Usage::
 
     python scripts/validate_metrics.py SNAPSHOT.json [SCHEMA.json]
+    python scripts/validate_metrics.py TRACE.jsonl schemas/trace_event.schema.json
 
 Implements the small JSON-Schema subset the checked-in schemas actually
 use (type incl. type lists, const, enum, required, properties,
 additionalProperties, items, minItems, maxItems, minimum, maximum,
 exclusiveMinimum) so CI needs no third-party validator.  Also validates
-fault scenarios against ``schemas/fault_scenario.schema.json``.  Exits
-0 on success, 1 with a path-qualified error message on the first
-violation.
+fault scenarios against ``schemas/fault_scenario.schema.json``, and
+``.jsonl`` inputs (trace sinks) line by line against
+``schemas/trace_event.schema.json`` — errors are qualified with the
+offending line number.  Exits 0 on success, 1 with a path-qualified
+error message on the first violation.
 """
 
 from __future__ import annotations
@@ -20,10 +23,9 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_SCHEMA = (
-    Path(__file__).resolve().parent.parent
-    / "schemas" / "metrics_snapshot.schema.json"
-)
+_SCHEMA_DIR = Path(__file__).resolve().parent.parent / "schemas"
+DEFAULT_SCHEMA = _SCHEMA_DIR / "metrics_snapshot.schema.json"
+DEFAULT_JSONL_SCHEMA = _SCHEMA_DIR / "trace_event.schema.json"
 
 _TYPES = {
     "object": dict,
@@ -112,11 +114,50 @@ def validate(instance, schema: dict) -> None:
     _check(instance, schema, "$")
 
 
+def validate_jsonl(path: Path, schema: dict) -> int:
+    """Validate every line of a JSONL trace sink; return the line count.
+
+    Raises :class:`ValidationError` with the 1-based line number of the
+    first offending line (blank lines are skipped).
+    """
+    n = 0
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValidationError(
+                    f"{path.name}:{lineno}: not valid JSON ({err})"
+                ) from err
+            try:
+                _check(event, schema, "$")
+            except ValidationError as err:
+                raise ValidationError(
+                    f"{path.name}:{lineno}: {err}"
+                ) from err
+            n += 1
+    return n
+
+
 def main(argv) -> int:
     if not 2 <= len(argv) <= 3:
         print(__doc__)
         return 2
-    snapshot = json.loads(Path(argv[1]).read_text())
+    target = Path(argv[1])
+    if target.suffix == ".jsonl":
+        schema_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_JSONL_SCHEMA
+        schema = json.loads(schema_path.read_text())
+        try:
+            n = validate_jsonl(target, schema)
+        except ValidationError as err:
+            print(f"INVALID: {err}")
+            return 1
+        print(f"OK: {argv[1]} conforms to {schema_path.name} "
+              f"({n} events)")
+        return 0
+    snapshot = json.loads(target.read_text())
     schema_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_SCHEMA
     schema = json.loads(schema_path.read_text())
     try:

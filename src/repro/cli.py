@@ -418,9 +418,14 @@ def cmd_node_run(args) -> int:
 
 def cmd_node_boot(args) -> int:
     """Boot N live peers into a seeded overlay and flood queries."""
-    from repro.node import NodeConfig, run_live_workload
+    from repro.node import NodeConfig, build_query_trees, run_live_workload
     from repro.search import draw_query_workload
 
+    session = obs.active()
+    live_trace = (
+        (session is not None and session.tracer is not None)
+        or args.trace_dir is not None
+    )
     graph = _make_overlay(args)
     placement = place_objects(
         graph.n_nodes, args.objects, args.replication, seed=args.seed + 2
@@ -431,9 +436,12 @@ def cmd_node_boot(args) -> int:
     results, overlay = run_live_workload(
         graph, placement, sources, objects, args.ttl,
         config=NodeConfig(default_ttl=args.ttl),
+        trace=live_trace, trace_dir=args.trace_dir,
+        telemetry_interval=args.telemetry_interval,
     )
     merged = overlay.merged_registry()
-    counters = merged.snapshot()["counters"]
+    snap = merged.snapshot()
+    counters = snap["counters"]
     success = sum(1 for r in results if r.success) / len(results)
     messages = sum(r.total_messages for r in results)
     duplicates = sum(r.duplicates for r in results)
@@ -449,9 +457,70 @@ def cmd_node_boot(args) -> int:
           f"{counters.get('node.protocol_errors', 0)} protocol errors, "
           f"{counters.get('node.desyncs', 0)} desyncs, "
           f"{counters.get('node.queryhit.unroutable', 0)} unroutable hits")
-    session = obs.active()
+    if live_trace:
+        events = overlay.merged_trace()
+        trees = build_query_trees(events)
+        complete = sum(1 for t in trees if t.complete)
+        print(f"  causal trace: {len(events)} events, {len(trees)} query "
+              f"tree(s) ({complete} complete)")
+        if args.trace_dir is not None:
+            print(f"  per-peer sinks in {args.trace_dir}/ "
+                  f"(merge with: repro node trace {args.trace_dir})")
+        if session is not None and session.tracer is not None:
+            # Replay the merged per-peer events into the session sink so
+            # the --trace file is the causally ordered overlay trace.
+            for event in events:
+                fields = {k: v for k, v in event.items()
+                          if k not in ("seq", "kind")}
+                session.tracer.emit(event.get("kind", "event"), **fields)
+    if args.telemetry_interval > 0:
+        samples = counters.get("node.runtime.samples", 0)
+        lag = snap["quantiles"].get("node.runtime.loop_lag_s.q", {})
+        print(f"  telemetry: {samples} runtime samples, "
+              f"{lag.get('count', 0)} loop-lag observations")
     if session is not None:
-        session.metrics.merge_snapshot(merged.snapshot())
+        session.metrics.merge_snapshot(snap)
+    return 0
+
+
+def cmd_node_trace(args) -> int:
+    """Merge per-peer trace sinks and reconstruct causal query trees."""
+    from repro.node.trace import build_query_trees, format_tree_report
+    from repro.obs.tracer import merge_traces
+
+    paths = []
+    for inp in args.inputs:
+        if os.path.isdir(inp):
+            paths.extend(sorted(
+                os.path.join(inp, name) for name in os.listdir(inp)
+                if name.endswith(".jsonl")
+            ))
+        else:
+            paths.append(inp)
+    if not paths:
+        print("error: no trace files found", file=sys.stderr)
+        return 2
+    try:
+        events = merge_traces(*paths)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trees = build_query_trees(events)
+    print(f"merged {len(paths)} sink(s)")
+    print(format_tree_report(trees, n_events=len(events),
+                             verbose=args.verbose))
+    if args.export:
+        from repro.obs.report import write_chrome_trace
+
+        n = write_chrome_trace(events, args.export,
+                               source=";".join(paths))
+        print(f"chrome trace written to {args.export} ({n} records)")
+    complete = sum(1 for t in trees if t.complete)
+    if args.require_complete > 0 and complete < args.require_complete:
+        print(f"error: only {complete} complete query tree(s) "
+              f"reconstructed, need {args.require_complete}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -702,7 +771,33 @@ def build_parser() -> argparse.ArgumentParser:
     np_.add_argument("--replication", type=float, default=0.1)
     np_.add_argument("--objects", type=int, default=10)
     np_.add_argument("--queries", type=int, default=20)
+    np_.add_argument("--trace-dir", metavar="DIR", default=None,
+                     help="write one peer-<id>.jsonl trace sink per peer "
+                          "into DIR (merge with 'repro node trace DIR')")
+    np_.add_argument("--telemetry-interval", type=float, default=0.0,
+                     help="runtime-telemetry sampling period in seconds "
+                          "(0 disables; samples event-loop lag and "
+                          "per-peer gauges into node.runtime.*)")
     np_.set_defaults(func=cmd_node_boot)
+
+    np_ = nsub.add_parser(
+        "trace",
+        help="merge per-peer trace sinks and reconstruct causal "
+             "query trees",
+    )
+    np_.add_argument("inputs", nargs="+", metavar="PATH",
+                     help="trace JSONL file(s) or directories of "
+                          "peer-*.jsonl sinks")
+    np_.add_argument("--export", metavar="PATH", default=None,
+                     help="also write a Chrome/Perfetto trace "
+                          "(one lane per peer, hop edges as flow events)")
+    np_.add_argument("--require-complete", type=int, default=0,
+                     metavar="N",
+                     help="exit 1 unless at least N complete query trees "
+                          "were reconstructed")
+    np_.add_argument("--verbose", action="store_true",
+                     help="print every hop edge of every tree")
+    np_.set_defaults(func=cmd_node_trace)
 
     np_ = nsub.add_parser(
         "parity",

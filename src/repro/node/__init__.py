@@ -10,10 +10,14 @@ sockets, real partial reads, real malformed peers.  Three layers:
   serving with reverse-path QueryHit routing, per-node metrics;
 * :mod:`repro.node.boot` / :mod:`repro.node.parity` — boot N peers into
   a seeded topology, serve workloads to quiescence, and hold the live
-  runtime against the simulator under ``repro obs diff``.
+  runtime against the simulator under ``repro obs diff``;
+* :mod:`repro.node.trace` — reconstruct a flood's causal query tree
+  (who forwarded to whom, at which hop, with per-hop latency) from the
+  merged per-peer tracing events.
 
 CLI entry points: ``repro node run`` / ``repro node boot`` /
-``repro node parity`` (see README's live-overlay quick start).
+``repro node parity`` / ``repro node trace`` (see README's
+live-overlay quick start).
 """
 
 from repro.node.boot import (
@@ -24,6 +28,12 @@ from repro.node.boot import (
 )
 from repro.node.framer import DEFAULT_MAX_PAYLOAD, StreamFramer
 from repro.node.parity import ParityReport, ParityScenario, run_parity
+from repro.node.trace import (
+    HopEdge,
+    QueryTree,
+    build_query_trees,
+    format_tree_report,
+)
 from repro.node.peer import (
     LiveHit,
     LiveQuery,
@@ -55,4 +65,8 @@ __all__ = [
     "ip_to_node",
     "criteria_for_key",
     "key_from_criteria",
+    "HopEdge",
+    "QueryTree",
+    "build_query_trees",
+    "format_tree_report",
 ]

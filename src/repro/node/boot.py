@@ -13,11 +13,25 @@ stops moving (:meth:`LiveOverlay.settle`).  That is what makes live
 per-query totals exact rather than timeout-truncated, and it is the
 mechanism the sim/live parity harness (:mod:`repro.node.parity`) relies
 on.
+
+Observability: pass ``trace=True`` (or ``trace_dir=``) and every peer
+gets a private wall-clock :class:`~repro.obs.Tracer`
+(``ident=str(node_id)``) emitting the distributed-tracing catalogue;
+:meth:`LiveOverlay.merged_trace` merges the per-peer streams into one
+causally ordered list (``repro node trace`` reconstructs the query
+trees).  ``telemetry_interval > 0`` additionally runs a
+:class:`~repro.obs.RuntimeSampler` loop recording event-loop lag,
+byte counters, and route/pending-buffer occupancy into a dedicated
+registry folded into :meth:`LiveOverlay.merged_registry`.  Tracing
+never touches the per-peer metric registries, so flood accounting is
+bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -25,7 +39,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.node.peer import LiveQuery, NodeConfig, PeerNode
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.health import RuntimeSampler
+from repro.obs.metrics import MetricsRegistry, _jsonable
+from repro.obs.tracer import Tracer, merge_events
 from repro.search.replication import Placement
 from repro.topology.graph import OverlayGraph
 
@@ -80,6 +96,18 @@ class LiveOverlay:
     latency_fn:
         ``(u, v) -> d`` injected link latency; defaults to the graph's
         edge latency (1.0 for non-edges, which only candidate dials see).
+    trace:
+        Give every peer a private wall-clock tracer (ring-buffered;
+        read back via :meth:`merged_trace`).
+    trace_dir:
+        Directory receiving one ``peer-<id>.jsonl`` sink per peer
+        (created if missing; implies ``trace``).  The per-peer files
+        are what ``repro node trace DIR`` merges offline.
+    trace_capacity:
+        Ring capacity of each per-peer tracer.
+    telemetry_interval:
+        Seconds between runtime-telemetry samples (``0`` disables the
+        sampler task entirely).
     """
 
     def __init__(
@@ -90,15 +118,29 @@ class LiveOverlay:
         latency_fn: Optional[Callable[[int, int], float]] = None,
         config: Optional[NodeConfig] = None,
         host: str = "127.0.0.1",
+        trace: bool = False,
+        trace_dir: Optional[str] = None,
+        trace_capacity: int = 65536,
+        telemetry_interval: float = 0.0,
     ):
         if placement is not None and placement.n_nodes != graph.n_nodes:
             raise ValueError("placement and graph node counts disagree")
         if capacities is not None and len(capacities) != graph.n_nodes:
             raise ValueError("capacities must have one entry per node")
+        if telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be >= 0")
         self.graph = graph
         self.placement = placement
         self.host = host
         self.config = config or NodeConfig()
+        self.tracing = bool(trace) or trace_dir is not None
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        self.telemetry_interval = float(telemetry_interval)
+        self.telemetry_registry = MetricsRegistry()
+        self.telemetry = RuntimeSampler(registry=self.telemetry_registry)
+        self._telemetry_task: Optional[asyncio.Task] = None
         if latency_fn is None:
             latency_fn = self._graph_latency
         stores = self._stores(placement, graph.n_nodes)
@@ -109,12 +151,22 @@ class LiveOverlay:
                 store=stores[u],
                 latency_to=(lambda v, _u=u: latency_fn(_u, v)),
                 config=self.config,
+                tracer=self._make_tracer(u, trace_capacity),
             )
             for u in range(graph.n_nodes)
         ]
         self._started = False
         self._final_edges: Optional[Set[Tuple[int, int]]] = None
         self._final_latency: Dict[Tuple[int, int], float] = {}
+
+    def _make_tracer(self, node_id: int, capacity: int) -> Optional[Tracer]:
+        if not self.tracing:
+            return None
+        sink = None
+        if self.trace_dir is not None:
+            sink = os.path.join(self.trace_dir, f"peer-{node_id}.jsonl")
+        return Tracer(capacity=capacity, sink=sink, ident=str(node_id),
+                      timebase="wall")
 
     def _graph_latency(self, u: int, v: int) -> float:
         try:
@@ -141,14 +193,45 @@ class LiveOverlay:
         for u, v, _lat in self.graph.iter_edges():
             await self.nodes[u].connect(self.host, self.nodes[v].port)
         self._started = True
+        if self.telemetry_interval > 0:
+            self._telemetry_task = asyncio.ensure_future(
+                self._telemetry_loop()
+            )
+
+    async def _telemetry_loop(self) -> None:
+        """Sample runtime telemetry every ``telemetry_interval`` seconds.
+
+        Event-loop lag is the sleep overshoot: how much later than
+        requested the loop got back to this (lowest-priority) task —
+        the same signal a wedged or overloaded loop shows first.
+        """
+        interval = self.telemetry_interval
+        loop = asyncio.get_event_loop()
+        while True:
+            target = loop.time() + interval
+            await asyncio.sleep(interval)
+            lag = max(loop.time() - target, 0.0)
+            self.telemetry.sample(
+                time.time(),
+                {str(n.node_id): n.runtime_stats() for n in self.nodes},
+                loop_lag_s=lag,
+            )
 
     async def stop(self) -> None:
         """Tear every peer down.
 
         The final topology is frozen first, so structure readback
         (:meth:`live_edges` / :meth:`overlay_graph`) stays truthful
-        after teardown.
+        after teardown.  Per-peer tracer sinks are flushed and closed;
+        ring buffers stay readable (:meth:`merged_trace`).
         """
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
         if self._started:
             self._final_edges = self._edges_from_links()
             self._final_latency = {
@@ -156,6 +239,9 @@ class LiveOverlay:
                 for u, v in self._final_edges
             }
         await asyncio.gather(*(n.stop() for n in self.nodes))
+        for node in self.nodes:
+            if node.tracer is not None:
+                node.tracer.close()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -262,16 +348,111 @@ class LiveOverlay:
         lat = np.asarray([self._link_latency(u, v) for u, v in edges])
         return OverlayGraph.from_edges(len(self.nodes), eu, ev, lat)
 
-    def merged_registry(self) -> MetricsRegistry:
-        """All per-node metrics folded into one registry."""
+    def merged_registry(self, top_peers: int = 8) -> MetricsRegistry:
+        """All per-node metrics folded into one registry.
+
+        On top of the flattened merge (every ``node.*`` counter summed
+        across peers, exactly like the parallel runner merges worker
+        shards) the merged view carries:
+
+        * runtime-telemetry series/gauges (``node.runtime.*``) when the
+          telemetry sampler ran;
+        * per-peer breakdowns for the ``top_peers`` hottest peers by
+          wire traffic (rx+tx bytes) under ``node.by_peer.<ident>.*`` —
+          capped top-k like the queueing simulator's ``node_util``
+          hot-spot gauges, so ``repro obs top`` can name the hottest
+          live peers without the snapshot growing with overlay size;
+        * a ``node.hop.latency_s`` quantile histogram (plus per-hop
+          ``node.hop.latency_s.<h>``) derived from the merged causal
+          trace when tracing was enabled: one observation per query
+          edge, child's ``node.query.rx`` wall time minus the parent's
+          ``node.query.fwd``/``origin`` wall time.
+        """
         merged = MetricsRegistry()
         for node in self.nodes:
             merged.merge_snapshot(node.metrics.snapshot())
+        if len(self.telemetry_registry):
+            merged.merge_snapshot(self.telemetry_registry.snapshot())
+        if top_peers > 0:
+            self._add_by_peer_gauges(merged, top_peers)
+        if self.tracing:
+            self._add_hop_latencies(merged)
         return merged
+
+    def _add_by_peer_gauges(self, merged: MetricsRegistry,
+                            top_peers: int) -> None:
+        def traffic(node: PeerNode) -> int:
+            counters = node.metrics.snapshot()["counters"]
+            return (counters.get("node.rx.bytes", 0)
+                    + counters.get("node.tx.bytes", 0))
+
+        ranked = sorted(self.nodes, key=lambda n: (-traffic(n), n.node_id))
+        for node in ranked[:top_peers]:
+            counters = node.metrics.snapshot()["counters"]
+            p = f"node.by_peer.{node.node_id}"
+            merged.gauge(f"{p}.traffic_bytes").set(float(traffic(node)))
+            merged.gauge(f"{p}.rx_messages").set(float(
+                counters.get("node.rx.ping", 0)
+                + counters.get("node.rx.pong", 0)
+                + counters.get("node.rx.query", 0)
+                + counters.get("node.rx.query_hit", 0)
+            ))
+            merged.gauge(f"{p}.tx_messages").set(float(
+                counters.get("node.tx.messages", 0)
+            ))
+            merged.gauge(f"{p}.degree").set(float(len(node.neighbors)))
+
+    def _add_hop_latencies(self, merged: MetricsRegistry) -> None:
+        from repro.node.trace import build_query_trees
+
+        overall = merged.quantile("node.hop.latency_s")
+        for tree in build_query_trees(self.merged_trace()):
+            for edge in tree.edges:
+                if edge.latency is None:
+                    continue
+                lat = max(float(edge.latency), 0.0)
+                overall.observe(lat)
+                merged.quantile(
+                    f"node.hop.latency_s.{edge.hop:02d}"
+                ).observe(lat)
 
     def per_node_snapshots(self) -> Dict[int, dict]:
         """Each node's private metric snapshot, keyed by node id."""
         return {n.node_id: n.metrics.snapshot() for n in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Trace readback
+    # ------------------------------------------------------------------
+
+    def merged_trace(self, kind: Optional[str] = None) -> List[dict]:
+        """Every peer's trace events in one causal ``(t, src, seq)`` order.
+
+        Requires the overlay to have been built with ``trace=True`` (or
+        ``trace_dir``); raises otherwise.  Readable after :meth:`stop`
+        — the ring buffers survive teardown.
+        """
+        if not self.tracing:
+            raise RuntimeError(
+                "overlay was not built with trace=True/trace_dir"
+            )
+        return merge_events(
+            *(n.tracer.events(kind) for n in self.nodes if n.tracer)
+        )
+
+    def write_merged_trace(self, path: str) -> int:
+        """Write the merged causal trace as JSONL; returns the event count.
+
+        The output is a valid single-file trace for ``repro node trace``
+        and ``repro obs export-trace`` — identical in content to merging
+        the per-peer ``trace_dir`` sinks with
+        :func:`repro.obs.merge_traces`.
+        """
+        events = self.merged_trace()
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event, default=_jsonable))
+                fh.write("\n")
+        return len(events)
 
 
 async def boot_and_flood(
@@ -282,14 +463,20 @@ async def boot_and_flood(
     ttl: int,
     config: Optional[NodeConfig] = None,
     capacities: Optional[Sequence[int]] = None,
+    trace: bool = False,
+    trace_dir: Optional[str] = None,
+    telemetry_interval: float = 0.0,
 ) -> Tuple[List[LiveFloodResult], LiveOverlay]:
     """Boot the overlay, serve a workload, return results + the overlay.
 
-    The overlay is stopped before returning; its structure and metrics
-    remain readable (link tables and registries survive the teardown).
+    The overlay is stopped before returning; its structure, metrics,
+    and (when tracing) merged causal trace remain readable (link
+    tables, registries, and tracer rings survive the teardown).
     """
     overlay = LiveOverlay(graph, placement=placement, config=config,
-                          capacities=capacities)
+                          capacities=capacities, trace=trace,
+                          trace_dir=trace_dir,
+                          telemetry_interval=telemetry_interval)
     await overlay.start()
     try:
         results = []
@@ -311,9 +498,14 @@ def run_live_workload(
     ttl: int,
     config: Optional[NodeConfig] = None,
     capacities: Optional[Sequence[int]] = None,
+    trace: bool = False,
+    trace_dir: Optional[str] = None,
+    telemetry_interval: float = 0.0,
 ) -> Tuple[List[LiveFloodResult], LiveOverlay]:
     """Synchronous wrapper around :func:`boot_and_flood`."""
     return asyncio.run(
         boot_and_flood(graph, placement, sources, objects, ttl,
-                       config=config, capacities=capacities)
+                       config=config, capacities=capacities,
+                       trace=trace, trace_dir=trace_dir,
+                       telemetry_interval=telemetry_interval)
     )

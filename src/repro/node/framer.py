@@ -49,10 +49,18 @@ class StreamFramer:
     its own error behavior without a global registry.
     """
 
-    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD):
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD,
+                 tracer=None, peer_id: Optional[int] = None):
         if max_payload < 0:
             raise ValueError(f"max_payload must be >= 0, got {max_payload}")
         self.max_payload = max_payload
+        #: Optional :class:`repro.obs.Tracer`; every fault emits exactly
+        #: one event — ``frame.drop`` per recoverable payload fault,
+        #: ``frame.desync`` on the unrecoverable header fault.
+        self.tracer = tracer
+        #: Remote node id the traced events are attributed to (-1 when
+        #: the peer has not completed its handshake yet).
+        self.peer_id = peer_id
         self._buffer = bytearray()
         #: Recoverable payload faults (frames dropped, stream continued).
         self.decode_errors = 0
@@ -115,10 +123,22 @@ class StreamFramer:
                 # position is still trusted: drop this frame only.
                 self.decode_errors += 1
                 self.last_error = exc
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "frame.drop", peer=self._peer_field(),
+                        bytes=frame_size, error=str(exc),
+                    )
         return messages
+
+    def _peer_field(self) -> int:
+        return -1 if self.peer_id is None else int(self.peer_id)
 
     def _desync(self, exc: ProtocolError) -> None:
         self.decode_errors += 1
         self.last_error = exc
         self.desynced = True
         self._buffer.clear()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "frame.desync", peer=self._peer_field(), error=str(exc),
+            )

@@ -18,6 +18,16 @@ and success are all arrival-order-independent:
 
     total = deg(source) + sum over visited v != source of (deg(v) - 1)
 
+Per-hop message counts are gated too (``parity.hop.messages.<h>``):
+in the one-event-loop live runtime a copy that traversed ``h`` links
+needed ``h`` write->wake->process rounds, so shortest-path copies
+always arrive first, first-arrival hops equal BFS depths, and each
+hop's delivery count matches the simulator's
+``FloodResult.messages_per_hop`` exactly — localizing any structural
+drift to the hop where it happened.  Both arms emit every hop in
+``1..ttl`` explicitly (zeros included), so a missing hop diffs as a
+gated regression rather than a one-sided n/a.
+
 First-hit hop depths are *not* in the gated set — they depend on which
 copy arrives first, which real concurrency does not promise — and live
 ``node.*`` operational counters appear on the live side only (one-sided
@@ -38,7 +48,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core import makalu_graph
-from repro.node.boot import LiveFloodResult, run_live_workload
+from repro.node.boot import LiveFloodResult, LiveOverlay, run_live_workload
 from repro.node.peer import NodeConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.search.flooding import FloodResult, draw_query_workload, flood
@@ -81,6 +91,9 @@ class ParityReport:
     sim_results: List[FloodResult]
     live_results: List[LiveFloodResult]
     edge_mismatch: int
+    #: The (stopped) live overlay — merged trace readable when the run
+    #: was traced.
+    overlay: Optional["LiveOverlay"] = None
 
     def regressions(self, threshold: float = 0.02) -> List:
         """Gated deltas (sim -> live) beyond ``threshold``."""
@@ -129,6 +142,14 @@ def _search_stats(
     )
 
 
+def _hop_stats(reg: MetricsRegistry, per_hop: dict, ttl: int) -> None:
+    """Gated per-hop totals; every hop in 1..ttl explicit, zeros included."""
+    for h in range(1, ttl + 1):
+        reg.counter(f"parity.hop.messages.{h:02d}").inc(
+            int(per_hop.get(h, 0))
+        )
+
+
 def _check_coverage(scenario: ParityScenario,
                     sim_results: List[FloodResult], n_nodes: int) -> None:
     """Enforce the full-coverage precondition of the gated metric set."""
@@ -152,8 +173,16 @@ def _check_coverage(scenario: ParityScenario,
 
 
 def run_parity(scenario: ParityScenario = ParityScenario(),
-               config: Optional[NodeConfig] = None) -> ParityReport:
-    """Replay one seeded scenario through sim and live; snapshot both."""
+               config: Optional[NodeConfig] = None,
+               trace: bool = False) -> ParityReport:
+    """Replay one seeded scenario through sim and live; snapshot both.
+
+    ``trace=True`` runs the live arm with per-peer tracers enabled —
+    tracing must leave every gated ``parity.*`` total bit-identical
+    (the determinism guard of ``tests/node/test_parity.py``); the
+    merged causal trace is then readable from the returned report's
+    :attr:`ParityReport.overlay`.
+    """
     graph = makalu_graph(n_nodes=scenario.n_nodes, seed=scenario.seed)
     placement: Placement = place_objects(
         graph.n_nodes, scenario.n_objects, scenario.replication,
@@ -181,12 +210,19 @@ def run_parity(scenario: ParityScenario = ParityScenario(),
         visited=sum(r.nodes_visited for r in sim_results),
         n_queries=scenario.n_queries,
     )
+    sim_hops: dict = {}
+    for r in sim_results:
+        for h, c in enumerate(r.messages_per_hop, start=1):
+            if c:
+                sim_hops[h] = sim_hops.get(h, 0) + int(c)
+    _hop_stats(sim_reg, sim_hops, scenario.ttl)
     _overlay_stats(sim_reg, graph)
     sim_reg.gauge("parity.divergence.edge_mismatch").set(0.0)
 
     # --- live arm ------------------------------------------------------
     live_results, overlay = run_live_workload(
-        graph, placement, sources, objects, scenario.ttl, config=config
+        graph, placement, sources, objects, scenario.ttl, config=config,
+        trace=trace,
     )
     live_graph = overlay.overlay_graph()
     golden_edges = {(u, v) for u, v, _ in graph.iter_edges()}
@@ -202,6 +238,13 @@ def run_parity(scenario: ParityScenario = ParityScenario(),
         visited=sum(r.nodes_visited for r in live_results),
         n_queries=scenario.n_queries,
     )
+    live_counters = live_reg.snapshot()["counters"]
+    live_hops = {
+        int(name.rsplit(".", 1)[1]): count
+        for name, count in live_counters.items()
+        if name.startswith("node.rx.query.hop.")
+    }
+    _hop_stats(live_reg, live_hops, scenario.ttl)
     _overlay_stats(live_reg, live_graph)
     live_reg.gauge("parity.divergence.edge_mismatch").set(float(mismatch))
 
@@ -212,4 +255,5 @@ def run_parity(scenario: ParityScenario = ParityScenario(),
         sim_results=sim_results,
         live_results=live_results,
         edge_mismatch=mismatch,
+        overlay=overlay,
     )

@@ -32,6 +32,18 @@ Every node owns a private :class:`~repro.obs.metrics.MetricsRegistry`
 (the ``node.*`` counter catalogue) so a multi-node boot can merge
 per-node snapshots exactly like the parallel runner merges worker
 shards.
+
+A node can also own a private :class:`~repro.obs.Tracer` (pass
+``tracer=``, conventionally ``Tracer(ident=str(node_id),
+timebase="wall")``).  With one, the peer emits the distributed-tracing
+event catalogue — frame/handshake/crawl/prune lifecycle plus per-hop
+``node.query.*`` events keyed by the descriptor ID's hex as the
+trace/correlation ID — so merging every peer's events reconstructs a
+flood's full causal tree with zero wire-format changes (the
+descriptor ID already flows on every hop).  Without one, the same
+events fall back to the process-global obs session, preserving the
+single-node ``repro node run --trace`` behavior.  See
+docs/OBSERVABILITY.md ("Live tracing") for the catalogue.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import struct
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -47,6 +60,7 @@ from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
 from repro.node.framer import DEFAULT_MAX_PAYLOAD, StreamFramer
 from repro.obs import runtime as _obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.protocol.messages import (
     Ping,
     Pong,
@@ -182,7 +196,9 @@ class PeerConnection:
         self.owner = owner
         self.reader = reader
         self.writer = writer
-        self.framer = StreamFramer(max_payload=owner.config.max_payload)
+        self.framer = StreamFramer(
+            max_payload=owner.config.max_payload, tracer=owner.tracer,
+        )
         peername = writer.get_extra_info("peername")
         self.remote_host: str = peername[0] if peername else "127.0.0.1"
         self.peer_id: Optional[int] = None
@@ -196,12 +212,21 @@ class PeerConnection:
         """Queue one message on the link (never blocks; drops if closed)."""
         if self.closed:
             return
+        data = message.encode()
         try:
-            self.writer.write(message.encode())
+            self.writer.write(data)
         except (ConnectionError, OSError, RuntimeError):
             self.closed = True
             return
-        self.owner.metrics.counter("node.tx.messages").inc()
+        m = self.owner.metrics
+        m.counter("node.tx.messages").inc()
+        m.counter("node.tx.bytes").inc(len(data))
+        if self.owner.tracer is not None:
+            self.owner.tracer.emit(
+                "node.tx", type=type(message).__name__.lower(),
+                peer=-1 if self.peer_id is None else self.peer_id,
+                bytes=len(data),
+            )
 
 
 class PeerNode:
@@ -219,6 +244,11 @@ class PeerNode:
     latency_to:
         ``v -> d(u, v)`` injected link latency, the rating function's
         proximity input.  Defaults to unit latency.
+    tracer:
+        Optional private :class:`~repro.obs.Tracer` receiving this
+        peer's distributed-tracing events (conventionally
+        ``Tracer(ident=str(node_id), timebase="wall")``).  Without one,
+        events fall back to the process-global obs session.
     """
 
     def __init__(
@@ -229,6 +259,7 @@ class PeerNode:
         latency_to: Optional[Callable[[int], float]] = None,
         config: Optional[NodeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         node_ip(node_id)  # validates the range
         if capacity is not None and capacity < 1:
@@ -239,6 +270,7 @@ class PeerNode:
         self.latency_to = latency_to or (lambda v: 1.0)
         self.config = config or NodeConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
 
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -257,6 +289,20 @@ class PeerNode:
         self._crawl_pending: Dict[bytes, dict] = {}
         self._queries: Dict[bytes, LiveQuery] = {}
         self._guid_counter = 0
+
+    def _trace(self, kind: str, **fields) -> None:
+        """Emit one tracing event.
+
+        Routed to the per-peer tracer when the node owns one (the
+        tracer's ``ident`` carries the node identity as ``src``);
+        otherwise the event falls back to the process-global obs
+        session with an explicit ``node`` field, so single-node runs
+        under ``--trace`` keep working without a private tracer.
+        """
+        if self.tracer is not None:
+            self.tracer.emit(kind, **fields)
+        else:
+            _obs.event(kind, node=self.node_id, **fields)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -322,6 +368,7 @@ class PeerNode:
                 data = await conn.reader.read(65536)
                 if not data:
                     break
+                m.counter("node.rx.bytes").inc(len(data))
                 before = conn.framer.decode_errors
                 messages = conn.framer.feed(data)
                 faults = conn.framer.decode_errors - before
@@ -349,7 +396,7 @@ class PeerNode:
             del self.neighbors[pid]
             self.metrics.counter("node.connections_closed").inc()
             self.metrics.gauge("node.degree").set(len(self.neighbors))
-            _obs.event("node.neighbor_lost", node=self.node_id, peer=pid)
+            self._trace("node.neighbor_lost", peer=pid)
         if conn in self._connections:
             self._connections.remove(conn)
         with contextlib.suppress(ConnectionError, OSError, RuntimeError):
@@ -367,7 +414,7 @@ class PeerNode:
         self.neighbors[pid] = conn
         self.metrics.counter("node.connections_opened").inc()
         self.metrics.gauge("node.degree").set(len(self.neighbors))
-        _obs.event("node.neighbor_up", node=self.node_id, peer=pid)
+        self._trace("node.neighbor_up", peer=pid)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -375,6 +422,12 @@ class PeerNode:
 
     def _dispatch(self, conn: PeerConnection, msg) -> None:
         m = self.metrics
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node.rx", type=type(msg).__name__.lower(),
+                peer=-1 if conn.peer_id is None else conn.peer_id,
+            )
+        t0 = time.perf_counter()
         if isinstance(msg, Ping):
             m.counter("node.rx.ping").inc()
             self._on_ping(conn, msg)
@@ -387,6 +440,9 @@ class PeerNode:
         elif isinstance(msg, QueryHit):
             m.counter("node.rx.query_hit").inc()
             self._on_query_hit(conn, msg)
+        else:
+            return
+        m.quantile("node.dispatch_s").observe(time.perf_counter() - t0)
 
     def _on_ping(self, conn: PeerConnection, ping: Ping) -> None:
         # Every Ping gets our identity back, TTL sized to reach the
@@ -416,8 +472,10 @@ class PeerNode:
             peer_id = ip_to_node(pong.ip)
             hello.peer_id = peer_id
             hello.peer_port = pong.port
+            hello.framer.peer_id = peer_id
             hello.latency = self.latency_to(peer_id)
             self.known_addresses[peer_id] = (hello.remote_host, pong.port)
+            self._trace("node.handshake", peer=peer_id, port=pong.port)
             self._register_neighbor(hello)
             hello.handshaken.set()
             return
@@ -442,15 +500,28 @@ class PeerNode:
     def _on_query(self, conn: PeerConnection, q: Query) -> None:
         m = self.metrics
         did = q.descriptor_id
+        # Arrival hop: the wire ``hops`` field counts links already
+        # traversed *before* this one, so an arriving copy traversed
+        # ``q.hops + 1`` links — the simulator's hop index for the same
+        # message (``FloodResult.messages_per_hop[hop - 1]``).
+        hop = q.hops + 1
+        sender = -1 if conn.peer_id is None else conn.peer_id
+        m.counter(f"node.rx.query.hop.{hop:02d}").inc()
         if did in self._seen:
             m.counter("node.query.duplicates").inc()
+            self._trace("node.query.dup", trace=did.hex(), peer=sender,
+                        hop=hop)
             return
         self._remember_seen(did)
         self._remember_route(did, conn)
         m.counter("node.query.fresh").inc()
+        self._trace("node.query.rx", trace=did.hex(), peer=sender,
+                    hop=hop, ttl=q.ttl)
         key = key_from_criteria(q.search_criteria)
         if key is not None and key in self.store:
             m.counter("node.query.hits_served").inc()
+            self._trace("node.query.hit", trace=did.hex(), key=key,
+                        hop=hop)
             conn.send(QueryHit(
                 did, port=self.port or 0, ip=node_ip(self.node_id),
                 speed=0,
@@ -470,6 +541,8 @@ class PeerNode:
                     c.send(fwd)
                     forwarded += 1
             m.counter("node.query.forwarded").inc(forwarded)
+            self._trace("node.query.fwd", trace=did.hex(), hop=hop,
+                        fanout=forwarded)
 
     def _on_query_hit(self, conn: PeerConnection, qh: QueryHit) -> None:
         m = self.metrics
@@ -481,8 +554,8 @@ class PeerNode:
                 n_results=len(qh.results),
             ))
             m.counter("node.queryhit.received").inc()
-            _obs.event("node.hit", node=self.node_id,
-                       server=ip_to_node(qh.ip), hops=qh.hops)
+            self._trace("node.query.hit_rx", trace=did.hex(),
+                        server=ip_to_node(qh.ip), hops=qh.hops)
             return
         route = self._routes.get(did)
         if route is not None and not route.closed and qh.ttl > 1:
@@ -490,6 +563,11 @@ class PeerNode:
                                 qh.servent_id, ttl=qh.ttl - 1,
                                 hops=qh.hops + 1))
             m.counter("node.queryhit.routed").inc()
+            self._trace(
+                "node.query.route", trace=did.hex(),
+                peer=-1 if route.peer_id is None else route.peer_id,
+                server=ip_to_node(qh.ip),
+            )
         else:
             m.counter("node.queryhit.unroutable").inc()
 
@@ -518,6 +596,7 @@ class PeerNode:
         members = set(state["members"])
         members.discard(self.node_id)
         self.neighbor_views[peer_id] = members
+        self._trace("node.crawl", peer=peer_id, members=len(members))
         return members
 
     async def refresh_neighbor_views(self, settle: float = 0.05) -> None:
@@ -557,7 +636,8 @@ class PeerNode:
             pruned.append(victim)
             self.pruned.append(victim)
             self.metrics.counter("node.prunes").inc()
-            _obs.event("node.prune", node=self.node_id, peer=victim)
+            self._trace("node.prune", peer=victim,
+                        rating=ratings[victim])
             await self._close_connection(self.neighbors[victim])
         return pruned
 
@@ -613,16 +693,43 @@ class PeerNode:
         self._queries[did] = state
         self._remember_seen(did)  # copies looping back are duplicates
         q = Query(did, criteria_for_key(key), ttl=ttl, hops=0)
+        fanout = 0
         for c in self.neighbors.values():
             if not c.closed:
                 c.send(q)
+                fanout += 1
         self.metrics.counter("node.query.originated").inc()
-        _obs.event("node.query", node=self.node_id, key=key, ttl=ttl)
+        self._trace("node.query.origin", trace=did.hex(), key=key,
+                    ttl=ttl, fanout=fanout)
         return state
 
     def finish_query(self, state: LiveQuery) -> None:
         """Drop originator state once its hits have been consumed."""
         self._queries.pop(state.descriptor_id, None)
+
+    # ------------------------------------------------------------------
+    # Runtime telemetry
+    # ------------------------------------------------------------------
+
+    def runtime_stats(self) -> Dict[str, float]:
+        """Point-in-time runtime gauges for a telemetry sampler.
+
+        Everything is cheap to read (table sizes, byte counters) — this
+        is the per-peer input of
+        :class:`repro.obs.health.RuntimeSampler`, polled on an
+        interval by :class:`repro.node.boot.LiveOverlay`.
+        """
+        return {
+            "degree": float(len(self.neighbors)),
+            "route_table": float(len(self._routes)),
+            "seen_table": float(len(self._seen)),
+            "pending_frame_bytes": float(sum(
+                c.framer.pending_bytes for c in self._connections
+            )),
+            "queries_open": float(len(self._queries)),
+            "rx_bytes": float(self.metrics.counter("node.rx.bytes").value),
+            "tx_bytes": float(self.metrics.counter("node.tx.bytes").value),
+        }
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,267 @@
+"""Causal query-tree reconstruction from live per-peer traces.
+
+A live flood leaves a distributed record: every peer's tracer emits
+``node.query.*`` events keyed by the query's 16-byte descriptor ID
+(hex) — the trace/correlation ID, already unique and already flowing on
+every hop of the wire, so correlation costs zero wire-format changes:
+
+* ``node.query.origin`` — the originator's fan-out (root of the tree);
+* ``node.query.rx``     — first delivery at a peer, with the arrival
+  hop (1 = a direct neighbor of the root);
+* ``node.query.dup``    — a suppressed duplicate delivery;
+* ``node.query.fwd``    — the peer re-flooded the query (fan-out size);
+* ``node.query.hit``    — the peer served a QueryHit;
+* ``node.query.hit_rx`` — a hit arrived back at the originator.
+
+:func:`build_query_trees` folds a *merged* event list (from
+:meth:`~repro.node.boot.LiveOverlay.merged_trace` or
+:func:`~repro.obs.merge_traces` over per-peer JSONL sinks) into one
+:class:`QueryTree` per descriptor ID: who forwarded to whom, at which
+hop, with per-hop latency (child's ``rx`` wall time minus the parent's
+``fwd``/``origin`` wall time — all peers share one process clock, so
+the difference is meaningful even though no timestamp crosses the
+wire).  ``repro node trace`` is the CLI wrapper: text report plus a
+Chrome/Perfetto export with one lane per peer and hop edges as flow
+arrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "HopEdge",
+    "QueryTree",
+    "build_query_trees",
+    "format_tree_report",
+]
+
+#: Event kinds that participate in tree reconstruction.
+QUERY_KINDS = (
+    "node.query.origin",
+    "node.query.rx",
+    "node.query.dup",
+    "node.query.fwd",
+    "node.query.hit",
+    "node.query.hit_rx",
+)
+
+
+@dataclass(frozen=True)
+class HopEdge:
+    """One query delivery: ``parent`` sent the query to ``child``.
+
+    ``hop`` is the arrival hop at the child (1 = direct neighbor of the
+    root); ``latency`` the wall-clock seconds from the parent's forward
+    to the child's delivery (None when the parent's forward event is
+    missing from the merged trace); ``duplicate`` marks deliveries the
+    child suppressed.
+    """
+
+    parent: str
+    child: str
+    hop: int
+    latency: Optional[float]
+    duplicate: bool = False
+
+
+@dataclass
+class QueryTree:
+    """The reconstructed causal tree of one flooded query."""
+
+    trace_id: str
+    root: Optional[str] = None
+    key: Optional[int] = None
+    ttl: Optional[int] = None
+    fanout: int = 0
+    #: Peer ident -> arrival hop (the root at hop 0).
+    depth_of: Dict[str, int] = field(default_factory=dict)
+    #: First deliveries — the spanning tree of the flood.
+    edges: List[HopEdge] = field(default_factory=list)
+    #: Suppressed duplicate deliveries (cross edges of the flood).
+    duplicates: List[HopEdge] = field(default_factory=list)
+    #: ``(ident, hop)`` of every peer that served a QueryHit.
+    hits_served: List[Tuple[str, int]] = field(default_factory=list)
+    #: QueryHits that made it back to the originator.
+    hits_delivered: int = 0
+
+    @property
+    def nodes_visited(self) -> int:
+        """Peers that saw the query at least once (root included)."""
+        return len(self.depth_of)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest arrival hop in the tree."""
+        return max(self.depth_of.values(), default=0)
+
+    @property
+    def total_messages(self) -> int:
+        """Query copies delivered (fresh + duplicates) — sim's total."""
+        return len(self.edges) + len(self.duplicates)
+
+    def messages_per_hop(self) -> Dict[int, int]:
+        """Query copies delivered per arrival hop (duplicates included).
+
+        Matches the simulator's ``FloodResult.messages_per_hop``
+        indexing: hop ``h`` counts copies that traversed ``h`` links.
+        """
+        counts: Dict[int, int] = {}
+        for e in self.edges:
+            counts[e.hop] = counts.get(e.hop, 0) + 1
+        for e in self.duplicates:
+            counts[e.hop] = counts.get(e.hop, 0) + 1
+        return counts
+
+    def hop_latencies(self) -> Dict[int, List[float]]:
+        """Per-hop forward latencies of the spanning-tree edges."""
+        out: Dict[int, List[float]] = {}
+        for e in self.edges:
+            if e.latency is not None:
+                out.setdefault(e.hop, []).append(e.latency)
+        return out
+
+    def parent_of(self) -> Dict[str, str]:
+        """Child ident -> parent ident over the spanning-tree edges."""
+        return {e.child: e.parent for e in self.edges}
+
+    @property
+    def complete(self) -> bool:
+        """Whether the tree is fully causally reconstructed.
+
+        Complete means: the origin event is present, every visited
+        peer's parent chain reaches the root, and every hit-serving
+        peer is among the visited — i.e. root and hits are all
+        reachable via parent edges.
+        """
+        if self.root is None:
+            return False
+        parents = self.parent_of()
+        for ident in self.depth_of:
+            seen = set()
+            cur = ident
+            while cur != self.root:
+                if cur in seen or cur not in parents:
+                    return False
+                seen.add(cur)
+                cur = parents[cur]
+        return all(ident in self.depth_of for ident, _ in self.hits_served)
+
+
+def build_query_trees(events: List[dict]) -> List[QueryTree]:
+    """Fold merged trace events into one :class:`QueryTree` per query.
+
+    Two passes so the result does not depend on event order: first
+    collect every peer's forward timestamps, then attach edges.  Trees
+    come back sorted by trace ID (deterministic for seeded runs, whose
+    descriptor IDs are ``make_guid(node_id, counter)``).
+    """
+    trees: Dict[str, QueryTree] = {}
+    #: (trace_id, ident) -> wall time the ident (re-)flooded the query.
+    send_t: Dict[Tuple[str, str], float] = {}
+
+    def tree(trace_id: str) -> QueryTree:
+        if trace_id not in trees:
+            trees[trace_id] = QueryTree(trace_id=trace_id)
+        return trees[trace_id]
+
+    for e in events:
+        kind = e.get("kind")
+        if kind not in ("node.query.origin", "node.query.fwd"):
+            continue
+        trace_id = str(e.get("trace", ""))
+        src = str(e.get("src", e.get("node", "")))
+        if "t" in e:
+            key = (trace_id, src)
+            if key not in send_t:
+                send_t[key] = float(e["t"])
+
+    for e in events:
+        kind = e.get("kind")
+        if kind not in QUERY_KINDS:
+            continue
+        trace_id = str(e.get("trace", ""))
+        src = str(e.get("src", e.get("node", "")))
+        tr = tree(trace_id)
+        if kind == "node.query.origin":
+            tr.root = src
+            tr.key = e.get("key")
+            tr.ttl = e.get("ttl")
+            tr.fanout = int(e.get("fanout", 0))
+            tr.depth_of.setdefault(src, 0)
+        elif kind in ("node.query.rx", "node.query.dup"):
+            parent = str(e.get("peer", ""))
+            hop = int(e.get("hop", 0))
+            latency = None
+            sent = send_t.get((trace_id, parent))
+            if sent is not None and "t" in e:
+                latency = float(e["t"]) - sent
+            edge = HopEdge(parent=parent, child=src, hop=hop,
+                           latency=latency,
+                           duplicate=(kind == "node.query.dup"))
+            if kind == "node.query.rx":
+                tr.depth_of.setdefault(src, hop)
+                tr.edges.append(edge)
+            else:
+                tr.duplicates.append(edge)
+        elif kind == "node.query.hit":
+            tr.hits_served.append((src, int(e.get("hop", 0))))
+        elif kind == "node.query.hit_rx":
+            tr.hits_delivered += 1
+    return [trees[tid] for tid in sorted(trees)]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _latency_summary(values: List[float]) -> str:
+    if not values:
+        return "n/a"
+    ordered = sorted(values)
+    p50 = ordered[len(ordered) // 2]
+    p95 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
+    return (f"n={len(ordered)} p50={_fmt_ms(p50)} "
+            f"p95={_fmt_ms(p95)} max={_fmt_ms(ordered[-1])}")
+
+
+def format_tree_report(trees: List[QueryTree],
+                       n_events: int = 0,
+                       verbose: bool = False) -> str:
+    """Human-readable report of reconstructed query trees."""
+    lines: List[str] = []
+    complete = sum(1 for t in trees if t.complete)
+    lines.append(
+        f"== live query traces: {len(trees)} tree(s), "
+        f"{complete} complete, {n_events} event(s) =="
+    )
+    all_latencies: List[float] = []
+    for tr in trees:
+        hops = tr.messages_per_hop()
+        per_hop = " ".join(
+            f"h{h}:{hops[h]}" for h in sorted(hops)
+        ) or "none"
+        status = "complete" if tr.complete else "INCOMPLETE"
+        lines.append(
+            f"query {tr.trace_id[:16]} root={tr.root} key={tr.key} "
+            f"ttl={tr.ttl}: visited {tr.nodes_visited} node(s), "
+            f"depth {tr.max_depth}, {tr.total_messages} message(s) "
+            f"({len(tr.duplicates)} dup), {len(tr.hits_served)} hit(s) "
+            f"served, {tr.hits_delivered} delivered [{status}]"
+        )
+        lines.append(f"  messages/hop: {per_hop}")
+        for hop, values in sorted(tr.hop_latencies().items()):
+            all_latencies.extend(values)
+            if verbose:
+                lines.append(
+                    f"  hop {hop} latency: {_latency_summary(values)}"
+                )
+        if verbose:
+            for e in tr.edges:
+                lat = "" if e.latency is None else f" ({_fmt_ms(e.latency)})"
+                lines.append(
+                    f"    {e.parent} -> {e.child} @h{e.hop}{lat}"
+                )
+    lines.append(f"hop latency overall: {_latency_summary(all_latencies)}")
+    return "\n".join(lines)

@@ -25,7 +25,13 @@ See docs/OBSERVABILITY.md for the event schema and the metric name
 catalogue.
 """
 
-from repro.obs.health import HealthConfig, HealthSample, HealthSampler
+from repro.obs.health import (
+    HealthConfig,
+    HealthSample,
+    HealthSampler,
+    RuntimeSample,
+    RuntimeSampler,
+)
 from repro.obs.metrics import (
     DEFAULT_EDGES,
     SCHEMA_VERSION,
@@ -54,7 +60,13 @@ from repro.obs.runtime import (
     tracing_active,
 )
 from repro.obs.timeseries import TimeSeries, merge_points
-from repro.obs.tracer import Tracer, merge_traces, read_trace
+from repro.obs.tracer import (
+    Tracer,
+    event_sort_key,
+    merge_events,
+    merge_traces,
+    read_trace,
+)
 
 __all__ = [
     "Counter",
@@ -71,11 +83,15 @@ __all__ = [
     "Tracer",
     "read_trace",
     "merge_traces",
+    "merge_events",
+    "event_sort_key",
     "Profiler",
     "ObsSession",
     "HealthConfig",
     "HealthSample",
     "HealthSampler",
+    "RuntimeSample",
+    "RuntimeSampler",
     "active",
     "configure",
     "disable",

@@ -352,3 +352,118 @@ class HealthSampler:
             largest=row.largest_component_fraction,
             expansion=row.expansion, gap=row.spectral_gap,
         )
+
+
+@dataclass(frozen=True)
+class RuntimeSample:
+    """One runtime-telemetry observation of a set of live peers.
+
+    Totals aggregate every peer's
+    :meth:`repro.node.peer.PeerNode.runtime_stats` row; ``loop_lag_s``
+    is the shared event loop's scheduling lag (how late a timed
+    callback fired), NaN when the driver did not measure it.
+    """
+
+    time: float
+    peers: int
+    loop_lag_s: float
+    degree_total: float
+    route_table_total: float
+    seen_table_total: float
+    pending_frame_bytes_total: float
+    queries_open_total: float
+    rx_bytes_total: float
+    tx_bytes_total: float
+
+
+class RuntimeSampler:
+    """Periodic runtime-telemetry sampler for live asyncio peers.
+
+    The process-level counterpart of :class:`HealthSampler`: where that
+    one watches overlay *structure*, this one watches the *runtime* —
+    event-loop lag, socket byte counters, route/seen-table and
+    pending-frame-buffer occupancy — on the same passive model.  The
+    owner (:class:`repro.node.boot.LiveOverlay`'s telemetry task, or a
+    test) calls :meth:`sample` on its own clock with each peer's
+    ``runtime_stats()`` dict; the sampler records ``TimeSeries`` points
+    and gauges under ``<prefix>.*`` plus a ``<prefix>.loop_lag_s``
+    quantile histogram, and appends a :class:`RuntimeSample` row.
+
+    Metrics go to an explicit :class:`MetricsRegistry` when one is
+    given (a live overlay's telemetry registry, merged alongside the
+    per-peer ``node.*`` registries); otherwise to the process-global
+    obs session, where no-session means rows-only — same contract as
+    :class:`HealthSampler`.
+    """
+
+    def __init__(self, registry=None, prefix: str = "node.runtime"):
+        self.registry = registry
+        self.prefix = prefix
+        self.samples: List[RuntimeSample] = []
+
+    def _record_point(self, name: str, t: float, value: float) -> None:
+        if self.registry is not None:
+            self.registry.timeseries(name).record(t, value)
+        else:
+            _obs.record(name, t, value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name).set(value)
+        else:
+            _obs.gauge(name, value)
+
+    def sample(
+        self,
+        t: float,
+        peer_stats,
+        loop_lag_s: float = float("nan"),
+    ) -> RuntimeSample:
+        """Aggregate one telemetry observation at time ``t``.
+
+        ``peer_stats`` maps a peer ident to its ``runtime_stats()``
+        dict (any mapping of stat name to float).  Timestamps follow
+        the driver's clock — wall-clock seconds from the live overlay.
+        """
+        totals = {
+            "degree": 0.0, "route_table": 0.0, "seen_table": 0.0,
+            "pending_frame_bytes": 0.0, "queries_open": 0.0,
+            "rx_bytes": 0.0, "tx_bytes": 0.0,
+        }
+        n_peers = 0
+        for stats in peer_stats.values():
+            n_peers += 1
+            for key in totals:
+                totals[key] += float(stats.get(key, 0.0))
+        row = RuntimeSample(
+            time=float(t),
+            peers=n_peers,
+            loop_lag_s=float(loop_lag_s),
+            degree_total=totals["degree"],
+            route_table_total=totals["route_table"],
+            seen_table_total=totals["seen_table"],
+            pending_frame_bytes_total=totals["pending_frame_bytes"],
+            queries_open_total=totals["queries_open"],
+            rx_bytes_total=totals["rx_bytes"],
+            tx_bytes_total=totals["tx_bytes"],
+        )
+        self.samples.append(row)
+        p = self.prefix
+        if self.registry is not None:
+            self.registry.counter(f"{p}.samples").inc()
+        else:
+            _obs.count(f"{p}.samples")
+        for key, value in totals.items():
+            # Trajectory under the plain name (HealthSampler convention),
+            # latest value as a distinct gauge for report/top views.
+            self._record_point(f"{p}.{key}", row.time, value)
+            self._gauge(f"{p}.{key}.last", value)
+        if not np.isnan(row.loop_lag_s):
+            self._record_point(f"{p}.loop_lag_s", row.time, row.loop_lag_s)
+            if self.registry is not None:
+                self.registry.quantile(f"{p}.loop_lag_s.q").observe(
+                    row.loop_lag_s
+                )
+            else:
+                _obs.quantile(f"{p}.loop_lag_s.q", row.loop_lag_s)
+        return row

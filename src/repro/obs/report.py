@@ -349,9 +349,45 @@ def _tracer_events_to_chrome(events: List[dict]) -> List[dict]:
     the event's virtual time ``t`` in microseconds, and a thread-name
     metadata record labels the lane, so a query's hop tree reads as one
     horizontal track in chrome://tracing / Perfetto.
+
+    Events that instead carry a ``src`` tracer identity (a merged
+    multi-tracer trace — live per-peer sinks, parallel shards) get
+    **one lane per source** on a second process (pid 2): lanes order
+    naturally (peer "10" after "2"), ``ts`` is the event's ``t``
+    normalized to the earliest sourced event, and each lane's metadata
+    label names the timebase — ``[wall]`` for live wall-clock traces
+    (``tb: "wall"``), ``[virtual]`` for simulator time — so mixed
+    exports are visibly mixed rather than silently conflated.  Live
+    query hop edges (``node.query.origin``/``fwd`` -> ``rx``/``dup``
+    with a shared ``trace`` correlation ID) additionally become Chrome
+    flow arrows between the sender's and receiver's lanes, drawing the
+    flood's causal tree across peers.
     """
     out = []
     query_lanes: List[int] = []
+
+    def _has_query_lane(event: dict) -> bool:
+        qid = event.get("query_id")
+        return isinstance(qid, int) and not isinstance(qid, bool)
+
+    # Per-src lanes: assign tids in natural src order, normalize t.
+    srcs = sorted(
+        {str(e["src"]) for e in events
+         if "src" in e and not _has_query_lane(e)},
+        key=lambda s: (0, int(s), "") if s.isdigit() else (1, 0, s),
+    )
+    src_tid = {s: i + 1 for i, s in enumerate(srcs)}
+    src_timebase: Dict[str, str] = {}
+    src_t = [
+        float(e["t"]) for e in events
+        if "t" in e and "src" in e and not _has_query_lane(e)
+    ]
+    t0 = min(src_t) if src_t else 0.0
+
+    #: (trace, src) -> (ts, tid) of the sender's origin/fwd record.
+    flow_sends: Dict[Tuple[str, str], Tuple[float, int]] = {}
+    flow_edges: List[Tuple[Tuple[float, int], Tuple[float, int]]] = []
+
     for event in events:
         args = {k: v for k, v in event.items() if k not in ("seq", "kind")}
         record = {
@@ -364,13 +400,34 @@ def _tracer_events_to_chrome(events: List[dict]) -> List[dict]:
             "tid": 1,
             "args": args,
         }
-        qid = event.get("query_id")
-        if isinstance(qid, int) and not isinstance(qid, bool):
+        if _has_query_lane(event):
+            qid = event["query_id"]
             record["tid"] = qid + 2  # lane 1 stays the un-correlated stream
             if "t" in event:
                 record["ts"] = float(event["t"]) * 1e6
             if qid not in query_lanes:
                 query_lanes.append(qid)
+        elif "src" in event:
+            src = str(event["src"])
+            record["pid"] = 2
+            record["tid"] = src_tid[src]
+            if "t" in event:
+                record["ts"] = (float(event["t"]) - t0) * 1e6
+            src_timebase.setdefault(
+                src, "wall" if event.get("tb") == "wall" else "virtual"
+            )
+            kind = event.get("kind")
+            trace_id = event.get("trace")
+            if trace_id is not None:
+                pos = (record["ts"], record["tid"])
+                if kind in ("node.query.origin", "node.query.fwd"):
+                    flow_sends.setdefault((str(trace_id), src), pos)
+                elif kind in ("node.query.rx", "node.query.dup"):
+                    sender = flow_sends.get(
+                        (str(trace_id), str(event.get("peer", "")))
+                    )
+                    if sender is not None:
+                        flow_edges.append((sender, pos))
         out.append(record)
     for qid in query_lanes:
         out.append({
@@ -380,6 +437,37 @@ def _tracer_events_to_chrome(events: List[dict]) -> List[dict]:
             "tid": qid + 2,
             "args": {"name": f"query {qid}"},
         })
+    for src in srcs:
+        tb = src_timebase.get(src, "virtual")
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": src_tid[src],
+            "args": {"name": f"src {src} [{tb}]"},
+        })
+    if srcs:
+        out.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "args": {"name": "trace sources"},
+        })
+    for flow_id, (sender, receiver) in enumerate(flow_edges):
+        for ph, (ts, tid) in (("s", sender), ("f", receiver)):
+            rec = {
+                "name": "query.hop",
+                "cat": "flow",
+                "ph": ph,
+                "id": flow_id,
+                "ts": ts,
+                "pid": 2,
+                "tid": tid,
+            }
+            if ph == "f":
+                rec["bp"] = "e"
+            out.append(rec)
     return out
 
 
@@ -402,6 +490,26 @@ def _profile_timeline_to_chrome(timeline: List[dict]) -> List[dict]:
             "args": {"path": path},
         })
     return out
+
+
+def write_chrome_trace(events: List[dict], out_path: str,
+                       source: str = "merged-trace") -> int:
+    """Write an in-memory tracer event list as Chrome trace JSON.
+
+    The programmatic counterpart of :func:`export_chrome_trace` for
+    callers that already merged events (``repro node trace --export``);
+    returns the number of Chrome records written.
+    """
+    chrome = _tracer_events_to_chrome(events)
+    out = {
+        "traceEvents": chrome,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": source, "converter": "repro obs (trace)"},
+    }
+    with open(out_path, "w") as fh:
+        json.dump(out, fh)
+        fh.write("\n")
+    return len(chrome)
 
 
 def export_chrome_trace(in_path: str, out_path: str) -> Tuple[int, str]:

@@ -21,17 +21,56 @@ events, but two tracers (e.g. parallel shards each writing their own
 JSONL sink) restart from zero, so a naive concatenation has ambiguous
 ties.  Give each tracer an ``ident`` and every event carries it as
 ``src``; :func:`merge_traces` then orders a set of trace files
-deterministically by ``(t, src, seq)`` — virtual time when events carry
-one, identity then sequence as tie-breakers — so a merged trace is
+deterministically by ``(t, src, seq)`` — time when events carry one,
+identity then sequence as tie-breakers — so a merged trace is
 byte-stable regardless of file order.
+
+Two timebases flow through the same ``t`` field and must not be mixed
+within one merge:
+
+* **virtual** — simulator event time (latency-model seconds from the
+  start of the run).  This is the default; events carry no marker.
+* **wall** — live-runtime wall-clock seconds (``time.time()``).  A
+  tracer constructed with ``timebase="wall"`` stamps every event with
+  ``t`` at emit plus ``tb: "wall"`` so downstream tooling (merging,
+  Chrome export) can label lanes with the correct timebase instead of
+  silently conflating the two.
+
+Wall-clock ties are real — several asyncio peers in one process can
+observe the same ``time.time()`` float — so :func:`merge_traces` breaks
+them by ``src`` (numeric idents compare numerically: peer ``"10"``
+sorts after ``"2"``) and then per-tracer ``seq``, which makes the merged
+order deterministic even for simultaneous events.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterator, List, Optional, Union
+import time
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.metrics import _jsonable
+
+
+def event_sort_key(event: dict) -> Tuple:
+    """Deterministic total order for trace events: ``(t, src, seq)``.
+
+    ``t`` first (events without one sort ahead as pure-causal events);
+    then ``src`` with *natural* ordering — all-digit idents compare as
+    integers so live peer ``"10"`` lands after ``"2"``, not between
+    ``"1"`` and ``"2"`` — with non-numeric idents after numeric ones in
+    plain string order; then the per-tracer ``seq``.
+    """
+    src = str(event.get("src", ""))
+    if src.isdigit():
+        src_key = (0, int(src), "")
+    else:
+        src_key = (1, 0, src)
+    return (
+        float(event["t"]) if "t" in event else float("-inf"),
+        src_key,
+        int(event.get("seq", 0)),
+    )
 
 
 class Tracer:
@@ -48,20 +87,30 @@ class Tracer:
         event.  Lines are written on emit; call :meth:`close` (or use the
         CLI/ runtime helpers, which do) to flush.
     ident:
-        Optional tracer identity (e.g. ``"shard2"``).  When set, every
-        event is stamped with it as ``src``, which is what lets
-        :func:`merge_traces` break ``seq`` ties deterministically when
-        combining traces from several tracers.
+        Optional tracer identity (e.g. ``"shard2"`` or a live peer's
+        node id).  When set, every event is stamped with it as ``src``,
+        which is what lets :func:`merge_traces` break ``seq`` ties
+        deterministically when combining traces from several tracers.
+    timebase:
+        ``None`` (default) leaves timestamps entirely to the emitter —
+        the simulator passes virtual ``t`` explicitly.  ``"wall"``
+        stamps every event with ``t = time.time()`` (unless the emitter
+        already supplied a ``t``) plus ``tb: "wall"``, marking the trace
+        as wall-clock so merge/export tooling never silently mixes it
+        with virtual-time traces.
     """
 
     def __init__(
         self, capacity: int = 65536, sink: Union[None, str, IO[str]] = None,
-        ident: Optional[str] = None,
+        ident: Optional[str] = None, timebase: Optional[str] = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if timebase not in (None, "wall"):
+            raise ValueError(f"timebase must be None or 'wall', got {timebase!r}")
         self.capacity = capacity
         self.ident = ident
+        self.timebase = timebase
         self._buf: List[dict] = []
         self._start = 0  # ring read position once the buffer wraps
         self._seq = 0
@@ -76,6 +125,10 @@ class Tracer:
         event = {"seq": self._seq, "kind": kind}
         if self.ident is not None:
             event["src"] = self.ident
+        if self.timebase == "wall":
+            t = fields.pop("t", None)
+            event["t"] = time.time() if t is None else float(t)
+            event["tb"] = "wall"
         for key, value in fields.items():
             event[key] = _jsonable(value)
         self._seq += 1
@@ -152,26 +205,44 @@ def read_trace(path: str, kind: Optional[str] = None) -> List[dict]:
     return events
 
 
+def merge_events(
+    *event_lists: Iterable[dict], kind: Optional[str] = None,
+) -> List[dict]:
+    """Merge in-memory event lists into one :func:`event_sort_key` order.
+
+    The in-process counterpart of :func:`merge_traces` — live overlays
+    hand over each peer tracer's ring buffer directly instead of going
+    through JSONL files.  The sort is stable, so events that tie on all
+    three keys keep their input order.
+    """
+    events: List[dict] = []
+    for batch in event_lists:
+        if kind is None:
+            events.extend(batch)
+        else:
+            events.extend(e for e in batch if e.get("kind") == kind)
+    events.sort(key=event_sort_key)
+    return events
+
+
 def merge_traces(*paths: str, kind: Optional[str] = None) -> List[dict]:
     """Combine several JSONL traces into one deterministically ordered list.
 
-    Events order by ``(t, src, seq)``: virtual time first when present
-    (events without a ``t`` sort ahead, as pure-causal events), then
-    tracer identity (``src``, empty when the tracer had no ``ident``),
-    then the per-tracer ``seq``.  The sort is stable, so
-    events that tie on all three keep their input order.  This gives a
-    byte-stable merged trace regardless of the order the shard files are
-    passed in — the fix for per-tracer ``seq`` restarting at zero in
-    every shard.
+    Events order by :func:`event_sort_key` — ``(t, src, seq)``: time
+    first when present (events without a ``t`` sort ahead, as
+    pure-causal events), then tracer identity (``src``, natural order
+    for numeric idents, empty when the tracer had no ``ident``), then
+    the per-tracer ``seq``.  The sort is stable, so events that tie on
+    all three keep their input order.  This gives a byte-stable merged
+    trace regardless of the order the shard files are passed in — the
+    fix for per-tracer ``seq`` restarting at zero in every shard.
+
+    Live (wall-clock) sinks tie for real: peers in one process can
+    observe identical ``time.time()`` floats, and the ``(src, seq)``
+    tie-break is what keeps the merged order deterministic run to run.
+    Do not merge wall-clock (``tb: "wall"``) and virtual-time traces in
+    one call — the ``t`` axes are incomparable.
     """
-    events: List[dict] = []
-    for path in paths:
-        events.extend(read_trace(path, kind=kind))
-    events.sort(
-        key=lambda e: (
-            float(e["t"]) if "t" in e else float("-inf"),
-            str(e.get("src", "")),
-            int(e.get("seq", 0)),
-        )
+    return merge_events(
+        *(read_trace(path, kind=kind) for path in paths)
     )
-    return events

@@ -132,6 +132,41 @@ class TestRunParity:
         assert report.live_snapshot["gauges"][
             "parity.divergence.edge_mismatch"] == 0.0
 
+    def test_per_hop_counts_match_exactly(self):
+        report = run_parity(SCENARIO)
+        sim = report.sim_snapshot["counters"]
+        live = report.live_snapshot["counters"]
+        hop_names = [f"parity.hop.messages.{h:02d}"
+                     for h in range(1, SCENARIO.ttl + 1)]
+        # Every hop in 1..ttl is present on BOTH arms (zeros explicit),
+        # so a structural drift at any depth always gates.
+        for name in hop_names:
+            assert name in sim, name
+            assert name in live, name
+            assert sim[name] == live[name], name
+        # Sanity: the per-hop decomposition sums to the gated total.
+        assert sum(sim[n] for n in hop_names) == sim["parity.messages_total"]
+
+    def test_tracing_leaves_gated_totals_bit_identical(self):
+        plain = run_parity(SCENARIO)
+        traced = run_parity(SCENARIO, trace=True)
+        gated_prefixes = ("parity.",)
+        for snap_name in ("sim_snapshot", "live_snapshot"):
+            a = getattr(plain, snap_name)
+            b = getattr(traced, snap_name)
+            for table in ("counters", "gauges"):
+                a_gated = {k: v for k, v in a[table].items()
+                           if k.startswith(gated_prefixes)}
+                b_gated = {k: v for k, v in b[table].items()
+                           if k.startswith(gated_prefixes)}
+                assert a_gated == b_gated, (snap_name, table)
+        # The traced run's causal record is readable from the report.
+        events = traced.overlay.merged_trace()
+        assert events
+        assert plain.overlay.tracing is False
+        with pytest.raises(RuntimeError):
+            plain.overlay.merged_trace()
+
     def test_live_snapshot_carries_node_counters(self):
         report = run_parity(SCENARIO)
         live = report.live_snapshot["counters"]

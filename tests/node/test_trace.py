@@ -1,0 +1,253 @@
+"""Causal query-tree reconstruction: unit, live-integration and CLI tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import makalu_graph
+from repro.node import (
+    HopEdge,
+    QueryTree,
+    build_query_trees,
+    format_tree_report,
+    run_live_workload,
+)
+from repro.obs import merge_traces
+from repro.search.flooding import draw_query_workload, flood
+from repro.search.replication import place_objects
+
+
+def _ev(kind, src, t, **fields):
+    ev = {"seq": 0, "kind": kind, "src": src, "t": t, "tb": "wall"}
+    ev.update(fields)
+    return ev
+
+
+def synthetic_flood_events():
+    """A hand-built 4-peer flood: 0 -> {1, 2}; 1 -> 3; 2 -> 3 (dup)."""
+    return [
+        _ev("node.query.origin", "0", 10.0, trace="aa", key=7, ttl=3,
+            fanout=2),
+        _ev("node.query.rx", "1", 10.001, trace="aa", peer="0", hop=1,
+            ttl=2),
+        _ev("node.query.rx", "2", 10.002, trace="aa", peer="0", hop=1,
+            ttl=2),
+        _ev("node.query.fwd", "1", 10.0015, trace="aa", hop=1, fanout=1),
+        _ev("node.query.fwd", "2", 10.0025, trace="aa", hop=1, fanout=1),
+        _ev("node.query.rx", "3", 10.003, trace="aa", peer="1", hop=2,
+            ttl=1),
+        _ev("node.query.dup", "3", 10.004, trace="aa", peer="2", hop=2),
+        _ev("node.query.hit", "3", 10.0031, trace="aa", key=7, hop=2),
+        _ev("node.query.hit_rx", "0", 10.006, trace="aa", server="3",
+            hops=2),
+    ]
+
+
+class TestQueryTreeUnit:
+    def test_synthetic_tree_reconstruction(self):
+        trees = build_query_trees(synthetic_flood_events())
+        assert len(trees) == 1
+        tr = trees[0]
+        assert tr.trace_id == "aa"
+        assert tr.root == "0"
+        assert tr.key == 7 and tr.ttl == 3 and tr.fanout == 2
+        assert tr.depth_of == {"0": 0, "1": 1, "2": 1, "3": 2}
+        assert tr.nodes_visited == 4
+        assert tr.max_depth == 2
+        assert tr.total_messages == 4  # 3 fresh + 1 duplicate
+        assert tr.messages_per_hop() == {1: 2, 2: 2}
+        assert tr.parent_of() == {"1": "0", "2": "0", "3": "1"}
+        assert tr.hits_served == [("3", 2)]
+        assert tr.hits_delivered == 1
+        assert tr.complete
+
+    def test_latencies_join_parent_send_to_child_rx(self):
+        trees = build_query_trees(synthetic_flood_events())
+        lat = trees[0].hop_latencies()
+        # Hop 1 children joined against the origin's t=10.0.
+        assert lat[1] == pytest.approx([0.001, 0.002])
+        # Hop 2 child joined against peer 1's fwd at t=10.0015.
+        assert lat[2] == pytest.approx([0.0015])
+
+    def test_event_order_does_not_matter(self):
+        events = synthetic_flood_events()
+        reordered = list(reversed(events))
+        a = build_query_trees(events)[0]
+        b = build_query_trees(reordered)[0]
+        assert a.depth_of == b.depth_of
+        assert a.messages_per_hop() == b.messages_per_hop()
+        assert ({h: sorted(v) for h, v in a.hop_latencies().items()}
+                == {h: sorted(v) for h, v in b.hop_latencies().items()})
+        assert a.complete and b.complete
+
+    def test_missing_origin_is_incomplete(self):
+        events = [e for e in synthetic_flood_events()
+                  if e["kind"] != "node.query.origin"]
+        tr = build_query_trees(events)[0]
+        assert tr.root is None
+        assert not tr.complete
+
+    def test_broken_parent_chain_is_incomplete(self):
+        events = [e for e in synthetic_flood_events()
+                  if not (e["kind"] == "node.query.rx"
+                          and e["src"] == "1")]
+        tr = build_query_trees(events)[0]
+        # Peer 3's parent (1) never registered an rx: chain is dangling.
+        assert not tr.complete
+
+    def test_unserved_hit_is_incomplete(self):
+        tr = QueryTree(trace_id="x", root="0")
+        tr.depth_of = {"0": 0}
+        tr.hits_served = [("9", 2)]
+        assert not tr.complete
+
+    def test_multiple_queries_sorted_by_trace_id(self):
+        events = synthetic_flood_events()
+        events.append(_ev("node.query.origin", "5", 11.0, trace="0b",
+                          key=1, ttl=2, fanout=0))
+        trees = build_query_trees(events)
+        assert [t.trace_id for t in trees] == ["0b", "aa"]
+
+    def test_report_mentions_counts_and_status(self):
+        trees = build_query_trees(synthetic_flood_events())
+        text = format_tree_report(trees, n_events=9)
+        assert "1 tree(s), 1 complete, 9 event(s)" in text
+        assert "root=0" in text
+        assert "h1:2 h2:2" in text
+        assert "[complete]" in text
+        verbose = format_tree_report(trees, n_events=9, verbose=True)
+        assert "0 -> 1 @h1" in verbose
+
+
+class TestLiveTrace:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        graph = makalu_graph(n_nodes=12, seed=5)
+        placement = place_objects(graph.n_nodes, 4, 0.2, seed=7)
+        sources, objects = draw_query_workload(graph, placement, 3, seed=9)
+        results, overlay = run_live_workload(
+            graph, placement, sources, objects, 6, trace=True
+        )
+        return graph, placement, sources, objects, results, overlay
+
+    def test_every_flood_reconstructs_completely(self, traced_run):
+        *_, overlay = traced_run
+        trees = build_query_trees(overlay.merged_trace())
+        assert len(trees) == 3
+        assert all(t.complete for t in trees)
+
+    def test_tree_accounting_matches_live_results(self, traced_run):
+        _, _, sources, _, results, overlay = traced_run
+        trees = build_query_trees(overlay.merged_trace())
+        by_root = {t.root: t for t in trees}
+        for live, src in zip(results, sources):
+            tr = by_root[str(int(src))]
+            assert tr.total_messages == live.total_messages
+            assert len(tr.duplicates) == live.duplicates
+            assert tr.nodes_visited == live.nodes_visited
+            assert tr.hits_delivered == live.replicas_found
+
+    def test_per_hop_counts_match_sim(self, traced_run):
+        graph, placement, sources, objects, _, overlay = traced_run
+        trees = build_query_trees(overlay.merged_trace())
+        by_root = {t.root: t for t in trees}
+        for src, obj in zip(sources, objects):
+            sim = flood(graph, int(src), 6,
+                        replica_mask=placement.holder_mask(int(obj)))
+            expected = {
+                h: int(c)
+                for h, c in enumerate(sim.messages_per_hop, start=1) if c
+            }
+            assert by_root[str(int(src))].messages_per_hop() == expected
+
+    def test_latencies_are_positive_wall_deltas(self, traced_run):
+        *_, overlay = traced_run
+        trees = build_query_trees(overlay.merged_trace())
+        n = 0
+        for tr in trees:
+            for values in tr.hop_latencies().values():
+                assert all(v >= 0 for v in values)
+                n += len(values)
+        assert n > 0
+
+    def test_events_carry_wall_timebase_and_src(self, traced_run):
+        *_, overlay = traced_run
+        for e in overlay.merged_trace("node.query.rx"):
+            assert e["tb"] == "wall"
+            assert isinstance(e["src"], str)
+            assert isinstance(e["t"], float)
+
+
+class TestTraceSinks:
+    def test_trace_dir_roundtrip(self, tmp_path):
+        graph = makalu_graph(n_nodes=10, seed=3)
+        placement = place_objects(graph.n_nodes, 4, 0.2, seed=5)
+        sources, objects = draw_query_workload(graph, placement, 2, seed=9)
+        sink_dir = str(tmp_path / "sinks")
+        _, overlay = run_live_workload(
+            graph, placement, sources, objects, 6, trace_dir=sink_dir
+        )
+        files = sorted(os.listdir(sink_dir))
+        assert files == sorted(f"peer-{u}.jsonl" for u in range(10))
+        merged = merge_traces(*(os.path.join(sink_dir, f) for f in files))
+        in_memory = overlay.merged_trace()
+        # The file round trip preserves the merged stream exactly.
+        assert merged == in_memory
+        trees = build_query_trees(merged)
+        assert len(trees) == 2 and all(t.complete for t in trees)
+
+    def test_write_merged_trace(self, tmp_path):
+        graph = makalu_graph(n_nodes=8, seed=3)
+        placement = place_objects(graph.n_nodes, 2, 0.25, seed=5)
+        sources, objects = draw_query_workload(graph, placement, 1, seed=9)
+        _, overlay = run_live_workload(
+            graph, placement, sources, objects, 6, trace=True
+        )
+        out = str(tmp_path / "merged.jsonl")
+        n = overlay.write_merged_trace(out)
+        with open(out) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert len(lines) == n == len(overlay.merged_trace())
+        assert lines == overlay.merged_trace()
+
+    def test_untraced_overlay_refuses_merged_trace(self):
+        graph = makalu_graph(n_nodes=8, seed=3)
+        placement = place_objects(graph.n_nodes, 2, 0.25, seed=5)
+        sources, objects = draw_query_workload(graph, placement, 1, seed=9)
+        _, overlay = run_live_workload(
+            graph, placement, sources, objects, 6
+        )
+        with pytest.raises(RuntimeError):
+            overlay.merged_trace()
+
+
+class TestByPeerAndHopLatencyMetrics:
+    @pytest.fixture(scope="class")
+    def merged(self):
+        graph = makalu_graph(n_nodes=12, seed=5)
+        placement = place_objects(graph.n_nodes, 4, 0.2, seed=7)
+        sources, objects = draw_query_workload(graph, placement, 3, seed=9)
+        _, overlay = run_live_workload(
+            graph, placement, sources, objects, 6, trace=True
+        )
+        return overlay
+
+    def test_by_peer_breakdown_capped_to_top_k(self, merged):
+        snap = merged.merged_registry(top_peers=4).snapshot()
+        idents = {name.split(".")[2]
+                  for name in snap["gauges"]
+                  if name.startswith("node.by_peer.")}
+        assert len(idents) == 4
+        for ident in idents:
+            assert snap["gauges"][f"node.by_peer.{ident}.traffic_bytes"] > 0
+            assert f"node.by_peer.{ident}.degree" in snap["gauges"]
+
+    def test_hop_latency_quantiles_present_when_traced(self, merged):
+        snap = merged.merged_registry().snapshot()
+        q = snap["quantiles"]["node.hop.latency_s"]
+        assert q["count"] > 0
+        assert q["min"] >= 0
+        per_hop = [k for k in snap["quantiles"]
+                   if k.startswith("node.hop.latency_s.0")]
+        assert per_hop  # at least hop 01

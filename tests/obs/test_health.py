@@ -9,11 +9,13 @@ from repro.core.membership import MembershipService
 from repro.obs.health import (
     HealthConfig,
     HealthSampler,
+    RuntimeSampler,
     cache_staleness,
     expansion_sample,
     neighborhood_staleness,
     spectral_gap_estimate,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.topology import k_regular_graph
 from repro.topology.graph import OverlayGraph
 
@@ -220,6 +222,57 @@ class TestHealthSampler:
         sampler = HealthSampler(rng=0)
         sampler.sample(t=0.0, graph=ring_graph(8))
         assert len(sampler.samples) == 1
+
+
+class TestRuntimeSampler:
+    STATS = {
+        "3": {"degree": 4, "route_table": 2, "seen_table": 10,
+              "pending_frame_bytes": 0, "queries_open": 1,
+              "rx_bytes": 900, "tx_bytes": 700},
+        "7": {"degree": 6, "route_table": 1, "seen_table": 12,
+              "pending_frame_bytes": 5, "queries_open": 0,
+              "rx_bytes": 100, "tx_bytes": 300},
+    }
+
+    def test_aggregates_totals_into_registry(self):
+        reg = MetricsRegistry()
+        sampler = RuntimeSampler(registry=reg)
+        row = sampler.sample(t=10.0, peer_stats=self.STATS,
+                             loop_lag_s=0.002)
+        assert row.peers == 2
+        assert row.degree_total == 10
+        assert row.rx_bytes_total == 1000
+        assert row.tx_bytes_total == 1000
+        assert row.pending_frame_bytes_total == 5
+        snap = reg.snapshot()
+        assert snap["counters"]["node.runtime.samples"] == 1
+        # Trajectory under the plain name, latest value as a gauge.
+        assert snap["timeseries"]["node.runtime.degree"]["points"] == \
+            [[10.0, 10.0]]
+        assert snap["gauges"]["node.runtime.degree.last"] == 10.0
+        assert snap["quantiles"]["node.runtime.loop_lag_s.q"]["count"] == 1
+
+    def test_nan_lag_not_observed(self):
+        reg = MetricsRegistry()
+        sampler = RuntimeSampler(registry=reg)
+        sampler.sample(t=0.0, peer_stats=self.STATS)
+        snap = reg.snapshot()
+        assert "node.runtime.loop_lag_s" not in snap["timeseries"]
+        assert "node.runtime.loop_lag_s.q" not in snap["quantiles"]
+
+    def test_no_registry_falls_back_to_session(self):
+        with obs.observed() as session:
+            RuntimeSampler().sample(t=1.0, peer_stats=self.STATS,
+                                    loop_lag_s=0.001)
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["node.runtime.samples"] == 1
+        assert "node.runtime.rx_bytes" in snap["timeseries"]
+
+    def test_no_session_still_accumulates_rows(self):
+        sampler = RuntimeSampler()
+        sampler.sample(t=0.0, peer_stats={})
+        assert len(sampler.samples) == 1
+        assert sampler.samples[0].peers == 0
 
 
 class TestMakaluMaintenanceHook:

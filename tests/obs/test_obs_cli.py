@@ -366,3 +366,70 @@ class TestExportTrace:
         lanes = {e["tid"]: e["args"]["name"] for e in events
                  if e.get("ph") == "M" and e["name"] == "thread_name"}
         assert lanes == {2: "query 0", 6: "query 4"}
+
+    def test_sourced_events_get_per_peer_lanes(self, tmp_path):
+        """Merged live-node events (``src``-stamped, wall-clock) land in
+        one pid-2 lane per peer, naturally ordered (peer 10 after peer
+        2), with the lane's timebase labelled in the thread name."""
+        src = tmp_path / "merged.jsonl"
+        rows = [
+            {"seq": 0, "kind": "node.handshake", "src": "2",
+             "t": 100.0, "tb": "wall", "peer": 10},
+            {"seq": 0, "kind": "node.handshake", "src": "10",
+             "t": 100.001, "tb": "wall", "peer": 2},
+            {"seq": 1, "kind": "node.crawl", "src": "2",
+             "t": 100.002, "tb": "wall", "peer": 10},
+        ]
+        with src.open("w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+        out = tmp_path / "out.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+
+        sourced = [e for e in events if e.get("ph") == "i"]
+        assert all(e["pid"] == 2 for e in sourced)
+        by_src = {}
+        for e in sourced:
+            by_src.setdefault(e["args"]["src"], set()).add(e["tid"])
+        # One lane per peer, natural numeric order: 2 before 10.
+        assert by_src["2"] != by_src["10"]
+        assert min(by_src["2"]) < min(by_src["10"])
+        # ts is relative to the earliest sourced event, in microseconds.
+        first = min(sourced, key=lambda e: e["ts"])
+        assert first["ts"] == pytest.approx(0.0)
+
+        lanes = {e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "thread_name"
+                 and e.get("pid") == 2}
+        assert lanes == {"src 2 [wall]", "src 10 [wall]"}
+
+    def test_query_hops_become_flow_events(self, tmp_path):
+        """A forward at peer A joined to an arrival at peer B becomes a
+        Chrome flow arrow (ph 's' at the sender, ph 'f' at the
+        receiver) so Perfetto draws the causal hop across lanes."""
+        src = tmp_path / "merged.jsonl"
+        rows = [
+            {"seq": 0, "kind": "node.query.origin", "src": "0",
+             "t": 10.0, "tb": "wall", "trace": "ab", "key": 1,
+             "ttl": 3, "fanout": 1},
+            {"seq": 0, "kind": "node.query.rx", "src": "1",
+             "t": 10.002, "tb": "wall", "trace": "ab", "peer": "0",
+             "hop": 1, "ttl": 2},
+        ]
+        with src.open("w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+        out = tmp_path / "out.json"
+        assert main(["obs", "export-trace", str(src), "--out", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+
+        starts = [e for e in events if e.get("ph") == "s"]
+        ends = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == 1 and len(ends) == 1
+        assert starts[0]["id"] == ends[0]["id"]
+        assert starts[0]["cat"] == ends[0]["cat"] == "flow"
+        assert ends[0]["bp"] == "e"
+        # The arrow goes from the origin's lane to the receiver's lane.
+        assert starts[0]["tid"] != ends[0]["tid"]
+        assert starts[0]["ts"] < ends[0]["ts"]

@@ -1,9 +1,11 @@
 """Unit tests for the event tracer (repro.obs.tracer)."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.obs import Tracer, merge_traces, read_trace
+from repro.obs import Tracer, merge_events, merge_traces, read_trace
 
 
 class TestRingBuffer:
@@ -119,3 +121,49 @@ class TestIdentAndMerge:
             t.emit("x", t=1.0)
             t.emit("y", t=2.0)
         assert [e["kind"] for e in merge_traces(path, kind="y")] == ["y"]
+
+    def test_numeric_idents_merge_in_natural_order(self, tmp_path):
+        """Peer '10' is after peer '2': all-numeric idents compare as
+        integers, so a live overlay's merge order never depends on the
+        lexicographic accident of its node-id widths."""
+        paths = []
+        for ident in ("10", "2", "1"):
+            path = str(tmp_path / f"peer-{ident}.jsonl")
+            with Tracer(sink=path, ident=ident) as t:
+                t.emit("k", t=5.0)
+            paths.append(path)
+        merged = merge_traces(*paths)
+        assert [e["src"] for e in merged] == ["1", "2", "10"]
+
+    def test_merge_events_in_memory(self):
+        ta, tb = Tracer(ident="1"), Tracer(ident="2")
+        ta.emit("k", t=2.0)
+        tb.emit("k", t=1.0)
+        merged = merge_events(ta.events(), tb.events())
+        assert [e["src"] for e in merged] == ["2", "1"]
+        assert merge_events(tb.events(), ta.events()) == merged
+
+
+class TestWallTimebase:
+    def test_wall_tracer_stamps_t_and_tb(self):
+        t = Tracer(ident="3", timebase="wall")
+        before = time.time()
+        event = t.emit("k")
+        after = time.time()
+        assert before <= event["t"] <= after
+        assert event["tb"] == "wall"
+
+    def test_explicit_t_wins_but_keeps_label(self):
+        t = Tracer(timebase="wall")
+        event = t.emit("k", t=42.5)
+        assert event["t"] == 42.5
+        assert event["tb"] == "wall"
+
+    def test_default_tracer_never_stamps(self):
+        t = Tracer()
+        event = t.emit("k")
+        assert "t" not in event and "tb" not in event
+
+    def test_unknown_timebase_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(timebase="virtual")

@@ -1,0 +1,82 @@
+"""Property test: one recoverable framer fault -> exactly one trace event.
+
+A correctly framed message whose payload fails to decode is a
+*recoverable* fault: the framer drops that one frame, bumps
+``decode_errors``, and keeps decoding.  The tracing layer must mirror
+that accounting exactly — one ``frame.drop`` event per fault, no matter
+how the byte stream is split into read chunks — because the causal-tree
+tooling treats ``frame.drop`` counts as ground truth for wire health.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.node import StreamFramer
+from repro.obs import Tracer
+from repro.protocol import GnutellaHeader, MessageType, Ping, Pong
+
+DID = bytes(range(16))
+
+_GOOD = [
+    Ping(descriptor_id=DID, ttl=7, hops=0),
+    Pong(descriptor_id=DID, port=6346, ip=(10, 0, 0, 1), files_shared=2,
+         kb_shared=8),
+    Ping(descriptor_id=DID, ttl=3, hops=1),
+]
+
+
+def _bad_pong_frame() -> bytes:
+    """A correctly framed Pong whose payload is one byte short."""
+    payload = b"\x00" * 13  # Pong needs exactly 14
+    return GnutellaHeader(
+        DID, MessageType.PONG, 7, 0, len(payload)
+    ).encode() + payload
+
+
+@st.composite
+def faulted_streams(draw):
+    """A stream of good frames with one bad-payload frame spliced in."""
+    frames = [m.encode() for m in _GOOD]
+    pos = draw(st.integers(min_value=0, max_value=len(frames)))
+    frames.insert(pos, _bad_pong_frame())
+    return b"".join(frames), pos
+
+
+@given(faulted_streams(), st.data())
+@settings(max_examples=60)
+def test_one_payload_fault_one_drop_event(stream_and_pos, data):
+    stream, _ = stream_and_pos
+    tracer = Tracer(capacity=64)
+    framer = StreamFramer(tracer=tracer, peer_id=9)
+
+    decoded = []
+    i = 0
+    while i < len(stream):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - i),
+            label="chunk",
+        )
+        decoded.extend(framer.feed(stream[i:i + size]))
+        i += size
+
+    # The fault is recoverable: every good frame still decodes, exactly
+    # one decode error is counted, and the link never desyncs.
+    assert decoded == _GOOD
+    assert framer.decode_errors == 1
+    assert not framer.desynced
+
+    # And the trace mirrors it: exactly one frame.drop, no desync event.
+    drops = tracer.events("frame.drop")
+    assert len(drops) == 1
+    assert tracer.events("frame.desync") == []
+    event = drops[0]
+    assert event["peer"] == 9
+    assert event["bytes"] == len(_bad_pong_frame())
+    assert "error" in event
+
+
+def test_untraced_framer_needs_no_tracer():
+    framer = StreamFramer()
+    out = framer.feed(_bad_pong_frame() + _GOOD[0].encode())
+    assert out == [_GOOD[0]]
+    assert framer.decode_errors == 1

@@ -222,6 +222,28 @@ class TestNodeParser:
         assert args.threshold == 0.02
         assert not args.fail_on_divergence
 
+    def test_boot_trace_flags(self):
+        args = build_parser().parse_args([
+            "node", "boot", "--trace-dir", "sinks",
+            "--telemetry-interval", "0.05",
+        ])
+        assert args.trace_dir == "sinks"
+        assert args.telemetry_interval == 0.05
+        defaults = build_parser().parse_args(["node", "boot"])
+        assert defaults.trace_dir is None
+        assert defaults.telemetry_interval == 0.0
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["node", "trace", "sinks"])
+        assert args.inputs == ["sinks"]
+        assert args.export is None
+        assert args.require_complete == 0
+        assert not args.verbose
+
+    def test_trace_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node", "trace"])
+
     def test_node_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["node"])
@@ -259,6 +281,63 @@ class TestNodeCommands:
         snap = json.loads(path.read_text())
         assert snap["counters"]["node.rx.query"] > 0
         assert snap["counters"].get("node.protocol_errors", 0) == 0
+
+    def test_boot_trace_dir_then_trace_report(self, tmp_path, capsys):
+        sink_dir = tmp_path / "sinks"
+        assert main([
+            "node", "boot", "--nodes", "10", "--queries", "3",
+            "--objects", "4", "--replication", "0.2", "--seed", "5",
+            "--trace-dir", str(sink_dir), "--telemetry-interval", "0.02",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "causal trace:" in out
+        assert "3 query tree(s) (3 complete)" in out
+        assert "runtime samples" in out
+        assert sorted(p.name for p in sink_dir.iterdir()) == \
+            sorted(f"peer-{u}.jsonl" for u in range(10))
+
+        chrome = tmp_path / "live.chrome.json"
+        assert main([
+            "node", "trace", str(sink_dir),
+            "--require-complete", "3", "--export", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "merged 10 sink(s)" in out
+        assert "3 tree(s), 3 complete" in out
+        assert chrome.exists()
+
+    def test_trace_require_complete_gate_fails(self, tmp_path, capsys):
+        sink_dir = tmp_path / "sinks"
+        assert main([
+            "node", "boot", "--nodes", "8", "--queries", "2",
+            "--objects", "3", "--replication", "0.25", "--seed", "5",
+            "--trace-dir", str(sink_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "node", "trace", str(sink_dir), "--require-complete", "5",
+        ]) == 1
+        assert "only 2 complete" in capsys.readouterr().err
+
+    def test_trace_session_sink_holds_merged_stream(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "live.jsonl"
+        assert main([
+            "node", "boot", "--nodes", "8", "--queries", "2",
+            "--objects", "3", "--replication", "0.25", "--seed", "5",
+            "--trace", str(trace_path),
+        ]) == 0
+        events = [json.loads(line)
+                  for line in trace_path.read_text().splitlines() if line]
+        rx = [e for e in events if e["kind"] == "node.query.rx"]
+        assert rx
+        assert all(e["tb"] == "wall" and "src" in e for e in rx)
+
+    def test_trace_missing_input_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["node", "trace", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_parity_gate_passes_and_writes_snapshots(self, tmp_path, capsys):
         import json
