@@ -586,6 +586,121 @@ def cmd_faults_run(args) -> int:
     return 0
 
 
+def _run_durability_cli(args):
+    from repro.content.experiment import hub_failure_scenario, run_durability
+
+    scenario = args.scenario
+    if scenario == "hub-failure":
+        scenario = hub_failure_scenario()
+    elif scenario == "none":
+        scenario = None
+    return run_durability(
+        n_nodes=args.nodes, n_objects=args.objects, duration=args.duration,
+        seed=args.seed, scenario=scenario, k=args.k,
+        heal_enabled=not args.no_heal, heal_interval=args.heal_interval,
+        read_repair=not args.no_read_repair, fetch_probes=args.fetch_probes,
+    )
+
+
+def cmd_content_place(args) -> int:
+    """Preview a content placement; optionally dump the manifests."""
+    from repro.content.experiment import build_placement
+
+    graph, objects, placement = build_placement(
+        n_nodes=args.nodes, n_objects=args.objects, seed=args.seed, k=args.k,
+    )
+    total = sum(o.size for o in objects)
+    chunks = sum(o.manifest.n_chunks for o in objects)
+    print(f"placed {placement.n_objects} objects "
+          f"({total} bytes, {chunks} chunks) on {graph.n_nodes} nodes, k={args.k}")
+    print(f"  mean replicas/object   {placement.mean_replicas:.2f}")
+    print(f"  effective repl. ratio  {placement.effective_replication_ratio:.4f}")
+    print(f"  neighbor-bias fraction {placement.neighbor_bias_fraction(graph):.2f}")
+    if args.verbose:
+        for obj in objects:
+            holders = ",".join(str(h) for h in placement.replicas(obj.key))
+            print(f"  key={obj.key} size={obj.size} "
+                  f"chunks={obj.manifest.n_chunks} holders=[{holders}]")
+    if args.manifest_json:
+        import json
+
+        doc = {
+            "schema_version": 1,
+            "n_objects": placement.n_objects,
+            "manifests": [o.manifest.to_dict() for o in objects],
+        }
+        with open(args.manifest_json, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"manifests written to {args.manifest_json}")
+    return 0
+
+
+def cmd_content_fetch(args) -> int:
+    """Run the durability sim, then issue extra end-of-run fetches."""
+    from repro.util.rng import as_generator, derive_seed
+
+    result = _run_durability_cli(args)
+    plane, sim = result.plane, result.sim
+    before = dict(plane.stats)
+    rng = as_generator(derive_seed(args.seed, 0xFE7C4))
+    keys = plane.placement.object_keys
+    online = [u for u in range(sim.builder.n_nodes) if sim.online[u]]
+    for _ in range(args.queries):
+        src = online[int(rng.integers(len(online)))]
+        key = int(keys[int(rng.integers(len(keys)))])
+        plane.fetch(src, key)
+    s = plane.stats
+    extra_req = s["fetch.requests"] - before["fetch.requests"]
+    extra_hit = s["fetch.hits"] - before["fetch.hits"]
+    print(f"in-run probes: {before['fetch.requests']} requests, "
+          f"{before['fetch.hits']} hits, {before['fetch.failures']} failures")
+    print(f"end-of-run fetches: {extra_hit}/{extra_req} hit "
+          f"({100 * extra_hit / max(1, extra_req):.1f}%)")
+    print(f"read-repair: {s['repair.pushes']} pushes, "
+          f"{s['repair.bytes']} bytes")
+    return 0
+
+
+def cmd_content_heal(args) -> int:
+    """Run the durability sim and print the healing ledger."""
+    result = _run_durability_cli(args)
+    r = result.report
+    print(f"scenario {result.scenario or 'none'}: "
+          f"healing {'on' if result.heal_enabled else 'off'}, "
+          f"k={r.k}, {r.n_objects} objects")
+    print(f"  heal ticks   {r.heal_ticks}")
+    print(f"  heal pushes  {r.heal_pushes} ({r.heal_bytes} bytes)")
+    print(f"  heal trims   {r.heal_trims}")
+    print(f"  read-repair  {r.repair_pushes} pushes ({r.repair_bytes} bytes)")
+    print(f"  lost         {r.objects_lost}  degraded {r.objects_degraded}")
+    print(f"  availability {r.availability:.4f} (min {r.min_availability:.4f})")
+    return 0
+
+
+def cmd_content_report(args) -> int:
+    """Full durability report: per-snapshot samples plus the final ledger."""
+    result = _run_durability_cli(args)
+    print(f"{'t':>6}  {'avail':>6}  {'live/k':>7}  "
+          f"{'degraded':>8}  {'lost':>4}")
+    for s in result.samples:
+        print(f"{s.time:6.1f}  {s.availability:6.3f}  "
+              f"{s.mean_live_replicas:7.2f}  {s.n_degraded:8d}  {s.n_lost:4d}")
+    r = result.report
+    print(f"final: availability={r.availability:.4f} "
+          f"min={r.min_availability:.4f} lost={r.objects_lost} "
+          f"heal_pushes={r.heal_pushes} heal_bytes={r.heal_bytes} "
+          f"repair_pushes={r.repair_pushes} bytes_placed={r.bytes_placed}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.report.to_dict(), fh, indent=1)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -818,6 +933,72 @@ def build_parser() -> argparse.ArgumentParser:
     np_.add_argument("--fail-on-divergence", action="store_true",
                      help="exit 1 when any gated metric diverges")
     np_.set_defaults(func=cmd_node_parity)
+
+    p = sub.add_parser(
+        "content",
+        help="content & replication plane (place / fetch / heal / report)",
+    )
+    csub = p.add_subparsers(dest="content_command", required=True)
+
+    def content_args(cp, durability=True):
+        common(cp, topology=False)
+        cp.set_defaults(nodes=120)
+        cp.add_argument("--objects", type=int, default=60,
+                        help="corpus size (distinct objects)")
+        cp.add_argument("--k", type=int, default=3,
+                        help="target replicas per object")
+        if durability:
+            cp.add_argument("--duration", type=float, default=150.0)
+            cp.add_argument(
+                "--scenario", default="paper-live-failures",
+                help="builtin scenario name, JSON file path, "
+                     "'hub-failure' (2-wave 40%% top-degree crash), or "
+                     "'none' for fault-free churn")
+            cp.add_argument("--no-heal", action="store_true",
+                            help="disable the background healing loop")
+            cp.add_argument("--no-read-repair", action="store_true",
+                            help="disable read-repair on fetch")
+            cp.add_argument("--heal-interval", type=float, default=10.0)
+            cp.add_argument("--fetch-probes", type=int, default=8,
+                            help="fetch probes per snapshot (availability "
+                                 "sampling)")
+
+    cp = csub.add_parser(
+        "place", help="preview a seeded placement (no churn)"
+    )
+    content_args(cp, durability=False)
+    cp.set_defaults(seed=1234)
+    cp.add_argument("--verbose", action="store_true",
+                    help="print per-object holder lists")
+    cp.add_argument("--manifest-json", metavar="PATH", default=None,
+                    help="write the corpus manifests as JSON "
+                         "(schemas/content_manifest.schema.json)")
+    cp.set_defaults(func=cmd_content_place)
+
+    cp = csub.add_parser(
+        "fetch", help="run the durability sim, then issue fetches"
+    )
+    content_args(cp)
+    cp.set_defaults(seed=1234)
+    cp.add_argument("--queries", type=int, default=50,
+                    help="end-of-run fetches to issue")
+    cp.set_defaults(func=cmd_content_fetch)
+
+    cp = csub.add_parser(
+        "heal", help="run the durability sim and print the healing ledger"
+    )
+    content_args(cp)
+    cp.set_defaults(seed=1234)
+    cp.set_defaults(func=cmd_content_heal)
+
+    cp = csub.add_parser(
+        "report", help="per-snapshot durability table + final report"
+    )
+    content_args(cp)
+    cp.set_defaults(seed=1234)
+    cp.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the final report as JSON")
+    cp.set_defaults(func=cmd_content_report)
 
     p = sub.add_parser("faults",
                        help="fault-injection scenarios (list / run)")

@@ -1,0 +1,168 @@
+"""Canonical durability experiment: content plane under injected faults.
+
+One parameterization shared by the ``repro content`` CLI, the golden fault
+tests, and ``benchmarks/bench_durability.py``, so every consumer measures
+the *same* seeded run.  The corpus, placement, and fetch-probe streams all
+derive from the experiment seed with distinct salts
+(:func:`repro.util.rng.derive_seed`), making arms comparable: a
+healing-off run replays the exact crash/churn trajectory of the healing-on
+run and differs only in what the content plane does about it.
+
+:func:`hub_failure_scenario` builds the negative-control stress — the
+``paper-live-failures`` schedule with the crash widened to a targeted
+40% top-degree hub failure, the Guclu & Yuksel regime where correlated
+hub loss takes the most replicas down at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.content.manifest import generate_objects
+from repro.content.plane import (
+    ContentConfig,
+    ContentPlane,
+    DurabilityReport,
+    DurabilitySample,
+)
+from repro.faults.scenario import (
+    BUILTIN_SCENARIOS,
+    CrashEvent,
+    FaultScenario,
+    load_scenario,
+)
+from repro.sim.churn import ChurnConfig, ChurnSimulation, ChurnSnapshot
+
+#: Corpus and placement derive from the experiment seed with these salts,
+#: so the two streams are independent of each other and of the churn seed.
+_CORPUS_SALT = 0xC0B9
+_PLACEMENT_SALT = 0x9A1CE
+
+
+def hub_failure_scenario(
+    fraction: float = 0.40, waves: int = 2
+) -> FaultScenario:
+    """Repeated targeted hub failure: ``waves`` top-degree crashes of
+    ``fraction`` each (t=40, 80, ...), over ``paper-live-failures``'s
+    always-on 5% loss and partition/heal cycle.
+
+    A single correlated crash can only be survived by having placed enough
+    replicas; *repeated* crashes are where healing earns its keep — a
+    healing-off plane enters wave two still degraded from wave one, while
+    healing restores ``k`` live replicas in between.  This is the negative
+    control's stress.
+    """
+    base = BUILTIN_SCENARIOS["paper-live-failures"]
+    if waves < 1:
+        raise ValueError(f"waves must be >= 1, got {waves}")
+    return FaultScenario(
+        name=f"hub-failure-{int(round(fraction * 100))}",
+        description=(
+            f"{waves} wave(s) of {fraction:.0%} top-degree crashes "
+            f"(t=40, 80, ...) under 5% loss with a partition/heal cycle "
+            f"(targeted hub failure)"
+        ),
+        crashes=tuple(
+            CrashEvent(time=40.0 * (i + 1), fraction=fraction,
+                       mode="top-degree")
+            for i in range(waves)
+        ),
+        loss_windows=base.loss_windows,
+        partitions=base.partitions,
+    )
+
+
+def build_placement(
+    n_nodes: int = 120,
+    n_objects: int = 60,
+    seed: int = 1234,
+    k: int = 3,
+    size_range: Tuple[int, int] = (2048, 8192),
+):
+    """Static corpus + placement over a seeded Makalu overlay.
+
+    The corpus and placement use the same seed salts as
+    :func:`run_durability`, so ``repro content place`` previews the same
+    *objects* with the same placement discipline a durability run at this
+    seed uses.  (The graph itself is a plain :func:`makalu_graph` build
+    — the churn sim evolves its own membership-backed overlay, so holder
+    ids differ between the preview and a full run.)  Returns ``(graph,
+    objects, placement)``.
+    """
+    from repro.content.placement import place_content
+    from repro.core.makalu import makalu_graph
+    from repro.util.rng import derive_seed
+
+    graph = makalu_graph(n_nodes=n_nodes, seed=seed)
+    objects = generate_objects(
+        n_objects, seed=derive_seed(seed, _CORPUS_SALT),
+        size_range=size_range,
+    )
+    placement = place_content(
+        graph, [o.key for o in objects], k=k,
+        seed=derive_seed(seed, _PLACEMENT_SALT),
+    )
+    return graph, objects, placement
+
+
+@dataclass
+class DurabilityResult:
+    """One durability arm: the sim trajectory plus the content ledger."""
+
+    scenario: Optional[str]
+    heal_enabled: bool
+    snapshots: List[ChurnSnapshot]
+    samples: List[DurabilitySample]
+    report: DurabilityReport
+    plane: ContentPlane
+    sim: ChurnSimulation
+
+
+def run_durability(
+    n_nodes: int = 120,
+    n_objects: int = 60,
+    duration: float = 150.0,
+    seed: int = 1234,
+    scenario: Union[None, str, FaultScenario] = "paper-live-failures",
+    k: int = 3,
+    heal_enabled: bool = True,
+    heal_interval: float = 10.0,
+    read_repair: bool = True,
+    fetch_probes: int = 8,
+    snapshot_interval: float = 10.0,
+    size_range: Tuple[int, int] = (2048, 8192),
+) -> DurabilityResult:
+    """Run the canonical durability experiment and return its ledger.
+
+    ``scenario`` accepts a builtin name, a scenario file path, a
+    :class:`FaultScenario`, or None for fault-free churn.
+    """
+    if isinstance(scenario, str):
+        scenario = load_scenario(scenario)
+    from repro.util.rng import derive_seed
+
+    objects = generate_objects(
+        n_objects, seed=derive_seed(seed, _CORPUS_SALT),
+        size_range=size_range,
+    )
+    plane = ContentPlane(objects, ContentConfig(
+        k=k, heal_interval=heal_interval, heal_enabled=heal_enabled,
+        read_repair=read_repair, fetch_probes=fetch_probes,
+        placement_seed=derive_seed(seed, _PLACEMENT_SALT),
+    ))
+    sim = ChurnSimulation(
+        n_nodes=n_nodes, seed=seed,
+        churn_config=ChurnConfig(snapshot_interval=snapshot_interval),
+        faults=scenario, content=plane,
+    )
+    snapshots = sim.run(duration)
+    return DurabilityResult(
+        scenario=scenario.name if scenario is not None else None,
+        heal_enabled=heal_enabled,
+        snapshots=snapshots,
+        samples=list(plane.samples),
+        report=plane.durability_report(),
+        plane=plane,
+        sim=sim,
+    )

@@ -1,0 +1,400 @@
+"""Live content plane: real chunk transfers over the framed wire.
+
+:class:`LiveContent` rides on a running
+:class:`~repro.node.boot.LiveOverlay`.  It seeds every peer's
+:class:`~repro.content.store.ContentStore` from a
+:class:`~repro.content.placement.ContentPlacement`, then serves the same
+lifecycle the simulation plane models — fetch with read-repair, and a
+healing pass restoring ``k`` live replicas — except every byte actually
+crosses a TCP connection as ``ChunkRequest``/``ManifestData``/``ChunkData``
+frames (descriptors 0x30–0x32) through each peer's stream framer.
+
+A fetch first *locates* a holder with a genuine v0.4 Query flood
+(:meth:`~repro.node.peer.PeerNode.begin_query` + overlay settle), then
+transfers from the nearest hit over a dedicated connection; wall-clock
+transfer time lands in the ``content.fetch_s`` quantile — the same metric
+name the sim plane fills with virtual hop counts.  Push targets follow
+the sim plane's RNG-free preference order (the serving peer's neighbors
+ascending, then all ids ascending), so sim and live agree on replica-count
+accounting for the same failure shape.
+
+Liveness here is process truth: a peer that was stopped (killed) is down,
+and — matching the simulation's crash-is-disk-loss semantics — its copies
+do not count.  ``self.stats`` uses the sim plane's key catalogue;
+per-event ``content.*`` counters land on the involved peers' private
+registries so :meth:`LiveOverlay.merged_registry` folds them up exactly
+like every other ``node.*`` metric.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.content.manifest import ContentObject, Manifest, reassemble
+from repro.content.placement import ContentPlacement
+from repro.content.plane import ContentConfig
+from repro.content.store import ContentStore
+from repro.node.boot import LiveOverlay
+from repro.node.framer import StreamFramer
+from repro.node.peer import PeerNode
+from repro.protocol.messages import (
+    WHOLE_OBJECT,
+    ChunkData,
+    ChunkRequest,
+    ManifestData,
+)
+
+_READ_SIZE = 65536
+
+
+def manifest_message(descriptor_id: bytes, manifest: Manifest) -> ManifestData:
+    """Wire form of a manifest (the 0x31 frame)."""
+    return ManifestData(
+        descriptor_id, key=manifest.key, size=manifest.size,
+        chunk_size=manifest.chunk_size, chunk_digests=manifest.chunk_digests,
+    )
+
+
+def manifest_from_message(md: ManifestData) -> Manifest:
+    """Typed manifest of a decoded 0x31 frame."""
+    return Manifest(key=md.key, size=md.size, chunk_size=md.chunk_size,
+                    chunk_digests=md.chunk_digests)
+
+
+async def fetch_object(
+    node: PeerNode, host: str, port: int, key: int, timeout: float = 5.0,
+) -> Optional[Tuple[Manifest, Dict[int, bytes]]]:
+    """Pull a whole object from a holder over a dedicated connection.
+
+    Sends one ``ChunkRequest`` with the :data:`WHOLE_OBJECT` sentinel and
+    collects the ``ManifestData`` + ``ChunkData`` reply stream through a
+    private framer (the holder's hello Ping is ignored).  Returns
+    ``(manifest, chunks)`` or None on timeout/miss; chunk verification is
+    the caller's job (:func:`repro.content.manifest.reassemble`).
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except (ConnectionError, OSError):
+        return None
+    framer = StreamFramer(max_payload=node.config.max_payload)
+    manifest: Optional[Manifest] = None
+    chunks: Dict[int, bytes] = {}
+    try:
+        writer.write(ChunkRequest(node._next_guid(), key=key,
+                                  chunk_index=WHOLE_OBJECT).encode())
+        await writer.drain()
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                data = await asyncio.wait_for(reader.read(_READ_SIZE),
+                                              remaining)
+            except asyncio.TimeoutError:
+                return None
+            if not data:
+                return None
+            for msg in framer.feed(data):
+                if isinstance(msg, ManifestData):
+                    manifest = manifest_from_message(msg)
+                elif isinstance(msg, ChunkData) and msg.key == key:
+                    chunks[msg.chunk_index] = msg.data
+            if framer.desynced:
+                return None
+            if manifest is not None and len(chunks) >= manifest.n_chunks:
+                return manifest, chunks
+    except (ConnectionError, OSError):
+        return None
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+async def push_object(
+    pusher: PeerNode, host: str, port: int, manifest: Manifest,
+    chunks: Sequence[bytes], timeout: float = 5.0,
+) -> int:
+    """Push a whole object to a peer; returns chunk bytes sent (0 on error).
+
+    The receiving peer's normal read loop ingests the frames
+    (``node.rx.manifest``/``node.rx.chunk_data``), verifies every chunk
+    against the manifest, and advertises the key once complete — the
+    receiver needs no special state beyond its content store.
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except (ConnectionError, OSError):
+        return 0
+    try:
+        did = pusher._next_guid()
+        writer.write(manifest_message(did, manifest).encode())
+        sent = 0
+        for i, chunk in enumerate(chunks):
+            writer.write(ChunkData(did, key=manifest.key, chunk_index=i,
+                                   data=chunk).encode())
+            sent += len(chunk)
+        await asyncio.wait_for(writer.drain(), timeout)
+        return sent
+    except (asyncio.TimeoutError, ConnectionError, OSError):
+        return 0
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+class LiveContent:
+    """Replica lifecycle over a live overlay (see module docstring)."""
+
+    def __init__(
+        self,
+        overlay: LiveOverlay,
+        objects: Sequence[ContentObject],
+        placement: ContentPlacement,
+        config: Optional[ContentConfig] = None,
+    ):
+        if placement.n_nodes != len(overlay.nodes):
+            raise ValueError("placement and overlay node counts disagree")
+        self.overlay = overlay
+        self.placement = placement
+        self.config = config if config is not None else ContentConfig(
+            k=placement.k,
+        )
+        self.objects: Dict[int, ContentObject] = {o.key: o for o in objects}
+        missing = [k for k in placement.object_keys if k not in self.objects]
+        if missing:
+            raise ValueError(f"placement covers unknown keys: {missing[:3]}")
+        #: Same key catalogue as the sim plane's ``ContentPlane.stats``.
+        self.stats: Dict[str, int] = {
+            "objects_placed": 0, "replicas_placed": 0, "bytes_placed": 0,
+            "fetch.requests": 0, "fetch.hits": 0, "fetch.failures": 0,
+            "repair.pushes": 0, "repair.bytes": 0,
+            "heal.ticks": 0, "heal.pushes": 0, "heal.bytes": 0,
+            "heal.trims": 0, "objects_lost": 0,
+        }
+        self._lost: Set[int] = set()
+        self._heal_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def seed_stores(self) -> None:
+        """Give every peer a content store and load its placed replicas.
+
+        Local (no wire traffic) — this is t=0 state, the placement the
+        overlay would have arrived at by prior transfers.  Keys land in
+        each peer's ``store`` set so Query floods can locate them.
+        """
+        for node in self.overlay.nodes:
+            if node.content is None:
+                node.content = ContentStore(node_id=node.node_id)
+        for key in self.placement.object_keys:
+            obj = self.objects[key]
+            for nid in self.placement.replicas(key):
+                node = self.overlay.nodes[nid]
+                node.content.put_object(obj.manifest, obj.chunks)
+                node.store.add(key)
+                self.stats["replicas_placed"] += 1
+                self.stats["bytes_placed"] += obj.size
+            self.stats["objects_placed"] += 1
+
+    # ------------------------------------------------------------------
+    # Holder census
+    # ------------------------------------------------------------------
+
+    def live_holders(self, key: int) -> List[int]:
+        """Running peers holding a complete copy of ``key`` (ascending)."""
+        return [
+            n.node_id for n in self.overlay.nodes
+            if n.running and n.content is not None
+            and n.content.has_object(key)
+        ]
+
+    def live_replica_count(self, key: int) -> int:
+        """Number of running peers holding ``key`` (the sim-parity figure)."""
+        return len(self.live_holders(key))
+
+    def _replica_target(self) -> int:
+        alive = sum(1 for n in self.overlay.nodes if n.running)
+        return min(self.config.k, alive)
+
+    # ------------------------------------------------------------------
+    # Fetch with read-repair
+    # ------------------------------------------------------------------
+
+    async def fetch(self, source: int, key: int,
+                    ttl: Optional[int] = None) -> Optional[bytes]:
+        """Locate ``key`` by Query flood, transfer it, read-repair.
+
+        Returns the verified bytes or None.  Wall transfer time lands in
+        the requester's ``content.fetch_s`` quantile; counters use the
+        sim plane's ``content.fetch.*`` names on the requester's registry.
+        """
+        node = self.overlay.nodes[source]
+        m = node.metrics
+        self.stats["fetch.requests"] += 1
+        m.counter("content.fetch.requests").inc()
+        data: Optional[bytes] = None
+        serving = None
+        if node.content is not None and node.content.has_object(key):
+            serving = source
+            data = node.content.get_object(key)
+        else:
+            state = node.begin_query(key, ttl=ttl)
+            await self.overlay.settle()
+            node.finish_query(state)
+            if state.hits:
+                best = min(state.hits, key=lambda h: (h.hops, h.server))
+                server_node = self.overlay.nodes[best.server]
+                t0 = time.perf_counter()
+                pulled = await fetch_object(
+                    node, server_node.host, server_node.port, key,
+                )
+                if pulled is not None:
+                    manifest, chunks = pulled
+                    try:
+                        data = reassemble(manifest, chunks)
+                    except ValueError:
+                        data = None
+                    if data is not None:
+                        # The requester does NOT cache a replica — matching
+                        # the sim plane, replica counts change only through
+                        # read-repair and healing pushes.
+                        serving = best.server
+                        m.quantile("content.fetch_s").observe(
+                            time.perf_counter() - t0
+                        )
+        if data is None:
+            self.stats["fetch.failures"] += 1
+            m.counter("content.fetch.failures").inc()
+            return None
+        self.stats["fetch.hits"] += 1
+        m.counter("content.fetch.hits").inc()
+        if self.config.read_repair:
+            await self._replicate(key, serving, kind="repair")
+        return data
+
+    # ------------------------------------------------------------------
+    # Healing
+    # ------------------------------------------------------------------
+
+    async def heal(self) -> int:
+        """One healing sweep over every placed object; returns pushes.
+
+        Matches the sim plane: ``< k`` live replicas are restored by
+        pushes from the lowest-id live holder, ``> k`` trimmed back down
+        (placed holders preferred, then ascending id); an object with no
+        live holder is lost — a stopped peer is a crash, its copies are
+        gone with it.
+        """
+        self.stats["heal.ticks"] += 1
+        pushes = 0
+        k = self._replica_target()
+        for key in self.placement.object_keys:
+            live = self.live_holders(key)
+            if not live:
+                if key not in self._lost:
+                    self._lost.add(key)
+                    self.stats["objects_lost"] += 1
+                continue
+            if len(live) < k:
+                pushes += await self._replicate(key, live[0], kind="heal")
+            elif len(live) > k:
+                self._trim(key, live, k)
+        return pushes
+
+    def start_healing(self, interval: Optional[float] = None) -> None:
+        """Run :meth:`heal` forever on ``interval`` (a background task)."""
+        if self._heal_task is not None:
+            return
+        if interval is None:
+            interval = self.config.heal_interval
+
+        async def loop():
+            while True:
+                await asyncio.sleep(interval)
+                await self.heal()
+
+        self._heal_task = asyncio.ensure_future(loop())
+
+    async def stop_healing(self) -> None:
+        """Cancel the background healing task (if any)."""
+        if self._heal_task is None:
+            return
+        self._heal_task.cancel()
+        try:
+            await self._heal_task
+        except asyncio.CancelledError:
+            pass
+        self._heal_task = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _replicate(self, key: int, serving: int, kind: str) -> int:
+        """Push ``key`` from ``serving`` until ``k`` running peers hold it.
+
+        The sim plane's preference order, verbatim: the serving peer's
+        current neighbors ascending, then every other id ascending.
+        """
+        server_node = self.overlay.nodes[serving]
+        store = server_node.content
+        if store is None or not store.has_object(key):
+            return 0
+        manifest = store.manifest(key)
+        chunks = [store.get_chunk(key, i) for i in range(manifest.n_chunks)]
+        holders = set(self.live_holders(key))
+        want = self._replica_target()
+        pushed = 0
+        for target in self._target_order(server_node):
+            if len(holders) >= want:
+                break
+            node = self.overlay.nodes[target]
+            if target in holders or not node.running:
+                continue
+            if node.content is None:
+                node.content = ContentStore(node_id=target)
+            sent = await push_object(server_node, node.host, node.port,
+                                     manifest, chunks)
+            if sent == 0:
+                continue
+            await self.overlay.settle()
+            if not node.content.has_object(key):
+                continue  # push raced a teardown; try the next target
+            holders.add(target)
+            pushed += 1
+            self.stats[f"{kind}.pushes"] += 1
+            self.stats[f"{kind}.bytes"] += sent
+            sm = server_node.metrics
+            sm.counter(f"content.{kind}.pushes").inc()
+            sm.counter(f"content.{kind}.bytes").inc(sent)
+        return pushed
+
+    def _trim(self, key: int, live: List[int], k: int) -> None:
+        placed = set(self.placement.replicas(key))
+        keep = sorted(live, key=lambda n: (n not in placed, n))[:k]
+        for nid in sorted(set(live) - set(keep)):
+            node = self.overlay.nodes[nid]
+            node.content.drop_object(key)
+            node.store.discard(key)
+            self.stats["heal.trims"] += 1
+            node.metrics.counter("content.heal.trims").inc()
+
+    def _target_order(self, server_node: PeerNode):
+        nbrs = sorted(server_node.neighbors)
+        seen = set(nbrs)
+        seen.add(server_node.node_id)
+        yield from nbrs
+        for u in range(len(self.overlay.nodes)):
+            if u not in seen:
+                yield u

@@ -1,0 +1,248 @@
+"""Chunked objects and their digest manifests.
+
+An object is an opaque byte string identified by a 63-bit key (the same
+keys the Bloom filters and flood criteria use).  On the wire and in the
+stores it travels as fixed-size chunks; a :class:`Manifest` binds the
+object to its ordered chunk digests so any holder can verify a chunk in
+isolation and any fetcher can verify the reassembled whole.
+
+The manifest JSON form is documented by
+``schemas/content_manifest.schema.json`` and versioned with
+:data:`MANIFEST_SCHEMA_VERSION`; loading a newer version raises
+:class:`~repro.obs.report.UnsupportedSchemaError`, matching the fault
+scenario loader's contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.obs.report import UnsupportedSchemaError
+from repro.util.rng import SeedLike, as_generator
+
+#: Format version written by :meth:`Manifest.to_dict`.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default chunk size.  Must leave room for the 12-byte ChunkData prefix
+#: under the live framer's 64 KiB payload cap; 2 KiB matches the order of
+#: magnitude the v0.4-era servents actually moved per read.
+DEFAULT_CHUNK_SIZE = 2048
+
+_MAX_KEY = 2**63 - 1
+
+
+class IntegrityError(ValueError):
+    """A chunk or reassembled object failed digest verification."""
+
+
+def chunk_digest(data: bytes) -> str:
+    """SHA-256 hex digest of one chunk's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One object's identity: key, size, and ordered chunk digests.
+
+    ``chunk_digests[i]`` is the SHA-256 hex digest of chunk ``i``; every
+    chunk is exactly ``chunk_size`` bytes except the last, which carries
+    the remainder.  An empty object (``size == 0``) has no chunks.
+    """
+
+    key: int
+    size: int
+    chunk_size: int
+    chunk_digests: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not 0 <= self.key <= _MAX_KEY:
+            raise ValueError(f"key must be a 63-bit non-negative int, got {self.key}")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        expected = math.ceil(self.size / self.chunk_size)
+        if len(self.chunk_digests) != expected:
+            raise ValueError(
+                f"size {self.size} at chunk_size {self.chunk_size} implies "
+                f"{expected} chunk(s), got {len(self.chunk_digests)} digest(s)"
+            )
+        for i, d in enumerate(self.chunk_digests):
+            if len(d) != 64 or any(c not in "0123456789abcdef" for c in d):
+                raise ValueError(
+                    f"chunk_digests[{i}] is not a lowercase sha256 hex digest"
+                )
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks the object splits into."""
+        return len(self.chunk_digests)
+
+    def chunk_length(self, index: int) -> int:
+        """Byte length of chunk ``index``."""
+        if not 0 <= index < self.n_chunks:
+            raise IndexError(f"chunk index {index} out of range")
+        if index < self.n_chunks - 1:
+            return self.chunk_size
+        return self.size - self.chunk_size * (self.n_chunks - 1)
+
+    @property
+    def digest(self) -> str:
+        """Object-level identity: SHA-256 over the metadata + digest list."""
+        h = hashlib.sha256()
+        h.update(f"{self.key}:{self.size}:{self.chunk_size}".encode())
+        for d in self.chunk_digests:
+            h.update(bytes.fromhex(d))
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # JSON round trip (schemas/content_manifest.schema.json)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form, loadable by :meth:`from_dict`."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "key": self.key,
+            "size": self.size,
+            "chunk_size": self.chunk_size,
+            "chunk_digests": list(self.chunk_digests),
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Manifest":
+        """Parse and validate a manifest document."""
+        if not isinstance(doc, dict):
+            raise ValueError("manifest must be a JSON object")
+        version = doc.get("schema_version", MANIFEST_SCHEMA_VERSION)
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"bad manifest schema_version: {version!r}")
+        if version > MANIFEST_SCHEMA_VERSION:
+            raise UnsupportedSchemaError(
+                f"manifest schema_version {version} is newer than the "
+                f"supported version {MANIFEST_SCHEMA_VERSION}; upgrade repro "
+                f"to read this file"
+            )
+        known = {"schema_version", "key", "size", "chunk_size",
+                 "chunk_digests", "digest"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown manifest keys: {unknown}")
+        digests = doc.get("chunk_digests", [])
+        if not isinstance(digests, list):
+            raise ValueError("manifest chunk_digests must be a list")
+        manifest = cls(
+            key=int(doc["key"]), size=int(doc["size"]),
+            chunk_size=int(doc["chunk_size"]),
+            chunk_digests=tuple(str(d) for d in digests),
+        )
+        declared = doc.get("digest")
+        if declared is not None and declared != manifest.digest:
+            raise IntegrityError(
+                f"manifest digest mismatch for key {manifest.key}: "
+                f"declared {declared}, computed {manifest.digest}"
+            )
+        return manifest
+
+
+def chunk_object(
+    key: int, data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Tuple[Manifest, List[bytes]]:
+    """Split ``data`` into chunks and build the binding manifest."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = [data[i:i + chunk_size] for i in range(0, len(data), chunk_size)]
+    manifest = Manifest(
+        key=key, size=len(data), chunk_size=chunk_size,
+        chunk_digests=tuple(chunk_digest(c) for c in chunks),
+    )
+    return manifest, chunks
+
+
+def reassemble(
+    manifest: Manifest, chunks: Union[Sequence[bytes], Dict[int, bytes]]
+) -> bytes:
+    """Rebuild and verify the object from its chunks.
+
+    Accepts a sequence or an ``index -> bytes`` mapping; raises
+    :class:`IntegrityError` on a missing chunk, a digest mismatch, or a
+    wrong chunk length — a fetcher must never hand corrupt bytes upward.
+    """
+    if not isinstance(chunks, dict):
+        chunks = dict(enumerate(chunks))
+    parts: List[bytes] = []
+    for i in range(manifest.n_chunks):
+        chunk = chunks.get(i)
+        if chunk is None:
+            raise IntegrityError(
+                f"object {manifest.key}: chunk {i}/{manifest.n_chunks} is missing"
+            )
+        if len(chunk) != manifest.chunk_length(i):
+            raise IntegrityError(
+                f"object {manifest.key}: chunk {i} is {len(chunk)} bytes, "
+                f"manifest says {manifest.chunk_length(i)}"
+            )
+        if chunk_digest(chunk) != manifest.chunk_digests[i]:
+            raise IntegrityError(
+                f"object {manifest.key}: chunk {i} failed digest verification"
+            )
+        parts.append(chunk)
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class ContentObject:
+    """One synthetic corpus entry: a manifest and its chunk bytes."""
+
+    manifest: Manifest
+    chunks: Tuple[bytes, ...]
+
+    @property
+    def key(self) -> int:
+        """The object's 63-bit key."""
+        return self.manifest.key
+
+    @property
+    def size(self) -> int:
+        """The object's byte size."""
+        return self.manifest.size
+
+    def data(self) -> bytes:
+        """The full (verified) object bytes."""
+        return reassemble(self.manifest, list(self.chunks))
+
+
+def generate_objects(
+    n_objects: int,
+    seed: SeedLike = None,
+    size_range: Tuple[int, int] = (4096, 16384),
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> List[ContentObject]:
+    """A deterministic synthetic corpus of ``n_objects`` chunked objects.
+
+    Keys are distinct 62-bit ints and payload bytes come from the seeded
+    stream, so the same seed reproduces the same corpus everywhere (sim,
+    live runtime, CLI, benchmarks).
+    """
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+    lo, hi = size_range
+    if not 0 <= lo <= hi:
+        raise ValueError(f"invalid size_range {size_range}")
+    rng = as_generator(seed)
+    keys = rng.integers(1, 2**62, size=n_objects, dtype=np.int64)
+    while np.unique(keys).size != n_objects:  # pragma: no cover - astronomically rare
+        keys = rng.integers(1, 2**62, size=n_objects, dtype=np.int64)
+    objects = []
+    for key in keys:
+        size = int(rng.integers(lo, hi + 1))
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        manifest, chunks = chunk_object(int(key), data, chunk_size=chunk_size)
+        objects.append(ContentObject(manifest=manifest, chunks=tuple(chunks)))
+    return objects

@@ -1,0 +1,475 @@
+"""Simulation-side content plane: placement, read-repair, healing.
+
+A :class:`ContentPlane` rides on a :class:`~repro.sim.churn.ChurnSimulation`
+(attach it via the simulation's ``content`` field).  At build time it
+places every object as ``k`` replicas over the freshly built overlay; from
+then on it only *reacts*:
+
+* churn departures keep a holder's disk intact (the node returns with its
+  replicas), so they silently lower the *live* replica count;
+* injected crashes (:meth:`on_crash`) wipe the victims' stores — disk
+  loss, the regime where objects can actually die;
+* fetches locate the nearest live holder by BFS hops and, when
+  ``read_repair`` is on, re-push the object until ``k`` live replicas
+  exist again;
+* a background healing tick sweeps every object on ``heal_interval`` and
+  restores (or trims to) exactly ``k`` live replicas whenever at least one
+  live copy survives.
+
+Determinism: placement draws only from per-object derived streams
+(:func:`repro.content.placement.place_content`); repair and healing pick
+targets by a fixed preference order (the serving holder's overlay
+neighbors, then ascending node ids) and consume **no RNG at all**; fetch
+probes draw from the simulation's dedicated content child stream.  The
+churn trajectory is therefore bit-identical with or without a content
+plane attached, and with observability on or off
+(``self.stats`` is the authoritative accounting; ``content.*`` metrics
+mirror it when a session is active).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.content.manifest import ContentObject
+from repro.content.placement import ContentPlacement, place_content
+from repro.content.store import ContentStore
+from repro.obs import runtime as _obs
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.churn import ChurnSimulation
+
+
+@dataclass(frozen=True)
+class ContentConfig:
+    """Content-plane policy knobs.
+
+    ``fetch_ttl`` bounds the BFS radius a fetch searches (hops, matching
+    the flooding TTLs elsewhere); ``fetch_probes`` issues that many seeded
+    fetches per churn snapshot so availability is measured end to end, not
+    just counted from the holder table.
+    """
+
+    k: int = 3
+    heal_interval: float = 10.0
+    heal_enabled: bool = True
+    read_repair: bool = True
+    fetch_probes: int = 0
+    fetch_ttl: int = 6
+    #: Placement stream seed (object streams derive from it per key).
+    placement_seed: int = 0
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        check_positive("heal_interval", self.heal_interval)
+        if self.fetch_probes < 0:
+            raise ValueError("fetch_probes must be >= 0")
+        if self.fetch_ttl < 1:
+            raise ValueError("fetch_ttl must be >= 1")
+
+
+@dataclass(frozen=True)
+class DurabilitySample:
+    """Replica health at one snapshot instant."""
+
+    time: float
+    availability: float
+    mean_live_replicas: float
+    n_degraded: int
+    n_unavailable: int
+    n_lost: int
+    fetch_success: float = float("nan")
+
+
+@dataclass(frozen=True)
+class DurabilityReport:
+    """End-of-run durability summary (the Table-2-style traffic ledger)."""
+
+    n_objects: int
+    k: int
+    availability: float
+    min_availability: float
+    mean_live_replicas: float
+    objects_lost: int
+    objects_degraded: int
+    heal_ticks: int
+    heal_pushes: int
+    heal_bytes: int
+    heal_trims: int
+    repair_pushes: int
+    repair_bytes: int
+    fetch_requests: int
+    fetch_hits: int
+    bytes_placed: int
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form for CLI/bench reports."""
+        return {
+            "n_objects": self.n_objects,
+            "k": self.k,
+            "availability": self.availability,
+            "min_availability": self.min_availability,
+            "mean_live_replicas": self.mean_live_replicas,
+            "objects_lost": self.objects_lost,
+            "objects_degraded": self.objects_degraded,
+            "heal_ticks": self.heal_ticks,
+            "heal_pushes": self.heal_pushes,
+            "heal_bytes": self.heal_bytes,
+            "heal_trims": self.heal_trims,
+            "repair_pushes": self.repair_pushes,
+            "repair_bytes": self.repair_bytes,
+            "fetch_requests": self.fetch_requests,
+            "fetch_hits": self.fetch_hits,
+            "bytes_placed": self.bytes_placed,
+        }
+
+
+class ContentPlane:
+    """Replica lifecycle manager for a churned overlay.
+
+    Construct with the object corpus and a config, assign to
+    ``ChurnSimulation.content``, then ``run()`` drives everything:
+    placement after the initial build, store wipes on crashes, healing
+    ticks on the simulation's event loop, and a durability sample per
+    churn snapshot.
+    """
+
+    def __init__(self, objects: Sequence[ContentObject],
+                 config: Optional[ContentConfig] = None):
+        if not objects:
+            raise ValueError("content plane needs at least one object")
+        self.config = config if config is not None else ContentConfig()
+        self.objects: Dict[int, ContentObject] = {o.key: o for o in objects}
+        if len(self.objects) != len(objects):
+            raise ValueError("object keys must be distinct")
+        self.placement: Optional[ContentPlacement] = None
+        self.stores: List[ContentStore] = []
+        #: ``key -> node ids holding a complete copy`` (online or not).
+        self._holders: Dict[int, Set[int]] = {}
+        self._lost: Set[int] = set()
+        self.samples: List[DurabilitySample] = []
+        #: Authoritative accounting — identical with obs on or off.
+        self.stats: Dict[str, int] = {
+            "objects_placed": 0, "replicas_placed": 0, "bytes_placed": 0,
+            "crash_wipes": 0, "replicas_wiped": 0,
+            "fetch.requests": 0, "fetch.hits": 0, "fetch.failures": 0,
+            "repair.pushes": 0, "repair.bytes": 0,
+            "heal.ticks": 0, "heal.pushes": 0, "heal.bytes": 0,
+            "heal.trims": 0, "objects_lost": 0,
+        }
+        self._churn: Optional["ChurnSimulation"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by ChurnSimulation)
+    # ------------------------------------------------------------------
+
+    def start(self, churn: "ChurnSimulation") -> None:
+        """Place the corpus over the freshly built overlay and arm healing."""
+        self._churn = churn
+        n = churn.builder.n_nodes
+        self.stores = [ContentStore(node_id=i) for i in range(n)]
+        graph = churn.builder.adj.freeze()
+        self.placement = place_content(
+            graph, list(self.objects), k=self.config.k,
+            seed=self.config.placement_seed,
+        )
+        for key, obj in self.objects.items():
+            self._holders[key] = set()
+            for node in self.placement.replicas(key):
+                self._store(node, obj)
+                self.stats["replicas_placed"] += 1
+                self.stats["bytes_placed"] += obj.size
+            self.stats["objects_placed"] += 1
+        _obs.count("content.objects_placed", self.stats["objects_placed"])
+        _obs.count("content.replicas_placed", self.stats["replicas_placed"])
+        _obs.count("content.bytes_placed", self.stats["bytes_placed"])
+        if self.config.heal_enabled:
+            churn._sim.schedule(
+                self.config.heal_interval, self._heal_tick, label="heal"
+            )
+
+    def on_crash(self, victims: Sequence[int]) -> None:
+        """Disk loss: wipe every victim's store and holder entries."""
+        for v in victims:
+            v = int(v)
+            store = self.stores[v]
+            wiped = 0
+            for key in list(store):
+                self._holders[key].discard(v)
+                wiped += 1
+            store.wipe()
+            if wiped:
+                self.stats["crash_wipes"] += 1
+                self.stats["replicas_wiped"] += wiped
+                _obs.count("content.crash_wipes")
+                _obs.count("content.replicas_wiped", wiped)
+
+    def on_snapshot(self, t: float) -> None:
+        """Record a durability sample (and run any configured fetch probes)."""
+        fetch_success = self._fetch_probes()
+        avail, mean_live, degraded, unavailable, lost = self._census()
+        self.samples.append(DurabilitySample(
+            time=t, availability=avail, mean_live_replicas=mean_live,
+            n_degraded=degraded, n_unavailable=unavailable, n_lost=lost,
+            fetch_success=fetch_success,
+        ))
+        _obs.record("content.replicas_live", t, mean_live)
+        _obs.record("content.availability_ts", t, avail)
+        _obs.gauge("content.availability", avail)
+        _obs.gauge("content.objects_degraded", degraded)
+        _obs.gauge("content.objects_lost", lost)
+        _obs.event(
+            "content.snapshot", t=t, availability=avail,
+            mean_live=mean_live, degraded=degraded, lost=lost,
+        )
+
+    # ------------------------------------------------------------------
+    # Fetch with read-repair
+    # ------------------------------------------------------------------
+
+    def fetch(self, source: int, key: int) -> Optional[bytes]:
+        """Fetch ``key`` from the live holder nearest to ``source``.
+
+        Returns the verified object bytes, or None when no live holder is
+        reachable within ``fetch_ttl`` hops on the online overlay.  A hit
+        records BFS hop count under ``content.fetch_s`` (virtual "seconds"
+        — the live plane records wall time under the same name) and, with
+        ``read_repair`` on, restores the live replica count to ``k``.
+        """
+        self.stats["fetch.requests"] += 1
+        _obs.count("content.fetch.requests")
+        serving, hops = self._locate(source, key)
+        if serving is None:
+            self.stats["fetch.failures"] += 1
+            _obs.count("content.fetch.failures")
+            _obs.event("content.fetch", key=key, source=source, hit=False)
+            return None
+        data = self.stores[serving].get_object(key)
+        self.stats["fetch.hits"] += 1
+        _obs.count("content.fetch.hits")
+        _obs.quantile("content.fetch_s", float(max(hops, 1)))
+        _obs.event(
+            "content.fetch", key=key, source=source, hit=True,
+            serving=serving, hops=hops,
+        )
+        if self.config.read_repair:
+            pushed = self._replicate(key, serving, kind="repair")
+            if pushed:
+                _obs.count("content.repair.objects")
+        return data
+
+    def _locate(self, source: int, key: int) -> Tuple[Optional[int], int]:
+        """Nearest live holder of ``key`` by BFS hops from ``source``.
+
+        Ties at equal distance break toward the lowest node id.  Returns
+        ``(None, -1)`` when nothing is reachable within ``fetch_ttl``.
+        """
+        churn = self._churn
+        online = churn.online
+        if not online[source]:
+            return None, -1
+        live = self._live_holders(key)
+        if source in live:
+            return source, 0
+        adj = churn.builder.adj
+        seen = {source}
+        frontier = [source]
+        for hops in range(1, self.config.fetch_ttl + 1):
+            nxt: List[int] = []
+            found: List[int] = []
+            for u in frontier:
+                for v in sorted(adj.neighbors(u)):
+                    if v in seen or not online[v]:
+                        continue
+                    seen.add(v)
+                    nxt.append(v)
+                    if v in live:
+                        found.append(v)
+            if found:
+                return min(found), hops
+            if not nxt:
+                break
+            frontier = nxt
+        return None, -1
+
+    # ------------------------------------------------------------------
+    # Healing
+    # ------------------------------------------------------------------
+
+    def heal(self) -> int:
+        """One healing sweep: restore (or trim to) ``k`` live replicas.
+
+        Objects with zero live holders are skipped — offline copies may
+        churn back; only an empty holder set is a permanent loss, counted
+        once under ``objects_lost``.  Returns the number of pushes made.
+        """
+        self.stats["heal.ticks"] += 1
+        _obs.count("content.heal.ticks")
+        pushes = 0
+        for key in self.placement.object_keys:
+            holders = self._holders[key]
+            if not holders:
+                if key not in self._lost:
+                    self._lost.add(key)
+                    self.stats["objects_lost"] += 1
+                    _obs.count("content.heal.objects_lost")
+                    _obs.event("content.lost", key=key)
+                continue
+            live = self._live_holders(key)
+            if not live:
+                continue  # only offline copies; nothing to push from yet
+            k = min(self.config.k, int(np.count_nonzero(self._churn.online)))
+            if len(live) < k:
+                pushes += self._replicate(key, min(live), kind="heal")
+            elif len(live) > k:
+                self._trim(key, live, k)
+        return pushes
+
+    def _heal_tick(self, sim) -> None:
+        self.heal()
+        sim.schedule(self.config.heal_interval, self._heal_tick, label="heal")
+
+    def _replicate(self, key: int, serving: int, kind: str) -> int:
+        """Push ``key`` from ``serving`` to new targets until ``k`` live.
+
+        Target preference is deterministic and RNG-free: the serving
+        holder's overlay neighbors in ascending id order, then every other
+        node ascending.  Only online non-holders qualify.
+        """
+        churn = self._churn
+        online = churn.online
+        obj = self.objects[key]
+        holders = self._holders[key]
+        live = self._live_holders(key)
+        want = min(self.config.k, int(np.count_nonzero(online)))
+        pushed = 0
+        for target in self._target_order(serving):
+            if len(live) >= want:
+                break
+            if target in holders or not online[target]:
+                continue
+            self._store(target, obj)
+            live.add(target)
+            pushed += 1
+            self.stats[f"{kind}.pushes"] += 1
+            self.stats[f"{kind}.bytes"] += obj.size
+            _obs.count(f"content.{kind}.pushes")
+            _obs.count(f"content.{kind}.bytes", obj.size)
+            _obs.event(
+                f"content.{kind}", key=key, source=serving, target=target,
+                size=obj.size,
+            )
+        return pushed
+
+    def _trim(self, key: int, live: Set[int], k: int) -> None:
+        """Drop surplus live replicas down to ``k``.
+
+        Keeps placed replicas over opportunistic ones, lower ids over
+        higher — the same preference order placement produced, so a
+        trimmed object converges back to its original holders when they
+        are alive.
+        """
+        placed = set(self.placement.replicas(key))
+        keep = sorted(live, key=lambda n: (n not in placed, n))[:k]
+        for node in sorted(live - set(keep)):
+            self.stores[node].drop_object(key)
+            self._holders[key].discard(node)
+            self.stats["heal.trims"] += 1
+            _obs.count("content.heal.trims")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def durability_report(self) -> DurabilityReport:
+        """Summarize the run: final census, extremes, traffic ledger."""
+        avail, mean_live, degraded, _, lost = self._census()
+        min_avail = min(
+            (s.availability for s in self.samples), default=avail
+        )
+        s = self.stats
+        return DurabilityReport(
+            n_objects=len(self.objects), k=self.config.k,
+            availability=avail, min_availability=min(min_avail, avail),
+            mean_live_replicas=mean_live,
+            objects_lost=lost, objects_degraded=degraded,
+            heal_ticks=s["heal.ticks"], heal_pushes=s["heal.pushes"],
+            heal_bytes=s["heal.bytes"], heal_trims=s["heal.trims"],
+            repair_pushes=s["repair.pushes"], repair_bytes=s["repair.bytes"],
+            fetch_requests=s["fetch.requests"], fetch_hits=s["fetch.hits"],
+            bytes_placed=s["bytes_placed"],
+        )
+
+    def live_replica_count(self, key: int) -> int:
+        """Number of online nodes currently holding ``key``."""
+        return len(self._live_holders(key))
+
+    def holders(self, key: int) -> Set[int]:
+        """All nodes (online or not) holding a complete copy of ``key``."""
+        return set(self._holders[key])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _store(self, node: int, obj: ContentObject) -> None:
+        self.stores[node].put_object(obj.manifest, obj.chunks)
+        self._holders[obj.key].add(node)
+
+    def _live_holders(self, key: int) -> Set[int]:
+        online = self._churn.online
+        return {h for h in self._holders[key] if online[h]}
+
+    def _target_order(self, serving: int):
+        """Deterministic push-target preference (no RNG)."""
+        adj = self._churn.builder.adj
+        nbrs = sorted(adj.neighbors(serving))
+        seen = set(nbrs)
+        seen.add(serving)
+        yield from nbrs
+        for u in range(self._churn.builder.n_nodes):
+            if u not in seen:
+                yield u
+
+    def _census(self) -> Tuple[float, float, int, int, int]:
+        """(availability, mean live replicas, degraded, unavailable, lost)."""
+        n = len(self.objects)
+        live_total = 0
+        available = degraded = unavailable = lost = 0
+        for key in self.objects:
+            holders = self._holders[key]
+            live = len(self._live_holders(key))
+            live_total += live
+            if live > 0:
+                available += 1
+                if live < self.config.k:
+                    degraded += 1
+            elif holders:
+                unavailable += 1
+            else:
+                lost += 1
+        return available / n, live_total / n, degraded, unavailable, lost
+
+    def _fetch_probes(self) -> float:
+        """Seeded end-to-end fetch probes (content child stream only)."""
+        cfg = self.config
+        if cfg.fetch_probes == 0:
+            return float("nan")
+        rng = self._churn._content_rng
+        online_ids = np.flatnonzero(self._churn.online)
+        if online_ids.size == 0:
+            return 0.0
+        keys = list(self.objects)
+        hits = 0
+        for _ in range(cfg.fetch_probes):
+            source = int(online_ids[rng.integers(0, online_ids.size)])
+            key = keys[int(rng.integers(0, len(keys)))]
+            if self.fetch(source, key) is not None:
+                hits += 1
+        return hits / cfg.fetch_probes

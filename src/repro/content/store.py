@@ -1,0 +1,156 @@
+"""Per-node content store: manifests plus verified chunks.
+
+One :class:`ContentStore` is one node's disk.  It is deliberately dumb —
+placement, repair, and healing policy live in the planes
+(:mod:`repro.content.plane`, :mod:`repro.content.live`); the store only
+guarantees that what it holds verifies against its manifests and that
+completeness (`has_object`) is checked, never assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.content.manifest import (
+    IntegrityError,
+    Manifest,
+    chunk_digest,
+    reassemble,
+)
+
+
+class ContentStore:
+    """Chunk-granular object storage for one node."""
+
+    def __init__(self, node_id: int = -1):
+        self.node_id = node_id
+        self._manifests: Dict[int, Manifest] = {}
+        self._chunks: Dict[int, Dict[int, bytes]] = {}
+        #: Total verified chunk bytes currently held.
+        self.bytes_stored = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put_manifest(self, manifest: Manifest) -> None:
+        """Register an object's manifest (idempotent for equal manifests).
+
+        A *different* manifest under the same key is a protocol violation
+        upstream; the store refuses it rather than silently mixing chunk
+        sets that can never verify together.
+        """
+        existing = self._manifests.get(manifest.key)
+        if existing is not None and existing != manifest:
+            raise IntegrityError(
+                f"store {self.node_id}: conflicting manifest for key "
+                f"{manifest.key}"
+            )
+        self._manifests[manifest.key] = manifest
+        self._chunks.setdefault(manifest.key, {})
+
+    def put_chunk(self, key: int, index: int, data: bytes) -> bool:
+        """Store one chunk after verifying it; returns completion state.
+
+        Raises :class:`IntegrityError` when no manifest is registered for
+        ``key`` or the chunk fails digest/length verification.  Returns
+        True when this write completed the object.
+        """
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            raise IntegrityError(
+                f"store {self.node_id}: chunk for unknown object {key}"
+            )
+        if not 0 <= index < manifest.n_chunks:
+            raise IntegrityError(
+                f"store {self.node_id}: object {key} has no chunk {index}"
+            )
+        if len(data) != manifest.chunk_length(index):
+            raise IntegrityError(
+                f"store {self.node_id}: object {key} chunk {index} is "
+                f"{len(data)} bytes, manifest says {manifest.chunk_length(index)}"
+            )
+        if chunk_digest(data) != manifest.chunk_digests[index]:
+            raise IntegrityError(
+                f"store {self.node_id}: object {key} chunk {index} failed "
+                f"digest verification"
+            )
+        held = self._chunks[key]
+        if index not in held:
+            self.bytes_stored += len(data)
+        held[index] = data
+        return len(held) == manifest.n_chunks
+
+    def put_object(self, manifest: Manifest, chunks) -> None:
+        """Store a whole object (manifest + every chunk)."""
+        self.put_manifest(manifest)
+        for i, chunk in enumerate(chunks):
+            self.put_chunk(manifest.key, i, chunk)
+
+    def drop_object(self, key: int) -> None:
+        """Forget one object entirely (no-op when absent)."""
+        self._manifests.pop(key, None)
+        held = self._chunks.pop(key, None)
+        if held:
+            self.bytes_stored -= sum(len(c) for c in held.values())
+
+    def wipe(self) -> None:
+        """Lose everything — the crash-with-disk-loss hook."""
+        self._manifests.clear()
+        self._chunks.clear()
+        self.bytes_stored = 0
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def manifest(self, key: int) -> Optional[Manifest]:
+        """The manifest of ``key``, or None."""
+        return self._manifests.get(key)
+
+    def has_object(self, key: int) -> bool:
+        """Whether every chunk of ``key`` is present."""
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            return False
+        return len(self._chunks[key]) == manifest.n_chunks
+
+    def missing_chunks(self, key: int) -> List[int]:
+        """Chunk indices of ``key`` not yet held (all, for an unknown key)."""
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            return []
+        held = self._chunks[key]
+        return [i for i in range(manifest.n_chunks) if i not in held]
+
+    def get_chunk(self, key: int, index: int) -> Optional[bytes]:
+        """One stored chunk, or None."""
+        return self._chunks.get(key, {}).get(index)
+
+    def get_object(self, key: int) -> bytes:
+        """The full verified object; raises :class:`IntegrityError` if
+        incomplete or unknown."""
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            raise IntegrityError(
+                f"store {self.node_id}: object {key} is not held"
+            )
+        return reassemble(manifest, self._chunks[key])
+
+    def complete_keys(self) -> List[int]:
+        """Keys of every fully held object (the flood-servable set)."""
+        return [k for k in self._manifests if self.has_object(k)]
+
+    @property
+    def n_objects(self) -> int:
+        """Number of fully held objects."""
+        return len(self.complete_keys())
+
+    def __contains__(self, key: int) -> bool:
+        return self.has_object(key)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.complete_keys())
+
+    def __len__(self) -> int:
+        return self.n_objects

@@ -54,6 +54,9 @@ _ACTIVITY_COUNTERS = (
     "node.rx.pong",
     "node.rx.query",
     "node.rx.query_hit",
+    "node.rx.chunk_request",
+    "node.rx.manifest",
+    "node.rx.chunk_data",
 )
 
 

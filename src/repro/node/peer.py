@@ -56,12 +56,18 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.content.manifest import IntegrityError, Manifest
+from repro.content.store import ContentStore
 from repro.core.rating import RatingWeights, rate_neighbors, worst_neighbor
 from repro.node.framer import DEFAULT_MAX_PAYLOAD, StreamFramer
 from repro.obs import runtime as _obs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.protocol.messages import (
+    WHOLE_OBJECT,
+    ChunkData,
+    ChunkRequest,
+    ManifestData,
     Ping,
     Pong,
     Query,
@@ -241,6 +247,13 @@ class PeerNode:
         (useful when an external launcher owns the topology).
     store:
         Object keys this node holds replicas of.
+    content:
+        Optional :class:`~repro.content.store.ContentStore` with the
+        actual chunk bytes behind :attr:`store`'s keys.  With one, the
+        node serves ``ChunkRequest`` (0x30) transfers and ingests pushed
+        ``ManifestData``/``ChunkData`` frames — completing an object
+        automatically advertises its key in :attr:`store`.  Without one,
+        the content descriptors are counted and ignored.
     latency_to:
         ``v -> d(u, v)`` injected link latency, the rating function's
         proximity input.  Defaults to unit latency.
@@ -256,6 +269,7 @@ class PeerNode:
         node_id: int,
         capacity: Optional[int] = None,
         store: Optional[Set[int]] = None,
+        content: Optional[ContentStore] = None,
         latency_to: Optional[Callable[[int], float]] = None,
         config: Optional[NodeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -267,6 +281,7 @@ class PeerNode:
         self.node_id = node_id
         self.capacity = capacity
         self.store: Set[int] = set(store or ())
+        self.content = content
         self.latency_to = latency_to or (lambda v: 1.0)
         self.config = config or NodeConfig()
         self.metrics = metrics or MetricsRegistry()
@@ -313,6 +328,11 @@ class PeerNode:
         self._server = await asyncio.start_server(self._on_accept, host, port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+
+    @property
+    def running(self) -> bool:
+        """Whether the node is currently listening (between start/stop)."""
+        return self._server is not None
 
     async def stop(self) -> None:
         """Close the server and every connection."""
@@ -440,6 +460,15 @@ class PeerNode:
         elif isinstance(msg, QueryHit):
             m.counter("node.rx.query_hit").inc()
             self._on_query_hit(conn, msg)
+        elif isinstance(msg, ChunkRequest):
+            m.counter("node.rx.chunk_request").inc()
+            self._on_chunk_request(conn, msg)
+        elif isinstance(msg, ManifestData):
+            m.counter("node.rx.manifest").inc()
+            self._on_manifest(conn, msg)
+        elif isinstance(msg, ChunkData):
+            m.counter("node.rx.chunk_data").inc()
+            self._on_chunk_data(conn, msg)
         else:
             return
         m.quantile("node.dispatch_s").observe(time.perf_counter() - t0)
@@ -570,6 +599,88 @@ class PeerNode:
             )
         else:
             m.counter("node.queryhit.unroutable").inc()
+
+    # ------------------------------------------------------------------
+    # Content transfer (ChunkRequest / ManifestData / ChunkData)
+    # ------------------------------------------------------------------
+
+    def _on_chunk_request(self, conn: PeerConnection, req: ChunkRequest) -> None:
+        """Serve a chunk (or a whole object) from the content store.
+
+        Replies reuse the request's descriptor ID so the requester can
+        correlate the stream.  A miss — no content store, unknown key, or
+        an incomplete local copy — is silently counted; the requester's
+        timeout handles it, exactly like an unanswered Query.
+        """
+        m = self.metrics
+        store = self.content
+        manifest = store.manifest(req.key) if store is not None else None
+        if manifest is None or not store.has_object(req.key):
+            m.counter("node.content.misses").inc()
+            self._trace("node.content.miss", trace=req.descriptor_id.hex(),
+                        key=req.key)
+            return
+        did = req.descriptor_id
+        if req.chunk_index == WHOLE_OBJECT:
+            indices = range(manifest.n_chunks)
+            conn.send(ManifestData(
+                did, key=manifest.key, size=manifest.size,
+                chunk_size=manifest.chunk_size,
+                chunk_digests=manifest.chunk_digests,
+            ))
+        else:
+            if req.chunk_index >= manifest.n_chunks:
+                m.counter("node.content.misses").inc()
+                return
+            indices = (req.chunk_index,)
+        sent_bytes = 0
+        for i in indices:
+            data = store.get_chunk(req.key, i)
+            conn.send(ChunkData(did, key=req.key, chunk_index=i, data=data))
+            sent_bytes += len(data)
+        m.counter("node.content.serves").inc()
+        m.counter("node.content.chunks_tx").inc(len(indices))
+        m.counter("node.content.bytes_tx").inc(sent_bytes)
+        self._trace("node.content.serve", trace=did.hex(), key=req.key,
+                    chunks=len(indices), bytes=sent_bytes)
+
+    def _on_manifest(self, conn: PeerConnection, md: ManifestData) -> None:
+        """Ingest a pushed manifest (read-repair/healing or a fetch reply)."""
+        if self.content is None:
+            self.metrics.counter("node.content.ignored").inc()
+            return
+        try:
+            self.content.put_manifest(Manifest(
+                key=md.key, size=md.size, chunk_size=md.chunk_size,
+                chunk_digests=md.chunk_digests,
+            ))
+        except (IntegrityError, ValueError):
+            self.metrics.counter("node.content.manifest_conflict").inc()
+            return
+        self.metrics.counter("node.content.manifests_rx").inc()
+        self._trace("node.content.manifest", trace=md.descriptor_id.hex(),
+                    key=md.key, chunks=len(md.chunk_digests))
+
+    def _on_chunk_data(self, conn: PeerConnection, cd: ChunkData) -> None:
+        """Verify and store one pushed chunk; completion shares the key."""
+        if self.content is None:
+            self.metrics.counter("node.content.ignored").inc()
+            return
+        m = self.metrics
+        try:
+            completed = self.content.put_chunk(cd.key, cd.chunk_index, cd.data)
+        except IntegrityError:
+            m.counter("node.content.chunk_corrupt").inc()
+            self._trace("node.content.corrupt", trace=cd.descriptor_id.hex(),
+                        key=cd.key, index=cd.chunk_index)
+            return
+        m.counter("node.content.chunks_rx").inc()
+        m.counter("node.content.bytes_rx").inc(len(cd.data))
+        if completed and cd.key not in self.store:
+            self.store.add(cd.key)
+            m.counter("node.content.objects_completed").inc()
+            self._trace("node.content.complete",
+                        trace=cd.descriptor_id.hex(), key=cd.key)
 
     # ------------------------------------------------------------------
     # Neighborhood exchange + Makalu maintenance

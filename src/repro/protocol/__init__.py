@@ -10,7 +10,11 @@ decrement rules.
 
 from repro.protocol.messages import (
     DESCRIPTOR_HEADER_SIZE,
+    WHOLE_OBJECT,
+    ChunkData,
+    ChunkRequest,
     GnutellaHeader,
+    ManifestData,
     MessageType,
     Ping,
     Pong,
@@ -25,9 +29,13 @@ __all__ = [
     "MessageType",
     "GnutellaHeader",
     "DESCRIPTOR_HEADER_SIZE",
+    "WHOLE_OBJECT",
     "ProtocolError",
     "Ping",
     "Pong",
+    "ChunkRequest",
+    "ManifestData",
+    "ChunkData",
     "Query",
     "QueryHit",
     "QueryHitResult",

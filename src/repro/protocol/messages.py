@@ -58,10 +58,21 @@ class ProtocolError(ValueError):
 
 
 class MessageType(enum.IntEnum):
-    """Payload descriptor values of the v0.4 protocol."""
+    """Payload descriptor values of the v0.4 protocol.
+
+    ``0x30``–``0x32`` are the content-transfer extension descriptors
+    (:class:`ChunkRequest`, :class:`ManifestData`, :class:`ChunkData`):
+    the v0.4 spec moves files out of band over HTTP, but the repro's
+    content plane keeps transfers on the framed descriptor stream so the
+    same framer, fault accounting, and byte-exact trace cover them.  They
+    are point-to-point (TTL 1, never flooded).
+    """
 
     PING = 0x00
     PONG = 0x01
+    CHUNK_REQUEST = 0x30
+    MANIFEST_DATA = 0x31
+    CHUNK_DATA = 0x32
     QUERY = 0x80
     QUERY_HIT = 0x81
 
@@ -392,6 +403,216 @@ class QueryHit:
         )
 
 
+#: ``ChunkRequest.chunk_index`` sentinel asking for the whole object
+#: (manifest + every chunk) instead of one chunk.
+WHOLE_OBJECT = 0xFFFFFFFF
+
+_CHUNK_REQUEST_STRUCT = struct.Struct("<qI")
+_MANIFEST_FIXED_STRUCT = struct.Struct("<qQII")
+_CHUNK_DATA_STRUCT = struct.Struct("<qI")
+_DIGEST_SIZE = 32
+
+
+def _check_key(key: int, what: str, offset: int = 0) -> int:
+    if key < 0:
+        raise ProtocolError(f"{what} key must be non-negative, got {key}",
+                            offset=offset)
+    return key
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """ChunkRequest (0x30): ask a holder for one chunk or a whole object.
+
+    Payload is exactly 12 bytes: object key (8, signed little-endian,
+    non-negative on the wire) + chunk index (4).  A ``chunk_index`` of
+    :data:`WHOLE_OBJECT` requests the manifest followed by every chunk.
+    Point-to-point: TTL 1, never forwarded.
+    """
+
+    descriptor_id: bytes
+    key: int
+    chunk_index: int = WHOLE_OBJECT
+    ttl: int = 1
+    hops: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.key <= 2**63 - 1:
+            raise ValueError(f"key must be a 63-bit non-negative int, got {self.key}")
+        if not 0 <= self.chunk_index <= WHOLE_OBJECT:
+            raise ValueError(f"chunk_index must fit in 4 bytes, got {self.chunk_index}")
+
+    def encode(self) -> bytes:
+        """Serialize header + 12-byte payload."""
+        payload = _CHUNK_REQUEST_STRUCT.pack(self.key, self.chunk_index)
+        return _make_header(self.descriptor_id, MessageType.CHUNK_REQUEST,
+                            self.ttl, self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "ChunkRequest":
+        """Parse the 12-byte payload; :class:`ProtocolError` otherwise."""
+        if len(payload) != 12:
+            raise ProtocolError(
+                f"ChunkRequest payload must be exactly 12 bytes, got "
+                f"{len(payload)}", offset=min(len(payload), 12),
+            )
+        key, index = _CHUNK_REQUEST_STRUCT.unpack(payload)
+        _check_key(key, "ChunkRequest")
+        return cls(descriptor_id=descriptor_id, key=key, chunk_index=index,
+                   ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return DESCRIPTOR_HEADER_SIZE + 12
+
+
+@dataclass(frozen=True)
+class ManifestData:
+    """ManifestData (0x31): an object's manifest ahead of its chunks.
+
+    Payload: key (8) + object size (8) + chunk size (4) + chunk count (4)
+    + ``chunk_count`` 32-byte raw SHA-256 digests.  ``chunk_digests``
+    holds lowercase hex strings, matching
+    :class:`repro.content.manifest.Manifest` (conversion helpers live on
+    the content side; the protocol layer stays dependency-free).
+    """
+
+    descriptor_id: bytes
+    key: int
+    size: int
+    chunk_size: int
+    chunk_digests: Tuple[str, ...]
+    ttl: int = 1
+    hops: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.key <= 2**63 - 1:
+            raise ValueError(f"key must be a 63-bit non-negative int, got {self.key}")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        expected = -(-self.size // self.chunk_size)
+        if len(self.chunk_digests) != expected:
+            raise ValueError(
+                f"size {self.size} at chunk_size {self.chunk_size} implies "
+                f"{expected} digest(s), got {len(self.chunk_digests)}"
+            )
+        for i, d in enumerate(self.chunk_digests):
+            if len(d) != 2 * _DIGEST_SIZE:
+                raise ValueError(f"chunk_digests[{i}] is not a sha256 hex digest")
+
+    def encode(self) -> bytes:
+        """Serialize header + fixed fields + raw digest bytes."""
+        payload = _MANIFEST_FIXED_STRUCT.pack(
+            self.key, self.size, self.chunk_size, len(self.chunk_digests)
+        ) + b"".join(bytes.fromhex(d) for d in self.chunk_digests)
+        return _make_header(self.descriptor_id, MessageType.MANIFEST_DATA,
+                            self.ttl, self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "ManifestData":
+        """Parse a ManifestData payload; :class:`ProtocolError` on any fault.
+
+        The declared chunk count must match both the remaining payload
+        length (exactly 32 bytes per digest) and the size/chunk-size
+        arithmetic — a disagreement means the peer's manifest could never
+        verify, so it is rejected at the wire.
+        """
+        if len(payload) < 24:
+            raise ProtocolError(
+                f"ManifestData payload needs a 24-byte fixed prefix, got "
+                f"{len(payload)} byte(s)", offset=len(payload),
+            )
+        key, size, chunk_size, count = _MANIFEST_FIXED_STRUCT.unpack(payload[:24])
+        _check_key(key, "ManifestData")
+        if chunk_size < 1:
+            raise ProtocolError(
+                f"ManifestData chunk_size must be >= 1, got {chunk_size}",
+                offset=16,
+            )
+        expected = -(-size // chunk_size)
+        if count != expected:
+            raise ProtocolError(
+                f"ManifestData declares {count} chunk(s) but size {size} at "
+                f"chunk_size {chunk_size} implies {expected}", offset=20,
+            )
+        if len(payload) - 24 != count * _DIGEST_SIZE:
+            raise ProtocolError(
+                f"expected {count * _DIGEST_SIZE} digest bytes after the "
+                f"fixed prefix, got {len(payload) - 24}", offset=24,
+            )
+        digests = tuple(
+            payload[24 + i * _DIGEST_SIZE : 24 + (i + 1) * _DIGEST_SIZE].hex()
+            for i in range(count)
+        )
+        return cls(descriptor_id=descriptor_id, key=key, size=size,
+                   chunk_size=chunk_size, chunk_digests=digests,
+                   ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return (
+            DESCRIPTOR_HEADER_SIZE + 24
+            + _DIGEST_SIZE * len(self.chunk_digests)
+        )
+
+
+@dataclass(frozen=True)
+class ChunkData:
+    """ChunkData (0x32): one verified-able chunk of an object.
+
+    Payload: key (8) + chunk index (4) + the chunk bytes (at least one —
+    empty objects have no chunks, so an empty ChunkData is a wire fault).
+    """
+
+    descriptor_id: bytes
+    key: int
+    chunk_index: int
+    data: bytes
+    ttl: int = 1
+    hops: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.key <= 2**63 - 1:
+            raise ValueError(f"key must be a 63-bit non-negative int, got {self.key}")
+        if not 0 <= self.chunk_index < WHOLE_OBJECT:
+            raise ValueError(f"chunk_index must be < {WHOLE_OBJECT}, got {self.chunk_index}")
+        if not self.data:
+            raise ValueError("a ChunkData must carry at least one byte")
+
+    def encode(self) -> bytes:
+        """Serialize header + 12-byte prefix + chunk bytes."""
+        payload = _CHUNK_DATA_STRUCT.pack(self.key, self.chunk_index) + self.data
+        return _make_header(self.descriptor_id, MessageType.CHUNK_DATA,
+                            self.ttl, self.hops, payload)
+
+    @classmethod
+    def decode_payload(cls, descriptor_id, ttl, hops, payload: bytes) -> "ChunkData":
+        """Parse a ChunkData payload; :class:`ProtocolError` on any fault."""
+        if len(payload) < 13:
+            raise ProtocolError(
+                f"ChunkData payload needs a 12-byte prefix plus at least "
+                f"one chunk byte, got {len(payload)}", offset=len(payload),
+            )
+        key, index = _CHUNK_DATA_STRUCT.unpack(payload[:12])
+        _check_key(key, "ChunkData")
+        if index >= WHOLE_OBJECT:
+            raise ProtocolError(
+                f"ChunkData chunk_index 0x{index:08x} is the whole-object "
+                f"sentinel", offset=8,
+            )
+        return cls(descriptor_id=descriptor_id, key=key, chunk_index=index,
+                   data=payload[12:], ttl=ttl, hops=hops)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return DESCRIPTOR_HEADER_SIZE + 12 + len(self.data)
+
+
 def decode_message(data: bytes, strict: bool = True):
     """Decode one complete message (header + payload) from bytes.
 
@@ -437,6 +658,12 @@ def decode_message(data: bytes, strict: bool = True):
         return Ping(descriptor_id=common[0], ttl=header.ttl, hops=header.hops)
     if header.message_type == MessageType.PONG:
         return Pong.decode_payload(*common, payload)
+    if header.message_type == MessageType.CHUNK_REQUEST:
+        return ChunkRequest.decode_payload(*common, payload)
+    if header.message_type == MessageType.MANIFEST_DATA:
+        return ManifestData.decode_payload(*common, payload)
+    if header.message_type == MessageType.CHUNK_DATA:
+        return ChunkData.decode_payload(*common, payload)
     if header.message_type == MessageType.QUERY:
         return Query.decode_payload(*common, payload)
     return QueryHit.decode_payload(*common, payload)

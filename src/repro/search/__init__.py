@@ -64,6 +64,7 @@ from repro.search.replication import (
     place_objects,
     place_single_object,
     replica_count,
+    replication_factor,
 )
 from repro.search.ttl_policy import (
     TtlPolicyResult,
@@ -120,6 +121,7 @@ __all__ = [
     "place_objects",
     "place_single_object",
     "replica_count",
+    "replication_factor",
     "QueryRecord",
     "SearchSummary",
     "summarize",

@@ -9,12 +9,15 @@ at least one replica is located.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.content.placement import ContentPlacement
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,38 @@ def replica_count(n_nodes: int, replication_ratio: float, minimum: int = 1) -> i
     """Replicas implied by a ratio, floored at ``minimum`` (>= 1 holder)."""
     check_fraction("replication_ratio", replication_ratio)
     return max(minimum, int(round(replication_ratio * n_nodes)))
+
+
+def replication_factor(
+    n_nodes: Optional[int] = None,
+    replication_ratio: Optional[float] = None,
+    *,
+    placement: Optional["ContentPlacement"] = None,
+    minimum: int = 1,
+) -> int:
+    """Replicas per object — legacy scalar path, or derived from placement.
+
+    The scalar path (``n_nodes`` + ``replication_ratio``) is the paper's
+    Section 4.1 uniform assumption and delegates to :func:`replica_count`
+    unchanged (bit-identical to the historical behaviour).  When a
+    :class:`repro.content.placement.ContentPlacement` is supplied, the
+    figure derives from the *real* replica map the content plane produced
+    — ``round(mean replicas per object)`` — so search experiments driven
+    by actual placements stop assuming uniformity.  The matching ratio is
+    ``placement.effective_replication_ratio``.
+    """
+    if placement is not None:
+        if n_nodes is not None or replication_ratio is not None:
+            raise ValueError(
+                "pass either a placement or (n_nodes, replication_ratio), "
+                "not both"
+            )
+        return max(minimum, int(round(placement.mean_replicas)))
+    if n_nodes is None or replication_ratio is None:
+        raise ValueError(
+            "n_nodes and replication_ratio are required without a placement"
+        )
+    return replica_count(n_nodes, replication_ratio, minimum=minimum)
 
 
 def place_objects(

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.content.plane import ContentPlane
     from repro.faults.link import LinkFaults
     from repro.faults.scenario import FaultScenario
 
@@ -124,6 +125,12 @@ class ChurnSimulation:
     #: trajectory); a policy routes bereaved nodes through scheduled
     #: backoff attempts instead.
     recovery: Optional[RecoveryPolicy] = None
+    #: Optional :class:`~repro.content.plane.ContentPlane`: places real
+    #: replicated objects over the overlay, wipes them on crashes, heals
+    #: under churn.  Repair/heal target selection is RNG-free and probes
+    #: draw from a dedicated child stream, so attaching a plane keeps the
+    #: churn trajectory bit-identical to a content-free run.
+    content: Optional["ContentPlane"] = None
 
     def __post_init__(self):
         self.rng = as_generator(self.seed)
@@ -143,6 +150,11 @@ class ChurnSimulation:
         # perturbs the probe or health streams (and a no-fault run is
         # bit-identical to one built before faults existed).
         self._fault_rng = spawn_generators(self.rng, 1)[0]
+        # Content-plane fetch probes get the fourth child stream, spawned
+        # unconditionally so earlier children keep their identities and a
+        # run with a content plane attached replays the exact churn/fault
+        # trajectory of one without.
+        self._content_rng = spawn_generators(self.rng, 1)[0]
         membership = None
         if self.use_host_caches:
             from repro.core.membership import MembershipService
@@ -213,6 +225,9 @@ class ChurnSimulation:
 
             self.injector = FaultInjector(self)
             self.injector.schedule()
+        if self.content is not None:
+            with _obs.span("content.place"):
+                self.content.start(self)
         self._sim.run(until=duration)
         return self.snapshots
 
@@ -285,6 +300,10 @@ class ChurnSimulation:
         for v in victims:
             self.online[v] = False
             self._epoch[v] += 1
+        if self.content is not None:
+            # A crash is disk loss: victims' replicas are gone, unlike a
+            # churn departure where the node returns with its data.
+            self.content.on_crash(victims)
         _obs.count("faults.crashes")
         _obs.count("faults.crash_victims", len(victims))
         _obs.event(
@@ -377,6 +396,8 @@ class ChurnSimulation:
             "churn.snapshot", t=sim.now, online=snap.n_online,
             components=snap.n_components, giant=snap.giant_fraction,
         )
+        if self.content is not None:
+            self.content.on_snapshot(sim.now)
         sim.schedule(self.churn_config.snapshot_interval, self._snapshot, label="snapshot")
 
     def _health_sample(self, sim: Simulator) -> None:

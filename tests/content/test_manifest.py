@@ -1,0 +1,149 @@
+"""Unit tests for chunked-object manifests (repro.content.manifest)."""
+
+import hashlib
+
+import pytest
+
+from repro.content.manifest import (
+    DEFAULT_CHUNK_SIZE,
+    MANIFEST_SCHEMA_VERSION,
+    ContentObject,
+    IntegrityError,
+    Manifest,
+    UnsupportedSchemaError,
+    chunk_object,
+    generate_objects,
+    reassemble,
+)
+
+
+def _obj(key, data, chunk_size=DEFAULT_CHUNK_SIZE) -> ContentObject:
+    manifest, chunks = chunk_object(key, data, chunk_size=chunk_size)
+    return ContentObject(manifest=manifest, chunks=tuple(chunks))
+
+
+class TestChunkObject:
+    def test_splits_and_digests(self):
+        data = bytes(range(256)) * 20  # 5120 bytes
+        obj = _obj(7, data, chunk_size=2048)
+        assert obj.key == 7
+        assert obj.size == 5120
+        assert obj.manifest.n_chunks == 3
+        assert [len(c) for c in obj.chunks] == [2048, 2048, 1024]
+        for chunk, digest in zip(obj.chunks, obj.manifest.chunk_digests):
+            assert hashlib.sha256(chunk).hexdigest() == digest
+
+    def test_empty_object_has_zero_chunks(self):
+        obj = _obj(1, b"")
+        assert obj.manifest.n_chunks == 0
+        assert obj.data() == b""
+
+    def test_default_chunk_size(self):
+        obj = _obj(1, b"x" * (DEFAULT_CHUNK_SIZE + 1))
+        assert obj.manifest.n_chunks == 2
+
+    def test_chunk_length_accounts_for_remainder(self):
+        m = _obj(1, b"y" * 5000, chunk_size=2048).manifest
+        assert [m.chunk_length(i) for i in range(3)] == [2048, 2048, 904]
+
+
+class TestReassemble:
+    def test_round_trip(self):
+        data = b"the paper's content plane" * 999
+        obj = _obj(3, data, chunk_size=1000)
+        assert reassemble(obj.manifest, obj.chunks) == data
+
+    def test_round_trip_from_index_map(self):
+        obj = _obj(3, b"z" * 4000, chunk_size=1024)
+        by_index = {i: c for i, c in enumerate(obj.chunks)}
+        assert reassemble(obj.manifest, by_index) == obj.data()
+
+    def test_missing_chunk_rejected(self):
+        obj = _obj(3, b"z" * 4000, chunk_size=1024)
+        with pytest.raises(IntegrityError):
+            reassemble(obj.manifest, {0: obj.chunks[0]})
+
+    def test_corrupt_chunk_rejected(self):
+        obj = _obj(3, b"z" * 4000, chunk_size=1024)
+        bad = list(obj.chunks)
+        bad[1] = b"w" * len(bad[1])
+        with pytest.raises(IntegrityError):
+            reassemble(obj.manifest, bad)
+
+    def test_wrong_length_rejected(self):
+        obj = _obj(3, b"z" * 4000, chunk_size=1024)
+        bad = list(obj.chunks)
+        bad[0] = bad[0] + b"!"
+        with pytest.raises(IntegrityError):
+            reassemble(obj.manifest, bad)
+
+
+class TestManifestValidation:
+    def test_rejects_negative_key(self):
+        with pytest.raises(ValueError):
+            chunk_object(-1, b"x")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_object(1, b"x", chunk_size=0)
+
+    def test_rejects_wrong_digest_count(self):
+        with pytest.raises(ValueError):
+            Manifest(key=1, size=100, chunk_size=50, chunk_digests=("a" * 64,))
+
+    def test_rejects_malformed_digest(self):
+        with pytest.raises(ValueError):
+            Manifest(key=1, size=10, chunk_size=50, chunk_digests=("zz",))
+
+
+class TestManifestDict:
+    def test_round_trip(self):
+        m = _obj(5, b"q" * 3000, chunk_size=1024).manifest
+        doc = m.to_dict()
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert Manifest.from_dict(doc) == m
+
+    def test_future_schema_rejected(self):
+        doc = _obj(5, b"q" * 100).manifest.to_dict()
+        doc["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(UnsupportedSchemaError):
+            Manifest.from_dict(doc)
+
+    def test_unknown_keys_rejected(self):
+        doc = _obj(5, b"q" * 100).manifest.to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ValueError):
+            Manifest.from_dict(doc)
+
+    def test_digest_mismatch_rejected(self):
+        doc = _obj(5, b"q" * 100).manifest.to_dict()
+        doc["digest"] = "0" * 64
+        with pytest.raises(ValueError):
+            Manifest.from_dict(doc)
+
+
+class TestGenerateObjects:
+    def test_deterministic(self):
+        a = generate_objects(8, seed=42)
+        b = generate_objects(8, seed=42)
+        assert [o.key for o in a] == [o.key for o in b]
+        assert all(x.data() == y.data() for x, y in zip(a, b))
+
+    def test_distinct_keys_and_size_range(self):
+        objs = generate_objects(16, seed=3, size_range=(1000, 2000))
+        keys = [o.key for o in objs]
+        assert len(set(keys)) == 16
+        assert all(1000 <= o.size <= 2000 for o in objs)
+
+    def test_seed_changes_corpus(self):
+        a = generate_objects(4, seed=1)
+        b = generate_objects(4, seed=2)
+        assert [o.key for o in a] != [o.key for o in b]
+
+
+class TestContentObject:
+    def test_data_concatenates_chunks(self):
+        payload = bytes(range(200)) * 30
+        obj = _obj(9, payload, chunk_size=512)
+        assert obj.data() == payload
+        assert reassemble(obj.manifest, obj.chunks) == payload

@@ -1,0 +1,106 @@
+"""Unit tests for k-replica placement (repro.content.placement)."""
+
+import numpy as np
+import pytest
+
+from repro.content.placement import (
+    ContentPlacement,
+    owner_of,
+    place_content,
+)
+from repro.core.makalu import makalu_graph
+from repro.search.replication import replication_factor
+
+
+def _graph(n=30, seed=5):
+    return makalu_graph(n_nodes=n, seed=seed)
+
+
+class TestOwnerOf:
+    def test_in_range_and_stable(self):
+        for key in (1, 17, 2**40 + 3):
+            o = owner_of(key, 30)
+            assert 0 <= o < 30
+            assert o == owner_of(key, 30)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            owner_of(1, 0)
+
+
+class TestPlaceContent:
+    def test_owner_first_and_distinct(self):
+        graph = _graph()
+        keys = [10, 20, 30, 40]
+        p = place_content(graph, keys, k=3, seed=1)
+        for key in keys:
+            holders = p.replicas(key)
+            assert holders[0] == owner_of(key, graph.n_nodes)
+            assert len(holders) == 3
+            assert len(set(holders)) == 3
+            assert all(0 <= h < graph.n_nodes for h in holders)
+
+    def test_k_capped_by_population(self):
+        graph = _graph(n=4)
+        p = place_content(graph, [1, 2], k=10, seed=0)
+        assert all(len(p.replicas(key)) == 4 for key in (1, 2))
+
+    def test_deterministic_and_order_independent(self):
+        graph = _graph()
+        keys = [10, 20, 30, 40]
+        a = place_content(graph, keys, k=3, seed=7)
+        b = place_content(graph, list(reversed(keys)), k=3, seed=7)
+        assert all(a.replicas(key) == b.replicas(key) for key in keys)
+
+    def test_seed_changes_non_owner_replicas(self):
+        graph = _graph()
+        keys = list(range(100, 140))
+        a = place_content(graph, keys, k=3, seed=1)
+        b = place_content(graph, keys, k=3, seed=2)
+        assert any(a.replicas(key) != b.replicas(key) for key in keys)
+        # the owner is seed-independent (content-addressed)
+        assert all(a.owner(key) == b.owner(key) for key in keys)
+
+    def test_neighbor_bias(self):
+        graph = _graph(n=60)
+        keys = list(range(1, 41))
+        p = place_content(graph, keys, k=3, seed=3)
+        # k-1 = 2 replicas per object, Makalu degree >= 2 in a 60-node
+        # build: the 1-hop ring always has room, so bias is total.
+        assert p.neighbor_bias_fraction(graph) > 0.9
+
+    def test_rejects_bad_args(self):
+        graph = _graph(n=10)
+        with pytest.raises(ValueError):
+            place_content(graph, [1], k=0)
+        with pytest.raises(ValueError):
+            place_content(graph, [1, 1], k=2)
+
+
+class TestBridge:
+    def test_as_placement_matches_legacy_layout(self):
+        graph = _graph()
+        keys = [3, 6, 9]
+        p = place_content(graph, keys, k=3, seed=1)
+        legacy = p.as_placement()
+        assert legacy.n_nodes == graph.n_nodes
+        assert legacy.n_objects == 3
+        np.testing.assert_array_equal(
+            legacy.object_keys, np.asarray(keys, dtype=np.int64))
+        for i, key in enumerate(keys):
+            np.testing.assert_array_equal(
+                legacy.replicas(i), np.sort(np.asarray(p.replicas(key))))
+        indptr, stored = legacy.node_store()
+        assert indptr[-1] == sum(len(p.replicas(key)) for key in keys)
+
+    def test_effective_ratio_and_replication_factor(self):
+        graph = _graph(n=50)
+        p = place_content(graph, list(range(1, 21)), k=4, seed=2)
+        assert p.mean_replicas == pytest.approx(4.0)
+        assert p.effective_replication_ratio == pytest.approx(4 / 50)
+        assert replication_factor(placement=p) == 4
+
+    def test_empty_corpus(self):
+        p = ContentPlacement(n_nodes=10, k=3, object_keys=(), replica_map={})
+        assert p.mean_replicas == 0.0
+        assert p.as_placement().n_objects == 0

@@ -1,0 +1,240 @@
+"""Unit tests for the sim-side content plane (repro.content.plane)."""
+
+import math
+
+import pytest
+
+from repro.content.experiment import (
+    build_placement,
+    hub_failure_scenario,
+    run_durability,
+)
+from repro.content.manifest import generate_objects
+from repro.content.plane import ContentConfig, ContentPlane
+from repro.sim.churn import ChurnConfig, ChurnSimulation
+
+
+def _plane(n_objects=6, **cfg):
+    objects = generate_objects(n_objects, seed=11,
+                               size_range=(1000, 3000), chunk_size=512)
+    defaults = dict(k=3, heal_interval=10.0)
+    defaults.update(cfg)
+    return ContentPlane(objects, ContentConfig(**defaults))
+
+
+def _sim(plane, n_nodes=40, seed=5, **kw):
+    return ChurnSimulation(
+        n_nodes=n_nodes, seed=seed, content=plane,
+        churn_config=ChurnConfig(snapshot_interval=10.0), **kw,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentConfig(k=0)
+        with pytest.raises(ValueError):
+            ContentConfig(heal_interval=0)
+        with pytest.raises(ValueError):
+            ContentConfig(fetch_probes=-1)
+        with pytest.raises(ValueError):
+            ContentConfig(fetch_ttl=0)
+
+    def test_plane_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            ContentPlane([], ContentConfig())
+
+
+class TestPlacementLifecycle:
+    def test_start_places_k_replicas(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        assert plane.stats["objects_placed"] == 6
+        assert plane.stats["replicas_placed"] == 18
+        for key in plane.objects:
+            holders = plane.holders(key)
+            assert len(holders) == 3
+            for h in holders:
+                assert plane.stores[h].has_object(key)
+
+    def test_crash_wipes_disks(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        victims = sorted(plane.holders(key))
+        sim.crash_nodes(victims, rejoin=False)
+        assert plane.live_replica_count(key) == 0
+        assert plane.holders(key) == set()
+        assert all(not plane.stores[v] for v in victims)
+        assert plane.stats["replicas_wiped"] >= len(victims)
+
+    def test_departure_keeps_disk(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        victim = min(plane.holders(key))
+        sim._depart(victim)
+        # the disk survives a churn departure: still a holder, not live
+        assert victim in plane.holders(key)
+        assert victim not in {
+            h for h in plane.holders(key) if sim.online[h]
+        }
+
+
+class TestFetch:
+    def test_fetch_returns_verified_bytes(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key, obj = next(iter(plane.objects.items()))
+        source = min(plane.holders(key))
+        assert plane.fetch(source, key) == obj.data()
+        assert plane.stats["fetch.hits"] >= 1
+
+    def test_fetch_fails_when_no_live_holder(self):
+        plane = _plane(read_repair=False)
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        sim.crash_nodes(sorted(plane.holders(key)), rejoin=False)
+        source = next(u for u in range(sim.builder.n_nodes)
+                      if sim.online[u])
+        assert plane.fetch(source, key) is None
+        assert plane.stats["fetch.failures"] >= 1
+
+    def test_read_repair_restores_k(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        holders = sorted(plane.holders(key))
+        sim.crash_nodes(holders[:1], rejoin=False)
+        assert plane.live_replica_count(key) == 2
+        survivor = min(h for h in holders[1:])
+        data = plane.fetch(survivor, key)
+        assert data is not None
+        assert plane.live_replica_count(key) == 3
+        assert plane.stats["repair.pushes"] == 1
+
+    def test_no_read_repair_when_disabled(self):
+        plane = _plane(read_repair=False)
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        holders = sorted(plane.holders(key))
+        sim.crash_nodes(holders[:1], rejoin=False)
+        plane.fetch(min(holders[1:]), key)
+        assert plane.live_replica_count(key) == 2
+        assert plane.stats["repair.pushes"] == 0
+
+
+class TestHealing:
+    def test_heal_restores_k_when_one_survives(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        holders = sorted(plane.holders(key))
+        sim.crash_nodes(holders[:2], rejoin=False)
+        assert plane.live_replica_count(key) == 1
+        plane.heal()
+        assert plane.live_replica_count(key) == 3
+        assert plane.stats["heal.pushes"] >= 2
+
+    def test_heal_cannot_resurrect_lost_objects(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        sim.crash_nodes(sorted(plane.holders(key)), rejoin=False)
+        plane.heal()
+        assert plane.live_replica_count(key) == 0
+        assert plane.stats["objects_lost"] == 1
+        plane.heal()  # lost is counted once, not per tick
+        assert plane.stats["objects_lost"] == 1
+
+    def test_heal_trims_surplus(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key, obj = next(iter(plane.objects.items()))
+        extra = [u for u in range(sim.builder.n_nodes)
+                 if u not in plane.holders(key)][:2]
+        for u in extra:
+            plane._store(u, obj)
+        assert plane.live_replica_count(key) == 5
+        plane.heal()
+        assert plane.live_replica_count(key) == 3
+        assert plane.stats["heal.trims"] == 2
+        # placed replicas win over opportunistic ones
+        assert plane.holders(key) == set(plane.placement.replicas(key))
+
+    def test_scheduled_ticks_fire(self):
+        plane = _plane(heal_interval=10.0)
+        sim = _sim(plane)
+        sim.run(45.0)
+        assert plane.stats["heal.ticks"] == 4
+
+
+class TestReporting:
+    def test_snapshot_samples_accumulate(self):
+        plane = _plane(fetch_probes=4)
+        sim = _sim(plane)
+        sim.run(30.0)
+        assert len(plane.samples) >= 3
+        s = plane.samples[-1]
+        assert 0.0 <= s.availability <= 1.0
+        assert not math.isnan(s.fetch_success)
+
+    def test_durability_report_consistent(self):
+        result = run_durability(n_nodes=60, n_objects=20, duration=60.0,
+                                seed=7)
+        r = result.report
+        assert r.n_objects == 20
+        assert r.min_availability <= r.availability
+        assert r.heal_ticks == result.plane.stats["heal.ticks"]
+        assert r.to_dict()["availability"] == r.availability
+
+
+class TestDeterminism:
+    @staticmethod
+    def _trajectory(snapshots):
+        # ChurnSnapshot.search_success is NaN without probes, and
+        # NaN != NaN breaks dataclass equality — compare real fields.
+        return [(s.time, s.n_online, s.n_components, s.giant_fraction,
+                 s.mean_degree) for s in snapshots]
+
+    def test_content_plane_does_not_perturb_churn(self):
+        bare = ChurnSimulation(
+            n_nodes=40, seed=5,
+            churn_config=ChurnConfig(snapshot_interval=10.0),
+        ).run(60.0)
+        plane = _plane(fetch_probes=4)
+        with_content = _sim(plane).run(60.0)
+        assert self._trajectory(bare) == self._trajectory(with_content)
+
+    def test_same_seed_same_ledger(self):
+        a = run_durability(n_nodes=60, n_objects=20, duration=60.0, seed=3)
+        b = run_durability(n_nodes=60, n_objects=20, duration=60.0, seed=3)
+        assert a.report == b.report
+        assert a.plane.stats == b.plane.stats
+
+
+class TestExperiment:
+    def test_hub_failure_scenario_shape(self):
+        s = hub_failure_scenario(fraction=0.4, waves=2)
+        assert len(s.crashes) == 2
+        assert [c.time for c in s.crashes] == [40.0, 80.0]
+        assert all(c.mode == "top-degree" for c in s.crashes)
+        with pytest.raises(ValueError):
+            hub_failure_scenario(waves=0)
+
+    def test_build_placement_preview(self):
+        graph, objects, placement = build_placement(
+            n_nodes=40, n_objects=10, seed=3, k=3)
+        assert placement.n_objects == 10
+        assert {o.key for o in objects} == set(placement.object_keys)
+        assert placement.mean_replicas == pytest.approx(3.0)

@@ -1,0 +1,125 @@
+"""Unit tests for the per-node content store (repro.content.store)."""
+
+import pytest
+
+from repro.content.manifest import (
+    ContentObject,
+    IntegrityError,
+    Manifest,
+    chunk_object,
+)
+from repro.content.store import ContentStore
+
+
+def _obj(key=11, size=5000, chunk_size=1024) -> ContentObject:
+    manifest, chunks = chunk_object(key, bytes(i % 251 for i in range(size)),
+                                    chunk_size=chunk_size)
+    return ContentObject(manifest=manifest, chunks=tuple(chunks))
+
+
+class TestWrites:
+    def test_put_object_round_trip(self):
+        store = ContentStore(node_id=3)
+        obj = _obj()
+        store.put_object(obj.manifest, obj.chunks)
+        assert store.has_object(obj.key)
+        assert store.get_object(obj.key) == obj.data()
+        assert store.bytes_stored == obj.size
+
+    def test_put_chunk_reports_completion(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        done = [store.put_chunk(obj.key, i, c)
+                for i, c in enumerate(obj.chunks)]
+        assert done == [False] * (len(obj.chunks) - 1) + [True]
+
+    def test_duplicate_chunk_does_not_double_count(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        store.put_chunk(obj.key, 0, obj.chunks[0])
+        store.put_chunk(obj.key, 0, obj.chunks[0])
+        assert store.bytes_stored == len(obj.chunks[0])
+
+    def test_conflicting_manifest_refused(self):
+        store = ContentStore()
+        a, b = _obj(key=5, size=1000), _obj(key=5, size=2000)
+        store.put_manifest(a.manifest)
+        store.put_manifest(a.manifest)  # idempotent
+        with pytest.raises(IntegrityError):
+            store.put_manifest(b.manifest)
+
+    def test_chunk_for_unknown_object_refused(self):
+        store = ContentStore()
+        with pytest.raises(IntegrityError):
+            store.put_chunk(99, 0, b"x")
+
+    def test_corrupt_chunk_refused(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        bad = bytes(len(obj.chunks[0]))
+        with pytest.raises(IntegrityError):
+            store.put_chunk(obj.key, 0, bad)
+        assert not store.has_object(obj.key)
+
+    def test_out_of_range_index_refused(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        with pytest.raises(IntegrityError):
+            store.put_chunk(obj.key, obj.manifest.n_chunks, obj.chunks[0])
+
+
+class TestReadsAndDrops:
+    def test_missing_chunks_tracks_progress(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        n = obj.manifest.n_chunks
+        assert store.missing_chunks(obj.key) == list(range(n))
+        store.put_chunk(obj.key, 1, obj.chunks[1])
+        assert store.missing_chunks(obj.key) == [0] + list(range(2, n))
+
+    def test_incomplete_object_not_servable(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_manifest(obj.manifest)
+        store.put_chunk(obj.key, 0, obj.chunks[0])
+        assert not store.has_object(obj.key)
+        assert obj.key not in store
+        with pytest.raises(IntegrityError):
+            store.get_object(obj.key)
+
+    def test_drop_object_frees_bytes(self):
+        store = ContentStore()
+        obj = _obj()
+        store.put_object(obj.manifest, obj.chunks)
+        store.drop_object(obj.key)
+        assert store.bytes_stored == 0
+        assert not store.has_object(obj.key)
+        store.drop_object(obj.key)  # no-op when absent
+
+    def test_wipe_loses_everything(self):
+        store = ContentStore()
+        for key in (1, 2, 3):
+            obj = _obj(key=key)
+            store.put_object(obj.manifest, obj.chunks)
+        assert len(store) == 3
+        store.wipe()
+        assert len(store) == 0
+        assert store.bytes_stored == 0
+
+    def test_container_protocol(self):
+        store = ContentStore()
+        a, b = _obj(key=1), _obj(key=2)
+        store.put_object(a.manifest, a.chunks)
+        store.put_manifest(b.manifest)  # incomplete
+        assert sorted(store) == [1]
+        assert store.n_objects == 1
+        assert store.complete_keys() == [1]
+        assert store.manifest(2) == b.manifest
+        assert store.manifest(42) is None
+        assert store.get_chunk(1, 0) == a.chunks[0]
+        assert store.get_chunk(42, 0) is None

@@ -1,0 +1,128 @@
+"""Property-based invariants of the content plane.
+
+The four pillars the content subsystem stands on:
+
+* placement is a pure function of ``(graph, keys, k, seed)``;
+* no object ever exceeds ``k`` replicas (placement or post-heal);
+* healing restores ``min(k, n_online)`` live replicas whenever at least
+  one live copy survives;
+* manifest chunking round-trips byte-identically at any object/chunk
+  size combination.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.manifest import (
+    ContentObject,
+    Manifest,
+    chunk_object,
+    reassemble,
+)
+from repro.content.placement import owner_of, place_content
+from repro.content.plane import ContentConfig, ContentPlane
+from repro.core.makalu import makalu_graph
+from repro.sim.churn import ChurnConfig, ChurnSimulation
+
+#: One modest overlay shared by every placement example (building a
+#: Makalu overlay per hypothesis example would dominate the runtime).
+GRAPH = makalu_graph(n_nodes=24, seed=9)
+
+keys_strategy = st.lists(
+    st.integers(min_value=1, max_value=2**62), min_size=1, max_size=12,
+    unique=True,
+)
+
+
+class TestPlacementDeterminism:
+    @given(keys=keys_strategy, k=st.integers(1, 6),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_same_inputs_same_replica_map(self, keys, k, seed):
+        a = place_content(GRAPH, keys, k=k, seed=seed)
+        b = place_content(GRAPH, list(reversed(keys)), k=k, seed=seed)
+        assert a.replica_map == b.replica_map
+
+    @given(keys=keys_strategy, k=st.integers(1, 6),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_replicas_bounded_distinct_owner_first(self, keys, k, seed):
+        p = place_content(GRAPH, keys, k=k, seed=seed)
+        for key in keys:
+            holders = p.replicas(key)
+            assert 1 <= len(holders) <= k
+            assert len(holders) == min(k, GRAPH.n_nodes)
+            assert len(set(holders)) == len(holders)
+            assert holders[0] == owner_of(key, GRAPH.n_nodes)
+            assert all(0 <= h < GRAPH.n_nodes for h in holders)
+
+
+class TestHealInvariant:
+    @given(seed=st.integers(0, 2**16), kill=st.integers(1, 2),
+           data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_heal_restores_k_when_one_survives(self, seed, kill, data):
+        manifest, chunks = chunk_object(17, b"payload " * 200, chunk_size=256)
+        obj = ContentObject(manifest=manifest, chunks=tuple(chunks))
+        plane = ContentPlane([obj], ContentConfig(k=3, read_repair=False))
+        sim = ChurnSimulation(
+            n_nodes=20, seed=seed, content=plane,
+            churn_config=ChurnConfig(snapshot_interval=50.0),
+        )
+        sim.run(1.0)
+        holders = sorted(plane.holders(17))
+        victims = data.draw(
+            st.lists(st.sampled_from(holders), min_size=kill,
+                     max_size=min(kill, len(holders) - 1), unique=True)
+        )
+        sim.crash_nodes(victims, rejoin=False)
+        assert plane.live_replica_count(17) >= 1
+        plane.heal()
+        want = min(3, int(np.count_nonzero(sim.online)))
+        assert plane.live_replica_count(17) == want
+        # and never more than k live replicas after healing
+        assert plane.live_replica_count(17) <= 3
+
+    @given(seed=st.integers(0, 2**16), extra=st.integers(1, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_heal_trims_down_to_k(self, seed, extra):
+        manifest, chunks = chunk_object(23, b"body " * 100, chunk_size=128)
+        obj = ContentObject(manifest=manifest, chunks=tuple(chunks))
+        plane = ContentPlane([obj], ContentConfig(k=2, read_repair=False))
+        sim = ChurnSimulation(
+            n_nodes=16, seed=seed, content=plane,
+            churn_config=ChurnConfig(snapshot_interval=50.0),
+        )
+        sim.run(1.0)
+        others = [u for u in range(16) if u not in plane.holders(23)]
+        for u in others[:extra]:
+            plane._store(u, obj)
+        plane.heal()
+        assert plane.live_replica_count(23) == min(
+            2, int(np.count_nonzero(sim.online))
+        )
+
+
+class TestManifestRoundTrip:
+    @given(size=st.integers(0, 9000), chunk_size=st.integers(1, 4096),
+           key=st.integers(0, 2**62))
+    @settings(max_examples=80, deadline=None)
+    def test_chunk_reassemble_identity(self, size, chunk_size, key):
+        rng = np.random.default_rng(size * 31 + chunk_size)
+        data = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+        manifest, chunks = chunk_object(key, data, chunk_size=chunk_size)
+        assert manifest.n_chunks == -(-size // chunk_size)
+        assert reassemble(manifest, chunks) == data
+        # and the manifest's JSON form round-trips to the same manifest
+        assert Manifest.from_dict(manifest.to_dict()) == manifest
+
+    @given(size=st.integers(1, 5000), chunk_size=st.integers(1, 1024))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_lengths_partition_the_object(self, size, chunk_size):
+        manifest, chunks = chunk_object(1, b"\x5a" * size,
+                                        chunk_size=chunk_size)
+        lengths = [manifest.chunk_length(i) for i in range(manifest.n_chunks)]
+        assert lengths == [len(c) for c in chunks]
+        assert sum(lengths) == size
+        assert all(1 <= n <= chunk_size for n in lengths)

@@ -1,0 +1,157 @@
+"""Wire-format tests for the content extension descriptors (0x30-0x32)."""
+
+import pytest
+
+from repro.content.manifest import chunk_object
+from repro.protocol import (
+    WHOLE_OBJECT,
+    ChunkData,
+    ChunkRequest,
+    ManifestData,
+    MessageType,
+    ProtocolError,
+    decode_message,
+)
+
+DID = bytes(range(16))
+
+
+def _manifest(size=5000, chunk_size=1024, key=77):
+    manifest, chunks = chunk_object(key, bytes(i % 256 for i in range(size)),
+                                    chunk_size=chunk_size)
+    return manifest, chunks
+
+
+class TestChunkRequest:
+    def test_round_trip_whole_object(self):
+        msg = ChunkRequest(DID, key=123)
+        decoded = decode_message(msg.encode())
+        assert isinstance(decoded, ChunkRequest)
+        assert decoded.key == 123
+        assert decoded.chunk_index == WHOLE_OBJECT
+        assert decoded.ttl == 1 and decoded.hops == 0
+
+    def test_round_trip_single_chunk(self):
+        msg = ChunkRequest(DID, key=5, chunk_index=2)
+        decoded = decode_message(msg.encode())
+        assert decoded.chunk_index == 2
+
+    def test_wire_size_matches_encoding(self):
+        msg = ChunkRequest(DID, key=1)
+        assert msg.wire_size == len(msg.encode())
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkRequest(DID, key=-1)
+        wire = bytearray(ChunkRequest(DID, key=1).encode())
+        wire[23 + 7] = 0x80  # flip the key's sign bit on the wire
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(wire))
+
+    def test_truncated_payload_rejected(self):
+        wire = ChunkRequest(DID, key=1).encode()
+        with pytest.raises(ProtocolError):
+            decode_message(wire[:-4])
+
+
+class TestManifestData:
+    def test_round_trip(self):
+        manifest, _ = _manifest()
+        msg = ManifestData(DID, key=manifest.key, size=manifest.size,
+                           chunk_size=manifest.chunk_size,
+                           chunk_digests=manifest.chunk_digests)
+        decoded = decode_message(msg.encode())
+        assert isinstance(decoded, ManifestData)
+        assert decoded.key == manifest.key
+        assert decoded.size == manifest.size
+        assert decoded.chunk_size == manifest.chunk_size
+        assert decoded.chunk_digests == manifest.chunk_digests
+
+    def test_empty_object(self):
+        msg = ManifestData(DID, key=9, size=0, chunk_size=1024,
+                           chunk_digests=())
+        decoded = decode_message(msg.encode())
+        assert decoded.chunk_digests == ()
+
+    def test_wire_size_matches_encoding(self):
+        manifest, _ = _manifest()
+        msg = ManifestData(DID, key=manifest.key, size=manifest.size,
+                           chunk_size=manifest.chunk_size,
+                           chunk_digests=manifest.chunk_digests)
+        assert msg.wire_size == len(msg.encode())
+
+    def test_digest_count_mismatch_rejected(self):
+        manifest, _ = _manifest()
+        with pytest.raises(ValueError):
+            ManifestData(DID, key=1, size=manifest.size,
+                         chunk_size=manifest.chunk_size,
+                         chunk_digests=manifest.chunk_digests[:-1])
+        # on the wire: strip the last digest and patch payload_length
+        wire = bytearray(ManifestData(
+            DID, key=manifest.key, size=manifest.size,
+            chunk_size=manifest.chunk_size,
+            chunk_digests=manifest.chunk_digests,
+        ).encode())
+        old_len = int.from_bytes(wire[19:23], "little")
+        wire[19:23] = (old_len - 32).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(wire[:-32]))
+
+    def test_zero_chunk_size_rejected(self):
+        header_and_payload = ManifestData(
+            DID, key=1, size=0, chunk_size=1, chunk_digests=()
+        ).encode()
+        # corrupt chunk_size in place (offset: 23 header + 8 key + 8 size)
+        bad = bytearray(header_and_payload)
+        bad[23 + 16:23 + 20] = (0).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(bad))
+
+
+class TestChunkData:
+    def test_round_trip(self):
+        manifest, chunks = _manifest()
+        msg = ChunkData(DID, key=manifest.key, chunk_index=1, data=chunks[1])
+        decoded = decode_message(msg.encode())
+        assert isinstance(decoded, ChunkData)
+        assert decoded.key == manifest.key
+        assert decoded.chunk_index == 1
+        assert decoded.data == chunks[1]
+
+    def test_wire_size_matches_encoding(self):
+        msg = ChunkData(DID, key=1, chunk_index=0, data=b"abc")
+        assert msg.wire_size == len(msg.encode())
+
+    def test_sentinel_index_rejected(self):
+        msg = ChunkData(DID, key=1, chunk_index=0, data=b"abc")
+        bad = bytearray(msg.encode())
+        # corrupt chunk_index (offset: 23 header + 8 key) to the sentinel
+        bad[23 + 8:23 + 12] = WHOLE_OBJECT.to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(bad))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkData(DID, key=1, chunk_index=0, data=b"")
+        # on the wire: a 12-byte payload (prefix only, no chunk byte)
+        wire = bytearray(ChunkData(DID, key=1, chunk_index=0,
+                                   data=b"x").encode())
+        old_len = int.from_bytes(wire[19:23], "little")
+        wire[19:23] = (old_len - 1).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(wire[:-1]))
+
+
+class TestDescriptorIds:
+    def test_values_are_stable(self):
+        # pinned: changing these breaks live-wire compatibility
+        assert MessageType.CHUNK_REQUEST == 0x30
+        assert MessageType.MANIFEST_DATA == 0x31
+        assert MessageType.CHUNK_DATA == 0x32
+        assert WHOLE_OBJECT == 0xFFFFFFFF
+
+    def test_point_to_point_ttl_default(self):
+        assert ChunkRequest(DID, key=1).ttl == 1
+        assert ChunkData(DID, key=1, chunk_index=0, data=b"x").ttl == 1
+        assert ManifestData(DID, key=1, size=0, chunk_size=1,
+                            chunk_digests=()).ttl == 1

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.search import place_objects, place_single_object, replica_count
+from repro.content.manifest import generate_objects
+from repro.content.placement import place_content
+from repro.core import makalu_graph
+from repro.search import (
+    place_objects,
+    place_single_object,
+    replica_count,
+    replication_factor,
+)
 
 
 class TestReplicaCount:
@@ -95,6 +103,60 @@ class TestPlaceObjects:
             place_objects(0, 1, 0.5)
         with pytest.raises(ValueError):
             place_objects(10, 0, 0.5)
+
+
+class TestReplicationFactorBridge:
+    """The content-plane bridge must leave the legacy path untouched."""
+
+    #: Golden pin of the historical uniform-random placement at
+    #: ``place_objects(64, 6, 0.1, seed=1234)``.  If this moves, the
+    #: scalar path is no longer bit-identical to the seed behaviour.
+    GOLDEN_REPLICA_NODES = [
+        14, 19, 46, 47, 49, 61, 33, 35, 40, 52, 53, 54,
+        10, 13, 43, 49, 52, 55, 3, 8, 11, 34, 37, 39,
+        0, 11, 15, 39, 41, 54, 9, 22, 46, 49, 54, 62,
+    ]
+    GOLDEN_OBJECT_KEYS = [
+        4504232658283114222, 1753343355455695648, 4257721747814977325,
+        1206843292259880868, 1471575442810062753, 544599687971118527,
+    ]
+
+    def test_legacy_placement_bit_identical(self):
+        p = place_objects(64, 6, 0.1, seed=1234)
+        np.testing.assert_array_equal(p.replica_nodes,
+                                      self.GOLDEN_REPLICA_NODES)
+        np.testing.assert_array_equal(p.object_keys,
+                                      self.GOLDEN_OBJECT_KEYS)
+        np.testing.assert_array_equal(
+            p.replica_indptr, np.arange(0, 42, 6, dtype=np.int64)
+        )
+
+    def test_scalar_path_delegates_to_replica_count(self):
+        for n, ratio in [(100_000, 0.0005), (100_000, 0.01), (100, 0.0001),
+                         (123, 0.037), (64, 0.1)]:
+            assert replication_factor(n, ratio) == replica_count(n, ratio)
+        assert replication_factor(100, 0.0001, minimum=3) == \
+            replica_count(100, 0.0001, minimum=3)
+
+    def test_placement_path_uses_real_replica_map(self):
+        graph = makalu_graph(n_nodes=30, seed=4)
+        objects = generate_objects(8, seed=2, size_range=(500, 900),
+                                   chunk_size=256)
+        placement = place_content(graph, [o.key for o in objects], k=4,
+                                  seed=6)
+        assert replication_factor(placement=placement) == 4
+
+    def test_mixed_arguments_rejected(self):
+        graph = makalu_graph(n_nodes=10, seed=1)
+        placement = place_content(graph, [5], k=2, seed=1)
+        with pytest.raises(ValueError):
+            replication_factor(10, 0.2, placement=placement)
+        with pytest.raises(ValueError):
+            replication_factor(10, placement=placement)
+        with pytest.raises(ValueError):
+            replication_factor(10)
+        with pytest.raises(ValueError):
+            replication_factor(replication_ratio=0.2)
 
 
 class TestPlaceSingleObject:

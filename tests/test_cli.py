@@ -365,3 +365,98 @@ class TestNodeCommands:
             "--seed", "7",
         ]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestContentParser:
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["content", "place"])
+        assert args.nodes == 120
+        assert args.objects == 60
+        assert args.k == 3
+        assert args.seed == 1234
+        assert not args.verbose
+        assert args.manifest_json is None
+
+    def test_durability_defaults(self):
+        args = build_parser().parse_args(["content", "report"])
+        assert args.duration == 150.0
+        assert args.scenario == "paper-live-failures"
+        assert not args.no_heal
+        assert not args.no_read_repair
+        assert args.heal_interval == 10.0
+        assert args.fetch_probes == 8
+
+    def test_content_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["content"])
+
+
+class TestContentCommands:
+    SMALL = ["--nodes", "60", "--objects", "12", "--seed", "9"]
+    FAST = [*SMALL, "--duration", "40"]
+
+    def test_place(self, capsys):
+        assert main(["content", "place", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "placed 12 objects" in out
+        assert "mean replicas/object" in out
+
+    def test_place_manifest_json_validates(self, tmp_path):
+        import json
+
+        path = tmp_path / "manifests.json"
+        assert main([
+            "content", "place", *self.SMALL, "--manifest-json", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["n_objects"] == 12
+        assert len(doc["manifests"]) == 12
+        for m in doc["manifests"]:
+            assert {"key", "size", "chunk_size", "chunk_digests",
+                    "digest"} <= set(m)
+
+    def test_place_verbose_lists_holders(self, capsys):
+        assert main(["content", "place", *self.SMALL, "--verbose"]) == 0
+        assert "holders=[" in capsys.readouterr().out
+
+    def test_fetch(self, capsys):
+        assert main([
+            "content", "fetch", *self.FAST, "--queries", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "end-of-run fetches:" in out
+        assert "read-repair:" in out
+
+    def test_heal(self, capsys):
+        assert main(["content", "heal", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "heal pushes" in out
+        assert "availability" in out
+
+    def test_heal_no_heal_flag(self, capsys):
+        assert main([
+            "content", "heal", *self.FAST, "--no-heal", "--no-read-repair",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "healing off" in out
+        assert "heal pushes  0" in out
+
+    def test_report_with_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main([
+            "content", "report", *self.FAST, "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final: availability=" in out
+        doc = json.loads(path.read_text())
+        assert 0.0 <= doc["availability"] <= 1.0
+        assert doc["n_objects"] == 12
+
+    def test_report_hub_failure_scenario(self, capsys):
+        assert main([
+            "content", "report", *self.FAST, "--scenario", "hub-failure",
+        ]) == 0
+        assert "final:" in capsys.readouterr().out
