@@ -646,6 +646,9 @@ def cmd_content_fetch(args) -> int:
     rng = as_generator(derive_seed(args.seed, 0xFE7C4))
     keys = plane.placement.object_keys
     online = [u for u in range(sim.builder.n_nodes) if sim.online[u]]
+    if not online:
+        print("no nodes online at end of run; cannot issue fetches")
+        return 1
     for _ in range(args.queries):
         src = online[int(rng.integers(len(online)))]
         key = int(keys[int(rng.integers(len(keys)))])

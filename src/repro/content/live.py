@@ -98,7 +98,7 @@ async def fetch_object(
             if not data:
                 return None
             for msg in framer.feed(data):
-                if isinstance(msg, ManifestData):
+                if isinstance(msg, ManifestData) and msg.key == key:
                     manifest = manifest_from_message(msg)
                 elif isinstance(msg, ChunkData) and msg.key == key:
                     chunks[msg.chunk_index] = msg.data
