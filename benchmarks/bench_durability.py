@@ -65,7 +65,8 @@ def run_arm(name: str, args, scenario, heal: bool) -> dict:
     result = run_durability(
         n_nodes=args.nodes, n_objects=args.objects, duration=args.duration,
         seed=EXPERIMENT_SEED, scenario=scenario, k=args.k,
-        heal_enabled=heal, read_repair=heal, fetch_probes=args.fetch_probes,
+        heal_enabled=heal, read_repair=heal, rebalance_on_join=heal,
+        fetch_probes=args.fetch_probes,
     )
     wall = time.perf_counter() - t0
     r = result.report

@@ -563,6 +563,85 @@ def cmd_node_parity(args) -> int:
     return 0
 
 
+def cmd_node_churn(args) -> int:
+    """Replay a fault scenario against a running live overlay."""
+    from repro.faults import load_scenario
+    from repro.node.churn import run_live_churn_sync
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_live_churn_sync(
+        scenario, n_nodes=args.nodes, n_objects=args.objects,
+        seed=args.seed, k=args.k, duration=args.duration,
+        time_scale=args.time_scale, heal_enabled=not args.no_heal,
+        heal_interval=args.heal_interval,
+        read_repair=not args.no_read_repair,
+        snapshot_interval=args.snapshot_interval,
+        mean_offline=args.mean_offline,
+    )
+    rep, d = result.report, result.durability
+    print(f"live churn: {args.nodes} asyncio peers under {scenario.name!r}, "
+          f"{rep.duration:g} virtual seconds "
+          f"(time scale {args.time_scale:g})")
+    skipped = (f" ({', '.join(f'{k}={v}' for k, v in sorted(rep.skipped.items()))})"
+               if rep.skipped else "")
+    print(f"  membership: {rep.kills} kills, {rep.revives} revives, "
+          f"{rep.events_skipped} scenario event(s) not injectable "
+          f"live{skipped}")
+    print(f"  healing:    {rep.heal_ticks} ticks, {d.heal_pushes} pushes "
+          f"({d.heal_bytes} bytes), {d.heal_trims} trims")
+    print(f"  rebalance:  {d.rebalance_pushes} pushes "
+          f"({d.rebalance_bytes} bytes) on rejoin")
+    print(f"  durability: availability {d.availability:.4f} "
+          f"(min {d.min_availability:.4f}), lost {d.objects_lost}, "
+          f"degraded {d.objects_degraded}")
+    for s in rep.samples:
+        print(f"    t={s.time:6.1f}  avail {s.availability:.3f}  "
+              f"live/k {s.mean_live_replicas:.2f}  "
+              f"degraded {s.n_degraded}  lost {s.n_lost}")
+    session = obs.active()
+    if session is not None:
+        session.metrics.merge_snapshot(
+            result.overlay.merged_registry().snapshot()
+        )
+        g = session.metrics.gauge
+        g("live_churn.availability").set(d.availability)
+        g("live_churn.min_availability").set(d.min_availability)
+        g("live_churn.objects_lost").set(float(d.objects_lost))
+        g("live_churn.objects_degraded").set(float(d.objects_degraded))
+        g("live_churn.kills").set(float(rep.kills))
+        g("live_churn.revives").set(float(rep.revives))
+        g("live_churn.heal_ticks").set(float(rep.heal_ticks))
+        g("live_churn.heal_pushes").set(float(d.heal_pushes))
+        g("live_churn.heal_trims").set(float(d.heal_trims))
+        g("live_churn.rebalance_pushes").set(float(d.rebalance_pushes))
+        g("live_churn.events_skipped").set(float(rep.events_skipped))
+    if args.report_json:
+        import json
+
+        doc = {
+            "schema_version": 1,
+            "scenario": scenario.name,
+            "n_nodes": args.nodes,
+            "seed": args.seed,
+            "duration": rep.duration,
+            "kills": rep.kills,
+            "revives": rep.revives,
+            "heal_ticks": rep.heal_ticks,
+            "rebalance_pushes": rep.rebalance_pushes,
+            "skipped": dict(rep.skipped),
+            "durability": d.to_dict(),
+        }
+        with open(args.report_json, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"report written to {args.report_json}")
+    return 0
+
+
 def cmd_faults_list(args) -> int:
     """List the built-in fault scenarios."""
     from repro.faults import BUILTIN_SCENARIOS
@@ -862,7 +941,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("node",
-                       help="live asyncio overlay (run / boot / parity)")
+                       help="live asyncio overlay "
+                            "(run / boot / parity / churn)")
     nsub = p.add_subparsers(dest="node_command", required=True)
 
     np_ = nsub.add_parser("run", help="run one live peer")
@@ -936,6 +1016,38 @@ def build_parser() -> argparse.ArgumentParser:
     np_.add_argument("--fail-on-divergence", action="store_true",
                      help="exit 1 when any gated metric diverges")
     np_.set_defaults(func=cmd_node_parity)
+
+    np_ = nsub.add_parser(
+        "churn",
+        help="replay a fault scenario against a running live overlay",
+    )
+    common(np_, topology=False)
+    np_.set_defaults(nodes=32)
+    np_.add_argument("--scenario", default="paper-live-failures",
+                     help="builtin scenario name (see 'repro faults "
+                          "list') or a JSON file path")
+    np_.add_argument("--objects", type=int, default=12,
+                     help="corpus size (distinct objects)")
+    np_.add_argument("--k", type=int, default=3,
+                     help="target replicas per object")
+    np_.add_argument("--duration", type=float, default=150.0,
+                     help="virtual horizon in scenario seconds")
+    np_.add_argument("--time-scale", type=float, default=0.0,
+                     help="wall seconds per virtual second between "
+                          "events (0 = unpaced)")
+    np_.add_argument("--heal-interval", type=float, default=10.0)
+    np_.add_argument("--snapshot-interval", type=float, default=25.0,
+                     help="durability sampling period (0 = final "
+                          "census only)")
+    np_.add_argument("--mean-offline", type=float, default=25.0,
+                     help="mean exponential offline period before a "
+                          "crashed peer rejoins")
+    np_.add_argument("--no-heal", action="store_true",
+                     help="disable the periodic healing sweep")
+    np_.add_argument("--no-read-repair", action="store_true")
+    np_.add_argument("--report-json", metavar="PATH", default=None,
+                     help="write the replay + durability report as JSON")
+    np_.set_defaults(func=cmd_node_churn)
 
     p = sub.add_parser(
         "content",

@@ -129,6 +129,7 @@ def run_durability(
     heal_enabled: bool = True,
     heal_interval: float = 10.0,
     read_repair: bool = True,
+    rebalance_on_join: bool = True,
     fetch_probes: int = 8,
     snapshot_interval: float = 10.0,
     size_range: Tuple[int, int] = (2048, 8192),
@@ -148,7 +149,8 @@ def run_durability(
     )
     plane = ContentPlane(objects, ContentConfig(
         k=k, heal_interval=heal_interval, heal_enabled=heal_enabled,
-        read_repair=read_repair, fetch_probes=fetch_probes,
+        read_repair=read_repair, rebalance_on_join=rebalance_on_join,
+        fetch_probes=fetch_probes,
         placement_seed=derive_seed(seed, _PLACEMENT_SALT),
     ))
     sim = ChurnSimulation(

@@ -32,9 +32,14 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs as _obs
 from repro.content.manifest import ContentObject, Manifest, reassemble
 from repro.content.placement import ContentPlacement
-from repro.content.plane import ContentConfig
+from repro.content.plane import (
+    ContentConfig,
+    DurabilityReport,
+    DurabilitySample,
+)
 from repro.content.store import ContentStore
 from repro.node.boot import LiveOverlay
 from repro.node.framer import StreamFramer
@@ -119,8 +124,13 @@ async def fetch_object(
 async def push_object(
     pusher: PeerNode, host: str, port: int, manifest: Manifest,
     chunks: Sequence[bytes], timeout: float = 5.0,
-) -> int:
-    """Push a whole object to a peer; returns chunk bytes sent (0 on error).
+) -> Optional[int]:
+    """Push a whole object to a peer; chunk bytes sent, or None on error.
+
+    Success and byte count are distinct: an empty object is one manifest
+    with zero chunks, so a successful push legitimately returns 0 —
+    callers must test ``is not None``, never truthiness, or they will
+    re-push empty objects forever.
 
     The receiving peer's normal read loop ingests the frames
     (``node.rx.manifest``/``node.rx.chunk_data``), verifies every chunk
@@ -130,7 +140,7 @@ async def push_object(
     try:
         reader, writer = await asyncio.open_connection(host, port)
     except (ConnectionError, OSError):
-        return 0
+        return None
     try:
         did = pusher._next_guid()
         writer.write(manifest_message(did, manifest).encode())
@@ -142,7 +152,7 @@ async def push_object(
         await asyncio.wait_for(writer.drain(), timeout)
         return sent
     except (asyncio.TimeoutError, ConnectionError, OSError):
-        return 0
+        return None
     finally:
         try:
             writer.close()
@@ -177,10 +187,12 @@ class LiveContent:
             "objects_placed": 0, "replicas_placed": 0, "bytes_placed": 0,
             "fetch.requests": 0, "fetch.hits": 0, "fetch.failures": 0,
             "repair.pushes": 0, "repair.bytes": 0,
+            "rebalance.pushes": 0, "rebalance.bytes": 0,
             "heal.ticks": 0, "heal.pushes": 0, "heal.bytes": 0,
             "heal.trims": 0, "objects_lost": 0,
         }
         self._lost: Set[int] = set()
+        self.samples: List[DurabilitySample] = []
         self._heal_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
@@ -284,6 +296,55 @@ class LiveContent:
         return data
 
     # ------------------------------------------------------------------
+    # Rebalance on join
+    # ------------------------------------------------------------------
+
+    async def on_join(self, node_id: int) -> int:
+        """Rebalance a rejoined peer: push its placed-but-missing keys back.
+
+        The live twin of :meth:`ContentPlane.on_join` — same worklist
+        (``placement.keys_placed_on``), same source preference (lowest-id
+        live holder), same accounting (``rebalance.pushes``/``.bytes``),
+        so sim and live charge identical rebalance pushes for the same
+        churn shape; only here the bytes actually cross TCP.  The surplus
+        replica is trimmed by the next heal sweep's placed-first keep
+        preference.  Returns the number of pushes charged.
+        """
+        if not self.config.rebalance_on_join:
+            return 0
+        node = self.overlay.nodes[node_id]
+        if not node.running:
+            return 0
+        if node.content is None:
+            node.content = ContentStore(node_id=node_id)
+        pushed = 0
+        for key in self.placement.keys_placed_on(node_id):
+            if node.content.has_object(key):
+                continue
+            live = [h for h in self.live_holders(key) if h != node_id]
+            if not live:
+                continue  # no live source; heal accounts the loss
+            server_node = self.overlay.nodes[live[0]]
+            store = server_node.content
+            manifest = store.manifest(key)
+            chunks = [store.get_chunk(key, i)
+                      for i in range(manifest.n_chunks)]
+            sent = await push_object(server_node, node.host, node.port,
+                                     manifest, chunks)
+            if sent is None:
+                continue
+            await self.overlay.settle()
+            if not node.content.has_object(key):
+                continue  # push raced a teardown; leave it to healing
+            pushed += 1
+            self.stats["rebalance.pushes"] += 1
+            self.stats["rebalance.bytes"] += sent
+            sm = server_node.metrics
+            sm.counter("content.rebalance.pushes").inc()
+            sm.counter("content.rebalance.bytes").inc(sent)
+        return pushed
+
+    # ------------------------------------------------------------------
     # Healing
     # ------------------------------------------------------------------
 
@@ -297,6 +358,7 @@ class LiveContent:
         gone with it.
         """
         self.stats["heal.ticks"] += 1
+        _obs.count("content.heal.ticks")
         pushes = 0
         k = self._replica_target()
         for key in self.placement.object_keys:
@@ -305,6 +367,7 @@ class LiveContent:
                 if key not in self._lost:
                     self._lost.add(key)
                     self.stats["objects_lost"] += 1
+                    _obs.count("content.heal.objects_lost")
                 continue
             if len(live) < k:
                 pushes += await self._replicate(key, live[0], kind="heal")
@@ -338,6 +401,62 @@ class LiveContent:
         self._heal_task = None
 
     # ------------------------------------------------------------------
+    # Durability reporting (the sim plane's census, on process truth)
+    # ------------------------------------------------------------------
+
+    def census(self) -> Tuple[float, float, int, int, int]:
+        """(availability, mean live replicas, degraded, unavailable, lost).
+
+        Liveness is process truth, and a stopped peer is a crash whose
+        copies are gone — so unlike the sim there are no dark offline
+        copies: every object with zero live holders counts as lost.
+        """
+        n = len(self.objects)
+        live_total = 0
+        available = degraded = lost = 0
+        for key in self.objects:
+            live = self.live_replica_count(key)
+            live_total += live
+            if live > 0:
+                available += 1
+                if live < self.config.k:
+                    degraded += 1
+            else:
+                lost += 1
+        return available / n, live_total / n, degraded, 0, lost
+
+    def record_sample(self, t: float) -> DurabilitySample:
+        """Census the plane at virtual time ``t`` and keep the sample."""
+        avail, mean_live, degraded, unavailable, lost = self.census()
+        sample = DurabilitySample(
+            time=t, availability=avail, mean_live_replicas=mean_live,
+            n_degraded=degraded, n_unavailable=unavailable, n_lost=lost,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def durability_report(self) -> DurabilityReport:
+        """Final census + traffic ledger, shaped like the sim plane's."""
+        avail, mean_live, degraded, _, lost = self.census()
+        min_avail = min(
+            (s.availability for s in self.samples), default=avail
+        )
+        s = self.stats
+        return DurabilityReport(
+            n_objects=len(self.objects), k=self.config.k,
+            availability=avail, min_availability=min(min_avail, avail),
+            mean_live_replicas=mean_live,
+            objects_lost=lost, objects_degraded=degraded,
+            heal_ticks=s["heal.ticks"], heal_pushes=s["heal.pushes"],
+            heal_bytes=s["heal.bytes"], heal_trims=s["heal.trims"],
+            repair_pushes=s["repair.pushes"], repair_bytes=s["repair.bytes"],
+            fetch_requests=s["fetch.requests"], fetch_hits=s["fetch.hits"],
+            bytes_placed=s["bytes_placed"],
+            rebalance_pushes=s["rebalance.pushes"],
+            rebalance_bytes=s["rebalance.bytes"],
+        )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -366,8 +485,8 @@ class LiveContent:
                 node.content = ContentStore(node_id=target)
             sent = await push_object(server_node, node.host, node.port,
                                      manifest, chunks)
-            if sent == 0:
-                continue
+            if sent is None:
+                continue  # transfer failed (0 is a successful empty push)
             await self.overlay.settle()
             if not node.content.has_object(key):
                 continue  # push raced a teardown; try the next target

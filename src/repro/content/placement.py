@@ -63,6 +63,18 @@ class ContentPlacement:
         """All holders of ``key`` in preference order (owner first)."""
         return self.replica_map[key]
 
+    def keys_placed_on(self, node: int) -> Tuple[int, ...]:
+        """Keys whose placed replica set includes ``node`` (corpus order).
+
+        This is the rebalance-on-join worklist: when ``node`` rejoins
+        after a disk-loss crash, these are the objects it should be
+        holding again once the plane converges.
+        """
+        node = int(node)
+        return tuple(
+            k for k in self.object_keys if node in self.replica_map[k]
+        )
+
     @property
     def mean_replicas(self) -> float:
         """Mean replicas per object (== min(k, n_nodes) by construction)."""

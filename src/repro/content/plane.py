@@ -9,6 +9,10 @@ then on it only *reacts*:
   replicas), so they silently lower the *live* replica count;
 * injected crashes (:meth:`on_crash`) wipe the victims' stores — disk
   loss, the regime where objects can actually die;
+* rejoins (:meth:`on_join`) rebalance: a node returning after disk loss
+  gets its placed keys pushed back from the lowest-id live holder, and
+  the next heal sweep's placed-first trim preference converges holders
+  back to the pure placement;
 * fetches locate the nearest live holder by BFS hops and, when
   ``read_repair`` is on, re-push the object until ``k`` live replicas
   exist again;
@@ -63,6 +67,8 @@ class ContentConfig:
     fetch_ttl: int = 6
     #: Placement stream seed (object streams derive from it per key).
     placement_seed: int = 0
+    #: Push a rejoining node's placed-but-missing keys back on join.
+    rebalance_on_join: bool = True
 
     def __post_init__(self):
         if self.k < 1:
@@ -107,6 +113,8 @@ class DurabilityReport:
     fetch_requests: int
     fetch_hits: int
     bytes_placed: int
+    rebalance_pushes: int = 0
+    rebalance_bytes: int = 0
 
     def to_dict(self) -> dict:
         """Plain-JSON form for CLI/bench reports."""
@@ -127,6 +135,8 @@ class DurabilityReport:
             "fetch_requests": self.fetch_requests,
             "fetch_hits": self.fetch_hits,
             "bytes_placed": self.bytes_placed,
+            "rebalance_pushes": self.rebalance_pushes,
+            "rebalance_bytes": self.rebalance_bytes,
         }
 
 
@@ -160,6 +170,7 @@ class ContentPlane:
             "crash_wipes": 0, "replicas_wiped": 0,
             "fetch.requests": 0, "fetch.hits": 0, "fetch.failures": 0,
             "repair.pushes": 0, "repair.bytes": 0,
+            "rebalance.pushes": 0, "rebalance.bytes": 0,
             "heal.ticks": 0, "heal.pushes": 0, "heal.bytes": 0,
             "heal.trims": 0, "objects_lost": 0,
         }
@@ -210,6 +221,42 @@ class ContentPlane:
                 _obs.count("content.crash_wipes")
                 _obs.count("content.replicas_wiped", wiped)
 
+    def on_join(self, node: int) -> int:
+        """Rebalance on rejoin: restore ``node``'s placed-but-missing keys.
+
+        Placement is pure and never moves, so a rejoining owner (or
+        placed copy) should converge back to holding its keys.  This hook
+        pushes each such key from the lowest-id live holder the moment
+        the node rejoins; the resulting surplus is trimmed by the next
+        heal sweep, whose placed-first keep preference drops the
+        opportunistic copy — "reclaim" is just that preference
+        converging.  A churn departure keeps the disk, so rejoining with
+        copies intact moves nothing; only post-crash rejoins pay pushes.
+        Returns the number of pushes charged.
+        """
+        if not self.config.rebalance_on_join or self.placement is None:
+            return 0
+        node = int(node)
+        pushed = 0
+        for key in self.placement.keys_placed_on(node):
+            if node in self._holders[key]:
+                continue  # disk survived (churn departure); nothing to move
+            live = self._live_holders(key)
+            if not live:
+                continue  # no live source; heal accounts the loss
+            obj = self.objects[key]
+            self._store(node, obj)
+            pushed += 1
+            self.stats["rebalance.pushes"] += 1
+            self.stats["rebalance.bytes"] += obj.size
+            _obs.count("content.rebalance.pushes")
+            _obs.count("content.rebalance.bytes", obj.size)
+            _obs.event(
+                "content.rebalance", key=key, source=min(live),
+                target=node, size=obj.size,
+            )
+        return pushed
+
     def on_snapshot(self, t: float) -> None:
         """Record a durability sample (and run any configured fetch probes)."""
         fetch_success = self._fetch_probes()
@@ -253,7 +300,9 @@ class ContentPlane:
         data = self.stores[serving].get_object(key)
         self.stats["fetch.hits"] += 1
         _obs.count("content.fetch.hits")
-        _obs.quantile("content.fetch_s", float(max(hops, 1)))
+        # True hop count: source-local hits land in the histogram's
+        # dedicated zero bucket instead of masquerading as 1-hop fetches.
+        _obs.quantile("content.fetch_s", float(hops))
         _obs.event(
             "content.fetch", key=key, source=source, hit=True,
             serving=serving, hops=hops,
@@ -312,6 +361,7 @@ class ContentPlane:
         self.stats["heal.ticks"] += 1
         _obs.count("content.heal.ticks")
         pushes = 0
+        k = min(self.config.k, int(np.count_nonzero(self._churn.online)))
         for key in self.placement.object_keys:
             holders = self._holders[key]
             if not holders:
@@ -324,7 +374,6 @@ class ContentPlane:
             live = self._live_holders(key)
             if not live:
                 continue  # only offline copies; nothing to push from yet
-            k = min(self.config.k, int(np.count_nonzero(self._churn.online)))
             if len(live) < k:
                 pushes += self._replicate(key, min(live), kind="heal")
             elif len(live) > k:
@@ -404,6 +453,8 @@ class ContentPlane:
             repair_pushes=s["repair.pushes"], repair_bytes=s["repair.bytes"],
             fetch_requests=s["fetch.requests"], fetch_hits=s["fetch.hits"],
             bytes_placed=s["bytes_placed"],
+            rebalance_pushes=s["rebalance.pushes"],
+            rebalance_bytes=s["rebalance.bytes"],
         )
 
     def live_replica_count(self, key: int) -> int:

@@ -146,35 +146,64 @@ class LiveOverlay:
         self._telemetry_task: Optional[asyncio.Task] = None
         if latency_fn is None:
             latency_fn = self._graph_latency
+        self._latency_fn = latency_fn
+        self._capacities = (
+            None if capacities is None else [int(c) for c in capacities]
+        )
+        self._trace_capacity = trace_capacity
         stores = self._stores(placement, graph.n_nodes)
         self.nodes: List[PeerNode] = [
-            PeerNode(
-                u,
-                capacity=None if capacities is None else int(capacities[u]),
-                store=stores[u],
-                latency_to=(lambda v, _u=u: latency_fn(_u, v)),
-                config=self.config,
-                tracer=self._make_tracer(u, trace_capacity),
-            )
+            self._spawn_peer(u, store=stores[u])
             for u in range(graph.n_nodes)
         ]
+        #: Dead incarnations (killed then revived peers): their metrics
+        #: and traces stay part of the merged readback.
+        self._retired: List[PeerNode] = []
+        self._generation: Dict[int, int] = {}
         self._started = False
         self._final_edges: Optional[Set[Tuple[int, int]]] = None
         self._final_latency: Dict[Tuple[int, int], float] = {}
 
-    def _make_tracer(self, node_id: int, capacity: int) -> Optional[Tracer]:
+    def _spawn_peer(self, node_id: int, store: Optional[Set[int]] = None,
+                    capacity: Optional[int] = None,
+                    generation: int = 0) -> PeerNode:
+        """Construct one peer process image (fresh state, fresh metrics)."""
+        if capacity is None and self._capacities is not None \
+                and node_id < len(self._capacities):
+            capacity = self._capacities[node_id]
+        latency_fn = self._latency_fn
+        return PeerNode(
+            node_id,
+            capacity=capacity,
+            store=store,
+            latency_to=(lambda v, _u=node_id: latency_fn(_u, v)),
+            config=self.config,
+            tracer=self._make_tracer(node_id, self._trace_capacity,
+                                     generation=generation),
+        )
+
+    def _make_tracer(self, node_id: int, capacity: int,
+                     generation: int = 0) -> Optional[Tracer]:
         if not self.tracing:
             return None
         sink = None
         if self.trace_dir is not None:
-            sink = os.path.join(self.trace_dir, f"peer-{node_id}.jsonl")
+            # Revived incarnations get their own sink: a Tracer opens its
+            # file with "w", so reusing the name would erase the dead
+            # incarnation's events.
+            stem = (f"peer-{node_id}" if generation == 0
+                    else f"peer-{node_id}-r{generation}")
+            sink = os.path.join(self.trace_dir, f"{stem}.jsonl")
         return Tracer(capacity=capacity, sink=sink, ident=str(node_id),
                       timebase="wall")
 
     def _graph_latency(self, u: int, v: int) -> float:
         try:
             return self.graph.edge_latency(u, v)
-        except KeyError:
+        except (KeyError, IndexError, ValueError):
+            # Non-edges and peers added after the seeded build (add_peer
+            # ids fall outside the graph, which rejects them with
+            # ValueError) measure the default distance.
             return 1.0
 
     @staticmethod
@@ -248,6 +277,104 @@ class LiveOverlay:
         self._started = False
 
     # ------------------------------------------------------------------
+    # Dynamic membership (live churn)
+    # ------------------------------------------------------------------
+
+    async def kill_peer(self, node_id: int) -> None:
+        """Hard-kill a running peer mid-run: crash-is-disk-loss semantics.
+
+        The peer's server and connections close (survivors observe the
+        dropped links through their read loops), its content store is
+        wiped and its advertised keys cleared — copies die with the
+        process.  The stopped node stays addressable in :attr:`nodes`
+        (``running`` False) until :meth:`revive_peer` replaces it with a
+        fresh incarnation.
+        """
+        node = self.nodes[node_id]
+        if not node.running:
+            raise ValueError(f"peer {node_id} is not running")
+        await node.stop()
+        if node.content is not None:
+            node.content.wipe()
+        node.store.clear()
+        await self.settle()
+
+    def _seed_addresses(self, exclude: int = -1) -> List[Tuple[str, int]]:
+        """Addresses of currently-running peers, ascending node id."""
+        return [
+            (n.host, n.port) for n in self.nodes
+            if n.running and n.node_id != exclude
+        ]
+
+    def _join_target(self, node_id: int,
+                     capacity: Optional[int]) -> int:
+        """Neighbor count a joiner dials for: capacity, else seeded degree.
+
+        Peers beyond the seeded graph (added mid-run) fall back to the
+        graph's median degree so growth does not distort the topology.
+        """
+        if capacity is not None:
+            return max(1, int(capacity))
+        degrees = self.graph.degrees
+        if node_id < self.graph.n_nodes:
+            return max(1, int(degrees[node_id]))
+        return max(1, int(np.median(degrees))) if degrees.size else 1
+
+    async def revive_peer(self, node_id: int,
+                          target: Optional[int] = None,
+                          settle: float = 0.05) -> PeerNode:
+        """Bring a killed peer back as a fresh process image.
+
+        A brand-new :class:`PeerNode` — empty store, views, routes, and
+        dedup state, matching a real process restart — starts listening
+        and bootstraps through the ordinary :meth:`PeerNode.join`
+        against the currently-running peers' addresses.  The dead
+        incarnation is retired, not discarded: its metrics and trace
+        ring remain part of :meth:`merged_registry` /
+        :meth:`merged_trace`, so overlay-wide accounting stays monotone
+        across the kill.
+        """
+        old = self.nodes[node_id]
+        if old.running:
+            raise ValueError(f"peer {node_id} is still running")
+        if old.tracer is not None:
+            old.tracer.close()
+        self._retired.append(old)
+        gen = self._generation.get(node_id, 0) + 1
+        self._generation[node_id] = gen
+        node = self._spawn_peer(node_id, capacity=old.capacity,
+                                generation=gen)
+        self.nodes[node_id] = node
+        await node.start(self.host, 0)
+        if target is None:
+            target = self._join_target(node_id, old.capacity)
+        await node.join(self._seed_addresses(exclude=node_id),
+                        target=target, settle=settle)
+        await self.settle()
+        return node
+
+    async def add_peer(self, capacity: Optional[int] = None,
+                       target: Optional[int] = None,
+                       settle: float = 0.05) -> PeerNode:
+        """Grow the overlay: a brand-new peer joins the running mesh.
+
+        The new peer takes the next node id, starts listening, and
+        bootstraps through :meth:`PeerNode.join` exactly like a revived
+        one.  Structure readback (:meth:`live_edges`,
+        :meth:`overlay_graph`) covers it immediately.
+        """
+        node_id = len(self.nodes)
+        node = self._spawn_peer(node_id, capacity=capacity)
+        self.nodes.append(node)
+        await node.start(self.host, 0)
+        if target is None:
+            target = self._join_target(node_id, capacity)
+        await node.join(self._seed_addresses(exclude=node_id),
+                        target=target, settle=settle)
+        await self.settle()
+        return node
+
+    # ------------------------------------------------------------------
     # Quiescence + accounting
     # ------------------------------------------------------------------
 
@@ -255,8 +382,10 @@ class LiveOverlay:
         return tuple(self._counter_total(name) for name in _ACTIVITY_COUNTERS)
 
     def _counter_total(self, name: str) -> int:
+        # Retired incarnations are stopped (their counters frozen), but
+        # including them keeps overlay-wide totals monotone across kills.
         total = 0
-        for n in self.nodes:
+        for n in (*self._retired, *self.nodes):
             total += n.metrics.snapshot()["counters"].get(name, 0)
         return total
 
@@ -372,7 +501,7 @@ class LiveOverlay:
           ``node.query.fwd``/``origin`` wall time.
         """
         merged = MetricsRegistry()
-        for node in self.nodes:
+        for node in (*self._retired, *self.nodes):
             merged.merge_snapshot(node.metrics.snapshot())
         if len(self.telemetry_registry):
             merged.merge_snapshot(self.telemetry_registry.snapshot())
@@ -399,6 +528,11 @@ class LiveOverlay:
                 + counters.get("node.rx.pong", 0)
                 + counters.get("node.rx.query", 0)
                 + counters.get("node.rx.query_hit", 0)
+                # Content traffic counts too, or chunk-heavy peers
+                # misrank in `repro obs top`.
+                + counters.get("node.rx.chunk_request", 0)
+                + counters.get("node.rx.manifest", 0)
+                + counters.get("node.rx.chunk_data", 0)
             ))
             merged.gauge(f"{p}.tx_messages").set(float(
                 counters.get("node.tx.messages", 0)
@@ -439,7 +573,8 @@ class LiveOverlay:
                 "overlay was not built with trace=True/trace_dir"
             )
         return merge_events(
-            *(n.tracer.events(kind) for n in self.nodes if n.tracer)
+            *(n.tracer.events(kind)
+              for n in (*self._retired, *self.nodes) if n.tracer)
         )
 
     def write_merged_trace(self, path: str) -> int:

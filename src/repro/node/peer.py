@@ -660,6 +660,13 @@ class PeerNode:
         self.metrics.counter("node.content.manifests_rx").inc()
         self._trace("node.content.manifest", trace=md.descriptor_id.hex(),
                     key=md.key, chunks=len(md.chunk_digests))
+        if self.content.has_object(md.key) and md.key not in self.store:
+            # A zero-chunk manifest IS the whole object — no ChunkData
+            # will follow, so completion must be advertised here.
+            self.store.add(md.key)
+            self.metrics.counter("node.content.objects_completed").inc()
+            self._trace("node.content.complete",
+                        trace=md.descriptor_id.hex(), key=md.key)
 
     def _on_chunk_data(self, conn: PeerConnection, cd: ChunkData) -> None:
         """Verify and store one pushed chunk; completion shares the key."""

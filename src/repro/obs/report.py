@@ -592,6 +592,14 @@ def cmd_diff(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     deltas = diff_metrics(before, after)
+    excluded = getattr(args, "exclude", None) or []
+    if excluded:
+        import fnmatch
+
+        deltas = [
+            d for d in deltas
+            if not any(fnmatch.fnmatch(d.name, pat) for pat in excluded)
+        ]
     regressions = [d for d in deltas if d.exceeds(args.threshold)]
     print(f"diff {args.before} -> {args.after} "
           f"(threshold {100 * args.threshold:g}%):")
@@ -685,6 +693,11 @@ def add_obs_subparsers(sub) -> None:
                         "threshold (CI gate)")
     p.add_argument("--show-unchanged", action="store_true",
                    help="also list metrics with zero delta")
+    p.add_argument("--exclude", action="append", metavar="GLOB",
+                   default=None,
+                   help="drop metrics matching GLOB from the diff "
+                        "(repeatable; e.g. 'node.dispatch_s*' to "
+                        "ignore wall-clock histograms)")
     p.set_defaults(func=cmd_diff)
 
     from repro.obs.slo import cmd_slo

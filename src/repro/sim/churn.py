@@ -279,6 +279,11 @@ class ChurnSimulation:
         _obs.event("churn.rejoin", t=self._sim.now, node=node)
         with _obs.span("churn.join"):
             self.builder.join(node)
+        if self.content is not None:
+            # Rebalance on join: a post-crash rejoiner gets its placed
+            # keys pushed back (RNG-free, so the churn trajectory is
+            # unchanged with or without a content plane attached).
+            self.content.on_join(node)
         self._schedule_departure(node)
 
     # ------------------------------------------------------------------
@@ -319,6 +324,19 @@ class ChurnSimulation:
             for v in victims:
                 self._schedule_rejoin(v, rng=self._fault_rng)
         return survivors
+
+    def rejoin_nodes(self, nodes: Iterable[int]) -> None:
+        """Bring offline nodes back right now (already-online ones no-op).
+
+        The immediate counterpart of the scheduled rejoin path — same
+        epoch bump, overlay join, and content ``on_join`` rebalance —
+        used by drivers that replay an explicit churn shape (e.g. the
+        live-parity benchmarks) instead of drawing offline periods.
+        """
+        for v in nodes:
+            v = int(v)
+            if not self.online[v]:
+                self._rejoin(v)
 
     def repair_or_recover(self, nodes: Iterable[int]) -> None:
         """Restore capacity for ``nodes``: immediately, or via the policy.

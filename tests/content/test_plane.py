@@ -238,3 +238,121 @@ class TestExperiment:
         assert placement.n_objects == 10
         assert {o.key for o in objects} == set(placement.object_keys)
         assert placement.mean_replicas == pytest.approx(3.0)
+
+
+class TestEmptyObjects:
+    """Zero-byte objects place, heal, and fetch like any other."""
+
+    @staticmethod
+    def _empty_plane(**cfg):
+        from repro.content.manifest import ContentObject, chunk_object
+
+        manifest, chunks = chunk_object(77, b"", chunk_size=512)
+        empty = ContentObject(manifest=manifest, chunks=tuple(chunks))
+        filled = generate_objects(2, seed=11, size_range=(1000, 3000),
+                                  chunk_size=512)
+        defaults = dict(k=3, read_repair=False)
+        defaults.update(cfg)
+        return ContentPlane([empty, *filled], ContentConfig(**defaults))
+
+    def test_places_and_fetches_empty_bytes(self):
+        plane = self._empty_plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        assert len(plane.holders(77)) == 3
+        source = next(u for u in range(sim.builder.n_nodes)
+                      if sim.online[u] and u not in plane.holders(77))
+        assert plane.fetch(source, 77) == b""
+
+    def test_heals_in_one_sweep(self):
+        plane = self._empty_plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        victims = sorted(h for h in plane.holders(77) if sim.online[h])
+        sim.crash_nodes(victims[:1], rejoin=False)
+        plane.heal()
+        assert plane.live_replica_count(77) == 3
+        # converged: the next sweep pushes nothing for the empty object
+        before = plane.stats["heal.pushes"]
+        plane.heal()
+        assert plane.stats["heal.pushes"] == before
+
+
+class TestFetchHopQuantile:
+    """Regression: local hits record hop 0, not a clamped 1."""
+
+    def test_local_hit_records_zero_hops(self):
+        from repro import obs
+
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        holder = min(h for h in plane.holders(key) if sim.online[h])
+        session = obs.configure()
+        try:
+            assert plane.fetch(holder, key) is not None
+            q = session.metrics.snapshot()["quantiles"]["content.fetch_s"]
+        finally:
+            obs.disable()
+        assert q["count"] == 1
+        assert q["min"] == 0.0
+        assert q["sum"] == 0.0
+
+
+class TestRebalanceOnJoin:
+    def test_crashed_owner_gets_keys_pushed_back(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        owner = plane.placement.replicas(key)[0]
+        owned = plane.placement.keys_placed_on(owner)
+        sim.crash_nodes([owner], rejoin=False)
+        plane.heal()  # stand-ins restore k
+        sim.rejoin_nodes([owner])
+        # on_join pushed every placed key the crash wiped
+        assert plane.stats["rebalance.pushes"] == len(owned)
+        for k_ in owned:
+            assert owner in plane.holders(k_)
+        # and the next sweep converges holders back to pure placement
+        plane.heal()
+        for k_ in owned:
+            live = sorted(h for h in plane.holders(k_) if sim.online[h])
+            placed = sorted(plane.placement.replicas(k_))
+            if all(sim.online[h] for h in placed):
+                assert live == placed
+            assert len(live) <= 3
+
+    def test_departed_rejoiner_keeps_disk_and_gets_nothing(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        owner = plane.placement.replicas(key)[0]
+        sim._depart(owner)
+        assert owner in plane.holders(key)  # dark copy survives
+        sim.rejoin_nodes([owner])
+        assert plane.stats["rebalance.pushes"] == 0
+
+    def test_disabled_rebalance_pushes_nothing(self):
+        plane = _plane(rebalance_on_join=False)
+        sim = _sim(plane)
+        sim.run(1.0)
+        key = next(iter(plane.objects))
+        owner = plane.placement.replicas(key)[0]
+        sim.crash_nodes([owner], rejoin=False)
+        plane.heal()
+        sim.rejoin_nodes([owner])
+        assert plane.stats["rebalance.pushes"] == 0
+        assert owner not in plane.holders(key)
+
+    def test_rejoin_nodes_ignores_online_nodes(self):
+        plane = _plane()
+        sim = _sim(plane)
+        sim.run(1.0)
+        online = next(u for u in range(sim.builder.n_nodes)
+                      if sim.online[u])
+        before = dict(plane.stats)
+        sim.rejoin_nodes([online])
+        assert plane.stats == before

@@ -20,14 +20,16 @@ GOLDEN_PLF_STATS = {
     "crash_wipes": 15,
     "replicas_wiped": 24,
     "fetch.requests": 96,
-    "fetch.hits": 94,
-    "fetch.failures": 2,
-    "repair.pushes": 15,
-    "repair.bytes": 81291,
+    "fetch.hits": 95,
+    "fetch.failures": 1,
+    "repair.pushes": 18,
+    "repair.bytes": 94772,
     "heal.ticks": 12,
-    "heal.pushes": 99,
-    "heal.bytes": 572714,
-    "heal.trims": 61,
+    "heal.pushes": 93,
+    "heal.bytes": 534452,
+    "heal.trims": 76,
+    "rebalance.pushes": 17,
+    "rebalance.bytes": 95436,
     "objects_lost": 0,
 }
 
@@ -57,7 +59,8 @@ class TestNegativeControl:
         on = run_durability(**GOLDEN, scenario=hub_failure_scenario(),
                             heal_enabled=True)
         off = run_durability(**GOLDEN, scenario=hub_failure_scenario(),
-                             heal_enabled=False, read_repair=False)
+                             heal_enabled=False, read_repair=False,
+                             rebalance_on_join=False)
         # pinned: the exact golden outcomes of both arms
         assert on.report.objects_lost == 2
         assert off.report.objects_lost == 3
@@ -73,7 +76,8 @@ class TestNegativeControl:
         on = run_durability(**GOLDEN, scenario=hub_failure_scenario(),
                             heal_enabled=True)
         off = run_durability(**GOLDEN, scenario=hub_failure_scenario(),
-                             heal_enabled=False, read_repair=False)
+                             heal_enabled=False, read_repair=False,
+                             rebalance_on_join=False)
         # ChurnSnapshot.search_success is NaN (NaN != NaN), so compare
         # the real trajectory fields
         traj = lambda snaps: [
@@ -111,6 +115,8 @@ class TestObsNeutrality:
         assert counters["content.heal.pushes"] == s["heal.pushes"]
         assert counters["content.heal.bytes"] == s["heal.bytes"]
         assert counters["content.heal.trims"] == s["heal.trims"]
+        assert counters["content.rebalance.pushes"] == s["rebalance.pushes"]
+        assert counters["content.rebalance.bytes"] == s["rebalance.bytes"]
 
     def test_timeseries_and_quantiles_recorded(self):
         session = obs.configure()

@@ -16,7 +16,7 @@ from repro.content import (
     place_content,
 )
 from repro.content.live import LiveContent, fetch_object, push_object
-from repro.content.manifest import reassemble
+from repro.content.manifest import ContentObject, chunk_object, reassemble
 from repro.core import makalu_graph
 from repro.node import LiveOverlay
 from repro.sim.churn import ChurnConfig, ChurnSimulation
@@ -315,3 +315,225 @@ class TestSimLiveParity:
         # both planes charge exactly k - live pushes and end at k live
         assert sim_pushes == live_pushes == 2
         assert plane.live_replica_count(key) == live_count == K
+
+
+def _with_empty(seed=3, k=K):
+    """A corpus whose first object is zero bytes, placed over _setup's graph."""
+    graph = makalu_graph(n_nodes=N_NODES, seed=seed)
+    manifest, chunks = chunk_object(4242, b"", chunk_size=1024)
+    empty = ContentObject(manifest=manifest, chunks=tuple(chunks))
+    filled = generate_objects(2, seed=9, size_range=(3000, 6000),
+                              chunk_size=1024)
+    objects = [empty, *filled]
+    placement = place_content(graph, [o.key for o in objects], k=k, seed=5)
+    return graph, objects, placement
+
+
+class TestEmptyObjects:
+    """Regression: a successful empty push is 0 bytes, not a failure."""
+
+    def test_empty_push_returns_zero_and_completes(self):
+        graph, objects, placement = _with_empty()
+        empty = objects[0]
+
+        async def run():
+            overlay, lc = await _booted(graph, objects, placement)
+            try:
+                holder = lc.live_holders(empty.key)[0]
+                target = next(u for u in range(N_NODES)
+                              if u not in lc.live_holders(empty.key))
+                node = overlay.nodes[target]
+                sent = await push_object(
+                    overlay.nodes[holder], node.host, node.port,
+                    empty.manifest, list(empty.chunks),
+                )
+                # 0 is a successful empty push; None is the failure value
+                assert sent == 0
+                assert sent is not None
+                await overlay.settle()
+                assert node.content.has_object(empty.key)
+                assert empty.key in node.store
+                counters = overlay.merged_registry().snapshot()["counters"]
+                # the zero-chunk manifest alone completes the object
+                assert counters["node.content.manifests_rx"] == 1
+                assert counters.get("node.content.chunks_rx", 0) == 0
+                assert counters["node.content.objects_completed"] == 1
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_push_failure_returns_none(self):
+        graph, objects, placement = _with_empty()
+        empty = objects[0]
+
+        async def run():
+            overlay, lc = await _booted(graph, objects, placement)
+            try:
+                holder = lc.live_holders(empty.key)[0]
+                target = next(u for u in range(N_NODES)
+                              if u not in lc.live_holders(empty.key))
+                node = overlay.nodes[target]
+                host, port = node.host, node.port
+                await node.stop()
+                sent = await push_object(
+                    overlay.nodes[holder], host, port,
+                    empty.manifest, list(empty.chunks), timeout=0.5,
+                )
+                assert sent is None
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_empty_object_heals_in_one_sweep(self):
+        graph, objects, placement = _with_empty()
+        empty = objects[0]
+
+        async def run():
+            overlay, lc = await _booted(graph, objects, placement,
+                                        read_repair=False)
+            try:
+                victim = lc.live_holders(empty.key)[0]
+                await overlay.nodes[victim].stop()
+                assert lc.live_replica_count(empty.key) == K - 1
+                pushes = await lc.heal()
+                assert lc.live_replica_count(empty.key) == K
+                # one sweep converges: the next sweep has nothing to do
+                # (the old bug re-pushed empty objects forever because a
+                # 0-byte success was treated as a failed transfer)
+                assert await lc.heal() == 0
+                assert lc.stats["heal.pushes"] == pushes
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_empty_object_fetch_round_trips(self):
+        graph, objects, placement = _with_empty()
+        empty = objects[0]
+
+        async def run():
+            overlay, lc = await _booted(graph, objects, placement)
+            try:
+                source = next(u for u in range(N_NODES)
+                              if u not in lc.live_holders(empty.key))
+                data = await lc.fetch(source, empty.key)
+                assert data == b""
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestLiveRebalanceOnJoin:
+    def test_killed_owner_reclaims_placed_keys(self):
+        graph, objects, placement = _setup()
+        victim = placement.replicas(objects[0].key)[0]
+        owned = placement.keys_placed_on(victim)
+        assert owned
+
+        async def run():
+            overlay = LiveOverlay(graph)
+            await overlay.start()
+            try:
+                lc = LiveContent(overlay, objects, placement,
+                                 ContentConfig(k=K, read_repair=False))
+                lc.seed_stores()
+                await overlay.kill_peer(victim)
+                await lc.heal()  # k restored on stand-ins
+                await overlay.revive_peer(victim)
+                pushes = await lc.on_join(victim)
+                assert pushes == len(owned)
+                node = overlay.nodes[victim]
+                assert all(node.content.has_object(key) for key in owned)
+                # the next sweep trims the stand-ins: holders converge
+                # back to the pure placement
+                await lc.heal()
+                for key in owned:
+                    assert sorted(lc.live_holders(key)) == \
+                        sorted(placement.replicas(key))
+                assert lc.stats["rebalance.pushes"] == len(owned)
+                counters = overlay.merged_registry().snapshot()["counters"]
+                assert counters["content.rebalance.pushes"] == len(owned)
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_churn_departure_needs_no_rebalance(self):
+        # a peer that kept its disk (sim churn semantics) gets nothing
+        # pushed: on_join only moves keys the rejoiner actually lost
+        graph, objects, placement = _setup()
+        victim = placement.replicas(objects[0].key)[0]
+
+        async def run():
+            overlay = LiveOverlay(graph)
+            await overlay.start()
+            try:
+                lc = LiveContent(overlay, objects, placement,
+                                 ContentConfig(k=K))
+                lc.seed_stores()
+                assert await lc.on_join(victim) == 0
+                assert lc.stats["rebalance.pushes"] == 0
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestSimLiveRebalanceParity:
+    """Kill-then-rejoin a placed owner in both planes; accounting pins."""
+
+    def test_rebalance_charges_match(self):
+        from repro.content.experiment import _PLACEMENT_SALT, build_placement
+        from repro.util.rng import derive_seed
+
+        seed = 3
+        graph, objects, placement = build_placement(
+            n_nodes=N_NODES, n_objects=3, seed=seed, k=K,
+            size_range=(3000, 6000),
+        )
+        victim = placement.replicas(objects[0].key)[0]
+        owned = placement.keys_placed_on(victim)
+
+        async def live_arm():
+            overlay = LiveOverlay(graph)
+            await overlay.start()
+            try:
+                lc = LiveContent(overlay, objects, placement,
+                                 ContentConfig(k=K, read_repair=False))
+                lc.seed_stores()
+                await overlay.kill_peer(victim)
+                heal_kill = await lc.heal()
+                await overlay.revive_peer(victim)
+                pushes = await lc.on_join(victim)
+                heal_join = await lc.heal()
+                return pushes, heal_kill, heal_join, lc.stats["heal.trims"]
+            finally:
+                await overlay.stop()
+
+        live = _run(live_arm())
+
+        plane = ContentPlane(objects, ContentConfig(
+            k=K, read_repair=False,
+            placement_seed=derive_seed(seed, _PLACEMENT_SALT),
+        ))
+        sim = ChurnSimulation(
+            n_nodes=N_NODES, seed=seed, content=plane,
+            churn_config=ChurnConfig(snapshot_interval=1e6,
+                                     mean_session=1e9),
+        )
+        sim.run(0.5)
+        # identical placement seeds over the same graph -> same holders
+        for obj in objects:
+            assert tuple(plane.placement.replicas(obj.key)) == \
+                tuple(placement.replicas(obj.key))
+        sim.crash_nodes([victim], rejoin=False)
+        heal_kill = plane.heal()
+        sim.rejoin_nodes([victim])
+        heal_join = plane.heal()
+        simarm = (plane.stats["rebalance.pushes"], heal_kill, heal_join,
+                  plane.stats["heal.trims"])
+        assert simarm == live
+        assert simarm[0] == len(owned) > 0

@@ -1,0 +1,279 @@
+"""Dynamic membership on the live overlay + scenario replay driver.
+
+Covers ``kill_peer``/``revive_peer``/``add_peer`` (hard teardown is disk
+loss; a revive is a fresh ``PeerNode`` bootstrapping through ``join()``),
+the :class:`~repro.node.churn.LiveChurnDriver` scenario replay, and the
+``run_live_churn`` end-to-end experiment the bench and CLI share.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.content.experiment import build_placement
+from repro.content.live import LiveContent, push_object
+from repro.content.plane import ContentConfig
+from repro.core import makalu_graph
+from repro.faults.scenario import load_scenario
+from repro.node import LiveOverlay
+from repro.node.churn import (
+    LiveChurnDriver,
+    run_live_churn,
+    run_live_churn_sync,
+)
+
+N = 12
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _graph(n=N, seed=3):
+    return makalu_graph(n_nodes=n, seed=seed)
+
+
+class TestKillPeer:
+    def test_kill_stops_peer_and_wipes_disk(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                node = overlay.nodes[4]
+                node.store.add(123)
+                await overlay.kill_peer(4)
+                assert not node.running
+                # crash is disk loss: the store does not survive
+                assert 123 not in node.store
+                # survivors hold no link to the corpse
+                for other in overlay.nodes:
+                    if other.running:
+                        assert 4 not in other.neighbors
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_kill_dead_peer_raises(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                await overlay.kill_peer(2)
+                with pytest.raises(ValueError):
+                    await overlay.kill_peer(2)
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestRevivePeer:
+    def test_revive_rejoins_through_live_peers(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                await overlay.kill_peer(4)
+                node = await overlay.revive_peer(4)
+                assert node.running
+                assert node is overlay.nodes[4]
+                assert len(node.neighbors) >= 1
+                # the revived incarnation is wired into the mesh: its
+                # neighbors know it back
+                for v in node.neighbors:
+                    assert 4 in overlay.nodes[v].neighbors
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_revive_running_peer_raises(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                with pytest.raises(ValueError):
+                    await overlay.revive_peer(3)
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+    def test_merged_counters_stay_monotone_across_revive(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                before = overlay.merged_registry().snapshot()["counters"]
+                await overlay.kill_peer(4)
+                await overlay.revive_peer(4)
+                after = overlay.merged_registry().snapshot()["counters"]
+                # the killed incarnation's ledger is retained: no merged
+                # total ever decreases because a peer was replaced
+                for name, value in before.items():
+                    assert after.get(name, 0) >= value
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestAddPeer:
+    def test_add_peer_extends_the_overlay(self):
+        async def run():
+            overlay = LiveOverlay(_graph())
+            await overlay.start()
+            try:
+                node = await overlay.add_peer()
+                assert node.node_id == N
+                assert node.running
+                assert len(overlay.nodes) == N + 1
+                assert len(node.neighbors) >= 1
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestByPeerGauges:
+    def test_rx_messages_count_content_frames(self):
+        # regression: by-peer rx_messages ignored 0x30-0x32 frames, so
+        # chunk-heavy peers misranked in `repro obs top`
+        graph, objects, placement = build_placement(
+            n_nodes=N, n_objects=3, seed=3, k=3,
+            size_range=(3000, 6000),
+        )
+        obj = objects[0]
+
+        async def run():
+            overlay = LiveOverlay(graph)
+            await overlay.start()
+            try:
+                lc = LiveContent(overlay, objects, placement,
+                                 ContentConfig(k=3))
+                lc.seed_stores()
+                holder = lc.live_holders(obj.key)[0]
+                target = next(u for u in range(N)
+                              if u not in lc.live_holders(obj.key))
+                node = overlay.nodes[target]
+                sent = await push_object(
+                    overlay.nodes[holder], node.host, node.port,
+                    obj.manifest, list(obj.chunks),
+                )
+                assert sent == obj.size
+                await overlay.settle()
+                snap = overlay.merged_registry(top_peers=N).snapshot()
+                gauge = snap["gauges"][
+                    f"node.by_peer.{target}.rx_messages"
+                ]
+                counters = node.metrics.snapshot()["counters"]
+                expect = sum(
+                    counters.get(f"node.rx.{kind}", 0)
+                    for kind in ("ping", "pong", "query", "query_hit",
+                                 "chunk_request", "manifest",
+                                 "chunk_data")
+                )
+                assert gauge == expect
+                # the content frames are actually in there
+                assert counters["node.rx.manifest"] == 1
+                assert counters["node.rx.chunk_data"] == \
+                    obj.manifest.n_chunks
+            finally:
+                await overlay.stop()
+
+        _run(run())
+
+
+class TestDriverValidation:
+    def test_bad_parameters_rejected(self):
+        overlay = LiveOverlay(_graph())
+        scenario = load_scenario("paper-live-failures")
+        with pytest.raises(ValueError):
+            LiveChurnDriver(overlay, scenario, duration=0)
+        with pytest.raises(ValueError):
+            LiveChurnDriver(overlay, scenario, time_scale=-1)
+        with pytest.raises(ValueError):
+            LiveChurnDriver(overlay, scenario, mean_offline=0)
+        with pytest.raises(ValueError):
+            LiveChurnDriver(overlay, scenario, snapshot_interval=-1)
+
+
+class TestDriverReplay:
+    def test_scenario_replay_kills_and_revives(self):
+        scenario = load_scenario("paper-live-failures")
+
+        async def run():
+            overlay = LiveOverlay(_graph(n=16, seed=7))
+            await overlay.start()
+            try:
+                driver = LiveChurnDriver(overlay, scenario, seed=7,
+                                         duration=120.0)
+                return await driver.run()
+            finally:
+                await overlay.stop()
+
+        report = _run(run())
+        assert report.scenario == "paper-live-failures"
+        assert report.kills > 0
+        assert report.revives > 0
+        # wire-level fault families are counted, never silently dropped
+        assert report.skipped.get("loss_windows") == 1
+        assert report.skipped.get("partitions") == 1
+        assert report.events_skipped == 2
+        kinds = [e.kind for e in report.events]
+        assert "crash" in kinds and "revive" in kinds
+
+    def test_replay_is_deterministic(self):
+        scenario = load_scenario("paper-live-failures")
+
+        async def once():
+            overlay = LiveOverlay(_graph(n=16, seed=7))
+            await overlay.start()
+            try:
+                driver = LiveChurnDriver(overlay, scenario, seed=7,
+                                         duration=120.0)
+                report = await driver.run()
+                return [(e.time, e.kind, e.nodes) for e in report.events]
+            finally:
+                await overlay.stop()
+
+        assert _run(once()) == _run(once())
+
+
+class TestRunLiveChurn:
+    def test_end_to_end_holds_availability(self):
+        result = run_live_churn_sync(
+            load_scenario("paper-live-failures"),
+            n_nodes=16, n_objects=6, seed=7, duration=120.0,
+            snapshot_interval=40.0,
+        )
+        rep, d = result.report, result.durability
+        assert rep.kills > 0 and rep.revives > 0
+        assert rep.heal_ticks == 12
+        assert d.availability == 1.0
+        assert d.objects_lost == 0
+        # samples at 40/80 plus the final census at the horizon
+        assert [s.time for s in rep.samples] == [40.0, 80.0, 120.0]
+        # the overlay was torn down but its ledger is still readable
+        counters = result.overlay.merged_registry().snapshot()["counters"]
+        assert counters["content.heal.pushes"] == result.stats["heal.pushes"]
+        assert result.stats["heal.ticks"] == 12
+
+    def test_paced_replay_matches_unpaced(self):
+        scenario = load_scenario("paper-live-failures")
+
+        def shape(time_scale):
+            result = run_live_churn_sync(
+                scenario, n_nodes=12, n_objects=4, seed=5, duration=60.0,
+                time_scale=time_scale, snapshot_interval=0.0,
+            )
+            return (
+                [(e.time, e.kind, e.nodes)
+                 for e in result.report.events],
+                result.stats,
+            )
+
+        # wall pacing stretches the replay but cannot change its
+        # ordering or accounting
+        assert shape(0.0) == shape(0.002)

@@ -221,6 +221,19 @@ class TestCliCommands:
                      "--threshold", "0.1"]) == 1
         assert "REGRESSION" in capsys.readouterr().out
 
+    def test_exclude_glob_drops_metric_from_gate(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(gap_last=0.5))
+        b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.25))
+        assert main(["obs", "diff", a, b, "--fail-on-regression",
+                     "--threshold", "0.1",
+                     "--exclude", "health.spectral_gap*"]) == 0
+        out = capsys.readouterr().out
+        assert "spectral_gap" not in out
+        # a glob that matches nothing changes nothing
+        assert main(["obs", "diff", a, b, "--fail-on-regression",
+                     "--threshold", "0.1",
+                     "--exclude", "unrelated.*"]) == 1
+
     def test_regression_without_flag_still_exits_zero(self, tmp_path, capsys):
         a = self.write(tmp_path, "a.json", snapshot_doc(gap_last=0.5))
         b = self.write(tmp_path, "b.json", snapshot_doc(gap_last=0.25))

@@ -130,3 +130,57 @@ class TestManifestRoundTrip:
         assert lengths == [len(c) for c in chunks]
         assert sum(lengths) == size
         assert all(1 <= n <= chunk_size for n in lengths)
+
+
+class TestRebalanceOnJoinInvariant:
+    """A crashed-then-rejoined placed owner always reclaims its keys,
+    and convergence never overshoots ``k`` live replicas."""
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_rejoined_owner_ends_holding_its_key(self, seed):
+        manifest, chunks = chunk_object(29, b"replica " * 64,
+                                        chunk_size=256)
+        obj = ContentObject(manifest=manifest, chunks=tuple(chunks))
+        plane = ContentPlane([obj], ContentConfig(k=3, read_repair=False))
+        sim = ChurnSimulation(
+            n_nodes=20, seed=seed, content=plane,
+            churn_config=ChurnConfig(snapshot_interval=50.0),
+        )
+        sim.run(1.0)
+        owner = plane.placement.replicas(29)[0]
+        assume(sim.online[owner])
+        assume(plane.live_replica_count(29) > 1)  # a live source survives
+        sim.crash_nodes([owner], rejoin=False)
+        plane.heal()
+        sim.rejoin_nodes([owner])
+        # the rejoin pushed the owner's key back before any heal sweep
+        assert owner in plane.holders(29)
+        assert plane.stats["rebalance.pushes"] >= 1
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_convergence_never_exceeds_k(self, seed):
+        manifest, chunks = chunk_object(31, b"bound " * 80, chunk_size=256)
+        obj = ContentObject(manifest=manifest, chunks=tuple(chunks))
+        plane = ContentPlane([obj], ContentConfig(k=3, read_repair=False))
+        sim = ChurnSimulation(
+            n_nodes=20, seed=seed, content=plane,
+            churn_config=ChurnConfig(snapshot_interval=50.0),
+        )
+        sim.run(1.0)
+        owner = plane.placement.replicas(31)[0]
+        assume(sim.online[owner])
+        assume(plane.live_replica_count(31) > 1)
+        sim.crash_nodes([owner], rejoin=False)
+        plane.heal()
+        sim.rejoin_nodes([owner])
+        # the on_join push may transiently exceed k by the stand-in...
+        live_after_join = plane.live_replica_count(31)
+        plane.heal()
+        # ...but one sweep trims back: never more than k live replicas
+        want = min(3, int(np.count_nonzero(sim.online)))
+        assert plane.live_replica_count(31) == want
+        assert plane.live_replica_count(31) <= live_after_join
+        plane.heal()
+        assert plane.live_replica_count(31) == want

@@ -244,6 +244,31 @@ class TestNodeParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["node", "trace"])
 
+    def test_churn_defaults(self):
+        args = build_parser().parse_args(["node", "churn"])
+        assert args.nodes == 32
+        assert args.scenario == "paper-live-failures"
+        assert args.objects == 12
+        assert args.k == 3
+        assert args.duration == 150.0
+        assert args.time_scale == 0.0
+        assert args.snapshot_interval == 25.0
+        assert args.mean_offline == 25.0
+        assert not args.no_heal
+        assert not args.no_read_repair
+        assert args.report_json is None
+
+    def test_churn_flags(self):
+        args = build_parser().parse_args([
+            "node", "churn", "--scenario", "weekly-maintenance",
+            "--time-scale", "0.01", "--no-heal",
+            "--report-json", "out.json",
+        ])
+        assert args.scenario == "weekly-maintenance"
+        assert args.time_scale == 0.01
+        assert args.no_heal
+        assert args.report_json == "out.json"
+
     def test_node_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["node"])
@@ -281,6 +306,35 @@ class TestNodeCommands:
         snap = json.loads(path.read_text())
         assert snap["counters"]["node.rx.query"] > 0
         assert snap["counters"].get("node.protocol_errors", 0) == 0
+
+    def test_churn_replays_scenario_end_to_end(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "churn.json"
+        report = tmp_path / "report.json"
+        assert main([
+            "node", "churn", "--nodes", "12", "--objects", "4",
+            "--seed", "5", "--duration", "90", "--snapshot-interval", "30",
+            "--metrics-json", str(metrics), "--report-json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live churn: 12 asyncio peers" in out
+        assert "membership:" in out
+        assert "durability:" in out
+        snap = json.loads(metrics.read_text())
+        assert snap["gauges"]["live_churn.kills"] >= 1
+        assert snap["gauges"]["live_churn.revives"] >= 1
+        assert snap["gauges"]["live_churn.availability"] > 0
+        # node-level wire counters merge in alongside the gauges
+        assert snap["counters"]["node.rx.ping"] > 0
+        doc = json.loads(report.read_text())
+        assert doc["scenario"] == "paper-live-failures"
+        assert doc["kills"] == snap["gauges"]["live_churn.kills"]
+        assert doc["durability"]["objects_lost"] == 0
+
+    def test_churn_unknown_scenario_exits_2(self, capsys):
+        assert main(["node", "churn", "--scenario", "no-such"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_boot_trace_dir_then_trace_report(self, tmp_path, capsys):
         sink_dir = tmp_path / "sinks"
